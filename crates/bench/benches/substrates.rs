@@ -1,0 +1,84 @@
+//! Micro-benchmarks of the substrates: segment-tree construction and
+//! canonical partitions, the forward reduction itself, and the equality-join
+//! engine strategies on the reduced triangle instance.
+//!
+//! Regenerate with `cargo bench -p ij-bench --bench substrates`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ij_bench::{dense_workload, evaluate_all_disjuncts, scaling_workload};
+use ij_ejoin::EjStrategy;
+use ij_hypergraph::triangle_ij;
+use ij_reduction::forward_reduction;
+use ij_relation::Query;
+use ij_segtree::{Interval, SegmentTree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn random_intervals(n: usize, seed: u64) -> Vec<Interval> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let lo: f64 = rng.gen_range(0.0..(n as f64));
+            let len: f64 = rng.gen_range(0.0..32.0);
+            Interval::new(lo, lo + len)
+        })
+        .collect()
+}
+
+fn bench_segment_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segtree");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for n in [1_000usize, 10_000] {
+        let intervals = random_intervals(n, 11);
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| SegmentTree::build(&intervals))
+        });
+        let tree = SegmentTree::build(&intervals);
+        group.bench_with_input(BenchmarkId::new("canonical-partition", n), &n, |b, _| {
+            b.iter(|| {
+                intervals.iter().map(|iv| tree.canonical_partition(*iv).len()).sum::<usize>()
+            })
+        });
+        let stored = SegmentTree::build_with_storage(&intervals);
+        group.bench_with_input(BenchmarkId::new("stab", n), &n, |b, _| {
+            b.iter(|| stored.stab(n as f64 / 2.0).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_forward_reduction(c: &mut Criterion) {
+    let query = Query::from_hypergraph(&triangle_ij());
+    let mut group = c.benchmark_group("forward-reduction/triangle");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [250usize, 500] {
+        let db = scaling_workload(&query, n, 13);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| forward_reduction(&query, &db).unwrap().stats.transformed_tuples)
+        });
+    }
+    group.finish();
+}
+
+fn bench_ej_strategies(c: &mut Criterion) {
+    // Ablation: the same reduced triangle instance evaluated with the three
+    // EJ strategies (Auto = per-disjunct choice, plain generic join, and the
+    // decomposition-guided evaluation).
+    let query = Query::from_hypergraph(&triangle_ij());
+    let db = dense_workload(&query, 200, 17);
+    let reduction = forward_reduction(&query, &db).unwrap();
+    let mut group = c.benchmark_group("ej-strategies/triangle-n200");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, strategy) in [
+        ("auto", EjStrategy::Auto),
+        ("generic-join", EjStrategy::GenericJoin),
+        ("decomposition", EjStrategy::Decomposition),
+    ] {
+        group.bench_function(name, |b| b.iter(|| evaluate_all_disjuncts(&reduction, strategy)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_segment_tree, bench_forward_reduction, bench_ej_strategies);
+criterion_main!(benches);

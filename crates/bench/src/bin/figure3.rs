@@ -1,0 +1,52 @@
+//! E3 — Figure 3 / Figure 6: the segment tree over I = { [1,4], [3,4] },
+//! its node segments and the canonical partitions of the two intervals.
+//!
+//! ```text
+//! cargo run --release -p ij-bench --bin figure3
+//! ```
+
+use ij_segtree::{Interval, SegmentTree};
+
+fn main() {
+    let a = Interval::new(1.0, 4.0);
+    let b = Interval::new(3.0, 4.0);
+    let tree = SegmentTree::build(&[a, b]);
+
+    println!("Figure 3: segment tree on I = {{ □ = [1,4], • = [3,4] }}");
+    println!(
+        "endpoints: {}, leaves: {}, nodes: {}, height: {}\n",
+        tree.num_endpoints(),
+        tree.num_leaves(),
+        tree.num_nodes(),
+        tree.height()
+    );
+
+    println!("{:<10} {:<14} {:<8} {:<8}", "node", "segment", "in CP(□)", "in CP(•)");
+    println!("{}", "-".repeat(44));
+    let cp_a = tree.canonical_partition(a);
+    let cp_b = tree.canonical_partition(b);
+    for id in tree.node_ids() {
+        let segment = tree.describe_node(id).unwrap_or_default();
+        println!(
+            "{:<10} {:<14} {:<8} {:<8}",
+            id.to_string(),
+            segment,
+            if cp_a.contains(&id) { "yes" } else { "" },
+            if cp_b.contains(&id) { "yes" } else { "" },
+        );
+    }
+    println!();
+    println!(
+        "CP([1,4]) = {{ {} }}   (paper: 001, 01, 10)",
+        cp_a.iter().map(|b| b.to_string()).collect::<Vec<_>>().join(", ")
+    );
+    println!(
+        "CP([3,4]) = {{ {} }}      (paper: 011, 10)",
+        cp_b.iter().map(|b| b.to_string()).collect::<Vec<_>>().join(", ")
+    );
+    println!(
+        "\nleaf([1,4]) = {}, leaf([3,4]) = {} (leaves containing the left endpoints)",
+        tree.leaf_of_interval(a),
+        tree.leaf_of_interval(b)
+    );
+}

@@ -1,0 +1,63 @@
+//! E4 — Figure 4, Figure 9, Example 6.5 and Appendix E.4: acyclicity
+//! classification and per-class widths of the six example hypergraphs.
+//!
+//! ```text
+//! cargo run --release -p ij-bench --bin figure9
+//! ```
+
+use ij_bench::render_table;
+use ij_hypergraph::{
+    figure_9a, figure_9b, figure_9c, figure_9d, figure_9e, figure_9f, AcyclicityReport, Hypergraph,
+};
+use ij_widths::ij_width;
+
+fn main() {
+    let figures: Vec<(&str, Hypergraph, &str)> = vec![
+        ("9a", figure_9a(), "E.4.1: ijw 3/2"),
+        ("9b", figure_9b(), "E.4.2 / Example 6.5: ijw 3/2"),
+        ("9c", figure_9c(), "E.4.3 / Figure 4a: ijw 3/2"),
+        ("9d", figure_9d(), "E.4.4 / Example 4.8: linear"),
+        ("9e", figure_9e(), "E.4.5 / Figure 4b: linear"),
+        ("9f", figure_9f(), "E.4.6: linear"),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, h, reference) in &figures {
+        let report = AcyclicityReport::of(h);
+        let widths = ij_width(h);
+        rows.push(vec![
+            name.to_string(),
+            h.render(),
+            report.class.to_string(),
+            widths.num_reduced_queries.to_string(),
+            widths.num_distinct_after_dropping_singletons.to_string(),
+            format!("{:.3}", widths.value),
+            if widths.is_linear_time() { "O(N polylog N)".into() } else { format!("O(N^{:.2})", widths.value) },
+            reference.to_string(),
+        ]);
+    }
+    println!("Figure 9 / Appendix E.4: classification and ij-widths\n");
+    println!(
+        "{}",
+        render_table(
+            &["fig", "query", "class", "#EJ", "#distinct", "ijw", "runtime", "paper"],
+            &rows
+        )
+    );
+
+    // Per-class detail for Figure 9c (Example 6.5's H1, H2, H3).
+    println!("Per-class widths of the Figure 9c reduction (Example 6.5):\n");
+    let report = ij_width(&figure_9c());
+    let mut rows = Vec::new();
+    for (i, class) in report.classes.iter().enumerate() {
+        rows.push(vec![
+            format!("class {}", i + 1),
+            class.representative.render(),
+            class.size.to_string(),
+            format!("{:.2}", class.fhtw),
+            format!("{:.2}", class.subw.value),
+        ]);
+    }
+    println!("{}", render_table(&["class", "representative", "members", "fhtw", "subw"], &rows));
+    println!("(paper: H1 has width 1.5, H2 and H3 have width 1.0; H2 ≅ H3 up to renaming)");
+}

@@ -1,0 +1,374 @@
+//! The generic worst-case-optimal join (attribute-at-a-time).
+//!
+//! The join processes the variables in a fixed global order.  For the current
+//! variable it intersects the candidate values offered by every atom whose
+//! trie is positioned at that variable (iterating the atom with the smallest
+//! fan-out and probing the others), then recurses.  For Boolean queries the
+//! recursion stops at the first full assignment; for enumeration it collects
+//! the projection of every full assignment onto the requested output
+//! variables.
+//!
+//! This is the standard leapfrog/generic-join scheme of Ngo et al. [27] and
+//! Veldhuizen [34], realised with hash tries.
+
+use crate::atom::{all_vars, BoundAtom};
+use crate::trie::{AtomTrie, TrieNode};
+use ij_hypergraph::VarId;
+use ij_relation::{Relation, Value};
+use std::collections::HashMap;
+
+/// A shared context for one generic-join execution.
+struct JoinContext<'a> {
+    tries: Vec<AtomTrie>,
+    order: Vec<VarId>,
+    /// For every atom, for every order position, the trie level entered when
+    /// that variable is assigned (or `None` if the atom skips the variable).
+    level_of: Vec<Vec<Option<usize>>>,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a> JoinContext<'a> {
+    fn new(atoms: &[BoundAtom<'a>], order: Option<Vec<VarId>>) -> Self {
+        let order = order.unwrap_or_else(|| all_vars(atoms));
+        let tries: Vec<AtomTrie> = atoms.iter().map(|a| AtomTrie::build(a, &order)).collect();
+        let level_of: Vec<Vec<Option<usize>>> = tries
+            .iter()
+            .map(|t| {
+                order
+                    .iter()
+                    .map(|v| t.level_vars.iter().position(|u| u == v))
+                    .collect()
+            })
+            .collect();
+        JoinContext { tries, order, level_of, _marker: std::marker::PhantomData }
+    }
+}
+
+/// Evaluates the Boolean conjunctive query given by `atoms` (all joins are
+/// equality joins on the shared variables).  Returns true if the join is
+/// non-empty.  An explicit variable order can be supplied; by default the
+/// variables are processed in increasing identifier order.
+pub fn generic_join_boolean(atoms: &[BoundAtom<'_>], order: Option<Vec<VarId>>) -> bool {
+    if atoms.iter().any(|a| a.relation.is_empty()) {
+        return false;
+    }
+    if atoms.is_empty() {
+        return true;
+    }
+    let ctx = JoinContext::new(atoms, order);
+    let mut positions: Vec<&TrieNode> = ctx.tries.iter().map(|t| t.root()).collect();
+    search(&ctx, 0, &mut positions, &mut |_| true)
+}
+
+/// Enumerates the projection of the join onto `output_vars`, deduplicated.
+/// The variable order used for the join is `output_vars` first (in the given
+/// order) followed by the remaining variables; this guarantees that results
+/// can be collected without buffering full assignments.
+pub fn generic_join_enumerate(
+    atoms: &[BoundAtom<'_>],
+    output_vars: &[VarId],
+    output_name: &str,
+) -> Relation {
+    let mut out = Relation::new(output_name, output_vars.len());
+    if atoms.is_empty() || atoms.iter().any(|a| a.relation.is_empty()) {
+        return out;
+    }
+    // Order: output variables first, then the rest.
+    let mut order: Vec<VarId> = output_vars.to_vec();
+    for v in all_vars(atoms) {
+        if !order.contains(&v) {
+            order.push(v);
+        }
+    }
+    let ctx = JoinContext::new(atoms, Some(order.clone()));
+    let out_positions: Vec<usize> =
+        output_vars.iter().map(|v| order.iter().position(|u| u == v).unwrap()).collect();
+
+    let mut positions: Vec<&TrieNode> = ctx.tries.iter().map(|t| t.root()).collect();
+    // Collect assignments of the output prefix; because output variables form
+    // a prefix of the order, each time the search reaches depth
+    // `output_vars.len()` with a new prefix we record it and prune the rest of
+    // that subtree only after establishing at least one full match.
+    let mut assignment: Vec<Value> = vec![Value::point(0.0); order.len()];
+    let mut results: Vec<Vec<Value>> = Vec::new();
+    enumerate_rec(&ctx, 0, &mut positions, &mut assignment, &out_positions, &mut results);
+    results.sort_unstable();
+    results.dedup();
+    for r in results {
+        out.push(r);
+    }
+    out
+}
+
+/// Core recursive search.  `on_full` is invoked on every full assignment; the
+/// search stops as soon as it returns true.
+fn search<'t>(
+    ctx: &'t JoinContext<'_>,
+    depth: usize,
+    positions: &mut Vec<&'t TrieNode>,
+    on_full: &mut impl FnMut(&[&TrieNode]) -> bool,
+) -> bool {
+    if depth == ctx.order.len() {
+        return on_full(positions);
+    }
+    // Atoms participating in this variable.
+    let participating: Vec<usize> =
+        (0..ctx.tries.len()).filter(|&i| ctx.level_of[i][depth].is_some()).collect();
+    if participating.is_empty() {
+        // No atom constrains this variable (can happen for variables
+        // projected away by empty atoms lists); just skip it.
+        return search(ctx, depth + 1, positions, on_full);
+    }
+    // Iterate the smallest candidate set, probe the others.
+    let smallest = *participating
+        .iter()
+        .min_by_key(|&&i| positions[i].fanout())
+        .expect("participating atoms exist");
+    let candidates: Vec<Value> = positions[smallest].children().map(|(v, _)| *v).collect();
+
+    for value in candidates {
+        let saved = positions.clone();
+        let mut ok = true;
+        for &i in &participating {
+            match positions[i].child(&value) {
+                Some(next) => positions[i] = next,
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok && search(ctx, depth + 1, positions, on_full) {
+            return true;
+        }
+        *positions = saved;
+    }
+    false
+}
+
+/// Recursive enumeration collecting output prefixes of satisfiable
+/// assignments.
+fn enumerate_rec<'t>(
+    ctx: &'t JoinContext<'_>,
+    depth: usize,
+    positions: &mut Vec<&'t TrieNode>,
+    assignment: &mut Vec<Value>,
+    out_positions: &[usize],
+    results: &mut Vec<Vec<Value>>,
+) {
+    if depth == ctx.order.len() {
+        results.push(out_positions.iter().map(|&p| assignment[p]).collect());
+        return;
+    }
+    let participating: Vec<usize> =
+        (0..ctx.tries.len()).filter(|&i| ctx.level_of[i][depth].is_some()).collect();
+    if participating.is_empty() {
+        enumerate_rec(ctx, depth + 1, positions, assignment, out_positions, results);
+        return;
+    }
+    let smallest = *participating
+        .iter()
+        .min_by_key(|&&i| positions[i].fanout())
+        .expect("participating atoms exist");
+    let candidates: Vec<Value> = positions[smallest].children().map(|(v, _)| *v).collect();
+    for value in candidates {
+        let saved = positions.clone();
+        let mut ok = true;
+        for &i in &participating {
+            match positions[i].child(&value) {
+                Some(next) => positions[i] = next,
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            assignment[depth] = value;
+            enumerate_rec(ctx, depth + 1, positions, assignment, out_positions, results);
+        }
+        *positions = saved;
+    }
+}
+
+/// A semijoin `left ⋉ right`: keeps the tuples of `left` whose shared
+/// variables have a matching tuple in `right`.  Used by the Yannakakis pass.
+pub fn semijoin(left: &BoundAtom<'_>, right: &BoundAtom<'_>) -> Relation {
+    let shared: Vec<VarId> =
+        left.var_set().intersection(&right.var_set()).copied().collect();
+    let mut out = Relation::new(left.relation.name().to_string(), left.relation.arity());
+    if shared.is_empty() {
+        // No shared variables: keep everything if right is non-empty.
+        if !right.relation.is_empty() {
+            for t in left.relation.tuples() {
+                out.push(t.clone());
+            }
+        }
+        return out;
+    }
+    // Key positions in each relation (first column bound to the variable).
+    let left_cols: Vec<usize> =
+        shared.iter().map(|&v| left.vars.iter().position(|&u| u == v).unwrap()).collect();
+    let right_cols: Vec<usize> =
+        shared.iter().map(|&v| right.vars.iter().position(|&u| u == v).unwrap()).collect();
+    let mut keys: HashMap<Vec<Value>, ()> = HashMap::new();
+    for t in right.relation.tuples() {
+        keys.insert(right_cols.iter().map(|&c| t[c]).collect(), ());
+    }
+    for t in left.relation.tuples() {
+        let key: Vec<Value> = left_cols.iter().map(|&c| t[c]).collect();
+        if keys.contains_key(&key) {
+            out.push(t.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ij_relation::{Relation, Value};
+
+    fn rel(name: &str, rows: Vec<Vec<f64>>) -> Relation {
+        let arity = rows.first().map(|r| r.len()).unwrap_or(0);
+        Relation::from_tuples(
+            name,
+            arity,
+            rows.into_iter().map(|r| r.into_iter().map(Value::point).collect()).collect(),
+        )
+    }
+
+    const A: VarId = 0;
+    const B: VarId = 1;
+    const C: VarId = 2;
+
+    #[test]
+    fn triangle_join_finds_a_triangle() {
+        // R(A,B), S(B,C), T(A,C) with exactly one triangle (1,2,3).
+        let r = rel("R", vec![vec![1.0, 2.0], vec![4.0, 5.0]]);
+        let s = rel("S", vec![vec![2.0, 3.0], vec![5.0, 9.0]]);
+        let t = rel("T", vec![vec![1.0, 3.0], vec![7.0, 9.0]]);
+        let atoms = vec![
+            BoundAtom::new(&r, vec![A, B]),
+            BoundAtom::new(&s, vec![B, C]),
+            BoundAtom::new(&t, vec![A, C]),
+        ];
+        assert!(generic_join_boolean(&atoms, None));
+        let out = generic_join_enumerate(&atoms, &[A, B, C], "out");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.tuples()[0], vec![Value::point(1.0), Value::point(2.0), Value::point(3.0)]);
+    }
+
+    #[test]
+    fn triangle_join_rejects_near_misses() {
+        // Edges exist pairwise but no closed triangle.
+        let r = rel("R", vec![vec![1.0, 2.0]]);
+        let s = rel("S", vec![vec![2.0, 3.0]]);
+        let t = rel("T", vec![vec![1.0, 4.0]]);
+        let atoms = vec![
+            BoundAtom::new(&r, vec![A, B]),
+            BoundAtom::new(&s, vec![B, C]),
+            BoundAtom::new(&t, vec![A, C]),
+        ];
+        assert!(!generic_join_boolean(&atoms, None));
+        assert!(generic_join_enumerate(&atoms, &[A], "out").is_empty());
+    }
+
+    #[test]
+    fn empty_relation_short_circuits() {
+        let r = rel("R", vec![vec![1.0, 2.0]]);
+        let empty = Relation::new("S", 2);
+        let atoms =
+            vec![BoundAtom::new(&r, vec![A, B]), BoundAtom::new(&empty, vec![B, C])];
+        assert!(!generic_join_boolean(&atoms, None));
+    }
+
+    #[test]
+    fn no_atoms_means_true() {
+        assert!(generic_join_boolean(&[], None));
+    }
+
+    #[test]
+    fn cartesian_product_when_no_shared_variables() {
+        let r = rel("R", vec![vec![1.0], vec![2.0]]);
+        let s = rel("S", vec![vec![10.0], vec![20.0], vec![30.0]]);
+        let atoms = vec![BoundAtom::new(&r, vec![A]), BoundAtom::new(&s, vec![B])];
+        assert!(generic_join_boolean(&atoms, None));
+        let out = generic_join_enumerate(&atoms, &[A, B], "out");
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn enumeration_projects_and_deduplicates() {
+        let r = rel("R", vec![vec![1.0, 2.0], vec![1.0, 3.0], vec![2.0, 4.0]]);
+        let s = rel("S", vec![vec![2.0], vec![3.0], vec![4.0]]);
+        let atoms = vec![BoundAtom::new(&r, vec![A, B]), BoundAtom::new(&s, vec![B])];
+        let out = generic_join_enumerate(&atoms, &[A], "out");
+        // A values with some matching B: {1, 2}.
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn explicit_variable_order_is_respected() {
+        let r = rel("R", vec![vec![1.0, 2.0]]);
+        let s = rel("S", vec![vec![2.0, 3.0]]);
+        let atoms = vec![BoundAtom::new(&r, vec![A, B]), BoundAtom::new(&s, vec![B, C])];
+        for order in [vec![A, B, C], vec![C, B, A], vec![B, A, C]] {
+            assert!(generic_join_boolean(&atoms, Some(order)));
+        }
+    }
+
+    #[test]
+    fn semijoin_filters_left_tuples() {
+        let r = rel("R", vec![vec![1.0, 2.0], vec![5.0, 6.0]]);
+        let s = rel("S", vec![vec![2.0, 7.0]]);
+        let left = BoundAtom::new(&r, vec![A, B]);
+        let right = BoundAtom::new(&s, vec![B, C]);
+        let reduced = semijoin(&left, &right);
+        assert_eq!(reduced.len(), 1);
+        assert_eq!(reduced.tuples()[0][0], Value::point(1.0));
+    }
+
+    #[test]
+    fn semijoin_with_disjoint_variables_checks_emptiness_only() {
+        let r = rel("R", vec![vec![1.0]]);
+        let s = rel("S", vec![vec![9.0]]);
+        let empty = Relation::new("E", 1);
+        let left = BoundAtom::new(&r, vec![A]);
+        assert_eq!(semijoin(&left, &BoundAtom::new(&s, vec![B])).len(), 1);
+        assert_eq!(semijoin(&left, &BoundAtom::new(&empty, vec![B])).len(), 0);
+    }
+
+    #[test]
+    fn self_join_pattern_with_repeated_variable() {
+        // R(A, A) as a filter for equal columns.
+        let r = rel("R", vec![vec![1.0, 1.0], vec![2.0, 3.0]]);
+        let atoms = vec![BoundAtom::new(&r, vec![A, A])];
+        let out = generic_join_enumerate(&atoms, &[A], "out");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.tuples()[0][0], Value::point(1.0));
+    }
+
+    #[test]
+    fn four_clique_boolean() {
+        // A 4-clique on values {1,2,3,4} plus noise.
+        let pairs: Vec<Vec<f64>> = (1..=4)
+            .flat_map(|i| (1..=4).map(move |j| vec![i as f64, j as f64]))
+            .filter(|p| p[0] < p[1])
+            .collect();
+        let e = rel("E", pairs);
+        let d: VarId = 3;
+        let atoms = vec![
+            BoundAtom::new(&e, vec![A, B]),
+            BoundAtom::new(&e, vec![A, C]),
+            BoundAtom::new(&e, vec![A, d]),
+            BoundAtom::new(&e, vec![B, C]),
+            BoundAtom::new(&e, vec![B, d]),
+            BoundAtom::new(&e, vec![C, d]),
+        ];
+        assert!(generic_join_boolean(&atoms, None));
+        let out = generic_join_enumerate(&atoms, &[A, B, C, d], "out");
+        // Ordered 4-cliques with a < b < c < d: exactly one.
+        assert_eq!(out.len(), 1);
+    }
+}

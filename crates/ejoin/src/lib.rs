@@ -1,0 +1,32 @@
+//! The equality-join engine.
+//!
+//! The forward reduction turns an intersection-join query into a disjunction
+//! of Boolean conjunctive queries with equality joins; this crate evaluates
+//! those queries:
+//!
+//! * [`generic_join_boolean`] / [`generic_join_enumerate`] — the generic
+//!   worst-case-optimal join (attribute-at-a-time with hash tries), following
+//!   Ngo–Porat–Ré–Rudra [27] and Leapfrog Triejoin [34];
+//! * [`yannakakis_boolean`] — Yannakakis' linear-time algorithm for
+//!   α-acyclic Boolean queries [35];
+//! * [`decomposition_boolean`] — the width-guided evaluation of
+//!   Appendix A.2.1: materialise the bags of an optimal fractional hypertree
+//!   decomposition with the generic join, then run Yannakakis over the bag
+//!   tree (runtime `O(N^{fhtw} · polylog N)`);
+//! * [`evaluate_ej_boolean`] — strategy dispatch ([`EjStrategy`]).
+//!
+//! Relations are bound to query variables through [`BoundAtom`]; the engine
+//! is agnostic to whether the values are numbers or the bitstrings produced
+//! by the reduction.
+
+mod atom;
+mod evaluate;
+mod generic;
+mod trie;
+mod yannakakis;
+
+pub use atom::{all_vars, hypergraph_of, BoundAtom};
+pub use evaluate::{decomposition_boolean, evaluate_ej_boolean, materialise_bag, EjStrategy};
+pub use generic::{generic_join_boolean, generic_join_enumerate, semijoin};
+pub use trie::{AtomTrie, TrieNode};
+pub use yannakakis::yannakakis_boolean;

@@ -1,0 +1,150 @@
+//! Hash tries over relations, keyed by a global variable order.
+//!
+//! The generic worst-case-optimal join processes one variable at a time; each
+//! atom is indexed as a trie whose levels are the atom's variables sorted by
+//! the global variable order.  Repeated variables within an atom are checked
+//! at insertion time (tuples whose repeated columns disagree are filtered
+//! out) so the trie has one level per *distinct* variable.
+
+use crate::BoundAtom;
+use ij_hypergraph::VarId;
+use ij_relation::Value;
+use std::collections::HashMap;
+
+/// One node of a hash trie.
+#[derive(Debug, Default)]
+pub struct TrieNode {
+    children: HashMap<Value, TrieNode>,
+}
+
+impl TrieNode {
+    /// The child for a value, if present.
+    pub fn child(&self, v: &Value) -> Option<&TrieNode> {
+        self.children.get(v)
+    }
+
+    /// Number of children.
+    pub fn fanout(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Iterates over the children.
+    pub fn children(&self) -> impl Iterator<Item = (&Value, &TrieNode)> {
+        self.children.iter()
+    }
+
+    fn insert_path(&mut self, values: &[Value]) {
+        if let Some((first, rest)) = values.split_first() {
+            self.children.entry(*first).or_default().insert_path(rest);
+        }
+    }
+}
+
+/// A trie over one atom, with levels ordered by the global variable order.
+#[derive(Debug)]
+pub struct AtomTrie {
+    /// The atom's distinct variables in global order — the trie levels.
+    pub level_vars: Vec<VarId>,
+    root: TrieNode,
+}
+
+impl AtomTrie {
+    /// Builds the trie of `atom` with levels sorted according to
+    /// `global_order` (a total order over all query variables, e.g. the
+    /// elimination order of the chosen decomposition).
+    pub fn build(atom: &BoundAtom<'_>, global_order: &[VarId]) -> Self {
+        let position = |v: VarId| {
+            global_order.iter().position(|&u| u == v).expect("variable missing from global order")
+        };
+        // Distinct variables of the atom in global order.
+        let mut level_vars: Vec<VarId> = atom.var_set().into_iter().collect();
+        level_vars.sort_by_key(|&v| position(v));
+
+        // For each level variable, the first column of the atom bound to it;
+        // plus the list of (col_a, col_b) pairs that must agree (repeated
+        // variables inside the atom).
+        let first_col: Vec<usize> = level_vars
+            .iter()
+            .map(|&v| atom.vars.iter().position(|&u| u == v).expect("column exists"))
+            .collect();
+        let mut equal_pairs: Vec<(usize, usize)> = Vec::new();
+        for (i, &v) in atom.vars.iter().enumerate() {
+            let first = atom.vars.iter().position(|&u| u == v).unwrap();
+            if first != i {
+                equal_pairs.push((first, i));
+            }
+        }
+
+        let mut root = TrieNode::default();
+        'tuples: for t in atom.relation.tuples() {
+            for &(a, b) in &equal_pairs {
+                if t[a] != t[b] {
+                    continue 'tuples;
+                }
+            }
+            let path: Vec<Value> = first_col.iter().map(|&c| t[c]).collect();
+            root.insert_path(&path);
+        }
+        AtomTrie { level_vars, root }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &TrieNode {
+        &self.root
+    }
+
+    /// Number of levels (distinct variables).
+    pub fn depth(&self) -> usize {
+        self.level_vars.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ij_relation::{Relation, Value};
+
+    fn rel(name: &str, rows: Vec<Vec<f64>>) -> Relation {
+        let arity = rows.first().map(|r| r.len()).unwrap_or(0);
+        Relation::from_tuples(
+            name,
+            arity,
+            rows.into_iter().map(|r| r.into_iter().map(Value::point).collect()).collect(),
+        )
+    }
+
+    #[test]
+    fn trie_levels_follow_global_order() {
+        let r = rel("R", vec![vec![1.0, 2.0], vec![1.0, 3.0], vec![4.0, 2.0]]);
+        let atom = BoundAtom::new(&r, vec![5, 2]);
+        // Global order puts variable 2 before variable 5.
+        let trie = AtomTrie::build(&atom, &[2, 5]);
+        assert_eq!(trie.level_vars, vec![2, 5]);
+        // Root fanout: distinct values of column bound to var 2 (the second
+        // column): {2.0, 3.0}.
+        assert_eq!(trie.root().fanout(), 2);
+        let node = trie.root().child(&Value::point(2.0)).unwrap();
+        // Under 2.0 the values of var 5 are {1.0, 4.0}.
+        assert_eq!(node.fanout(), 2);
+        assert!(node.child(&Value::point(1.0)).is_some());
+    }
+
+    #[test]
+    fn repeated_variables_filter_tuples() {
+        let r = rel("R", vec![vec![1.0, 1.0], vec![1.0, 2.0], vec![3.0, 3.0]]);
+        let atom = BoundAtom::new(&r, vec![0, 0]);
+        let trie = AtomTrie::build(&atom, &[0]);
+        assert_eq!(trie.depth(), 1);
+        // Only the tuples with equal columns survive: values {1.0, 3.0}.
+        assert_eq!(trie.root().fanout(), 2);
+        assert!(trie.root().child(&Value::point(2.0)).is_none());
+    }
+
+    #[test]
+    fn duplicate_tuples_collapse() {
+        let r = rel("R", vec![vec![1.0], vec![1.0], vec![1.0]]);
+        let atom = BoundAtom::new(&r, vec![9]);
+        let trie = AtomTrie::build(&atom, &[9]);
+        assert_eq!(trie.root().fanout(), 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Yannakakis' algorithm for α-acyclic Boolean conjunctive queries [35].
+//!
+//! For a Boolean query it suffices to run the bottom-up semijoin pass of the
+//! full reducer over a join tree: each relation is semijoin-reduced by its
+//! children (in a leaves-first order); the query is true if and only if the
+//! root relation is non-empty at the end.  The pass costs time linear in the
+//! total size of the relations (with hashing), which is what makes ι-acyclic
+//! IJ queries near-linear after the forward reduction (Theorem 6.6).
+
+use crate::atom::{hypergraph_of, BoundAtom};
+use crate::generic::semijoin;
+use ij_hypergraph::join_tree;
+use ij_relation::Relation;
+
+/// Evaluates an α-acyclic Boolean query with Yannakakis' algorithm.
+///
+/// Returns `None` if the atom set is not α-acyclic (no join tree exists);
+/// callers fall back to another strategy in that case.
+pub fn yannakakis_boolean(atoms: &[BoundAtom<'_>]) -> Option<bool> {
+    if atoms.is_empty() {
+        return Some(true);
+    }
+    if atoms.iter().any(|a| a.relation.is_empty()) {
+        return Some(false);
+    }
+    let (h, _) = hypergraph_of(atoms);
+    let tree = join_tree(&h)?;
+
+    // Working copies of the relations (they shrink during the pass).
+    let mut current: Vec<Relation> = atoms.iter().map(|a| a.relation.clone()).collect();
+
+    // Bottom-up pass: `tree.order` lists children before parents.
+    for &child in &tree.order {
+        let Some(parent) = tree.parent[child] else { continue };
+        let child_atom = BoundAtom::new(&current[child], atoms[child].vars.clone());
+        let parent_atom = BoundAtom::new(&current[parent], atoms[parent].vars.clone());
+        let reduced = semijoin(&parent_atom, &child_atom);
+        if reduced.is_empty() {
+            return Some(false);
+        }
+        current[parent] = reduced;
+    }
+    Some(!current[tree.root].is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ij_relation::{Relation, Value};
+
+    fn rel(name: &str, rows: Vec<Vec<f64>>) -> Relation {
+        let arity = rows.first().map(|r| r.len()).unwrap_or(0);
+        Relation::from_tuples(
+            name,
+            arity,
+            rows.into_iter().map(|r| r.into_iter().map(Value::point).collect()).collect(),
+        )
+    }
+
+    #[test]
+    fn path_query_true_and_false() {
+        // R(A,B) ∧ S(B,C) ∧ T(C,D)
+        let r = rel("R", vec![vec![1.0, 2.0], vec![9.0, 9.0]]);
+        let s = rel("S", vec![vec![2.0, 3.0]]);
+        let t_yes = rel("T", vec![vec![3.0, 4.0]]);
+        let t_no = rel("T", vec![vec![7.0, 4.0]]);
+        let atoms_yes = vec![
+            BoundAtom::new(&r, vec![0, 1]),
+            BoundAtom::new(&s, vec![1, 2]),
+            BoundAtom::new(&t_yes, vec![2, 3]),
+        ];
+        assert_eq!(yannakakis_boolean(&atoms_yes), Some(true));
+        let atoms_no = vec![
+            BoundAtom::new(&r, vec![0, 1]),
+            BoundAtom::new(&s, vec![1, 2]),
+            BoundAtom::new(&t_no, vec![2, 3]),
+        ];
+        assert_eq!(yannakakis_boolean(&atoms_no), Some(false));
+    }
+
+    #[test]
+    fn cyclic_queries_are_rejected() {
+        let r = rel("R", vec![vec![1.0, 2.0]]);
+        let s = rel("S", vec![vec![2.0, 3.0]]);
+        let t = rel("T", vec![vec![1.0, 3.0]]);
+        let atoms = vec![
+            BoundAtom::new(&r, vec![0, 1]),
+            BoundAtom::new(&s, vec![1, 2]),
+            BoundAtom::new(&t, vec![0, 2]),
+        ];
+        assert_eq!(yannakakis_boolean(&atoms), None);
+    }
+
+    #[test]
+    fn star_query_with_selective_leaves() {
+        // Center R(A,B,C) with leaves S(A), T(B), U(C).
+        let r = rel("R", vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0], vec![1.0, 5.0, 3.0]]);
+        let s = rel("S", vec![vec![1.0]]);
+        let t = rel("T", vec![vec![5.0]]);
+        let u = rel("U", vec![vec![3.0]]);
+        let atoms = vec![
+            BoundAtom::new(&r, vec![0, 1, 2]),
+            BoundAtom::new(&s, vec![0]),
+            BoundAtom::new(&t, vec![1]),
+            BoundAtom::new(&u, vec![2]),
+        ];
+        // Only (1,5,3) survives all three semijoins.
+        assert_eq!(yannakakis_boolean(&atoms), Some(true));
+
+        let t_miss = rel("T", vec![vec![9.0]]);
+        let atoms_miss = vec![
+            BoundAtom::new(&r, vec![0, 1, 2]),
+            BoundAtom::new(&s, vec![0]),
+            BoundAtom::new(&t_miss, vec![1]),
+            BoundAtom::new(&u, vec![2]),
+        ];
+        assert_eq!(yannakakis_boolean(&atoms_miss), Some(false));
+    }
+
+    #[test]
+    fn empty_relation_is_false_even_for_acyclic_queries() {
+        let r = rel("R", vec![vec![1.0, 2.0]]);
+        let empty = Relation::new("S", 2);
+        let atoms = vec![BoundAtom::new(&r, vec![0, 1]), BoundAtom::new(&empty, vec![1, 2])];
+        assert_eq!(yannakakis_boolean(&atoms), Some(false));
+    }
+
+    #[test]
+    fn no_atoms_is_true() {
+        assert_eq!(yannakakis_boolean(&[]), Some(true));
+    }
+
+    #[test]
+    fn agrees_with_generic_join_on_random_acyclic_instances() {
+        use crate::generic::generic_join_boolean;
+        // Small pseudo-random path instances.
+        let mut seed = 42u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) % 7) as f64
+        };
+        for _ in 0..50 {
+            let rows = |n: usize, next: &mut dyn FnMut() -> f64| {
+                (0..n).map(|_| vec![next(), next()]).collect::<Vec<_>>()
+            };
+            let r = rel("R", rows(6, &mut next));
+            let s = rel("S", rows(6, &mut next));
+            let t = rel("T", rows(6, &mut next));
+            let atoms = vec![
+                BoundAtom::new(&r, vec![0, 1]),
+                BoundAtom::new(&s, vec![1, 2]),
+                BoundAtom::new(&t, vec![2, 3]),
+            ];
+            assert_eq!(yannakakis_boolean(&atoms), Some(generic_join_boolean(&atoms, None)));
+        }
+    }
+}

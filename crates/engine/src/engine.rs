@@ -1,0 +1,393 @@
+//! The end-to-end intersection-join engine.
+//!
+//! [`IntersectionJoinEngine`] ties the pieces of the reproduction together:
+//!
+//! 1. [`IntersectionJoinEngine::analyze`] inspects a query: acyclicity class
+//!    (Section 6), ij-width report (Definition 4.14) and the number of EJ
+//!    queries the reduction will produce;
+//! 2. [`IntersectionJoinEngine::evaluate`] answers the Boolean query through
+//!    the forward reduction (Section 4) and the equality-join engine: each EJ
+//!    query of the disjunction is evaluated (Yannakakis when α-acyclic,
+//!    width-guided otherwise) with early exit on the first true disjunct —
+//!    the `O(N^{ijw} polylog N)` algorithm of Theorem 4.15, which becomes
+//!    `O(N polylog N)` for ι-acyclic queries (Theorem 6.6).
+
+use crate::naive::{naive_boolean, NaiveError};
+use ij_ejoin::{evaluate_ej_boolean, BoundAtom, EjStrategy};
+use ij_hypergraph::{AcyclicityClass, AcyclicityReport, VarId};
+use ij_reduction::{
+    forward_reduction_with, EncodingStrategy, ForwardReduction, ReductionConfig, ReductionError,
+    ReductionStats,
+};
+use ij_relation::{Database, Query};
+use ij_widths::{ij_width, IjWidthReport};
+use std::collections::BTreeMap;
+
+/// Configuration of the engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineConfig {
+    /// Strategy used for every EJ query of the disjunction.
+    pub ej_strategy: EjStrategy,
+    /// Deduplicate structurally identical EJ queries before evaluating
+    /// (different permutations frequently produce the same query).
+    pub dedupe_queries: bool,
+    /// Encoding of the transformed relations (Section 1.1): flat (the
+    /// paper's default) or the lossless per-variable decomposition, which is
+    /// dramatically smaller for atoms with several interval variables.
+    pub encoding: EncodingStrategy,
+}
+
+impl EngineConfig {
+    /// The default configuration with deduplication enabled and the flat
+    /// encoding.
+    pub fn new() -> Self {
+        EngineConfig {
+            ej_strategy: EjStrategy::Auto,
+            dedupe_queries: true,
+            encoding: EncodingStrategy::Flat,
+        }
+    }
+
+    /// The default configuration but with the decomposed (Id-based) encoding,
+    /// recommended for queries whose atoms contain several high-degree
+    /// interval variables (e.g. the Loomis–Whitney and clique queries).
+    pub fn decomposed() -> Self {
+        EngineConfig { encoding: EncodingStrategy::Decomposed, ..EngineConfig::new() }
+    }
+}
+
+/// Errors raised by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The forward reduction failed.
+    Reduction(ReductionError),
+    /// The naive reference evaluator failed.
+    Naive(NaiveError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Reduction(e) => write!(f, "{e}"),
+            EngineError::Naive(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ReductionError> for EngineError {
+    fn from(e: ReductionError) -> Self {
+        EngineError::Reduction(e)
+    }
+}
+
+impl From<NaiveError> for EngineError {
+    fn from(e: NaiveError) -> Self {
+        EngineError::Naive(e)
+    }
+}
+
+/// Static analysis of a query.
+#[derive(Debug, Clone)]
+pub struct QueryAnalysis {
+    /// Acyclicity classification of the query hypergraph (Section 6).
+    pub acyclicity: AcyclicityReport,
+    /// The ij-width report (Definition 4.14).
+    pub ij_width: IjWidthReport,
+    /// Whether Theorem 6.6 guarantees near-linear evaluation.
+    pub linear_time: bool,
+}
+
+impl QueryAnalysis {
+    /// A one-line summary such as
+    /// `"iota-acyclic, ijw = 1 → O(N·polylog N)"`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}, ijw = {:.4} → O(N^{:.4}·polylog N)",
+            self.acyclicity.class, self.ij_width.value, self.ij_width.value
+        )
+    }
+}
+
+/// Runtime statistics of one evaluation.
+#[derive(Debug, Clone)]
+pub struct EvaluationStats {
+    /// Statistics of the forward reduction.
+    pub reduction: ReductionStats,
+    /// Number of EJ queries actually evaluated (early exit stops at the
+    /// first true disjunct).
+    pub ej_queries_evaluated: usize,
+    /// Number of EJ queries in the disjunction after deduplication.
+    pub ej_queries_total: usize,
+    /// The answer.
+    pub answer: bool,
+}
+
+/// The intersection-join query engine.
+#[derive(Debug, Clone, Default)]
+pub struct IntersectionJoinEngine {
+    config: EngineConfig,
+}
+
+impl IntersectionJoinEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        IntersectionJoinEngine { config }
+    }
+
+    /// Creates an engine with the default configuration.
+    pub fn with_defaults() -> Self {
+        IntersectionJoinEngine::new(EngineConfig::new())
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Static analysis: acyclicity, ij-width and the runtime regime.
+    ///
+    /// The analysis is data-independent (it only looks at the query
+    /// hypergraph) and exponential in the query size only, exactly like the
+    /// reduction itself.
+    pub fn analyze(&self, query: &Query) -> QueryAnalysis {
+        let (h, _) = query.hypergraph();
+        let acyclicity = AcyclicityReport::of(&h);
+        let ij_width = ij_width(&h);
+        let linear_time = matches!(
+            acyclicity.class,
+            AcyclicityClass::BergeAcyclic | AcyclicityClass::IotaAcyclic
+        );
+        QueryAnalysis { acyclicity, ij_width, linear_time }
+    }
+
+    /// Evaluates a Boolean EIJ query over an interval database through the
+    /// forward reduction.
+    pub fn evaluate(&self, query: &Query, db: &Database) -> Result<bool, EngineError> {
+        Ok(self.evaluate_with_stats(query, db)?.answer)
+    }
+
+    /// Evaluates the query and returns runtime statistics.
+    pub fn evaluate_with_stats(
+        &self,
+        query: &Query,
+        db: &Database,
+    ) -> Result<EvaluationStats, EngineError> {
+        let reduction = forward_reduction_with(
+            query,
+            db,
+            ReductionConfig { encoding: self.config.encoding },
+        )?;
+        Ok(self.evaluate_reduction(&reduction))
+    }
+
+    /// Evaluates an already-computed forward reduction (useful when the same
+    /// reduced database is probed several times, e.g. in benchmarks).
+    pub fn evaluate_reduction(&self, reduction: &ForwardReduction) -> EvaluationStats {
+        // Deduplicate EJ queries that are literally identical (same relations
+        // bound to the same variables).
+        let mut seen: Vec<Vec<(String, Vec<String>)>> = Vec::new();
+        let mut to_run: Vec<usize> = Vec::new();
+        for (i, rq) in reduction.queries.iter().enumerate() {
+            let key: Vec<(String, Vec<String>)> =
+                rq.atoms.iter().map(|a| (a.relation.clone(), a.vars.clone())).collect();
+            if !self.config.dedupe_queries || !seen.contains(&key) {
+                seen.push(key);
+                to_run.push(i);
+            }
+        }
+
+        let mut evaluated = 0usize;
+        let mut answer = false;
+        for &i in &to_run {
+            let rq = &reduction.queries[i];
+            // Assign dense variable identifiers per reduced query.
+            let mut var_ids: BTreeMap<&str, VarId> = BTreeMap::new();
+            for atom in &rq.atoms {
+                for v in &atom.vars {
+                    let next = var_ids.len();
+                    var_ids.entry(v.as_str()).or_insert(next);
+                }
+            }
+            let atoms: Vec<BoundAtom<'_>> = rq
+                .atoms
+                .iter()
+                .map(|a| {
+                    let rel = reduction
+                        .database
+                        .relation(&a.relation)
+                        .expect("transformed relation exists");
+                    BoundAtom::new(rel, a.vars.iter().map(|v| var_ids[v.as_str()]).collect())
+                })
+                .collect();
+            evaluated += 1;
+            if evaluate_ej_boolean(&atoms, self.config.ej_strategy) {
+                answer = true;
+                break;
+            }
+        }
+        EvaluationStats {
+            reduction: reduction.stats.clone(),
+            ej_queries_evaluated: evaluated,
+            ej_queries_total: to_run.len(),
+            answer,
+        }
+    }
+
+    /// Evaluates the query with the naive reference evaluator (exhaustive
+    /// backtracking).  Exposed for differential testing and baselines.
+    pub fn evaluate_naive(&self, query: &Query, db: &Database) -> Result<bool, EngineError> {
+        Ok(naive_boolean(query, db)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ij_relation::Value;
+
+    fn iv(lo: f64, hi: f64) -> Value {
+        Value::interval(lo, hi)
+    }
+
+    fn triangle_db(satisfiable: bool) -> (Query, Database) {
+        let q = Query::parse("R([A],[B]) & S([B],[C]) & T([A],[C])").unwrap();
+        let mut db = Database::new();
+        db.insert_tuples(
+            "R",
+            2,
+            vec![
+                vec![iv(0.0, 4.0), iv(10.0, 14.0)],
+                vec![iv(100.0, 101.0), iv(200.0, 201.0)],
+            ],
+        );
+        db.insert_tuples("S", 2, vec![vec![iv(12.0, 13.0), iv(20.0, 25.0)]]);
+        let c = if satisfiable { iv(24.0, 26.0) } else { iv(30.0, 31.0) };
+        db.insert_tuples("T", 2, vec![vec![iv(3.0, 5.0), c]]);
+        (q, db)
+    }
+
+    #[test]
+    fn engine_agrees_with_naive_on_the_triangle() {
+        let engine = IntersectionJoinEngine::with_defaults();
+        for satisfiable in [true, false] {
+            let (q, db) = triangle_db(satisfiable);
+            let via_reduction = engine.evaluate(&q, &db).unwrap();
+            let via_naive = engine.evaluate_naive(&q, &db).unwrap();
+            assert_eq!(via_reduction, via_naive);
+            assert_eq!(via_reduction, satisfiable);
+        }
+    }
+
+    #[test]
+    fn analysis_of_the_triangle() {
+        let engine = IntersectionJoinEngine::with_defaults();
+        let q = Query::parse("R([A],[B]) & S([B],[C]) & T([A],[C])").unwrap();
+        let analysis = engine.analyze(&q);
+        assert_eq!(analysis.acyclicity.class, AcyclicityClass::Cyclic);
+        assert!((analysis.ij_width.value - 1.5).abs() < 1e-9);
+        assert!(!analysis.linear_time);
+        assert!(analysis.summary().contains("1.5"));
+    }
+
+    #[test]
+    fn analysis_of_an_iota_acyclic_query() {
+        let engine = IntersectionJoinEngine::with_defaults();
+        // Figure 9d.
+        let q = Query::parse("R([A],[B],[C]) & S([A],[B],[C]) & T([A])").unwrap();
+        let analysis = engine.analyze(&q);
+        assert!(analysis.linear_time);
+        assert!(analysis.ij_width.is_linear_time());
+    }
+
+    #[test]
+    fn evaluation_stats_expose_early_exit() {
+        let engine = IntersectionJoinEngine::with_defaults();
+        let (q, db) = triangle_db(true);
+        let stats = engine.evaluate_with_stats(&q, &db).unwrap();
+        assert!(stats.answer);
+        assert!(stats.ej_queries_evaluated <= stats.ej_queries_total);
+        assert_eq!(stats.reduction.num_queries, 8);
+
+        let (q, db) = triangle_db(false);
+        let stats = engine.evaluate_with_stats(&q, &db).unwrap();
+        assert!(!stats.answer);
+        // A false answer requires evaluating every (deduplicated) disjunct.
+        assert_eq!(stats.ej_queries_evaluated, stats.ej_queries_total);
+    }
+
+    #[test]
+    fn all_ej_strategies_agree() {
+        for strategy in [EjStrategy::Auto, EjStrategy::GenericJoin, EjStrategy::Decomposition] {
+            let engine = IntersectionJoinEngine::new(EngineConfig {
+                ej_strategy: strategy,
+                ..EngineConfig::new()
+            });
+            for satisfiable in [true, false] {
+                let (q, db) = triangle_db(satisfiable);
+                assert_eq!(engine.evaluate(&q, &db).unwrap(), satisfiable, "{strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_and_decomposed_encodings_agree() {
+        let flat = IntersectionJoinEngine::with_defaults();
+        let decomposed = IntersectionJoinEngine::new(EngineConfig::decomposed());
+        for satisfiable in [true, false] {
+            let (q, db) = triangle_db(satisfiable);
+            assert_eq!(flat.evaluate(&q, &db).unwrap(), satisfiable);
+            assert_eq!(decomposed.evaluate(&q, &db).unwrap(), satisfiable);
+        }
+    }
+
+    #[test]
+    fn point_interval_database_degenerates_to_equality_joins() {
+        // With point intervals the IJ triangle behaves exactly like the EJ
+        // triangle (Section 1).
+        let engine = IntersectionJoinEngine::with_defaults();
+        let q = Query::parse("R([A],[B]) & S([B],[C]) & T([A],[C])").unwrap();
+        let mut db = Database::new();
+        let p = |x: f64| Value::Interval(ij_segtree::Interval::point(x));
+        db.insert_tuples("R", 2, vec![vec![p(1.0), p(2.0)], vec![p(4.0), p(5.0)]]);
+        db.insert_tuples("S", 2, vec![vec![p(2.0), p(3.0)]]);
+        db.insert_tuples("T", 2, vec![vec![p(1.0), p(3.0)]]);
+        assert!(engine.evaluate(&q, &db).unwrap());
+        // Remove the closing edge.
+        let mut db2 = db.clone();
+        db2.insert_tuples("T", 2, vec![vec![p(1.0), p(9.0)]]);
+        assert!(!engine.evaluate(&q, &db2).unwrap());
+    }
+
+    #[test]
+    fn missing_relation_surfaces_as_engine_error() {
+        let engine = IntersectionJoinEngine::with_defaults();
+        let q = Query::parse("R([A]) & S([A])").unwrap();
+        let db = Database::new();
+        assert!(matches!(engine.evaluate(&q, &db), Err(EngineError::Reduction(_))));
+        assert!(matches!(engine.evaluate_naive(&q, &db), Err(EngineError::Naive(_))));
+    }
+
+    #[test]
+    fn mixed_eij_queries_are_supported() {
+        // Equality join on X, intersection join on [A].
+        let engine = IntersectionJoinEngine::with_defaults();
+        let q = Query::parse("R(X,[A]) & S(X,[A])").unwrap();
+        let mut db = Database::new();
+        db.insert_tuples(
+            "R",
+            2,
+            vec![vec![Value::point(1.0), iv(0.0, 2.0)], vec![Value::point(2.0), iv(5.0, 6.0)]],
+        );
+        db.insert_tuples("S", 2, vec![vec![Value::point(1.0), iv(1.0, 3.0)]]);
+        assert!(engine.evaluate(&q, &db).unwrap());
+        assert_eq!(engine.evaluate_naive(&q, &db).unwrap(), true);
+
+        // Same intervals but mismatching point values.
+        let mut db2 = Database::new();
+        db2.insert_tuples("R", 2, vec![vec![Value::point(7.0), iv(0.0, 2.0)]]);
+        db2.insert_tuples("S", 2, vec![vec![Value::point(1.0), iv(1.0, 3.0)]]);
+        assert!(!engine.evaluate(&q, &db2).unwrap());
+    }
+}

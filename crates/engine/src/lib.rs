@@ -1,0 +1,59 @@
+//! End-to-end engine for Boolean conjunctive queries with intersection joins.
+//!
+//! This crate exposes the public API of the reproduction of *"The Complexity
+//! of Boolean Conjunctive Queries with Intersection Joins"* (PODS 2022):
+//!
+//! * [`IntersectionJoinEngine::analyze`] — static analysis: acyclicity class
+//!   (ι-acyclicity, Section 6) and the ij-width report (Definition 4.14),
+//!   i.e. the guaranteed runtime exponent;
+//! * [`IntersectionJoinEngine::evaluate`] — Boolean evaluation through the
+//!   forward reduction to equality joins (Section 4) and the width-guided
+//!   equality-join engine;
+//! * [`naive_boolean`] / [`naive_count`] — an exhaustive reference evaluator
+//!   used as a differential-testing oracle and baseline.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ij_engine::prelude::*;
+//!
+//! // The triangle query of Section 1.1.
+//! let q = Query::parse("R([A],[B]) & S([B],[C]) & T([A],[C])").unwrap();
+//!
+//! let mut db = Database::new();
+//! let iv = |lo, hi| Value::interval(lo, hi);
+//! db.insert_tuples("R", 2, vec![vec![iv(0.0, 4.0), iv(10.0, 14.0)]]);
+//! db.insert_tuples("S", 2, vec![vec![iv(12.0, 13.0), iv(20.0, 25.0)]]);
+//! db.insert_tuples("T", 2, vec![vec![iv(3.0, 5.0), iv(24.0, 26.0)]]);
+//!
+//! let engine = IntersectionJoinEngine::with_defaults();
+//! let analysis = engine.analyze(&q);
+//! assert!((analysis.ij_width.value - 1.5).abs() < 1e-9);
+//! assert!(engine.evaluate(&q, &db).unwrap());
+//! ```
+
+mod engine;
+mod naive;
+
+pub use engine::{
+    EngineConfig, EngineError, EvaluationStats, IntersectionJoinEngine, QueryAnalysis,
+};
+pub use naive::{naive_boolean, naive_count, NaiveError};
+
+/// Convenient re-exports of the most frequently used types from the whole
+/// workspace.
+pub mod prelude {
+    pub use crate::{
+        naive_boolean, naive_count, EngineConfig, EngineError, EvaluationStats,
+        IntersectionJoinEngine, QueryAnalysis,
+    };
+    pub use ij_ejoin::EjStrategy;
+    pub use ij_hypergraph::{AcyclicityClass, AcyclicityReport, Hypergraph};
+    pub use ij_reduction::{
+        backward_reduction, forward_reduction, forward_reduction_with, EncodingStrategy,
+        ReductionConfig,
+    };
+    pub use ij_relation::{Atom, Database, Query, Relation, Value};
+    pub use ij_segtree::{BitString, Interval, SegmentTree};
+    pub use ij_widths::{fractional_hypertree_width, ij_width, IjWidthReport};
+}

@@ -1,0 +1,229 @@
+//! A naive reference evaluator for EIJ queries.
+//!
+//! The evaluator enumerates one tuple per atom (backtracking, with partial
+//! consistency checks after each assignment) and reports whether a combination
+//! satisfying Definition 3.3 exists:
+//!
+//! * for every point variable, all bound values must be equal;
+//! * for every interval variable, the intersection of all bound intervals
+//!   must be non-empty (point values act as point intervals, which also gives
+//!   the membership-join semantics of Section 7).
+//!
+//! Its worst case is `O(N^m)` for `m` atoms; it exists purely as a test
+//! oracle and as the exhaustive baseline in the benchmark harness.
+
+use ij_hypergraph::VarKind;
+use ij_relation::{Database, Query, Value};
+use ij_segtree::Interval;
+use std::collections::HashMap;
+
+/// Errors raised by the naive evaluator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NaiveError {
+    /// A relation referenced by the query is missing from the database.
+    MissingRelation(String),
+    /// A relation's arity does not match the query atom.
+    ArityMismatch { relation: String, expected: usize, found: usize },
+}
+
+impl std::fmt::Display for NaiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NaiveError::MissingRelation(r) => write!(f, "relation `{r}` missing from database"),
+            NaiveError::ArityMismatch { relation, expected, found } => {
+                write!(f, "relation `{relation}` has arity {found}, query expects {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NaiveError {}
+
+/// Evaluates the Boolean EIJ query by exhaustive backtracking search.
+pub fn naive_boolean(q: &Query, db: &Database) -> Result<bool, NaiveError> {
+    Ok(naive_count_impl(q, db, true)? > 0)
+}
+
+/// Counts the satisfying tuple combinations (witnesses) of the query.
+/// Used to cross-check Boolean answers in tests and examples.
+pub fn naive_count(q: &Query, db: &Database) -> Result<u64, NaiveError> {
+    naive_count_impl(q, db, false)
+}
+
+fn naive_count_impl(q: &Query, db: &Database, early_exit: bool) -> Result<u64, NaiveError> {
+    // Validate and collect the relations in atom order.
+    let mut relations = Vec::with_capacity(q.atoms().len());
+    for atom in q.atoms() {
+        let rel = db
+            .relation(&atom.relation)
+            .ok_or_else(|| NaiveError::MissingRelation(atom.relation.clone()))?;
+        if rel.arity() != atom.vars.len() {
+            return Err(NaiveError::ArityMismatch {
+                relation: atom.relation.clone(),
+                expected: atom.vars.len(),
+                found: rel.arity(),
+            });
+        }
+        relations.push(rel);
+    }
+    if q.atoms().is_empty() {
+        return Ok(1);
+    }
+
+    // Partial state per variable: for point variables the committed value,
+    // for interval variables the running intersection.
+    #[derive(Clone)]
+    enum Binding {
+        Point(Value),
+        Interval(Interval),
+    }
+    struct Search<'a> {
+        q: &'a Query,
+        relations: Vec<&'a ij_relation::Relation>,
+        early_exit: bool,
+        count: u64,
+    }
+    impl Search<'_> {
+        fn go(&mut self, atom_idx: usize, bindings: &HashMap<String, Binding>) -> bool {
+            if atom_idx == self.q.atoms().len() {
+                self.count += 1;
+                return self.early_exit;
+            }
+            let atom = &self.q.atoms()[atom_idx];
+            'tuples: for tuple in self.relations[atom_idx].tuples() {
+                let mut next = bindings.clone();
+                for (col, var) in atom.vars.iter().enumerate() {
+                    let value = tuple[col];
+                    match self.q.var_kind(var) {
+                        Some(VarKind::Interval) => {
+                            let Some(iv) = value.to_interval() else { continue 'tuples };
+                            let merged = match next.get(var) {
+                                Some(Binding::Interval(current)) => match current.intersection(iv) {
+                                    Some(m) => m,
+                                    None => continue 'tuples,
+                                },
+                                Some(Binding::Point(_)) => unreachable!("interval variable bound to point"),
+                                None => iv,
+                            };
+                            next.insert(var.clone(), Binding::Interval(merged));
+                        }
+                        _ => {
+                            match next.get(var) {
+                                Some(Binding::Point(existing)) => {
+                                    if *existing != value {
+                                        continue 'tuples;
+                                    }
+                                }
+                                Some(Binding::Interval(_)) => {
+                                    unreachable!("point variable bound to interval")
+                                }
+                                None => {
+                                    next.insert(var.clone(), Binding::Point(value));
+                                }
+                            }
+                        }
+                    }
+                }
+                if self.go(atom_idx + 1, &next) {
+                    return true;
+                }
+            }
+            false
+        }
+    }
+
+    let mut search = Search { q, relations, early_exit, count: 0 };
+    search.go(0, &HashMap::new());
+    Ok(search.count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> Value {
+        Value::interval(lo, hi)
+    }
+
+    #[test]
+    fn triangle_ij_positive_and_negative() {
+        let q = Query::parse("R([A],[B]) & S([B],[C]) & T([A],[C])").unwrap();
+        let mut db = Database::new();
+        db.insert_tuples("R", 2, vec![vec![iv(0.0, 4.0), iv(10.0, 14.0)]]);
+        db.insert_tuples("S", 2, vec![vec![iv(12.0, 13.0), iv(20.0, 25.0)]]);
+        db.insert_tuples("T", 2, vec![vec![iv(3.0, 5.0), iv(24.0, 26.0)]]);
+        assert_eq!(naive_boolean(&q, &db), Ok(true));
+        assert_eq!(naive_count(&q, &db), Ok(1));
+
+        // Break the [C] intersection.
+        let mut db2 = db.clone();
+        db2.insert_tuples("T", 2, vec![vec![iv(3.0, 5.0), iv(30.0, 31.0)]]);
+        assert_eq!(naive_boolean(&q, &db2), Ok(false));
+        assert_eq!(naive_count(&q, &db2), Ok(0));
+    }
+
+    #[test]
+    fn equality_joins_compare_values_exactly() {
+        let q = Query::parse("R(X,Y) & S(Y,Z)").unwrap();
+        let mut db = Database::new();
+        db.insert_tuples(
+            "R",
+            2,
+            vec![vec![Value::point(1.0), Value::point(2.0)], vec![Value::point(3.0), Value::point(4.0)]],
+        );
+        db.insert_tuples("S", 2, vec![vec![Value::point(2.0), Value::point(9.0)]]);
+        assert_eq!(naive_boolean(&q, &db), Ok(true));
+        assert_eq!(naive_count(&q, &db), Ok(1));
+    }
+
+    #[test]
+    fn membership_join_mixes_points_and_intervals() {
+        // [A] ranges over intervals in R and points in S.
+        let q = Query::parse("R([A]) & S([A])").unwrap();
+        let mut db = Database::new();
+        db.insert_tuples("R", 1, vec![vec![iv(0.0, 5.0)], vec![iv(10.0, 11.0)]]);
+        db.insert_tuples("S", 1, vec![vec![Value::point(3.0)], vec![Value::point(20.0)]]);
+        assert_eq!(naive_boolean(&q, &db), Ok(true));
+        assert_eq!(naive_count(&q, &db), Ok(1));
+    }
+
+    #[test]
+    fn point_intervals_behave_like_equality_joins() {
+        // With point intervals the intersection join degenerates to equality
+        // (Section 1).
+        let q_ij = Query::parse("R([A]) & S([A])").unwrap();
+        let q_ej = Query::parse("R(A) & S(A)").unwrap();
+        let mut db = Database::new();
+        db.insert_tuples("R", 1, vec![vec![Value::point(1.0)], vec![Value::point(2.0)]]);
+        db.insert_tuples("S", 1, vec![vec![Value::point(2.0)], vec![Value::point(5.0)]]);
+        assert_eq!(naive_boolean(&q_ij, &db), naive_boolean(&q_ej, &db));
+        assert_eq!(naive_count(&q_ij, &db), Ok(1));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let q = Query::parse("R([A]) & S([A])").unwrap();
+        let mut db = Database::new();
+        db.insert_tuples("R", 1, vec![vec![iv(0.0, 1.0)]]);
+        assert_eq!(naive_boolean(&q, &db), Err(NaiveError::MissingRelation("S".to_string())));
+        db.insert_tuples("S", 2, vec![vec![iv(0.0, 1.0), iv(0.0, 1.0)]]);
+        assert!(matches!(naive_boolean(&q, &db), Err(NaiveError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn self_joins_are_supported() {
+        let q = Query::parse("R([A],[B]) & R([B],[C])").unwrap();
+        let mut db = Database::new();
+        db.insert_tuples("R", 2, vec![vec![iv(0.0, 1.0), iv(5.0, 6.0)], vec![iv(5.5, 7.0), iv(9.0, 9.5)]]);
+        assert_eq!(naive_boolean(&q, &db), Ok(true));
+    }
+
+    #[test]
+    fn witness_counts_multiply_for_cartesian_products() {
+        let q = Query::parse("R([A]) & S([B])").unwrap();
+        let mut db = Database::new();
+        db.insert_tuples("R", 1, vec![vec![iv(0.0, 1.0)], vec![iv(2.0, 3.0)]]);
+        db.insert_tuples("S", 1, vec![vec![iv(0.0, 1.0)], vec![iv(2.0, 3.0)], vec![iv(4.0, 5.0)]]);
+        assert_eq!(naive_count(&q, &db), Ok(6));
+    }
+}

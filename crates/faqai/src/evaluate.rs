@@ -1,0 +1,489 @@
+//! A Boolean evaluator for the FAQ-AI reformulation.
+//!
+//! Each conjunct produced by [`crate::conjunct::faqai_disjunction`] is
+//! evaluated over its optimal relaxed tree decomposition
+//! ([`crate::relaxed::optimal_relaxed_decomposition`]):
+//!
+//! 1. every bag is materialised as the cross product of the tuples of its
+//!    member atoms (the atoms of a conjunct share no scalar variables, so the
+//!    bag join *is* a cross product — this is the `N^{fhtw_ℓ}` term that
+//!    dominates the FAQ-AI bound of Appendix F);
+//! 2. intra-bag inequalities filter the bag during materialisation;
+//! 3. the bag tree is processed bottom-up: a bag tuple survives when, for
+//!    every child bag, some surviving child tuple satisfies the inequalities
+//!    crossing that tree edge.  The existence probe sorts the child tuples by
+//!    one crossing inequality and scans the feasible range for the rest.
+//!
+//! The evaluator is a faithful comparator for the *shape* of Table 1: its
+//! dominant cost is the bag materialisation `Θ(N^{fhtw_ℓ})` (2 for the
+//! triangle and LW4, 3 for the 4-clique), whereas the reduction-based engine
+//! of `ij-engine` runs in `O(N^{ijw} polylog N)` (1.5, 5/3 and 2
+//! respectively).  It is also a correct evaluator in its own right and is
+//! differentially tested against the naive intersection-join evaluator.
+
+use crate::conjunct::{faqai_disjunction, Endpoint, FaqAiConjunct, FaqAiError, Inequality};
+use crate::relaxed::{optimal_relaxed_decomposition, RelaxedDecomposition};
+use ij_relation::{Database, Query};
+use std::collections::BTreeMap;
+
+/// Per-atom scalar view of a relation: for every tuple and every column the
+/// `(lo, hi)` endpoints of the interval bound to that column.
+struct AtomData {
+    /// `column_of[var]` is the column index of the interval variable.
+    column_of: BTreeMap<String, usize>,
+    /// `endpoints[tuple][column] = (lo, hi)`.
+    endpoints: Vec<Vec<(f64, f64)>>,
+}
+
+/// Statistics of one FAQ-AI evaluation, used by the benchmark harness.
+#[derive(Debug, Clone, Default)]
+pub struct FaqAiEvaluation {
+    /// The Boolean answer.
+    pub answer: bool,
+    /// Number of conjuncts evaluated before the first true one (all of them
+    /// when the answer is false).
+    pub conjuncts_evaluated: usize,
+    /// Number of conjuncts of the disjunction.
+    pub conjuncts_total: usize,
+    /// The largest materialised bag across all evaluated conjuncts.
+    pub max_bag_tuples: usize,
+}
+
+/// Evaluates a pure IJ query through the FAQ-AI reformulation and returns
+/// the Boolean answer.
+pub fn evaluate_faqai_boolean(q: &Query, db: &Database) -> Result<bool, FaqAiError> {
+    Ok(evaluate_faqai(q, db)?.answer)
+}
+
+/// Evaluates a pure IJ query through the FAQ-AI reformulation, returning
+/// evaluation statistics.
+pub fn evaluate_faqai(q: &Query, db: &Database) -> Result<FaqAiEvaluation, FaqAiError> {
+    let conjuncts = faqai_disjunction(q)?;
+    let atoms = load_atoms(q, db)?;
+    let mut stats = FaqAiEvaluation { conjuncts_total: conjuncts.len(), ..Default::default() };
+    for conjunct in &conjuncts {
+        stats.conjuncts_evaluated += 1;
+        let decomposition = optimal_relaxed_decomposition(conjunct);
+        if evaluate_conjunct(conjunct, &decomposition, &atoms, &mut stats.max_bag_tuples) {
+            stats.answer = true;
+            return Ok(stats);
+        }
+    }
+    Ok(stats)
+}
+
+/// Loads the scalar endpoint view of every atom of the query.
+fn load_atoms(q: &Query, db: &Database) -> Result<Vec<AtomData>, FaqAiError> {
+    let mut out = Vec::with_capacity(q.atoms().len());
+    for atom in q.atoms() {
+        let rel = db
+            .relation(&atom.relation)
+            .ok_or_else(|| FaqAiError::MissingRelation(atom.relation.clone()))?;
+        let mut column_of = BTreeMap::new();
+        for (c, v) in atom.vars.iter().enumerate() {
+            column_of.insert(v.clone(), c);
+        }
+        let mut endpoints = Vec::with_capacity(rel.len());
+        for tuple in rel.tuples() {
+            let mut row = Vec::with_capacity(atom.vars.len());
+            for (c, value) in tuple.iter().enumerate().take(atom.vars.len()) {
+                let iv = value.to_interval().ok_or(FaqAiError::NotAnInterval {
+                    relation: atom.relation.clone(),
+                    column: c,
+                })?;
+                row.push((iv.lo(), iv.hi()));
+            }
+            endpoints.push(row);
+        }
+        out.push(AtomData { column_of, endpoints });
+    }
+    Ok(out)
+}
+
+/// One materialised bag: for every surviving bag tuple, the tuple index
+/// chosen for each member atom (aligned with `atoms`).
+struct Bag {
+    /// Atom indices of the bag members.
+    atoms: Vec<usize>,
+    /// Surviving combinations of tuple indices, one per member atom.
+    tuples: Vec<Vec<usize>>,
+}
+
+impl Bag {
+    /// The scalar value of `s` under bag tuple `t` (the scalar's atom must be
+    /// a member of this bag).
+    fn scalar(&self, t: &[usize], s: &crate::conjunct::ScalarVar, atoms: &[AtomData]) -> f64 {
+        let pos = self.atoms.iter().position(|&a| a == s.atom).expect("scalar atom in bag");
+        let data = &atoms[s.atom];
+        let column = data.column_of[&s.var];
+        let (lo, hi) = data.endpoints[t[pos]][column];
+        match s.end {
+            Endpoint::Left => lo,
+            Endpoint::Right => hi,
+        }
+    }
+}
+
+/// Evaluates one conjunct over its relaxed decomposition.  Returns true if a
+/// combination of tuples (one per atom) satisfies every inequality.
+fn evaluate_conjunct(
+    conjunct: &FaqAiConjunct,
+    decomposition: &RelaxedDecomposition,
+    atoms: &[AtomData],
+    max_bag_tuples: &mut usize,
+) -> bool {
+    // --- bag materialisation -------------------------------------------------
+    let bag_of = |atom: usize| {
+        decomposition.bags.iter().position(|b| b.contains(&atom)).expect("atom in some bag")
+    };
+    let mut bags: Vec<Bag> = Vec::with_capacity(decomposition.bags.len());
+    for members in &decomposition.bags {
+        // Inequalities fully inside this bag filter the cross product.
+        let local: Vec<&Inequality> = conjunct
+            .inequalities
+            .iter()
+            .filter(|i| {
+                let (a, b) = i.atoms();
+                members.contains(&a) && members.contains(&b)
+            })
+            .collect();
+        let mut tuples: Vec<Vec<usize>> = vec![Vec::new()];
+        for &atom in members {
+            let n = atoms[atom].endpoints.len();
+            let mut next = Vec::with_capacity(tuples.len() * n);
+            for prefix in &tuples {
+                for t in 0..n {
+                    let mut row = prefix.clone();
+                    row.push(t);
+                    next.push(row);
+                }
+            }
+            tuples = next;
+        }
+        let bag = Bag { atoms: members.clone(), tuples };
+        let filtered: Vec<Vec<usize>> = bag
+            .tuples
+            .iter()
+            .filter(|t| {
+                local.iter().all(|i| {
+                    bag.scalar(t, &i.lhs, atoms) <= bag.scalar(t, &i.rhs, atoms)
+                })
+            })
+            .cloned()
+            .collect();
+        *max_bag_tuples = (*max_bag_tuples).max(filtered.len());
+        bags.push(Bag { atoms: members.clone(), tuples: filtered });
+    }
+    if bags.iter().any(|b| b.tuples.is_empty()) {
+        return false;
+    }
+
+    // --- bottom-up pass over the bag tree ------------------------------------
+    // Root at bag 0; compute a parent-first order.
+    let num_bags = bags.len();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); num_bags];
+    {
+        let mut visited = vec![false; num_bags];
+        let mut stack = vec![0usize];
+        visited[0] = true;
+        while let Some(b) = stack.pop() {
+            for &(x, y) in &decomposition.tree_edges {
+                let other = if x == b {
+                    y
+                } else if y == b {
+                    x
+                } else {
+                    continue;
+                };
+                if !visited[other] {
+                    visited[other] = true;
+                    children[b].push(other);
+                    stack.push(other);
+                }
+            }
+        }
+    }
+
+    // Crossing inequalities per unordered bag pair.
+    let mut crossing: BTreeMap<(usize, usize), Vec<&Inequality>> = BTreeMap::new();
+    for i in &conjunct.inequalities {
+        let (a, b) = i.atoms();
+        let (ba, bb) = (bag_of(a), bag_of(b));
+        if ba != bb {
+            crossing.entry((ba.min(bb), ba.max(bb))).or_default().push(i);
+        }
+    }
+
+    // Post-order: process a bag only after all of its children.
+    let order = post_order(0, &children);
+    let mut surviving: Vec<Option<Vec<Vec<usize>>>> = vec![None; num_bags];
+    for &b in &order {
+        let mut alive: Vec<Vec<usize>> = bags[b].tuples.clone();
+        for &child in &children[b] {
+            let child_tuples = surviving[child].as_ref().expect("post-order");
+            if child_tuples.is_empty() {
+                return false;
+            }
+            let ineqs = crossing.get(&(b.min(child), b.max(child))).cloned().unwrap_or_default();
+            alive = semijoin_by_inequalities(
+                &bags[b], alive, &bags[child], child_tuples, &ineqs, atoms,
+            );
+            if alive.is_empty() {
+                return false;
+            }
+        }
+        surviving[b] = Some(alive);
+    }
+    surviving[0].as_ref().map(|s| !s.is_empty()).unwrap_or(false)
+}
+
+/// Post-order traversal of the rooted bag tree.
+fn post_order(root: usize, children: &[Vec<usize>]) -> Vec<usize> {
+    let mut order = Vec::new();
+    fn rec(b: usize, children: &[Vec<usize>], order: &mut Vec<usize>) {
+        for &c in &children[b] {
+            rec(c, children, order);
+        }
+        order.push(b);
+    }
+    rec(root, children, &mut order);
+    order
+}
+
+/// Keeps the parent tuples for which some child tuple satisfies every
+/// crossing inequality.  The child tuples are sorted by the child-side scalar
+/// of one inequality so that each probe scans only the feasible range for it;
+/// the remaining inequalities are verified on the candidates with early exit.
+fn semijoin_by_inequalities(
+    parent: &Bag,
+    parent_tuples: Vec<Vec<usize>>,
+    child: &Bag,
+    child_tuples: &[Vec<usize>],
+    ineqs: &[&Inequality],
+    atoms: &[AtomData],
+) -> Vec<Vec<usize>> {
+    if ineqs.is_empty() {
+        // No constraint between the bags: every parent tuple survives because
+        // the child is non-empty.
+        return parent_tuples;
+    }
+    // Pick the first inequality as the sort key.  Determine which side lives
+    // in the child bag.
+    let pivot = ineqs[0];
+    let child_has_lhs = child.atoms.contains(&pivot.lhs.atom);
+    let (child_side, parent_side) =
+        if child_has_lhs { (&pivot.lhs, &pivot.rhs) } else { (&pivot.rhs, &pivot.lhs) };
+
+    let mut sorted: Vec<(f64, &Vec<usize>)> = child_tuples
+        .iter()
+        .map(|t| (child.scalar(t, child_side, atoms), t))
+        .collect();
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    let check_rest = |p: &Vec<usize>, c: &Vec<usize>| {
+        ineqs.iter().skip(1).all(|i| {
+            let lhs = scalar_in_either(parent, p, child, c, &i.lhs, atoms);
+            let rhs = scalar_in_either(parent, p, child, c, &i.rhs, atoms);
+            lhs <= rhs
+        })
+    };
+
+    parent_tuples
+        .into_iter()
+        .filter(|p| {
+            let bound = parent.scalar(p, parent_side, atoms);
+            if child_has_lhs {
+                // child_scalar ≤ parent_scalar: feasible prefix of `sorted`.
+                let end = sorted.partition_point(|(v, _)| *v <= bound);
+                sorted[..end].iter().any(|(_, c)| check_rest(p, c))
+            } else {
+                // parent_scalar ≤ child_scalar: feasible suffix of `sorted`.
+                let start = sorted.partition_point(|(v, _)| *v < bound);
+                sorted[start..].iter().any(|(_, c)| check_rest(p, c))
+            }
+        })
+        .collect()
+}
+
+/// Looks a scalar up in whichever of the two bags contains its atom.
+fn scalar_in_either(
+    parent: &Bag,
+    p: &[usize],
+    child: &Bag,
+    c: &[usize],
+    s: &crate::conjunct::ScalarVar,
+    atoms: &[AtomData],
+) -> f64 {
+    if parent.atoms.contains(&s.atom) {
+        parent.scalar(p, s, atoms)
+    } else {
+        child.scalar(c, s, atoms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ij_relation::Value;
+
+    fn iv(lo: f64, hi: f64) -> Value {
+        Value::interval(lo, hi)
+    }
+
+    fn triangle() -> Query {
+        Query::parse("R([A],[B]) & S([B],[C]) & T([A],[C])").unwrap()
+    }
+
+    /// A brute-force intersection-join oracle over all tuple combinations.
+    fn oracle(q: &Query, db: &Database) -> bool {
+        fn rec(
+            q: &Query,
+            db: &Database,
+            level: usize,
+            chosen: &mut Vec<usize>,
+        ) -> bool {
+            if level == q.atoms().len() {
+                // Check every interval variable's intersection.
+                for var in q.interval_variables() {
+                    let mut lo = f64::NEG_INFINITY;
+                    let mut hi = f64::INFINITY;
+                    for (i, atom) in q.atoms().iter().enumerate() {
+                        if let Some(col) = atom.vars.iter().position(|v| *v == var) {
+                            let t = &db.relation(&atom.relation).unwrap().tuples()[chosen[i]];
+                            let interval = t[col].to_interval().unwrap();
+                            lo = lo.max(interval.lo());
+                            hi = hi.min(interval.hi());
+                        }
+                    }
+                    if lo > hi {
+                        return false;
+                    }
+                }
+                return true;
+            }
+            let rel = db.relation(&q.atoms()[level].relation).unwrap();
+            for t in 0..rel.len() {
+                chosen.push(t);
+                if rec(q, db, level + 1, chosen) {
+                    return true;
+                }
+                chosen.pop();
+            }
+            false
+        }
+        rec(q, db, 0, &mut Vec::new())
+    }
+
+    #[test]
+    fn triangle_positive_and_negative_instances() {
+        let q = triangle();
+        let mut db = Database::new();
+        db.insert_tuples("R", 2, vec![vec![iv(0.0, 4.0), iv(10.0, 14.0)]]);
+        db.insert_tuples("S", 2, vec![vec![iv(12.0, 13.0), iv(20.0, 25.0)]]);
+        db.insert_tuples("T", 2, vec![vec![iv(3.0, 5.0), iv(24.0, 26.0)]]);
+        assert!(evaluate_faqai_boolean(&q, &db).unwrap());
+
+        let mut db2 = db.clone();
+        db2.insert_tuples("T", 2, vec![vec![iv(3.0, 5.0), iv(30.0, 31.0)]]);
+        assert!(!evaluate_faqai_boolean(&q, &db2).unwrap());
+    }
+
+    #[test]
+    fn faqai_agrees_with_the_brute_force_oracle_on_random_triangles() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let q = triangle();
+        let mut both = [false, false];
+        for seed in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut db = Database::new();
+            for name in ["R", "S", "T"] {
+                let tuples: Vec<Vec<Value>> = (0..6)
+                    .map(|_| {
+                        (0..2)
+                            .map(|_| {
+                                let lo = rng.gen_range(0.0..60.0);
+                                let len = rng.gen_range(0.0..8.0);
+                                iv(lo, lo + len)
+                            })
+                            .collect()
+                    })
+                    .collect();
+                db.insert_tuples(name, 2, tuples);
+            }
+            let expected = oracle(&q, &db);
+            assert_eq!(evaluate_faqai_boolean(&q, &db).unwrap(), expected, "seed {seed}");
+            both[usize::from(expected)] = true;
+        }
+        assert!(both[0] && both[1], "the random instances must cover both outcomes");
+    }
+
+    #[test]
+    fn point_intervals_degenerate_to_equality_joins() {
+        let q = triangle();
+        let p = |x: f64| Value::interval(x, x);
+        let mut db = Database::new();
+        db.insert_tuples("R", 2, vec![vec![p(1.0), p(2.0)], vec![p(4.0), p(5.0)]]);
+        db.insert_tuples("S", 2, vec![vec![p(2.0), p(3.0)]]);
+        db.insert_tuples("T", 2, vec![vec![p(1.0), p(3.0)]]);
+        assert!(evaluate_faqai_boolean(&q, &db).unwrap());
+        let mut db2 = db.clone();
+        db2.insert_tuples("T", 2, vec![vec![p(1.0), p(9.0)]]);
+        assert!(!evaluate_faqai_boolean(&q, &db2).unwrap());
+    }
+
+    #[test]
+    fn four_clique_instances() {
+        let q = Query::parse(
+            "R([A],[B]) & S([A],[C]) & T([A],[D]) & U([B],[C]) & V([B],[D]) & W([C],[D])",
+        )
+        .unwrap();
+        // All six relations hold one tuple of pairwise-intersecting intervals.
+        let mut db = Database::new();
+        for name in ["R", "S", "T", "U", "V", "W"] {
+            db.insert_tuples(name, 2, vec![vec![iv(0.0, 10.0), iv(5.0, 15.0)]]);
+        }
+        assert!(evaluate_faqai_boolean(&q, &db).unwrap());
+        assert_eq!(oracle(&q, &db), true);
+
+        // Break variable D in relation W only.
+        db.insert_tuples("W", 2, vec![vec![iv(0.0, 10.0), iv(100.0, 101.0)]]);
+        assert!(!evaluate_faqai_boolean(&q, &db).unwrap());
+        assert_eq!(oracle(&q, &db), false);
+    }
+
+    #[test]
+    fn missing_relations_and_point_variables_are_rejected() {
+        let q = triangle();
+        let db = Database::new();
+        assert!(matches!(
+            evaluate_faqai_boolean(&q, &db),
+            Err(FaqAiError::MissingRelation(_))
+        ));
+        let mixed = Query::parse("R(X,[A]) & S(X,[A])").unwrap();
+        assert!(matches!(
+            evaluate_faqai_boolean(&mixed, &Database::new()),
+            Err(FaqAiError::NotAnIjQuery)
+        ));
+    }
+
+    #[test]
+    fn stats_report_bag_sizes_and_early_exit() {
+        let q = triangle();
+        let mut db = Database::new();
+        for name in ["R", "S", "T"] {
+            db.insert_tuples(
+                name,
+                2,
+                (0..5).map(|i| vec![iv(i as f64, i as f64 + 2.0), iv(i as f64, i as f64 + 2.0)]).collect(),
+            );
+        }
+        let stats = evaluate_faqai(&q, &db).unwrap();
+        assert!(stats.answer);
+        assert_eq!(stats.conjuncts_total, 8);
+        assert!(stats.conjuncts_evaluated <= stats.conjuncts_total);
+        // One bag holds two atoms of five tuples each: at most 25 bag tuples.
+        assert!(stats.max_bag_tuples <= 25);
+        assert!(stats.max_bag_tuples > 0);
+    }
+}

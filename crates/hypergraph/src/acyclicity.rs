@@ -1,0 +1,733 @@
+//! Hypergraph acyclicity: α, γ, Berge and the paper's new ι-acyclicity.
+//!
+//! * **Berge-acyclic** (Definition A.3): no Berge cycle at all, equivalently
+//!   the bipartite incidence graph is a forest.
+//! * **ι-acyclic** (Definition 6.1 / Theorem 6.3): no Berge cycle of length
+//!   strictly greater than two; equivalently every hypergraph of `τ(H)` is
+//!   α-acyclic.  ι-acyclicity characterises the IJ queries computable in
+//!   near-linear time (Theorem 6.6).
+//! * **γ-acyclic** (Definition A.10): cycle-free and without the
+//!   `{{x,y},{x,z},{x,y,z}}` pattern.
+//! * **α-acyclic** (Definition A.9): GYO-reducible to the empty hypergraph,
+//!   equivalently conformal and cycle-free, equivalently admits a join tree.
+
+use crate::transform::full_reduction;
+use crate::{EdgeId, Hypergraph, VarId};
+use std::collections::BTreeSet;
+
+/// A Berge cycle `(e_1, v_1, e_2, v_2, ..., e_n, v_n, e_{n+1} = e_1)`
+/// (Definition 6.2): `n ≥ 2`, distinct vertices, distinct hyperedges and
+/// `v_i ∈ e_i ∩ e_{i+1}` for every `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BergeCycle {
+    /// The distinct hyperedges `e_1, ..., e_n`.
+    pub edges: Vec<EdgeId>,
+    /// The distinct vertices `v_1, ..., v_n`; `vertices[i]` lies in
+    /// `edges[i]` and `edges[(i + 1) % n]`.
+    pub vertices: Vec<VarId>,
+}
+
+impl BergeCycle {
+    /// The length `n` of the cycle.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Berge cycles always have length at least two.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Checks the Berge-cycle conditions against a hypergraph (used by tests).
+    pub fn is_valid(&self, h: &Hypergraph) -> bool {
+        let n = self.edges.len();
+        if n < 2 || self.vertices.len() != n {
+            return false;
+        }
+        let distinct_edges: BTreeSet<_> = self.edges.iter().collect();
+        let distinct_vertices: BTreeSet<_> = self.vertices.iter().collect();
+        if distinct_edges.len() != n || distinct_vertices.len() != n {
+            return false;
+        }
+        (0..n).all(|i| {
+            let e_i = &h.edge(self.edges[i]).vertices;
+            let e_next = &h.edge(self.edges[(i + 1) % n]).vertices;
+            e_i.contains(&self.vertices[i]) && e_next.contains(&self.vertices[i])
+        })
+    }
+}
+
+/// Searches for a Berge cycle of length at least `min_len` and returns one if
+/// it exists.  The search is exhaustive (backtracking over alternating
+/// edge/vertex sequences), which is fine for query-sized hypergraphs.
+///
+/// # Panics
+///
+/// Panics if the hypergraph has more than 64 vertices or hyperedges (queries
+/// never do; the limit keeps the bitmask bookkeeping simple).
+pub fn find_berge_cycle_of_length_at_least(h: &Hypergraph, min_len: usize) -> Option<BergeCycle> {
+    assert!(h.num_vertices() <= 64 && h.num_edges() <= 64, "hypergraph too large for cycle search");
+    let min_len = min_len.max(2);
+    // Incidence lists.
+    let edge_vertices: Vec<Vec<VarId>> =
+        h.edges().iter().map(|e| e.vertices.iter().copied().collect()).collect();
+    let vertex_edges: Vec<Vec<EdgeId>> =
+        (0..h.num_vertices()).map(|v| h.edges_containing(v)).collect();
+
+    for start in 0..h.num_edges() {
+        let mut edges = vec![start];
+        let mut vertices = Vec::new();
+        if search(
+            start,
+            start,
+            1u64 << start,
+            0u64,
+            min_len,
+            &edge_vertices,
+            &vertex_edges,
+            &mut edges,
+            &mut vertices,
+        ) {
+            return Some(BergeCycle { edges, vertices });
+        }
+    }
+    None
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    start: EdgeId,
+    current: EdgeId,
+    used_edges: u64,
+    used_vertices: u64,
+    min_len: usize,
+    edge_vertices: &[Vec<VarId>],
+    vertex_edges: &[Vec<EdgeId>],
+    edges: &mut Vec<EdgeId>,
+    vertices: &mut Vec<VarId>,
+) -> bool {
+    for &v in &edge_vertices[current] {
+        if used_vertices & (1u64 << v) != 0 {
+            continue;
+        }
+        for &e in &vertex_edges[v] {
+            if e == start && edges.len() >= min_len {
+                // Closing the cycle: v ∈ e_n ∩ e_1.
+                vertices.push(v);
+                return true;
+            }
+            if used_edges & (1u64 << e) != 0 {
+                continue;
+            }
+            // Only start edges with minimal index begin a cycle, to avoid
+            // revisiting rotations; subsequent edges are unconstrained.
+            if e < start {
+                continue;
+            }
+            edges.push(e);
+            vertices.push(v);
+            if search(
+                start,
+                e,
+                used_edges | (1u64 << e),
+                used_vertices | (1u64 << v),
+                min_len,
+                edge_vertices,
+                vertex_edges,
+                edges,
+                vertices,
+            ) {
+                return true;
+            }
+            edges.pop();
+            vertices.pop();
+        }
+    }
+    false
+}
+
+/// Berge-acyclicity (Definition A.3): no Berge cycle at all.
+pub fn is_berge_acyclic(h: &Hypergraph) -> bool {
+    find_berge_cycle_of_length_at_least(h, 2).is_none()
+}
+
+/// ι-acyclicity via the syntactic characterisation of Theorem 6.3: no Berge
+/// cycle of length strictly greater than two.
+pub fn is_iota_acyclic(h: &Hypergraph) -> bool {
+    find_berge_cycle_of_length_at_least(h, 3).is_none()
+}
+
+/// ι-acyclicity via Definition 6.1: every hypergraph of `τ(H)` is α-acyclic.
+/// Exponentially more expensive than [`is_iota_acyclic`]; exposed so the
+/// equivalence (Theorem 6.3) can be validated in tests and experiments.
+pub fn is_iota_acyclic_via_reduction(h: &Hypergraph) -> bool {
+    full_reduction(h).iter().all(|r| is_alpha_acyclic(&r.hypergraph))
+}
+
+/// α-acyclicity via GYO reduction (Appendix A.1.2).
+pub fn is_alpha_acyclic(h: &Hypergraph) -> bool {
+    // Work on the multiset of edge vertex sets.
+    let mut edges: Vec<BTreeSet<VarId>> = h.edge_vertex_sets();
+    loop {
+        let mut changed = false;
+
+        // Rule 1: remove vertices occurring in at most one edge.
+        let mut occurrences: std::collections::HashMap<VarId, usize> = Default::default();
+        for e in &edges {
+            for &v in e {
+                *occurrences.entry(v).or_insert(0) += 1;
+            }
+        }
+        for e in edges.iter_mut() {
+            let before = e.len();
+            e.retain(|v| occurrences[v] > 1);
+            if e.len() != before {
+                changed = true;
+            }
+        }
+
+        // Drop empty edges.
+        let before = edges.len();
+        edges.retain(|e| !e.is_empty());
+        if edges.len() != before {
+            changed = true;
+        }
+
+        // Rule 2: remove edges contained in another edge (keeping one copy of
+        // duplicates).
+        let mut remove = vec![false; edges.len()];
+        for i in 0..edges.len() {
+            for j in 0..edges.len() {
+                if i == j || remove[j] {
+                    continue;
+                }
+                if edges[i].is_subset(&edges[j]) && (edges[i] != edges[j] || i > j) {
+                    remove[i] = true;
+                    break;
+                }
+            }
+        }
+        if remove.iter().any(|&r| r) {
+            changed = true;
+            edges = edges
+                .into_iter()
+                .zip(remove)
+                .filter(|(_, r)| !r)
+                .map(|(e, _)| e)
+                .collect();
+        }
+
+        if edges.is_empty() {
+            return true;
+        }
+        if !changed {
+            return false;
+        }
+    }
+}
+
+/// A join tree of an α-acyclic hypergraph (Definition A.4): a tree over the
+/// hyperedges such that, for every vertex, the edges containing it form a
+/// connected subtree.
+#[derive(Debug, Clone)]
+pub struct JoinTree {
+    /// The root hyperedge.
+    pub root: EdgeId,
+    /// Parent of each hyperedge (`None` for the root).
+    pub parent: Vec<Option<EdgeId>>,
+    /// Children lists.
+    pub children: Vec<Vec<EdgeId>>,
+    /// An elimination order: every edge appears after all of its children
+    /// (leaves first, root last).  Yannakakis' algorithm processes semijoins
+    /// in this order.
+    pub order: Vec<EdgeId>,
+}
+
+impl JoinTree {
+    /// Checks the running-intersection (connectedness) property.
+    pub fn is_valid(&self, h: &Hypergraph) -> bool {
+        for v in 0..h.num_vertices() {
+            let containing: BTreeSet<EdgeId> = h.edges_containing(v).into_iter().collect();
+            if containing.is_empty() {
+                continue;
+            }
+            // The edges containing v must form a connected subtree: walking
+            // from every containing edge towards the root, the first
+            // containing ancestor chain must stay within `containing` until
+            // reaching the top-most containing edge.
+            // Equivalent check: the number of edges in `containing` whose
+            // parent is NOT in `containing` must be exactly one.
+            let tops = containing
+                .iter()
+                .filter(|&&e| match self.parent[e] {
+                    Some(p) => !containing.contains(&p),
+                    None => true,
+                })
+                .count();
+            if tops != 1 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Builds a join tree via ear decomposition, or returns `None` if the
+/// hypergraph is not α-acyclic.
+pub fn join_tree(h: &Hypergraph) -> Option<JoinTree> {
+    let n = h.num_edges();
+    if n == 0 {
+        return None;
+    }
+    let sets: Vec<BTreeSet<VarId>> = h.edge_vertex_sets();
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut parent: Vec<Option<EdgeId>> = vec![None; n];
+    let mut order: Vec<EdgeId> = Vec::with_capacity(n);
+    let mut remaining = n;
+
+    while remaining > 1 {
+        // Find an ear: an edge e whose vertices shared with other alive edges
+        // are all contained in a single other alive edge f.
+        let mut found = None;
+        'outer: for e in 0..n {
+            if !alive[e] {
+                continue;
+            }
+            // Vertices of e that occur in some other alive edge.
+            let shared: BTreeSet<VarId> = sets[e]
+                .iter()
+                .copied()
+                .filter(|v| (0..n).any(|f| f != e && alive[f] && sets[f].contains(v)))
+                .collect();
+            for f in 0..n {
+                if f == e || !alive[f] {
+                    continue;
+                }
+                if shared.is_subset(&sets[f]) {
+                    found = Some((e, f));
+                    break 'outer;
+                }
+            }
+        }
+        let (e, f) = found?;
+        alive[e] = false;
+        parent[e] = Some(f);
+        order.push(e);
+        remaining -= 1;
+    }
+    let root = (0..n).find(|&e| alive[e]).expect("one edge remains");
+    order.push(root);
+
+    let mut children: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+    for (e, p) in parent.iter().enumerate() {
+        if let Some(p) = p {
+            children[*p].push(e);
+        }
+    }
+    Some(JoinTree { root, parent, children, order })
+}
+
+/// The induced family `E[S] = { e ∩ S | e ∈ E } \ {∅}` (Definition A.5).
+fn induced_family(h: &Hypergraph, s: &BTreeSet<VarId>) -> Vec<BTreeSet<VarId>> {
+    let mut out: Vec<BTreeSet<VarId>> = Vec::new();
+    for e in h.edges() {
+        let inter: BTreeSet<VarId> = e.vertices.intersection(s).copied().collect();
+        if !inter.is_empty() && !out.contains(&inter) {
+            out.push(inter);
+        }
+    }
+    out
+}
+
+/// The minimisation `M(F)` of a family of sets: its ⊆-maximal members
+/// (Definition A.6).
+fn minimisation(family: &[BTreeSet<VarId>]) -> Vec<BTreeSet<VarId>> {
+    family
+        .iter()
+        .filter(|e| !family.iter().any(|f| *e != f && e.is_subset(f)))
+        .cloned()
+        .collect()
+}
+
+/// Cycle-freeness (Definition A.8): there is no vertex subset `S` of size ≥ 3
+/// whose minimised induced family is exactly a Hamiltonian cycle of 2-element
+/// sets over `S`.
+pub fn is_cycle_free(h: &Hypergraph) -> bool {
+    let n = h.num_vertices();
+    assert!(n <= 24, "cycle-freeness check is exponential in the number of vertices");
+    for mask in 0u32..(1u32 << n) {
+        if (mask.count_ones() as usize) < 3 {
+            continue;
+        }
+        let s: BTreeSet<VarId> = (0..n).filter(|&v| mask & (1 << v) != 0).collect();
+        let m = minimisation(&induced_family(h, &s));
+        if is_hamiltonian_cycle_family(&m, &s) {
+            return false;
+        }
+    }
+    true
+}
+
+/// True if `family` is exactly the edge set of a cycle visiting every vertex
+/// of `s` (all members of size two, every vertex in exactly two members, and
+/// the members form a single connected cycle).
+fn is_hamiltonian_cycle_family(family: &[BTreeSet<VarId>], s: &BTreeSet<VarId>) -> bool {
+    let k = s.len();
+    if family.len() != k || k < 3 {
+        return false;
+    }
+    if !family.iter().all(|e| e.len() == 2) {
+        return false;
+    }
+    // Degree check.
+    for &v in s {
+        let deg = family.iter().filter(|e| e.contains(&v)).count();
+        if deg != 2 {
+            return false;
+        }
+    }
+    // Connectivity: walk the cycle.
+    let verts: Vec<VarId> = s.iter().copied().collect();
+    let mut visited: BTreeSet<VarId> = BTreeSet::new();
+    let mut stack = vec![verts[0]];
+    while let Some(v) = stack.pop() {
+        if !visited.insert(v) {
+            continue;
+        }
+        for e in family {
+            if e.contains(&v) {
+                for &u in e {
+                    if !visited.contains(&u) {
+                        stack.push(u);
+                    }
+                }
+            }
+        }
+    }
+    visited.len() == k
+}
+
+/// Conformality (Definition A.7): there is no vertex subset `S` of size ≥ 3
+/// whose minimised induced family is `{ S \ {x} | x ∈ S }`.
+pub fn is_conformal(h: &Hypergraph) -> bool {
+    let n = h.num_vertices();
+    assert!(n <= 24, "conformality check is exponential in the number of vertices");
+    for mask in 0u32..(1u32 << n) {
+        if (mask.count_ones() as usize) < 3 {
+            continue;
+        }
+        let s: BTreeSet<VarId> = (0..n).filter(|&v| mask & (1 << v) != 0).collect();
+        let m = minimisation(&induced_family(h, &s));
+        let expected: Vec<BTreeSet<VarId>> = s
+            .iter()
+            .map(|&x| s.iter().copied().filter(|&y| y != x).collect())
+            .collect();
+        if m.len() == expected.len() && expected.iter().all(|e| m.contains(e)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// γ-acyclicity (Definition A.10): cycle-free and without three distinct
+/// vertices `x, y, z` such that `{x,y}`, `{x,z}` and `{x,y,z}` all occur in
+/// the family induced on `{x,y,z}`.
+pub fn is_gamma_acyclic(h: &Hypergraph) -> bool {
+    if !is_cycle_free(h) {
+        return false;
+    }
+    let n = h.num_vertices();
+    for x in 0..n {
+        for y in 0..n {
+            for z in 0..n {
+                if x == y || x == z || y == z {
+                    continue;
+                }
+                let s: BTreeSet<VarId> = [x, y, z].into_iter().collect();
+                let fam = induced_family(h, &s);
+                let xy: BTreeSet<VarId> = [x, y].into_iter().collect();
+                let xz: BTreeSet<VarId> = [x, z].into_iter().collect();
+                let xyz = s.clone();
+                if fam.contains(&xy) && fam.contains(&xz) && fam.contains(&xyz) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// The finest acyclicity class a hypergraph belongs to, following the strict
+/// inclusions Berge ⊂ ι ⊂ γ ⊂ α ⊂ all (Figure 5 and Corollary 6.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AcyclicityClass {
+    /// Berge-acyclic (hence also ι-, γ- and α-acyclic).
+    BergeAcyclic,
+    /// ι-acyclic but not Berge-acyclic.
+    IotaAcyclic,
+    /// γ-acyclic but not ι-acyclic.
+    GammaAcyclic,
+    /// α-acyclic but not γ-acyclic.
+    AlphaAcyclic,
+    /// Not α-acyclic.
+    Cyclic,
+}
+
+impl std::fmt::Display for AcyclicityClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AcyclicityClass::BergeAcyclic => "Berge-acyclic",
+            AcyclicityClass::IotaAcyclic => "iota-acyclic",
+            AcyclicityClass::GammaAcyclic => "gamma-acyclic",
+            AcyclicityClass::AlphaAcyclic => "alpha-acyclic",
+            AcyclicityClass::Cyclic => "cyclic",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Membership in each acyclicity class, plus the finest class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcyclicityReport {
+    /// Berge-acyclic?
+    pub berge: bool,
+    /// ι-acyclic?
+    pub iota: bool,
+    /// γ-acyclic?
+    pub gamma: bool,
+    /// α-acyclic?
+    pub alpha: bool,
+    /// The finest class.
+    pub class: AcyclicityClass,
+}
+
+impl AcyclicityReport {
+    /// Classifies a hypergraph.
+    pub fn of(h: &Hypergraph) -> Self {
+        let berge = is_berge_acyclic(h);
+        let iota = is_iota_acyclic(h);
+        let gamma = is_gamma_acyclic(h);
+        let alpha = is_alpha_acyclic(h);
+        let class = if berge {
+            AcyclicityClass::BergeAcyclic
+        } else if iota {
+            AcyclicityClass::IotaAcyclic
+        } else if gamma {
+            AcyclicityClass::GammaAcyclic
+        } else if alpha {
+            AcyclicityClass::AlphaAcyclic
+        } else {
+            AcyclicityClass::Cyclic
+        };
+        AcyclicityReport { berge, iota, gamma, alpha, class }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::*;
+    use crate::hgraph::ij_from_atoms;
+
+    #[test]
+    fn triangle_is_cyclic_everywhere() {
+        let h = triangle_ij();
+        let report = AcyclicityReport::of(&h);
+        assert!(!report.alpha);
+        assert!(!report.gamma);
+        assert!(!report.iota);
+        assert!(!report.berge);
+        assert_eq!(report.class, AcyclicityClass::Cyclic);
+        // It contains a Berge cycle of length 3.
+        let cycle = find_berge_cycle_of_length_at_least(&h, 3).unwrap();
+        assert_eq!(cycle.len(), 3);
+        assert!(cycle.is_valid(&h));
+    }
+
+    #[test]
+    fn figure_9_classification() {
+        // Figures 9a-9c are α-acyclic but not ι-acyclic; 9d-9f are ι-acyclic.
+        for (h, expect_iota) in [
+            (figure_9a(), false),
+            (figure_9b(), false),
+            (figure_9c(), false),
+            (figure_9d(), true),
+            (figure_9e(), true),
+            (figure_9f(), true),
+        ] {
+            assert!(is_alpha_acyclic(&h), "{h} should be alpha-acyclic");
+            assert_eq!(is_iota_acyclic(&h), expect_iota, "{h}");
+        }
+    }
+
+    #[test]
+    fn figure_9c_berge_cycle_matches_example_6_5() {
+        // Example 6.5 exhibits the Berge cycle R − [A] − T − [B] − S − [C] − R.
+        let h = figure_9c();
+        let cycle = find_berge_cycle_of_length_at_least(&h, 3).unwrap();
+        assert_eq!(cycle.len(), 3);
+        assert!(cycle.is_valid(&h));
+    }
+
+    #[test]
+    fn figure_9e_has_no_berge_cycle_at_all() {
+        let h = figure_9e();
+        assert!(is_berge_acyclic(&h));
+        assert!(is_iota_acyclic(&h));
+        assert_eq!(AcyclicityReport::of(&h).class, AcyclicityClass::BergeAcyclic);
+    }
+
+    #[test]
+    fn figure_9d_is_iota_but_not_berge() {
+        // Example 6.5: three Berge cycles of length two, none longer.
+        let h = figure_9d();
+        assert!(!is_berge_acyclic(&h));
+        let two = find_berge_cycle_of_length_at_least(&h, 2).unwrap();
+        assert_eq!(two.len(), 2);
+        assert!(find_berge_cycle_of_length_at_least(&h, 3).is_none());
+        assert_eq!(AcyclicityReport::of(&h).class, AcyclicityClass::IotaAcyclic);
+    }
+
+    #[test]
+    fn iota_definition_and_characterisation_agree_on_catalog() {
+        // Theorem 6.3 on every catalog hypergraph small enough for the
+        // reduction-based definition.
+        for entry in named_catalog() {
+            if entry.hypergraph.num_edges() <= 4 {
+                assert_eq!(
+                    is_iota_acyclic(&entry.hypergraph),
+                    is_iota_acyclic_via_reduction(&entry.hypergraph),
+                    "{}",
+                    entry.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_acyclicity_matches_conformal_and_cycle_free() {
+        // Definition A.9 on the catalog.
+        for entry in named_catalog() {
+            let h = &entry.hypergraph;
+            assert_eq!(
+                is_alpha_acyclic(h),
+                is_conformal(h) && is_cycle_free(h),
+                "{}: GYO and conformal+cycle-free disagree",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn corollary_6_4_strictness_witnesses() {
+        // ι-acyclic but not Berge-acyclic: Figure 9f.
+        let f9f = figure_9f();
+        assert!(is_iota_acyclic(&f9f) && !is_berge_acyclic(&f9f));
+        // γ-acyclic but not ι-acyclic: the triple-edge hypergraph
+        // {{x,y,z},{x,y,z},{x,y,z}} from the proof of Corollary 6.4.
+        let h = ij_from_atoms(&[("R", &["X", "Y", "Z"]), ("S", &["X", "Y", "Z"]), ("T", &["X", "Y", "Z"])]);
+        assert!(is_gamma_acyclic(&h), "triple edge should be gamma-acyclic");
+        assert!(!is_iota_acyclic(&h), "triple edge has a Berge cycle of length 3");
+        // α-acyclic but not γ-acyclic: Figure 8a = R(A), S(A,B), T(A,B,C)-like
+        // pattern {{x,y},{x,z},{x,y,z}}.
+        let g = ij_from_atoms(&[("R", &["X", "Y"]), ("S", &["X", "Z"]), ("T", &["X", "Y", "Z"])]);
+        assert!(is_alpha_acyclic(&g));
+        assert!(!is_gamma_acyclic(&g));
+        // Cyclic: triangle.
+        assert!(!is_alpha_acyclic(&triangle_ij()));
+    }
+
+    #[test]
+    fn class_inclusions_hold_on_catalog() {
+        for entry in named_catalog() {
+            let r = AcyclicityReport::of(&entry.hypergraph);
+            if r.berge {
+                assert!(r.iota, "{}: Berge ⊆ iota violated", entry.name);
+            }
+            if r.iota {
+                assert!(r.gamma, "{}: iota ⊆ gamma violated", entry.name);
+            }
+            if r.gamma {
+                assert!(r.alpha, "{}: gamma ⊆ alpha violated", entry.name);
+            }
+        }
+    }
+
+    #[test]
+    fn join_trees_exist_exactly_for_alpha_acyclic_hypergraphs() {
+        for entry in named_catalog() {
+            let h = &entry.hypergraph;
+            match join_tree(h) {
+                Some(tree) => {
+                    assert!(is_alpha_acyclic(h), "{}: join tree for cyclic hypergraph", entry.name);
+                    assert!(tree.is_valid(h), "{}: invalid join tree", entry.name);
+                    assert_eq!(tree.order.len(), h.num_edges());
+                }
+                None => assert!(!is_alpha_acyclic(h), "{}: no join tree for acyclic hypergraph", entry.name),
+            }
+        }
+    }
+
+    #[test]
+    fn k_cycle_queries_are_cyclic_and_paths_are_acyclic() {
+        for k in 3..=6 {
+            let cycle = k_cycle_ej(k);
+            assert!(!is_alpha_acyclic(&cycle));
+            let c = find_berge_cycle_of_length_at_least(&cycle, 3).unwrap();
+            assert!(c.len() >= 3);
+            assert!(c.is_valid(&cycle));
+        }
+        for k in 2..=6 {
+            let path = k_path_ij(k);
+            assert!(is_alpha_acyclic(&path));
+            assert!(is_iota_acyclic(&path));
+            assert!(is_berge_acyclic(&path));
+        }
+    }
+
+    #[test]
+    fn star_queries_are_iota_acyclic() {
+        for k in 2..=5 {
+            let star = star_ij(k);
+            // A star query R_i([X], [Y_i]) shares only [X]; Berge cycles of
+            // length ≥ 3 would need three distinct shared vertices.
+            assert!(is_iota_acyclic(&star));
+        }
+    }
+
+    #[test]
+    fn loomis_whitney_and_clique_are_cyclic() {
+        assert!(!is_alpha_acyclic(&loomis_whitney_4_ij()));
+        assert!(!is_alpha_acyclic(&four_clique_ij()));
+        assert!(!is_iota_acyclic(&loomis_whitney_4_ij()));
+        assert!(!is_iota_acyclic(&four_clique_ij()));
+    }
+
+    #[test]
+    fn berge_cycle_length_two_requires_shared_pair() {
+        // Two edges sharing two vertices form a Berge cycle of length 2.
+        let h = ij_from_atoms(&[("R", &["A", "B"]), ("S", &["A", "B"])]);
+        let c = find_berge_cycle_of_length_at_least(&h, 2).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c.is_valid(&h));
+        // Two edges sharing one vertex do not.
+        let g = ij_from_atoms(&[("R", &["A", "B"]), ("S", &["B", "C"])]);
+        assert!(find_berge_cycle_of_length_at_least(&g, 2).is_none());
+    }
+
+    #[test]
+    fn empty_and_single_edge_hypergraphs() {
+        let empty = Hypergraph::new();
+        assert!(is_berge_acyclic(&empty));
+        assert!(is_iota_acyclic(&empty));
+        assert!(is_gamma_acyclic(&empty));
+        assert!(is_alpha_acyclic(&empty));
+        assert!(join_tree(&empty).is_none());
+
+        let single = ij_from_atoms(&[("R", &["A", "B", "C"])]);
+        assert!(is_alpha_acyclic(&single));
+        let tree = join_tree(&single).unwrap();
+        assert_eq!(tree.root, 0);
+        assert!(tree.is_valid(&single));
+    }
+}

@@ -1,0 +1,249 @@
+//! The named queries analysed in the paper.
+//!
+//! Each constructor returns the hypergraph of a Boolean conjunctive query
+//! used as a running example or benchmark in the paper:
+//!
+//! * the triangle, Loomis–Whitney-4 and 4-clique IJ queries of Tables 1/2 and
+//!   Appendix F,
+//! * the hypergraphs of Figures 4 and 9 (Example 6.5 and Appendix E.4),
+//! * the running examples 4.6/4.8,
+//! * parametric families (k-cycles, k-paths, stars) used by tests and
+//!   benchmarks.
+
+use crate::hgraph::{ej_from_atoms, ij_from_atoms};
+use crate::Hypergraph;
+
+/// The triangle query with intersection joins (Section 1.1):
+/// `R([A],[B]) ∧ S([B],[C]) ∧ T([A],[C])`.
+pub fn triangle_ij() -> Hypergraph {
+    ij_from_atoms(&[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["A", "C"])])
+}
+
+/// The triangle query with equality joins: `R(A,B) ∧ S(B,C) ∧ T(A,C)`.
+pub fn triangle_ej() -> Hypergraph {
+    ej_from_atoms(&[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["A", "C"])])
+}
+
+/// The Loomis–Whitney query with four interval variables (Appendix F.2):
+/// `R([A],[B],[C]) ∧ S([B],[C],[D]) ∧ T([C],[D],[A]) ∧ U([D],[A],[B])`.
+pub fn loomis_whitney_4_ij() -> Hypergraph {
+    ij_from_atoms(&[
+        ("R", &["A", "B", "C"]),
+        ("S", &["B", "C", "D"]),
+        ("T", &["C", "D", "A"]),
+        ("U", &["D", "A", "B"]),
+    ])
+}
+
+/// The Loomis–Whitney query with four point variables.
+pub fn loomis_whitney_4_ej() -> Hypergraph {
+    ej_from_atoms(&[
+        ("R", &["A", "B", "C"]),
+        ("S", &["B", "C", "D"]),
+        ("T", &["C", "D", "A"]),
+        ("U", &["D", "A", "B"]),
+    ])
+}
+
+/// The 4-clique query with intersection joins (Appendix F.3):
+/// `R([A],[B]) ∧ S([A],[C]) ∧ T([A],[D]) ∧ U([B],[C]) ∧ V([B],[D]) ∧ W([C],[D])`.
+pub fn four_clique_ij() -> Hypergraph {
+    ij_from_atoms(&[
+        ("R", &["A", "B"]),
+        ("S", &["A", "C"]),
+        ("T", &["A", "D"]),
+        ("U", &["B", "C"]),
+        ("V", &["B", "D"]),
+        ("W", &["C", "D"]),
+    ])
+}
+
+/// The 4-clique query with equality joins.
+pub fn four_clique_ej() -> Hypergraph {
+    ej_from_atoms(&[
+        ("R", &["A", "B"]),
+        ("S", &["A", "C"]),
+        ("T", &["A", "D"]),
+        ("U", &["B", "C"]),
+        ("V", &["B", "D"]),
+        ("W", &["C", "D"]),
+    ])
+}
+
+/// Example 4.6 / 4.8: `R([A],[B],[C]) ∧ S([A],[B],[C]) ∧ T([A])`
+/// (the same hypergraph as Figure 9d).
+pub fn example_4_6() -> Hypergraph {
+    figure_9d()
+}
+
+/// Figure 4a (also Figure 9c): `R([A],[B],[C]) ∧ S([B],[C]) ∧ T([A],[B])` —
+/// α-acyclic but not ι-acyclic (Berge cycle `R − [A] − T − [B] − S − [C] − R`).
+pub fn figure_4a() -> Hypergraph {
+    figure_9c()
+}
+
+/// Figure 4b (also Figure 9e): the Berge-acyclic query
+/// `R([A],[B]) ∧ S([A],[C]) ∧ T([C],[D]) ∧ U([C],[E])`.
+pub fn figure_4b() -> Hypergraph {
+    figure_9e()
+}
+
+/// Figure 9a: `R([A],[B],[C]) ∧ S([A],[B],[C]) ∧ T([A],[B],[C])` — α-acyclic,
+/// not ι-acyclic, ij-width 3/2 (Appendix E.4.1).
+pub fn figure_9a() -> Hypergraph {
+    ij_from_atoms(&[("R", &["A", "B", "C"]), ("S", &["A", "B", "C"]), ("T", &["A", "B", "C"])])
+}
+
+/// Figure 9b: `R([A],[B],[C]) ∧ S([A],[B],[C]) ∧ T([A],[B])` — α-acyclic,
+/// not ι-acyclic, ij-width 3/2 (Appendix E.4.2, Example 6.5).
+pub fn figure_9b() -> Hypergraph {
+    ij_from_atoms(&[("R", &["A", "B", "C"]), ("S", &["A", "B", "C"]), ("T", &["A", "B"])])
+}
+
+/// Figure 9c: `R([A],[B],[C]) ∧ S([B],[C]) ∧ T([A],[B])` — α-acyclic, not
+/// ι-acyclic, ij-width 3/2 (Appendix E.4.3, Example 6.5).
+pub fn figure_9c() -> Hypergraph {
+    ij_from_atoms(&[("R", &["A", "B", "C"]), ("S", &["B", "C"]), ("T", &["A", "B"])])
+}
+
+/// Figure 9d: `R([A],[B],[C]) ∧ S([A],[B],[C]) ∧ T([A])` — ι-acyclic
+/// (Appendix E.4.4), computable in near-linear time.
+pub fn figure_9d() -> Hypergraph {
+    ij_from_atoms(&[("R", &["A", "B", "C"]), ("S", &["A", "B", "C"]), ("T", &["A"])])
+}
+
+/// Figure 9e: `R([A],[B]) ∧ S([A],[C]) ∧ T([C],[D]) ∧ U([C],[E])` —
+/// Berge-acyclic (Appendix E.4.5).
+pub fn figure_9e() -> Hypergraph {
+    ij_from_atoms(&[("R", &["A", "B"]), ("S", &["A", "C"]), ("T", &["C", "D"]), ("U", &["C", "E"])])
+}
+
+/// Figure 9f: `R([A],[B],[C]) ∧ S([A],[B])` — ι-acyclic with one Berge cycle
+/// of length two (Appendix E.4.6).
+pub fn figure_9f() -> Hypergraph {
+    ij_from_atoms(&[("R", &["A", "B", "C"]), ("S", &["A", "B"])])
+}
+
+/// The `k`-cycle query with equality joins
+/// `S_1(X_k, X_1) ∧ S_2(X_1, X_2) ∧ ... ∧ S_k(X_{k-1}, X_k)` used in the
+/// hardness reduction of Theorem 6.6.
+pub fn k_cycle_ej(k: usize) -> Hypergraph {
+    assert!(k >= 3, "cycles need at least three atoms");
+    let mut h = Hypergraph::new();
+    let vars: Vec<_> = (1..=k).map(|i| h.add_point_var(format!("X{i}"))).collect();
+    for i in 0..k {
+        let prev = vars[(i + k - 1) % k];
+        h.add_edge(format!("S{}", i + 1), vec![prev, vars[i]]);
+    }
+    h
+}
+
+/// The `k`-path query with intersection joins
+/// `R_1([X_1],[X_2]) ∧ ... ∧ R_{k}([X_k],[X_{k+1}])` — Berge-acyclic for all `k`.
+pub fn k_path_ij(k: usize) -> Hypergraph {
+    assert!(k >= 1);
+    let mut h = Hypergraph::new();
+    let vars: Vec<_> = (1..=k + 1).map(|i| h.add_interval_var(format!("X{i}"))).collect();
+    for i in 0..k {
+        h.add_edge(format!("R{}", i + 1), vec![vars[i], vars[i + 1]]);
+    }
+    h
+}
+
+/// The `k`-star query with intersection joins
+/// `R_1([X],[Y_1]) ∧ ... ∧ R_k([X],[Y_k])` — ι-acyclic for all `k`.
+pub fn star_ij(k: usize) -> Hypergraph {
+    assert!(k >= 1);
+    let mut h = Hypergraph::new();
+    let x = h.add_interval_var("X");
+    for i in 1..=k {
+        let y = h.add_interval_var(format!("Y{i}"));
+        h.add_edge(format!("R{i}"), vec![x, y]);
+    }
+    h
+}
+
+/// A named catalog entry.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// Short identifier, e.g. `"triangle-ij"`.
+    pub name: &'static str,
+    /// Where the query appears in the paper.
+    pub reference: &'static str,
+    /// The hypergraph.
+    pub hypergraph: Hypergraph,
+}
+
+/// Every named query of the paper, for data-driven tests and reports.
+pub fn named_catalog() -> Vec<CatalogEntry> {
+    vec![
+        CatalogEntry { name: "triangle-ij", reference: "Section 1.1", hypergraph: triangle_ij() },
+        CatalogEntry { name: "triangle-ej", reference: "Section 1.1", hypergraph: triangle_ej() },
+        CatalogEntry {
+            name: "loomis-whitney-4-ij",
+            reference: "Appendix F.2",
+            hypergraph: loomis_whitney_4_ij(),
+        },
+        CatalogEntry { name: "4-clique-ij", reference: "Appendix F.3", hypergraph: four_clique_ij() },
+        CatalogEntry { name: "figure-9a", reference: "Appendix E.4.1", hypergraph: figure_9a() },
+        CatalogEntry { name: "figure-9b", reference: "Appendix E.4.2", hypergraph: figure_9b() },
+        CatalogEntry { name: "figure-9c", reference: "Appendix E.4.3", hypergraph: figure_9c() },
+        CatalogEntry { name: "figure-9d", reference: "Appendix E.4.4", hypergraph: figure_9d() },
+        CatalogEntry { name: "figure-9e", reference: "Appendix E.4.5", hypergraph: figure_9e() },
+        CatalogEntry { name: "figure-9f", reference: "Appendix E.4.6", hypergraph: figure_9f() },
+        CatalogEntry { name: "4-cycle-ej", reference: "Theorem 6.6", hypergraph: k_cycle_ej(4) },
+        CatalogEntry { name: "3-path-ij", reference: "tests", hypergraph: k_path_ij(3) },
+        CatalogEntry { name: "3-star-ij", reference: "tests", hypergraph: star_ij(3) },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_entries_have_expected_shapes() {
+        assert_eq!(triangle_ij().num_edges(), 3);
+        assert_eq!(triangle_ij().num_vertices(), 3);
+        assert_eq!(loomis_whitney_4_ij().num_edges(), 4);
+        assert_eq!(loomis_whitney_4_ij().num_vertices(), 4);
+        assert_eq!(four_clique_ij().num_edges(), 6);
+        assert_eq!(four_clique_ij().num_vertices(), 4);
+        assert_eq!(figure_9e().num_vertices(), 5);
+        assert_eq!(k_cycle_ej(5).num_edges(), 5);
+        assert_eq!(k_path_ij(4).num_edges(), 4);
+        assert_eq!(star_ij(4).num_edges(), 4);
+    }
+
+    #[test]
+    fn ij_queries_have_only_interval_variables() {
+        for entry in named_catalog() {
+            if entry.name.ends_with("-ij") || entry.name.starts_with("figure") {
+                assert!(entry.hypergraph.is_ij(), "{} should be an IJ query", entry.name);
+            }
+        }
+        assert!(triangle_ej().is_ej());
+        assert!(k_cycle_ej(4).is_ej());
+    }
+
+    #[test]
+    fn every_variable_occurs_in_lw4_three_times() {
+        let h = loomis_whitney_4_ij();
+        for v in 0..h.num_vertices() {
+            assert_eq!(h.degree(v), 3);
+        }
+        let c = four_clique_ij();
+        for v in 0..c.num_vertices() {
+            assert_eq!(c.degree(v), 3);
+        }
+    }
+
+    #[test]
+    fn catalog_names_are_unique() {
+        let mut names: Vec<&str> = named_catalog().iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        let len = names.len();
+        names.dedup();
+        assert_eq!(names.len(), len);
+    }
+}

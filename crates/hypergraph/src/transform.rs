@@ -1,0 +1,330 @@
+//! The structural part of the IJ-to-EJ forward reduction.
+//!
+//! Resolving a join interval variable `[X]` occurring in `k` hyperedges
+//! replaces it with `k` fresh point variables `X#1, ..., X#k`: for a chosen
+//! permutation `σ` of the hyperedges containing `[X]`, the `i`-th hyperedge
+//! of the permutation receives the variables `X#1, ..., X#i` (Definition
+//! 4.5).  Taking all permutations of all join interval variables yields the
+//! set of hypergraphs `τ(H)` (Section 4.3), which drives both the ij-width
+//! (Definition 4.14) and ι-acyclicity (Definition 6.1).
+
+use crate::{EdgeId, Hypergraph, VarId, VarKind};
+use std::collections::BTreeMap;
+
+/// The permutation chosen for every resolved interval variable.
+///
+/// `permutations[var]` lists the hyperedges containing `var` in the order
+/// `σ_1, ..., σ_k`: the edge at position `i` (1-based) receives the fresh
+/// variables `X#1..X#i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PermutationChoice {
+    /// Interval variable → permutation of the edges containing it.
+    pub permutations: BTreeMap<VarId, Vec<EdgeId>>,
+}
+
+impl PermutationChoice {
+    /// The level (1-based position in the permutation) of edge `edge` for
+    /// variable `var`, if the edge contains the variable.
+    pub fn level(&self, var: VarId, edge: EdgeId) -> Option<usize> {
+        self.permutations.get(&var).and_then(|perm| perm.iter().position(|&e| e == edge).map(|p| p + 1))
+    }
+}
+
+/// One hypergraph of `τ(H)` together with the bookkeeping needed by the
+/// data-level reduction.
+#[derive(Debug, Clone)]
+pub struct ReducedHypergraph {
+    /// The reduced hypergraph; all resolved interval variables have been
+    /// replaced by point variables.  Hyperedge order and labels match the
+    /// original hypergraph (the bijection `ε` of Definition E.1).
+    pub hypergraph: Hypergraph,
+    /// The permutation choice that produced this hypergraph.
+    pub choice: PermutationChoice,
+    /// For every hyperedge (indexed as in the original hypergraph), the level
+    /// of each original interval variable occurring in it: edge `e` holds the
+    /// fresh variables `X#1..X#level` for interval variable `X`.
+    pub edge_levels: Vec<BTreeMap<VarId, usize>>,
+    /// For every vertex of the reduced hypergraph, its origin in the original
+    /// hypergraph: `(original_var, 0)` for carried-over point variables and
+    /// `(original_var, j)` with `j >= 1` for the `j`-th fresh variable of a
+    /// resolved interval variable.
+    pub vertex_origin: Vec<(VarId, usize)>,
+}
+
+impl ReducedHypergraph {
+    /// The fresh variable `X#j` of the reduced hypergraph for original
+    /// interval variable `var` and position `j` (1-based), if present.
+    pub fn fresh_var(&self, var: VarId, position: usize) -> Option<VarId> {
+        self.vertex_origin.iter().position(|&(v, p)| v == var && p == position)
+    }
+
+    /// The carried-over copy of an original point variable.
+    pub fn carried_var(&self, var: VarId) -> Option<VarId> {
+        self.vertex_origin.iter().position(|&(v, p)| v == var && p == 0)
+    }
+}
+
+/// The one-step hypergraph transformation `H̃_[X]` of Definition 4.5: resolve
+/// a single interval variable, returning one (still possibly mixed IJ/EJ)
+/// hypergraph per permutation of the edges containing `[X]`.
+///
+/// # Panics
+///
+/// Panics if `var` is not an interval variable of `h`.
+pub fn one_step_reduction(h: &Hypergraph, var: VarId) -> Vec<ReducedHypergraph> {
+    assert_eq!(h.vertex(var).kind, VarKind::Interval, "can only resolve interval variables");
+    let incident = h.edges_containing(var);
+    let mut out = Vec::new();
+    for perm in permutations(&incident) {
+        let mut choice = BTreeMap::new();
+        choice.insert(var, perm.clone());
+        out.push(apply_choice(h, &PermutationChoice { permutations: choice }));
+    }
+    out
+}
+
+/// The full structural reduction `τ(H)` of Section 4.3: resolve every join
+/// interval variable, taking the cartesian product of the permutations of
+/// their incident edges.  The result has `∏_[X] |E_[X]|!` hypergraphs, all of
+/// them EJ hypergraphs (provided the input contains only point and interval
+/// variables).
+pub fn full_reduction(h: &Hypergraph) -> Vec<ReducedHypergraph> {
+    let interval_vars: Vec<VarId> = h
+        .interval_vars()
+        .into_iter()
+        .filter(|&v| h.degree(v) >= 1)
+        .collect();
+    // Cartesian product of permutations, one per interval variable.
+    let mut choices: Vec<BTreeMap<VarId, Vec<EdgeId>>> = vec![BTreeMap::new()];
+    for &var in &interval_vars {
+        let incident = h.edges_containing(var);
+        let perms = permutations(&incident);
+        let mut next = Vec::with_capacity(choices.len() * perms.len());
+        for base in &choices {
+            for perm in &perms {
+                let mut c = base.clone();
+                c.insert(var, perm.clone());
+                next.push(c);
+            }
+        }
+        choices = next;
+    }
+    choices
+        .into_iter()
+        .map(|permutations| apply_choice(h, &PermutationChoice { permutations }))
+        .collect()
+}
+
+/// Applies a permutation choice to a hypergraph, producing the reduced
+/// hypergraph where every variable mentioned in the choice has been resolved.
+pub(crate) fn apply_choice(h: &Hypergraph, choice: &PermutationChoice) -> ReducedHypergraph {
+    let mut out = Hypergraph::new();
+    let mut vertex_origin: Vec<(VarId, usize)> = Vec::new();
+    // Carried-over variables (everything not being resolved).
+    let mut carried: BTreeMap<VarId, VarId> = BTreeMap::new();
+    for v in 0..h.num_vertices() {
+        if choice.permutations.contains_key(&v) {
+            continue;
+        }
+        let vx = h.vertex(v);
+        let nv = out.add_vertex(vx.name.clone(), vx.kind);
+        vertex_origin.push((v, 0));
+        carried.insert(v, nv);
+    }
+    // Fresh point variables X#1..X#k for every resolved interval variable.
+    let mut fresh: BTreeMap<(VarId, usize), VarId> = BTreeMap::new();
+    for (&var, perm) in &choice.permutations {
+        for j in 1..=perm.len() {
+            let name = format!("{}#{}", h.vertex(var).name, j);
+            let nv = out.add_vertex(name, VarKind::Point);
+            vertex_origin.push((var, j));
+            fresh.insert((var, j), nv);
+        }
+    }
+    // Rebuild the hyperedges, replacing resolved variables by prefixes of
+    // their fresh variables according to the edge's level.
+    let mut edge_levels: Vec<BTreeMap<VarId, usize>> = Vec::with_capacity(h.num_edges());
+    for (eid, edge) in h.edges().iter().enumerate() {
+        let mut levels = BTreeMap::new();
+        let mut vs: Vec<VarId> = Vec::new();
+        for &v in &edge.vertices {
+            if let Some(&nv) = carried.get(&v) {
+                vs.push(nv);
+            } else {
+                let level = choice
+                    .level(v, eid)
+                    .expect("resolved variable must have a level for every incident edge");
+                levels.insert(v, level);
+                for j in 1..=level {
+                    vs.push(fresh[&(v, j)]);
+                }
+            }
+        }
+        out.add_edge(edge.label.clone(), vs);
+        edge_levels.push(levels);
+    }
+    ReducedHypergraph { hypergraph: out, choice: choice.clone(), edge_levels, vertex_origin }
+}
+
+/// All permutations of a slice (in lexicographic order of positions).
+pub(crate) fn permutations<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    let mut indices: Vec<usize> = (0..items.len()).collect();
+    permute(&mut indices, 0, &mut |perm| {
+        out.push(perm.iter().map(|&i| items[i].clone()).collect());
+    });
+    out
+}
+
+fn permute(indices: &mut Vec<usize>, start: usize, visit: &mut impl FnMut(&[usize])) {
+    if start == indices.len() {
+        visit(indices);
+        return;
+    }
+    for i in start..indices.len() {
+        indices.swap(start, i);
+        permute(indices, start + 1, visit);
+        indices.swap(start, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{example_4_6, figure_9c, figure_9e, loomis_whitney_4_ij, triangle_ij};
+
+    #[test]
+    fn permutation_helper_generates_all_orders() {
+        let perms = permutations(&[1, 2, 3]);
+        assert_eq!(perms.len(), 6);
+        let unique: std::collections::HashSet<Vec<i32>> = perms.into_iter().collect();
+        assert_eq!(unique.len(), 6);
+        assert_eq!(permutations::<i32>(&[]), vec![Vec::<i32>::new()]);
+    }
+
+    #[test]
+    fn triangle_reduction_produces_eight_ej_queries() {
+        // Section 1.1: the triangle IJ query reduces to a disjunction of
+        // 2!·2!·2! = 8 EJ queries.
+        let h = triangle_ij();
+        let reduced = full_reduction(&h);
+        assert_eq!(reduced.len(), 8);
+        for r in &reduced {
+            assert!(r.hypergraph.is_ej());
+            assert_eq!(r.hypergraph.num_edges(), 3);
+            // Every reduced query has between 3 and 6 variables after the
+            // resolution of the three binary interval variables.
+            let n = r.hypergraph.num_vertices();
+            assert!(n == 6, "expected 6 fresh variables, got {n}");
+        }
+        // The eight queries have pairwise distinct level assignments.
+        let mut seen = std::collections::HashSet::new();
+        for r in &reduced {
+            assert!(seen.insert(format!("{:?}", r.edge_levels)));
+        }
+    }
+
+    #[test]
+    fn triangle_reduction_matches_section_1_1_schemas() {
+        // The reduced relations R_{a;b} have a + b variables: a copies of A
+        // and b copies of B (Section 1.1).  Check that the multiset of
+        // (|A-vars|, |B-vars|) levels across the 8 queries matches the paper:
+        // each of R, S, T independently takes levels (1,1), (1,2), (2,1), (2,2).
+        let h = triangle_ij();
+        let a = h.vertex_by_name("A").unwrap();
+        let b = h.vertex_by_name("B").unwrap();
+        let r_edge = h.edge_by_label("R").unwrap();
+        let reduced = full_reduction(&h);
+        let mut level_pairs: Vec<(usize, usize)> =
+            reduced.iter().map(|r| (r.edge_levels[r_edge][&a], r.edge_levels[r_edge][&b])).collect();
+        level_pairs.sort_unstable();
+        // Each of the four (a,b) combinations appears exactly twice (the two
+        // permutations of [C] do not affect R's schema).
+        assert_eq!(level_pairs, vec![(1, 1), (1, 1), (1, 2), (1, 2), (2, 1), (2, 1), (2, 2), (2, 2)]);
+    }
+
+    #[test]
+    fn example_4_6_one_step_reduction() {
+        // Example 4.6: resolving [A] (occurring in three edges) produces six
+        // hypergraphs; the permutation (e1,e2,e3) gives edges
+        // {A1,[B],[C]}, {A1,A2,[B],[C]}, {A1,A2,A3}.
+        let h = example_4_6();
+        let a = h.vertex_by_name("A").unwrap();
+        let steps = one_step_reduction(&h, a);
+        assert_eq!(steps.len(), 6);
+        for s in &steps {
+            // [A] resolved into A#1..A#3; [B] and [C] remain interval vars.
+            assert_eq!(s.hypergraph.interval_vars().len(), 2);
+            assert_eq!(s.hypergraph.point_vars().len(), 3);
+        }
+        // Find the identity permutation (e1, e2, e3) and check the arities.
+        let identity = steps
+            .iter()
+            .find(|s| s.choice.permutations[&a] == vec![0, 1, 2])
+            .expect("identity permutation present");
+        let sizes: Vec<usize> =
+            identity.hypergraph.edges().iter().map(|e| e.vertices.len()).collect();
+        assert_eq!(sizes, vec![3, 4, 3]); // {A1,[B],[C]}, {A1,A2,[B],[C]}, {A1,A2,A3}
+    }
+
+    #[test]
+    fn figure_9c_reduction_count() {
+        // Example 6.5 / Appendix E.4.3: 2!·3!·2! = 24 hypergraphs.
+        let reduced = full_reduction(&figure_9c());
+        assert_eq!(reduced.len(), 24);
+        assert!(reduced.iter().all(|r| r.hypergraph.is_ej()));
+    }
+
+    #[test]
+    fn figure_9e_reduction_count() {
+        // Example 6.5: 2!·1!·3!·1!·1! = 12 hypergraphs.
+        let reduced = full_reduction(&figure_9e());
+        assert_eq!(reduced.len(), 12);
+    }
+
+    #[test]
+    fn lw4_reduction_count() {
+        // Appendix F.2: each of the four variables occurs in three edges, so
+        // the reduction produces 3!^4 = 1296 hypergraphs.
+        let reduced = full_reduction(&loomis_whitney_4_ij());
+        assert_eq!(reduced.len(), 1296);
+    }
+
+    #[test]
+    fn levels_are_consistent_with_choice() {
+        let h = triangle_ij();
+        for r in full_reduction(&h) {
+            for (eid, levels) in r.edge_levels.iter().enumerate() {
+                for (&var, &level) in levels {
+                    assert_eq!(r.choice.level(var, eid), Some(level));
+                    // The edge contains exactly the fresh variables 1..=level.
+                    for j in 1..=level {
+                        let fv = r.fresh_var(var, j).unwrap();
+                        assert!(r.hypergraph.edge(eid).vertices.contains(&fv));
+                    }
+                    if let Some(fv) = r.fresh_var(var, level + 1) {
+                        assert!(!r.hypergraph.edge(eid).vertices.contains(&fv));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn point_variables_are_carried_over() {
+        // A mixed (EIJ) query: equality join on X, intersection join on [A].
+        let mut h = Hypergraph::new();
+        let x = h.add_point_var("X");
+        let a = h.add_interval_var("A");
+        h.add_edge("R", vec![x, a]);
+        h.add_edge("S", vec![x, a]);
+        let reduced = full_reduction(&h);
+        assert_eq!(reduced.len(), 2);
+        for r in &reduced {
+            let carried = r.carried_var(x).unwrap();
+            assert_eq!(r.hypergraph.vertex(carried).name, "X");
+            assert_eq!(r.hypergraph.vertex(carried).kind, VarKind::Point);
+            assert!(r.hypergraph.is_ej());
+        }
+    }
+}

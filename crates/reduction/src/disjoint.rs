@@ -1,0 +1,332 @@
+//! The disjoint rewriting of the intersection predicate (Appendix G).
+//!
+//! Lemma 4.3 rewrites the intersection predicate of a set of intervals as a
+//! disjunction over permutations of the intervals; several permutations can
+//! witness the same intersection, which is harmless for Boolean evaluation
+//! but breaks counting and enumeration.  Appendix G refines the rewriting in
+//! two steps:
+//!
+//! * **G.1** — shift the intervals so that any two intervals from different
+//!   relations have distinct left endpoints
+//!   ([`ij_relation::Database::shift_left_endpoints`]);
+//! * **G.2** — restrict the admissible node tuples to the *ordered tuple
+//!   sets* of Definition G.1: ties between equal segment-tree nodes are only
+//!   allowed when the permutation lists the intervals in increasing index
+//!   order, so that every satisfied intersection predicate is witnessed by
+//!   **exactly one** permutation and node tuple (Lemma G.2).
+//!
+//! This module implements the refined predicate at the level of a single
+//! intersection: [`ordered_witnesses`] enumerates every admissible
+//! `(permutation, nodes)` pair and [`unique_ordered_witness`] constructs the
+//! unique one directly.  Property tests (see `tests/disjoint_predicate.rs`)
+//! verify Lemma G.2: the count is one exactly when the intervals intersect.
+
+use ij_segtree::{BitString, Interval, SegmentTree};
+
+/// One witness of the refined intersection predicate: a permutation `σ` of
+/// the interval indices and the segment-tree nodes `u_1 ⊑ … ⊑ u_k` along the
+/// root-to-leaf path of `leaf(σ_k)` with `u_j ∈ CP(σ_j)` for `j < k` and
+/// `u_k = leaf(σ_k)` (Definition G.1 / Lemma G.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderedWitness {
+    /// The permutation `σ` as interval indices into the input slice.
+    pub permutation: Vec<usize>,
+    /// The nodes `u_1, …, u_k`, in permutation order (weakly increasing
+    /// depth; the last node is the leaf of `σ_k`'s left endpoint).
+    pub nodes: Vec<BitString>,
+}
+
+impl OrderedWitness {
+    /// Checks the conditions of Definition G.1 against a segment tree and the
+    /// intervals: membership of each node in the canonical partition of its
+    /// interval, the leaf condition for the last position, and the
+    /// strict/non-strict ancestor chain driven by the permutation order.
+    pub fn is_valid(&self, tree: &SegmentTree, intervals: &[Interval]) -> bool {
+        let k = self.permutation.len();
+        if k == 0 || self.nodes.len() != k || k != intervals.len() {
+            return false;
+        }
+        // Positions 1..k-1 must be canonical-partition nodes of their
+        // interval; position k must be the leaf of the interval's left
+        // endpoint.
+        for j in 0..k {
+            let interval = intervals[self.permutation[j]];
+            if j + 1 == k {
+                if self.nodes[j] != tree.leaf_of_interval(interval) {
+                    return false;
+                }
+            } else if !tree.canonical_partition(interval).contains(&self.nodes[j]) {
+                return false;
+            }
+        }
+        // Ancestor chain: node j-1 must be a prefix of node j; for interior
+        // positions (j < k) the prefix must be strict unless the permutation
+        // lists the two intervals in increasing index order.
+        for j in 1..k {
+            let prev = self.nodes[j - 1];
+            let here = self.nodes[j];
+            if !prev.is_prefix_of(here) {
+                return false;
+            }
+            let interior = j + 1 < k;
+            if interior && prev == here && self.permutation[j - 1] > self.permutation[j] {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Enumerates every witness of the refined intersection predicate
+/// (Definition G.1) for the given intervals over the given segment tree.
+///
+/// By Lemma G.2 the result has exactly one element when the intervals
+/// intersect and have pairwise-distinct left endpoints, and is empty when
+/// they do not intersect.  The enumeration is exponential in the number of
+/// intervals and exists for verification and property testing; use
+/// [`unique_ordered_witness`] in algorithmic contexts.
+pub fn ordered_witnesses(tree: &SegmentTree, intervals: &[Interval]) -> Vec<OrderedWitness> {
+    let k = intervals.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for permutation in permutations(k) {
+        // The node of the last position is forced; the nodes of the other
+        // positions must be canonical-partition nodes on the path to it.
+        let leaf = tree.leaf_of_interval(intervals[permutation[k - 1]]);
+        let mut candidates: Vec<Vec<BitString>> = Vec::with_capacity(k);
+        for (j, &idx) in permutation.iter().enumerate() {
+            if j + 1 == k {
+                candidates.push(vec![leaf]);
+            } else {
+                candidates.push(
+                    tree.canonical_partition(intervals[idx])
+                        .into_iter()
+                        .filter(|n| n.is_prefix_of(leaf))
+                        .collect(),
+                );
+            }
+        }
+        // Cross product (tiny: each candidate list has at most one element by
+        // Property 3.2(2), but we keep the general form for verification).
+        let mut stack: Vec<Vec<BitString>> = vec![Vec::new()];
+        for options in &candidates {
+            let mut next = Vec::new();
+            for prefix in &stack {
+                for &node in options {
+                    let mut row = prefix.clone();
+                    row.push(node);
+                    next.push(row);
+                }
+            }
+            stack = next;
+        }
+        for nodes in stack {
+            let witness = OrderedWitness { permutation: permutation.clone(), nodes };
+            if witness.is_valid(tree, intervals) {
+                out.push(witness);
+            }
+        }
+    }
+    out
+}
+
+/// Constructs the unique ordered witness of Lemma G.2 directly, or `None` if
+/// the intervals do not intersect.
+///
+/// The intervals should have pairwise-distinct left endpoints (Appendix G.1);
+/// with ties the construction still returns a single witness (the one whose
+/// final position has the largest index among the maximising intervals), but
+/// uniqueness among *all* admissible witnesses is only guaranteed after the
+/// G.1 transformation.
+pub fn unique_ordered_witness(
+    tree: &SegmentTree,
+    intervals: &[Interval],
+) -> Option<OrderedWitness> {
+    if intervals.is_empty() {
+        return None;
+    }
+    Interval::intersect_all(intervals.iter().copied())?;
+    // The final interval σ_k is the one with the maximum left endpoint (ties
+    // broken towards the largest index).
+    let last = intervals
+        .iter()
+        .enumerate()
+        .max_by(|(i, a), (j, b)| a.lo().total_cmp(&b.lo()).then(i.cmp(j)))
+        .map(|(i, _)| i)
+        .expect("non-empty input");
+    let leaf = tree.leaf_of_interval(intervals[last]);
+
+    // For every other interval: the unique canonical-partition node on the
+    // path to `leaf` (Property 4.2).
+    let mut tagged: Vec<(BitString, usize)> = Vec::with_capacity(intervals.len() - 1);
+    for (i, &interval) in intervals.iter().enumerate() {
+        if i == last {
+            continue;
+        }
+        let node = tree
+            .canonical_partition(interval)
+            .into_iter()
+            .find(|n| n.is_prefix_of(leaf))?;
+        tagged.push((node, i));
+    }
+    // Order by (depth, interval index): the unique admissible interior order.
+    tagged.sort_by(|a, b| a.0.len().cmp(&b.0.len()).then(a.1.cmp(&b.1)));
+
+    let mut permutation: Vec<usize> = tagged.iter().map(|(_, i)| *i).collect();
+    let mut nodes: Vec<BitString> = tagged.iter().map(|(n, _)| *n).collect();
+    permutation.push(last);
+    nodes.push(leaf);
+    let witness = OrderedWitness { permutation, nodes };
+    debug_assert!(witness.is_valid(tree, intervals));
+    Some(witness)
+}
+
+/// Counts the witnesses of the *unrestricted* rewriting of Lemma 4.3 (no
+/// ordering discipline): useful to demonstrate why the Appendix G refinement
+/// is needed for counting.
+pub fn unrestricted_witness_count(tree: &SegmentTree, intervals: &[Interval]) -> usize {
+    let k = intervals.len();
+    if k == 0 {
+        return 0;
+    }
+    let mut count = 0usize;
+    for permutation in permutations(k) {
+        let leaf = tree.leaf_of_interval(intervals[permutation[k - 1]]);
+        // By Property 4.2 each interval has at most one canonical-partition
+        // node on the path to `leaf`; the permutation is a witness when every
+        // interior interval has one and their depths are weakly increasing
+        // along the permutation (the ancestor chain of Lemma 4.3).
+        let mut nodes: Vec<BitString> = Vec::with_capacity(k);
+        let mut ok = true;
+        for (j, &idx) in permutation.iter().enumerate() {
+            if j + 1 == k {
+                nodes.push(leaf);
+                break;
+            }
+            match tree
+                .canonical_partition(intervals[idx])
+                .into_iter()
+                .find(|n| n.is_prefix_of(leaf))
+            {
+                Some(n) => nodes.push(n),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok && nodes.windows(2).all(|w| w[0].is_prefix_of(w[1])) {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// All permutations of `0..k` (Heap's algorithm, iterative collection).
+fn permutations(k: usize) -> Vec<Vec<usize>> {
+    fn rec(current: &mut Vec<usize>, remaining: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if remaining.is_empty() {
+            out.push(current.clone());
+            return;
+        }
+        for i in 0..remaining.len() {
+            let x = remaining.remove(i);
+            current.push(x);
+            rec(current, remaining, out);
+            current.pop();
+            remaining.insert(i, x);
+        }
+    }
+    let mut out = Vec::new();
+    rec(&mut Vec::new(), &mut (0..k).collect(), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_over(intervals: &[Interval]) -> SegmentTree {
+        SegmentTree::build(intervals)
+    }
+
+    #[test]
+    fn intersecting_intervals_have_exactly_one_ordered_witness() {
+        let intervals =
+            [Interval::new(0.0, 10.0), Interval::new(3.0, 8.0), Interval::new(5.0, 12.0)];
+        let tree = tree_over(&intervals);
+        let witnesses = ordered_witnesses(&tree, &intervals);
+        assert_eq!(witnesses.len(), 1, "Lemma G.2: exactly one witness");
+        let unique = unique_ordered_witness(&tree, &intervals).unwrap();
+        assert_eq!(witnesses[0], unique);
+        // The final position is the interval with the maximum left endpoint.
+        assert_eq!(*unique.permutation.last().unwrap(), 2);
+        assert!(unique.is_valid(&tree, &intervals));
+    }
+
+    #[test]
+    fn disjoint_intervals_have_no_witness() {
+        let intervals = [Interval::new(0.0, 1.0), Interval::new(2.0, 3.0)];
+        let tree = tree_over(&intervals);
+        assert!(ordered_witnesses(&tree, &intervals).is_empty());
+        assert!(unique_ordered_witness(&tree, &intervals).is_none());
+        assert_eq!(unrestricted_witness_count(&tree, &intervals), 0);
+    }
+
+    #[test]
+    fn unrestricted_rewriting_can_overcount() {
+        // Two pairs of nested intervals sharing structure: the unrestricted
+        // Lemma 4.3 predicate admits at least as many witnesses as the
+        // ordered one, and strictly more when nodes coincide.
+        let intervals =
+            [Interval::new(0.0, 100.0), Interval::new(0.0, 100.0), Interval::new(10.0, 20.0)];
+        let tree = tree_over(&intervals);
+        let ordered = ordered_witnesses(&tree, &intervals);
+        let unrestricted = unrestricted_witness_count(&tree, &intervals);
+        assert_eq!(ordered.len(), 1);
+        assert!(
+            unrestricted > ordered.len(),
+            "unrestricted count {unrestricted} should exceed the ordered count"
+        );
+    }
+
+    #[test]
+    fn single_interval_is_witnessed_by_its_leaf() {
+        let intervals = [Interval::new(4.0, 9.0)];
+        let tree = tree_over(&intervals);
+        let w = unique_ordered_witness(&tree, &intervals).unwrap();
+        assert_eq!(w.permutation, vec![0]);
+        assert_eq!(w.nodes, vec![tree.leaf_of_interval(intervals[0])]);
+        assert_eq!(ordered_witnesses(&tree, &intervals).len(), 1);
+    }
+
+    #[test]
+    fn equal_left_endpoints_show_why_g1_is_needed() {
+        // Two identical point intervals violate the distinct-left-endpoint
+        // precondition of Lemma G.2: both orders witness the intersection, so
+        // uniqueness fails — exactly the situation the Appendix G.1 shift
+        // removes.  Disjoint points still have no witness.
+        let a = Interval::point(5.0);
+        let b = Interval::point(5.0);
+        let c = Interval::point(6.0);
+        let tree = tree_over(&[a, b, c]);
+        assert_eq!(ordered_witnesses(&tree, &[a, b]).len(), 2);
+        assert!(unique_ordered_witness(&tree, &[a, b]).is_some());
+        assert!(ordered_witnesses(&tree, &[a, c]).is_empty());
+    }
+
+    #[test]
+    fn invalid_witnesses_are_rejected() {
+        let intervals = [Interval::new(0.0, 10.0), Interval::new(3.0, 8.0)];
+        let tree = tree_over(&intervals);
+        let mut w = unique_ordered_witness(&tree, &intervals).unwrap();
+        // Swap the permutation without swapping the nodes: invalid.
+        w.permutation.swap(0, 1);
+        assert!(!w.is_valid(&tree, &intervals));
+        // Wrong length: invalid.
+        let short = OrderedWitness { permutation: vec![0], nodes: vec![] };
+        assert!(!short.is_valid(&tree, &intervals));
+    }
+}

@@ -1,0 +1,31 @@
+//! The data model: values, relations, databases and the query AST.
+//!
+//! * [`Value`] — points, intervals and segment-tree bitstrings;
+//! * [`Relation`] / [`Database`] — named multisets of tuples and collections
+//!   thereof, with the distinct-left-endpoint transformation of Appendix G.1;
+//! * [`Query`] — Boolean conjunctive queries with equality joins, intersection
+//!   joins, or both (Definition 3.3), convertible to the hypergraph
+//!   representation used by the structural machinery.
+//!
+//! # Example
+//!
+//! ```
+//! use ij_relation::{Database, Query, Value};
+//!
+//! let q = Query::parse("R([A],[B]) & S([B],[C]) & T([A],[C])").unwrap();
+//! assert!(q.is_ij());
+//!
+//! let mut db = Database::new();
+//! db.insert_tuples("R", 2, vec![vec![Value::interval(0.0, 2.0), Value::interval(1.0, 3.0)]]);
+//! assert_eq!(db.total_tuples(), 1);
+//! ```
+
+mod csv;
+mod query;
+mod relation;
+mod value;
+
+pub use csv::{field_to_value, value_to_field, CsvError};
+pub use query::{Atom, Query, QueryParseError};
+pub use relation::{Database, Relation};
+pub use value::Value;

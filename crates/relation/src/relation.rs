@@ -1,0 +1,353 @@
+//! Relations and databases.
+
+use crate::Value;
+use ij_segtree::Interval;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A relation: a named multiset of tuples of fixed arity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    name: String,
+    arity: usize,
+    tuples: Vec<Vec<Value>>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given name and arity.
+    pub fn new(name: impl Into<String>, arity: usize) -> Self {
+        Relation { name: name.into(), arity, tuples: Vec::new() }
+    }
+
+    /// Creates a relation from a list of tuples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuples do not all have the same arity.
+    pub fn from_tuples(name: impl Into<String>, arity: usize, tuples: Vec<Vec<Value>>) -> Self {
+        let mut r = Relation::new(name, arity);
+        for t in tuples {
+            r.push(t);
+        }
+        r
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples.
+    pub fn tuples(&self) -> &[Vec<Value>] {
+        &self.tuples
+    }
+
+    /// Appends a tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuple arity does not match the relation arity.
+    pub fn push(&mut self, tuple: Vec<Value>) {
+        assert_eq!(tuple.len(), self.arity, "tuple arity mismatch for relation {}", self.name);
+        self.tuples.push(tuple);
+    }
+
+    /// Sorts the tuples and removes duplicates (set semantics).
+    pub fn dedup(&mut self) {
+        self.tuples.sort_unstable();
+        self.tuples.dedup();
+    }
+
+    /// Projects the relation onto the given column indices (keeping
+    /// duplicates; call [`Relation::dedup`] afterwards for set semantics).
+    pub fn project(&self, columns: &[usize], name: impl Into<String>) -> Relation {
+        let mut out = Relation::new(name, columns.len());
+        for t in &self.tuples {
+            out.push(columns.iter().map(|&c| t[c]).collect());
+        }
+        out
+    }
+
+    /// An iterator over the values of a single column.
+    pub fn column(&self, index: usize) -> impl Iterator<Item = Value> + '_ {
+        self.tuples.iter().map(move |t| t[index])
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}({} tuples, arity {})", self.name, self.tuples.len(), self.arity)
+    }
+}
+
+/// A database: a collection of named relations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Inserts (or replaces) a relation.
+    pub fn insert(&mut self, relation: Relation) {
+        self.relations.insert(relation.name().to_string(), relation);
+    }
+
+    /// Adds a relation built from tuples.
+    pub fn insert_tuples(&mut self, name: &str, arity: usize, tuples: Vec<Vec<Value>>) {
+        self.insert(Relation::from_tuples(name, arity, tuples));
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Mutable lookup.
+    pub fn relation_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        self.relations.get_mut(name)
+    }
+
+    /// All relations (sorted by name).
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
+    }
+
+    /// Relation names.
+    pub fn relation_names(&self) -> Vec<String> {
+        self.relations.keys().cloned().collect()
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Total number of tuples across all relations (the database size `N`).
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+
+    /// The distinct-left-endpoint transformation of Appendix G.1: shifts the
+    /// intervals of the `i`-th relation (in the supplied order, 1-based) by
+    /// `+i·ε` on the left endpoint and `+n·ε` on the right endpoint, where
+    /// `ε` is small enough not to change any intersection relationship.
+    /// After the transformation any two intervals from *different* relations
+    /// have distinct left endpoints while every intersection join result is
+    /// preserved.
+    ///
+    /// Relations named in `order` must exist; relations not named are left
+    /// untouched.
+    pub fn shift_left_endpoints(&mut self, order: &[&str]) {
+        let n = order.len();
+        if n == 0 {
+            return;
+        }
+        // ε must satisfy n·ε < the smallest positive distance between any two
+        // distinct endpoint values.
+        let mut endpoints: Vec<f64> = Vec::new();
+        for name in order {
+            if let Some(rel) = self.relations.get(*name) {
+                for t in rel.tuples() {
+                    for v in t {
+                        if let Some(iv) = v.as_interval() {
+                            endpoints.push(iv.lo());
+                            endpoints.push(iv.hi());
+                        }
+                    }
+                }
+            }
+        }
+        endpoints.sort_by(f64::total_cmp);
+        endpoints.dedup();
+        let mut min_gap = f64::INFINITY;
+        for w in endpoints.windows(2) {
+            let gap = w[1] - w[0];
+            if gap > 0.0 && gap < min_gap {
+                min_gap = gap;
+            }
+        }
+        if !min_gap.is_finite() {
+            min_gap = 1.0;
+        }
+        let eps = min_gap / (2.0 * (n as f64 + 1.0));
+
+        for (i, name) in order.iter().enumerate() {
+            let index = (i + 1) as f64;
+            if let Some(rel) = self.relations.get_mut(*name) {
+                let arity = rel.arity();
+                let tuples: Vec<Vec<Value>> = rel
+                    .tuples()
+                    .iter()
+                    .map(|t| {
+                        t.iter()
+                            .map(|v| match v.as_interval() {
+                                Some(iv) => {
+                                    Value::Interval(iv.shift(index * eps, n as f64 * eps))
+                                }
+                                None => *v,
+                            })
+                            .collect()
+                    })
+                    .collect();
+                *rel = Relation::from_tuples(rel.name().to_string(), arity, tuples);
+            }
+        }
+    }
+
+    /// Collects every interval value appearing in the given column of the
+    /// given relations — the interval set `I` over which the forward
+    /// reduction builds a segment tree for one interval variable.
+    pub fn collect_intervals(&self, sources: &[(&str, usize)]) -> Vec<Interval> {
+        let mut out = Vec::new();
+        for (name, column) in sources {
+            if let Some(rel) = self.relations.get(*name) {
+                for t in rel.tuples() {
+                    if let Some(iv) = t[*column].as_interval() {
+                        out.push(iv);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in self.relations.values() {
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> Value {
+        Value::interval(lo, hi)
+    }
+
+    #[test]
+    fn relation_basics() {
+        let mut r = Relation::new("R", 2);
+        r.push(vec![iv(0.0, 1.0), iv(2.0, 3.0)]);
+        r.push(vec![iv(0.0, 1.0), iv(2.0, 3.0)]);
+        assert_eq!(r.len(), 2);
+        r.dedup();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.column(0).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_is_rejected() {
+        let mut r = Relation::new("R", 2);
+        r.push(vec![iv(0.0, 1.0)]);
+    }
+
+    #[test]
+    fn projection_keeps_selected_columns() {
+        let r = Relation::from_tuples(
+            "R",
+            3,
+            vec![
+                vec![Value::point(1.0), Value::point(2.0), Value::point(3.0)],
+                vec![Value::point(4.0), Value::point(5.0), Value::point(6.0)],
+            ],
+        );
+        let p = r.project(&[2, 0], "P");
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.tuples()[0], vec![Value::point(3.0), Value::point(1.0)]);
+        assert_eq!(p.tuples()[1], vec![Value::point(6.0), Value::point(4.0)]);
+    }
+
+    #[test]
+    fn database_insert_and_lookup() {
+        let mut db = Database::new();
+        db.insert_tuples("R", 2, vec![vec![iv(0.0, 1.0), iv(0.0, 2.0)]]);
+        db.insert_tuples("S", 1, vec![vec![iv(0.0, 1.0)], vec![iv(5.0, 6.0)]]);
+        assert_eq!(db.num_relations(), 2);
+        assert_eq!(db.total_tuples(), 3);
+        assert_eq!(db.relation("R").unwrap().arity(), 2);
+        assert!(db.relation("T").is_none());
+        assert_eq!(db.relation_names(), vec!["R".to_string(), "S".to_string()]);
+    }
+
+    #[test]
+    fn collect_intervals_gathers_the_right_columns() {
+        let mut db = Database::new();
+        db.insert_tuples("R", 2, vec![vec![iv(0.0, 1.0), iv(10.0, 11.0)]]);
+        db.insert_tuples("S", 1, vec![vec![iv(5.0, 6.0)]]);
+        let intervals = db.collect_intervals(&[("R", 0), ("S", 0)]);
+        assert_eq!(intervals.len(), 2);
+        assert!(intervals.contains(&Interval::new(0.0, 1.0)));
+        assert!(intervals.contains(&Interval::new(5.0, 6.0)));
+    }
+
+    #[test]
+    fn shift_left_endpoints_preserves_intersections() {
+        // R and S each hold one interval per tuple; verify that intersection
+        // relationships across relations are unchanged and that left
+        // endpoints become pairwise distinct across relations.
+        let r_ivs = [Interval::new(0.0, 2.0), Interval::new(3.0, 5.0), Interval::new(2.0, 3.0)];
+        let s_ivs = [Interval::new(2.0, 4.0), Interval::new(0.0, 0.5), Interval::new(5.0, 7.0)];
+        let mut db = Database::new();
+        db.insert_tuples("R", 1, r_ivs.iter().map(|&i| vec![Value::Interval(i)]).collect());
+        db.insert_tuples("S", 1, s_ivs.iter().map(|&i| vec![Value::Interval(i)]).collect());
+        db.shift_left_endpoints(&["R", "S"]);
+
+        let r_new: Vec<Interval> =
+            db.relation("R").unwrap().column(0).map(|v| v.as_interval().unwrap()).collect();
+        let s_new: Vec<Interval> =
+            db.relation("S").unwrap().column(0).map(|v| v.as_interval().unwrap()).collect();
+        for (i, &r_old) in r_ivs.iter().enumerate() {
+            for (j, &s_old) in s_ivs.iter().enumerate() {
+                assert_eq!(
+                    r_old.intersects(s_old),
+                    r_new[i].intersects(s_new[j]),
+                    "intersection changed for R[{i}], S[{j}]"
+                );
+            }
+        }
+        // Left endpoints are now distinct across the two relations.
+        for r in &r_new {
+            for s in &s_new {
+                assert_ne!(r.lo(), s.lo());
+            }
+        }
+    }
+
+    #[test]
+    fn shift_left_endpoints_handles_empty_order_and_missing_relations() {
+        let mut db = Database::new();
+        db.insert_tuples("R", 1, vec![vec![iv(0.0, 1.0)]]);
+        let before = db.clone();
+        db.shift_left_endpoints(&[]);
+        assert_eq!(db, before);
+        db.shift_left_endpoints(&["Missing"]);
+        assert_eq!(db.relation("R").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Runtime values stored in relations.
+//!
+//! The paper's data model needs three kinds of values:
+//!
+//! * real-valued **points** (the values of point variables, i.e. equality
+//!   joins),
+//! * **intervals** with real endpoints (the values of interval variables,
+//!   i.e. intersection joins),
+//! * **bitstrings** (the values introduced by the forward reduction, which
+//!   identify segment-tree nodes).
+//!
+//! Values carry a total order so relations can be sorted, deduplicated and
+//! indexed deterministically.
+
+use ij_segtree::{BitString, Interval, OrdF64};
+use std::fmt;
+
+/// A single attribute value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A real-valued point (used by point variables / equality joins).
+    Point(OrdF64),
+    /// A closed interval (used by interval variables / intersection joins).
+    Interval(Interval),
+    /// A segment-tree node identifier (introduced by the forward reduction).
+    Bits(BitString),
+}
+
+impl Value {
+    /// Convenience constructor for a point value.
+    pub fn point(p: f64) -> Self {
+        Value::Point(OrdF64::new(p))
+    }
+
+    /// Convenience constructor for an interval value.
+    pub fn interval(lo: f64, hi: f64) -> Self {
+        Value::Interval(Interval::new(lo, hi))
+    }
+
+    /// Convenience constructor for a bitstring value.
+    pub fn bits(b: BitString) -> Self {
+        Value::Bits(b)
+    }
+
+    /// Returns the point, if this is a point value.
+    pub fn as_point(&self) -> Option<f64> {
+        match self {
+            Value::Point(p) => Some(p.get()),
+            _ => None,
+        }
+    }
+
+    /// Returns the interval, if this is an interval value.
+    pub fn as_interval(&self) -> Option<Interval> {
+        match self {
+            Value::Interval(iv) => Some(*iv),
+            _ => None,
+        }
+    }
+
+    /// Returns the bitstring, if this is a bitstring value.
+    pub fn as_bits(&self) -> Option<BitString> {
+        match self {
+            Value::Bits(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as an interval: intervals map to themselves and
+    /// points to point intervals.  This realises the membership-join view in
+    /// which a point variable can join with interval variables (Section 7).
+    pub fn to_interval(&self) -> Option<Interval> {
+        match self {
+            Value::Interval(iv) => Some(*iv),
+            Value::Point(p) => Some(Interval::point(p.get())),
+            Value::Bits(_) => None,
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Point(p) => write!(f, "{p}"),
+            Value::Interval(iv) => write!(f, "{iv}"),
+            Value::Bits(b) => write!(f, "«{b}»"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(p: f64) -> Self {
+        Value::point(p)
+    }
+}
+
+impl From<Interval> for Value {
+    fn from(iv: Interval) -> Self {
+        Value::Interval(iv)
+    }
+}
+
+impl From<BitString> for Value {
+    fn from(b: BitString) -> Self {
+        Value::Bits(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let p = Value::point(3.0);
+        assert_eq!(p.as_point(), Some(3.0));
+        assert_eq!(p.as_interval(), None);
+        assert_eq!(p.to_interval(), Some(Interval::point(3.0)));
+
+        let iv = Value::interval(1.0, 2.0);
+        assert_eq!(iv.as_interval(), Some(Interval::new(1.0, 2.0)));
+        assert_eq!(iv.as_point(), None);
+
+        let b = Value::bits(BitString::parse("01").unwrap());
+        assert_eq!(b.as_bits(), Some(BitString::parse("01").unwrap()));
+        assert_eq!(b.to_interval(), None);
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut values = vec![
+            Value::interval(0.0, 1.0),
+            Value::point(5.0),
+            Value::bits(BitString::empty()),
+            Value::point(-1.0),
+        ];
+        values.sort();
+        // Points sort before intervals before bitstrings (variant order),
+        // and within a variant by their natural order.
+        assert_eq!(values[0], Value::point(-1.0));
+        assert_eq!(values[1], Value::point(5.0));
+        assert_eq!(values[2], Value::interval(0.0, 1.0));
+        assert_eq!(values[3], Value::bits(BitString::empty()));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(format!("{}", Value::point(2.5)), "2.5");
+        assert_eq!(format!("{}", Value::interval(1.0, 2.0)), "[1, 2]");
+        assert_eq!(format!("{}", Value::bits(BitString::parse("10").unwrap())), "«10»");
+    }
+
+    #[test]
+    fn conversions_from_native_types() {
+        let v: Value = 4.0.into();
+        assert_eq!(v, Value::point(4.0));
+        let v: Value = Interval::new(0.0, 1.0).into();
+        assert_eq!(v, Value::interval(0.0, 1.0));
+    }
+}

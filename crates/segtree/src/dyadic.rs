@@ -1,0 +1,116 @@
+//! Dyadic embedding of bitstrings into intervals.
+//!
+//! The backward reduction (Section 5, Example 5.1) maps each bitstring `b`
+//! to an interval `F(b)` such that two bitstrings are prefix-related if and
+//! only if their images intersect (equivalently, one image contains the
+//! other).  The paper uses the half-open dyadic intervals `F(ε) = [0,1)`,
+//! `F(0) = [0,1/2)`, `F(1) = [1/2,1)`, and so on.
+//!
+//! This crate works with closed intervals throughout (Remark B.1), so we
+//! realise the same combinatorics on an integer grid: with a fixed precision
+//! of `depth` bits, the bitstring `b` of length `ℓ ≤ depth` maps to the
+//! closed interval `[b·2^(depth-ℓ), (b+1)·2^(depth-ℓ) - 1]` (interpreted as
+//! `f64` values, exact for `depth ≤ 52`).  Prefix-related bitstrings map to
+//! nested intervals; unrelated bitstrings map to disjoint intervals.
+
+use crate::{BitString, Interval};
+
+/// Maximum precision for which the integer grid is exactly representable in
+/// `f64`.
+pub const MAX_DEPTH: u8 = 52;
+
+/// A fixed-precision dyadic embedding `F` of bitstrings into closed intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DyadicEmbedding {
+    depth: u8,
+}
+
+impl DyadicEmbedding {
+    /// Creates an embedding able to map bitstrings of length at most `depth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth > MAX_DEPTH`.
+    pub fn new(depth: u8) -> Self {
+        assert!(depth <= MAX_DEPTH, "dyadic embedding depth too large for exact f64 arithmetic");
+        DyadicEmbedding { depth }
+    }
+
+    /// The precision of the embedding.
+    pub fn depth(&self) -> u8 {
+        self.depth
+    }
+
+    /// Maps a bitstring to its closed dyadic interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitstring is longer than the embedding depth.
+    pub fn interval(&self, b: BitString) -> Interval {
+        assert!(b.len() <= self.depth, "bitstring longer than embedding depth");
+        let shift = self.depth - b.len();
+        let lo = (b.bits() << shift) as f64;
+        let hi = (((b.bits() + 1) << shift) - 1) as f64;
+        Interval::new(lo, hi)
+    }
+}
+
+/// Convenience wrapper: maps `b` with an embedding of exactly `depth` bits.
+pub fn dyadic_interval(b: BitString, depth: u8) -> Interval {
+    DyadicEmbedding::new(depth).interval(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(text: &str) -> BitString {
+        BitString::parse(text).unwrap()
+    }
+
+    #[test]
+    fn root_maps_to_full_range() {
+        let emb = DyadicEmbedding::new(4);
+        assert_eq!(emb.interval(BitString::empty()), Interval::new(0.0, 15.0));
+        assert_eq!(emb.interval(bs("0")), Interval::new(0.0, 7.0));
+        assert_eq!(emb.interval(bs("1")), Interval::new(8.0, 15.0));
+        assert_eq!(emb.interval(bs("00")), Interval::new(0.0, 3.0));
+    }
+
+    #[test]
+    fn prefix_iff_containment_iff_intersection() {
+        let emb = DyadicEmbedding::new(6);
+        let strings: Vec<BitString> =
+            ["", "0", "1", "01", "10", "010", "0101", "111111", "000000", "10110"]
+                .iter()
+                .map(|s| bs(s))
+                .collect();
+        for &a in &strings {
+            for &b in &strings {
+                let ia = emb.interval(a);
+                let ib = emb.interval(b);
+                let prefix_related = a.is_prefix_of(b) || b.is_prefix_of(a);
+                assert_eq!(ia.intersects(ib), prefix_related, "a={a} b={b}");
+                if a.is_prefix_of(b) {
+                    assert!(ia.contains(ib), "F({a}) should contain F({b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_depth_stays_exact() {
+        let emb = DyadicEmbedding::new(MAX_DEPTH);
+        let deep = BitString::from_bits((1u64 << 52) - 1, 52);
+        let iv = emb.interval(deep);
+        assert_eq!(iv.lo(), iv.hi());
+        assert_eq!(iv.lo(), ((1u64 << 52) - 1) as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than embedding depth")]
+    fn too_long_bitstrings_are_rejected() {
+        let emb = DyadicEmbedding::new(3);
+        let _ = emb.interval(bs("0101"));
+    }
+}

@@ -1,0 +1,324 @@
+//! A static centered interval tree.
+//!
+//! The related-work section of the paper (Section 2) surveys classical
+//! index-based algorithms for binary intersection joins (R-tree joins,
+//! relational interval trees, ...).  This module provides the textbook
+//! centered interval tree as the index substrate for those baselines: `O(N
+//! log N)` construction, `O(log N + k)` stabbing queries and `O(log N + k)`
+//! overlap queries, where `k` is the number of reported intervals.
+//!
+//! The tree is static (built once from a slice of intervals) which matches
+//! how the baselines use it: build an index on the inner relation, then probe
+//! it once per outer tuple.
+
+use crate::{Interval, OrdF64};
+
+/// A node of the centered interval tree.
+#[derive(Debug, Clone)]
+struct Node {
+    /// The centre point of this node.
+    center: OrdF64,
+    /// Indices of the intervals containing `center`, sorted by left endpoint
+    /// (ascending).
+    by_lo: Vec<usize>,
+    /// The same intervals sorted by right endpoint (descending).
+    by_hi: Vec<usize>,
+    /// Subtree with intervals entirely to the left of `center`.
+    left: Option<Box<Node>>,
+    /// Subtree with intervals entirely to the right of `center`.
+    right: Option<Box<Node>>,
+}
+
+/// A static centered interval tree over a set of intervals.
+///
+/// The tree stores indices into the interval slice it was built from; queries
+/// report those indices (sorted, deduplicated).
+#[derive(Debug, Clone, Default)]
+pub struct IntervalTree {
+    intervals: Vec<Interval>,
+    root: Option<Box<Node>>,
+}
+
+impl IntervalTree {
+    /// Builds the tree.
+    pub fn build(intervals: &[Interval]) -> Self {
+        let owned: Vec<Interval> = intervals.to_vec();
+        let indices: Vec<usize> = (0..owned.len()).collect();
+        let root = build_node(&owned, indices);
+        IntervalTree { intervals: owned, root }
+    }
+
+    /// Number of stored intervals.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// True if the tree stores no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// The stored intervals (in insertion order).
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Indices of all intervals containing the point `p` (sorted).
+    pub fn stab(&self, p: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        let p = OrdF64::new(p);
+        let mut node = self.root.as_deref();
+        while let Some(n) = node {
+            if p <= n.center {
+                // Intervals at this node whose left endpoint is <= p.
+                for &i in &n.by_lo {
+                    if OrdF64::new(self.intervals[i].lo()) <= p {
+                        out.push(i);
+                    } else {
+                        break;
+                    }
+                }
+                node = n.left.as_deref();
+            } else {
+                // Intervals at this node whose right endpoint is >= p.
+                for &i in &n.by_hi {
+                    if OrdF64::new(self.intervals[i].hi()) >= p {
+                        out.push(i);
+                    } else {
+                        break;
+                    }
+                }
+                node = n.right.as_deref();
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Indices of all intervals intersecting the query interval (sorted).
+    pub fn overlapping(&self, query: Interval) -> Vec<usize> {
+        let mut out = Vec::new();
+        collect_overlaps(self.root.as_deref(), &self.intervals, query, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// True if any stored interval intersects the query interval.
+    pub fn intersects_any(&self, query: Interval) -> bool {
+        exists_overlap(self.root.as_deref(), &self.intervals, query)
+    }
+}
+
+fn build_node(intervals: &[Interval], mut indices: Vec<usize>) -> Option<Box<Node>> {
+    if indices.is_empty() {
+        return None;
+    }
+    // Centre: median of the endpoints of the intervals in this subtree.
+    let mut endpoints: Vec<OrdF64> = Vec::with_capacity(indices.len() * 2);
+    for &i in &indices {
+        endpoints.push(intervals[i].lo_ord());
+        endpoints.push(intervals[i].hi_ord());
+    }
+    endpoints.sort_unstable();
+    let center = endpoints[endpoints.len() / 2];
+
+    let mut here: Vec<usize> = Vec::new();
+    let mut left: Vec<usize> = Vec::new();
+    let mut right: Vec<usize> = Vec::new();
+    for i in indices.drain(..) {
+        let iv = intervals[i];
+        if iv.hi_ord() < center {
+            left.push(i);
+        } else if iv.lo_ord() > center {
+            right.push(i);
+        } else {
+            here.push(i);
+        }
+    }
+    let mut by_lo = here.clone();
+    by_lo.sort_by_key(|&i| intervals[i].lo_ord());
+    let mut by_hi = here;
+    by_hi.sort_by_key(|&i| std::cmp::Reverse(intervals[i].hi_ord()));
+
+    Some(Box::new(Node {
+        center,
+        by_lo,
+        by_hi,
+        left: build_node(intervals, left),
+        right: build_node(intervals, right),
+    }))
+}
+
+fn collect_overlaps(node: Option<&Node>, intervals: &[Interval], query: Interval, out: &mut Vec<usize>) {
+    let Some(n) = node else { return };
+    // Intervals stored here: check directly (they all contain the centre, so
+    // scanning the sorted lists could prune further, but the per-node lists
+    // are small in practice and correctness is what matters most here).
+    if query.lo_ord() <= n.center && n.center <= query.hi_ord() {
+        // The query spans the centre: every interval stored here overlaps.
+        out.extend_from_slice(&n.by_lo);
+        collect_overlaps(n.left.as_deref(), intervals, query, out);
+        collect_overlaps(n.right.as_deref(), intervals, query, out);
+        return;
+    }
+    if query.hi_ord() < n.center {
+        // Only intervals whose left endpoint is <= query.hi can overlap.
+        for &i in &n.by_lo {
+            if intervals[i].lo_ord() <= query.hi_ord() {
+                out.push(i);
+            } else {
+                break;
+            }
+        }
+        collect_overlaps(n.left.as_deref(), intervals, query, out);
+    } else {
+        // query.lo > centre: only intervals whose right endpoint is >= query.lo.
+        for &i in &n.by_hi {
+            if intervals[i].hi_ord() >= query.lo_ord() {
+                out.push(i);
+            } else {
+                break;
+            }
+        }
+        collect_overlaps(n.right.as_deref(), intervals, query, out);
+    }
+}
+
+fn exists_overlap(node: Option<&Node>, intervals: &[Interval], query: Interval) -> bool {
+    let Some(n) = node else { return false };
+    if query.lo_ord() <= n.center && n.center <= query.hi_ord() {
+        return !n.by_lo.is_empty()
+            || exists_overlap(n.left.as_deref(), intervals, query)
+            || exists_overlap(n.right.as_deref(), intervals, query);
+    }
+    if query.hi_ord() < n.center {
+        if n.by_lo.first().map(|&i| intervals[i].lo_ord() <= query.hi_ord()).unwrap_or(false) {
+            return true;
+        }
+        exists_overlap(n.left.as_deref(), intervals, query)
+    } else {
+        if n.by_hi.first().map(|&i| intervals[i].hi_ord() >= query.lo_ord()).unwrap_or(false) {
+            return true;
+        }
+        exists_overlap(n.right.as_deref(), intervals, query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_intervals() -> Vec<Interval> {
+        vec![
+            Interval::new(0.0, 4.0),
+            Interval::new(2.0, 9.0),
+            Interval::new(5.0, 6.0),
+            Interval::new(10.0, 12.0),
+            Interval::point(6.0),
+            Interval::new(-3.0, -1.0),
+            Interval::new(7.5, 8.0),
+        ]
+    }
+
+    #[test]
+    fn stabbing_matches_brute_force() {
+        let intervals = sample_intervals();
+        let tree = IntervalTree::build(&intervals);
+        for p in [-4.0, -2.0, 0.0, 1.0, 3.0, 5.5, 6.0, 7.75, 9.5, 10.0, 12.0, 13.0] {
+            let expected: Vec<usize> = intervals
+                .iter()
+                .enumerate()
+                .filter(|(_, iv)| iv.contains_point(p))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(tree.stab(p), expected, "stab({p})");
+        }
+    }
+
+    #[test]
+    fn overlap_queries_match_brute_force() {
+        let intervals = sample_intervals();
+        let tree = IntervalTree::build(&intervals);
+        let queries = [
+            Interval::new(0.0, 1.0),
+            Interval::new(4.5, 5.5),
+            Interval::new(-10.0, -5.0),
+            Interval::new(6.0, 6.0),
+            Interval::new(-5.0, 20.0),
+            Interval::new(9.5, 9.9),
+        ];
+        for q in queries {
+            let expected: Vec<usize> = intervals
+                .iter()
+                .enumerate()
+                .filter(|(_, iv)| iv.intersects(q))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(tree.overlapping(q), expected, "overlap({q:?})");
+            assert_eq!(tree.intersects_any(q), !expected.is_empty(), "any({q:?})");
+        }
+    }
+
+    #[test]
+    fn randomised_agreement_with_brute_force() {
+        // Deterministic pseudo-random intervals (no external RNG dependency).
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 10.0
+        };
+        let intervals: Vec<Interval> = (0..200)
+            .map(|_| {
+                let lo = next();
+                let len = next() / 10.0;
+                Interval::new(lo, lo + len)
+            })
+            .collect();
+        let tree = IntervalTree::build(&intervals);
+        for _ in 0..100 {
+            let lo = next();
+            let q = Interval::new(lo, lo + next() / 20.0);
+            let expected: Vec<usize> = intervals
+                .iter()
+                .enumerate()
+                .filter(|(_, iv)| iv.intersects(q))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(tree.overlapping(q), expected);
+            let p = next();
+            let expected_stab: Vec<usize> = intervals
+                .iter()
+                .enumerate()
+                .filter(|(_, iv)| iv.contains_point(p))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(tree.stab(p), expected_stab);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_interval_trees() {
+        let empty = IntervalTree::build(&[]);
+        assert!(empty.is_empty());
+        assert!(empty.stab(1.0).is_empty());
+        assert!(empty.overlapping(Interval::new(0.0, 1.0)).is_empty());
+        assert!(!empty.intersects_any(Interval::new(0.0, 1.0)));
+
+        let single = IntervalTree::build(&[Interval::new(1.0, 2.0)]);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.stab(1.5), vec![0]);
+        assert_eq!(single.overlapping(Interval::new(2.0, 3.0)), vec![0]);
+        assert!(single.overlapping(Interval::new(3.0, 4.0)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_intervals_are_all_reported() {
+        let intervals = vec![Interval::new(0.0, 5.0); 4];
+        let tree = IntervalTree::build(&intervals);
+        assert_eq!(tree.stab(2.0).len(), 4);
+        assert_eq!(tree.overlapping(Interval::new(4.0, 9.0)).len(), 4);
+    }
+}

@@ -1,0 +1,138 @@
+//! A total order over `f64` so interval endpoints can be sorted, hashed and
+//! deduplicated deterministically.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// An `f64` wrapper with a total order.
+///
+/// NaN values are rejected at construction time: interval endpoints must be
+/// real numbers (the paper works over ℝ extended with ±∞, both of which are
+/// representable as `f64` infinities).
+#[derive(Clone, Copy, Default, PartialEq)]
+pub struct OrdF64(f64);
+
+impl OrdF64 {
+    /// Wraps a finite or infinite `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    #[inline]
+    pub fn new(value: f64) -> Self {
+        assert!(!value.is_nan(), "interval endpoints must not be NaN");
+        OrdF64(value)
+    }
+
+    /// Returns the wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Negative infinity.
+    pub const NEG_INFINITY: OrdF64 = OrdF64(f64::NEG_INFINITY);
+    /// Positive infinity.
+    pub const INFINITY: OrdF64 = OrdF64(f64::INFINITY);
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Neither side can be NaN, so partial_cmp always succeeds.
+        self.0.partial_cmp(&other.0).expect("NaN rejected at construction")
+    }
+}
+
+impl Hash for OrdF64 {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Normalise -0.0 to +0.0 so that values equal under `==` hash alike.
+        let bits = if self.0 == 0.0 { 0.0f64.to_bits() } else { self.0.to_bits() };
+        bits.hash(state);
+    }
+}
+
+impl fmt::Debug for OrdF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for OrdF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<f64> for OrdF64 {
+    #[inline]
+    fn from(value: f64) -> Self {
+        OrdF64::new(value)
+    }
+}
+
+impl From<OrdF64> for f64 {
+    #[inline]
+    fn from(value: OrdF64) -> Self {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: OrdF64) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn ordering_is_total_over_non_nan() {
+        let mut values: Vec<OrdF64> = [3.5, -1.0, f64::INFINITY, 0.0, f64::NEG_INFINITY, 2.0]
+            .iter()
+            .copied()
+            .map(OrdF64::new)
+            .collect();
+        values.sort();
+        let sorted: Vec<f64> = values.iter().map(|v| v.get()).collect();
+        assert_eq!(sorted, vec![f64::NEG_INFINITY, -1.0, 0.0, 2.0, 3.5, f64::INFINITY]);
+    }
+
+    #[test]
+    fn zero_signs_hash_alike() {
+        assert_eq!(OrdF64::new(0.0), OrdF64::new(-0.0));
+        assert_eq!(hash_of(OrdF64::new(0.0)), hash_of(OrdF64::new(-0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        let _ = OrdF64::new(f64::NAN);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let x = OrdF64::from(4.25);
+        let y: f64 = x.into();
+        assert_eq!(y, 4.25);
+    }
+
+    #[test]
+    fn infinities_compare_as_extremes() {
+        assert!(OrdF64::NEG_INFINITY < OrdF64::new(-1e300));
+        assert!(OrdF64::INFINITY > OrdF64::new(1e300));
+    }
+}

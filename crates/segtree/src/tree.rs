@@ -1,0 +1,548 @@
+//! The segment tree of Section 3.
+//!
+//! Given a set `I` of intervals, let `p_1 < ... < p_m` be their distinct
+//! endpoints.  The *elementary segments* `(-inf, p_1), [p_1, p_1], (p_1, p_2),
+//! [p_2, p_2], ..., (p_m, +inf)` partition the real line.  The segment tree is
+//! a balanced binary tree whose leaves are the elementary segments in order
+//! and whose internal nodes correspond to the union of the elementary segments
+//! below them.  Every node is identified by the [`BitString`] of its
+//! root-to-node path.
+//!
+//! The two operations the reduction relies on are:
+//!
+//! * [`SegmentTree::canonical_partition`]: the set of *maximal* nodes whose
+//!   segments are contained in a given interval (`CP_I(x)`, Definition 3.1) —
+//!   it has `O(log |I|)` nodes (Property 3.2(3));
+//! * [`SegmentTree::leaf_of_interval`]: the leaf containing the left endpoint
+//!   of an interval (`leaf(x)`).
+//!
+//! The tree also supports the classic stabbing query (Algorithm 3) used by
+//! the baselines and by tests.
+
+use crate::{BitString, Interval, OrdF64};
+
+/// Index of a node in the tree arena.
+pub type NodeId = usize;
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Inclusive leaf-coordinate range covered by this node.
+    lo: u32,
+    hi: u32,
+    /// Bitstring identifier (root-to-node path).
+    id: BitString,
+    left: Option<NodeId>,
+    right: Option<NodeId>,
+    /// Canonical subset: indices of inserted intervals stored at this node.
+    canonical: Vec<usize>,
+}
+
+/// A segment tree over a set of intervals.
+#[derive(Debug, Clone)]
+pub struct SegmentTree {
+    /// Sorted distinct endpoints of the input intervals.
+    endpoints: Vec<OrdF64>,
+    nodes: Vec<Node>,
+    root: NodeId,
+    /// Number of inserted (stored) intervals.
+    stored: usize,
+}
+
+impl SegmentTree {
+    /// Builds the segment tree over the endpoints of `intervals` without
+    /// storing the intervals themselves (canonical partitions can still be
+    /// computed on demand).
+    pub fn build(intervals: &[Interval]) -> Self {
+        let mut endpoints: Vec<OrdF64> = Vec::with_capacity(intervals.len() * 2);
+        for iv in intervals {
+            endpoints.push(iv.lo_ord());
+            endpoints.push(iv.hi_ord());
+        }
+        Self::from_endpoints(endpoints)
+    }
+
+    /// Builds the segment tree and inserts every interval into the canonical
+    /// subsets of its canonical-partition nodes (Algorithm 2), enabling
+    /// [`SegmentTree::stab`] queries.
+    pub fn build_with_storage(intervals: &[Interval]) -> Self {
+        let mut tree = Self::build(intervals);
+        for (idx, iv) in intervals.iter().enumerate() {
+            tree.insert(idx, *iv);
+        }
+        tree
+    }
+
+    /// Builds a segment tree from an explicit multiset of endpoint values.
+    pub fn from_endpoints(mut endpoints: Vec<OrdF64>) -> Self {
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        let m = endpoints.len() as u32;
+        // Leaf coordinates 0..=2m: even coordinates are open gaps, odd
+        // coordinates are the point segments [p_j, p_j].
+        let max_coord = 2 * m;
+        let mut nodes = Vec::with_capacity((2 * (max_coord as usize + 1)).max(1));
+        let root = build_node(&mut nodes, 0, max_coord, BitString::empty());
+        SegmentTree { endpoints, nodes, root, stored: 0 }
+    }
+
+    /// Number of distinct endpoints.
+    #[inline]
+    pub fn num_endpoints(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Number of leaves (elementary segments).
+    #[inline]
+    pub fn num_leaves(&self) -> usize {
+        2 * self.endpoints.len() + 1
+    }
+
+    /// Number of tree nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Height of the tree (number of edges on the longest root-to-leaf path).
+    pub fn height(&self) -> u8 {
+        self.nodes.iter().map(|n| n.id.len()).max().unwrap_or(0)
+    }
+
+    /// Number of intervals inserted with [`SegmentTree::insert`].
+    #[inline]
+    pub fn stored_intervals(&self) -> usize {
+        self.stored
+    }
+
+    /// Inserts `interval` (tagged with the caller-chosen index `idx`) into the
+    /// canonical subsets of its canonical-partition nodes (Algorithm 2).
+    pub fn insert(&mut self, idx: usize, interval: Interval) {
+        let (lo, hi) = match self.covered_coord_range(interval) {
+            Some(r) => r,
+            None => return,
+        };
+        self.insert_rec(self.root, lo, hi, idx);
+        self.stored += 1;
+    }
+
+    fn insert_rec(&mut self, node: NodeId, lo: u32, hi: u32, idx: usize) {
+        let (nlo, nhi, left, right) = {
+            let n = &self.nodes[node];
+            (n.lo, n.hi, n.left, n.right)
+        };
+        if lo <= nlo && nhi <= hi {
+            self.nodes[node].canonical.push(idx);
+            return;
+        }
+        if nhi < lo || hi < nlo {
+            return;
+        }
+        if let Some(l) = left {
+            self.insert_rec(l, lo, hi, idx);
+        }
+        if let Some(r) = right {
+            self.insert_rec(r, lo, hi, idx);
+        }
+    }
+
+    /// Reports the indices of all stored intervals containing the point `p`
+    /// (Algorithm 3).  The result is sorted and deduplicated.
+    pub fn stab(&self, p: f64) -> Vec<usize> {
+        let coord = self.coord_of_point(p);
+        let mut out = Vec::new();
+        let mut node = self.root;
+        loop {
+            let n = &self.nodes[node];
+            out.extend_from_slice(&n.canonical);
+            match (n.left, n.right) {
+                (Some(l), Some(r)) => {
+                    node = if coord <= self.nodes[l].hi { l } else { r };
+                }
+                _ => break,
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The canonical partition `CP_I(x)` of Definition 3.1: the maximal nodes
+    /// whose segments are contained in `x`, as bitstrings ordered from left to
+    /// right.
+    ///
+    /// For intervals whose endpoints belong to the endpoint set of the tree
+    /// (the only case exercised by the reduction) the segments of the returned
+    /// nodes partition `x`.
+    pub fn canonical_partition(&self, x: Interval) -> Vec<BitString> {
+        let Some((lo, hi)) = self.covered_coord_range(x) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        self.cp_rec(self.root, lo, hi, &mut out);
+        out
+    }
+
+    fn cp_rec(&self, node: NodeId, lo: u32, hi: u32, out: &mut Vec<BitString>) {
+        let n = &self.nodes[node];
+        if lo <= n.lo && n.hi <= hi {
+            out.push(n.id);
+            return;
+        }
+        if n.hi < lo || hi < n.lo {
+            return;
+        }
+        if let Some(l) = n.left {
+            self.cp_rec(l, lo, hi, out);
+        }
+        if let Some(r) = n.right {
+            self.cp_rec(r, lo, hi, out);
+        }
+    }
+
+    /// The leaf containing the point `p` (`leaf(p)` of Section 3).
+    pub fn leaf_of_point(&self, p: f64) -> BitString {
+        let coord = self.coord_of_point(p);
+        let mut node = self.root;
+        loop {
+            let n = &self.nodes[node];
+            match (n.left, n.right) {
+                (Some(l), Some(r)) => {
+                    node = if coord <= self.nodes[l].hi { l } else { r };
+                }
+                _ => return n.id,
+            }
+        }
+    }
+
+    /// The leaf containing the left endpoint of `x` (`leaf(x)` of Section 3).
+    #[inline]
+    pub fn leaf_of_interval(&self, x: Interval) -> BitString {
+        self.leaf_of_point(x.lo())
+    }
+
+    /// Looks up a node by its bitstring identifier.
+    pub fn node_by_id(&self, id: BitString) -> Option<NodeId> {
+        let mut node = self.root;
+        for i in 0..id.len() {
+            let n = &self.nodes[node];
+            let next = if id.bit(i) { n.right } else { n.left };
+            node = next?;
+        }
+        Some(node)
+    }
+
+    /// Returns true if the segment of the node identified by `id` is
+    /// contained in `x`.  Returns false for identifiers of non-existent nodes.
+    pub fn node_segment_contained_in(&self, id: BitString, x: Interval) -> bool {
+        let Some((lo, hi)) = self.covered_coord_range(x) else { return false };
+        match self.node_by_id(id) {
+            Some(node) => {
+                let n = &self.nodes[node];
+                lo <= n.lo && n.hi <= hi
+            }
+            None => false,
+        }
+    }
+
+    /// A human-readable description of the segment of a node, e.g. `"(1, 3]"`.
+    /// Used when rendering Figure 3.
+    pub fn describe_node(&self, id: BitString) -> Option<String> {
+        let node = self.node_by_id(id)?;
+        let n = &self.nodes[node];
+        Some(self.describe_coord_range(n.lo, n.hi))
+    }
+
+    /// All node bitstrings in breadth-first order (used for diagnostics and
+    /// for rendering the tree).
+    pub fn node_ids(&self) -> Vec<BitString> {
+        let mut ids: Vec<BitString> = self.nodes.iter().map(|n| n.id).collect();
+        ids.sort_by_key(|b| (b.len(), b.bits()));
+        ids
+    }
+
+    /// Total size of all canonical subsets (the `O(|I| log |I|)` storage of
+    /// Property 3.2).
+    pub fn canonical_storage(&self) -> usize {
+        self.nodes.iter().map(|n| n.canonical.len()).sum()
+    }
+
+    // --- coordinate helpers -------------------------------------------------
+
+    /// Leaf coordinate of a point: the elementary segment containing it.
+    fn coord_of_point(&self, p: f64) -> u32 {
+        let p = OrdF64::new(p);
+        // Number of endpoints strictly smaller than p.
+        let below = self.endpoints.partition_point(|&e| e < p) as u32;
+        let is_endpoint = (below as usize) < self.endpoints.len() && self.endpoints[below as usize] == p;
+        if is_endpoint {
+            2 * below + 1
+        } else {
+            2 * below
+        }
+    }
+
+    /// The range of leaf coordinates whose elementary segments are fully
+    /// contained in the closed interval `x`, or `None` if there is none.
+    fn covered_coord_range(&self, x: Interval) -> Option<(u32, u32)> {
+        let m = self.endpoints.len() as u32;
+        let lo = if x.lo() == f64::NEG_INFINITY {
+            0
+        } else {
+            // Smallest endpoint >= x.lo determines the first fully covered leaf.
+            let j = self.endpoints.partition_point(|&e| e < x.lo_ord()) as u32;
+            if j >= m {
+                return None;
+            }
+            2 * j + 1
+        };
+        let hi = if x.hi() == f64::INFINITY {
+            2 * m
+        } else {
+            // Largest endpoint <= x.hi determines the last fully covered leaf.
+            let j = self.endpoints.partition_point(|&e| e <= x.hi_ord()) as u32;
+            if j == 0 {
+                return None;
+            }
+            2 * (j - 1) + 1
+        };
+        if lo > hi {
+            None
+        } else {
+            Some((lo, hi))
+        }
+    }
+
+    fn describe_coord_range(&self, lo: u32, hi: u32) -> String {
+        let left = if lo % 2 == 1 {
+            format!("[{}", self.endpoints[(lo as usize - 1) / 2])
+        } else if lo == 0 {
+            "(-inf".to_string()
+        } else {
+            format!("({}", self.endpoints[(lo as usize) / 2 - 1])
+        };
+        let m = self.endpoints.len() as u32;
+        let right = if hi % 2 == 1 {
+            format!("{}]", self.endpoints[(hi as usize - 1) / 2])
+        } else if hi == 2 * m {
+            "+inf)".to_string()
+        } else {
+            format!("{})", self.endpoints[(hi as usize) / 2])
+        };
+        format!("{left}, {right}")
+    }
+}
+
+/// Recursively builds a balanced binary tree over the inclusive coordinate
+/// range `[lo, hi]`, returning the arena index of the subtree root.
+fn build_node(nodes: &mut Vec<Node>, lo: u32, hi: u32, id: BitString) -> NodeId {
+    let index = nodes.len();
+    nodes.push(Node { lo, hi, id, left: None, right: None, canonical: Vec::new() });
+    if lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let left = build_node(nodes, lo, mid, id.child(false));
+        let right = build_node(nodes, mid + 1, hi, id.child(true));
+        nodes[index].left = Some(left);
+        nodes[index].right = Some(right);
+    }
+    index
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn bs(text: &str) -> BitString {
+        BitString::parse(text).unwrap()
+    }
+
+    /// The running example of Figure 3 / Figure 6: I = { [1,4], [3,4] }.
+    fn figure3_tree() -> (SegmentTree, Interval, Interval) {
+        let a = Interval::new(1.0, 4.0);
+        let b = Interval::new(3.0, 4.0);
+        (SegmentTree::build(&[a, b]), a, b)
+    }
+
+    #[test]
+    fn figure3_structure() {
+        let (tree, _, _) = figure3_tree();
+        // Endpoints {1, 3, 4} → 7 elementary segments → 13 nodes.
+        assert_eq!(tree.num_endpoints(), 3);
+        assert_eq!(tree.num_leaves(), 7);
+        assert_eq!(tree.num_nodes(), 13);
+    }
+
+    #[test]
+    fn figure3_canonical_partitions() {
+        // The paper states: [1,4] is stored at the nodes 001, 01 and 10;
+        // [3,4] is stored at the nodes 011 and 10 (Figure 3 caption).
+        let (tree, a, b) = figure3_tree();
+        let cp_a: HashSet<BitString> = tree.canonical_partition(a).into_iter().collect();
+        let cp_b: HashSet<BitString> = tree.canonical_partition(b).into_iter().collect();
+        assert_eq!(cp_a, [bs("001"), bs("01"), bs("10")].into_iter().collect());
+        assert_eq!(cp_b, [bs("011"), bs("10")].into_iter().collect());
+    }
+
+    #[test]
+    fn canonical_partition_nodes_are_maximal_and_disjoint() {
+        let intervals: Vec<Interval> = (0..20)
+            .map(|i| Interval::new(i as f64, (i + 7) as f64 * 1.5))
+            .collect();
+        let tree = SegmentTree::build(&intervals);
+        for iv in &intervals {
+            let cp = tree.canonical_partition(*iv);
+            assert!(!cp.is_empty());
+            // Property 3.2(2): no node in CP is an ancestor of another.
+            for (i, u) in cp.iter().enumerate() {
+                for (j, v) in cp.iter().enumerate() {
+                    if i != j {
+                        assert!(!u.is_prefix_of(*v), "{u} is an ancestor of {v}");
+                    }
+                }
+            }
+            // Every CP node's segment is contained in the interval.
+            for u in &cp {
+                assert!(tree.node_segment_contained_in(*u, *iv));
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_partition_size_is_logarithmic() {
+        let n = 512;
+        let intervals: Vec<Interval> =
+            (0..n).map(|i| Interval::new(i as f64, (i + n / 3) as f64)).collect();
+        let tree = SegmentTree::build(&intervals);
+        let height = tree.height() as usize;
+        for iv in &intervals {
+            let cp = tree.canonical_partition(*iv);
+            // At most ~2 nodes per level (proof of Property 3.2(3)).
+            assert!(cp.len() <= 2 * height + 2, "CP too large: {} vs height {}", cp.len(), height);
+        }
+    }
+
+    #[test]
+    fn leaf_of_point_contains_the_point() {
+        let intervals = vec![Interval::new(0.0, 10.0), Interval::new(5.0, 20.0)];
+        let tree = SegmentTree::build(&intervals);
+        // Points at endpoints map to point leaves; others to gap leaves.
+        for p in [0.0, 2.5, 5.0, 10.0, 15.0, 20.0, 99.0, -3.0] {
+            let leaf = tree.leaf_of_point(p);
+            // The leaf must exist in the tree and every ancestor must be a prefix.
+            assert!(tree.node_by_id(leaf).is_some());
+        }
+        // Distinct endpoints map to distinct leaves.
+        assert_ne!(tree.leaf_of_point(0.0), tree.leaf_of_point(5.0));
+        // A point strictly inside a gap maps to a different leaf than the endpoints.
+        assert_ne!(tree.leaf_of_point(2.5), tree.leaf_of_point(0.0));
+        assert_ne!(tree.leaf_of_point(2.5), tree.leaf_of_point(5.0));
+    }
+
+    #[test]
+    fn intersection_iff_cp_node_is_ancestor_of_leaf() {
+        // Lemma 4.1 specialised to two intervals: x and y intersect iff
+        // CP(y) contains an ancestor of leaf(x.lo) or CP(x) contains an
+        // ancestor of leaf(y.lo).
+        let intervals: Vec<Interval> = vec![
+            Interval::new(0.0, 4.0),
+            Interval::new(2.0, 9.0),
+            Interval::new(5.0, 6.0),
+            Interval::new(10.0, 12.0),
+            Interval::new(4.0, 5.0),
+            Interval::point(6.0),
+        ];
+        let tree = SegmentTree::build(&intervals);
+        for &x in &intervals {
+            for &y in &intervals {
+                let leaf_x = tree.leaf_of_interval(x);
+                let leaf_y = tree.leaf_of_interval(y);
+                let via_tree = tree
+                    .canonical_partition(y)
+                    .iter()
+                    .any(|v| v.is_prefix_of(leaf_x))
+                    || tree.canonical_partition(x).iter().any(|v| v.is_prefix_of(leaf_y));
+                assert_eq!(via_tree, x.intersects(y), "x={x:?} y={y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn stabbing_query_reports_exactly_the_covering_intervals() {
+        let intervals: Vec<Interval> = vec![
+            Interval::new(0.0, 4.0),
+            Interval::new(2.0, 9.0),
+            Interval::new(5.0, 6.0),
+            Interval::new(10.0, 12.0),
+            Interval::point(6.0),
+        ];
+        let tree = SegmentTree::build_with_storage(&intervals);
+        for p in [-1.0, 0.0, 1.0, 2.0, 3.5, 5.0, 6.0, 8.0, 9.5, 10.0, 11.0, 13.0] {
+            let expected: Vec<usize> = intervals
+                .iter()
+                .enumerate()
+                .filter(|(_, iv)| iv.contains_point(p))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(tree.stab(p), expected, "stabbing at {p}");
+        }
+    }
+
+    #[test]
+    fn canonical_storage_is_near_linear() {
+        let n = 256;
+        let intervals: Vec<Interval> =
+            (0..n).map(|i| Interval::new(i as f64 * 0.5, i as f64 * 0.5 + 40.0)).collect();
+        let tree = SegmentTree::build_with_storage(&intervals);
+        let bound = n * (2 * tree.height() as usize + 2);
+        assert!(tree.canonical_storage() <= bound);
+        assert_eq!(tree.stored_intervals(), n);
+    }
+
+    #[test]
+    fn empty_and_singleton_trees() {
+        let tree = SegmentTree::build(&[]);
+        assert_eq!(tree.num_leaves(), 1);
+        assert_eq!(tree.leaf_of_point(42.0), BitString::empty());
+        assert!(tree.canonical_partition(Interval::new(0.0, 1.0)).is_empty());
+        // The unbounded interval covers the single leaf (the whole line).
+        assert_eq!(tree.canonical_partition(Interval::all()), vec![BitString::empty()]);
+
+        let tree = SegmentTree::build(&[Interval::point(7.0)]);
+        assert_eq!(tree.num_endpoints(), 1);
+        assert_eq!(tree.num_leaves(), 3);
+        let cp = tree.canonical_partition(Interval::point(7.0));
+        assert_eq!(cp.len(), 1);
+    }
+
+    #[test]
+    fn describe_node_matches_figure3() {
+        let (tree, _, _) = figure3_tree();
+        assert_eq!(tree.describe_node(BitString::empty()).unwrap(), "(-inf, +inf)");
+        // Node "011" is the point segment [3,3] in Figure 3.
+        assert_eq!(tree.describe_node(bs("011")).unwrap(), "[3, 3]");
+        // Node "10" is (3, 4] in Figure 3.
+        assert_eq!(tree.describe_node(bs("10")).unwrap(), "(3, 4]");
+        assert!(tree.describe_node(bs("11111111")).is_none());
+    }
+
+    #[test]
+    fn node_lookup_by_bitstring() {
+        let (tree, _, _) = figure3_tree();
+        for id in tree.node_ids() {
+            let node = tree.node_by_id(id).unwrap();
+            assert_eq!(tree.nodes[node].id, id);
+        }
+        assert!(tree.node_by_id(bs("000000000")).is_none());
+    }
+
+    #[test]
+    fn height_is_logarithmic() {
+        for n in [1usize, 2, 7, 64, 500] {
+            let intervals: Vec<Interval> =
+                (0..n).map(|i| Interval::new(i as f64, i as f64 + 1.0)).collect();
+            let tree = SegmentTree::build(&intervals);
+            let leaves = tree.num_leaves() as f64;
+            assert!((tree.height() as f64) <= leaves.log2().ceil() + 1.0);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Fractional edge covers (Definition A.11).
+//!
+//! The fractional edge cover number `ρ*_E(S)` of a vertex set `S` is the
+//! optimum of the covering LP that assigns a non-negative weight to every
+//! hyperedge such that every vertex of `S` is covered with total weight at
+//! least one.  By LP duality it equals the optimum of the fractional vertex
+//! packing LP, which is what we solve (see [`crate::lp`]); the cover weights
+//! are recovered from the dual.
+
+use crate::lp::{solve_packing_lp, LpOutcome};
+use ij_hypergraph::{Hypergraph, VarId};
+use std::collections::BTreeSet;
+
+/// A fractional edge cover of a vertex set.
+#[derive(Debug, Clone)]
+pub struct FractionalEdgeCover {
+    /// The fractional edge cover number `ρ*`.
+    pub value: f64,
+    /// One weight per hyperedge of the hypergraph (in edge order).
+    pub weights: Vec<f64>,
+}
+
+/// Computes `ρ*_E(S)` together with optimal edge weights.  Returns `None` if
+/// some vertex of `S` is not covered by any hyperedge (the cover LP is then
+/// infeasible and the number is `+∞`).
+pub fn fractional_edge_cover(h: &Hypergraph, s: &BTreeSet<VarId>) -> Option<FractionalEdgeCover> {
+    if s.is_empty() {
+        return Some(FractionalEdgeCover { value: 0.0, weights: vec![0.0; h.num_edges()] });
+    }
+    let vars: Vec<VarId> = s.iter().copied().collect();
+    // Infeasibility check: every vertex of S must occur in some edge.
+    for &v in &vars {
+        if h.degree(v) == 0 {
+            return None;
+        }
+    }
+    // Packing LP: one variable per vertex of S, one constraint per edge.
+    let a: Vec<Vec<f64>> = h
+        .edges()
+        .iter()
+        .map(|e| vars.iter().map(|&v| if e.vertices.contains(&v) { 1.0 } else { 0.0 }).collect())
+        .collect();
+    let b = vec![1.0; h.num_edges()];
+    let c = vec![1.0; vars.len()];
+    match solve_packing_lp(&a, &b, &c) {
+        LpOutcome::Optimal(sol) => {
+            Some(FractionalEdgeCover { value: sol.value, weights: sol.dual })
+        }
+        LpOutcome::Unbounded => None,
+    }
+}
+
+/// The fractional edge cover number `ρ*_E(S)`, or `f64::INFINITY` if `S`
+/// contains an uncovered vertex.
+pub fn fractional_edge_cover_number(h: &Hypergraph, s: &BTreeSet<VarId>) -> f64 {
+    fractional_edge_cover(h, s).map(|c| c.value).unwrap_or(f64::INFINITY)
+}
+
+/// The fractional edge cover number of the whole vertex set — the exponent of
+/// the AGM bound on the output size of the full join.
+pub fn agm_exponent(h: &Hypergraph) -> f64 {
+    let all: BTreeSet<VarId> = (0..h.num_vertices()).collect();
+    fractional_edge_cover_number(h, &all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ij_hypergraph::{four_clique_ej, loomis_whitney_4_ej, triangle_ej, Hypergraph};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    fn all_vars(h: &Hypergraph) -> BTreeSet<VarId> {
+        (0..h.num_vertices()).collect()
+    }
+
+    #[test]
+    fn triangle_cover_number_is_three_halves() {
+        let h = triangle_ej();
+        let cover = fractional_edge_cover(&h, &all_vars(&h)).unwrap();
+        assert!(close(cover.value, 1.5));
+        // The optimal cover puts weight 1/2 on each edge.
+        assert_eq!(cover.weights.len(), 3);
+        let total: f64 = cover.weights.iter().sum();
+        assert!(close(total, 1.5));
+        // Feasibility: every vertex covered.
+        for v in 0..h.num_vertices() {
+            let covered: f64 = h
+                .edges()
+                .iter()
+                .zip(&cover.weights)
+                .filter(|(e, _)| e.vertices.contains(&v))
+                .map(|(_, w)| w)
+                .sum();
+            assert!(covered >= 1.0 - 1e-6);
+        }
+    }
+
+    #[test]
+    fn lw4_cover_number_is_four_thirds() {
+        let h = loomis_whitney_4_ej();
+        assert!(close(agm_exponent(&h), 4.0 / 3.0));
+    }
+
+    #[test]
+    fn four_clique_cover_number_is_two() {
+        let h = four_clique_ej();
+        assert!(close(agm_exponent(&h), 2.0));
+    }
+
+    #[test]
+    fn subset_cover_is_cheaper() {
+        let h = triangle_ej();
+        let a = h.vertex_by_name("A").unwrap();
+        let b = h.vertex_by_name("B").unwrap();
+        let single: BTreeSet<VarId> = [a].into_iter().collect();
+        let pair: BTreeSet<VarId> = [a, b].into_iter().collect();
+        assert!(close(fractional_edge_cover_number(&h, &single), 1.0));
+        assert!(close(fractional_edge_cover_number(&h, &pair), 1.0));
+        assert!(close(fractional_edge_cover_number(&h, &BTreeSet::new()), 0.0));
+    }
+
+    #[test]
+    fn uncovered_vertex_yields_infinity() {
+        let mut h = Hypergraph::new();
+        let a = h.add_point_var("A");
+        let b = h.add_point_var("B");
+        h.add_edge("R", vec![a]);
+        let s: BTreeSet<VarId> = [a, b].into_iter().collect();
+        assert!(fractional_edge_cover_number(&h, &s).is_infinite());
+        assert!(fractional_edge_cover(&h, &s).is_none());
+    }
+
+    #[test]
+    fn single_edge_covers_its_vertices_with_weight_one() {
+        let mut h = Hypergraph::new();
+        let a = h.add_point_var("A");
+        let b = h.add_point_var("B");
+        let c = h.add_point_var("C");
+        h.add_edge("R", vec![a, b, c]);
+        let cover = fractional_edge_cover(&h, &all_vars(&h)).unwrap();
+        assert!(close(cover.value, 1.0));
+        assert!(close(cover.weights[0], 1.0));
+    }
+}

@@ -1,0 +1,216 @@
+//! A small dense simplex solver for the covering/packing LPs used by the
+//! width computations.
+//!
+//! The only LP shape we need is the standard packing form
+//!
+//! ```text
+//!   maximise  c · y
+//!   subject   A y ≤ b,   y ≥ 0,   b ≥ 0
+//! ```
+//!
+//! whose dual is the covering LP (minimise `b · x` subject to `Aᵀ x ≥ c`,
+//! `x ≥ 0`).  The fractional edge cover number ρ*(S) of a vertex set is the
+//! optimum of the covering LP with one variable per hyperedge; we solve its
+//! dual (the fractional vertex packing) with the tableau simplex below and
+//! read the cover weights off the reduced costs of the slack variables.
+//!
+//! The solver uses Bland's rule, so it terminates on every input; problem
+//! sizes here are tiny (tens of variables and constraints).
+
+/// Result of a packing LP solve.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// The optimal objective value.
+    pub value: f64,
+    /// The optimal primal solution `y`.
+    pub primal: Vec<f64>,
+    /// The optimal dual solution `x` (one entry per constraint); for the
+    /// packing LP of ρ* these are the fractional edge-cover weights.
+    pub dual: Vec<f64>,
+}
+
+/// Outcome of [`solve_packing_lp`].
+#[derive(Debug, Clone)]
+pub enum LpOutcome {
+    /// A finite optimum was found.
+    Optimal(LpSolution),
+    /// The LP is unbounded (the dual covering LP is infeasible).
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Solves `maximise c·y subject to A·y ≤ b, y ≥ 0` with `b ≥ 0`.
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent or some `b[i] < 0`.
+pub fn solve_packing_lp(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> LpOutcome {
+    let m = a.len();
+    let n = c.len();
+    assert_eq!(b.len(), m, "row count mismatch");
+    for row in a {
+        assert_eq!(row.len(), n, "column count mismatch");
+    }
+    assert!(b.iter().all(|&x| x >= 0.0), "the packing solver requires b >= 0");
+
+    // Tableau: m rows × (n + m + 1) columns. Columns 0..n are the decision
+    // variables, n..n+m the slacks, the last column the RHS.  Row `m` is the
+    // objective row (stored separately below).
+    let cols = n + m + 1;
+    let mut tableau: Vec<Vec<f64>> = vec![vec![0.0; cols]; m];
+    for i in 0..m {
+        tableau[i][..n].copy_from_slice(&a[i]);
+        tableau[i][n + i] = 1.0;
+        tableau[i][cols - 1] = b[i];
+    }
+    // Objective row holds the negated reduced costs: start with -c.
+    let mut obj: Vec<f64> = vec![0.0; cols];
+    for j in 0..n {
+        obj[j] = -c[j];
+    }
+    // Basis: initially the slack variables.
+    let mut basis: Vec<usize> = (n..n + m).collect();
+
+    loop {
+        // Bland's rule: entering variable = smallest index with negative
+        // reduced cost.
+        let entering = match (0..n + m).find(|&j| obj[j] < -EPS) {
+            Some(j) => j,
+            None => break,
+        };
+        // Ratio test: smallest ratio, ties broken by smallest basis variable
+        // index (Bland).
+        let mut leaving: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            if tableau[i][entering] > EPS {
+                let ratio = tableau[i][cols - 1] / tableau[i][entering];
+                let better = ratio < best_ratio - EPS
+                    || ((ratio - best_ratio).abs() <= EPS
+                        && leaving.map(|l| basis[i] < basis[l]).unwrap_or(false));
+                if better {
+                    best_ratio = ratio;
+                    leaving = Some(i);
+                }
+            }
+        }
+        let Some(pivot_row) = leaving else {
+            return LpOutcome::Unbounded;
+        };
+        // Pivot.
+        let pivot = tableau[pivot_row][entering];
+        for v in tableau[pivot_row].iter_mut() {
+            *v /= pivot;
+        }
+        for i in 0..m {
+            if i != pivot_row && tableau[i][entering].abs() > EPS {
+                let factor = tableau[i][entering];
+                for j in 0..cols {
+                    tableau[i][j] -= factor * tableau[pivot_row][j];
+                }
+            }
+        }
+        if obj[entering].abs() > EPS {
+            let factor = obj[entering];
+            for j in 0..cols {
+                obj[j] -= factor * tableau[pivot_row][j];
+            }
+        }
+        basis[pivot_row] = entering;
+    }
+
+    // Extract the solution.
+    let mut primal = vec![0.0; n];
+    for (i, &bv) in basis.iter().enumerate() {
+        if bv < n {
+            primal[bv] = tableau[i][cols - 1];
+        }
+    }
+    // Dual values are the reduced costs of the slack columns.
+    let dual: Vec<f64> = (0..m).map(|i| obj[n + i].max(0.0)).collect();
+    let value = obj[cols - 1];
+    LpOutcome::Optimal(LpSolution { value, primal, dual })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn simple_packing() {
+        // maximise y1 + y2 s.t. y1 ≤ 1, y2 ≤ 1, y1 + y2 ≤ 1.5
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
+        let b = vec![1.0, 1.0, 1.5];
+        let c = vec![1.0, 1.0];
+        let LpOutcome::Optimal(sol) = solve_packing_lp(&a, &b, &c) else { panic!("unbounded") };
+        assert_close(sol.value, 1.5);
+        assert_close(sol.primal[0] + sol.primal[1], 1.5);
+    }
+
+    #[test]
+    fn triangle_vertex_packing_and_edge_cover() {
+        // Triangle query: three vertices A,B,C; edges AB, BC, AC.
+        // Packing LP: maximise y_A + y_B + y_C s.t. each edge sums to ≤ 1.
+        // Optimum 1.5 with y = (0.5, 0.5, 0.5); the dual gives the fractional
+        // edge cover weights (0.5, 0.5, 0.5).
+        let a = vec![vec![1.0, 1.0, 0.0], vec![0.0, 1.0, 1.0], vec![1.0, 0.0, 1.0]];
+        let b = vec![1.0; 3];
+        let c = vec![1.0; 3];
+        let LpOutcome::Optimal(sol) = solve_packing_lp(&a, &b, &c) else { panic!("unbounded") };
+        assert_close(sol.value, 1.5);
+        let dual_sum: f64 = sol.dual.iter().sum();
+        assert_close(dual_sum, 1.5);
+        // Dual feasibility: every vertex covered with total weight >= 1.
+        assert!(sol.dual[0] + sol.dual[2] >= 1.0 - 1e-6); // A in edges 0 and 2
+        assert!(sol.dual[0] + sol.dual[1] >= 1.0 - 1e-6); // B in edges 0 and 1
+        assert!(sol.dual[1] + sol.dual[2] >= 1.0 - 1e-6); // C in edges 1 and 2
+    }
+
+    #[test]
+    fn unbounded_when_a_variable_is_unconstrained() {
+        // maximise y1 + y2 with only y1 ≤ 1: y2 unbounded.
+        let a = vec![vec![1.0, 0.0]];
+        let b = vec![1.0];
+        let c = vec![1.0, 1.0];
+        assert!(matches!(solve_packing_lp(&a, &b, &c), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn zero_objective_is_trivially_optimal() {
+        let a = vec![vec![1.0]];
+        let b = vec![5.0];
+        let c = vec![0.0];
+        let LpOutcome::Optimal(sol) = solve_packing_lp(&a, &b, &c) else { panic!("unbounded") };
+        assert_close(sol.value, 0.0);
+    }
+
+    #[test]
+    fn degenerate_constraints_terminate() {
+        // Multiple identical constraints (degenerate) — Bland's rule must not cycle.
+        let a = vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![1.0, 0.0], vec![0.0, 1.0]];
+        let b = vec![1.0, 1.0, 1.0, 1.0];
+        let c = vec![1.0, 1.0];
+        let LpOutcome::Optimal(sol) = solve_packing_lp(&a, &b, &c) else { panic!("unbounded") };
+        assert_close(sol.value, 1.0);
+    }
+
+    #[test]
+    fn lw4_style_packing() {
+        // Four vertices, four ternary edges (Loomis-Whitney 4): packing value 4/3.
+        let a = vec![
+            vec![1.0, 1.0, 1.0, 0.0],
+            vec![0.0, 1.0, 1.0, 1.0],
+            vec![1.0, 0.0, 1.0, 1.0],
+            vec![1.0, 1.0, 0.0, 1.0],
+        ];
+        let b = vec![1.0; 4];
+        let c = vec![1.0; 4];
+        let LpOutcome::Optimal(sol) = solve_packing_lp(&a, &b, &c) else { panic!("unbounded") };
+        assert_close(sol.value, 4.0 / 3.0);
+    }
+}

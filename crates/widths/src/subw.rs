@@ -1,0 +1,431 @@
+//! Submodular width bounds (Definition A.16) and the catalog of values
+//! published in the paper.
+//!
+//! Computing the submodular width exactly for arbitrary hypergraphs is a hard
+//! optimisation problem (a max–min–max over the polymatroid polytope and all
+//! tree decompositions) and is not needed to reproduce the paper.  We report:
+//!
+//! * an **upper bound**: the fractional hypertree width (`subw ≤ fhtw`,
+//!   Appendix A.2.2);
+//! * a **lower bound**: the best value of `min over decompositions of max
+//!   over bags h(bag)` over a family of edge-dominated *modular* polymatroids
+//!   `h(X) = Σ_{v ∈ X} w_v` — exactly the certificates the paper uses in
+//!   Appendix F (e.g. `h(X) = |X|/4` for the triangle, `|X|/6` for LW4);
+//! * the **published value** when the hypergraph is isomorphic (after
+//!   dropping singleton variables) to one of the query classes analysed in
+//!   Appendix E.4 / F, cross-checked against the bounds.
+
+use crate::decomposition::{elimination_width, fractional_hypertree_width};
+use ij_hypergraph::{are_isomorphic, Hypergraph};
+
+/// How a submodular-width estimate was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubwSource {
+    /// Lower and upper bounds coincide, so the value is exact.
+    BoundsCoincide,
+    /// The hypergraph matches a class analysed in the paper; the published
+    /// value is reported (and is consistent with the computed bounds).
+    PaperCatalog,
+    /// Only bounds are known.
+    BoundsOnly,
+}
+
+/// Submodular width bounds for a hypergraph.
+#[derive(Debug, Clone)]
+pub struct SubmodularWidthEstimate {
+    /// A lower bound on `subw(H)`.
+    pub lower: f64,
+    /// An upper bound on `subw(H)` (the fractional hypertree width).
+    pub upper: f64,
+    /// The best point estimate: the exact value when known, otherwise the
+    /// upper bound (a sound upper bound on the runtime exponent).
+    pub value: f64,
+    /// Provenance of `value`.
+    pub source: SubwSource,
+}
+
+impl SubmodularWidthEstimate {
+    /// True if the value is known exactly.
+    pub fn is_exact(&self) -> bool {
+        matches!(self.source, SubwSource::BoundsCoincide | SubwSource::PaperCatalog)
+    }
+}
+
+/// Computes submodular width bounds (and the exact value when available) for
+/// a hypergraph.
+pub fn submodular_width_estimate(h: &Hypergraph) -> SubmodularWidthEstimate {
+    let upper = fractional_hypertree_width(h);
+    let lower = modular_lower_bound(h);
+    if (upper - lower).abs() < 1e-6 {
+        return SubmodularWidthEstimate { lower, upper, value: upper, source: SubwSource::BoundsCoincide };
+    }
+    if let Some(published) = paper_catalog_subw(h) {
+        debug_assert!(
+            published <= upper + 1e-6 && published >= lower - 1e-6,
+            "catalog value {published} outside computed bounds [{lower}, {upper}]"
+        );
+        return SubmodularWidthEstimate {
+            lower: lower.max(published),
+            upper,
+            value: published,
+            source: SubwSource::PaperCatalog,
+        };
+    }
+    SubmodularWidthEstimate { lower, upper, value: upper, source: SubwSource::BoundsOnly }
+}
+
+/// The best lower bound on `subw(H)` obtainable from edge-dominated modular
+/// polymatroids drawn from a small family of candidate weight vectors:
+///
+/// * for every hyperedge `e`: the uniform weights `1/|e|` on `e`;
+/// * the uniform weights `1/(max |e|)` on all vertices;
+/// * the optimal fractional vertex packing of the whole vertex set.
+///
+/// Every candidate is edge-dominated by construction, so
+/// `min over decompositions of max over bags h(bag)` (computed exactly by the
+/// elimination DP) is a valid lower bound on the submodular width.
+pub fn modular_lower_bound(h: &Hypergraph) -> f64 {
+    let n = h.num_vertices();
+    if n == 0 || h.num_edges() == 0 {
+        return 0.0;
+    }
+    let mut candidates: Vec<Vec<f64>> = Vec::new();
+    // Per-edge uniform weights.
+    for e in h.edges() {
+        if e.vertices.is_empty() {
+            continue;
+        }
+        let mut w = vec![0.0; n];
+        for &v in &e.vertices {
+            w[v] = 1.0 / e.vertices.len() as f64;
+        }
+        candidates.push(w);
+    }
+    // Globally uniform weights.
+    let max_edge = h.edges().iter().map(|e| e.vertices.len()).max().unwrap_or(1).max(1);
+    candidates.push(vec![1.0 / max_edge as f64; n]);
+    // Optimal fractional vertex packing of V (its constraints are exactly
+    // edge domination).
+    if let Some(packing) = optimal_vertex_packing(h) {
+        candidates.push(packing);
+    }
+
+    let mut best: f64 = 0.0;
+    for w in candidates {
+        // Clamp tiny numerical noise and verify edge domination.
+        let dominated = h
+            .edges()
+            .iter()
+            .all(|e| e.vertices.iter().map(|&v| w[v]).sum::<f64>() <= 1.0 + 1e-7);
+        if !dominated {
+            continue;
+        }
+        let (value, _) = elimination_width(h, |bag| bag.iter().map(|&v| w[v]).sum());
+        best = best.max(value);
+    }
+    best
+}
+
+/// The optimal fractional vertex packing weights of the whole vertex set
+/// (maximise Σ y_v subject to Σ_{v ∈ e} y_v ≤ 1 for every edge).
+fn optimal_vertex_packing(h: &Hypergraph) -> Option<Vec<f64>> {
+    use crate::lp::{solve_packing_lp, LpOutcome};
+    let n = h.num_vertices();
+    if n == 0 {
+        return None;
+    }
+    let a: Vec<Vec<f64>> = h
+        .edges()
+        .iter()
+        .map(|e| (0..n).map(|v| if e.vertices.contains(&v) { 1.0 } else { 0.0 }).collect())
+        .collect();
+    let b = vec![1.0; h.num_edges()];
+    let c = vec![1.0; n];
+    match solve_packing_lp(&a, &b, &c) {
+        LpOutcome::Optimal(sol) => Some(sol.primal),
+        LpOutcome::Unbounded => None,
+    }
+}
+
+/// Published submodular widths for the query classes analysed in the paper,
+/// looked up by hypergraph isomorphism.  Only classes where the published
+/// value differs from what the bounds already pin down matter in practice,
+/// but the full list doubles as a regression test of the reduction.
+pub fn paper_catalog_subw(h: &Hypergraph) -> Option<f64> {
+    for (graph, value) in paper_catalog() {
+        if are_isomorphic(h, &graph) {
+            return Some(value);
+        }
+    }
+    None
+}
+
+/// The catalog of (hypergraph, published submodular width) pairs from
+/// Appendix E.4 and Appendix F.  The hypergraphs are written exactly as the
+/// paper presents them (singleton variables already dropped).
+pub fn paper_catalog() -> Vec<(Hypergraph, f64)> {
+    fn ej(atoms: &[(&str, &[&str])]) -> Hypergraph {
+        let mut h = Hypergraph::new();
+        for (label, vars) in atoms {
+            let ids: Vec<_> = vars
+                .iter()
+                .map(|name| h.vertex_by_name(name).unwrap_or_else(|| h.add_point_var(*name)))
+                .collect();
+            h.add_edge(*label, ids);
+        }
+        h
+    }
+    vec![
+        // Appendix F.2.2 — Loomis-Whitney 4, classes 1..6 (equations 27, 31-35).
+        (
+            ej(&[
+                ("R", &["A1", "B1", "C1", "B2", "C2"]),
+                ("S", &["B1", "C1", "D1", "C2", "D2"]),
+                ("T", &["C1", "D1", "A1", "D2", "A2"]),
+                ("U", &["D1", "A1", "B1", "A2", "B2"]),
+            ]),
+            1.5,
+        ),
+        (
+            ej(&[
+                ("R", &["A1", "B1", "C1", "A2"]),
+                ("S", &["B1", "C1", "D1", "B2", "C2"]),
+                ("T", &["C1", "D1", "A1", "C2", "D2"]),
+                ("U", &["D1", "A1", "B1", "D2", "A2", "B2"]),
+            ]),
+            5.0 / 3.0,
+        ),
+        (
+            ej(&[
+                ("R", &["A1", "B1", "C1"]),
+                ("S", &["B1", "C1", "D1", "B2", "C2"]),
+                ("T", &["C1", "D1", "A1", "C2", "D2", "A2"]),
+                ("U", &["D1", "A1", "B1", "D2", "A2", "B2"]),
+            ]),
+            1.5,
+        ),
+        (
+            ej(&[
+                ("R", &["A1", "B1", "C1", "B2"]),
+                ("S", &["B1", "C1", "D1", "C2"]),
+                ("T", &["C1", "D1", "A1", "C2", "D2", "A2"]),
+                ("U", &["D1", "A1", "B1", "D2", "A2", "B2"]),
+            ]),
+            1.5,
+        ),
+        (
+            ej(&[
+                ("R", &["A1", "B1", "C1", "A2", "B2"]),
+                ("S", &["B1", "C1", "D1", "C2"]),
+                ("T", &["C1", "D1", "A1", "C2", "D2"]),
+                ("U", &["D1", "A1", "B1", "D2", "A2", "B2"]),
+            ]),
+            1.5,
+        ),
+        (
+            ej(&[
+                ("R", &["A1", "B1", "C1", "B2", "C2"]),
+                ("S", &["B1", "C1", "D1", "B2", "C2"]),
+                ("T", &["C1", "D1", "A1", "D2", "A2"]),
+                ("U", &["D1", "A1", "B1", "D2", "A2"]),
+            ]),
+            1.5,
+        ),
+        // Appendix F.3.2 — 4-clique, classes 1..6 (equations 40-45), all 2.0.
+        (
+            ej(&[
+                ("R", &["A1", "B1"]),
+                ("S", &["A1", "C1", "A2"]),
+                ("T", &["A1", "D1", "A2"]),
+                ("U", &["B1", "C1", "B2", "C2"]),
+                ("V", &["B1", "D1", "B2", "D2"]),
+                ("W", &["C1", "D1", "C2", "D2"]),
+            ]),
+            2.0,
+        ),
+        (
+            ej(&[
+                ("R", &["A1", "B1", "B2"]),
+                ("S", &["A1", "C1", "A2"]),
+                ("T", &["A1", "D1", "A2"]),
+                ("U", &["B1", "C1", "C2"]),
+                ("V", &["B1", "D1", "B2", "D2"]),
+                ("W", &["C1", "D1", "C2", "D2"]),
+            ]),
+            2.0,
+        ),
+        (
+            ej(&[
+                ("R", &["A1", "B1", "A2", "B2"]),
+                ("S", &["A1", "C1"]),
+                ("T", &["A1", "D1", "A2"]),
+                ("U", &["B1", "C1", "C2"]),
+                ("V", &["B1", "D1", "B2", "D2"]),
+                ("W", &["C1", "D1", "C2", "D2"]),
+            ]),
+            2.0,
+        ),
+        (
+            ej(&[
+                ("R", &["A1", "B1", "A2", "B2"]),
+                ("S", &["A1", "C1", "A2"]),
+                ("T", &["A1", "D1"]),
+                ("U", &["B1", "C1", "C2"]),
+                ("V", &["B1", "D1", "B2", "D2"]),
+                ("W", &["C1", "D1", "C2", "D2"]),
+            ]),
+            2.0,
+        ),
+        (
+            ej(&[
+                ("R", &["A1", "B1", "A2", "B2"]),
+                ("S", &["A1", "C1", "A2", "C2"]),
+                ("T", &["A1", "D1"]),
+                ("U", &["B1", "C1"]),
+                ("V", &["B1", "D1", "B2", "D2"]),
+                ("W", &["C1", "D1", "C2", "D2"]),
+            ]),
+            2.0,
+        ),
+        (
+            ej(&[
+                ("R", &["A1", "B1", "A2", "B2"]),
+                ("S", &["A1", "C1", "C2"]),
+                ("T", &["A1", "D1", "A2"]),
+                ("U", &["B1", "C1", "B2"]),
+                ("V", &["B1", "D1", "D2"]),
+                ("W", &["C1", "D1", "C2", "D2"]),
+            ]),
+            2.0,
+        ),
+        // Appendix E.4.1 — Figure 9a, class 3 (the only class with width 1.5).
+        (
+            ej(&[
+                ("R", &["A1", "B1", "C1", "A2", "B2"]),
+                ("S", &["A1", "B1", "C1", "A2", "C2"]),
+                ("T", &["A1", "B1", "C1", "B2", "C2"]),
+            ]),
+            1.5,
+        ),
+        // Appendix E.4.2 — Figure 9b, class 2.
+        (
+            ej(&[
+                ("R", &["A1", "B1", "C1", "A2"]),
+                ("S", &["A1", "B1", "C1", "B2"]),
+                ("T", &["A1", "B1", "A2", "B2"]),
+            ]),
+            1.5,
+        ),
+        // Appendix E.4.3 — Figure 9c, class 1 (= Example 6.5's H1).
+        (
+            ej(&[("R", &["A1", "B1", "C1"]), ("S", &["B1", "C1", "B2"]), ("T", &["A1", "B1", "B2"])]),
+            1.5,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ij_hypergraph::{four_clique_ej, loomis_whitney_4_ej, triangle_ej, Hypergraph};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn triangle_subw_is_exact_via_bounds() {
+        // For the EJ triangle the modular certificate |X|/2 is tight, so the
+        // bounds coincide at 3/2 without consulting the catalog.
+        let est = submodular_width_estimate(&triangle_ej());
+        assert!(est.is_exact());
+        assert!(close(est.value, 1.5));
+        assert_eq!(est.source, SubwSource::BoundsCoincide);
+    }
+
+    #[test]
+    fn lw4_ej_subw_is_four_thirds() {
+        let est = submodular_width_estimate(&loomis_whitney_4_ej());
+        assert!(close(est.upper, 4.0 / 3.0));
+        assert!(est.value <= 4.0 / 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn four_clique_ej_subw_estimate_is_two() {
+        let est = submodular_width_estimate(&four_clique_ej());
+        assert!(close(est.upper, 2.0));
+        assert!(est.lower >= 1.5 - 1e-6, "modular bound should reach at least 3/2, got {}", est.lower);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_upper_bound_on_catalog() {
+        for (h, published) in paper_catalog() {
+            let upper = fractional_hypertree_width(&h);
+            let lower = modular_lower_bound(&h);
+            assert!(lower <= upper + 1e-6, "bounds crossed for {h}");
+            assert!(published <= upper + 1e-6, "published {published} above fhtw {upper} for {h}");
+            assert!(published >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn lw4_class_1_matches_the_four_cycle_analysis() {
+        // Appendix F.2.2 class 1: fhtw = 2 but subw = 1.5.
+        let (h, value) = &paper_catalog()[0];
+        assert!(close(*value, 1.5));
+        assert!(close(fractional_hypertree_width(h), 2.0));
+        let est = submodular_width_estimate(h);
+        assert_eq!(est.source, SubwSource::PaperCatalog);
+        assert!(close(est.value, 1.5));
+        assert!(close(est.upper, 2.0));
+    }
+
+    #[test]
+    fn lw4_class_2_value_is_five_thirds() {
+        let (h, value) = &paper_catalog()[1];
+        assert!(close(*value, 5.0 / 3.0));
+        assert!(close(fractional_hypertree_width(h), 5.0 / 3.0));
+        let est = submodular_width_estimate(h);
+        assert!(close(est.value, 5.0 / 3.0));
+        assert!(est.is_exact());
+    }
+
+    #[test]
+    fn acyclic_hypergraphs_have_subw_one() {
+        let mut h = Hypergraph::new();
+        let a = h.add_point_var("A");
+        let b = h.add_point_var("B");
+        let c = h.add_point_var("C");
+        h.add_edge("R", vec![a, b]);
+        h.add_edge("S", vec![b, c]);
+        let est = submodular_width_estimate(&h);
+        assert!(est.is_exact());
+        assert!(close(est.value, 1.0));
+    }
+
+    #[test]
+    fn modular_lower_bound_is_edge_dominated() {
+        // Sanity check: the bound never exceeds the number of edges (a very
+        // loose sanity cap) and is at least 1 for non-empty hypergraphs.
+        for (h, _) in paper_catalog() {
+            let lb = modular_lower_bound(&h);
+            assert!(lb >= 1.0 - 1e-9);
+            assert!(lb <= h.num_edges() as f64 + 1e-9);
+        }
+        assert!(close(modular_lower_bound(&Hypergraph::new()), 0.0));
+    }
+
+    #[test]
+    fn catalog_lookup_is_isomorphism_invariant() {
+        // Rename the variables of LW4 class 1 and look it up again.
+        let mut h = Hypergraph::new();
+        let names = ["p", "q", "r", "s", "t", "u", "v", "w"];
+        let ids: Vec<_> = names.iter().map(|n| h.add_point_var(*n)).collect();
+        // Same structure as class 1 with A1→p, B1→q, C1→r, D1→s, A2→t, B2→u, C2→v, D2→w.
+        h.add_edge("e1", vec![ids[0], ids[1], ids[2], ids[5], ids[6]]);
+        h.add_edge("e2", vec![ids[1], ids[2], ids[3], ids[6], ids[7]]);
+        h.add_edge("e3", vec![ids[2], ids[3], ids[0], ids[7], ids[4]]);
+        h.add_edge("e4", vec![ids[3], ids[0], ids[1], ids[4], ids[5]]);
+        assert_eq!(paper_catalog_subw(&h), Some(1.5));
+    }
+}

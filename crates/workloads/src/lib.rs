@@ -1,0 +1,23 @@
+//! Synthetic interval workloads for the benchmark harness.
+//!
+//! The paper has no experimental section and therefore no datasets; the
+//! workloads below are synthetic substitutes that exercise the same code
+//! paths (documented in `DESIGN.md`).  All generators are deterministic given
+//! a seed.
+//!
+//! * [`generate_for_query`] — for an arbitrary query, one relation per atom
+//!   filled with intervals (and points for point variables) drawn from an
+//!   [`IntervalDistribution`];
+//! * [`temporal_sessions`] — a temporal-database style workload (sessions
+//!   with start/end timestamps, Section 2's motivation);
+//! * [`spatial_boxes`] — minimum-bounding-rectangle projections (two interval
+//!   columns per tuple), the spatial-join motivation of Section 2;
+//! * [`point_intervals`] — degenerate point intervals, for which intersection
+//!   joins coincide with equality joins (Section 1).
+
+mod generators;
+
+pub use generators::{
+    generate_for_query, planted_satisfiable, planted_unsatisfiable, point_intervals,
+    spatial_boxes, temporal_sessions, IntervalDistribution, WorkloadConfig,
+};

@@ -1,0 +1,61 @@
+//! Compares the reduction-based intersection-join engine against the FAQ-AI
+//! comparator (Appendix F) on a temporal-overlap workload.
+//!
+//! ```text
+//! cargo run --release --example faqai_comparison
+//! ```
+
+use intersection_joins::faqai::{analyze_disjunction, evaluate_faqai, faqai_disjunction};
+use intersection_joins::prelude::*;
+use intersection_joins::workloads::{generate_for_query, IntervalDistribution, WorkloadConfig};
+
+fn main() {
+    // Three services log sessions with validity intervals; the triangle query
+    // asks whether some triple of sessions was simultaneously active pairwise
+    // on shared resources (the temporal-join motivation of Section 2).
+    let query = Query::parse("R([A],[B]) & S([B],[C]) & T([A],[C])").expect("valid query");
+
+    // Static analysis: both the ij-width (our approach, Theorem 4.15) and the
+    // relaxed width of the FAQ-AI reformulation (Appendix F).
+    let engine = IntersectionJoinEngine::with_defaults();
+    let analysis = engine.analyze(&query);
+    let faqai = analyze_disjunction(&faqai_disjunction(&query).expect("pure IJ query"));
+    println!("query:            {query}");
+    println!("our analysis:     {}", analysis.summary());
+    println!("FAQ-AI analysis:  {} over {} conjuncts", faqai.runtime(), faqai.conjuncts.len());
+
+    // Evaluate both on growing synthetic workloads and report the answer and
+    // wall-clock times.
+    println!("\n{:>8}  {:>8}  {:>12}  {:>12}", "N", "answer", "ours [ms]", "FAQ-AI [ms]");
+    for n in [50usize, 100, 200] {
+        let db = generate_for_query(
+            &query,
+            &WorkloadConfig {
+                tuples_per_relation: n,
+                seed: 42,
+                distribution: IntervalDistribution::GridAligned {
+                    span: 4.0 * n as f64,
+                    cells: (2 * n) as u32,
+                    max_cells: 3,
+                },
+            },
+        );
+        let start = std::time::Instant::now();
+        let ours = engine.evaluate(&query, &db).expect("engine evaluation");
+        let t_ours = start.elapsed();
+
+        let start = std::time::Instant::now();
+        let stats = evaluate_faqai(&query, &db).expect("FAQ-AI evaluation");
+        let t_faqai = start.elapsed();
+
+        assert_eq!(ours, stats.answer, "the two evaluators must agree");
+        println!(
+            "{:>8}  {:>8}  {:>12.2}  {:>12.2}",
+            n,
+            ours,
+            t_ours.as_secs_f64() * 1e3,
+            t_faqai.as_secs_f64() * 1e3
+        );
+    }
+    println!("\nThe FAQ-AI route materialises a quadratic bag; the reduction route stays near N^1.5.");
+}

@@ -1,0 +1,51 @@
+//! # intersection-joins
+//!
+//! A reproduction of *"The Complexity of Boolean Conjunctive Queries with
+//! Intersection Joins"* (PODS 2022) as a Rust workspace.  This umbrella crate
+//! re-exports the public API of the member crates; see `README.md` for the
+//! architecture and `DESIGN.md` / `EXPERIMENTS.md` for the mapping from the
+//! paper's results to code.
+//!
+//! The most convenient entry point is the engine prelude:
+//!
+//! ```
+//! use intersection_joins::prelude::*;
+//!
+//! let q = Query::parse("R([A],[B]) & S([B],[C]) & T([A],[C])").unwrap();
+//! let engine = IntersectionJoinEngine::with_defaults();
+//! let analysis = engine.analyze(&q);
+//! assert!((analysis.ij_width.value - 1.5).abs() < 1e-9); // ijw(Q△) = 3/2
+//! ```
+
+pub use ij_engine::prelude;
+
+/// Segment trees, intervals and bitstrings (paper Section 3, Appendix B).
+pub use ij_segtree as segtree;
+
+/// Hypergraphs, acyclicity notions and the structural reduction (Sections 4 and 6).
+pub use ij_hypergraph as hypergraph;
+
+/// Width measures: ρ*, fhtw, subw bounds and the ij-width (Definition 4.14).
+pub use ij_widths as widths;
+
+/// Values, relations, databases and the query AST (Definition 3.3).
+pub use ij_relation as relation;
+
+/// The equality-join engine (generic WCOJ, Yannakakis, width-guided evaluation).
+pub use ij_ejoin as ejoin;
+
+/// The FAQ-AI comparator: inequality joins, relaxed decompositions and
+/// relaxed widths (Appendix F).
+pub use ij_faqai as faqai;
+
+/// The forward and backward reductions (Sections 4 and 5).
+pub use ij_reduction as reduction;
+
+/// The end-to-end intersection-join engine.
+pub use ij_engine as engine;
+
+/// Classical baselines: plane sweep, binary-join cascades, nested loops.
+pub use ij_baselines as baselines;
+
+/// Synthetic workload generators.
+pub use ij_workloads as workloads;

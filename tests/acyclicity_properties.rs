@@ -1,0 +1,101 @@
+//! E5 — property-based tests for the acyclicity notions (Section 6,
+//! Appendix A.1, Figure 5).
+//!
+//! Random hypergraphs are generated with proptest and the following
+//! invariants are checked:
+//!
+//! * Theorem 6.3: the syntactic characterisation of ι-acyclicity ("no Berge
+//!   cycle of length > 2") coincides with Definition 6.1 ("every hypergraph
+//!   of τ(H) is α-acyclic");
+//! * the strict inclusion chain Berge ⊆ ι ⊆ γ ⊆ α of Corollary 6.4/E.6;
+//! * Definition A.9: GYO-reducibility coincides with conformal + cycle-free;
+//! * α-acyclicity coincides with the existence of a valid join tree.
+
+use ij_hypergraph::{
+    is_alpha_acyclic, is_berge_acyclic, is_conformal, is_cycle_free, is_gamma_acyclic,
+    is_iota_acyclic, is_iota_acyclic_via_reduction, join_tree, Hypergraph,
+};
+use proptest::prelude::*;
+
+/// A random multi-hypergraph with up to `max_vars` interval variables and up
+/// to `max_edges` hyperedges of size 1..=3.
+fn arb_hypergraph(max_vars: usize, max_edges: usize) -> impl Strategy<Value = Hypergraph> {
+    let vars = 2..=max_vars;
+    vars.prop_flat_map(move |nv| {
+        let edge = proptest::collection::btree_set(0..nv, 1..=3.min(nv));
+        proptest::collection::vec(edge, 1..=max_edges).prop_map(move |edges| {
+            let mut h = Hypergraph::new();
+            for v in 0..nv {
+                h.add_interval_var(format!("X{v}"));
+            }
+            for (i, e) in edges.into_iter().enumerate() {
+                h.add_edge(format!("R{i}"), e);
+            }
+            h
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// Theorem 6.3: syntactic and reduction-based iota-acyclicity agree.
+    #[test]
+    fn iota_characterisation_matches_definition(h in arb_hypergraph(5, 4)) {
+        prop_assert_eq!(is_iota_acyclic(&h), is_iota_acyclic_via_reduction(&h));
+    }
+
+    /// Corollary 6.4 / E.6: Berge ⊆ iota ⊆ gamma ⊆ alpha.
+    #[test]
+    fn acyclicity_inclusions(h in arb_hypergraph(6, 5)) {
+        if is_berge_acyclic(&h) {
+            prop_assert!(is_iota_acyclic(&h));
+        }
+        if is_iota_acyclic(&h) {
+            prop_assert!(is_gamma_acyclic(&h));
+        }
+        if is_gamma_acyclic(&h) {
+            prop_assert!(is_alpha_acyclic(&h));
+        }
+    }
+
+    /// Definition A.9: GYO reduction ⟺ conformal and cycle-free.
+    #[test]
+    fn alpha_acyclicity_characterisations_agree(h in arb_hypergraph(6, 5)) {
+        prop_assert_eq!(is_alpha_acyclic(&h), is_conformal(&h) && is_cycle_free(&h));
+    }
+
+    /// Join trees exist exactly for alpha-acyclic hypergraphs and satisfy the
+    /// running-intersection property.
+    #[test]
+    fn join_tree_existence(h in arb_hypergraph(6, 5)) {
+        match join_tree(&h) {
+            Some(tree) => {
+                prop_assert!(is_alpha_acyclic(&h));
+                prop_assert!(tree.is_valid(&h));
+            }
+            None => {
+                // `join_tree` returns None for empty hypergraphs too; the
+                // generator always creates at least one edge.
+                prop_assert!(!is_alpha_acyclic(&h));
+            }
+        }
+    }
+
+    /// ι-acyclicity is preserved by removing hyperedges (it is defined by the
+    /// absence of a structure, so deleting an edge cannot create one).
+    #[test]
+    fn iota_acyclicity_is_monotone_under_edge_removal(h in arb_hypergraph(5, 4)) {
+        if is_iota_acyclic(&h) && h.num_edges() > 1 {
+            // Drop the last edge.
+            let mut g = Hypergraph::new();
+            for v in h.vertices() {
+                g.add_vertex(v.name.clone(), v.kind);
+            }
+            for e in &h.edges()[..h.num_edges() - 1] {
+                g.add_edge(e.label.clone(), e.vertices.iter().copied());
+            }
+            prop_assert!(is_iota_acyclic(&g));
+        }
+    }
+}

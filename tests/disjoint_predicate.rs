@@ -1,0 +1,68 @@
+//! Appendix G — property tests for the disjoint rewriting of the
+//! intersection predicate (Lemma G.2).
+//!
+//! For intervals with pairwise-distinct left endpoints, the ordered-tuple-set
+//! rewriting admits exactly one witness when the intervals intersect and none
+//! otherwise, whereas the unrestricted rewriting of Lemma 4.3 may admit
+//! several.
+
+use ij_reduction::{ordered_witnesses, unique_ordered_witness, unrestricted_witness_count};
+use ij_segtree::{Interval, SegmentTree};
+use proptest::prelude::*;
+
+/// Strategy: between 1 and 4 intervals with pairwise-distinct left endpoints
+/// drawn from a small integer grid (plus a fractional per-index offset to
+/// force distinctness) and non-negative lengths.
+fn distinct_left_intervals() -> impl Strategy<Value = Vec<Interval>> {
+    prop::collection::vec((0u32..40, 0u32..25), 1..=4).prop_map(|raw| {
+        raw.iter()
+            .enumerate()
+            .map(|(i, (lo, len))| {
+                let lo = *lo as f64 + i as f64 * 0.01;
+                Interval::new(lo, lo + *len as f64)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn lemma_g2_exactly_one_witness_iff_intersecting(intervals in distinct_left_intervals()) {
+        let tree = SegmentTree::build(&intervals);
+        let intersects = Interval::intersect_all(intervals.iter().copied()).is_some();
+        let witnesses = ordered_witnesses(&tree, &intervals);
+        if intersects {
+            prop_assert_eq!(witnesses.len(), 1, "intersecting intervals must have one witness");
+        } else {
+            prop_assert!(witnesses.is_empty(), "disjoint intervals must have no witness");
+        }
+    }
+
+    #[test]
+    fn direct_construction_matches_the_enumeration(intervals in distinct_left_intervals()) {
+        let tree = SegmentTree::build(&intervals);
+        let witnesses = ordered_witnesses(&tree, &intervals);
+        match unique_ordered_witness(&tree, &intervals) {
+            Some(w) => {
+                prop_assert_eq!(witnesses.len(), 1);
+                prop_assert_eq!(&witnesses[0], &w);
+                prop_assert!(w.is_valid(&tree, &intervals));
+            }
+            None => prop_assert!(witnesses.is_empty()),
+        }
+    }
+
+    #[test]
+    fn unrestricted_rewriting_is_a_superset(intervals in distinct_left_intervals()) {
+        let tree = SegmentTree::build(&intervals);
+        let ordered = ordered_witnesses(&tree, &intervals).len();
+        let unrestricted = unrestricted_witness_count(&tree, &intervals);
+        // Lemma 4.3 is still an equivalence (non-empty iff intersecting) but
+        // may overcount; the ordered rewriting never admits more witnesses.
+        prop_assert!(unrestricted >= ordered);
+        let intersects = Interval::intersect_all(intervals.iter().copied()).is_some();
+        prop_assert_eq!(unrestricted > 0, intersects);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the segment-tree substrate (Section 3,
+//! Property 3.2 and the intersection-predicate rewritings of Section 4.1).
+
+use ij_segtree::{BitString, Interval, SegmentTree};
+use proptest::prelude::*;
+
+/// A random set of closed intervals with small integer-ish endpoints (ties
+/// and containments are likely, which is what we want to stress).
+fn arb_intervals(max_len: usize) -> impl Strategy<Value = Vec<Interval>> {
+    proptest::collection::vec((0i32..60, 0i32..20), 1..=max_len).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(lo, len)| Interval::new(lo as f64, (lo + len) as f64))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Property 3.2(2)/(3): canonical partitions are antichains of bounded size.
+    #[test]
+    fn canonical_partitions_are_small_antichains(intervals in arb_intervals(24)) {
+        let tree = SegmentTree::build(&intervals);
+        let height = tree.height() as usize;
+        for &iv in &intervals {
+            let cp = tree.canonical_partition(iv);
+            prop_assert!(!cp.is_empty());
+            prop_assert!(cp.len() <= 2 * height + 2);
+            for (i, a) in cp.iter().enumerate() {
+                for (j, b) in cp.iter().enumerate() {
+                    if i != j {
+                        prop_assert!(!a.is_prefix_of(*b));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lemma 4.1 specialised to two intervals: x ∩ y ≠ ∅ iff some node of
+    /// CP(y) is an ancestor of leaf(x) or some node of CP(x) is an ancestor
+    /// of leaf(y).
+    #[test]
+    fn pairwise_intersection_predicate(intervals in arb_intervals(12)) {
+        let tree = SegmentTree::build(&intervals);
+        for &x in &intervals {
+            for &y in &intervals {
+                let leaf_x = tree.leaf_of_interval(x);
+                let leaf_y = tree.leaf_of_interval(y);
+                let rewritten = tree.canonical_partition(y).iter().any(|v| v.is_prefix_of(leaf_x))
+                    || tree.canonical_partition(x).iter().any(|v| v.is_prefix_of(leaf_y));
+                prop_assert_eq!(rewritten, x.intersects(y));
+            }
+        }
+    }
+
+    /// Lemma 4.4 for three intervals: the intersection is non-empty iff there
+    /// is a permutation (σ1, σ2, σ3) and bitstrings (b1, b2, b3) such that
+    /// b1 ∈ CP(σ1), b1◦b2 ∈ CP(σ2) and b1◦b2◦b3 = leaf(σ3).
+    #[test]
+    fn three_way_intersection_predicate(intervals in arb_intervals(6)) {
+        let tree = SegmentTree::build(&intervals);
+        let n = intervals.len();
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let (x, y, z) = (intervals[i], intervals[j], intervals[k]);
+                    let truth = Interval::intersect_all([x, y, z]).is_some();
+                    // Evaluate the rewriting: try all 6 permutations.
+                    let perms =
+                        [[x, y, z], [x, z, y], [y, x, z], [y, z, x], [z, x, y], [z, y, x]];
+                    let mut rewritten = false;
+                    'perm: for p in perms {
+                        let leaf = tree.leaf_of_interval(p[2]);
+                        let cp0 = tree.canonical_partition(p[0]);
+                        let cp1 = tree.canonical_partition(p[1]);
+                        // u1 must be an ancestor of u2, both ancestors of leaf.
+                        for u1 in cp0.iter().filter(|u| u.is_prefix_of(leaf)) {
+                            for u2 in cp1.iter().filter(|u| u.is_prefix_of(leaf)) {
+                                if u1.is_prefix_of(*u2) {
+                                    rewritten = true;
+                                    break 'perm;
+                                }
+                            }
+                        }
+                    }
+                    prop_assert_eq!(rewritten, truth, "x={:?} y={:?} z={:?}", x, y, z);
+                }
+            }
+        }
+    }
+
+    /// Stabbing queries report exactly the stored intervals containing the
+    /// probe point.
+    #[test]
+    fn stabbing_queries_are_exact(intervals in arb_intervals(20), probes in proptest::collection::vec(0i32..80, 1..10)) {
+        let tree = SegmentTree::build_with_storage(&intervals);
+        for p in probes {
+            let p = p as f64;
+            let expected: Vec<usize> = intervals
+                .iter()
+                .enumerate()
+                .filter(|(_, iv)| iv.contains_point(p))
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(tree.stab(p), expected);
+        }
+    }
+
+    /// Compositions of leaf bitstrings concatenate back to the original
+    /// (Claim C.1 bookkeeping used by the reduction).
+    #[test]
+    fn compositions_concatenate_back(intervals in arb_intervals(10), parts in 1usize..4) {
+        let tree = SegmentTree::build(&intervals);
+        for &iv in &intervals {
+            let leaf = tree.leaf_of_interval(iv);
+            let mut count = 0usize;
+            for composition in leaf.compositions(parts) {
+                prop_assert_eq!(BitString::concat_all(composition.iter().copied()), leaf);
+                prop_assert_eq!(composition.len(), parts);
+                count += 1;
+            }
+            prop_assert_eq!(count as u64, leaf.composition_count(parts));
+        }
+    }
+}
