@@ -49,7 +49,8 @@ pub fn plane_sweep_pairs(left: &[Interval], right: &[Interval]) -> Vec<(usize, u
     // Events: (coordinate, is_end, side, index).  Starts sort before ends at
     // equal coordinates so that touching intervals count as intersecting
     // (closed-interval semantics).
-    let mut events: Vec<(f64, u8, Side, usize)> = Vec::with_capacity(2 * (left.len() + right.len()));
+    let mut events: Vec<(f64, u8, Side, usize)> =
+        Vec::with_capacity(2 * (left.len() + right.len()));
     for (i, iv) in left.iter().enumerate() {
         events.push((iv.lo(), 0, Side::Left, i));
         events.push((iv.hi(), 1, Side::Left, i));
@@ -112,11 +113,15 @@ pub fn binary_join_cascade(q: &Query, db: &Database) -> Result<(bool, usize), Ba
         let rel = db
             .relation(&atom.relation)
             .ok_or_else(|| BaselineError::MissingRelation(atom.relation.clone()))?;
+        let tuples = rel.tuples();
         // Shared interval variable (already bound and occurring in this atom)
         // to drive the sweep, if any.
         let shared_interval = atom.vars.iter().enumerate().find(|(_, v)| {
             q.var_kind(v.as_str()) == Some(VarKind::Interval)
-                && intermediates.first().map(|b| b.contains_key(v.as_str())).unwrap_or(false)
+                && intermediates
+                    .first()
+                    .map(|b| b.contains_key(v.as_str()))
+                    .unwrap_or(false)
         });
 
         let candidate_pairs: Vec<(usize, usize)> = match shared_interval {
@@ -128,10 +133,13 @@ pub fn binary_join_cascade(q: &Query, db: &Database) -> Result<(bool, usize), Ba
                         Binding::Point(_) => unreachable!("interval variable bound to a point"),
                     })
                     .collect();
-                let right: Vec<Interval> = rel
-                    .tuples()
+                let right: Vec<Interval> = tuples
                     .iter()
-                    .map(|t| t[col].to_interval().unwrap_or_else(|| Interval::point(f64::MAX)))
+                    .map(|t| {
+                        t[col]
+                            .to_interval()
+                            .unwrap_or_else(|| Interval::point(f64::MAX))
+                    })
                     .collect();
                 plane_sweep_pairs(&left, &right)
             }
@@ -146,12 +154,14 @@ pub fn binary_join_cascade(q: &Query, db: &Database) -> Result<(bool, usize), Ba
         let mut next: Vec<BTreeMap<String, Binding>> = Vec::new();
         'pairs: for (i, j) in candidate_pairs {
             let mut binding = intermediates[i].clone();
-            let tuple = &rel.tuples()[j];
+            let tuple = &tuples[j];
             for (col, var) in atom.vars.iter().enumerate() {
                 let value = tuple[col];
                 match q.var_kind(var) {
                     Some(VarKind::Interval) => {
-                        let Some(iv) = value.to_interval() else { continue 'pairs };
+                        let Some(iv) = value.to_interval() else {
+                            continue 'pairs;
+                        };
                         let merged = match binding.get(var) {
                             Some(Binding::Interval(current)) => match current.intersection(iv) {
                                 Some(m) => m,
@@ -202,9 +212,18 @@ pub fn index_nested_loop_pairs(outer: &[Interval], inner: &[Interval]) -> Vec<(u
 
 /// Exhaustive nested-loop evaluation (early exit on the first witness).
 pub fn nested_loop(q: &Query, db: &Database) -> Result<bool, BaselineError> {
+    // Materialise the rows once up front; the recursion below revisits each
+    // relation once per enclosing partial assignment.
+    let mut relations: Vec<Vec<Vec<Value>>> = Vec::with_capacity(q.atoms().len());
+    for atom in q.atoms() {
+        let rel = db
+            .relation(&atom.relation)
+            .ok_or_else(|| BaselineError::MissingRelation(atom.relation.clone()))?;
+        relations.push(rel.tuples());
+    }
     fn go(
         q: &Query,
-        db: &Database,
+        relations: &[Vec<Vec<Value>>],
         atom_idx: usize,
         binding: &BTreeMap<String, Binding>,
     ) -> Result<bool, BaselineError> {
@@ -212,16 +231,15 @@ pub fn nested_loop(q: &Query, db: &Database) -> Result<bool, BaselineError> {
             return Ok(true);
         }
         let atom = &q.atoms()[atom_idx];
-        let rel = db
-            .relation(&atom.relation)
-            .ok_or_else(|| BaselineError::MissingRelation(atom.relation.clone()))?;
-        'tuples: for tuple in rel.tuples() {
+        'tuples: for tuple in &relations[atom_idx] {
             let mut next = binding.clone();
             for (col, var) in atom.vars.iter().enumerate() {
                 let value = tuple[col];
                 match q.var_kind(var) {
                     Some(VarKind::Interval) => {
-                        let Some(iv) = value.to_interval() else { continue 'tuples };
+                        let Some(iv) = value.to_interval() else {
+                            continue 'tuples;
+                        };
                         let merged = match next.get(var) {
                             Some(Binding::Interval(current)) => match current.intersection(iv) {
                                 Some(m) => m,
@@ -243,13 +261,13 @@ pub fn nested_loop(q: &Query, db: &Database) -> Result<bool, BaselineError> {
                     },
                 }
             }
-            if go(q, db, atom_idx + 1, &next)? {
+            if go(q, relations, atom_idx + 1, &next)? {
                 return Ok(true);
             }
         }
         Ok(false)
     }
-    go(q, db, 0, &BTreeMap::new())
+    go(q, &relations, 0, &BTreeMap::new())
 }
 
 #[cfg(test)]
@@ -332,7 +350,11 @@ mod tests {
         let mut db = Database::new();
         db.insert_tuples("R", 2, vec![vec![iv(0.0, 4.0), iv(10.0, 14.0)]]);
         db.insert_tuples("S", 2, vec![vec![iv(12.0, 13.0), iv(20.0, 25.0)]]);
-        let c = if satisfiable { iv(24.0, 26.0) } else { iv(30.0, 31.0) };
+        let c = if satisfiable {
+            iv(24.0, 26.0)
+        } else {
+            iv(30.0, 31.0)
+        };
         db.insert_tuples("T", 2, vec![vec![iv(3.0, 5.0), c]]);
         (q, db)
     }
@@ -353,8 +375,14 @@ mod tests {
         let q = Query::parse("R([A]) & S([A])").unwrap();
         let mut db = Database::new();
         db.insert_tuples("R", 1, vec![vec![iv(0.0, 1.0)]]);
-        assert!(matches!(binary_join_cascade(&q, &db), Err(BaselineError::MissingRelation(_))));
-        assert!(matches!(nested_loop(&q, &db), Err(BaselineError::MissingRelation(_))));
+        assert!(matches!(
+            binary_join_cascade(&q, &db),
+            Err(BaselineError::MissingRelation(_))
+        ));
+        assert!(matches!(
+            nested_loop(&q, &db),
+            Err(BaselineError::MissingRelation(_))
+        ));
     }
 
     #[test]
@@ -369,12 +397,16 @@ mod tests {
         db.insert_tuples(
             "R",
             2,
-            (0..n).map(|i| vec![iv(i as f64, i as f64 + 0.5), iv(0.0, 100.0)]).collect(),
+            (0..n)
+                .map(|i| vec![iv(i as f64, i as f64 + 0.5), iv(0.0, 100.0)])
+                .collect(),
         );
         db.insert_tuples(
             "S",
             2,
-            (0..n).map(|i| vec![iv(0.0, 100.0), iv(200.0 + i as f64, 200.5 + i as f64)]).collect(),
+            (0..n)
+                .map(|i| vec![iv(0.0, 100.0), iv(200.0 + i as f64, 200.5 + i as f64)])
+                .collect(),
         );
         db.insert_tuples("T", 2, vec![vec![iv(1000.0, 1001.0), iv(1000.0, 1001.0)]]);
         let (answer, max_intermediate) = binary_join_cascade(&q, &db).unwrap();
@@ -392,7 +424,10 @@ mod tests {
                 &WorkloadConfig {
                     tuples_per_relation: 12,
                     seed,
-                    distribution: IntervalDistribution::Uniform { span: 60.0, max_len: 6.0 },
+                    distribution: IntervalDistribution::Uniform {
+                        span: 60.0,
+                        max_len: 6.0,
+                    },
                 },
             );
             let (cascade, _) = binary_join_cascade(&q, &db).unwrap();
@@ -407,10 +442,10 @@ mod tests {
         let mut db = Database::new();
         db.insert_tuples("R", 2, vec![vec![Value::point(1.0), iv(0.0, 2.0)]]);
         db.insert_tuples("S", 2, vec![vec![Value::point(1.0), iv(1.0, 3.0)]]);
-        assert_eq!(binary_join_cascade(&q, &db).unwrap().0, true);
-        assert_eq!(nested_loop(&q, &db).unwrap(), true);
+        assert!(binary_join_cascade(&q, &db).unwrap().0);
+        assert!(nested_loop(&q, &db).unwrap());
         let mut db2 = db.clone();
         db2.insert_tuples("S", 2, vec![vec![Value::point(2.0), iv(1.0, 3.0)]]);
-        assert_eq!(binary_join_cascade(&q, &db2).unwrap().0, false);
+        assert!(!binary_join_cascade(&q, &db2).unwrap().0);
     }
 }

@@ -15,7 +15,9 @@ use std::time::Duration;
 fn bench_triangle(c: &mut Criterion) {
     let query = Query::from_hypergraph(&triangle_ij());
     let mut group = c.benchmark_group("table1/triangle");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [100usize, 200] {
         let db = scaling_workload(&query, n, 1);
         group.bench_with_input(BenchmarkId::new("reduction", n), &n, |b, _| {
@@ -45,15 +47,20 @@ fn bench_triangle(c: &mut Criterion) {
 fn bench_lw4(c: &mut Criterion) {
     let query = Query::from_hypergraph(&loomis_whitney_4_ij());
     let mut group = c.benchmark_group("table1/loomis-whitney-4");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
-    for n in [8usize] {
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    {
+        let n = 8usize;
         let db = scaling_workload(&query, n, 2);
         group.bench_with_input(BenchmarkId::new("reduction-decomposed", n), &n, |b, _| {
             b.iter(|| {
                 forward_reduction_with(
                     &query,
                     &db,
-                    ReductionConfig { encoding: EncodingStrategy::Decomposed },
+                    ReductionConfig {
+                        encoding: EncodingStrategy::Decomposed,
+                    },
                 )
                 .unwrap()
                 .stats
@@ -73,18 +80,28 @@ fn bench_lw4(c: &mut Criterion) {
 fn bench_four_clique(c: &mut Criterion) {
     let query = Query::from_hypergraph(&four_clique_ij());
     let mut group = c.benchmark_group("table1/4-clique");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
-    for n in [10usize] {
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    {
+        let n = 10usize;
         let db = scaling_workload(&query, n, 3);
         group.bench_with_input(BenchmarkId::new("reduction-flat", n), &n, |b, _| {
-            b.iter(|| forward_reduction(&query, &db).unwrap().stats.transformed_tuples)
+            b.iter(|| {
+                forward_reduction(&query, &db)
+                    .unwrap()
+                    .stats
+                    .transformed_tuples
+            })
         });
         group.bench_with_input(BenchmarkId::new("reduction-decomposed", n), &n, |b, _| {
             b.iter(|| {
                 forward_reduction_with(
                     &query,
                     &db,
-                    ReductionConfig { encoding: EncodingStrategy::Decomposed },
+                    ReductionConfig {
+                        encoding: EncodingStrategy::Decomposed,
+                    },
                 )
                 .unwrap()
                 .stats

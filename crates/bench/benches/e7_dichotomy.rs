@@ -20,7 +20,9 @@ fn bench_case(
     encoding: EncodingStrategy,
 ) {
     let mut group = c.benchmark_group(format!("dichotomy/{name}"));
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for &n in sizes {
         let db = scaling_workload(query, n, 7);
         group.throughput(Throughput::Elements(n as u64));

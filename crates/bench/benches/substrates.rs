@@ -5,8 +5,12 @@
 //! Regenerate with `cargo bench -p ij-bench --bench substrates`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ij_bench::{dense_workload, evaluate_all_disjuncts, scaling_workload};
+use ij_bench::{
+    dense_workload, evaluate_all_disjuncts, evaluate_all_disjuncts_rows, materialise_rows,
+    scaling_workload,
+};
 use ij_ejoin::EjStrategy;
+use ij_engine::{EngineConfig, IntersectionJoinEngine};
 use ij_hypergraph::triangle_ij;
 use ij_reduction::forward_reduction;
 use ij_relation::Query;
@@ -28,7 +32,9 @@ fn random_intervals(n: usize, seed: u64) -> Vec<Interval> {
 
 fn bench_segment_tree(c: &mut Criterion) {
     let mut group = c.benchmark_group("segtree");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for n in [1_000usize, 10_000] {
         let intervals = random_intervals(n, 11);
         group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
@@ -37,7 +43,10 @@ fn bench_segment_tree(c: &mut Criterion) {
         let tree = SegmentTree::build(&intervals);
         group.bench_with_input(BenchmarkId::new("canonical-partition", n), &n, |b, _| {
             b.iter(|| {
-                intervals.iter().map(|iv| tree.canonical_partition(*iv).len()).sum::<usize>()
+                intervals
+                    .iter()
+                    .map(|iv| tree.canonical_partition(*iv).len())
+                    .sum::<usize>()
             })
         });
         let stored = SegmentTree::build_with_storage(&intervals);
@@ -51,11 +60,18 @@ fn bench_segment_tree(c: &mut Criterion) {
 fn bench_forward_reduction(c: &mut Criterion) {
     let query = Query::from_hypergraph(&triangle_ij());
     let mut group = c.benchmark_group("forward-reduction/triangle");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [250usize, 500] {
         let db = scaling_workload(&query, n, 13);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| forward_reduction(&query, &db).unwrap().stats.transformed_tuples)
+            b.iter(|| {
+                forward_reduction(&query, &db)
+                    .unwrap()
+                    .stats
+                    .transformed_tuples
+            })
         });
     }
     group.finish();
@@ -69,16 +85,88 @@ fn bench_ej_strategies(c: &mut Criterion) {
     let db = dense_workload(&query, 200, 17);
     let reduction = forward_reduction(&query, &db).unwrap();
     let mut group = c.benchmark_group("ej-strategies/triangle-n200");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (name, strategy) in [
         ("auto", EjStrategy::Auto),
         ("generic-join", EjStrategy::GenericJoin),
         ("decomposition", EjStrategy::Decomposition),
     ] {
-        group.bench_function(name, |b| b.iter(|| evaluate_all_disjuncts(&reduction, strategy)));
+        group.bench_function(name, |b| {
+            b.iter(|| evaluate_all_disjuncts(&reduction, strategy))
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_segment_tree, bench_forward_reduction, bench_ej_strategies);
+/// Ablation of the interned columnar refactor: the same reduced E1 cyclic
+/// (triangle) instance evaluated with the pre-refactor row-oriented
+/// `Value`-keyed generic join versus the production id-keyed path.
+fn bench_row_vs_interned(c: &mut Criterion) {
+    let query = Query::from_hypergraph(&triangle_ij());
+    let mut group = c.benchmark_group("substrate/e1-row-vs-interned");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for n in [200usize, 400] {
+        let db = scaling_workload(&query, n, 21);
+        let reduction = forward_reduction(&query, &db).unwrap();
+        // Rows are materialised outside the timed region: the pre-refactor
+        // engine stored rows directly, so row access must not be billed to
+        // the baseline.
+        let rows = materialise_rows(&reduction.database);
+        group.bench_with_input(BenchmarkId::new("row-oriented", n), &n, |b, _| {
+            b.iter(|| evaluate_all_disjuncts_rows(&reduction, &rows))
+        });
+        group.bench_with_input(BenchmarkId::new("interned-columnar", n), &n, |b, _| {
+            b.iter(|| evaluate_all_disjuncts(&reduction, EjStrategy::GenericJoin))
+        });
+    }
+    group.finish();
+}
+
+/// Sequential versus parallel evaluation of the EJ disjunction on the E1
+/// cyclic workload.  The database is planted unsatisfiable, so the false
+/// answer forces every deduplicated disjunct to be evaluated — the case
+/// parallelism accelerates.  (Wall-clock gains require multiple cores;
+/// `available_parallelism() == 1` degenerates to the sequential path.)
+fn bench_parallel_disjuncts(c: &mut Criterion) {
+    use ij_workloads::{planted_unsatisfiable, IntervalDistribution, WorkloadConfig};
+    let query = Query::from_hypergraph(&triangle_ij());
+    let mut group = c.benchmark_group("substrate/e1-disjunct-parallelism");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let n = 400usize;
+    let db = planted_unsatisfiable(
+        &query,
+        &WorkloadConfig {
+            tuples_per_relation: n,
+            seed: 23,
+            distribution: IntervalDistribution::GridAligned {
+                span: 4.0 * n as f64,
+                cells: (2 * n) as u32,
+                max_cells: 3,
+            },
+        },
+    );
+    let reduction = forward_reduction(&query, &db).unwrap();
+    for (name, parallelism) in [("sequential", 1usize), ("parallel", 0usize)] {
+        let engine = IntersectionJoinEngine::new(EngineConfig::new().with_parallelism(parallelism));
+        group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+            b.iter(|| engine.evaluate_reduction(&reduction).answer)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_segment_tree,
+    bench_forward_reduction,
+    bench_ej_strategies,
+    bench_row_vs_interned,
+    bench_parallel_disjuncts
+);
 criterion_main!(benches);

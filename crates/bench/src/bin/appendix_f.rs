@@ -11,7 +11,11 @@ use ij_hypergraph::{four_clique_ij, loomis_whitney_4_ij, Hypergraph};
 use ij_widths::ij_width;
 
 fn main() {
-    report("Loomis-Whitney-4 (Appendix F.2)", &loomis_whitney_4_ij(), 5.0 / 3.0);
+    report(
+        "Loomis-Whitney-4 (Appendix F.2)",
+        &loomis_whitney_4_ij(),
+        5.0 / 3.0,
+    );
     println!();
     report("4-clique (Appendix F.3)", &four_clique_ij(), 2.0);
 }
@@ -36,7 +40,20 @@ fn report(name: &str, h: &Hypergraph, expected_ijw: f64) {
             format!("{:?}", class.subw.source),
         ]);
     }
-    println!("{}", render_table(&["class", "representative", "members", "fhtw", "subw", "source"], &rows));
+    println!(
+        "{}",
+        render_table(
+            &[
+                "class",
+                "representative",
+                "members",
+                "fhtw",
+                "subw",
+                "source"
+            ],
+            &rows
+        )
+    );
     println!(
         "ij-width = {:.3} (paper: {:.3}), exact: {}",
         widths.value, expected_ijw, widths.exact

@@ -19,8 +19,14 @@ use ij_relation::Query;
 fn main() {
     let sizes = [250usize, 500, 1000];
     let cases = [
-        ("Figure 4b (iota-acyclic)", Query::from_hypergraph(&figure_4b())),
-        ("Triangle (not iota-acyclic)", Query::from_hypergraph(&triangle_ij())),
+        (
+            "Figure 4b (iota-acyclic)",
+            Query::from_hypergraph(&figure_4b()),
+        ),
+        (
+            "Triangle (not iota-acyclic)",
+            Query::from_hypergraph(&triangle_ij()),
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -47,12 +53,21 @@ fn main() {
     }
 
     println!("Theorem 6.6 dichotomy: reduction-based evaluation, no early exit\n");
-    println!("{}", render_table(&["query", "N (tuples/relation)", "time [ms]"], &rows));
+    println!(
+        "{}",
+        render_table(&["query", "N (tuples/relation)", "time [ms]"], &rows)
+    );
     println!("note: on these synthetic workloads the cost of *both* queries is dominated by the");
     println!("near-linear transformed database (the polylog factors of Lemma 4.10), so the fitted");
-    println!("slopes land between 1 and 1.5 for both.  The dichotomy of Theorem 6.6 is about worst-");
-    println!("case instances: the guarantee for the iota-acyclic query holds on every input, while");
+    println!(
+        "slopes land between 1 and 1.5 for both.  The dichotomy of Theorem 6.6 is about worst-"
+    );
+    println!(
+        "case instances: the guarantee for the iota-acyclic query holds on every input, while"
+    );
     println!("the triangle admits adversarial instances on which any algorithm needs super-linear");
-    println!("time (under the 3SUM conjecture).  The structural side of the dichotomy (iota-acyclic");
+    println!(
+        "time (under the 3SUM conjecture).  The structural side of the dichotomy (iota-acyclic"
+    );
     println!("iff every reduced class has width 1) is verified exactly in tests/paper_results.rs.");
 }

@@ -21,10 +21,20 @@ use ij_reduction::{forward_reduction_with, EncodingStrategy, ReductionConfig};
 use ij_relation::Query;
 
 fn main() {
-    println!("Encoding ablation: flat (paper default) vs decomposed (Id-based) transformed relations\n");
+    println!(
+        "Encoding ablation: flat (paper default) vs decomposed (Id-based) transformed relations\n"
+    );
     let cases = vec![
-        ("Triangle", Query::from_hypergraph(&triangle_ij()), vec![100usize, 200, 400]),
-        ("4-clique", Query::from_hypergraph(&four_clique_ij()), vec![8usize, 16]),
+        (
+            "Triangle",
+            Query::from_hypergraph(&triangle_ij()),
+            vec![100usize, 200, 400],
+        ),
+        (
+            "4-clique",
+            Query::from_hypergraph(&four_clique_ij()),
+            vec![8usize, 16],
+        ),
     ];
     let mut rows = Vec::new();
     for (name, query, sizes) in cases {

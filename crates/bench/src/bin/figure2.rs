@@ -35,7 +35,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["EJ query", "relation arities", "core = EJ triangle {A1,B1,C1}", "fhtw"],
+            &[
+                "EJ query",
+                "relation arities",
+                "core = EJ triangle {A1,B1,C1}",
+                "fhtw"
+            ],
             &rows
         )
     );
@@ -46,7 +51,10 @@ fn main() {
     let td = optimal_tree_decomposition(example);
     println!("Optimal decomposition of Q~1 (width {:.2}):", td.width);
     for (i, bag) in td.bags.iter().enumerate() {
-        let names: Vec<String> = bag.iter().map(|&v| example.vertex(v).name.clone()).collect();
+        let names: Vec<String> = bag
+            .iter()
+            .map(|&v| example.vertex(v).name.clone())
+            .collect();
         println!("  bag {i}: {{{}}}", names.join(", "));
     }
     println!("  tree edges: {:?}", td.edges);

@@ -21,7 +21,10 @@ fn main() {
         tree.height()
     );
 
-    println!("{:<10} {:<14} {:<8} {:<8}", "node", "segment", "in CP(□)", "in CP(•)");
+    println!(
+        "{:<10} {:<14} {:<8} {:<8}",
+        "node", "segment", "in CP(□)", "in CP(•)"
+    );
     println!("{}", "-".repeat(44));
     let cp_a = tree.canonical_partition(a);
     let cp_b = tree.canonical_partition(b);
@@ -38,11 +41,17 @@ fn main() {
     println!();
     println!(
         "CP([1,4]) = {{ {} }}   (paper: 001, 01, 10)",
-        cp_a.iter().map(|b| b.to_string()).collect::<Vec<_>>().join(", ")
+        cp_a.iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     println!(
         "CP([3,4]) = {{ {} }}      (paper: 011, 10)",
-        cp_b.iter().map(|b| b.to_string()).collect::<Vec<_>>().join(", ")
+        cp_b.iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     println!(
         "\nleaf([1,4]) = {}, leaf([3,4]) = {} (leaves containing the left endpoints)",

@@ -51,7 +51,10 @@ fn main() {
     println!("Figure 5: acyclicity regions with witnesses\n");
     println!(
         "{}",
-        render_table(&["region", "hypergraph", "Berge", "iota", "gamma", "alpha"], &rows)
+        render_table(
+            &["region", "hypergraph", "Berge", "iota", "gamma", "alpha"],
+            &rows
+        )
     );
 
     // The inclusions themselves.
@@ -67,7 +70,10 @@ fn main() {
             violations += 1;
         }
     }
-    println!("inclusion chain Berge ⊆ iota ⊆ gamma ⊆ alpha: {} violations", violations);
+    println!(
+        "inclusion chain Berge ⊆ iota ⊆ gamma ⊆ alpha: {} violations",
+        violations
+    );
     println!("every region above is non-empty, so all inclusions are strict (Corollary 6.4).");
 }
 

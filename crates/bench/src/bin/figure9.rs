@@ -32,7 +32,11 @@ fn main() {
             widths.num_reduced_queries.to_string(),
             widths.num_distinct_after_dropping_singletons.to_string(),
             format!("{:.3}", widths.value),
-            if widths.is_linear_time() { "O(N polylog N)".into() } else { format!("O(N^{:.2})", widths.value) },
+            if widths.is_linear_time() {
+                "O(N polylog N)".into()
+            } else {
+                format!("O(N^{:.2})", widths.value)
+            },
             reference.to_string(),
         ]);
     }
@@ -40,7 +44,16 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["fig", "query", "class", "#EJ", "#distinct", "ijw", "runtime", "paper"],
+            &[
+                "fig",
+                "query",
+                "class",
+                "#EJ",
+                "#distinct",
+                "ijw",
+                "runtime",
+                "paper"
+            ],
             &rows
         )
     );
@@ -58,6 +71,12 @@ fn main() {
             format!("{:.2}", class.subw.value),
         ]);
     }
-    println!("{}", render_table(&["class", "representative", "members", "fhtw", "subw"], &rows));
+    println!(
+        "{}",
+        render_table(
+            &["class", "representative", "members", "fhtw", "subw"],
+            &rows
+        )
+    );
     println!("(paper: H1 has width 1.5, H2 and H3 have width 1.0; H2 ≅ H3 up to renaming)");
 }

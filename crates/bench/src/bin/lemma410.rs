@@ -22,8 +22,13 @@ fn main() {
     for n in [100usize, 200, 400, 800, 1600] {
         let db = dense_workload(&query, n, 0xBEEF);
         let reduction = forward_reduction(&query, &db).expect("reduction succeeds");
-        let height =
-            reduction.stats.variables.iter().map(|(_, _, h)| *h as usize).max().unwrap_or(1);
+        let height = reduction
+            .stats
+            .variables
+            .iter()
+            .map(|(_, _, h)| *h as usize)
+            .max()
+            .unwrap_or(1);
         // Each triangle relation has two interval variables, each contributing
         // at most (2h+2)·(h+1) expansions per tuple (canonical partition ×
         // compositions into at most two parts).

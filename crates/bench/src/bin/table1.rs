@@ -48,7 +48,14 @@ fn analytic_table() {
     println!(
         "{}",
         render_table(
-            &["query", "FAQ-AI exponent", "ij-width (ours)", "#EJ queries", "#classes", "exact"],
+            &[
+                "query",
+                "FAQ-AI exponent",
+                "ij-width (ours)",
+                "#EJ queries",
+                "#classes",
+                "exact"
+            ],
             &out_rows
         )
     );
@@ -56,14 +63,24 @@ fn analytic_table() {
 }
 
 fn empirical_table() {
-    println!("Table 1 (empirical): wall-clock scaling, reduction approach vs binary-join cascade\n");
+    println!(
+        "Table 1 (empirical): wall-clock scaling, reduction approach vs binary-join cascade\n"
+    );
     // The LW4 query is omitted from the wall-clock half: its ternary atoms
     // carry a log^8 N factor (three interval variables per atom), so even tiny
     // instances are dominated by the transformed-relation constants; its
     // analytic exponents are reported above.
     let queries: Vec<(&str, Query, Vec<usize>)> = vec![
-        ("Triangle", Query::from_hypergraph(&triangle_ij()), vec![200, 400, 800]),
-        ("4-clique", Query::from_hypergraph(&four_clique_ij()), vec![12, 24]),
+        (
+            "Triangle",
+            Query::from_hypergraph(&triangle_ij()),
+            vec![200, 400, 800],
+        ),
+        (
+            "4-clique",
+            Query::from_hypergraph(&four_clique_ij()),
+            vec![12, 24],
+        ),
     ];
     let mut rows: Vec<Vec<String>> = Vec::new();
     for (name, query, sizes) in queries {
@@ -75,7 +92,8 @@ fn empirical_table() {
                 let reduction = forward_reduction(&query, &db).expect("reduction succeeds");
                 evaluate_all_disjuncts(&reduction, EjStrategy::Auto)
             });
-            let (_, t_cascade) = time(|| binary_join_cascade(&query, &db).expect("cascade succeeds"));
+            let (_, t_cascade) =
+                time(|| binary_join_cascade(&query, &db).expect("cascade succeeds"));
             ours.push((n as f64, t_ours.as_secs_f64()));
             cascade.push((n as f64, t_cascade.as_secs_f64()));
             rows.push(vec![
@@ -94,7 +112,10 @@ fn empirical_table() {
     }
     println!(
         "{}",
-        render_table(&["query", "N (tuples/relation)", "ours [ms]", "cascade [ms]"], &rows)
+        render_table(
+            &["query", "N (tuples/relation)", "ours [ms]", "cascade [ms]"],
+            &rows
+        )
     );
     println!("(expected shape: the reduction approach grows strictly slower than the cascade)");
 }

@@ -55,7 +55,14 @@ fn faqai_column() {
     println!(
         "{}",
         render_table(
-            &["query", "#conjuncts", "fhtw_ℓ", "log exp", "FAQ-AI runtime", "ij-width (ours)"],
+            &[
+                "query",
+                "#conjuncts",
+                "fhtw_ℓ",
+                "log exp",
+                "FAQ-AI runtime",
+                "ij-width (ours)"
+            ],
             &out
         )
     );
@@ -63,7 +70,9 @@ fn faqai_column() {
 }
 
 fn table_3() {
-    println!("Table 3: no relaxed decomposition of the 4-clique conjunct has two relations per bag\n");
+    println!(
+        "Table 3: no relaxed decomposition of the 4-clique conjunct has two relations per bag\n"
+    );
     let q = Query::from_hypergraph(&four_clique_ij());
     let conjuncts = faqai_disjunction(&q).expect("pure IJ query");
     // The paper's conjunct: V_A = R, V_B = U, V_C = S, V_D = T.  The catalog
@@ -87,7 +96,12 @@ fn table_3() {
         let partition = row
             .partition
             .iter()
-            .map(|pair| format!("{{{}, {}}}", relation_names[pair[0]], relation_names[pair[1]]))
+            .map(|pair| {
+                format!(
+                    "{{{}, {}}}",
+                    relation_names[pair[0]], relation_names[pair[1]]
+                )
+            })
             .collect::<Vec<_>>()
             .join(", ");
         let witnesses = row
@@ -95,7 +109,11 @@ fn table_3() {
             .iter()
             .map(|w| {
                 let (a, b) = w.atoms();
-                format!("{{{}, {}}}", relation_names[a.min(b)], relation_names[a.max(b)])
+                format!(
+                    "{{{}, {}}}",
+                    relation_names[a.min(b)],
+                    relation_names[a.max(b)]
+                )
             })
             .collect::<Vec<_>>()
             .join(", ");
@@ -103,9 +121,18 @@ fn table_3() {
     }
     println!(
         "{}",
-        render_table(&["partition into 3 bags of size 2", "inequalities connecting every 2 bags"], &out)
+        render_table(
+            &[
+                "partition into 3 bags of size 2",
+                "inequalities connecting every 2 bags"
+            ],
+            &out
+        )
     );
-    println!("({} partitions, each ruled out by a triangle of inequalities — paper Table 3)\n", rows.len());
+    println!(
+        "({} partitions, each ruled out by a triangle of inequalities — paper Table 3)\n",
+        rows.len()
+    );
 }
 
 fn empirical_triangle() {
@@ -120,7 +147,10 @@ fn empirical_triangle() {
         let db = scaling_workload(&query, n, 0xFA0A1);
         let (answer_ours, t_ours) = time(|| engine.evaluate(&query, &db).expect("engine"));
         let (stats_faqai, t_faqai) = time(|| evaluate_faqai(&query, &db).expect("faqai"));
-        assert_eq!(answer_ours, stats_faqai.answer, "the two evaluators must agree");
+        assert_eq!(
+            answer_ours, stats_faqai.answer,
+            "the two evaluators must agree"
+        );
         ours.push((n as f64, t_ours.as_secs_f64()));
         faqai.push((n as f64, t_faqai.as_secs_f64()));
         rows.push(vec![
@@ -141,7 +171,13 @@ fn empirical_triangle() {
     println!(
         "{}",
         render_table(
-            &["N (tuples/relation)", "answer", "ours [ms]", "FAQ-AI [ms]", "FAQ-AI max bag"],
+            &[
+                "N (tuples/relation)",
+                "answer",
+                "ours [ms]",
+                "FAQ-AI [ms]",
+                "FAQ-AI max bag"
+            ],
             &rows
         )
     );

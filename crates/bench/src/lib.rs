@@ -6,11 +6,16 @@
 //! here cover timing, log–log exponent fitting, plain-text table rendering
 //! and the standard workloads used across experiments.
 
+mod rowjoin;
+
+pub use rowjoin::{
+    evaluate_all_disjuncts_rows, materialise_rows, row_generic_join_boolean, RowDb, RowTrie,
+};
+
 use ij_ejoin::{evaluate_ej_boolean, BoundAtom, EjStrategy};
 use ij_reduction::ForwardReduction;
 use ij_relation::{Database, Query};
 use ij_workloads::{generate_for_query, IntervalDistribution, WorkloadConfig};
-use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// Times a closure.
@@ -31,7 +36,11 @@ pub fn fit_exponent(points: &[(f64, f64)]) -> f64 {
     let ys: Vec<f64> = points.iter().map(|(_, y)| y.max(1e-12).ln()).collect();
     let mean_x = xs.iter().sum::<f64>() / n;
     let mean_y = ys.iter().sum::<f64>() / n;
-    let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let cov: f64 = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
     let var: f64 = xs.iter().map(|x| (x - mean_x) * (x - mean_x)).sum();
     cov / var
 }
@@ -51,7 +60,13 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         cells
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .map(|(i, c)| {
+                format!(
+                    "{:<width$}",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(c.len())
+                )
+            })
             .collect::<Vec<_>>()
             .join("  ")
     };
@@ -93,7 +108,10 @@ pub fn dense_workload(query: &Query, n: usize, seed: u64) -> Database {
         &WorkloadConfig {
             tuples_per_relation: n,
             seed,
-            distribution: IntervalDistribution::Uniform { span: n as f64, max_len: 4.0 },
+            distribution: IntervalDistribution::Uniform {
+                span: n as f64,
+                max_len: 4.0,
+            },
         },
     )
 }
@@ -103,26 +121,17 @@ pub fn dense_workload(query: &Query, n: usize, seed: u64) -> Database {
 /// Returns the Boolean answer.
 pub fn evaluate_all_disjuncts(reduction: &ForwardReduction, strategy: EjStrategy) -> bool {
     let mut answer = false;
-    let mut seen: Vec<Vec<(String, Vec<String>)>> = Vec::new();
-    for rq in &reduction.queries {
-        let key: Vec<(String, Vec<String>)> =
-            rq.atoms.iter().map(|a| (a.relation.clone(), a.vars.clone())).collect();
-        if seen.contains(&key) {
-            continue;
-        }
-        seen.push(key);
-        let mut var_ids: BTreeMap<&str, usize> = BTreeMap::new();
-        for atom in &rq.atoms {
-            for v in &atom.vars {
-                let next = var_ids.len();
-                var_ids.entry(v.as_str()).or_insert(next);
-            }
-        }
+    for i in reduction.deduped_query_indices() {
+        let rq = &reduction.queries[i];
+        let var_ids = rq.dense_var_ids();
         let atoms: Vec<BoundAtom<'_>> = rq
             .atoms
             .iter()
             .map(|a| {
-                let rel = reduction.database.relation(&a.relation).expect("relation exists");
+                let rel = reduction
+                    .database
+                    .relation(&a.relation)
+                    .expect("relation exists");
                 BoundAtom::new(rel, a.vars.iter().map(|v| var_ids[v.as_str()]).collect())
             })
             .collect();
@@ -141,10 +150,13 @@ mod tests {
 
     #[test]
     fn exponent_fit_recovers_known_slopes() {
-        let quadratic: Vec<(f64, f64)> =
-            (1..=6).map(|i| (i as f64 * 100.0, (i as f64 * 100.0).powi(2) * 3.0)).collect();
+        let quadratic: Vec<(f64, f64)> = (1..=6)
+            .map(|i| (i as f64 * 100.0, (i as f64 * 100.0).powi(2) * 3.0))
+            .collect();
         assert!((fit_exponent(&quadratic) - 2.0).abs() < 1e-9);
-        let linear: Vec<(f64, f64)> = (1..=6).map(|i| (i as f64 * 50.0, i as f64 * 50.0)).collect();
+        let linear: Vec<(f64, f64)> = (1..=6)
+            .map(|i| (i as f64 * 50.0, i as f64 * 50.0))
+            .collect();
         assert!((fit_exponent(&linear) - 1.0).abs() < 1e-9);
         assert!(fit_exponent(&[(10.0, 1.0)]).is_nan());
     }
@@ -153,7 +165,10 @@ mod tests {
     fn table_rendering_aligns_columns() {
         let table = render_table(
             &["name", "value"],
-            &[vec!["a".into(), "1".into()], vec!["longer-name".into(), "22".into()]],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "22".into()],
+            ],
         );
         assert!(table.contains("longer-name"));
         assert!(table.lines().count() == 4);
@@ -167,7 +182,10 @@ mod tests {
             let db = dense_workload(&query, 12, seed);
             let reduction = forward_reduction(&query, &db).unwrap();
             let expected = engine.evaluate(&query, &db).unwrap();
-            assert_eq!(evaluate_all_disjuncts(&reduction, EjStrategy::Auto), expected);
+            assert_eq!(
+                evaluate_all_disjuncts(&reduction, EjStrategy::Auto),
+                expected
+            );
         }
     }
 

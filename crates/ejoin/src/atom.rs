@@ -25,7 +25,11 @@ impl<'a> BoundAtom<'a> {
     ///
     /// Panics if the number of variables differs from the relation arity.
     pub fn new(relation: &'a Relation, vars: Vec<VarId>) -> Self {
-        assert_eq!(relation.arity(), vars.len(), "column/variable count mismatch");
+        assert_eq!(
+            relation.arity(),
+            vars.len(),
+            "column/variable count mismatch"
+        );
         BoundAtom { relation, vars }
     }
 
@@ -70,7 +74,9 @@ mod tests {
         Relation::from_tuples(
             name,
             arity,
-            rows.into_iter().map(|r| r.into_iter().map(Value::point).collect()).collect(),
+            rows.into_iter()
+                .map(|r| r.into_iter().map(Value::point).collect())
+                .collect(),
         )
     }
 
@@ -92,7 +98,10 @@ mod tests {
     fn hypergraph_of_atoms_renumbers_densely() {
         let r = rel("R", 2, vec![]);
         let s = rel("S", 2, vec![]);
-        let atoms = vec![BoundAtom::new(&r, vec![10, 20]), BoundAtom::new(&s, vec![20, 30])];
+        let atoms = vec![
+            BoundAtom::new(&r, vec![10, 20]),
+            BoundAtom::new(&s, vec![20, 30]),
+        ];
         assert_eq!(all_vars(&atoms), vec![10, 20, 30]);
         let (h, back) = hypergraph_of(&atoms);
         assert_eq!(h.num_vertices(), 3);

@@ -98,7 +98,9 @@ fn project_singleton_variables(atoms: &[BoundAtom<'_>]) -> (Vec<Relation>, Vec<V
                 cols.push(c);
             }
         }
-        let mut projected = atom.relation.project(&cols, atom.relation.name().to_string());
+        let mut projected = atom
+            .relation
+            .project(&cols, atom.relation.name().to_string());
         projected.dedup();
         relations.push(projected);
         varsets.push(vars);
@@ -120,23 +122,37 @@ pub fn decomposition_boolean(atoms: &[BoundAtom<'_>]) -> bool {
     // The reduction of a single IJ query evaluates many EJ disjuncts sharing
     // a handful of hypergraph shapes; memoise the (purely structural) optimal
     // decomposition per shape so the subset DP and its LPs run once per shape
-    // rather than once per disjunct.
+    // rather than once per disjunct.  The cache is process-global (not
+    // thread-local) so the short-lived workers of the parallel disjunct
+    // evaluation share it instead of each recomputing the decompositions.
     let td = {
-        use std::cell::RefCell;
         use std::collections::HashMap;
-        thread_local! {
-            static TD_CACHE: RefCell<HashMap<Vec<Vec<usize>>, ij_widths::TreeDecomposition>> =
-                RefCell::new(HashMap::new());
+        use std::sync::{OnceLock, RwLock};
+        type TdCache = RwLock<HashMap<Vec<Vec<usize>>, ij_widths::TreeDecomposition>>;
+        static TD_CACHE: OnceLock<TdCache> = OnceLock::new();
+        let cache = TD_CACHE.get_or_init(|| RwLock::new(HashMap::new()));
+        let key: Vec<Vec<usize>> = h
+            .edges()
+            .iter()
+            .map(|e| e.vertices.iter().copied().collect())
+            .collect();
+        let cached = cache
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+            .cloned();
+        match cached {
+            Some(td) => td,
+            None => {
+                let td = optimal_tree_decomposition(&h);
+                cache
+                    .write()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .entry(key)
+                    .or_insert_with(|| td.clone());
+                td
+            }
         }
-        let key: Vec<Vec<usize>> =
-            h.edges().iter().map(|e| e.vertices.iter().copied().collect()).collect();
-        TD_CACHE.with(|cache| {
-            cache
-                .borrow_mut()
-                .entry(key)
-                .or_insert_with(|| optimal_tree_decomposition(&h))
-                .clone()
-        })
     };
 
     // Materialise every bag over the caller's variable identifiers.
@@ -146,18 +162,25 @@ pub fn decomposition_boolean(atoms: &[BoundAtom<'_>]) -> bool {
         .enumerate()
         .map(|(i, bag)| {
             let bag_vars: Vec<VarId> = bag.iter().map(|&dense| dense_to_caller[dense]).collect();
-            (materialise_bag(atoms, &bag_vars, &format!("bag{i}")), bag_vars)
+            (
+                materialise_bag(atoms, &bag_vars, &format!("bag{i}")),
+                bag_vars,
+            )
         })
         .collect();
-    if bags.iter().any(|(rel, vars)| rel.is_empty() && !vars.is_empty()) {
+    if bags
+        .iter()
+        .any(|(rel, vars)| rel.is_empty() && !vars.is_empty())
+    {
         return false;
     }
 
     // The bag query is acyclic by construction; evaluate it with Yannakakis.
-    let bag_atoms: Vec<BoundAtom<'_>> =
-        bags.iter().map(|(rel, vars)| BoundAtom::new(rel, vars.clone())).collect();
-    yannakakis_boolean(&bag_atoms)
-        .unwrap_or_else(|| generic_join_boolean(&bag_atoms, None))
+    let bag_atoms: Vec<BoundAtom<'_>> = bags
+        .iter()
+        .map(|(rel, vars)| BoundAtom::new(rel, vars.clone()))
+        .collect();
+    yannakakis_boolean(&bag_atoms).unwrap_or_else(|| generic_join_boolean(&bag_atoms, None))
 }
 
 /// Materialises one bag: the join of the projections of every overlapping
@@ -182,13 +205,17 @@ pub fn materialise_bag(atoms: &[BoundAtom<'_>], bag_vars: &[VarId], name: &str) 
                 cols.push(c);
             }
         }
-        let mut proj = atom.relation.project(&cols, format!("{}|{name}", atom.relation.name()));
+        let mut proj = atom
+            .relation
+            .project(&cols, format!("{}|{name}", atom.relation.name()));
         proj.dedup();
         let proj_vars: Vec<VarId> = cols.iter().map(|&c| atom.vars[c]).collect();
         projected.push((proj, proj_vars));
     }
-    let proj_atoms: Vec<BoundAtom<'_>> =
-        projected.iter().map(|(rel, vars)| BoundAtom::new(rel, vars.clone())).collect();
+    let proj_atoms: Vec<BoundAtom<'_>> = projected
+        .iter()
+        .map(|(rel, vars)| BoundAtom::new(rel, vars.clone()))
+        .collect();
     generic_join_enumerate(&proj_atoms, bag_vars, name)
 }
 
@@ -202,7 +229,9 @@ mod tests {
         Relation::from_tuples(
             name,
             arity,
-            rows.into_iter().map(|r| r.into_iter().map(Value::point).collect()).collect(),
+            rows.into_iter()
+                .map(|r| r.into_iter().map(Value::point).collect())
+                .collect(),
         )
     }
 
@@ -227,8 +256,14 @@ mod tests {
         let atoms = triangle_atoms(&r, &s, &t);
         let expected = true;
         assert_eq!(evaluate_ej_boolean(&atoms, EjStrategy::Auto), expected);
-        assert_eq!(evaluate_ej_boolean(&atoms, EjStrategy::GenericJoin), expected);
-        assert_eq!(evaluate_ej_boolean(&atoms, EjStrategy::Decomposition), expected);
+        assert_eq!(
+            evaluate_ej_boolean(&atoms, EjStrategy::GenericJoin),
+            expected
+        );
+        assert_eq!(
+            evaluate_ej_boolean(&atoms, EjStrategy::Decomposition),
+            expected
+        );
     }
 
     #[test]
@@ -246,7 +281,10 @@ mod tests {
     fn acyclic_queries_use_yannakakis_in_auto_mode() {
         let r = rel("R", vec![vec![1.0, 2.0]]);
         let s = rel("S", vec![vec![2.0, 3.0]]);
-        let atoms = vec![BoundAtom::new(&r, vec![A, B]), BoundAtom::new(&s, vec![B, C])];
+        let atoms = vec![
+            BoundAtom::new(&r, vec![A, B]),
+            BoundAtom::new(&s, vec![B, C]),
+        ];
         assert!(evaluate_ej_boolean(&atoms, EjStrategy::Auto));
         assert!(evaluate_ej_boolean(&atoms, EjStrategy::Yannakakis));
     }
@@ -272,7 +310,9 @@ mod tests {
         // R(A,B) ∧ S(B,C) ∧ T(C,D) ∧ U(D,A) on small random-ish data.
         let mut seed = 7u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) % 5) as f64
         };
         for _ in 0..30 {

@@ -9,13 +9,14 @@
 //! variables.
 //!
 //! This is the standard leapfrog/generic-join scheme of Ngo et al. [27] and
-//! Veldhuizen [34], realised with hash tries.
+//! Veldhuizen [34], realised with hash tries over interned [`ValueId`]s —
+//! the search intersects, probes and collects dense `u32` ids end to end and
+//! only resolves values at the API boundary.
 
 use crate::atom::{all_vars, BoundAtom};
 use crate::trie::{AtomTrie, TrieNode};
 use ij_hypergraph::VarId;
-use ij_relation::{Relation, Value};
-use std::collections::HashMap;
+use ij_relation::{IdHashSet, Relation, Value, ValueId};
 
 /// A shared context for one generic-join execution.
 struct JoinContext<'a> {
@@ -40,7 +41,12 @@ impl<'a> JoinContext<'a> {
                     .collect()
             })
             .collect();
-        JoinContext { tries, order, level_of, _marker: std::marker::PhantomData }
+        JoinContext {
+            tries,
+            order,
+            level_of,
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -81,21 +87,35 @@ pub fn generic_join_enumerate(
         }
     }
     let ctx = JoinContext::new(atoms, Some(order.clone()));
-    let out_positions: Vec<usize> =
-        output_vars.iter().map(|v| order.iter().position(|u| u == v).unwrap()).collect();
+    let out_positions: Vec<usize> = output_vars
+        .iter()
+        .map(|v| order.iter().position(|u| u == v).unwrap())
+        .collect();
 
     let mut positions: Vec<&TrieNode> = ctx.tries.iter().map(|t| t.root()).collect();
     // Collect assignments of the output prefix; because output variables form
     // a prefix of the order, each time the search reaches depth
     // `output_vars.len()` with a new prefix we record it and prune the rest of
     // that subtree only after establishing at least one full match.
-    let mut assignment: Vec<Value> = vec![Value::point(0.0); order.len()];
-    let mut results: Vec<Vec<Value>> = Vec::new();
-    enumerate_rec(&ctx, 0, &mut positions, &mut assignment, &out_positions, &mut results);
+    // Variables constrained by no atom keep the placeholder value, which must
+    // be resolvable in case such a variable is part of the output.  The id is
+    // cached so the evaluation hot path never takes the dictionary write lock.
+    static PLACEHOLDER: std::sync::OnceLock<ValueId> = std::sync::OnceLock::new();
+    let placeholder = *PLACEHOLDER.get_or_init(|| ValueId::intern(Value::point(0.0)));
+    let mut assignment: Vec<ValueId> = vec![placeholder; order.len()];
+    let mut results: Vec<Vec<ValueId>> = Vec::new();
+    enumerate_rec(
+        &ctx,
+        0,
+        &mut positions,
+        &mut assignment,
+        &out_positions,
+        &mut results,
+    );
     results.sort_unstable();
     results.dedup();
     for r in results {
-        out.push(r);
+        out.push_ids(&r);
     }
     out
 }
@@ -112,8 +132,9 @@ fn search<'t>(
         return on_full(positions);
     }
     // Atoms participating in this variable.
-    let participating: Vec<usize> =
-        (0..ctx.tries.len()).filter(|&i| ctx.level_of[i][depth].is_some()).collect();
+    let participating: Vec<usize> = (0..ctx.tries.len())
+        .filter(|&i| ctx.level_of[i][depth].is_some())
+        .collect();
     if participating.is_empty() {
         // No atom constrains this variable (can happen for variables
         // projected away by empty atoms lists); just skip it.
@@ -124,13 +145,13 @@ fn search<'t>(
         .iter()
         .min_by_key(|&&i| positions[i].fanout())
         .expect("participating atoms exist");
-    let candidates: Vec<Value> = positions[smallest].children().map(|(v, _)| *v).collect();
+    let candidates: Vec<ValueId> = positions[smallest].children().map(|(v, _)| v).collect();
 
     for value in candidates {
         let saved = positions.clone();
         let mut ok = true;
         for &i in &participating {
-            match positions[i].child(&value) {
+            match positions[i].child(value) {
                 Some(next) => positions[i] = next,
                 None => {
                     ok = false;
@@ -152,30 +173,38 @@ fn enumerate_rec<'t>(
     ctx: &'t JoinContext<'_>,
     depth: usize,
     positions: &mut Vec<&'t TrieNode>,
-    assignment: &mut Vec<Value>,
+    assignment: &mut Vec<ValueId>,
     out_positions: &[usize],
-    results: &mut Vec<Vec<Value>>,
+    results: &mut Vec<Vec<ValueId>>,
 ) {
     if depth == ctx.order.len() {
         results.push(out_positions.iter().map(|&p| assignment[p]).collect());
         return;
     }
-    let participating: Vec<usize> =
-        (0..ctx.tries.len()).filter(|&i| ctx.level_of[i][depth].is_some()).collect();
+    let participating: Vec<usize> = (0..ctx.tries.len())
+        .filter(|&i| ctx.level_of[i][depth].is_some())
+        .collect();
     if participating.is_empty() {
-        enumerate_rec(ctx, depth + 1, positions, assignment, out_positions, results);
+        enumerate_rec(
+            ctx,
+            depth + 1,
+            positions,
+            assignment,
+            out_positions,
+            results,
+        );
         return;
     }
     let smallest = *participating
         .iter()
         .min_by_key(|&&i| positions[i].fanout())
         .expect("participating atoms exist");
-    let candidates: Vec<Value> = positions[smallest].children().map(|(v, _)| *v).collect();
+    let candidates: Vec<ValueId> = positions[smallest].children().map(|(v, _)| v).collect();
     for value in candidates {
         let saved = positions.clone();
         let mut ok = true;
         for &i in &participating {
-            match positions[i].child(&value) {
+            match positions[i].child(value) {
                 Some(next) => positions[i] = next,
                 None => {
                     ok = false;
@@ -185,7 +214,14 @@ fn enumerate_rec<'t>(
         }
         if ok {
             assignment[depth] = value;
-            enumerate_rec(ctx, depth + 1, positions, assignment, out_positions, results);
+            enumerate_rec(
+                ctx,
+                depth + 1,
+                positions,
+                assignment,
+                out_positions,
+                results,
+            );
         }
         *positions = saved;
     }
@@ -193,35 +229,51 @@ fn enumerate_rec<'t>(
 
 /// A semijoin `left ⋉ right`: keeps the tuples of `left` whose shared
 /// variables have a matching tuple in `right`.  Used by the Yannakakis pass.
+/// Keys are tuples of interned ids, probed through a fast-hash set; surviving
+/// rows are gathered column-wise without materialising any `Value`.
 pub fn semijoin(left: &BoundAtom<'_>, right: &BoundAtom<'_>) -> Relation {
-    let shared: Vec<VarId> =
-        left.var_set().intersection(&right.var_set()).copied().collect();
-    let mut out = Relation::new(left.relation.name().to_string(), left.relation.arity());
+    let shared: Vec<VarId> = left
+        .var_set()
+        .intersection(&right.var_set())
+        .copied()
+        .collect();
+    let name = left.relation.name().to_string();
     if shared.is_empty() {
         // No shared variables: keep everything if right is non-empty.
-        if !right.relation.is_empty() {
-            for t in left.relation.tuples() {
-                out.push(t.clone());
+        if right.relation.is_empty() {
+            return Relation::new(name, left.relation.arity());
+        }
+        return left.relation.renamed(name);
+    }
+    // Key columns in each relation (first column bound to the variable).
+    let left_cols: Vec<&[ValueId]> = shared
+        .iter()
+        .map(|&v| {
+            let c = left.vars.iter().position(|&u| u == v).unwrap();
+            left.relation.column_ids(c)
+        })
+        .collect();
+    let right_cols: Vec<&[ValueId]> = shared
+        .iter()
+        .map(|&v| {
+            let c = right.vars.iter().position(|&u| u == v).unwrap();
+            right.relation.column_ids(c)
+        })
+        .collect();
+    let mut keys: IdHashSet<Vec<ValueId>> = IdHashSet::default();
+    for row in 0..right.relation.len() {
+        keys.insert(right_cols.iter().map(|col| col[row]).collect());
+    }
+    let mut key: Vec<ValueId> = vec![ValueId::dummy(); left_cols.len()];
+    let keep: Vec<usize> = (0..left.relation.len())
+        .filter(|&row| {
+            for (slot, col) in key.iter_mut().zip(&left_cols) {
+                *slot = col[row];
             }
-        }
-        return out;
-    }
-    // Key positions in each relation (first column bound to the variable).
-    let left_cols: Vec<usize> =
-        shared.iter().map(|&v| left.vars.iter().position(|&u| u == v).unwrap()).collect();
-    let right_cols: Vec<usize> =
-        shared.iter().map(|&v| right.vars.iter().position(|&u| u == v).unwrap()).collect();
-    let mut keys: HashMap<Vec<Value>, ()> = HashMap::new();
-    for t in right.relation.tuples() {
-        keys.insert(right_cols.iter().map(|&c| t[c]).collect(), ());
-    }
-    for t in left.relation.tuples() {
-        let key: Vec<Value> = left_cols.iter().map(|&c| t[c]).collect();
-        if keys.contains_key(&key) {
-            out.push(t.clone());
-        }
-    }
-    out
+            keys.contains(&key)
+        })
+        .collect();
+    left.relation.gather(&keep, name)
 }
 
 #[cfg(test)]
@@ -234,7 +286,9 @@ mod tests {
         Relation::from_tuples(
             name,
             arity,
-            rows.into_iter().map(|r| r.into_iter().map(Value::point).collect()).collect(),
+            rows.into_iter()
+                .map(|r| r.into_iter().map(Value::point).collect())
+                .collect(),
         )
     }
 
@@ -256,7 +310,10 @@ mod tests {
         assert!(generic_join_boolean(&atoms, None));
         let out = generic_join_enumerate(&atoms, &[A, B, C], "out");
         assert_eq!(out.len(), 1);
-        assert_eq!(out.tuples()[0], vec![Value::point(1.0), Value::point(2.0), Value::point(3.0)]);
+        assert_eq!(
+            out.tuples()[0],
+            vec![Value::point(1.0), Value::point(2.0), Value::point(3.0)]
+        );
     }
 
     #[test]
@@ -278,8 +335,10 @@ mod tests {
     fn empty_relation_short_circuits() {
         let r = rel("R", vec![vec![1.0, 2.0]]);
         let empty = Relation::new("S", 2);
-        let atoms =
-            vec![BoundAtom::new(&r, vec![A, B]), BoundAtom::new(&empty, vec![B, C])];
+        let atoms = vec![
+            BoundAtom::new(&r, vec![A, B]),
+            BoundAtom::new(&empty, vec![B, C]),
+        ];
         assert!(!generic_join_boolean(&atoms, None));
     }
 
@@ -309,10 +368,25 @@ mod tests {
     }
 
     #[test]
+    fn enumeration_with_unconstrained_output_variable_is_resolvable() {
+        // An output variable no atom constrains keeps the resolvable
+        // placeholder value (regression: a raw dummy id would panic on
+        // resolve).
+        let r = rel("R", vec![vec![1.0]]);
+        let atoms = vec![BoundAtom::new(&r, vec![A])];
+        let out = generic_join_enumerate(&atoms, &[A, B], "out");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.tuples()[0], vec![Value::point(1.0), Value::point(0.0)]);
+    }
+
+    #[test]
     fn explicit_variable_order_is_respected() {
         let r = rel("R", vec![vec![1.0, 2.0]]);
         let s = rel("S", vec![vec![2.0, 3.0]]);
-        let atoms = vec![BoundAtom::new(&r, vec![A, B]), BoundAtom::new(&s, vec![B, C])];
+        let atoms = vec![
+            BoundAtom::new(&r, vec![A, B]),
+            BoundAtom::new(&s, vec![B, C]),
+        ];
         for order in [vec![A, B, C], vec![C, B, A], vec![B, A, C]] {
             assert!(generic_join_boolean(&atoms, Some(order)));
         }

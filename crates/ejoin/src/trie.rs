@@ -5,22 +5,26 @@
 //! the global variable order.  Repeated variables within an atom are checked
 //! at insertion time (tuples whose repeated columns disagree are filtered
 //! out) so the trie has one level per *distinct* variable.
+//!
+//! Trie nodes are keyed by the interned [`ValueId`]s of the columnar relation
+//! storage with a multiply-mix hasher — the join never hashes or compares a
+//! full `Value`; build and probe work entirely on dense `u32` ids read
+//! straight out of the column vectors.
 
 use crate::BoundAtom;
 use ij_hypergraph::VarId;
-use ij_relation::Value;
-use std::collections::HashMap;
+use ij_relation::{IdHashMap, ValueId};
 
 /// One node of a hash trie.
 #[derive(Debug, Default)]
 pub struct TrieNode {
-    children: HashMap<Value, TrieNode>,
+    children: IdHashMap<ValueId, TrieNode>,
 }
 
 impl TrieNode {
-    /// The child for a value, if present.
-    pub fn child(&self, v: &Value) -> Option<&TrieNode> {
-        self.children.get(v)
+    /// The child for an interned value, if present.
+    pub fn child(&self, v: ValueId) -> Option<&TrieNode> {
+        self.children.get(&v)
     }
 
     /// Number of children.
@@ -29,11 +33,11 @@ impl TrieNode {
     }
 
     /// Iterates over the children.
-    pub fn children(&self) -> impl Iterator<Item = (&Value, &TrieNode)> {
-        self.children.iter()
+    pub fn children(&self) -> impl Iterator<Item = (ValueId, &TrieNode)> {
+        self.children.iter().map(|(&id, node)| (id, node))
     }
 
-    fn insert_path(&mut self, values: &[Value]) {
+    fn insert_path(&mut self, values: &[ValueId]) {
         if let Some((first, rest)) = values.split_first() {
             self.children.entry(*first).or_default().insert_path(rest);
         }
@@ -54,35 +58,49 @@ impl AtomTrie {
     /// elimination order of the chosen decomposition).
     pub fn build(atom: &BoundAtom<'_>, global_order: &[VarId]) -> Self {
         let position = |v: VarId| {
-            global_order.iter().position(|&u| u == v).expect("variable missing from global order")
+            global_order
+                .iter()
+                .position(|&u| u == v)
+                .expect("variable missing from global order")
         };
         // Distinct variables of the atom in global order.
         let mut level_vars: Vec<VarId> = atom.var_set().into_iter().collect();
         level_vars.sort_by_key(|&v| position(v));
 
-        // For each level variable, the first column of the atom bound to it;
-        // plus the list of (col_a, col_b) pairs that must agree (repeated
-        // variables inside the atom).
-        let first_col: Vec<usize> = level_vars
+        // For each level variable, the id column of the first relation column
+        // bound to it; plus the (col_a, col_b) pairs that must agree
+        // (repeated variables inside the atom).
+        let level_columns: Vec<&[ValueId]> = level_vars
             .iter()
-            .map(|&v| atom.vars.iter().position(|&u| u == v).expect("column exists"))
+            .map(|&v| {
+                let col = atom
+                    .vars
+                    .iter()
+                    .position(|&u| u == v)
+                    .expect("column exists");
+                atom.relation.column_ids(col)
+            })
             .collect();
-        let mut equal_pairs: Vec<(usize, usize)> = Vec::new();
+        let mut equal_pairs: Vec<(&[ValueId], &[ValueId])> = Vec::new();
         for (i, &v) in atom.vars.iter().enumerate() {
             let first = atom.vars.iter().position(|&u| u == v).unwrap();
             if first != i {
-                equal_pairs.push((first, i));
+                equal_pairs.push((atom.relation.column_ids(first), atom.relation.column_ids(i)));
             }
         }
 
         let mut root = TrieNode::default();
-        'tuples: for t in atom.relation.tuples() {
-            for &(a, b) in &equal_pairs {
-                if t[a] != t[b] {
+        let mut path: Vec<ValueId> = vec![ValueId::dummy(); level_columns.len()];
+        'tuples: for row in 0..atom.relation.len() {
+            for (a, b) in &equal_pairs {
+                // Id equality coincides with value equality.
+                if a[row] != b[row] {
                     continue 'tuples;
                 }
             }
-            let path: Vec<Value> = first_col.iter().map(|&c| t[c]).collect();
+            for (slot, col) in path.iter_mut().zip(&level_columns) {
+                *slot = col[row];
+            }
             root.insert_path(&path);
         }
         AtomTrie { level_vars, root }
@@ -102,15 +120,21 @@ impl AtomTrie {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ij_relation::{Relation, Value};
+    use ij_relation::{Relation, Value, ValueId};
 
     fn rel(name: &str, rows: Vec<Vec<f64>>) -> Relation {
         let arity = rows.first().map(|r| r.len()).unwrap_or(0);
         Relation::from_tuples(
             name,
             arity,
-            rows.into_iter().map(|r| r.into_iter().map(Value::point).collect()).collect(),
+            rows.into_iter()
+                .map(|r| r.into_iter().map(Value::point).collect())
+                .collect(),
         )
+    }
+
+    fn id(p: f64) -> ValueId {
+        ValueId::intern(Value::point(p))
     }
 
     #[test]
@@ -123,10 +147,10 @@ mod tests {
         // Root fanout: distinct values of column bound to var 2 (the second
         // column): {2.0, 3.0}.
         assert_eq!(trie.root().fanout(), 2);
-        let node = trie.root().child(&Value::point(2.0)).unwrap();
+        let node = trie.root().child(id(2.0)).unwrap();
         // Under 2.0 the values of var 5 are {1.0, 4.0}.
         assert_eq!(node.fanout(), 2);
-        assert!(node.child(&Value::point(1.0)).is_some());
+        assert!(node.child(id(1.0)).is_some());
     }
 
     #[test]
@@ -137,7 +161,7 @@ mod tests {
         assert_eq!(trie.depth(), 1);
         // Only the tuples with equal columns survive: values {1.0, 3.0}.
         assert_eq!(trie.root().fanout(), 2);
-        assert!(trie.root().child(&Value::point(2.0)).is_none());
+        assert!(trie.root().child(id(2.0)).is_none());
     }
 
     #[test]
@@ -146,5 +170,15 @@ mod tests {
         let atom = BoundAtom::new(&r, vec![9]);
         let trie = AtomTrie::build(&atom, &[9]);
         assert_eq!(trie.root().fanout(), 1);
+    }
+
+    #[test]
+    fn trie_children_resolve_back_to_values() {
+        let r = rel("R", vec![vec![7.0], vec![8.0]]);
+        let atom = BoundAtom::new(&r, vec![0]);
+        let trie = AtomTrie::build(&atom, &[0]);
+        let mut values: Vec<Value> = trie.root().children().map(|(id, _)| id.resolve()).collect();
+        values.sort();
+        assert_eq!(values, vec![Value::point(7.0), Value::point(8.0)]);
     }
 }

@@ -31,7 +31,9 @@ pub fn yannakakis_boolean(atoms: &[BoundAtom<'_>]) -> Option<bool> {
 
     // Bottom-up pass: `tree.order` lists children before parents.
     for &child in &tree.order {
-        let Some(parent) = tree.parent[child] else { continue };
+        let Some(parent) = tree.parent[child] else {
+            continue;
+        };
         let child_atom = BoundAtom::new(&current[child], atoms[child].vars.clone());
         let parent_atom = BoundAtom::new(&current[parent], atoms[parent].vars.clone());
         let reduced = semijoin(&parent_atom, &child_atom);
@@ -53,7 +55,9 @@ mod tests {
         Relation::from_tuples(
             name,
             arity,
-            rows.into_iter().map(|r| r.into_iter().map(Value::point).collect()).collect(),
+            rows.into_iter()
+                .map(|r| r.into_iter().map(Value::point).collect())
+                .collect(),
         )
     }
 
@@ -94,7 +98,14 @@ mod tests {
     #[test]
     fn star_query_with_selective_leaves() {
         // Center R(A,B,C) with leaves S(A), T(B), U(C).
-        let r = rel("R", vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0], vec![1.0, 5.0, 3.0]]);
+        let r = rel(
+            "R",
+            vec![
+                vec![1.0, 2.0, 3.0],
+                vec![4.0, 5.0, 6.0],
+                vec![1.0, 5.0, 3.0],
+            ],
+        );
         let s = rel("S", vec![vec![1.0]]);
         let t = rel("T", vec![vec![5.0]]);
         let u = rel("U", vec![vec![3.0]]);
@@ -121,7 +132,10 @@ mod tests {
     fn empty_relation_is_false_even_for_acyclic_queries() {
         let r = rel("R", vec![vec![1.0, 2.0]]);
         let empty = Relation::new("S", 2);
-        let atoms = vec![BoundAtom::new(&r, vec![0, 1]), BoundAtom::new(&empty, vec![1, 2])];
+        let atoms = vec![
+            BoundAtom::new(&r, vec![0, 1]),
+            BoundAtom::new(&empty, vec![1, 2]),
+        ];
         assert_eq!(yannakakis_boolean(&atoms), Some(false));
     }
 
@@ -136,7 +150,9 @@ mod tests {
         // Small pseudo-random path instances.
         let mut seed = 42u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) % 7) as f64
         };
         for _ in 0..50 {
@@ -151,7 +167,10 @@ mod tests {
                 BoundAtom::new(&s, vec![1, 2]),
                 BoundAtom::new(&t, vec![2, 3]),
             ];
-            assert_eq!(yannakakis_boolean(&atoms), Some(generic_join_boolean(&atoms, None)));
+            assert_eq!(
+                yannakakis_boolean(&atoms),
+                Some(generic_join_boolean(&atoms, None))
+            );
         }
     }
 }

@@ -14,14 +14,14 @@
 
 use crate::naive::{naive_boolean, NaiveError};
 use ij_ejoin::{evaluate_ej_boolean, BoundAtom, EjStrategy};
-use ij_hypergraph::{AcyclicityClass, AcyclicityReport, VarId};
+use ij_hypergraph::{AcyclicityClass, AcyclicityReport};
 use ij_reduction::{
-    forward_reduction_with, EncodingStrategy, ForwardReduction, ReductionConfig, ReductionError,
-    ReductionStats,
+    forward_reduction_with, EncodingStrategy, ForwardReduction, ReducedQuery, ReductionConfig,
+    ReductionError, ReductionStats,
 };
 use ij_relation::{Database, Query};
 use ij_widths::{ij_width, IjWidthReport};
-use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Configuration of the engine.
 #[derive(Debug, Clone, Copy, Default)]
@@ -35,16 +35,23 @@ pub struct EngineConfig {
     /// paper's default) or the lossless per-variable decomposition, which is
     /// dramatically smaller for atoms with several interval variables.
     pub encoding: EncodingStrategy,
+    /// Number of worker threads evaluating the EJ disjunction: `0` uses the
+    /// available hardware parallelism, `1` evaluates sequentially, any other
+    /// value caps the worker count.  The Boolean answer is identical for
+    /// every setting; a true disjunct found by any worker stops the others
+    /// at their next scheduling point.
+    pub parallelism: usize,
 }
 
 impl EngineConfig {
-    /// The default configuration with deduplication enabled and the flat
-    /// encoding.
+    /// The default configuration with deduplication enabled, the flat
+    /// encoding and hardware parallelism.
     pub fn new() -> Self {
         EngineConfig {
             ej_strategy: EjStrategy::Auto,
             dedupe_queries: true,
             encoding: EncodingStrategy::Flat,
+            parallelism: 0,
         }
     }
 
@@ -52,7 +59,31 @@ impl EngineConfig {
     /// recommended for queries whose atoms contain several high-degree
     /// interval variables (e.g. the Loomis–Whitney and clique queries).
     pub fn decomposed() -> Self {
-        EngineConfig { encoding: EncodingStrategy::Decomposed, ..EngineConfig::new() }
+        EngineConfig {
+            encoding: EncodingStrategy::Decomposed,
+            ..EngineConfig::new()
+        }
+    }
+
+    /// This configuration with an explicit disjunct-evaluation worker count.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The worker count to use for `disjuncts` deduplicated EJ queries.
+    fn worker_count(&self, disjuncts: usize) -> usize {
+        let hw = || {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        let requested = if self.parallelism == 0 {
+            hw()
+        } else {
+            self.parallelism
+        };
+        requested.min(disjuncts).max(1)
     }
 }
 
@@ -159,7 +190,11 @@ impl IntersectionJoinEngine {
             acyclicity.class,
             AcyclicityClass::BergeAcyclic | AcyclicityClass::IotaAcyclic
         );
-        QueryAnalysis { acyclicity, ij_width, linear_time }
+        QueryAnalysis {
+            acyclicity,
+            ij_width,
+            linear_time,
+        }
     }
 
     /// Evaluates a Boolean EIJ query over an interval database through the
@@ -177,62 +212,90 @@ impl IntersectionJoinEngine {
         let reduction = forward_reduction_with(
             query,
             db,
-            ReductionConfig { encoding: self.config.encoding },
+            ReductionConfig {
+                encoding: self.config.encoding,
+            },
         )?;
         Ok(self.evaluate_reduction(&reduction))
     }
 
     /// Evaluates an already-computed forward reduction (useful when the same
     /// reduced database is probed several times, e.g. in benchmarks).
+    ///
+    /// The deduplicated disjuncts are evaluated by
+    /// [`EngineConfig::parallelism`] workers pulling from a shared atomic
+    /// work index; the first worker to find a true disjunct flips an
+    /// [`AtomicBool`] that stops the others at their next pull.  The
+    /// evaluation only *reads* the transformed relations' interned id
+    /// columns, so the workers share the reduction without locking.
     pub fn evaluate_reduction(&self, reduction: &ForwardReduction) -> EvaluationStats {
         // Deduplicate EJ queries that are literally identical (same relations
         // bound to the same variables).
-        let mut seen: Vec<Vec<(String, Vec<String>)>> = Vec::new();
-        let mut to_run: Vec<usize> = Vec::new();
-        for (i, rq) in reduction.queries.iter().enumerate() {
-            let key: Vec<(String, Vec<String>)> =
-                rq.atoms.iter().map(|a| (a.relation.clone(), a.vars.clone())).collect();
-            if !self.config.dedupe_queries || !seen.contains(&key) {
-                seen.push(key);
-                to_run.push(i);
-            }
-        }
+        let to_run: Vec<usize> = if self.config.dedupe_queries {
+            reduction.deduped_query_indices()
+        } else {
+            (0..reduction.queries.len()).collect()
+        };
 
-        let mut evaluated = 0usize;
-        let mut answer = false;
-        for &i in &to_run {
-            let rq = &reduction.queries[i];
-            // Assign dense variable identifiers per reduced query.
-            let mut var_ids: BTreeMap<&str, VarId> = BTreeMap::new();
-            for atom in &rq.atoms {
-                for v in &atom.vars {
-                    let next = var_ids.len();
-                    var_ids.entry(v.as_str()).or_insert(next);
+        let workers = self.config.worker_count(to_run.len());
+        let (evaluated, answer) = if workers <= 1 {
+            let mut evaluated = 0usize;
+            let mut answer = false;
+            for &i in &to_run {
+                evaluated += 1;
+                if self.evaluate_disjunct(reduction, &reduction.queries[i]) {
+                    answer = true;
+                    break;
                 }
             }
-            let atoms: Vec<BoundAtom<'_>> = rq
-                .atoms
-                .iter()
-                .map(|a| {
-                    let rel = reduction
-                        .database
-                        .relation(&a.relation)
-                        .expect("transformed relation exists");
-                    BoundAtom::new(rel, a.vars.iter().map(|v| var_ids[v.as_str()]).collect())
-                })
-                .collect();
-            evaluated += 1;
-            if evaluate_ej_boolean(&atoms, self.config.ej_strategy) {
-                answer = true;
-                break;
-            }
-        }
+            (evaluated, answer)
+        } else {
+            let next = AtomicUsize::new(0);
+            let found = AtomicBool::new(false);
+            let evaluated = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        if found.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        if slot >= to_run.len() {
+                            break;
+                        }
+                        evaluated.fetch_add(1, Ordering::Relaxed);
+                        if self.evaluate_disjunct(reduction, &reduction.queries[to_run[slot]]) {
+                            found.store(true, Ordering::Release);
+                            break;
+                        }
+                    });
+                }
+            });
+            (evaluated.into_inner(), found.into_inner())
+        };
         EvaluationStats {
             reduction: reduction.stats.clone(),
             ej_queries_evaluated: evaluated,
             ej_queries_total: to_run.len(),
             answer,
         }
+    }
+
+    /// Evaluates one EJ disjunct of a reduction.
+    fn evaluate_disjunct(&self, reduction: &ForwardReduction, rq: &ReducedQuery) -> bool {
+        let var_ids = rq.dense_var_ids();
+        let atoms: Vec<BoundAtom<'_>> = rq
+            .atoms
+            .iter()
+            .map(|a| {
+                let rel = reduction
+                    .database
+                    .relation(&a.relation)
+                    .expect("transformed relation exists");
+                BoundAtom::new(rel, a.vars.iter().map(|v| var_ids[v.as_str()]).collect())
+            })
+            .collect();
+        evaluate_ej_boolean(&atoms, self.config.ej_strategy)
     }
 
     /// Evaluates the query with the naive reference evaluator (exhaustive
@@ -263,7 +326,11 @@ mod tests {
             ],
         );
         db.insert_tuples("S", 2, vec![vec![iv(12.0, 13.0), iv(20.0, 25.0)]]);
-        let c = if satisfiable { iv(24.0, 26.0) } else { iv(30.0, 31.0) };
+        let c = if satisfiable {
+            iv(24.0, 26.0)
+        } else {
+            iv(30.0, 31.0)
+        };
         db.insert_tuples("T", 2, vec![vec![iv(3.0, 5.0), c]]);
         (q, db)
     }
@@ -319,14 +386,22 @@ mod tests {
 
     #[test]
     fn all_ej_strategies_agree() {
-        for strategy in [EjStrategy::Auto, EjStrategy::GenericJoin, EjStrategy::Decomposition] {
+        for strategy in [
+            EjStrategy::Auto,
+            EjStrategy::GenericJoin,
+            EjStrategy::Decomposition,
+        ] {
             let engine = IntersectionJoinEngine::new(EngineConfig {
                 ej_strategy: strategy,
                 ..EngineConfig::new()
             });
             for satisfiable in [true, false] {
                 let (q, db) = triangle_db(satisfiable);
-                assert_eq!(engine.evaluate(&q, &db).unwrap(), satisfiable, "{strategy:?}");
+                assert_eq!(
+                    engine.evaluate(&q, &db).unwrap(),
+                    satisfiable,
+                    "{strategy:?}"
+                );
             }
         }
     }
@@ -339,6 +414,29 @@ mod tests {
             let (q, db) = triangle_db(satisfiable);
             assert_eq!(flat.evaluate(&q, &db).unwrap(), satisfiable);
             assert_eq!(decomposed.evaluate(&q, &db).unwrap(), satisfiable);
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_disjunct_evaluation_agree() {
+        for parallelism in [1usize, 2, 8] {
+            let engine =
+                IntersectionJoinEngine::new(EngineConfig::new().with_parallelism(parallelism));
+            for satisfiable in [true, false] {
+                let (q, db) = triangle_db(satisfiable);
+                assert_eq!(
+                    engine.evaluate(&q, &db).unwrap(),
+                    satisfiable,
+                    "parallelism {parallelism}"
+                );
+                let stats = engine.evaluate_with_stats(&q, &db).unwrap();
+                assert_eq!(stats.answer, satisfiable);
+                if !satisfiable {
+                    // A false answer requires every disjunct to be evaluated,
+                    // regardless of the worker count.
+                    assert_eq!(stats.ej_queries_evaluated, stats.ej_queries_total);
+                }
+            }
         }
     }
 
@@ -365,8 +463,14 @@ mod tests {
         let engine = IntersectionJoinEngine::with_defaults();
         let q = Query::parse("R([A]) & S([A])").unwrap();
         let db = Database::new();
-        assert!(matches!(engine.evaluate(&q, &db), Err(EngineError::Reduction(_))));
-        assert!(matches!(engine.evaluate_naive(&q, &db), Err(EngineError::Naive(_))));
+        assert!(matches!(
+            engine.evaluate(&q, &db),
+            Err(EngineError::Reduction(_))
+        ));
+        assert!(matches!(
+            engine.evaluate_naive(&q, &db),
+            Err(EngineError::Naive(_))
+        ));
     }
 
     #[test]
@@ -378,11 +482,14 @@ mod tests {
         db.insert_tuples(
             "R",
             2,
-            vec![vec![Value::point(1.0), iv(0.0, 2.0)], vec![Value::point(2.0), iv(5.0, 6.0)]],
+            vec![
+                vec![Value::point(1.0), iv(0.0, 2.0)],
+                vec![Value::point(2.0), iv(5.0, 6.0)],
+            ],
         );
         db.insert_tuples("S", 2, vec![vec![Value::point(1.0), iv(1.0, 3.0)]]);
         assert!(engine.evaluate(&q, &db).unwrap());
-        assert_eq!(engine.evaluate_naive(&q, &db).unwrap(), true);
+        assert!(engine.evaluate_naive(&q, &db).unwrap());
 
         // Same intervals but mismatching point values.
         let mut db2 = Database::new();

@@ -23,15 +23,26 @@ pub enum NaiveError {
     /// A relation referenced by the query is missing from the database.
     MissingRelation(String),
     /// A relation's arity does not match the query atom.
-    ArityMismatch { relation: String, expected: usize, found: usize },
+    ArityMismatch {
+        relation: String,
+        expected: usize,
+        found: usize,
+    },
 }
 
 impl std::fmt::Display for NaiveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NaiveError::MissingRelation(r) => write!(f, "relation `{r}` missing from database"),
-            NaiveError::ArityMismatch { relation, expected, found } => {
-                write!(f, "relation `{relation}` has arity {found}, query expects {expected}")
+            NaiveError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "relation `{relation}` has arity {found}, query expects {expected}"
+                )
             }
         }
     }
@@ -51,7 +62,8 @@ pub fn naive_count(q: &Query, db: &Database) -> Result<u64, NaiveError> {
 }
 
 fn naive_count_impl(q: &Query, db: &Database, early_exit: bool) -> Result<u64, NaiveError> {
-    // Validate and collect the relations in atom order.
+    // Validate and materialise the relations' rows once, in atom order (the
+    // backtracking search below revisits them per recursion level).
     let mut relations = Vec::with_capacity(q.atoms().len());
     for atom in q.atoms() {
         let rel = db
@@ -64,7 +76,7 @@ fn naive_count_impl(q: &Query, db: &Database, early_exit: bool) -> Result<u64, N
                 found: rel.arity(),
             });
         }
-        relations.push(rel);
+        relations.push(rel.tuples());
     }
     if q.atoms().is_empty() {
         return Ok(1);
@@ -79,52 +91,60 @@ fn naive_count_impl(q: &Query, db: &Database, early_exit: bool) -> Result<u64, N
     }
     struct Search<'a> {
         q: &'a Query,
-        relations: Vec<&'a ij_relation::Relation>,
         early_exit: bool,
         count: u64,
     }
     impl Search<'_> {
-        fn go(&mut self, atom_idx: usize, bindings: &HashMap<String, Binding>) -> bool {
+        fn go(
+            &mut self,
+            relations: &[Vec<Vec<Value>>],
+            atom_idx: usize,
+            bindings: &HashMap<String, Binding>,
+        ) -> bool {
             if atom_idx == self.q.atoms().len() {
                 self.count += 1;
                 return self.early_exit;
             }
             let atom = &self.q.atoms()[atom_idx];
-            'tuples: for tuple in self.relations[atom_idx].tuples() {
+            'tuples: for tuple in &relations[atom_idx] {
                 let mut next = bindings.clone();
                 for (col, var) in atom.vars.iter().enumerate() {
                     let value = tuple[col];
                     match self.q.var_kind(var) {
                         Some(VarKind::Interval) => {
-                            let Some(iv) = value.to_interval() else { continue 'tuples };
+                            let Some(iv) = value.to_interval() else {
+                                continue 'tuples;
+                            };
                             let merged = match next.get(var) {
-                                Some(Binding::Interval(current)) => match current.intersection(iv) {
-                                    Some(m) => m,
-                                    None => continue 'tuples,
-                                },
-                                Some(Binding::Point(_)) => unreachable!("interval variable bound to point"),
+                                Some(Binding::Interval(current)) => {
+                                    match current.intersection(iv) {
+                                        Some(m) => m,
+                                        None => continue 'tuples,
+                                    }
+                                }
+                                Some(Binding::Point(_)) => {
+                                    unreachable!("interval variable bound to point")
+                                }
                                 None => iv,
                             };
                             next.insert(var.clone(), Binding::Interval(merged));
                         }
-                        _ => {
-                            match next.get(var) {
-                                Some(Binding::Point(existing)) => {
-                                    if *existing != value {
-                                        continue 'tuples;
-                                    }
-                                }
-                                Some(Binding::Interval(_)) => {
-                                    unreachable!("point variable bound to interval")
-                                }
-                                None => {
-                                    next.insert(var.clone(), Binding::Point(value));
+                        _ => match next.get(var) {
+                            Some(Binding::Point(existing)) => {
+                                if *existing != value {
+                                    continue 'tuples;
                                 }
                             }
-                        }
+                            Some(Binding::Interval(_)) => {
+                                unreachable!("point variable bound to interval")
+                            }
+                            None => {
+                                next.insert(var.clone(), Binding::Point(value));
+                            }
+                        },
                     }
                 }
-                if self.go(atom_idx + 1, &next) {
+                if self.go(relations, atom_idx + 1, &next) {
                     return true;
                 }
             }
@@ -132,8 +152,12 @@ fn naive_count_impl(q: &Query, db: &Database, early_exit: bool) -> Result<u64, N
         }
     }
 
-    let mut search = Search { q, relations, early_exit, count: 0 };
-    search.go(0, &HashMap::new());
+    let mut search = Search {
+        q,
+        early_exit,
+        count: 0,
+    };
+    search.go(&relations, 0, &HashMap::new());
     Ok(search.count)
 }
 
@@ -169,7 +193,10 @@ mod tests {
         db.insert_tuples(
             "R",
             2,
-            vec![vec![Value::point(1.0), Value::point(2.0)], vec![Value::point(3.0), Value::point(4.0)]],
+            vec![
+                vec![Value::point(1.0), Value::point(2.0)],
+                vec![Value::point(3.0), Value::point(4.0)],
+            ],
         );
         db.insert_tuples("S", 2, vec![vec![Value::point(2.0), Value::point(9.0)]]);
         assert_eq!(naive_boolean(&q, &db), Ok(true));
@@ -182,7 +209,11 @@ mod tests {
         let q = Query::parse("R([A]) & S([A])").unwrap();
         let mut db = Database::new();
         db.insert_tuples("R", 1, vec![vec![iv(0.0, 5.0)], vec![iv(10.0, 11.0)]]);
-        db.insert_tuples("S", 1, vec![vec![Value::point(3.0)], vec![Value::point(20.0)]]);
+        db.insert_tuples(
+            "S",
+            1,
+            vec![vec![Value::point(3.0)], vec![Value::point(20.0)]],
+        );
         assert_eq!(naive_boolean(&q, &db), Ok(true));
         assert_eq!(naive_count(&q, &db), Ok(1));
     }
@@ -194,8 +225,16 @@ mod tests {
         let q_ij = Query::parse("R([A]) & S([A])").unwrap();
         let q_ej = Query::parse("R(A) & S(A)").unwrap();
         let mut db = Database::new();
-        db.insert_tuples("R", 1, vec![vec![Value::point(1.0)], vec![Value::point(2.0)]]);
-        db.insert_tuples("S", 1, vec![vec![Value::point(2.0)], vec![Value::point(5.0)]]);
+        db.insert_tuples(
+            "R",
+            1,
+            vec![vec![Value::point(1.0)], vec![Value::point(2.0)]],
+        );
+        db.insert_tuples(
+            "S",
+            1,
+            vec![vec![Value::point(2.0)], vec![Value::point(5.0)]],
+        );
         assert_eq!(naive_boolean(&q_ij, &db), naive_boolean(&q_ej, &db));
         assert_eq!(naive_count(&q_ij, &db), Ok(1));
     }
@@ -205,16 +244,29 @@ mod tests {
         let q = Query::parse("R([A]) & S([A])").unwrap();
         let mut db = Database::new();
         db.insert_tuples("R", 1, vec![vec![iv(0.0, 1.0)]]);
-        assert_eq!(naive_boolean(&q, &db), Err(NaiveError::MissingRelation("S".to_string())));
+        assert_eq!(
+            naive_boolean(&q, &db),
+            Err(NaiveError::MissingRelation("S".to_string()))
+        );
         db.insert_tuples("S", 2, vec![vec![iv(0.0, 1.0), iv(0.0, 1.0)]]);
-        assert!(matches!(naive_boolean(&q, &db), Err(NaiveError::ArityMismatch { .. })));
+        assert!(matches!(
+            naive_boolean(&q, &db),
+            Err(NaiveError::ArityMismatch { .. })
+        ));
     }
 
     #[test]
     fn self_joins_are_supported() {
         let q = Query::parse("R([A],[B]) & R([B],[C])").unwrap();
         let mut db = Database::new();
-        db.insert_tuples("R", 2, vec![vec![iv(0.0, 1.0), iv(5.0, 6.0)], vec![iv(5.5, 7.0), iv(9.0, 9.5)]]);
+        db.insert_tuples(
+            "R",
+            2,
+            vec![
+                vec![iv(0.0, 1.0), iv(5.0, 6.0)],
+                vec![iv(5.5, 7.0), iv(9.0, 9.5)],
+            ],
+        );
         assert_eq!(naive_boolean(&q, &db), Ok(true));
     }
 
@@ -223,7 +275,11 @@ mod tests {
         let q = Query::parse("R([A]) & S([B])").unwrap();
         let mut db = Database::new();
         db.insert_tuples("R", 1, vec![vec![iv(0.0, 1.0)], vec![iv(2.0, 3.0)]]);
-        db.insert_tuples("S", 1, vec![vec![iv(0.0, 1.0)], vec![iv(2.0, 3.0)], vec![iv(4.0, 5.0)]]);
+        db.insert_tuples(
+            "S",
+            1,
+            vec![vec![iv(0.0, 1.0)], vec![iv(2.0, 3.0)], vec![iv(4.0, 5.0)]],
+        );
         assert_eq!(naive_count(&q, &db), Ok(6));
     }
 }

@@ -108,7 +108,10 @@ impl FaqAiConjunct {
     /// hyperedges that constrain the relaxed tree decompositions of
     /// Appendix F.
     pub fn cross_atom_inequalities(&self) -> Vec<&Inequality> {
-        self.inequalities.iter().filter(|i| !i.is_intra_atom()).collect()
+        self.inequalities
+            .iter()
+            .filter(|i| !i.is_intra_atom())
+            .collect()
     }
 
     /// The pairs of distinct atoms connected by at least one inequality
@@ -130,8 +133,11 @@ impl FaqAiConjunct {
 
 impl fmt::Display for FaqAiConjunct {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let choices: Vec<String> =
-            self.choice.iter().map(|(v, a)| format!("V_{v}=#{a}")).collect();
+        let choices: Vec<String> = self
+            .choice
+            .iter()
+            .map(|(v, a)| format!("V_{v}=#{a}"))
+            .collect();
         let ineqs: Vec<String> = self.inequalities.iter().map(|i| i.to_string()).collect();
         write!(f, "[{}] {}", choices.join(", "), ineqs.join(" ∧ "))
     }
@@ -165,14 +171,23 @@ impl fmt::Display for FaqAiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FaqAiError::NotAnIjQuery => {
-                write!(f, "the FAQ-AI comparator only supports pure intersection-join queries")
+                write!(
+                    f,
+                    "the FAQ-AI comparator only supports pure intersection-join queries"
+                )
             }
             FaqAiError::RepeatedIntervalVariable { relation, variable } => {
-                write!(f, "interval variable `{variable}` repeated in atom `{relation}`")
+                write!(
+                    f,
+                    "interval variable `{variable}` repeated in atom `{relation}`"
+                )
             }
             FaqAiError::MissingRelation(r) => write!(f, "relation `{r}` missing from database"),
             FaqAiError::NotAnInterval { relation, column } => {
-                write!(f, "relation `{relation}` column {column} holds a non-interval value")
+                write!(
+                    f,
+                    "relation `{relation}` column {column} holds a non-interval value"
+                )
             }
         }
     }
@@ -247,17 +262,37 @@ pub fn faqai_disjunction(q: &Query) -> Result<Vec<FaqAiConjunct>, FaqAiError> {
                 }
                 // X.l(other) ≤ X.l(chosen) ≤ X.r(other)
                 inequalities.push(Inequality {
-                    lhs: ScalarVar { var: var.clone(), atom: other, end: Endpoint::Left },
-                    rhs: ScalarVar { var: var.clone(), atom: chosen, end: Endpoint::Left },
+                    lhs: ScalarVar {
+                        var: var.clone(),
+                        atom: other,
+                        end: Endpoint::Left,
+                    },
+                    rhs: ScalarVar {
+                        var: var.clone(),
+                        atom: chosen,
+                        end: Endpoint::Left,
+                    },
                 });
                 inequalities.push(Inequality {
-                    lhs: ScalarVar { var: var.clone(), atom: chosen, end: Endpoint::Left },
-                    rhs: ScalarVar { var: var.clone(), atom: other, end: Endpoint::Right },
+                    lhs: ScalarVar {
+                        var: var.clone(),
+                        atom: chosen,
+                        end: Endpoint::Left,
+                    },
+                    rhs: ScalarVar {
+                        var: var.clone(),
+                        atom: other,
+                        end: Endpoint::Right,
+                    },
                 });
             }
         }
         conjuncts.push(FaqAiConjunct {
-            choice: f.iter().map(|(v, _)| v.clone()).zip(choice.iter().copied()).collect(),
+            choice: f
+                .iter()
+                .map(|(v, _)| v.clone())
+                .zip(choice.iter().copied())
+                .collect(),
             inequalities,
             num_atoms: q.atoms().len(),
         });
@@ -274,10 +309,8 @@ mod tests {
     }
 
     fn four_clique() -> Query {
-        Query::parse(
-            "R([A],[B]) & S([A],[C]) & T([A],[D]) & U([B],[C]) & V([B],[D]) & W([C],[D])",
-        )
-        .unwrap()
+        Query::parse("R([A],[B]) & S([A],[C]) & T([A],[D]) & U([B],[C]) & V([B],[D]) & W([C],[D])")
+            .unwrap()
     }
 
     fn lw4() -> Query {
@@ -340,7 +373,10 @@ mod tests {
     #[test]
     fn point_variables_are_rejected() {
         let q = Query::parse("R(X,[A]) & S(X,[A])").unwrap();
-        assert!(matches!(faqai_disjunction(&q), Err(FaqAiError::NotAnIjQuery)));
+        assert!(matches!(
+            faqai_disjunction(&q),
+            Err(FaqAiError::NotAnIjQuery)
+        ));
     }
 
     #[test]

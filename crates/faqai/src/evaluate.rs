@@ -60,7 +60,10 @@ pub fn evaluate_faqai_boolean(q: &Query, db: &Database) -> Result<bool, FaqAiErr
 pub fn evaluate_faqai(q: &Query, db: &Database) -> Result<FaqAiEvaluation, FaqAiError> {
     let conjuncts = faqai_disjunction(q)?;
     let atoms = load_atoms(q, db)?;
-    let mut stats = FaqAiEvaluation { conjuncts_total: conjuncts.len(), ..Default::default() };
+    let mut stats = FaqAiEvaluation {
+        conjuncts_total: conjuncts.len(),
+        ..Default::default()
+    };
     for conjunct in &conjuncts {
         stats.conjuncts_evaluated += 1;
         let decomposition = optimal_relaxed_decomposition(conjunct);
@@ -95,7 +98,10 @@ fn load_atoms(q: &Query, db: &Database) -> Result<Vec<AtomData>, FaqAiError> {
             }
             endpoints.push(row);
         }
-        out.push(AtomData { column_of, endpoints });
+        out.push(AtomData {
+            column_of,
+            endpoints,
+        });
     }
     Ok(out)
 }
@@ -113,7 +119,11 @@ impl Bag {
     /// The scalar value of `s` under bag tuple `t` (the scalar's atom must be
     /// a member of this bag).
     fn scalar(&self, t: &[usize], s: &crate::conjunct::ScalarVar, atoms: &[AtomData]) -> f64 {
-        let pos = self.atoms.iter().position(|&a| a == s.atom).expect("scalar atom in bag");
+        let pos = self
+            .atoms
+            .iter()
+            .position(|&a| a == s.atom)
+            .expect("scalar atom in bag");
         let data = &atoms[s.atom];
         let column = data.column_of[&s.var];
         let (lo, hi) = data.endpoints[t[pos]][column];
@@ -134,7 +144,11 @@ fn evaluate_conjunct(
 ) -> bool {
     // --- bag materialisation -------------------------------------------------
     let bag_of = |atom: usize| {
-        decomposition.bags.iter().position(|b| b.contains(&atom)).expect("atom in some bag")
+        decomposition
+            .bags
+            .iter()
+            .position(|b| b.contains(&atom))
+            .expect("atom in some bag")
     };
     let mut bags: Vec<Bag> = Vec::with_capacity(decomposition.bags.len());
     for members in &decomposition.bags {
@@ -160,19 +174,25 @@ fn evaluate_conjunct(
             }
             tuples = next;
         }
-        let bag = Bag { atoms: members.clone(), tuples };
+        let bag = Bag {
+            atoms: members.clone(),
+            tuples,
+        };
         let filtered: Vec<Vec<usize>> = bag
             .tuples
             .iter()
             .filter(|t| {
-                local.iter().all(|i| {
-                    bag.scalar(t, &i.lhs, atoms) <= bag.scalar(t, &i.rhs, atoms)
-                })
+                local
+                    .iter()
+                    .all(|i| bag.scalar(t, &i.lhs, atoms) <= bag.scalar(t, &i.rhs, atoms))
             })
             .cloned()
             .collect();
         *max_bag_tuples = (*max_bag_tuples).max(filtered.len());
-        bags.push(Bag { atoms: members.clone(), tuples: filtered });
+        bags.push(Bag {
+            atoms: members.clone(),
+            tuples: filtered,
+        });
     }
     if bags.iter().any(|b| b.tuples.is_empty()) {
         return false;
@@ -210,7 +230,10 @@ fn evaluate_conjunct(
         let (a, b) = i.atoms();
         let (ba, bb) = (bag_of(a), bag_of(b));
         if ba != bb {
-            crossing.entry((ba.min(bb), ba.max(bb))).or_default().push(i);
+            crossing
+                .entry((ba.min(bb), ba.max(bb)))
+                .or_default()
+                .push(i);
         }
     }
 
@@ -224,9 +247,17 @@ fn evaluate_conjunct(
             if child_tuples.is_empty() {
                 return false;
             }
-            let ineqs = crossing.get(&(b.min(child), b.max(child))).cloned().unwrap_or_default();
+            let ineqs = crossing
+                .get(&(b.min(child), b.max(child)))
+                .cloned()
+                .unwrap_or_default();
             alive = semijoin_by_inequalities(
-                &bags[b], alive, &bags[child], child_tuples, &ineqs, atoms,
+                &bags[b],
+                alive,
+                &bags[child],
+                child_tuples,
+                &ineqs,
+                atoms,
             );
             if alive.is_empty() {
                 return false;
@@ -234,7 +265,10 @@ fn evaluate_conjunct(
         }
         surviving[b] = Some(alive);
     }
-    surviving[0].as_ref().map(|s| !s.is_empty()).unwrap_or(false)
+    surviving[0]
+        .as_ref()
+        .map(|s| !s.is_empty())
+        .unwrap_or(false)
 }
 
 /// Post-order traversal of the rooted bag tree.
@@ -271,8 +305,11 @@ fn semijoin_by_inequalities(
     // in the child bag.
     let pivot = ineqs[0];
     let child_has_lhs = child.atoms.contains(&pivot.lhs.atom);
-    let (child_side, parent_side) =
-        if child_has_lhs { (&pivot.lhs, &pivot.rhs) } else { (&pivot.rhs, &pivot.lhs) };
+    let (child_side, parent_side) = if child_has_lhs {
+        (&pivot.lhs, &pivot.rhs)
+    } else {
+        (&pivot.rhs, &pivot.lhs)
+    };
 
     let mut sorted: Vec<(f64, &Vec<usize>)> = child_tuples
         .iter()
@@ -336,12 +373,7 @@ mod tests {
 
     /// A brute-force intersection-join oracle over all tuple combinations.
     fn oracle(q: &Query, db: &Database) -> bool {
-        fn rec(
-            q: &Query,
-            db: &Database,
-            level: usize,
-            chosen: &mut Vec<usize>,
-        ) -> bool {
+        fn rec(q: &Query, db: &Database, level: usize, chosen: &mut Vec<usize>) -> bool {
             if level == q.atoms().len() {
                 // Check every interval variable's intersection.
                 for var in q.interval_variables() {
@@ -349,8 +381,8 @@ mod tests {
                     let mut hi = f64::INFINITY;
                     for (i, atom) in q.atoms().iter().enumerate() {
                         if let Some(col) = atom.vars.iter().position(|v| *v == var) {
-                            let t = &db.relation(&atom.relation).unwrap().tuples()[chosen[i]];
-                            let interval = t[col].to_interval().unwrap();
+                            let rel = db.relation(&atom.relation).unwrap();
+                            let interval = rel.value_at(chosen[i], col).to_interval().unwrap();
                             lo = lo.max(interval.lo());
                             hi = hi.min(interval.hi());
                         }
@@ -412,10 +444,17 @@ mod tests {
                 db.insert_tuples(name, 2, tuples);
             }
             let expected = oracle(&q, &db);
-            assert_eq!(evaluate_faqai_boolean(&q, &db).unwrap(), expected, "seed {seed}");
+            assert_eq!(
+                evaluate_faqai_boolean(&q, &db).unwrap(),
+                expected,
+                "seed {seed}"
+            );
             both[usize::from(expected)] = true;
         }
-        assert!(both[0] && both[1], "the random instances must cover both outcomes");
+        assert!(
+            both[0] && both[1],
+            "the random instances must cover both outcomes"
+        );
     }
 
     #[test]
@@ -444,12 +483,12 @@ mod tests {
             db.insert_tuples(name, 2, vec![vec![iv(0.0, 10.0), iv(5.0, 15.0)]]);
         }
         assert!(evaluate_faqai_boolean(&q, &db).unwrap());
-        assert_eq!(oracle(&q, &db), true);
+        assert!(oracle(&q, &db));
 
         // Break variable D in relation W only.
         db.insert_tuples("W", 2, vec![vec![iv(0.0, 10.0), iv(100.0, 101.0)]]);
         assert!(!evaluate_faqai_boolean(&q, &db).unwrap());
-        assert_eq!(oracle(&q, &db), false);
+        assert!(!oracle(&q, &db));
     }
 
     #[test]
@@ -475,7 +514,9 @@ mod tests {
             db.insert_tuples(
                 name,
                 2,
-                (0..5).map(|i| vec![iv(i as f64, i as f64 + 2.0), iv(i as f64, i as f64 + 2.0)]).collect(),
+                (0..5)
+                    .map(|i| vec![iv(i as f64, i as f64 + 2.0), iv(i as f64, i as f64 + 2.0)])
+                    .collect(),
             );
         }
         let stats = evaluate_faqai(&q, &db).unwrap();

@@ -37,8 +37,7 @@ pub mod evaluate;
 pub mod relaxed;
 
 pub use conjunct::{
-    containing_atoms, faqai_disjunction, Endpoint, FaqAiConjunct, FaqAiError, Inequality,
-    ScalarVar,
+    containing_atoms, faqai_disjunction, Endpoint, FaqAiConjunct, FaqAiError, Inequality, ScalarVar,
 };
 pub use evaluate::{evaluate_faqai, evaluate_faqai_boolean, FaqAiEvaluation};
 pub use relaxed::{

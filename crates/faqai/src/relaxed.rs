@@ -152,8 +152,12 @@ pub fn optimal_relaxed_decomposition(conjunct: &FaqAiConjunct) -> RelaxedDecompo
             }
         }
 
-        let candidate =
-            RelaxedDecomposition { bags: bags.clone(), tree_edges, width, crossing_inequalities: crossing };
+        let candidate = RelaxedDecomposition {
+            bags: bags.clone(),
+            tree_edges,
+            width,
+            crossing_inequalities: crossing,
+        };
         let better = match &best {
             None => true,
             Some(b) => {
@@ -176,7 +180,9 @@ struct DisjointSets {
 
 impl DisjointSets {
     fn new(n: usize) -> Self {
-        DisjointSets { parent: (0..n).collect() }
+        DisjointSets {
+            parent: (0..n).collect(),
+        }
     }
 
     fn find(&mut self, x: usize) -> usize {
@@ -209,14 +215,22 @@ pub fn analyze_disjunction(conjuncts: &[FaqAiConjunct]) -> FaqAiAnalysis {
             decomposition: optimal_relaxed_decomposition(c),
         })
         .collect();
-    let width = analyses.iter().map(|a| a.decomposition.width).max().unwrap_or(0);
+    let width = analyses
+        .iter()
+        .map(|a| a.decomposition.width)
+        .max()
+        .unwrap_or(0);
     let log_exponent = analyses
         .iter()
         .filter(|a| a.decomposition.width == width)
         .map(|a| a.decomposition.log_exponent())
         .max()
         .unwrap_or(1);
-    FaqAiAnalysis { conjuncts: analyses, width, log_exponent }
+    FaqAiAnalysis {
+        conjuncts: analyses,
+        width,
+        log_exponent,
+    }
 }
 
 /// One row of Table 3: a partition of the six 4-clique atoms into three pairs
@@ -267,7 +281,11 @@ pub fn table3(conjunct: &FaqAiConjunct) -> Option<Vec<Table3Row>> {
                 [bags[1][0], bags[1][1]],
                 [bags[2][0], bags[2][1]],
             ],
-            witnesses: [witnesses[0].clone(), witnesses[1].clone(), witnesses[2].clone()],
+            witnesses: [
+                witnesses[0].clone(),
+                witnesses[1].clone(),
+                witnesses[2].clone(),
+            ],
         });
     }
     Some(rows)
@@ -304,7 +322,7 @@ pub fn set_partitions(n: usize) -> Vec<Vec<Vec<usize>>> {
 
 /// All partitions of `{0, …, n-1}` (n even) into unordered pairs.
 pub fn partitions_into_pairs(n: usize) -> Vec<Vec<[usize; 2]>> {
-    fn rec(remaining: &mut Vec<usize>, current: &mut Vec<[usize; 2]>, out: &mut Vec<Vec<[usize; 2]>>) {
+    fn rec(remaining: &[usize], current: &mut Vec<[usize; 2]>, out: &mut Vec<Vec<[usize; 2]>>) {
         if remaining.is_empty() {
             out.push(current.clone());
             return;
@@ -312,16 +330,22 @@ pub fn partitions_into_pairs(n: usize) -> Vec<Vec<[usize; 2]>> {
         let first = remaining[0];
         for i in 1..remaining.len() {
             let partner = remaining[i];
-            let mut rest: Vec<usize> =
-                remaining.iter().copied().filter(|&x| x != first && x != partner).collect();
+            let rest: Vec<usize> = remaining
+                .iter()
+                .copied()
+                .filter(|&x| x != first && x != partner)
+                .collect();
             current.push([first, partner]);
-            rec(&mut rest, current, out);
+            rec(&rest, current, out);
             current.pop();
         }
     }
-    assert!(n % 2 == 0, "pair partitions need an even number of elements");
+    assert!(
+        n.is_multiple_of(2),
+        "pair partitions need an even number of elements"
+    );
     let mut out = Vec::new();
-    rec(&mut (0..n).collect(), &mut Vec::new(), &mut out);
+    rec(&(0..n).collect::<Vec<usize>>(), &mut Vec::new(), &mut out);
     out
 }
 
@@ -340,10 +364,8 @@ mod tests {
     }
 
     fn four_clique() -> Query {
-        Query::parse(
-            "R([A],[B]) & S([A],[C]) & T([A],[D]) & U([B],[C]) & V([B],[D]) & W([C],[D])",
-        )
-        .unwrap()
+        Query::parse("R([A],[B]) & S([A],[C]) & T([A],[D]) & U([B],[C]) & V([B],[D]) & W([C],[D])")
+            .unwrap()
     }
 
     #[test]
@@ -398,7 +420,11 @@ mod tests {
         // paper has k = 10 crossing inequalities, giving O(N^2 log^9 N).
         let analysis = analyze_disjunction(&faqai_disjunction(&lw4()).unwrap());
         assert_eq!(analysis.width, 2);
-        assert!(analysis.log_exponent >= 9, "log exponent {}", analysis.log_exponent);
+        assert!(
+            analysis.log_exponent >= 9,
+            "log exponent {}",
+            analysis.log_exponent
+        );
         // Every conjunct needs at least two relations in one bag.
         for c in &analysis.conjuncts {
             assert_eq!(c.decomposition.width, 2);

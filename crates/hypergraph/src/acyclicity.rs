@@ -66,13 +66,20 @@ impl BergeCycle {
 /// Panics if the hypergraph has more than 64 vertices or hyperedges (queries
 /// never do; the limit keeps the bitmask bookkeeping simple).
 pub fn find_berge_cycle_of_length_at_least(h: &Hypergraph, min_len: usize) -> Option<BergeCycle> {
-    assert!(h.num_vertices() <= 64 && h.num_edges() <= 64, "hypergraph too large for cycle search");
+    assert!(
+        h.num_vertices() <= 64 && h.num_edges() <= 64,
+        "hypergraph too large for cycle search"
+    );
     let min_len = min_len.max(2);
     // Incidence lists.
-    let edge_vertices: Vec<Vec<VarId>> =
-        h.edges().iter().map(|e| e.vertices.iter().copied().collect()).collect();
-    let vertex_edges: Vec<Vec<EdgeId>> =
-        (0..h.num_vertices()).map(|v| h.edges_containing(v)).collect();
+    let edge_vertices: Vec<Vec<VarId>> = h
+        .edges()
+        .iter()
+        .map(|e| e.vertices.iter().copied().collect())
+        .collect();
+    let vertex_edges: Vec<Vec<EdgeId>> = (0..h.num_vertices())
+        .map(|v| h.edges_containing(v))
+        .collect();
 
     for start in 0..h.num_edges() {
         let mut edges = vec![start];
@@ -161,7 +168,9 @@ pub fn is_iota_acyclic(h: &Hypergraph) -> bool {
 /// Exponentially more expensive than [`is_iota_acyclic`]; exposed so the
 /// equivalence (Theorem 6.3) can be validated in tests and experiments.
 pub fn is_iota_acyclic_via_reduction(h: &Hypergraph) -> bool {
-    full_reduction(h).iter().all(|r| is_alpha_acyclic(&r.hypergraph))
+    full_reduction(h)
+        .iter()
+        .all(|r| is_alpha_acyclic(&r.hypergraph))
 }
 
 /// α-acyclicity via GYO reduction (Appendix A.1.2).
@@ -324,7 +333,12 @@ pub fn join_tree(h: &Hypergraph) -> Option<JoinTree> {
             children[*p].push(e);
         }
     }
-    Some(JoinTree { root, parent, children, order })
+    Some(JoinTree {
+        root,
+        parent,
+        children,
+        order,
+    })
 }
 
 /// The induced family `E[S] = { e ∩ S | e ∈ E } \ {∅}` (Definition A.5).
@@ -354,7 +368,10 @@ fn minimisation(family: &[BTreeSet<VarId>]) -> Vec<BTreeSet<VarId>> {
 /// sets over `S`.
 pub fn is_cycle_free(h: &Hypergraph) -> bool {
     let n = h.num_vertices();
-    assert!(n <= 24, "cycle-freeness check is exponential in the number of vertices");
+    assert!(
+        n <= 24,
+        "cycle-freeness check is exponential in the number of vertices"
+    );
     for mask in 0u32..(1u32 << n) {
         if (mask.count_ones() as usize) < 3 {
             continue;
@@ -411,7 +428,10 @@ fn is_hamiltonian_cycle_family(family: &[BTreeSet<VarId>], s: &BTreeSet<VarId>) 
 /// whose minimised induced family is `{ S \ {x} | x ∈ S }`.
 pub fn is_conformal(h: &Hypergraph) -> bool {
     let n = h.num_vertices();
-    assert!(n <= 24, "conformality check is exponential in the number of vertices");
+    assert!(
+        n <= 24,
+        "conformality check is exponential in the number of vertices"
+    );
     for mask in 0u32..(1u32 << n) {
         if (mask.count_ones() as usize) < 3 {
             continue;
@@ -519,7 +539,13 @@ impl AcyclicityReport {
         } else {
             AcyclicityClass::Cyclic
         };
-        AcyclicityReport { berge, iota, gamma, alpha, class }
+        AcyclicityReport {
+            berge,
+            iota,
+            gamma,
+            alpha,
+            class,
+        }
     }
 }
 
@@ -574,7 +600,10 @@ mod tests {
         let h = figure_9e();
         assert!(is_berge_acyclic(&h));
         assert!(is_iota_acyclic(&h));
-        assert_eq!(AcyclicityReport::of(&h).class, AcyclicityClass::BergeAcyclic);
+        assert_eq!(
+            AcyclicityReport::of(&h).class,
+            AcyclicityClass::BergeAcyclic
+        );
     }
 
     #[test]
@@ -625,12 +654,23 @@ mod tests {
         assert!(is_iota_acyclic(&f9f) && !is_berge_acyclic(&f9f));
         // γ-acyclic but not ι-acyclic: the triple-edge hypergraph
         // {{x,y,z},{x,y,z},{x,y,z}} from the proof of Corollary 6.4.
-        let h = ij_from_atoms(&[("R", &["X", "Y", "Z"]), ("S", &["X", "Y", "Z"]), ("T", &["X", "Y", "Z"])]);
+        let h = ij_from_atoms(&[
+            ("R", &["X", "Y", "Z"]),
+            ("S", &["X", "Y", "Z"]),
+            ("T", &["X", "Y", "Z"]),
+        ]);
         assert!(is_gamma_acyclic(&h), "triple edge should be gamma-acyclic");
-        assert!(!is_iota_acyclic(&h), "triple edge has a Berge cycle of length 3");
+        assert!(
+            !is_iota_acyclic(&h),
+            "triple edge has a Berge cycle of length 3"
+        );
         // α-acyclic but not γ-acyclic: Figure 8a = R(A), S(A,B), T(A,B,C)-like
         // pattern {{x,y},{x,z},{x,y,z}}.
-        let g = ij_from_atoms(&[("R", &["X", "Y"]), ("S", &["X", "Z"]), ("T", &["X", "Y", "Z"])]);
+        let g = ij_from_atoms(&[
+            ("R", &["X", "Y"]),
+            ("S", &["X", "Z"]),
+            ("T", &["X", "Y", "Z"]),
+        ]);
         assert!(is_alpha_acyclic(&g));
         assert!(!is_gamma_acyclic(&g));
         // Cyclic: triangle.
@@ -659,11 +699,19 @@ mod tests {
             let h = &entry.hypergraph;
             match join_tree(h) {
                 Some(tree) => {
-                    assert!(is_alpha_acyclic(h), "{}: join tree for cyclic hypergraph", entry.name);
+                    assert!(
+                        is_alpha_acyclic(h),
+                        "{}: join tree for cyclic hypergraph",
+                        entry.name
+                    );
                     assert!(tree.is_valid(h), "{}: invalid join tree", entry.name);
                     assert_eq!(tree.order.len(), h.num_edges());
                 }
-                None => assert!(!is_alpha_acyclic(h), "{}: no join tree for acyclic hypergraph", entry.name),
+                None => assert!(
+                    !is_alpha_acyclic(h),
+                    "{}: no join tree for acyclic hypergraph",
+                    entry.name
+                ),
             }
         }
     }

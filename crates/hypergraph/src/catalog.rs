@@ -91,31 +91,52 @@ pub fn figure_4b() -> Hypergraph {
 /// Figure 9a: `R([A],[B],[C]) ∧ S([A],[B],[C]) ∧ T([A],[B],[C])` — α-acyclic,
 /// not ι-acyclic, ij-width 3/2 (Appendix E.4.1).
 pub fn figure_9a() -> Hypergraph {
-    ij_from_atoms(&[("R", &["A", "B", "C"]), ("S", &["A", "B", "C"]), ("T", &["A", "B", "C"])])
+    ij_from_atoms(&[
+        ("R", &["A", "B", "C"]),
+        ("S", &["A", "B", "C"]),
+        ("T", &["A", "B", "C"]),
+    ])
 }
 
 /// Figure 9b: `R([A],[B],[C]) ∧ S([A],[B],[C]) ∧ T([A],[B])` — α-acyclic,
 /// not ι-acyclic, ij-width 3/2 (Appendix E.4.2, Example 6.5).
 pub fn figure_9b() -> Hypergraph {
-    ij_from_atoms(&[("R", &["A", "B", "C"]), ("S", &["A", "B", "C"]), ("T", &["A", "B"])])
+    ij_from_atoms(&[
+        ("R", &["A", "B", "C"]),
+        ("S", &["A", "B", "C"]),
+        ("T", &["A", "B"]),
+    ])
 }
 
 /// Figure 9c: `R([A],[B],[C]) ∧ S([B],[C]) ∧ T([A],[B])` — α-acyclic, not
 /// ι-acyclic, ij-width 3/2 (Appendix E.4.3, Example 6.5).
 pub fn figure_9c() -> Hypergraph {
-    ij_from_atoms(&[("R", &["A", "B", "C"]), ("S", &["B", "C"]), ("T", &["A", "B"])])
+    ij_from_atoms(&[
+        ("R", &["A", "B", "C"]),
+        ("S", &["B", "C"]),
+        ("T", &["A", "B"]),
+    ])
 }
 
 /// Figure 9d: `R([A],[B],[C]) ∧ S([A],[B],[C]) ∧ T([A])` — ι-acyclic
 /// (Appendix E.4.4), computable in near-linear time.
 pub fn figure_9d() -> Hypergraph {
-    ij_from_atoms(&[("R", &["A", "B", "C"]), ("S", &["A", "B", "C"]), ("T", &["A"])])
+    ij_from_atoms(&[
+        ("R", &["A", "B", "C"]),
+        ("S", &["A", "B", "C"]),
+        ("T", &["A"]),
+    ])
 }
 
 /// Figure 9e: `R([A],[B]) ∧ S([A],[C]) ∧ T([C],[D]) ∧ U([C],[E])` —
 /// Berge-acyclic (Appendix E.4.5).
 pub fn figure_9e() -> Hypergraph {
-    ij_from_atoms(&[("R", &["A", "B"]), ("S", &["A", "C"]), ("T", &["C", "D"]), ("U", &["C", "E"])])
+    ij_from_atoms(&[
+        ("R", &["A", "B"]),
+        ("S", &["A", "C"]),
+        ("T", &["C", "D"]),
+        ("U", &["C", "E"]),
+    ])
 }
 
 /// Figure 9f: `R([A],[B],[C]) ∧ S([A],[B])` — ι-acyclic with one Berge cycle
@@ -143,7 +164,9 @@ pub fn k_cycle_ej(k: usize) -> Hypergraph {
 pub fn k_path_ij(k: usize) -> Hypergraph {
     assert!(k >= 1);
     let mut h = Hypergraph::new();
-    let vars: Vec<_> = (1..=k + 1).map(|i| h.add_interval_var(format!("X{i}"))).collect();
+    let vars: Vec<_> = (1..=k + 1)
+        .map(|i| h.add_interval_var(format!("X{i}")))
+        .collect();
     for i in 0..k {
         h.add_edge(format!("R{}", i + 1), vec![vars[i], vars[i + 1]]);
     }
@@ -177,23 +200,71 @@ pub struct CatalogEntry {
 /// Every named query of the paper, for data-driven tests and reports.
 pub fn named_catalog() -> Vec<CatalogEntry> {
     vec![
-        CatalogEntry { name: "triangle-ij", reference: "Section 1.1", hypergraph: triangle_ij() },
-        CatalogEntry { name: "triangle-ej", reference: "Section 1.1", hypergraph: triangle_ej() },
+        CatalogEntry {
+            name: "triangle-ij",
+            reference: "Section 1.1",
+            hypergraph: triangle_ij(),
+        },
+        CatalogEntry {
+            name: "triangle-ej",
+            reference: "Section 1.1",
+            hypergraph: triangle_ej(),
+        },
         CatalogEntry {
             name: "loomis-whitney-4-ij",
             reference: "Appendix F.2",
             hypergraph: loomis_whitney_4_ij(),
         },
-        CatalogEntry { name: "4-clique-ij", reference: "Appendix F.3", hypergraph: four_clique_ij() },
-        CatalogEntry { name: "figure-9a", reference: "Appendix E.4.1", hypergraph: figure_9a() },
-        CatalogEntry { name: "figure-9b", reference: "Appendix E.4.2", hypergraph: figure_9b() },
-        CatalogEntry { name: "figure-9c", reference: "Appendix E.4.3", hypergraph: figure_9c() },
-        CatalogEntry { name: "figure-9d", reference: "Appendix E.4.4", hypergraph: figure_9d() },
-        CatalogEntry { name: "figure-9e", reference: "Appendix E.4.5", hypergraph: figure_9e() },
-        CatalogEntry { name: "figure-9f", reference: "Appendix E.4.6", hypergraph: figure_9f() },
-        CatalogEntry { name: "4-cycle-ej", reference: "Theorem 6.6", hypergraph: k_cycle_ej(4) },
-        CatalogEntry { name: "3-path-ij", reference: "tests", hypergraph: k_path_ij(3) },
-        CatalogEntry { name: "3-star-ij", reference: "tests", hypergraph: star_ij(3) },
+        CatalogEntry {
+            name: "4-clique-ij",
+            reference: "Appendix F.3",
+            hypergraph: four_clique_ij(),
+        },
+        CatalogEntry {
+            name: "figure-9a",
+            reference: "Appendix E.4.1",
+            hypergraph: figure_9a(),
+        },
+        CatalogEntry {
+            name: "figure-9b",
+            reference: "Appendix E.4.2",
+            hypergraph: figure_9b(),
+        },
+        CatalogEntry {
+            name: "figure-9c",
+            reference: "Appendix E.4.3",
+            hypergraph: figure_9c(),
+        },
+        CatalogEntry {
+            name: "figure-9d",
+            reference: "Appendix E.4.4",
+            hypergraph: figure_9d(),
+        },
+        CatalogEntry {
+            name: "figure-9e",
+            reference: "Appendix E.4.5",
+            hypergraph: figure_9e(),
+        },
+        CatalogEntry {
+            name: "figure-9f",
+            reference: "Appendix E.4.6",
+            hypergraph: figure_9f(),
+        },
+        CatalogEntry {
+            name: "4-cycle-ej",
+            reference: "Theorem 6.6",
+            hypergraph: k_cycle_ej(4),
+        },
+        CatalogEntry {
+            name: "3-path-ij",
+            reference: "tests",
+            hypergraph: k_path_ij(3),
+        },
+        CatalogEntry {
+            name: "3-star-ij",
+            reference: "tests",
+            hypergraph: star_ij(3),
+        },
     ]
 }
 
@@ -219,7 +290,11 @@ mod tests {
     fn ij_queries_have_only_interval_variables() {
         for entry in named_catalog() {
             if entry.name.ends_with("-ij") || entry.name.starts_with("figure") {
-                assert!(entry.hypergraph.is_ij(), "{} should be an IJ query", entry.name);
+                assert!(
+                    entry.hypergraph.is_ij(),
+                    "{} should be an IJ query",
+                    entry.name
+                );
             }
         }
         assert!(triangle_ej().is_ej());

@@ -59,7 +59,10 @@ impl Hypergraph {
     /// Adds a vertex and returns its identifier.  Names need not be unique,
     /// but the convenience constructors in [`crate::catalog`] keep them so.
     pub fn add_vertex(&mut self, name: impl Into<String>, kind: VarKind) -> VarId {
-        self.vertices.push(Vertex { name: name.into(), kind });
+        self.vertices.push(Vertex {
+            name: name.into(),
+            kind,
+        });
         self.vertices.len() - 1
     }
 
@@ -78,12 +81,19 @@ impl Hypergraph {
     /// # Panics
     ///
     /// Panics if any vertex identifier is out of range.
-    pub fn add_edge(&mut self, label: impl Into<String>, vertices: impl IntoIterator<Item = VarId>) -> EdgeId {
+    pub fn add_edge(
+        &mut self,
+        label: impl Into<String>,
+        vertices: impl IntoIterator<Item = VarId>,
+    ) -> EdgeId {
         let vertices: BTreeSet<VarId> = vertices.into_iter().collect();
         for &v in &vertices {
             assert!(v < self.vertices.len(), "unknown vertex {v}");
         }
-        self.edges.push(Hyperedge { label: label.into(), vertices });
+        self.edges.push(Hyperedge {
+            label: label.into(),
+            vertices,
+        });
         self.edges.len() - 1
     }
 
@@ -139,24 +149,34 @@ impl Hypergraph {
 
     /// Number of hyperedges containing `v`.
     pub fn degree(&self, v: VarId) -> usize {
-        self.edges.iter().filter(|e| e.vertices.contains(&v)).count()
+        self.edges
+            .iter()
+            .filter(|e| e.vertices.contains(&v))
+            .count()
     }
 
     /// All interval variables.
     pub fn interval_vars(&self) -> Vec<VarId> {
-        (0..self.vertices.len()).filter(|&v| self.vertices[v].kind == VarKind::Interval).collect()
+        (0..self.vertices.len())
+            .filter(|&v| self.vertices[v].kind == VarKind::Interval)
+            .collect()
     }
 
     /// All point variables.
     pub fn point_vars(&self) -> Vec<VarId> {
-        (0..self.vertices.len()).filter(|&v| self.vertices[v].kind == VarKind::Point).collect()
+        (0..self.vertices.len())
+            .filter(|&v| self.vertices[v].kind == VarKind::Point)
+            .collect()
     }
 
     /// Interval variables appearing in at least one hyperedge: the variables
     /// the forward reduction has to resolve (Algorithm 1 iterates over every
     /// interval join variable of the query).
     pub fn join_interval_vars(&self) -> Vec<VarId> {
-        self.interval_vars().into_iter().filter(|&v| self.degree(v) >= 1).collect()
+        self.interval_vars()
+            .into_iter()
+            .filter(|&v| self.degree(v) >= 1)
+            .collect()
     }
 
     /// True if every vertex is a point variable (an EJ query hypergraph).
@@ -172,7 +192,9 @@ impl Hypergraph {
     /// Vertices that occur in exactly one hyperedge ("singleton" variables in
     /// the terminology of Appendix E.4/F).
     pub fn singleton_vertices(&self) -> Vec<VarId> {
-        (0..self.vertices.len()).filter(|&v| self.degree(v) == 1).collect()
+        (0..self.vertices.len())
+            .filter(|&v| self.degree(v) == 1)
+            .collect()
     }
 
     /// Returns a copy of the hypergraph with all vertices occurring in at
@@ -181,7 +203,9 @@ impl Hypergraph {
     /// hypertree or submodular widths and is used by the paper to reduce the
     /// number of distinct reduced queries (Appendix E.4, F.2, F.3).
     pub fn drop_singleton_vertices(&self) -> Hypergraph {
-        let keep: Vec<bool> = (0..self.vertices.len()).map(|v| self.degree(v) >= 2).collect();
+        let keep: Vec<bool> = (0..self.vertices.len())
+            .map(|v| self.degree(v) >= 2)
+            .collect();
         self.restrict_to(&keep)
     }
 
@@ -276,7 +300,10 @@ fn from_atoms(atoms: &[(&str, &[&str])], kind: VarKind) -> Hypergraph {
     for (label, vars) in atoms {
         let ids: Vec<VarId> = vars
             .iter()
-            .map(|name| h.vertex_by_name(name).unwrap_or_else(|| h.add_vertex(*name, kind)))
+            .map(|name| {
+                h.vertex_by_name(name)
+                    .unwrap_or_else(|| h.add_vertex(*name, kind))
+            })
             .collect();
         h.add_edge(*label, ids);
     }
@@ -317,7 +344,11 @@ mod tests {
     fn singleton_vertices_and_restriction() {
         // Example 4.8 / Figure 9d: T([A]) makes nothing a singleton for A,
         // but B and C each occur in two edges.
-        let h = ij_from_atoms(&[("R", &["A", "B", "C"]), ("S", &["A", "B", "C"]), ("T", &["A"])]);
+        let h = ij_from_atoms(&[
+            ("R", &["A", "B", "C"]),
+            ("S", &["A", "B", "C"]),
+            ("T", &["A"]),
+        ]);
         assert!(h.singleton_vertices().is_empty());
 
         let mut g = Hypergraph::new();
@@ -346,6 +377,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn primal_graph_of_triangle_is_complete() {
         let h = triangle();
         let adj = h.primal_graph();

@@ -20,7 +20,9 @@ pub fn invariant_key(h: &Hypergraph) -> Vec<u64> {
     key.push(u64::MAX); // separator
     key.extend(sizes);
     // Sorted vertex signatures: (degree, sorted multiset of incident edge sizes).
-    let mut signatures: Vec<Vec<u64>> = (0..h.num_vertices()).map(|v| vertex_signature(h, v)).collect();
+    let mut signatures: Vec<Vec<u64>> = (0..h.num_vertices())
+        .map(|v| vertex_signature(h, v))
+        .collect();
     signatures.sort();
     for s in signatures {
         key.push(u64::MAX);
@@ -95,7 +97,9 @@ fn assign(
         }
         mapping[v] = Some(w);
         used[w] = true;
-        if partial_consistent(a, b, mapping) && assign(a, b, sig_a, sig_b, order, pos + 1, mapping, used) {
+        if partial_consistent(a, b, mapping)
+            && assign(a, b, sig_a, sig_b, order, pos + 1, mapping, used)
+        {
             return true;
         }
         mapping[v] = None;
@@ -113,7 +117,12 @@ fn edge_multiset(h: &Hypergraph, perm: &[VarId]) -> Vec<BTreeSet<VarId>> {
     let mut edges: Vec<BTreeSet<VarId>> = h
         .edges()
         .iter()
-        .map(|e| e.vertices.iter().map(|&v| if perm.is_empty() { v } else { perm[v] }).collect())
+        .map(|e| {
+            e.vertices
+                .iter()
+                .map(|&v| if perm.is_empty() { v } else { perm[v] })
+                .collect()
+        })
         .collect();
     edges.sort();
     edges
@@ -122,16 +131,25 @@ fn edge_multiset(h: &Hypergraph, perm: &[VarId]) -> Vec<BTreeSet<VarId>> {
 /// Cheap partial-consistency check: for every pair of mapped vertices, the
 /// number of edges containing both must agree in `a` and `b`.
 fn partial_consistent(a: &Hypergraph, b: &Hypergraph, mapping: &[Option<VarId>]) -> bool {
-    let mapped: Vec<(VarId, VarId)> =
-        mapping.iter().enumerate().filter_map(|(v, m)| m.map(|w| (v, w))).collect();
+    let mapped: Vec<(VarId, VarId)> = mapping
+        .iter()
+        .enumerate()
+        .filter_map(|(v, m)| m.map(|w| (v, w)))
+        .collect();
     for i in 0..mapped.len() {
         for j in i + 1..mapped.len() {
             let (v1, w1) = mapped[i];
             let (v2, w2) = mapped[j];
-            let count_a =
-                a.edges().iter().filter(|e| e.vertices.contains(&v1) && e.vertices.contains(&v2)).count();
-            let count_b =
-                b.edges().iter().filter(|e| e.vertices.contains(&w1) && e.vertices.contains(&w2)).count();
+            let count_a = a
+                .edges()
+                .iter()
+                .filter(|e| e.vertices.contains(&v1) && e.vertices.contains(&v2))
+                .count();
+            let count_b = b
+                .edges()
+                .iter()
+                .filter(|e| e.vertices.contains(&w1) && e.vertices.contains(&w2))
+                .count();
             if count_a != count_b {
                 return false;
             }
@@ -153,7 +171,10 @@ pub fn group_into_isomorphism_classes(graphs: &[Hypergraph]) -> Vec<Vec<usize>> 
         let mut representatives: Vec<usize> = Vec::new();
         let mut members: Vec<Vec<usize>> = Vec::new();
         for &i in bucket {
-            match representatives.iter().position(|&r| are_isomorphic(&graphs[r], &graphs[i])) {
+            match representatives
+                .iter()
+                .position(|&r| are_isomorphic(&graphs[r], &graphs[i]))
+            {
                 Some(pos) => members[pos].push(i),
                 None => {
                     representatives.push(i);
@@ -208,7 +229,11 @@ mod tests {
     fn grouping_collapses_renamings() {
         let graphs = vec![
             triangle_ej(),
-            ej_from_atoms(&[("A1", &["X", "Y"]), ("A2", &["Y", "Z"]), ("A3", &["X", "Z"])]),
+            ej_from_atoms(&[
+                ("A1", &["X", "Y"]),
+                ("A2", &["Y", "Z"]),
+                ("A3", &["X", "Z"]),
+            ]),
             ej_from_atoms(&[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["C", "D"])]),
             figure_9a(),
         ];

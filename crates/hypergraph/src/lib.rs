@@ -36,5 +36,5 @@ pub use catalog::{
     loomis_whitney_4_ij, named_catalog, star_ij, triangle_ej, triangle_ij, CatalogEntry,
 };
 pub use hgraph::{EdgeId, Hyperedge, Hypergraph, VarId, VarKind, Vertex};
-pub use isomorphism::{are_isomorphic, invariant_key, group_into_isomorphism_classes};
+pub use isomorphism::{are_isomorphic, group_into_isomorphism_classes, invariant_key};
 pub use transform::{full_reduction, one_step_reduction, PermutationChoice, ReducedHypergraph};

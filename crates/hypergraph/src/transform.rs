@@ -26,7 +26,9 @@ impl PermutationChoice {
     /// The level (1-based position in the permutation) of edge `edge` for
     /// variable `var`, if the edge contains the variable.
     pub fn level(&self, var: VarId, edge: EdgeId) -> Option<usize> {
-        self.permutations.get(&var).and_then(|perm| perm.iter().position(|&e| e == edge).map(|p| p + 1))
+        self.permutations
+            .get(&var)
+            .and_then(|perm| perm.iter().position(|&e| e == edge).map(|p| p + 1))
     }
 }
 
@@ -55,12 +57,16 @@ impl ReducedHypergraph {
     /// The fresh variable `X#j` of the reduced hypergraph for original
     /// interval variable `var` and position `j` (1-based), if present.
     pub fn fresh_var(&self, var: VarId, position: usize) -> Option<VarId> {
-        self.vertex_origin.iter().position(|&(v, p)| v == var && p == position)
+        self.vertex_origin
+            .iter()
+            .position(|&(v, p)| v == var && p == position)
     }
 
     /// The carried-over copy of an original point variable.
     pub fn carried_var(&self, var: VarId) -> Option<VarId> {
-        self.vertex_origin.iter().position(|&(v, p)| v == var && p == 0)
+        self.vertex_origin
+            .iter()
+            .position(|&(v, p)| v == var && p == 0)
     }
 }
 
@@ -72,13 +78,22 @@ impl ReducedHypergraph {
 ///
 /// Panics if `var` is not an interval variable of `h`.
 pub fn one_step_reduction(h: &Hypergraph, var: VarId) -> Vec<ReducedHypergraph> {
-    assert_eq!(h.vertex(var).kind, VarKind::Interval, "can only resolve interval variables");
+    assert_eq!(
+        h.vertex(var).kind,
+        VarKind::Interval,
+        "can only resolve interval variables"
+    );
     let incident = h.edges_containing(var);
     let mut out = Vec::new();
     for perm in permutations(&incident) {
         let mut choice = BTreeMap::new();
         choice.insert(var, perm.clone());
-        out.push(apply_choice(h, &PermutationChoice { permutations: choice }));
+        out.push(apply_choice(
+            h,
+            &PermutationChoice {
+                permutations: choice,
+            },
+        ));
     }
     out
 }
@@ -163,7 +178,12 @@ pub(crate) fn apply_choice(h: &Hypergraph, choice: &PermutationChoice) -> Reduce
         out.add_edge(edge.label.clone(), vs);
         edge_levels.push(levels);
     }
-    ReducedHypergraph { hypergraph: out, choice: choice.clone(), edge_levels, vertex_origin }
+    ReducedHypergraph {
+        hypergraph: out,
+        choice: choice.clone(),
+        edge_levels,
+        vertex_origin,
+    }
 }
 
 /// All permutations of a slice (in lexicographic order of positions).
@@ -235,12 +255,26 @@ mod tests {
         let b = h.vertex_by_name("B").unwrap();
         let r_edge = h.edge_by_label("R").unwrap();
         let reduced = full_reduction(&h);
-        let mut level_pairs: Vec<(usize, usize)> =
-            reduced.iter().map(|r| (r.edge_levels[r_edge][&a], r.edge_levels[r_edge][&b])).collect();
+        let mut level_pairs: Vec<(usize, usize)> = reduced
+            .iter()
+            .map(|r| (r.edge_levels[r_edge][&a], r.edge_levels[r_edge][&b]))
+            .collect();
         level_pairs.sort_unstable();
         // Each of the four (a,b) combinations appears exactly twice (the two
         // permutations of [C] do not affect R's schema).
-        assert_eq!(level_pairs, vec![(1, 1), (1, 1), (1, 2), (1, 2), (2, 1), (2, 1), (2, 2), (2, 2)]);
+        assert_eq!(
+            level_pairs,
+            vec![
+                (1, 1),
+                (1, 1),
+                (1, 2),
+                (1, 2),
+                (2, 1),
+                (2, 1),
+                (2, 2),
+                (2, 2)
+            ]
+        );
     }
 
     #[test]
@@ -262,8 +296,12 @@ mod tests {
             .iter()
             .find(|s| s.choice.permutations[&a] == vec![0, 1, 2])
             .expect("identity permutation present");
-        let sizes: Vec<usize> =
-            identity.hypergraph.edges().iter().map(|e| e.vertices.len()).collect();
+        let sizes: Vec<usize> = identity
+            .hypergraph
+            .edges()
+            .iter()
+            .map(|e| e.vertices.len())
+            .collect();
         assert_eq!(sizes, vec![3, 4, 3]); // {A1,[B],[C]}, {A1,A2,[B],[C]}, {A1,A2,A3}
     }
 

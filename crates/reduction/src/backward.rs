@@ -35,10 +35,17 @@ pub enum BackwardError {
 impl std::fmt::Display for BackwardError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BackwardError::SelfJoin => write!(f, "the backward reduction requires a self-join-free query"),
-            BackwardError::MissingRelation(r) => write!(f, "relation `{r}` missing from the EJ database"),
+            BackwardError::SelfJoin => {
+                write!(f, "the backward reduction requires a self-join-free query")
+            }
+            BackwardError::MissingRelation(r) => {
+                write!(f, "relation `{r}` missing from the EJ database")
+            }
             BackwardError::NotABitString { relation, column } => {
-                write!(f, "relation `{relation}` column {column} does not hold a bitstring")
+                write!(
+                    f,
+                    "relation `{relation}` column {column} does not hold a bitstring"
+                )
             }
             BackwardError::BitstringTooLong { relation, length } => {
                 write!(f, "concatenated bitstring of length {length} in `{relation}` exceeds the embedding depth")
@@ -204,7 +211,11 @@ mod tests {
         for atom in &reduced.atoms {
             let arity = atom.vars.len();
             let mut rel = Relation::new(atom.relation.clone(), arity);
-            rel.push((0..arity).map(|i| bits(if i % 2 == 0 { "01" } else { "10" })).collect());
+            rel.push(
+                (0..arity)
+                    .map(|i| bits(if i % 2 == 0 { "01" } else { "10" }))
+                    .collect(),
+            );
             rel.push((0..arity).map(|_| bits("11")).collect());
             ej_db.insert(rel);
         }
@@ -252,7 +263,10 @@ mod tests {
         let q = Query::parse("R([A],[B]) & R([B],[C])").unwrap();
         let (q_tri, fr) = triangle_reduction();
         let _ = q_tri;
-        assert_eq!(backward_reduction(&q, &fr.queries[0], &Database::new()), Err(BackwardError::SelfJoin));
+        assert_eq!(
+            backward_reduction(&q, &fr.queries[0], &Database::new()),
+            Err(BackwardError::SelfJoin)
+        );
     }
 
     #[test]

@@ -123,7 +123,10 @@ pub fn ordered_witnesses(tree: &SegmentTree, intervals: &[Interval]) -> Vec<Orde
             stack = next;
         }
         for nodes in stack {
-            let witness = OrderedWitness { permutation: permutation.clone(), nodes };
+            let witness = OrderedWitness {
+                permutation: permutation.clone(),
+                nodes,
+            };
             if witness.is_valid(tree, intervals) {
                 out.push(witness);
             }
@@ -254,8 +257,11 @@ mod tests {
 
     #[test]
     fn intersecting_intervals_have_exactly_one_ordered_witness() {
-        let intervals =
-            [Interval::new(0.0, 10.0), Interval::new(3.0, 8.0), Interval::new(5.0, 12.0)];
+        let intervals = [
+            Interval::new(0.0, 10.0),
+            Interval::new(3.0, 8.0),
+            Interval::new(5.0, 12.0),
+        ];
         let tree = tree_over(&intervals);
         let witnesses = ordered_witnesses(&tree, &intervals);
         assert_eq!(witnesses.len(), 1, "Lemma G.2: exactly one witness");
@@ -280,8 +286,11 @@ mod tests {
         // Two pairs of nested intervals sharing structure: the unrestricted
         // Lemma 4.3 predicate admits at least as many witnesses as the
         // ordered one, and strictly more when nodes coincide.
-        let intervals =
-            [Interval::new(0.0, 100.0), Interval::new(0.0, 100.0), Interval::new(10.0, 20.0)];
+        let intervals = [
+            Interval::new(0.0, 100.0),
+            Interval::new(0.0, 100.0),
+            Interval::new(10.0, 20.0),
+        ];
         let tree = tree_over(&intervals);
         let ordered = ordered_witnesses(&tree, &intervals);
         let unrestricted = unrestricted_witness_count(&tree, &intervals);
@@ -326,7 +335,10 @@ mod tests {
         w.permutation.swap(0, 1);
         assert!(!w.is_valid(&tree, &intervals));
         // Wrong length: invalid.
-        let short = OrderedWitness { permutation: vec![0], nodes: vec![] };
+        let short = OrderedWitness {
+            permutation: vec![0],
+            nodes: vec![],
+        };
         assert!(!short.is_valid(&tree, &intervals));
     }
 }

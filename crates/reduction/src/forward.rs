@@ -23,7 +23,7 @@
 //! its interval variables, not on the full permutation.
 
 use ij_hypergraph::{full_reduction, Hypergraph, ReducedHypergraph, VarId, VarKind};
-use ij_relation::{Database, Query, Relation, Value};
+use ij_relation::{Database, Dictionary, Query, Relation, Value, ValueId};
 use ij_segtree::{BitString, Interval, SegmentTree};
 use std::collections::BTreeMap;
 
@@ -79,12 +79,29 @@ pub struct ReducedQuery {
 }
 
 impl ReducedQuery {
+    /// Dense variable identifiers for the query's variable names, assigned in
+    /// first-occurrence order — the binding step shared by every evaluator of
+    /// a reduced disjunct (engine and benchmark harness alike).
+    pub fn dense_var_ids(&self) -> std::collections::BTreeMap<&str, usize> {
+        let mut var_ids = std::collections::BTreeMap::new();
+        for atom in &self.atoms {
+            for v in &atom.vars {
+                let next = var_ids.len();
+                var_ids.entry(v.as_str()).or_insert(next);
+            }
+        }
+        var_ids
+    }
+
     /// The reduced query as a [`Query`] value (all point variables).
     pub fn to_query(&self) -> Query {
         Query::from_atoms(
             self.atoms
                 .iter()
-                .map(|a| ij_relation::Atom { relation: a.relation.clone(), vars: a.vars.clone() })
+                .map(|a| ij_relation::Atom {
+                    relation: a.relation.clone(),
+                    vars: a.vars.clone(),
+                })
                 .collect(),
             &[],
         )
@@ -122,13 +139,41 @@ pub struct ForwardReduction {
     pub stats: ReductionStats,
 }
 
+impl ForwardReduction {
+    /// Indices into [`ForwardReduction::queries`] with literally identical
+    /// queries (same relations bound to the same variables) removed: distinct
+    /// permutations frequently produce the same EJ query, and evaluating a
+    /// duplicate can never change the disjunction's answer.  Keeps the first
+    /// occurrence of each query, in order.
+    pub fn deduped_query_indices(&self) -> Vec<usize> {
+        let mut seen: std::collections::HashSet<Vec<(&str, &[String])>> =
+            std::collections::HashSet::new();
+        let mut out = Vec::with_capacity(self.queries.len());
+        for (i, rq) in self.queries.iter().enumerate() {
+            let key: Vec<(&str, &[String])> = rq
+                .atoms
+                .iter()
+                .map(|a| (a.relation.as_str(), a.vars.as_slice()))
+                .collect();
+            if seen.insert(key) {
+                out.push(i);
+            }
+        }
+        out
+    }
+}
+
 /// Errors raised by the forward reduction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReductionError {
     /// A relation referenced by the query is missing from the database.
     MissingRelation(String),
     /// A relation's arity does not match the query atom.
-    ArityMismatch { relation: String, expected: usize, found: usize },
+    ArityMismatch {
+        relation: String,
+        expected: usize,
+        found: usize,
+    },
     /// An interval variable occurs twice in the same atom (not supported by
     /// the reduction; rewrite the query first).
     RepeatedIntervalVariable { relation: String, variable: String },
@@ -141,14 +186,27 @@ impl std::fmt::Display for ReductionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ReductionError::MissingRelation(r) => write!(f, "relation `{r}` missing from database"),
-            ReductionError::ArityMismatch { relation, expected, found } => {
-                write!(f, "relation `{relation}` has arity {found}, query expects {expected}")
+            ReductionError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "relation `{relation}` has arity {found}, query expects {expected}"
+                )
             }
             ReductionError::RepeatedIntervalVariable { relation, variable } => {
-                write!(f, "interval variable `{variable}` repeated in atom `{relation}`")
+                write!(
+                    f,
+                    "interval variable `{variable}` repeated in atom `{relation}`"
+                )
             }
             ReductionError::NotAnInterval { relation, column } => {
-                write!(f, "relation `{relation}` column {column} holds a non-interval value")
+                write!(
+                    f,
+                    "relation `{relation}` column {column} holds a non-interval value"
+                )
             }
         }
     }
@@ -173,8 +231,10 @@ pub fn forward_reduction_with(
     validate(q, db, &hypergraph)?;
 
     // --- segment trees, one per join interval variable ---------------------
-    let id_to_name: BTreeMap<VarId, String> =
-        var_ids.iter().map(|(name, &id)| (id, name.clone())).collect();
+    let id_to_name: BTreeMap<VarId, String> = var_ids
+        .iter()
+        .map(|(name, &id)| (id, name.clone()))
+        .collect();
     let mut trees: BTreeMap<VarId, SegmentTree> = BTreeMap::new();
     let mut stats = ReductionStats {
         input_tuples: db.total_tuples(),
@@ -187,20 +247,20 @@ pub fn forward_reduction_with(
             for (col, v) in atom.vars.iter().enumerate() {
                 if v == name {
                     let rel = db.relation(&atom.relation).expect("validated");
-                    for t in rel.tuples() {
-                        let iv = t[col]
-                            .to_interval()
-                            .ok_or(ReductionError::NotAnInterval {
-                                relation: atom.relation.clone(),
-                                column: col,
-                            })?;
+                    for value in rel.column(col) {
+                        let iv = value.to_interval().ok_or(ReductionError::NotAnInterval {
+                            relation: atom.relation.clone(),
+                            column: col,
+                        })?;
                         intervals.push(iv);
                     }
                 }
             }
         }
         let tree = SegmentTree::build(&intervals);
-        stats.variables.push((name.clone(), intervals.len(), tree.height()));
+        stats
+            .variables
+            .push((name.clone(), intervals.len(), tree.height()));
         trees.insert(var, tree);
     }
 
@@ -241,7 +301,10 @@ pub fn forward_reduction_with(
                     database.insert(relation);
                     built.insert(name.clone(), ());
                 }
-                atoms.push(ReducedAtom { relation: name, vars });
+                atoms.push(ReducedAtom {
+                    relation: name,
+                    vars,
+                });
                 continue;
             }
 
@@ -263,18 +326,27 @@ pub fn forward_reduction_with(
                     spine_vars.push(v.clone());
                 }
             }
-            atoms.push(ReducedAtom { relation: spine_name, vars: spine_vars });
+            atoms.push(ReducedAtom {
+                relation: spine_name,
+                vars: spine_vars,
+            });
 
             for &column in &interval_columns {
                 let var_name = &atom.vars[column];
                 let var_id = var_ids[var_name];
                 let level = levels[&var_id];
                 let k = hypergraph.degree(var_id);
-                let part_name =
-                    format!("{}@{}⟨{}:{}⟩", atom.relation, atom_idx, var_name, level);
+                let part_name = format!("{}@{}⟨{}:{}⟩", atom.relation, atom_idx, var_name, level);
                 if !built.contains_key(&part_name) {
                     let relation = build_part_relation(
-                        q, db, atom_idx, column, level, k, &trees[&var_id], &part_name,
+                        q,
+                        db,
+                        atom_idx,
+                        column,
+                        level,
+                        k,
+                        &trees[&var_id],
+                        &part_name,
                     )?;
                     stats.transformed_tuples += relation.len();
                     stats.max_relation_tuples = stats.max_relation_tuples.max(relation.len());
@@ -285,18 +357,27 @@ pub fn forward_reduction_with(
                 for j in 1..=level {
                     part_vars.push(format!("{var_name}#{j}"));
                 }
-                atoms.push(ReducedAtom { relation: part_name, vars: part_vars });
+                atoms.push(ReducedAtom {
+                    relation: part_name,
+                    vars: part_vars,
+                });
             }
         }
         queries.push(ReducedQuery { atoms, structure });
     }
     stats.num_relations = built.len();
 
-    Ok(ForwardReduction { database, queries, stats })
+    Ok(ForwardReduction {
+        database,
+        queries,
+        stats,
+    })
 }
 
 /// Builds the spine relation of the decomposed encoding for one atom: one
-/// tuple `(Id, carried point values…)` per source tuple.
+/// tuple `(Id, carried point values…)` per source tuple.  Carried columns
+/// copy the source relation's interned ids verbatim; only the per-tuple id
+/// value is newly interned.
 fn build_spine_relation(
     q: &Query,
     db: &Database,
@@ -305,23 +386,43 @@ fn build_spine_relation(
 ) -> Result<Relation, ReductionError> {
     let atom = &q.atoms()[atom_idx];
     let source = db.relation(&atom.relation).expect("validated");
-    let carried: Vec<usize> = atom
+    let carried: Vec<&[ValueId]> = atom
         .vars
         .iter()
         .enumerate()
         .filter(|(_, v)| q.var_kind(v) != Some(VarKind::Interval))
-        .map(|(c, _)| c)
+        .map(|(c, _)| source.column_ids(c))
         .collect();
     let mut out = Relation::new(name.to_string(), 1 + carried.len());
-    for (i, tuple) in source.tuples().iter().enumerate() {
-        let mut row = Vec::with_capacity(1 + carried.len());
-        row.push(Value::point(i as f64));
-        for &c in &carried {
-            row.push(tuple[c]);
+    let tuple_ids = intern_tuple_ids(source.len());
+    let mut row: Vec<ValueId> = Vec::with_capacity(1 + carried.len());
+    for (i, &id) in tuple_ids.iter().enumerate() {
+        row.clear();
+        row.push(id);
+        for col in &carried {
+            row.push(col[i]);
         }
-        out.push(row);
+        out.push_ids(&row);
     }
     Ok(out)
+}
+
+/// Interns the per-tuple identifier values `0.0 .. n` of the decomposed
+/// encoding.  The values are the same for every atom (a dense integer
+/// prefix), so the interned prefix is memoised process-wide: the spine and
+/// every part relation of every atom reuse it instead of re-probing the
+/// dictionary under its write lock.
+fn intern_tuple_ids(n: usize) -> Vec<ValueId> {
+    use std::sync::Mutex;
+    static PREFIX: Mutex<Vec<ValueId>> = Mutex::new(Vec::new());
+    let mut prefix = PREFIX.lock().unwrap_or_else(|e| e.into_inner());
+    if prefix.len() < n {
+        let mut dict = Dictionary::write_shared();
+        for i in prefix.len()..n {
+            prefix.push(dict.intern(Value::point(i as f64)));
+        }
+    }
+    prefix[..n].to_vec()
 }
 
 /// Builds one per-variable part relation of the decomposed encoding: tuples
@@ -342,22 +443,30 @@ fn build_part_relation(
     let atom = &q.atoms()[atom_idx];
     let source = db.relation(&atom.relation).expect("validated");
     let mut out = Relation::new(name.to_string(), 1 + level);
-    for (i, tuple) in source.tuples().iter().enumerate() {
-        let iv = tuple[column].to_interval().ok_or(ReductionError::NotAnInterval {
+    let intervals: Vec<Option<Interval>> = source.column(column).map(|v| v.to_interval()).collect();
+    let tuple_ids = intern_tuple_ids(source.len());
+    let mut dict = Dictionary::write_shared();
+    let mut row: Vec<ValueId> = Vec::with_capacity(1 + level);
+    for (i, iv) in intervals.into_iter().enumerate() {
+        let iv = iv.ok_or(ReductionError::NotAnInterval {
             relation: atom.relation.clone(),
             column,
         })?;
-        let nodes: Vec<BitString> =
-            if level < k { tree.canonical_partition(iv) } else { vec![tree.leaf_of_interval(iv)] };
+        let nodes: Vec<BitString> = if level < k {
+            tree.canonical_partition(iv)
+        } else {
+            vec![tree.leaf_of_interval(iv)]
+        };
         for node in nodes {
             for parts in node.compositions(level) {
-                let mut row = Vec::with_capacity(1 + level);
-                row.push(Value::point(i as f64));
-                row.extend(parts.into_iter().map(Value::Bits));
-                out.push(row);
+                row.clear();
+                row.push(tuple_ids[i]);
+                row.extend(parts.into_iter().map(|b| dict.intern(Value::Bits(b))));
+                out.push_ids(&row);
             }
         }
     }
+    drop(dict);
     out.dedup();
     Ok(out)
 }
@@ -418,7 +527,12 @@ fn build_transformed_relation(
     // into `level` bitstring columns.
     enum ColumnPlan {
         Carried(usize),
-        IntervalVar { column: usize, var: VarId, level: usize, k: usize },
+        IntervalVar {
+            column: usize,
+            var: VarId,
+            level: usize,
+            k: usize,
+        },
     }
     let mut plan: Vec<ColumnPlan> = Vec::new();
     let mut arity = 0usize;
@@ -427,7 +541,12 @@ fn build_transformed_relation(
             Some(VarKind::Interval) => {
                 let var = var_ids[v];
                 let level = levels[&var];
-                plan.push(ColumnPlan::IntervalVar { column: col, var, level, k: hypergraph_k[&var] });
+                plan.push(ColumnPlan::IntervalVar {
+                    column: col,
+                    var,
+                    level,
+                    k: hypergraph_k[&var],
+                });
                 arity += level;
             }
             _ => {
@@ -438,28 +557,56 @@ fn build_transformed_relation(
     }
 
     let mut out = Relation::new(name.to_string(), arity);
-    for tuple in source.tuples() {
-        // Per column, the list of value-vectors to append (cross product).
-        let mut expansions: Vec<Vec<Vec<Value>>> = Vec::with_capacity(plan.len());
+    // Pre-resolve the interval columns once (one dictionary read lock per
+    // column); carried columns pass their interned ids through untouched, so
+    // the expansion below never materialises a `Value` row.
+    let mut interval_cols: BTreeMap<usize, Vec<Option<Interval>>> = BTreeMap::new();
+    for p in &plan {
+        if let ColumnPlan::IntervalVar { column, .. } = p {
+            interval_cols
+                .entry(*column)
+                .or_insert_with(|| source.column(*column).map(|v| v.to_interval()).collect());
+        }
+    }
+    let mut dict = Dictionary::write_shared();
+    // Indexed loop: `row_idx` addresses parallel structures (the pre-resolved
+    // interval columns and the source id columns).
+    #[allow(clippy::needless_range_loop)]
+    for row_idx in 0..source.len() {
+        // Per column, the list of id-vectors to append (cross product).
+        let mut expansions: Vec<Vec<Vec<ValueId>>> = Vec::with_capacity(plan.len());
         let mut dead = false;
         for p in &plan {
             match p {
-                ColumnPlan::Carried(col) => expansions.push(vec![vec![tuple[*col]]]),
-                ColumnPlan::IntervalVar { column, var, level, k } => {
-                    let iv = tuple[*column].to_interval().ok_or(ReductionError::NotAnInterval {
-                        relation: atom.relation.clone(),
-                        column: *column,
-                    })?;
+                ColumnPlan::Carried(col) => {
+                    expansions.push(vec![vec![source.column_ids(*col)[row_idx]]])
+                }
+                ColumnPlan::IntervalVar {
+                    column,
+                    var,
+                    level,
+                    k,
+                } => {
+                    let iv =
+                        interval_cols[column][row_idx].ok_or(ReductionError::NotAnInterval {
+                            relation: atom.relation.clone(),
+                            column: *column,
+                        })?;
                     let tree = &trees[var];
                     let nodes: Vec<BitString> = if *level < *k {
                         tree.canonical_partition(iv)
                     } else {
                         vec![tree.leaf_of_interval(iv)]
                     };
-                    let mut options: Vec<Vec<Value>> = Vec::new();
+                    let mut options: Vec<Vec<ValueId>> = Vec::new();
                     for node in nodes {
                         for parts in node.compositions(*level) {
-                            options.push(parts.into_iter().map(Value::Bits).collect());
+                            options.push(
+                                parts
+                                    .into_iter()
+                                    .map(|b| dict.intern(Value::Bits(b)))
+                                    .collect(),
+                            );
                         }
                     }
                     if options.is_empty() {
@@ -474,7 +621,7 @@ fn build_transformed_relation(
             continue;
         }
         // Cross product of the expansions.
-        let mut rows: Vec<Vec<Value>> = vec![Vec::with_capacity(arity)];
+        let mut rows: Vec<Vec<ValueId>> = vec![Vec::with_capacity(arity)];
         for options in &expansions {
             let mut next = Vec::with_capacity(rows.len() * options.len());
             for row in &rows {
@@ -487,9 +634,10 @@ fn build_transformed_relation(
             rows = next;
         }
         for r in rows {
-            out.push(r);
+            out.push_ids(&r);
         }
     }
+    drop(dict);
     out.dedup();
     Ok(out)
 }
@@ -537,7 +685,11 @@ mod tests {
         // intersections exist, otherwise the C-intervals are disjoint.
         db.insert_tuples("R", 2, vec![vec![iv(0.0, 4.0), iv(10.0, 14.0)]]);
         db.insert_tuples("S", 2, vec![vec![iv(12.0, 13.0), iv(20.0, 25.0)]]);
-        let c_t = if satisfiable { iv(24.0, 26.0) } else { iv(30.0, 31.0) };
+        let c_t = if satisfiable {
+            iv(24.0, 26.0)
+        } else {
+            iv(30.0, 31.0)
+        };
         db.insert_tuples("T", 2, vec![vec![iv(3.0, 5.0), c_t]]);
         (q, db)
     }
@@ -569,7 +721,11 @@ mod tests {
         for rel in fr.database.relations() {
             for t in rel.tuples() {
                 for v in t {
-                    assert!(v.as_bits().is_some(), "non-bitstring value {v:?} in {}", rel.name());
+                    assert!(
+                        v.as_bits().is_some(),
+                        "non-bitstring value {v:?} in {}",
+                        rel.name()
+                    );
                 }
             }
         }
@@ -585,14 +741,25 @@ mod tests {
         let n = 32;
         let mk = |offset: f64| {
             (0..n)
-                .map(|i| vec![iv(i as f64 + offset, i as f64 + offset + 3.0), iv(i as f64, i as f64 + 5.0)])
+                .map(|i| {
+                    vec![
+                        iv(i as f64 + offset, i as f64 + offset + 3.0),
+                        iv(i as f64, i as f64 + 5.0),
+                    ]
+                })
                 .collect::<Vec<_>>()
         };
         db.insert_tuples("R", 2, mk(0.0));
         db.insert_tuples("S", 2, mk(1.0));
         db.insert_tuples("T", 2, mk(2.0));
         let fr = forward_reduction(&q, &db).unwrap();
-        let height = fr.stats.variables.iter().map(|(_, _, h)| *h as usize).max().unwrap();
+        let height = fr
+            .stats
+            .variables
+            .iter()
+            .map(|(_, _, h)| *h as usize)
+            .max()
+            .unwrap();
         let cp_bound = 2 * height + 2;
         let comp_bound = height + 1;
         // Every transformed relation has at most 2 interval variables, each at
@@ -615,7 +782,9 @@ mod tests {
         let fr = forward_reduction_with(
             &q,
             &db,
-            ReductionConfig { encoding: EncodingStrategy::Decomposed },
+            ReductionConfig {
+                encoding: EncodingStrategy::Decomposed,
+            },
         )
         .unwrap();
         assert_eq!(fr.queries.len(), 8);
@@ -668,7 +837,9 @@ mod tests {
         let decomposed = forward_reduction_with(
             &q,
             &db,
-            ReductionConfig { encoding: EncodingStrategy::Decomposed },
+            ReductionConfig {
+                encoding: EncodingStrategy::Decomposed,
+            },
         )
         .unwrap();
         assert!(
@@ -691,14 +862,19 @@ mod tests {
         let fr = forward_reduction_with(
             &q,
             &db,
-            ReductionConfig { encoding: EncodingStrategy::Decomposed },
+            ReductionConfig {
+                encoding: EncodingStrategy::Decomposed,
+            },
         )
         .unwrap();
         for rq in &fr.queries {
             // R and S decompose into 1 spine + 3 parts each; T stays flat.
             assert_eq!(rq.atoms.len(), 4 + 4 + 1);
-            let t_atoms: Vec<_> =
-                rq.atoms.iter().filter(|a| a.relation.starts_with("T@")).collect();
+            let t_atoms: Vec<_> = rq
+                .atoms
+                .iter()
+                .filter(|a| a.relation.starts_with("T@"))
+                .collect();
             assert_eq!(t_atoms.len(), 1);
             assert!(!t_atoms[0].vars.iter().any(|v| v.starts_with("__id:")));
         }

@@ -52,27 +52,33 @@ pub fn value_to_field(v: &Value) -> String {
 pub fn field_to_value(field: &str, line: usize) -> Result<Value, CsvError> {
     let field = field.trim();
     if let Some(bits) = field.strip_prefix("b:") {
-        let b = BitString::parse(bits)
-            .ok_or_else(|| CsvError { line, message: format!("invalid bitstring `{bits}`") })?;
+        let b = BitString::parse(bits).ok_or_else(|| CsvError {
+            line,
+            message: format!("invalid bitstring `{bits}`"),
+        })?;
         return Ok(Value::Bits(b));
     }
     if let Some((lo, hi)) = field.split_once("..") {
-        let lo: f64 = lo
-            .trim()
-            .parse()
-            .map_err(|_| CsvError { line, message: format!("invalid interval endpoint `{lo}`") })?;
-        let hi: f64 = hi
-            .trim()
-            .parse()
-            .map_err(|_| CsvError { line, message: format!("invalid interval endpoint `{hi}`") })?;
+        let lo: f64 = lo.trim().parse().map_err(|_| CsvError {
+            line,
+            message: format!("invalid interval endpoint `{lo}`"),
+        })?;
+        let hi: f64 = hi.trim().parse().map_err(|_| CsvError {
+            line,
+            message: format!("invalid interval endpoint `{hi}`"),
+        })?;
         if lo > hi {
-            return Err(CsvError { line, message: format!("inverted interval `{field}`") });
+            return Err(CsvError {
+                line,
+                message: format!("inverted interval `{field}`"),
+            });
         }
         return Ok(Value::interval(lo, hi));
     }
-    let p: f64 = field
-        .parse()
-        .map_err(|_| CsvError { line, message: format!("invalid value `{field}`") })?;
+    let p: f64 = field.parse().map_err(|_| CsvError {
+        line,
+        message: format!("invalid value `{field}`"),
+    })?;
     Ok(Value::point(p))
 }
 
@@ -89,7 +95,11 @@ impl Relation {
 
     /// Parses a relation from CSV text.  Every line must have exactly `arity`
     /// fields; blank lines and lines starting with `#` are skipped.
-    pub fn from_csv(name: impl Into<String>, arity: usize, text: &str) -> Result<Relation, CsvError> {
+    pub fn from_csv(
+        name: impl Into<String>,
+        arity: usize,
+        text: &str,
+    ) -> Result<Relation, CsvError> {
         let mut rel = Relation::new(name, arity);
         for (idx, raw_line) in text.lines().enumerate() {
             let line_no = idx + 1;
@@ -128,7 +138,9 @@ impl Database {
     pub fn from_csv(text: &str) -> Result<Database, CsvError> {
         let mut db = Database::new();
         let mut current: Option<(String, usize, String)> = None;
-        let flush = |current: &mut Option<(String, usize, String)>, db: &mut Database| -> Result<(), CsvError> {
+        let flush = |current: &mut Option<(String, usize, String)>,
+                     db: &mut Database|
+         -> Result<(), CsvError> {
             if let Some((name, arity, body)) = current.take() {
                 db.insert(Relation::from_csv(name, arity, &body)?);
             }
@@ -140,13 +152,18 @@ impl Database {
             if let Some(header) = line.strip_prefix("## ") {
                 flush(&mut current, &mut db)?;
                 let mut parts = header.split_whitespace();
-                let name = parts
-                    .next()
-                    .ok_or_else(|| CsvError { line: line_no, message: "missing relation name".into() })?;
-                let arity: usize = parts
-                    .next()
-                    .and_then(|a| a.parse().ok())
-                    .ok_or_else(|| CsvError { line: line_no, message: "missing or invalid arity".into() })?;
+                let name = parts.next().ok_or_else(|| CsvError {
+                    line: line_no,
+                    message: "missing relation name".into(),
+                })?;
+                let arity: usize =
+                    parts
+                        .next()
+                        .and_then(|a| a.parse().ok())
+                        .ok_or_else(|| CsvError {
+                            line: line_no,
+                            message: "missing or invalid arity".into(),
+                        })?;
                 current = Some((name.to_string(), arity, String::new()));
             } else if !line.is_empty() {
                 match &mut current {
@@ -205,8 +222,16 @@ mod tests {
     #[test]
     fn database_round_trip() {
         let mut db = Database::new();
-        db.insert_tuples("R", 2, vec![vec![Value::interval(0.0, 1.0), Value::interval(2.0, 3.0)]]);
-        db.insert_tuples("S", 1, vec![vec![Value::Bits(BitString::parse("10").unwrap())]]);
+        db.insert_tuples(
+            "R",
+            2,
+            vec![vec![Value::interval(0.0, 1.0), Value::interval(2.0, 3.0)]],
+        );
+        db.insert_tuples(
+            "S",
+            1,
+            vec![vec![Value::Bits(BitString::parse("10").unwrap())]],
+        );
         let csv = db.to_csv();
         let parsed = Database::from_csv(&csv).unwrap();
         assert_eq!(parsed, db);
@@ -217,7 +242,10 @@ mod tests {
         let text = "# header comment\n\n0..1,5\n";
         let rel = Relation::from_csv("R", 2, text).unwrap();
         assert_eq!(rel.len(), 1);
-        assert_eq!(rel.tuples()[0], vec![Value::interval(0.0, 1.0), Value::point(5.0)]);
+        assert_eq!(
+            rel.tuples()[0],
+            vec![Value::interval(0.0, 1.0), Value::point(5.0)]
+        );
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! The value dictionary: interning of [`Value`]s into dense 32-bit ids.
+//!
+//! Every value stored in a [`Relation`](crate::Relation) is interned exactly
+//! once into the process-wide shared [`Dictionary`] and represented as a
+//! [`ValueId`] from then on.  All layers of the pipeline — the forward
+//! reduction, the hash tries of the equality-join engine and the Yannakakis
+//! semijoins — operate on these dense `u32` ids instead of full [`Value`]
+//! structs: equality of ids coincides with equality of values, so join
+//! processing never needs to hash or compare a `Value` again after ingestion.
+//!
+//! The dictionary is shared process-wide (rather than carried by each
+//! [`Database`](crate::Database)) so that ids remain join-compatible across
+//! databases; the forward reduction writes a *transformed* database whose
+//! relations must be comparable with each other and with ad-hoc relations
+//! built by the evaluator (projections, materialised bags).  Ids are assigned
+//! densely in first-intern order and are never re-assigned, so an id obtained
+//! at any point stays valid for the lifetime of the process.
+//!
+//! The dictionary never evicts: ids stay valid for the process lifetime, so
+//! dropping a [`Database`](crate::Database) does not reclaim its interned
+//! values.  That is the right trade-off for the current
+//! reduce-evaluate-report pipelines; a long-running multi-tenant service
+//! would want per-database scoping or epoch-based compaction (tracked in
+//! ROADMAP "Open items").
+//!
+//! Concurrency: the shared dictionary sits behind an [`RwLock`].  Ingestion
+//! (interning) takes the write lock; evaluation-time code only *reads* ids
+//! already stored in relations, so the parallel disjunct evaluation of the
+//! engine runs lock-free on the hot path and takes short read locks only when
+//! materialising values (e.g. [`Relation::tuples`](crate::Relation::tuples)).
+
+use crate::Value;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::{OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A dense identifier of an interned [`Value`].
+///
+/// Ids are only meaningful relative to the shared [`Dictionary`]; two ids are
+/// equal if and only if the values they intern are equal.  The `Ord` on ids
+/// is the *interning order*, not the value order — sort by resolved values
+/// when value order matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(u32);
+
+impl ValueId {
+    /// Interns `value` in the shared dictionary (see [`Dictionary::intern`]).
+    pub fn intern(value: Value) -> ValueId {
+        Dictionary::write_shared().intern(value)
+    }
+
+    /// Resolves the id against the shared dictionary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not produced by the shared dictionary.
+    pub fn resolve(self) -> Value {
+        Dictionary::read_shared().resolve(self)
+    }
+
+    /// The raw index.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs an id from a raw index (the inverse of [`ValueId::raw`];
+    /// the caller is responsible for the index having come from the shared
+    /// dictionary).
+    pub fn from_raw(raw: u32) -> ValueId {
+        ValueId(raw)
+    }
+
+    /// A placeholder id used to pre-size buffers; resolving it is only valid
+    /// if it happens to be interned.
+    pub fn dummy() -> ValueId {
+        ValueId(u32::MAX)
+    }
+}
+
+/// An interning dictionary mapping [`Value`]s to dense [`ValueId`]s and back.
+#[derive(Debug, Default)]
+pub struct Dictionary {
+    values: Vec<Value>,
+    index: HashMap<Value, u32>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Number of distinct interned values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Interns a value: returns the existing id if the value was seen before,
+    /// otherwise assigns the next dense id.
+    pub fn intern(&mut self, value: Value) -> ValueId {
+        if let Some(&id) = self.index.get(&value) {
+            return ValueId(id);
+        }
+        let id = u32::try_from(self.values.len())
+            .expect("dictionary overflow: more than 2^32 distinct values");
+        self.values.push(value);
+        self.index.insert(value, id);
+        ValueId(id)
+    }
+
+    /// The id of a value, if it has been interned.
+    pub fn lookup(&self, value: &Value) -> Option<ValueId> {
+        self.index.get(value).copied().map(ValueId)
+    }
+
+    /// The value behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not produced by this dictionary.
+    pub fn resolve(&self, id: ValueId) -> Value {
+        self.values[id.0 as usize]
+    }
+
+    /// The process-wide shared dictionary.
+    pub fn shared() -> &'static RwLock<Dictionary> {
+        static SHARED: OnceLock<RwLock<Dictionary>> = OnceLock::new();
+        SHARED.get_or_init(|| RwLock::new(Dictionary::new()))
+    }
+
+    /// Read access to the shared dictionary (bulk resolves should hold this
+    /// guard across the loop instead of calling [`ValueId::resolve`] per id).
+    pub fn read_shared() -> RwLockReadGuard<'static, Dictionary> {
+        Dictionary::shared()
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Write access to the shared dictionary (bulk interns should hold this
+    /// guard across the loop).
+    pub fn write_shared() -> RwLockWriteGuard<'static, Dictionary> {
+        Dictionary::shared()
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A multiply-mix hasher for [`ValueId`] keys (FxHash-style): the hot join
+/// loops key hash maps by `u32` ids, where SipHash's preimage resistance buys
+/// nothing and costs measurably.
+#[derive(Debug, Default, Clone)]
+pub struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (used when hashing compound keys of ids).
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    fn write_u8(&mut self, b: u8) {
+        self.write_u64(b as u64)
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64)
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64)
+    }
+}
+
+/// Hasher state for id-keyed maps.
+pub type IdBuildHasher = BuildHasherDefault<IdHasher>;
+
+/// A hash map keyed by interned ids (or tuples thereof).
+pub type IdHashMap<K, V> = HashMap<K, V, IdBuildHasher>;
+
+/// A hash set of interned ids (or tuples thereof).
+pub type IdHashSet<K> = std::collections::HashSet<K, IdBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_resolve_round_trip() {
+        let mut dict = Dictionary::new();
+        let values = [
+            Value::point(1.0),
+            Value::interval(0.0, 2.0),
+            Value::point(-3.5),
+            Value::point(1.0),
+        ];
+        let ids: Vec<ValueId> = values.iter().map(|&v| dict.intern(v)).collect();
+        for (&v, &id) in values.iter().zip(&ids) {
+            assert_eq!(dict.resolve(id), v);
+        }
+        // Duplicates dedup to the same id.
+        assert_eq!(ids[0], ids[3]);
+        assert_eq!(dict.len(), 3);
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut dict = Dictionary::new();
+        let a = dict.intern(Value::point(1.0));
+        let b = dict.intern(Value::point(2.0));
+        assert_eq!(a.raw(), 0);
+        assert_eq!(b.raw(), 1);
+        // Interning more values never changes existing assignments.
+        for i in 0..100 {
+            dict.intern(Value::point(i as f64));
+        }
+        assert_eq!(dict.intern(Value::point(1.0)), a);
+        assert_eq!(dict.intern(Value::point(2.0)), b);
+        assert_eq!(dict.lookup(&Value::point(2.0)), Some(b));
+        assert_eq!(dict.lookup(&Value::point(-9.0)), None);
+    }
+
+    #[test]
+    fn shared_dictionary_is_consistent_across_threads() {
+        let values: Vec<Value> = (0..64).map(|i| Value::point(1000.0 + i as f64)).collect();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let values = values.clone();
+                std::thread::spawn(move || {
+                    values
+                        .iter()
+                        .map(|&v| ValueId::intern(v))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<ValueId>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for ids in &results[1..] {
+            assert_eq!(ids, &results[0]);
+        }
+        for (&v, &id) in values.iter().zip(&results[0]) {
+            assert_eq!(id.resolve(), v);
+        }
+    }
+}

@@ -1,8 +1,13 @@
-//! The data model: values, relations, databases and the query AST.
+//! The data model: values, the value dictionary, interned columnar relations,
+//! databases and the query AST.
 //!
 //! * [`Value`] — points, intervals and segment-tree bitstrings;
-//! * [`Relation`] / [`Database`] — named multisets of tuples and collections
-//!   thereof, with the distinct-left-endpoint transformation of Appendix G.1;
+//! * [`Dictionary`] / [`ValueId`] — process-wide interning of values into
+//!   dense `u32` ids; every layer of the pipeline joins on ids, never on
+//!   full values;
+//! * [`Relation`] / [`Database`] — named multisets of tuples stored as
+//!   columnar id vectors ([`Columns`]), with a row-oriented compatibility
+//!   layer and the distinct-left-endpoint transformation of Appendix G.1;
 //! * [`Query`] — Boolean conjunctive queries with equality joins, intersection
 //!   joins, or both (Definition 3.3), convertible to the hypergraph
 //!   representation used by the structural machinery.
@@ -21,11 +26,13 @@
 //! ```
 
 mod csv;
+mod dictionary;
 mod query;
 mod relation;
 mod value;
 
 pub use csv::{field_to_value, value_to_field, CsvError};
+pub use dictionary::{Dictionary, IdBuildHasher, IdHashMap, IdHashSet, IdHasher, ValueId};
 pub use query::{Atom, Query, QueryParseError};
-pub use relation::{Database, Relation};
+pub use relation::{ArityError, Columns, Database, Relation};
 pub use value::Value;

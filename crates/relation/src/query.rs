@@ -82,14 +82,18 @@ impl Query {
             }
             let relation = raw_atom[..open].trim().to_string();
             if relation.is_empty() {
-                return Err(QueryParseError(format!("missing relation name in `{raw_atom}`")));
+                return Err(QueryParseError(format!(
+                    "missing relation name in `{raw_atom}`"
+                )));
             }
             let args = &raw_atom[open + 1..raw_atom.len() - 1];
             let mut vars = Vec::new();
             for arg in args.split(',') {
                 let arg = arg.trim();
                 if arg.is_empty() {
-                    return Err(QueryParseError(format!("empty argument in atom `{raw_atom}`")));
+                    return Err(QueryParseError(format!(
+                        "empty argument in atom `{raw_atom}`"
+                    )));
                 }
                 let (name, kind) = if arg.starts_with('[') && arg.ends_with(']') {
                     (arg[1..arg.len() - 1].trim().to_string(), VarKind::Interval)
@@ -121,12 +125,18 @@ impl Query {
         let mut atoms = Vec::new();
         let mut kinds = BTreeMap::new();
         for edge in h.edges() {
-            let vars: Vec<String> =
-                edge.vertices.iter().map(|&v| h.vertex(v).name.clone()).collect();
+            let vars: Vec<String> = edge
+                .vertices
+                .iter()
+                .map(|&v| h.vertex(v).name.clone())
+                .collect();
             for &v in &edge.vertices {
                 kinds.insert(h.vertex(v).name.clone(), h.vertex(v).kind);
             }
-            atoms.push(Atom { relation: edge.label.clone(), vars });
+            atoms.push(Atom {
+                relation: edge.label.clone(),
+                vars,
+            });
         }
         Query { atoms, kinds }
     }
@@ -299,8 +309,14 @@ mod tests {
     fn from_atoms_builder() {
         let q = Query::from_atoms(
             vec![
-                Atom { relation: "R".into(), vars: vec!["A".into(), "B".into()] },
-                Atom { relation: "S".into(), vars: vec!["B".into(), "C".into()] },
+                Atom {
+                    relation: "R".into(),
+                    vars: vec!["A".into(), "B".into()],
+                },
+                Atom {
+                    relation: "S".into(),
+                    vars: vec!["B".into(), "C".into()],
+                },
             ],
             &["A", "B"],
         );

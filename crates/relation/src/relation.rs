@@ -1,35 +1,159 @@
 //! Relations and databases.
+//!
+//! Relations are stored **columnar and interned**: each column is a dense
+//! `Vec<ValueId>` into the shared [`Dictionary`], so join processing works on
+//! `u32` ids and never touches a full [`Value`] after ingestion.  The
+//! row-oriented API ([`Relation::push`], [`Relation::tuples`]) is kept as a
+//! thin compatibility layer that interns / resolves at the boundary; hot
+//! paths use the id-level API ([`Relation::column_ids`],
+//! [`Relation::push_ids`], [`Relation::gather`], ...).
 
-use crate::Value;
+use crate::{Dictionary, Value, ValueId};
 use ij_segtree::Interval;
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// A relation: a named multiset of tuples of fixed arity.
+/// Error raised by the fallible tuple-ingestion API when a row does not match
+/// the relation arity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArityError {
+    /// The relation name.
+    pub relation: String,
+    /// The expected arity.
+    pub expected: usize,
+    /// The arity of the offending row.
+    pub found: usize,
+    /// Index of the offending row within the ingested batch (0 for single
+    /// pushes).
+    pub row: usize,
+}
+
+impl fmt::Display for ArityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tuple arity mismatch for relation {}: row {} has {} values, expected {}",
+            self.relation, self.row, self.found, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ArityError {}
+
+/// A relation: a named multiset of tuples of fixed arity, stored as interned
+/// id columns.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Relation {
     name: String,
     arity: usize,
-    tuples: Vec<Vec<Value>>,
+    columns: Columns,
+}
+
+/// Columnar tuple storage: one dense [`ValueId`] vector per column.
+///
+/// The row count is tracked explicitly so zero-arity relations (which appear
+/// as non-emptiness guards after projecting all columns away) still carry a
+/// multiplicity.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Columns {
+    len: usize,
+    cols: Vec<Vec<ValueId>>,
+}
+
+impl Columns {
+    /// Empty storage with `arity` columns.
+    pub fn new(arity: usize) -> Self {
+        Columns {
+            len: 0,
+            cols: vec![Vec::new(); arity],
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The ids of one column.
+    pub fn column(&self, index: usize) -> &[ValueId] {
+        &self.cols[index]
+    }
+
+    /// Appends a row of ids.  Callers must have checked the arity.
+    fn push_row(&mut self, row: &[ValueId]) {
+        debug_assert_eq!(row.len(), self.cols.len());
+        for (col, &id) in self.cols.iter_mut().zip(row) {
+            col.push(id);
+        }
+        self.len += 1;
+    }
+
+    /// The id at (`row`, `col`).
+    pub fn id_at(&self, row: usize, col: usize) -> ValueId {
+        self.cols[col][row]
+    }
 }
 
 impl Relation {
     /// Creates an empty relation with the given name and arity.
     pub fn new(name: impl Into<String>, arity: usize) -> Self {
-        Relation { name: name.into(), arity, tuples: Vec::new() }
+        Relation {
+            name: name.into(),
+            arity,
+            columns: Columns::new(arity),
+        }
     }
 
-    /// Creates a relation from a list of tuples.
+    /// Creates a relation from a list of tuples, validating that every row
+    /// matches `arity`.
     ///
     /// # Panics
     ///
-    /// Panics if the tuples do not all have the same arity.
+    /// Panics with a message naming the relation, the offending row index and
+    /// both arities if a row does not have exactly `arity` values.
     pub fn from_tuples(name: impl Into<String>, arity: usize, tuples: Vec<Vec<Value>>) -> Self {
-        let mut r = Relation::new(name, arity);
-        for t in tuples {
-            r.push(t);
+        match Relation::try_from_tuples(name, arity, tuples) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
         }
-        r
+    }
+
+    /// Fallible variant of [`Relation::from_tuples`]: returns an
+    /// [`ArityError`] describing the first ragged row instead of panicking.
+    pub fn try_from_tuples(
+        name: impl Into<String>,
+        arity: usize,
+        tuples: Vec<Vec<Value>>,
+    ) -> Result<Self, ArityError> {
+        let mut r = Relation::new(name, arity);
+        // Validate the whole batch before interning anything, so errors do
+        // not leave a partially-filled relation behind.
+        for (row, t) in tuples.iter().enumerate() {
+            if t.len() != arity {
+                return Err(ArityError {
+                    relation: r.name.clone(),
+                    expected: arity,
+                    found: t.len(),
+                    row,
+                });
+            }
+        }
+        let mut dict = Dictionary::write_shared();
+        for t in &tuples {
+            let ids: Vec<ValueId> = t.iter().map(|&v| dict.intern(v)).collect();
+            r.columns.push_row(&ids);
+        }
+        Ok(r)
     }
 
     /// The relation name.
@@ -44,54 +168,223 @@ impl Relation {
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.columns.len()
     }
 
     /// True if the relation has no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.columns.is_empty()
     }
 
-    /// The tuples.
-    pub fn tuples(&self) -> &[Vec<Value>] {
-        &self.tuples
+    /// The tuples, materialised as rows of [`Value`]s.
+    ///
+    /// This is the row-compatibility layer over the columnar storage: it
+    /// resolves every id against the shared dictionary and allocates fresh
+    /// rows, so hot paths should use [`Relation::column_ids`] /
+    /// [`Relation::id_at`] instead and callers looping over the result should
+    /// hoist the call out of the loop.
+    pub fn tuples(&self) -> Vec<Vec<Value>> {
+        let dict = Dictionary::read_shared();
+        (0..self.len())
+            .map(|row| {
+                self.columns
+                    .cols
+                    .iter()
+                    .map(|col| dict.resolve(col[row]))
+                    .collect()
+            })
+            .collect()
     }
 
-    /// Appends a tuple.
+    /// One tuple, materialised.
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        let dict = Dictionary::read_shared();
+        self.columns
+            .cols
+            .iter()
+            .map(|col| dict.resolve(col[row]))
+            .collect()
+    }
+
+    /// The value at (`row`, `col`).
+    pub fn value_at(&self, row: usize, col: usize) -> Value {
+        self.columns.id_at(row, col).resolve()
+    }
+
+    /// The interned ids of one column.
+    pub fn column_ids(&self, index: usize) -> &[ValueId] {
+        self.columns.column(index)
+    }
+
+    /// The id at (`row`, `col`).
+    pub fn id_at(&self, row: usize, col: usize) -> ValueId {
+        self.columns.id_at(row, col)
+    }
+
+    /// The columnar storage.
+    pub fn columns(&self) -> &Columns {
+        &self.columns
+    }
+
+    /// Appends a tuple of values (interning each one).
     ///
     /// # Panics
     ///
     /// Panics if the tuple arity does not match the relation arity.
     pub fn push(&mut self, tuple: Vec<Value>) {
-        assert_eq!(tuple.len(), self.arity, "tuple arity mismatch for relation {}", self.name);
-        self.tuples.push(tuple);
+        match self.try_push(tuple) {
+            Ok(()) => {}
+            Err(e) => panic!("{e}"),
+        }
     }
 
-    /// Sorts the tuples and removes duplicates (set semantics).
+    /// Fallible variant of [`Relation::push`].
+    pub fn try_push(&mut self, tuple: Vec<Value>) -> Result<(), ArityError> {
+        if tuple.len() != self.arity {
+            return Err(ArityError {
+                relation: self.name.clone(),
+                expected: self.arity,
+                found: tuple.len(),
+                row: self.len(),
+            });
+        }
+        let mut dict = Dictionary::write_shared();
+        let ids: Vec<ValueId> = tuple.iter().map(|&v| dict.intern(v)).collect();
+        self.columns.push_row(&ids);
+        Ok(())
+    }
+
+    /// Appends a row of already-interned ids (the fast ingestion path used by
+    /// the forward reduction and the join engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the relation arity.
+    pub fn push_ids(&mut self, row: &[ValueId]) {
+        assert_eq!(
+            row.len(),
+            self.arity,
+            "tuple arity mismatch for relation {}: id row has {} values, expected {}",
+            self.name,
+            row.len(),
+            self.arity
+        );
+        self.columns.push_row(row);
+    }
+
+    /// Sorts the tuples (by value order) and removes duplicates (set
+    /// semantics).
     pub fn dedup(&mut self) {
-        self.tuples.sort_unstable();
-        self.tuples.dedup();
+        let n = self.len();
+        if n <= 1 {
+            return;
+        }
+        if self.arity == 0 {
+            // All zero-arity rows are identical.
+            self.columns.len = 1;
+            return;
+        }
+        // Sort row indices by the resolved value order (id order is interning
+        // order, which would not be deterministic across construction paths).
+        let resolved: Vec<Vec<Value>> = {
+            let dict = Dictionary::read_shared();
+            self.columns
+                .cols
+                .iter()
+                .map(|col| col.iter().map(|&id| dict.resolve(id)).collect())
+                .collect()
+        };
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_unstable_by(|&a, &b| {
+            for col in &resolved {
+                match col[a].cmp(&col[b]) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        order.dedup_by(|a, b| {
+            let (a, b) = (*a, *b);
+            self.columns.cols.iter().all(|col| col[a] == col[b])
+        });
+        self.columns = gather_columns(&self.columns, &order);
     }
 
     /// Projects the relation onto the given column indices (keeping
     /// duplicates; call [`Relation::dedup`] afterwards for set semantics).
     pub fn project(&self, columns: &[usize], name: impl Into<String>) -> Relation {
-        let mut out = Relation::new(name, columns.len());
-        for t in &self.tuples {
-            out.push(columns.iter().map(|&c| t[c]).collect());
+        let cols: Vec<Vec<ValueId>> = columns
+            .iter()
+            .map(|&c| self.columns.cols[c].clone())
+            .collect();
+        Relation {
+            name: name.into(),
+            arity: columns.len(),
+            columns: Columns {
+                len: self.len(),
+                cols,
+            },
         }
-        out
+    }
+
+    /// A copy of the relation under a new name (columns are cloned wholesale,
+    /// no per-row work).
+    pub fn renamed(&self, name: impl Into<String>) -> Relation {
+        Relation {
+            name: name.into(),
+            arity: self.arity,
+            columns: self.columns.clone(),
+        }
+    }
+
+    /// Keeps the rows at the given indices, in the given order.
+    pub fn gather(&self, rows: &[usize], name: impl Into<String>) -> Relation {
+        Relation {
+            name: name.into(),
+            arity: self.arity,
+            columns: gather_columns(&self.columns, rows),
+        }
     }
 
     /// An iterator over the values of a single column.
+    ///
+    /// Resolves the whole column eagerly (one dictionary read lock, one
+    /// `Vec` allocation) before yielding — cheap relative to any per-element
+    /// resolve loop, but not free: hoist out of loops and prefer
+    /// [`Relation::column_ids`] when ids suffice.
     pub fn column(&self, index: usize) -> impl Iterator<Item = Value> + '_ {
-        self.tuples.iter().map(move |t| t[index])
+        let dict = Dictionary::read_shared();
+        let values: Vec<Value> = self.columns.cols[index]
+            .iter()
+            .map(|&id| dict.resolve(id))
+            .collect();
+        values.into_iter()
+    }
+}
+
+/// Row-gather over columnar storage.
+fn gather_columns(columns: &Columns, rows: &[usize]) -> Columns {
+    let cols: Vec<Vec<ValueId>> = columns
+        .cols
+        .iter()
+        .map(|col| rows.iter().map(|&r| col[r]).collect())
+        .collect();
+    Columns {
+        len: rows.len(),
+        cols,
     }
 }
 
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{}({} tuples, arity {})", self.name, self.tuples.len(), self.arity)
+        writeln!(
+            f,
+            "{}({} tuples, arity {})",
+            self.name,
+            self.len(),
+            self.arity
+        )
     }
 }
 
@@ -113,8 +406,24 @@ impl Database {
     }
 
     /// Adds a relation built from tuples.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a message naming the relation and the offending row if the
+    /// tuples do not all have exactly `arity` values.
     pub fn insert_tuples(&mut self, name: &str, arity: usize, tuples: Vec<Vec<Value>>) {
         self.insert(Relation::from_tuples(name, arity, tuples));
+    }
+
+    /// Fallible variant of [`Database::insert_tuples`].
+    pub fn try_insert_tuples(
+        &mut self,
+        name: &str,
+        arity: usize,
+        tuples: Vec<Vec<Value>>,
+    ) -> Result<(), ArityError> {
+        self.insert(Relation::try_from_tuples(name, arity, tuples)?);
+        Ok(())
     }
 
     /// Looks up a relation by name.
@@ -201,9 +510,7 @@ impl Database {
                     .map(|t| {
                         t.iter()
                             .map(|v| match v.as_interval() {
-                                Some(iv) => {
-                                    Value::Interval(iv.shift(index * eps, n as f64 * eps))
-                                }
+                                Some(iv) => Value::Interval(iv.shift(index * eps, n as f64 * eps)),
                                 None => *v,
                             })
                             .collect()
@@ -221,8 +528,8 @@ impl Database {
         let mut out = Vec::new();
         for (name, column) in sources {
             if let Some(rel) = self.relations.get(*name) {
-                for t in rel.tuples() {
-                    if let Some(iv) = t[*column].as_interval() {
+                for v in rel.column(*column) {
+                    if let Some(iv) = v.as_interval() {
                         out.push(iv);
                     }
                 }
@@ -269,6 +576,70 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn ragged_from_tuples_is_rejected() {
+        let _ = Relation::from_tuples(
+            "R",
+            2,
+            vec![vec![iv(0.0, 1.0), iv(2.0, 3.0)], vec![iv(0.0, 1.0)]],
+        );
+    }
+
+    #[test]
+    fn try_from_tuples_reports_the_offending_row() {
+        let err = Relation::try_from_tuples(
+            "R",
+            2,
+            vec![vec![iv(0.0, 1.0), iv(2.0, 3.0)], vec![iv(0.0, 1.0)], vec![]],
+        )
+        .unwrap_err();
+        assert_eq!(err.relation, "R");
+        assert_eq!(err.expected, 2);
+        assert_eq!(err.found, 1);
+        assert_eq!(err.row, 1);
+        assert!(err.to_string().contains("row 1"));
+        // Errors are detected before anything is ingested.
+        let mut db = Database::new();
+        assert!(db
+            .try_insert_tuples("R", 2, vec![vec![iv(0.0, 1.0)]])
+            .is_err());
+        assert!(db.relation("R").is_none());
+    }
+
+    #[test]
+    fn interned_columns_expose_ids() {
+        let r = Relation::from_tuples(
+            "R",
+            2,
+            vec![
+                vec![Value::point(1.0), Value::point(2.0)],
+                vec![Value::point(1.0), Value::point(3.0)],
+            ],
+        );
+        // The repeated value 1.0 gets the same id in both rows.
+        assert_eq!(r.column_ids(0)[0], r.column_ids(0)[1]);
+        assert_ne!(r.column_ids(1)[0], r.column_ids(1)[1]);
+        assert_eq!(r.id_at(1, 1).resolve(), Value::point(3.0));
+        assert_eq!(r.value_at(0, 1), Value::point(2.0));
+        // Gather keeps the selected rows in order.
+        let g = r.gather(&[1, 0], "G");
+        assert_eq!(g.tuples()[0], vec![Value::point(1.0), Value::point(3.0)]);
+        assert_eq!(g.tuples()[1], vec![Value::point(1.0), Value::point(2.0)]);
+    }
+
+    #[test]
+    fn zero_arity_relations_track_multiplicity() {
+        let mut r = Relation::new("E", 0);
+        assert!(r.is_empty());
+        r.push(vec![]);
+        r.push(vec![]);
+        assert_eq!(r.len(), 2);
+        r.dedup();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuples(), vec![Vec::<Value>::new()]);
+    }
+
+    #[test]
     fn projection_keeps_selected_columns() {
         let r = Relation::from_tuples(
             "R",
@@ -312,17 +683,41 @@ mod tests {
         // R and S each hold one interval per tuple; verify that intersection
         // relationships across relations are unchanged and that left
         // endpoints become pairwise distinct across relations.
-        let r_ivs = [Interval::new(0.0, 2.0), Interval::new(3.0, 5.0), Interval::new(2.0, 3.0)];
-        let s_ivs = [Interval::new(2.0, 4.0), Interval::new(0.0, 0.5), Interval::new(5.0, 7.0)];
+        let r_ivs = [
+            Interval::new(0.0, 2.0),
+            Interval::new(3.0, 5.0),
+            Interval::new(2.0, 3.0),
+        ];
+        let s_ivs = [
+            Interval::new(2.0, 4.0),
+            Interval::new(0.0, 0.5),
+            Interval::new(5.0, 7.0),
+        ];
         let mut db = Database::new();
-        db.insert_tuples("R", 1, r_ivs.iter().map(|&i| vec![Value::Interval(i)]).collect());
-        db.insert_tuples("S", 1, s_ivs.iter().map(|&i| vec![Value::Interval(i)]).collect());
+        db.insert_tuples(
+            "R",
+            1,
+            r_ivs.iter().map(|&i| vec![Value::Interval(i)]).collect(),
+        );
+        db.insert_tuples(
+            "S",
+            1,
+            s_ivs.iter().map(|&i| vec![Value::Interval(i)]).collect(),
+        );
         db.shift_left_endpoints(&["R", "S"]);
 
-        let r_new: Vec<Interval> =
-            db.relation("R").unwrap().column(0).map(|v| v.as_interval().unwrap()).collect();
-        let s_new: Vec<Interval> =
-            db.relation("S").unwrap().column(0).map(|v| v.as_interval().unwrap()).collect();
+        let r_new: Vec<Interval> = db
+            .relation("R")
+            .unwrap()
+            .column(0)
+            .map(|v| v.as_interval().unwrap())
+            .collect();
+        let s_new: Vec<Interval> = db
+            .relation("S")
+            .unwrap()
+            .column(0)
+            .map(|v| v.as_interval().unwrap())
+            .collect();
         for (i, &r_old) in r_ivs.iter().enumerate() {
             for (j, &s_old) in s_ivs.iter().enumerate() {
                 assert_eq!(

@@ -134,7 +134,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_stable() {
-        let mut values = vec![
+        let mut values = [
             Value::interval(0.0, 1.0),
             Value::point(5.0),
             Value::bits(BitString::empty()),
@@ -153,7 +153,10 @@ mod tests {
     fn display_is_compact() {
         assert_eq!(format!("{}", Value::point(2.5)), "2.5");
         assert_eq!(format!("{}", Value::interval(1.0, 2.0)), "[1, 2]");
-        assert_eq!(format!("{}", Value::bits(BitString::parse("10").unwrap())), "«10»");
+        assert_eq!(
+            format!("{}", Value::bits(BitString::parse("10").unwrap())),
+            "«10»"
+        );
     }
 
     #[test]

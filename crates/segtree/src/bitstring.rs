@@ -45,7 +45,10 @@ impl BitString {
     #[inline]
     pub fn from_bits(bits: u64, len: u8) -> Self {
         assert!(len <= MAX_BITS, "bitstring too long");
-        assert!(len == 64 || bits < (1u64 << len), "bits exceed declared length");
+        assert!(
+            len == 64 || bits < (1u64 << len),
+            "bits exceed declared length"
+        );
         BitString { bits, len }
     }
 
@@ -64,7 +67,10 @@ impl BitString {
                 _ => return None,
             }
         }
-        Some(BitString { bits, len: text.len() as u8 })
+        Some(BitString {
+            bits,
+            len: text.len() as u8,
+        })
     }
 
     /// Number of bits.
@@ -100,7 +106,10 @@ impl BitString {
     #[inline]
     pub fn child(self, right: bool) -> BitString {
         assert!(self.len < MAX_BITS, "bitstring too long");
-        BitString { bits: (self.bits << 1) | (right as u64), len: self.len + 1 }
+        BitString {
+            bits: (self.bits << 1) | (right as u64),
+            len: self.len + 1,
+        }
     }
 
     /// The parent node identifier (drops the last bit); `None` for the root.
@@ -109,7 +118,10 @@ impl BitString {
         if self.len == 0 {
             None
         } else {
-            Some(BitString { bits: self.bits >> 1, len: self.len - 1 })
+            Some(BitString {
+                bits: self.bits >> 1,
+                len: self.len - 1,
+            })
         }
     }
 
@@ -134,12 +146,17 @@ impl BitString {
     #[inline]
     pub fn concat(self, other: BitString) -> BitString {
         assert!(self.len + other.len <= MAX_BITS, "concatenation too long");
-        BitString { bits: (self.bits << other.len) | other.bits, len: self.len + other.len }
+        BitString {
+            bits: (self.bits << other.len) | other.bits,
+            len: self.len + other.len,
+        }
     }
 
     /// Concatenation of a sequence of bitstrings.
     pub fn concat_all<I: IntoIterator<Item = BitString>>(parts: I) -> BitString {
-        parts.into_iter().fold(BitString::empty(), BitString::concat)
+        parts
+            .into_iter()
+            .fold(BitString::empty(), BitString::concat)
     }
 
     /// The prefix consisting of the first `n` bits.
@@ -150,7 +167,10 @@ impl BitString {
     #[inline]
     pub fn prefix(self, n: u8) -> BitString {
         assert!(n <= self.len, "prefix longer than bitstring");
-        BitString { bits: self.bits >> (self.len - n), len: n }
+        BitString {
+            bits: self.bits >> (self.len - n),
+            len: n,
+        }
     }
 
     /// The suffix starting after the first `n` bits.
@@ -163,7 +183,10 @@ impl BitString {
         assert!(n <= self.len, "suffix offset longer than bitstring");
         let len = self.len - n;
         let mask = if len == 0 { 0 } else { (1u64 << len) - 1 };
-        BitString { bits: self.bits & mask, len }
+        BitString {
+            bits: self.bits & mask,
+            len,
+        }
     }
 
     /// Splits the bitstring into the prefix of length `n` and the remaining
@@ -239,7 +262,12 @@ pub struct Compositions {
 impl Compositions {
     fn new(source: BitString, parts: usize) -> Self {
         let done = parts == 0 && !source.is_empty();
-        Compositions { source, cuts: vec![0; parts.saturating_sub(1)], parts, done }
+        Compositions {
+            source,
+            cuts: vec![0; parts.saturating_sub(1)],
+            parts,
+            done,
+        }
     }
 }
 

@@ -32,7 +32,10 @@ impl DyadicEmbedding {
     ///
     /// Panics if `depth > MAX_DEPTH`.
     pub fn new(depth: u8) -> Self {
-        assert!(depth <= MAX_DEPTH, "dyadic embedding depth too large for exact f64 arithmetic");
+        assert!(
+            depth <= MAX_DEPTH,
+            "dyadic embedding depth too large for exact f64 arithmetic"
+        );
         DyadicEmbedding { depth }
     }
 
@@ -47,7 +50,10 @@ impl DyadicEmbedding {
     ///
     /// Panics if the bitstring is longer than the embedding depth.
     pub fn interval(&self, b: BitString) -> Interval {
-        assert!(b.len() <= self.depth, "bitstring longer than embedding depth");
+        assert!(
+            b.len() <= self.depth,
+            "bitstring longer than embedding depth"
+        );
         let shift = self.depth - b.len();
         let lo = (b.bits() << shift) as f64;
         let hi = (((b.bits() + 1) << shift) - 1) as f64;
@@ -80,11 +86,12 @@ mod tests {
     #[test]
     fn prefix_iff_containment_iff_intersection() {
         let emb = DyadicEmbedding::new(6);
-        let strings: Vec<BitString> =
-            ["", "0", "1", "01", "10", "010", "0101", "111111", "000000", "10110"]
-                .iter()
-                .map(|s| bs(s))
-                .collect();
+        let strings: Vec<BitString> = [
+            "", "0", "1", "01", "10", "010", "0101", "111111", "000000", "10110",
+        ]
+        .iter()
+        .map(|s| bs(s))
+        .collect();
         for &a in &strings {
             for &b in &strings {
                 let ia = emb.interval(a);

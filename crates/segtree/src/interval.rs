@@ -38,7 +38,10 @@ impl Interval {
     /// The interval `(-inf, +inf)` (as a closed interval over the extended reals).
     #[inline]
     pub fn all() -> Self {
-        Interval { lo: OrdF64::NEG_INFINITY, hi: OrdF64::INFINITY }
+        Interval {
+            lo: OrdF64::NEG_INFINITY,
+            hi: OrdF64::INFINITY,
+        }
     }
 
     /// Left endpoint.
@@ -122,7 +125,10 @@ impl Interval {
     /// Smallest interval containing both inputs.
     #[inline]
     pub fn hull(self, other: Interval) -> Interval {
-        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
     }
 
     /// Shifts both endpoints by `delta` (used by the distinct-left-endpoint
@@ -189,7 +195,11 @@ mod tests {
             Interval::new(5.0, 20.0),
         ];
         assert_eq!(Interval::intersect_all(ivs), Some(Interval::new(5.0, 8.0)));
-        let empty = vec![Interval::new(0.0, 1.0), Interval::new(2.0, 3.0), Interval::new(0.0, 9.0)];
+        let empty = vec![
+            Interval::new(0.0, 1.0),
+            Interval::new(2.0, 3.0),
+            Interval::new(0.0, 9.0),
+        ];
         assert_eq!(Interval::intersect_all(empty), None);
         assert_eq!(Interval::intersect_all(Vec::new()), None);
     }

@@ -45,7 +45,10 @@ impl IntervalTree {
         let owned: Vec<Interval> = intervals.to_vec();
         let indices: Vec<usize> = (0..owned.len()).collect();
         let root = build_node(&owned, indices);
-        IntervalTree { intervals: owned, root }
+        IntervalTree {
+            intervals: owned,
+            root,
+        }
     }
 
     /// Number of stored intervals.
@@ -150,7 +153,12 @@ fn build_node(intervals: &[Interval], mut indices: Vec<usize>) -> Option<Box<Nod
     }))
 }
 
-fn collect_overlaps(node: Option<&Node>, intervals: &[Interval], query: Interval, out: &mut Vec<usize>) {
+fn collect_overlaps(
+    node: Option<&Node>,
+    intervals: &[Interval],
+    query: Interval,
+    out: &mut Vec<usize>,
+) {
     let Some(n) = node else { return };
     // Intervals stored here: check directly (they all contain the centre, so
     // scanning the sorted lists could prune further, but the per-node lists
@@ -193,12 +201,20 @@ fn exists_overlap(node: Option<&Node>, intervals: &[Interval], query: Interval) 
             || exists_overlap(n.right.as_deref(), intervals, query);
     }
     if query.hi_ord() < n.center {
-        if n.by_lo.first().map(|&i| intervals[i].lo_ord() <= query.hi_ord()).unwrap_or(false) {
+        if n.by_lo
+            .first()
+            .map(|&i| intervals[i].lo_ord() <= query.hi_ord())
+            .unwrap_or(false)
+        {
             return true;
         }
         exists_overlap(n.left.as_deref(), intervals, query)
     } else {
-        if n.by_hi.first().map(|&i| intervals[i].hi_ord() >= query.lo_ord()).unwrap_or(false) {
+        if n.by_hi
+            .first()
+            .map(|&i| intervals[i].hi_ord() >= query.lo_ord())
+            .unwrap_or(false)
+        {
             return true;
         }
         exists_overlap(n.right.as_deref(), intervals, query)
@@ -225,7 +241,9 @@ mod tests {
     fn stabbing_matches_brute_force() {
         let intervals = sample_intervals();
         let tree = IntervalTree::build(&intervals);
-        for p in [-4.0, -2.0, 0.0, 1.0, 3.0, 5.5, 6.0, 7.75, 9.5, 10.0, 12.0, 13.0] {
+        for p in [
+            -4.0, -2.0, 0.0, 1.0, 3.0, 5.5, 6.0, 7.75, 9.5, 10.0, 12.0, 13.0,
+        ] {
             let expected: Vec<usize> = intervals
                 .iter()
                 .enumerate()

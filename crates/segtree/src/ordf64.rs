@@ -50,14 +50,20 @@ impl Ord for OrdF64 {
     #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
         // Neither side can be NaN, so partial_cmp always succeeds.
-        self.0.partial_cmp(&other.0).expect("NaN rejected at construction")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("NaN rejected at construction")
     }
 }
 
 impl Hash for OrdF64 {
     fn hash<H: Hasher>(&self, state: &mut H) {
         // Normalise -0.0 to +0.0 so that values equal under `==` hash alike.
-        let bits = if self.0 == 0.0 { 0.0f64.to_bits() } else { self.0.to_bits() };
+        let bits = if self.0 == 0.0 {
+            0.0f64.to_bits()
+        } else {
+            self.0.to_bits()
+        };
         bits.hash(state);
     }
 }
@@ -108,7 +114,10 @@ mod tests {
             .collect();
         values.sort();
         let sorted: Vec<f64> = values.iter().map(|v| v.get()).collect();
-        assert_eq!(sorted, vec![f64::NEG_INFINITY, -1.0, 0.0, 2.0, 3.5, f64::INFINITY]);
+        assert_eq!(
+            sorted,
+            vec![f64::NEG_INFINITY, -1.0, 0.0, 2.0, 3.5, f64::INFINITY]
+        );
     }
 
     #[test]

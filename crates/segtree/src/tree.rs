@@ -82,7 +82,12 @@ impl SegmentTree {
         let max_coord = 2 * m;
         let mut nodes = Vec::with_capacity((2 * (max_coord as usize + 1)).max(1));
         let root = build_node(&mut nodes, 0, max_coord, BitString::empty());
-        SegmentTree { endpoints, nodes, root, stored: 0 }
+        SegmentTree {
+            endpoints,
+            nodes,
+            root,
+            stored: 0,
+        }
     }
 
     /// Number of distinct endpoints.
@@ -234,7 +239,9 @@ impl SegmentTree {
     /// Returns true if the segment of the node identified by `id` is
     /// contained in `x`.  Returns false for identifiers of non-existent nodes.
     pub fn node_segment_contained_in(&self, id: BitString, x: Interval) -> bool {
-        let Some((lo, hi)) = self.covered_coord_range(x) else { return false };
+        let Some((lo, hi)) = self.covered_coord_range(x) else {
+            return false;
+        };
         match self.node_by_id(id) {
             Some(node) => {
                 let n = &self.nodes[node];
@@ -273,7 +280,8 @@ impl SegmentTree {
         let p = OrdF64::new(p);
         // Number of endpoints strictly smaller than p.
         let below = self.endpoints.partition_point(|&e| e < p) as u32;
-        let is_endpoint = (below as usize) < self.endpoints.len() && self.endpoints[below as usize] == p;
+        let is_endpoint =
+            (below as usize) < self.endpoints.len() && self.endpoints[below as usize] == p;
         if is_endpoint {
             2 * below + 1
         } else {
@@ -336,7 +344,14 @@ impl SegmentTree {
 /// range `[lo, hi]`, returning the arena index of the subtree root.
 fn build_node(nodes: &mut Vec<Node>, lo: u32, hi: u32, id: BitString) -> NodeId {
     let index = nodes.len();
-    nodes.push(Node { lo, hi, id, left: None, right: None, canonical: Vec::new() });
+    nodes.push(Node {
+        lo,
+        hi,
+        id,
+        left: None,
+        right: None,
+        canonical: Vec::new(),
+    });
     if lo < hi {
         let mid = lo + (hi - lo) / 2;
         let left = build_node(nodes, lo, mid, id.child(false));
@@ -410,14 +425,20 @@ mod tests {
     #[test]
     fn canonical_partition_size_is_logarithmic() {
         let n = 512;
-        let intervals: Vec<Interval> =
-            (0..n).map(|i| Interval::new(i as f64, (i + n / 3) as f64)).collect();
+        let intervals: Vec<Interval> = (0..n)
+            .map(|i| Interval::new(i as f64, (i + n / 3) as f64))
+            .collect();
         let tree = SegmentTree::build(&intervals);
         let height = tree.height() as usize;
         for iv in &intervals {
             let cp = tree.canonical_partition(*iv);
             // At most ~2 nodes per level (proof of Property 3.2(3)).
-            assert!(cp.len() <= 2 * height + 2, "CP too large: {} vs height {}", cp.len(), height);
+            assert!(
+                cp.len() <= 2 * height + 2,
+                "CP too large: {} vs height {}",
+                cp.len(),
+                height
+            );
         }
     }
 
@@ -460,7 +481,10 @@ mod tests {
                     .canonical_partition(y)
                     .iter()
                     .any(|v| v.is_prefix_of(leaf_x))
-                    || tree.canonical_partition(x).iter().any(|v| v.is_prefix_of(leaf_y));
+                    || tree
+                        .canonical_partition(x)
+                        .iter()
+                        .any(|v| v.is_prefix_of(leaf_y));
                 assert_eq!(via_tree, x.intersects(y), "x={x:?} y={y:?}");
             }
         }
@@ -476,7 +500,9 @@ mod tests {
             Interval::point(6.0),
         ];
         let tree = SegmentTree::build_with_storage(&intervals);
-        for p in [-1.0, 0.0, 1.0, 2.0, 3.5, 5.0, 6.0, 8.0, 9.5, 10.0, 11.0, 13.0] {
+        for p in [
+            -1.0, 0.0, 1.0, 2.0, 3.5, 5.0, 6.0, 8.0, 9.5, 10.0, 11.0, 13.0,
+        ] {
             let expected: Vec<usize> = intervals
                 .iter()
                 .enumerate()
@@ -490,8 +516,9 @@ mod tests {
     #[test]
     fn canonical_storage_is_near_linear() {
         let n = 256;
-        let intervals: Vec<Interval> =
-            (0..n).map(|i| Interval::new(i as f64 * 0.5, i as f64 * 0.5 + 40.0)).collect();
+        let intervals: Vec<Interval> = (0..n)
+            .map(|i| Interval::new(i as f64 * 0.5, i as f64 * 0.5 + 40.0))
+            .collect();
         let tree = SegmentTree::build_with_storage(&intervals);
         let bound = n * (2 * tree.height() as usize + 2);
         assert!(tree.canonical_storage() <= bound);
@@ -505,7 +532,10 @@ mod tests {
         assert_eq!(tree.leaf_of_point(42.0), BitString::empty());
         assert!(tree.canonical_partition(Interval::new(0.0, 1.0)).is_empty());
         // The unbounded interval covers the single leaf (the whole line).
-        assert_eq!(tree.canonical_partition(Interval::all()), vec![BitString::empty()]);
+        assert_eq!(
+            tree.canonical_partition(Interval::all()),
+            vec![BitString::empty()]
+        );
 
         let tree = SegmentTree::build(&[Interval::point(7.0)]);
         assert_eq!(tree.num_endpoints(), 1);
@@ -517,7 +547,10 @@ mod tests {
     #[test]
     fn describe_node_matches_figure3() {
         let (tree, _, _) = figure3_tree();
-        assert_eq!(tree.describe_node(BitString::empty()).unwrap(), "(-inf, +inf)");
+        assert_eq!(
+            tree.describe_node(BitString::empty()).unwrap(),
+            "(-inf, +inf)"
+        );
         // Node "011" is the point segment [3,3] in Figure 3.
         assert_eq!(tree.describe_node(bs("011")).unwrap(), "[3, 3]");
         // Node "10" is (3, 4] in Figure 3.
@@ -538,8 +571,9 @@ mod tests {
     #[test]
     fn height_is_logarithmic() {
         for n in [1usize, 2, 7, 64, 500] {
-            let intervals: Vec<Interval> =
-                (0..n).map(|i| Interval::new(i as f64, i as f64 + 1.0)).collect();
+            let intervals: Vec<Interval> = (0..n)
+                .map(|i| Interval::new(i as f64, i as f64 + 1.0))
+                .collect();
             let tree = SegmentTree::build(&intervals);
             let leaves = tree.num_leaves() as f64;
             assert!((tree.height() as f64) <= leaves.log2().ceil() + 1.0);

@@ -25,7 +25,10 @@ pub struct FractionalEdgeCover {
 /// infeasible and the number is `+∞`).
 pub fn fractional_edge_cover(h: &Hypergraph, s: &BTreeSet<VarId>) -> Option<FractionalEdgeCover> {
     if s.is_empty() {
-        return Some(FractionalEdgeCover { value: 0.0, weights: vec![0.0; h.num_edges()] });
+        return Some(FractionalEdgeCover {
+            value: 0.0,
+            weights: vec![0.0; h.num_edges()],
+        });
     }
     let vars: Vec<VarId> = s.iter().copied().collect();
     // Infeasibility check: every vertex of S must occur in some edge.
@@ -38,14 +41,19 @@ pub fn fractional_edge_cover(h: &Hypergraph, s: &BTreeSet<VarId>) -> Option<Frac
     let a: Vec<Vec<f64>> = h
         .edges()
         .iter()
-        .map(|e| vars.iter().map(|&v| if e.vertices.contains(&v) { 1.0 } else { 0.0 }).collect())
+        .map(|e| {
+            vars.iter()
+                .map(|&v| if e.vertices.contains(&v) { 1.0 } else { 0.0 })
+                .collect()
+        })
         .collect();
     let b = vec![1.0; h.num_edges()];
     let c = vec![1.0; vars.len()];
     match solve_packing_lp(&a, &b, &c) {
-        LpOutcome::Optimal(sol) => {
-            Some(FractionalEdgeCover { value: sol.value, weights: sol.dual })
-        }
+        LpOutcome::Optimal(sol) => Some(FractionalEdgeCover {
+            value: sol.value,
+            weights: sol.dual,
+        }),
         LpOutcome::Unbounded => None,
     }
 }
@@ -53,7 +61,9 @@ pub fn fractional_edge_cover(h: &Hypergraph, s: &BTreeSet<VarId>) -> Option<Frac
 /// The fractional edge cover number `ρ*_E(S)`, or `f64::INFINITY` if `S`
 /// contains an uncovered vertex.
 pub fn fractional_edge_cover_number(h: &Hypergraph, s: &BTreeSet<VarId>) -> f64 {
-    fractional_edge_cover(h, s).map(|c| c.value).unwrap_or(f64::INFINITY)
+    fractional_edge_cover(h, s)
+        .map(|c| c.value)
+        .unwrap_or(f64::INFINITY)
 }
 
 /// The fractional edge cover number of the whole vertex set — the exponent of
@@ -119,7 +129,10 @@ mod tests {
         let pair: BTreeSet<VarId> = [a, b].into_iter().collect();
         assert!(close(fractional_edge_cover_number(&h, &single), 1.0));
         assert!(close(fractional_edge_cover_number(&h, &pair), 1.0));
-        assert!(close(fractional_edge_cover_number(&h, &BTreeSet::new()), 0.0));
+        assert!(close(
+            fractional_edge_cover_number(&h, &BTreeSet::new()),
+            0.0
+        ));
     }
 
     #[test]

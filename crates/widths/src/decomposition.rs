@@ -39,7 +39,11 @@ impl TreeDecomposition {
     pub fn is_valid(&self, h: &Hypergraph) -> bool {
         // Property 1: edge coverage.
         for e in h.edges() {
-            if !self.bags.iter().any(|bag| e.vertices.iter().all(|v| bag.contains(v))) {
+            if !self
+                .bags
+                .iter()
+                .any(|bag| e.vertices.iter().all(|v| bag.contains(v)))
+            {
                 return false;
             }
         }
@@ -56,8 +60,7 @@ impl TreeDecomposition {
             return false;
         }
         for v in 0..h.num_vertices() {
-            let containing: Vec<usize> =
-                (0..n).filter(|&i| self.bags[i].contains(&v)).collect();
+            let containing: Vec<usize> = (0..n).filter(|&i| self.bags[i].contains(&v)).collect();
             if containing.len() <= 1 {
                 continue;
             }
@@ -97,7 +100,10 @@ where
     F: FnMut(&BTreeSet<VarId>) -> f64,
 {
     let n = h.num_vertices();
-    assert!(n <= MAX_DP_VERTICES, "exact width DP supports at most {MAX_DP_VERTICES} vertices");
+    assert!(
+        n <= MAX_DP_VERTICES,
+        "exact width DP supports at most {MAX_DP_VERTICES} vertices"
+    );
     if n == 0 {
         return (0.0, Vec::new());
     }
@@ -157,11 +163,17 @@ where
 /// The elimination bag of `v` when the vertices of `eliminated` have already
 /// been eliminated: `{v}` plus every non-eliminated vertex reachable from `v`
 /// through eliminated vertices in the primal graph.
-fn elimination_bag(adj: &[Vec<bool>], n: usize, v: usize, eliminated: u32) -> (u32, BTreeSet<VarId>) {
+fn elimination_bag(
+    adj: &[Vec<bool>],
+    n: usize,
+    v: usize,
+    eliminated: u32,
+) -> (u32, BTreeSet<VarId>) {
     let mut bag_mask: u32 = 1 << v;
     let mut visited: u32 = 1 << v;
     let mut stack = vec![v];
     while let Some(u) = stack.pop() {
+        #[allow(clippy::needless_range_loop)]
         for w in 0..n {
             if !adj[u][w] || visited & (1 << w) != 0 {
                 continue;
@@ -197,7 +209,11 @@ pub fn decomposition_from_order(h: &Hypergraph, order: &[VarId]) -> TreeDecompos
     let n = h.num_vertices();
     assert_eq!(order.len(), n, "the order must cover every vertex");
     if n == 0 {
-        return TreeDecomposition { bags: vec![BTreeSet::new()], edges: Vec::new(), width: 0.0 };
+        return TreeDecomposition {
+            bags: vec![BTreeSet::new()],
+            edges: Vec::new(),
+            width: 0.0,
+        };
     }
     let adj = h.primal_graph();
     let position: HashMap<VarId, usize> = order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
@@ -236,9 +252,7 @@ pub fn decomposition_from_order(h: &Hypergraph, order: &[VarId]) -> TreeDecompos
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ij_hypergraph::{
-        four_clique_ej, k_cycle_ej, loomis_whitney_4_ej, triangle_ej, Hypergraph,
-    };
+    use ij_hypergraph::{four_clique_ej, k_cycle_ej, loomis_whitney_4_ej, triangle_ej, Hypergraph};
 
     fn close(a: f64, b: f64) -> bool {
         (a - b).abs() < 1e-6
@@ -293,7 +307,7 @@ mod tests {
         // Longer cycles stay at most 2 (a single bag covers everything with
         // alternating edges) and at least 3/2.
         let w6 = fractional_hypertree_width(&k_cycle_ej(6));
-        assert!(w6 <= 2.0 + 1e-9 && w6 >= 1.5 - 1e-9);
+        assert!((1.5 - 1e-9..=2.0 + 1e-9).contains(&w6));
     }
 
     #[test]

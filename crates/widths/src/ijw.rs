@@ -87,7 +87,12 @@ pub fn ij_width(h: &Hypergraph) -> IjWidthReport {
         let representative = dropped[members[0]].clone();
         let fhtw = fractional_hypertree_width(&representative);
         let subw = submodular_width_estimate(&representative);
-        classes.push(ClassReport { representative, size: members.len(), fhtw, subw });
+        classes.push(ClassReport {
+            representative,
+            size: members.len(),
+            fhtw,
+            subw,
+        });
     }
 
     let lower = classes.iter().map(|c| c.subw.lower).fold(0.0_f64, f64::max);
@@ -142,7 +147,11 @@ mod tests {
             (figure_9f(), 1.0, "9f"),
         ] {
             let report = ij_width(&h);
-            assert!(close(report.value, expected), "figure {name}: got {}", report.value);
+            assert!(
+                close(report.value, expected),
+                "figure {name}: got {}",
+                report.value
+            );
             assert!(report.exact, "figure {name} should have an exact ij-width");
             assert_eq!(report.is_linear_time(), expected == 1.0, "figure {name}");
         }

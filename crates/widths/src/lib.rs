@@ -30,7 +30,9 @@ mod ijw;
 mod lp;
 mod subw;
 
-pub use cover::{agm_exponent, fractional_edge_cover, fractional_edge_cover_number, FractionalEdgeCover};
+pub use cover::{
+    agm_exponent, fractional_edge_cover, fractional_edge_cover_number, FractionalEdgeCover,
+};
 pub use decomposition::{
     decomposition_from_order, elimination_width, fractional_hypertree_width,
     optimal_tree_decomposition, TreeDecomposition, MAX_DP_VERTICES,

@@ -52,7 +52,10 @@ pub fn solve_packing_lp(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> LpOutcome {
     for row in a {
         assert_eq!(row.len(), n, "column count mismatch");
     }
-    assert!(b.iter().all(|&x| x >= 0.0), "the packing solver requires b >= 0");
+    assert!(
+        b.iter().all(|&x| x >= 0.0),
+        "the packing solver requires b >= 0"
+    );
 
     // Tableau: m rows × (n + m + 1) columns. Columns 0..n are the decision
     // variables, n..n+m the slacks, the last column the RHS.  Row `m` is the
@@ -72,6 +75,9 @@ pub fn solve_packing_lp(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> LpOutcome {
     // Basis: initially the slack variables.
     let mut basis: Vec<usize> = (n..n + m).collect();
 
+    // The explicit `loop`/`break` (rather than `while let`) keeps the pivot
+    // bookkeeping below at one indentation level per simplex step.
+    #[allow(clippy::while_let_loop, clippy::needless_range_loop)]
     loop {
         // Bland's rule: entering variable = smallest index with negative
         // reduced cost.
@@ -130,7 +136,11 @@ pub fn solve_packing_lp(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> LpOutcome {
     // Dual values are the reduced costs of the slack columns.
     let dual: Vec<f64> = (0..m).map(|i| obj[n + i].max(0.0)).collect();
     let value = obj[cols - 1];
-    LpOutcome::Optimal(LpSolution { value, primal, dual })
+    LpOutcome::Optimal(LpSolution {
+        value,
+        primal,
+        dual,
+    })
 }
 
 #[cfg(test)]
@@ -147,7 +157,9 @@ mod tests {
         let a = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
         let b = vec![1.0, 1.0, 1.5];
         let c = vec![1.0, 1.0];
-        let LpOutcome::Optimal(sol) = solve_packing_lp(&a, &b, &c) else { panic!("unbounded") };
+        let LpOutcome::Optimal(sol) = solve_packing_lp(&a, &b, &c) else {
+            panic!("unbounded")
+        };
         assert_close(sol.value, 1.5);
         assert_close(sol.primal[0] + sol.primal[1], 1.5);
     }
@@ -158,10 +170,16 @@ mod tests {
         // Packing LP: maximise y_A + y_B + y_C s.t. each edge sums to ≤ 1.
         // Optimum 1.5 with y = (0.5, 0.5, 0.5); the dual gives the fractional
         // edge cover weights (0.5, 0.5, 0.5).
-        let a = vec![vec![1.0, 1.0, 0.0], vec![0.0, 1.0, 1.0], vec![1.0, 0.0, 1.0]];
+        let a = vec![
+            vec![1.0, 1.0, 0.0],
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 0.0, 1.0],
+        ];
         let b = vec![1.0; 3];
         let c = vec![1.0; 3];
-        let LpOutcome::Optimal(sol) = solve_packing_lp(&a, &b, &c) else { panic!("unbounded") };
+        let LpOutcome::Optimal(sol) = solve_packing_lp(&a, &b, &c) else {
+            panic!("unbounded")
+        };
         assert_close(sol.value, 1.5);
         let dual_sum: f64 = sol.dual.iter().sum();
         assert_close(dual_sum, 1.5);
@@ -185,17 +203,26 @@ mod tests {
         let a = vec![vec![1.0]];
         let b = vec![5.0];
         let c = vec![0.0];
-        let LpOutcome::Optimal(sol) = solve_packing_lp(&a, &b, &c) else { panic!("unbounded") };
+        let LpOutcome::Optimal(sol) = solve_packing_lp(&a, &b, &c) else {
+            panic!("unbounded")
+        };
         assert_close(sol.value, 0.0);
     }
 
     #[test]
     fn degenerate_constraints_terminate() {
         // Multiple identical constraints (degenerate) — Bland's rule must not cycle.
-        let a = vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![1.0, 0.0], vec![0.0, 1.0]];
+        let a = vec![
+            vec![1.0, 1.0],
+            vec![1.0, 1.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        ];
         let b = vec![1.0, 1.0, 1.0, 1.0];
         let c = vec![1.0, 1.0];
-        let LpOutcome::Optimal(sol) = solve_packing_lp(&a, &b, &c) else { panic!("unbounded") };
+        let LpOutcome::Optimal(sol) = solve_packing_lp(&a, &b, &c) else {
+            panic!("unbounded")
+        };
         assert_close(sol.value, 1.0);
     }
 
@@ -210,7 +237,9 @@ mod tests {
         ];
         let b = vec![1.0; 4];
         let c = vec![1.0; 4];
-        let LpOutcome::Optimal(sol) = solve_packing_lp(&a, &b, &c) else { panic!("unbounded") };
+        let LpOutcome::Optimal(sol) = solve_packing_lp(&a, &b, &c) else {
+            panic!("unbounded")
+        };
         assert_close(sol.value, 4.0 / 3.0);
     }
 }

@@ -47,7 +47,10 @@ pub struct SubmodularWidthEstimate {
 impl SubmodularWidthEstimate {
     /// True if the value is known exactly.
     pub fn is_exact(&self) -> bool {
-        matches!(self.source, SubwSource::BoundsCoincide | SubwSource::PaperCatalog)
+        matches!(
+            self.source,
+            SubwSource::BoundsCoincide | SubwSource::PaperCatalog
+        )
     }
 }
 
@@ -57,7 +60,12 @@ pub fn submodular_width_estimate(h: &Hypergraph) -> SubmodularWidthEstimate {
     let upper = fractional_hypertree_width(h);
     let lower = modular_lower_bound(h);
     if (upper - lower).abs() < 1e-6 {
-        return SubmodularWidthEstimate { lower, upper, value: upper, source: SubwSource::BoundsCoincide };
+        return SubmodularWidthEstimate {
+            lower,
+            upper,
+            value: upper,
+            source: SubwSource::BoundsCoincide,
+        };
     }
     if let Some(published) = paper_catalog_subw(h) {
         debug_assert!(
@@ -71,7 +79,12 @@ pub fn submodular_width_estimate(h: &Hypergraph) -> SubmodularWidthEstimate {
             source: SubwSource::PaperCatalog,
         };
     }
-    SubmodularWidthEstimate { lower, upper, value: upper, source: SubwSource::BoundsOnly }
+    SubmodularWidthEstimate {
+        lower,
+        upper,
+        value: upper,
+        source: SubwSource::BoundsOnly,
+    }
 }
 
 /// The best lower bound on `subw(H)` obtainable from edge-dominated modular
@@ -102,7 +115,13 @@ pub fn modular_lower_bound(h: &Hypergraph) -> f64 {
         candidates.push(w);
     }
     // Globally uniform weights.
-    let max_edge = h.edges().iter().map(|e| e.vertices.len()).max().unwrap_or(1).max(1);
+    let max_edge = h
+        .edges()
+        .iter()
+        .map(|e| e.vertices.len())
+        .max()
+        .unwrap_or(1)
+        .max(1);
     candidates.push(vec![1.0 / max_edge as f64; n]);
     // Optimal fractional vertex packing of V (its constraints are exactly
     // edge domination).
@@ -137,7 +156,11 @@ fn optimal_vertex_packing(h: &Hypergraph) -> Option<Vec<f64>> {
     let a: Vec<Vec<f64>> = h
         .edges()
         .iter()
-        .map(|e| (0..n).map(|v| if e.vertices.contains(&v) { 1.0 } else { 0.0 }).collect())
+        .map(|e| {
+            (0..n)
+                .map(|v| if e.vertices.contains(&v) { 1.0 } else { 0.0 })
+                .collect()
+        })
         .collect();
     let b = vec![1.0; h.num_edges()];
     let c = vec![1.0; n];
@@ -169,7 +192,10 @@ pub fn paper_catalog() -> Vec<(Hypergraph, f64)> {
         for (label, vars) in atoms {
             let ids: Vec<_> = vars
                 .iter()
-                .map(|name| h.vertex_by_name(name).unwrap_or_else(|| h.add_point_var(*name)))
+                .map(|name| {
+                    h.vertex_by_name(name)
+                        .unwrap_or_else(|| h.add_point_var(*name))
+                })
                 .collect();
             h.add_edge(*label, ids);
         }
@@ -318,7 +344,11 @@ pub fn paper_catalog() -> Vec<(Hypergraph, f64)> {
         ),
         // Appendix E.4.3 — Figure 9c, class 1 (= Example 6.5's H1).
         (
-            ej(&[("R", &["A1", "B1", "C1"]), ("S", &["B1", "C1", "B2"]), ("T", &["A1", "B1", "B2"])]),
+            ej(&[
+                ("R", &["A1", "B1", "C1"]),
+                ("S", &["B1", "C1", "B2"]),
+                ("T", &["A1", "B1", "B2"]),
+            ]),
             1.5,
         ),
     ]
@@ -354,7 +384,11 @@ mod tests {
     fn four_clique_ej_subw_estimate_is_two() {
         let est = submodular_width_estimate(&four_clique_ej());
         assert!(close(est.upper, 2.0));
-        assert!(est.lower >= 1.5 - 1e-6, "modular bound should reach at least 3/2, got {}", est.lower);
+        assert!(
+            est.lower >= 1.5 - 1e-6,
+            "modular bound should reach at least 3/2, got {}",
+            est.lower
+        );
     }
 
     #[test]
@@ -363,7 +397,10 @@ mod tests {
             let upper = fractional_hypertree_width(&h);
             let lower = modular_lower_bound(&h);
             assert!(lower <= upper + 1e-6, "bounds crossed for {h}");
-            assert!(published <= upper + 1e-6, "published {published} above fhtw {upper} for {h}");
+            assert!(
+                published <= upper + 1e-6,
+                "published {published} above fhtw {upper} for {h}"
+            );
             assert!(published >= 1.0 - 1e-9);
         }
     }

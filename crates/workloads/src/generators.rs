@@ -63,7 +63,11 @@ impl IntervalDistribution {
                 let p = rng.gen_range(0..domain) as f64;
                 (p, p)
             }
-            IntervalDistribution::GridAligned { span, cells, max_cells } => {
+            IntervalDistribution::GridAligned {
+                span,
+                cells,
+                max_cells,
+            } => {
                 let width = span / cells as f64;
                 let start = rng.gen_range(0..cells);
                 let run = rng.gen_range(1..=max_cells.max(1));
@@ -90,7 +94,10 @@ impl Default for WorkloadConfig {
         WorkloadConfig {
             tuples_per_relation: 1000,
             seed: 42,
-            distribution: IntervalDistribution::Uniform { span: 1000.0, max_len: 20.0 },
+            distribution: IntervalDistribution::Uniform {
+                span: 1000.0,
+                max_len: 20.0,
+            },
         }
     }
 }
@@ -167,11 +174,18 @@ pub fn planted_satisfiable(q: &Query, cfg: &WorkloadConfig) -> Database {
 /// at least two atoms (such a query is satisfied by any non-empty database
 /// and cannot be planted false).
 pub fn planted_unsatisfiable(q: &Query, cfg: &WorkloadConfig) -> Database {
-    assert!(q.is_self_join_free(), "planted_unsatisfiable requires a self-join-free query");
-    let has_join_var = q.variables().iter().any(|v| {
-        q.atoms().iter().filter(|a| a.vars.contains(v)).count() >= 2
-    });
-    assert!(has_join_var, "planted_unsatisfiable requires at least one join variable");
+    assert!(
+        q.is_self_join_free(),
+        "planted_unsatisfiable requires a self-join-free query"
+    );
+    let has_join_var = q
+        .variables()
+        .iter()
+        .any(|v| q.atoms().iter().filter(|a| a.vars.contains(v)).count() >= 2);
+    assert!(
+        has_join_var,
+        "planted_unsatisfiable requires at least one join variable"
+    );
 
     let span = match cfg.distribution {
         IntervalDistribution::Uniform { span, max_len } => span + max_len,
@@ -184,7 +198,9 @@ pub fn planted_unsatisfiable(q: &Query, cfg: &WorkloadConfig) -> Database {
     let mut db = generate_for_query(q, cfg);
     for (i, atom) in q.atoms().iter().enumerate() {
         let offset = window * (i as f64 + 1.0);
-        let Some(rel) = db.relation_mut(&atom.relation) else { continue };
+        let Some(rel) = db.relation_mut(&atom.relation) else {
+            continue;
+        };
         let arity = rel.arity();
         let shifted: Vec<Vec<Value>> = rel
             .tuples()
@@ -225,7 +241,13 @@ pub fn temporal_sessions(relation_names: &[&str], n: usize, seed: u64) -> Databa
 /// A spatial workload: every relation holds `n` axis-aligned rectangles as a
 /// pair of intervals (x-extent, y-extent), the classical MBR encoding of
 /// spatial joins (Section 2).
-pub fn spatial_boxes(relation_names: &[&str], n: usize, seed: u64, world: f64, max_side: f64) -> Database {
+pub fn spatial_boxes(
+    relation_names: &[&str],
+    n: usize,
+    seed: u64,
+    world: f64,
+    max_side: f64,
+) -> Database {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut db = Database::new();
     for name in relation_names {
@@ -245,7 +267,12 @@ pub fn spatial_boxes(relation_names: &[&str], n: usize, seed: u64, world: f64, m
 /// Point intervals with integer coordinates — intersection joins over this
 /// workload coincide with equality joins (Section 1), which is useful for
 /// differential tests against a plain equality-join engine.
-pub fn point_intervals(relation_names: &[(&str, usize)], n: usize, domain: u64, seed: u64) -> Database {
+pub fn point_intervals(
+    relation_names: &[(&str, usize)],
+    n: usize,
+    domain: u64,
+    seed: u64,
+) -> Database {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut db = Database::new();
     for (name, arity) in relation_names {
@@ -271,7 +298,11 @@ mod tests {
     #[test]
     fn generation_is_deterministic_given_the_seed() {
         let q = Query::parse("R([A],[B]) & S([B],[C]) & T([A],[C])").unwrap();
-        let cfg = WorkloadConfig { tuples_per_relation: 50, seed: 7, ..WorkloadConfig::default() };
+        let cfg = WorkloadConfig {
+            tuples_per_relation: 50,
+            seed: 7,
+            ..WorkloadConfig::default()
+        };
         let a = generate_for_query(&q, &cfg);
         let b = generate_for_query(&q, &cfg);
         assert_eq!(a, b);
@@ -282,7 +313,10 @@ mod tests {
     #[test]
     fn generated_relations_match_query_schemas() {
         let q = Query::parse("R([A],[B]) & S([B],C)").unwrap();
-        let cfg = WorkloadConfig { tuples_per_relation: 20, ..WorkloadConfig::default() };
+        let cfg = WorkloadConfig {
+            tuples_per_relation: 20,
+            ..WorkloadConfig::default()
+        };
         let db = generate_for_query(&q, &cfg);
         assert_eq!(db.num_relations(), 2);
         let r = db.relation("R").unwrap();
@@ -299,17 +333,34 @@ mod tests {
     #[test]
     fn self_joins_share_one_relation() {
         let q = Query::parse("R([A],[B]) & R([B],[C])").unwrap();
-        let db = generate_for_query(&q, &WorkloadConfig { tuples_per_relation: 5, ..Default::default() });
+        let db = generate_for_query(
+            &q,
+            &WorkloadConfig {
+                tuples_per_relation: 5,
+                ..Default::default()
+            },
+        );
         assert_eq!(db.num_relations(), 1);
     }
 
     #[test]
     fn distributions_produce_valid_intervals() {
         let distributions = [
-            IntervalDistribution::Uniform { span: 100.0, max_len: 10.0 },
-            IntervalDistribution::HeavyTailed { span: 100.0, alpha: 1.5, scale: 5.0 },
+            IntervalDistribution::Uniform {
+                span: 100.0,
+                max_len: 10.0,
+            },
+            IntervalDistribution::HeavyTailed {
+                span: 100.0,
+                alpha: 1.5,
+                scale: 5.0,
+            },
             IntervalDistribution::Points { domain: 50 },
-            IntervalDistribution::GridAligned { span: 100.0, cells: 32, max_cells: 4 },
+            IntervalDistribution::GridAligned {
+                span: 100.0,
+                cells: 32,
+                max_cells: 4,
+            },
         ];
         let mut rng = StdRng::seed_from_u64(1);
         for d in distributions {
@@ -342,15 +393,21 @@ mod tests {
         let cfg = WorkloadConfig {
             tuples_per_relation: 7,
             seed: 3,
-            distribution: IntervalDistribution::Uniform { span: 500.0, max_len: 5.0 },
+            distribution: IntervalDistribution::Uniform {
+                span: 500.0,
+                max_len: 5.0,
+            },
         };
         let db = planted_satisfiable(&q, &cfg);
         for name in ["R", "S", "T"] {
             let rel = db.relation(name).unwrap();
             assert_eq!(rel.len(), 8);
-            let witness = rel.tuples().last().unwrap();
+            let witness = rel.row(rel.len() - 1);
             for v in witness {
-                assert_eq!(v.as_interval().unwrap(), ij_segtree::Interval::new(0.25, 1.25));
+                assert_eq!(
+                    v.as_interval().unwrap(),
+                    ij_segtree::Interval::new(0.25, 1.25)
+                );
             }
         }
     }
@@ -361,7 +418,10 @@ mod tests {
         let cfg = WorkloadConfig {
             tuples_per_relation: 6,
             seed: 1,
-            distribution: IntervalDistribution::Uniform { span: 50.0, max_len: 10.0 },
+            distribution: IntervalDistribution::Uniform {
+                span: 50.0,
+                max_len: 10.0,
+            },
         };
         let db = planted_unsatisfiable(&q, &cfg);
         // No interval of R intersects any interval of S or T (and so on).
@@ -370,8 +430,8 @@ mod tests {
             for b in names.iter().skip(i + 1) {
                 for ta in db.relation(a).unwrap().tuples() {
                     for tb in db.relation(b).unwrap().tuples() {
-                        for va in ta {
-                            for vb in tb {
+                        for va in &ta {
+                            for vb in &tb {
                                 assert!(!va
                                     .as_interval()
                                     .unwrap()

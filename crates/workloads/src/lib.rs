@@ -18,6 +18,6 @@
 mod generators;
 
 pub use generators::{
-    generate_for_query, planted_satisfiable, planted_unsatisfiable, point_intervals,
-    spatial_boxes, temporal_sessions, IntervalDistribution, WorkloadConfig,
+    generate_for_query, planted_satisfiable, planted_unsatisfiable, point_intervals, spatial_boxes,
+    temporal_sessions, IntervalDistribution, WorkloadConfig,
 };

@@ -22,11 +22,18 @@ fn main() {
     let faqai = analyze_disjunction(&faqai_disjunction(&query).expect("pure IJ query"));
     println!("query:            {query}");
     println!("our analysis:     {}", analysis.summary());
-    println!("FAQ-AI analysis:  {} over {} conjuncts", faqai.runtime(), faqai.conjuncts.len());
+    println!(
+        "FAQ-AI analysis:  {} over {} conjuncts",
+        faqai.runtime(),
+        faqai.conjuncts.len()
+    );
 
     // Evaluate both on growing synthetic workloads and report the answer and
     // wall-clock times.
-    println!("\n{:>8}  {:>8}  {:>12}  {:>12}", "N", "answer", "ours [ms]", "FAQ-AI [ms]");
+    println!(
+        "\n{:>8}  {:>8}  {:>12}  {:>12}",
+        "N", "answer", "ours [ms]", "FAQ-AI [ms]"
+    );
     for n in [50usize, 100, 200] {
         let db = generate_for_query(
             &query,
@@ -57,5 +64,7 @@ fn main() {
             t_faqai.as_secs_f64() * 1e3
         );
     }
-    println!("\nThe FAQ-AI route materialises a quadratic bag; the reduction route stays near N^1.5.");
+    println!(
+        "\nThe FAQ-AI route materialises a quadratic bag; the reduction route stays near N^1.5."
+    );
 }

@@ -40,7 +40,9 @@ fn main() {
     );
 
     // 2. Evaluation through the forward reduction.
-    let stats = engine.evaluate_with_stats(&query, &db).expect("evaluation succeeds");
+    let stats = engine
+        .evaluate_with_stats(&query, &db)
+        .expect("evaluation succeeds");
     println!("answer     : {}", stats.answer);
     println!(
         "evaluated  : {}/{} EJ disjuncts (early exit), {} transformed tuples",
@@ -48,7 +50,9 @@ fn main() {
     );
 
     // 3. Cross-check with the naive reference evaluator.
-    let naive = engine.evaluate_naive(&query, &db).expect("naive evaluation succeeds");
+    let naive = engine
+        .evaluate_naive(&query, &db)
+        .expect("naive evaluation succeeds");
     assert_eq!(stats.answer, naive);
     println!("naive check: {naive} (agrees)");
 }

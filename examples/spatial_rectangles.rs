@@ -33,15 +33,26 @@ fn main() {
     let engine = IntersectionJoinEngine::with_defaults();
 
     // ---------------------------------------------------------------- 1 ---
-    let overlap3 =
-        Query::parse("Buildings([X],[Y]) & FloodZones([X],[Y]) & Coverage([X],[Y])").expect("valid query");
+    let overlap3 = Query::parse("Buildings([X],[Y]) & FloodZones([X],[Y]) & Coverage([X],[Y])")
+        .expect("valid query");
     let analysis = engine.analyze(&overlap3);
     println!("query    : {overlap3}");
     println!("analysis : {}", analysis.summary());
-    assert!(analysis.linear_time, "two shared interval variables cannot form a long Berge cycle");
+    assert!(
+        analysis.linear_time,
+        "two shared interval variables cannot form a long Berge cycle"
+    );
 
-    let db = spatial_boxes(&["Buildings", "FloodZones", "Coverage"], 500, 99, 10_000.0, 400.0);
-    let stats = engine.evaluate_with_stats(&overlap3, &db).expect("evaluation succeeds");
+    let db = spatial_boxes(
+        &["Buildings", "FloodZones", "Coverage"],
+        500,
+        99,
+        10_000.0,
+        400.0,
+    );
+    let stats = engine
+        .evaluate_with_stats(&overlap3, &db)
+        .expect("evaluation succeeds");
     let (cascade_answer, max_intermediate) =
         binary_join_cascade(&overlap3, &db).expect("baseline succeeds");
     assert_eq!(stats.answer, cascade_answer);
@@ -53,20 +64,34 @@ fn main() {
     // For the binary sub-problem (which pairs of buildings and flood zones
     // overlap on the x-axis?) the classical plane sweep is the right tool —
     // it is also one of the building blocks of the cascade baseline.
-    let buildings_x: Vec<Interval> =
-        db.relation("Buildings").unwrap().column(0).map(|v| v.as_interval().unwrap()).collect();
-    let flood_x: Vec<Interval> =
-        db.relation("FloodZones").unwrap().column(0).map(|v| v.as_interval().unwrap()).collect();
+    let buildings_x: Vec<Interval> = db
+        .relation("Buildings")
+        .unwrap()
+        .column(0)
+        .map(|v| v.as_interval().unwrap())
+        .collect();
+    let flood_x: Vec<Interval> = db
+        .relation("FloodZones")
+        .unwrap()
+        .column(0)
+        .map(|v| v.as_interval().unwrap())
+        .collect();
     let pairs = plane_sweep_pairs(&buildings_x, &flood_x);
-    println!("x-overlapping (building, flood-zone) pairs: {}\n", pairs.len());
+    println!(
+        "x-overlapping (building, flood-zone) pairs: {}\n",
+        pairs.len()
+    );
 
     // ---------------------------------------------------------------- 2 ---
-    let triangle =
-        Query::parse("Buildings([X],[T]) & FloodZones([X],[Y]) & Coverage([Y],[T])").expect("valid query");
+    let triangle = Query::parse("Buildings([X],[T]) & FloodZones([X],[Y]) & Coverage([Y],[T])")
+        .expect("valid query");
     let analysis = engine.analyze(&triangle);
     println!("query    : {triangle}");
     println!("analysis : {}", analysis.summary());
-    assert!(!analysis.linear_time, "three pairwise-shared interval variables form a Berge cycle");
+    assert!(
+        !analysis.linear_time,
+        "three pairwise-shared interval variables form a Berge cycle"
+    );
     assert!((analysis.ij_width.value - 1.5).abs() < 1e-9);
 
     // Reuse the generated extents: x-extents stay, the second column doubles
@@ -75,8 +100,12 @@ fn main() {
     db2.insert(db.relation("Buildings").unwrap().clone());
     db2.insert(db.relation("FloodZones").unwrap().clone());
     db2.insert(db.relation("Coverage").unwrap().clone());
-    let stats = engine.evaluate_with_stats(&triangle, &db2).expect("evaluation succeeds");
-    let naive = engine.evaluate_naive(&triangle, &db2).expect("naive succeeds");
+    let stats = engine
+        .evaluate_with_stats(&triangle, &db2)
+        .expect("evaluation succeeds");
+    let naive = engine
+        .evaluate_naive(&triangle, &db2)
+        .expect("naive succeeds");
     assert_eq!(stats.answer, naive);
     println!(
         "n = 500 boxes/relation: answer = {} (naive agrees), EJ disjuncts = {}/{}",

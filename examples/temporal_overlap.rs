@@ -28,12 +28,17 @@ fn main() {
     let analysis = engine.analyze(&query);
     println!("query    : {query}");
     println!("analysis : {}", analysis.summary());
-    assert!(analysis.linear_time, "a star of intersection joins is iota-acyclic");
+    assert!(
+        analysis.linear_time,
+        "a star of intersection joins is iota-acyclic"
+    );
 
     // A synthetic temporal workload: n sessions per relation.
     for n in [100usize, 1000] {
         let db = temporal_sessions(&["Sessions", "Meetings", "Devices"], n, 0xC0FFEE);
-        let stats = engine.evaluate_with_stats(&query, &db).expect("evaluation succeeds");
+        let stats = engine
+            .evaluate_with_stats(&query, &db)
+            .expect("evaluation succeeds");
         let (cascade_answer, max_intermediate) =
             binary_join_cascade(&query, &db).expect("baseline succeeds");
         assert_eq!(stats.answer, cascade_answer);
@@ -51,7 +56,11 @@ fn main() {
     // The same question restricted to a quiet period at the very end of the
     // horizon is false; both evaluators agree.
     let mut db = temporal_sessions(&["Sessions", "Meetings"], 200, 7);
-    db.insert_tuples("Devices", 1, vec![vec![Value::interval(1.0e9, 1.0e9 + 1.0)]]);
+    db.insert_tuples(
+        "Devices",
+        1,
+        vec![vec![Value::interval(1.0e9, 1.0e9 + 1.0)]],
+    );
     let answer = engine.evaluate(&query, &db).expect("evaluation succeeds");
     let naive = engine.evaluate_naive(&query, &db).expect("naive succeeds");
     assert_eq!(answer, naive);

@@ -15,8 +15,8 @@ use ij_widths::ij_width;
 
 fn main() {
     println!(
-        "{:<22} {:<14} {:>10} {:>9} {:>8} {:>8}  {}",
-        "query", "class", "#EJ", "#classes", "ijw", "exact", "runtime"
+        "{:<22} {:<14} {:>10} {:>9} {:>8} {:>8}  runtime",
+        "query", "class", "#EJ", "#classes", "ijw", "exact"
     );
     println!("{}", "-".repeat(92));
     for entry in named_catalog() {

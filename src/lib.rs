@@ -16,6 +16,58 @@
 //! let analysis = engine.analyze(&q);
 //! assert!((analysis.ij_width.value - 1.5).abs() < 1e-9); // ijw(Q△) = 3/2
 //! ```
+//!
+//! # Architecture
+//!
+//! ## Crate map
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`segtree`] | Intervals, bitstrings, segment trees (Section 3, Appendix B) |
+//! | [`hypergraph`] | Hypergraphs, acyclicity, the structural reduction τ(H) (Sections 4, 6) |
+//! | [`widths`] | ρ*, fhtw, subw bounds, ij-width (Definition 4.14) |
+//! | [`relation`] | Values, the **value dictionary**, interned columnar relations, query AST |
+//! | [`ejoin`] | EJ engine: id-keyed WCOJ tries, Yannakakis, width-guided evaluation |
+//! | [`reduction`] | Forward (IJ→EJ) and backward (EJ→IJ) data reductions (Sections 4, 5) |
+//! | [`engine`] | End-to-end engine with parallel disjunct evaluation |
+//! | [`faqai`] | The FAQ-AI comparator (Appendix F) |
+//! | [`baselines`] | Plane sweep, binary-join cascades, nested loops |
+//! | [`workloads`] | Synthetic workload generators |
+//!
+//! ## Data flow of the interned pipeline
+//!
+//! Every `Value` (point, interval or bitstring) is interned exactly once into
+//! the process-wide dictionary of [`relation`]; relations store dense
+//! `u32` id columns and every downstream layer operates on ids:
+//!
+//! ```text
+//!  Query + Database (columnar: Vec<ValueId> per column, shared Dictionary)
+//!        │
+//!        ▼
+//!  ij_reduction::forward_reduction          Segment trees per interval var;
+//!        │   carried columns pass ids       tuples expand into bitstring-id
+//!        │   through; bitstring parts       rows (no Value rows materialised)
+//!        │   interned once per distinct
+//!        ▼
+//!  ForwardReduction { D̃ (id columns), ⋁ Q̃ᵢ }
+//!        │
+//!        ▼
+//!  ij_engine::evaluate_reduction            dedup disjuncts → worker pool
+//!        │   (EngineConfig::parallelism     (std::thread::scope + atomic
+//!        │    workers, AtomicBool early     work index); first true disjunct
+//!        ▼    exit)                         stops the others
+//!  ij_ejoin per disjunct:
+//!     · α-acyclic   → Yannakakis semijoins (id-tuple keys, fast hasher)
+//!     · cyclic      → bag materialisation (id tries) + Yannakakis
+//!     · fallback    → generic WCOJ over HashMap<u32, TrieNode> tries
+//!        │
+//!        ▼
+//!  Boolean answer (identical for every parallelism setting)
+//! ```
+//!
+//! Values are resolved back out of the dictionary only at API boundaries
+//! (`Relation::tuples`, CSV export, error messages); the join hot paths
+//! hash and compare nothing wider than a `u32`.
 
 pub use ij_engine::prelude;
 
@@ -28,10 +80,12 @@ pub use ij_hypergraph as hypergraph;
 /// Width measures: ρ*, fhtw, subw bounds and the ij-width (Definition 4.14).
 pub use ij_widths as widths;
 
-/// Values, relations, databases and the query AST (Definition 3.3).
+/// Values, the value dictionary, interned columnar relations, databases and
+/// the query AST (Definition 3.3).
 pub use ij_relation as relation;
 
-/// The equality-join engine (generic WCOJ, Yannakakis, width-guided evaluation).
+/// The equality-join engine (generic WCOJ over id-keyed tries, Yannakakis,
+/// width-guided evaluation).
 pub use ij_ejoin as ejoin;
 
 /// The FAQ-AI comparator: inequality joins, relaxed decompositions and
@@ -41,7 +95,7 @@ pub use ij_faqai as faqai;
 /// The forward and backward reductions (Sections 4 and 5).
 pub use ij_reduction as reduction;
 
-/// The end-to-end intersection-join engine.
+/// The end-to-end intersection-join engine with parallel disjunct evaluation.
 pub use ij_engine as engine;
 
 /// Classical baselines: plane sweep, binary-join cascades, nested loops.

@@ -146,7 +146,10 @@ fn forward_then_backward_preserves_hardness_witnesses() {
     let mut ej_db = Database::new();
     for atom in &reduced.atoms {
         let mut rel = Relation::new(atom.relation.clone(), atom.vars.len());
-        rel.push(vec![Value::Bits(BitString::from_bits(0b1, 1)); atom.vars.len()]);
+        rel.push(vec![
+            Value::Bits(BitString::from_bits(0b1, 1));
+            atom.vars.len()
+        ]);
         ej_db.insert(rel);
     }
     assert!(evaluate_reduced(reduced, &ej_db));

@@ -7,19 +7,24 @@ use proptest::prelude::*;
 
 /// A strategy for small relations of binary interval tuples with integer
 /// endpoints in a window chosen to make both true and false instances likely.
-fn arb_binary_relation(max_tuples: usize, span: i32) -> impl Strategy<Value = Vec<(f64, f64, f64, f64)>> {
-    proptest::collection::vec(
-        (0..span, 0..6i32, 0..span, 0..6i32),
-        1..=max_tuples,
+fn arb_binary_relation(
+    max_tuples: usize,
+    span: i32,
+) -> impl Strategy<Value = Vec<(f64, f64, f64, f64)>> {
+    proptest::collection::vec((0..span, 0..6i32, 0..span, 0..6i32), 1..=max_tuples).prop_map(
+        |rows| {
+            rows.into_iter()
+                .map(|(a, alen, b, blen)| {
+                    (a as f64, (a + alen) as f64, b as f64, (b + blen) as f64)
+                })
+                .collect()
+        },
     )
-    .prop_map(|rows| {
-        rows.into_iter()
-            .map(|(a, alen, b, blen)| (a as f64, (a + alen) as f64, b as f64, (b + blen) as f64))
-            .collect()
-    })
 }
 
-fn binary_db(name_rows: Vec<(&str, Vec<(f64, f64, f64, f64)>)>) -> Database {
+type IntervalRows = Vec<(f64, f64, f64, f64)>;
+
+fn binary_db(name_rows: Vec<(&str, IntervalRows)>) -> Database {
     let mut db = Database::new();
     for (name, rows) in name_rows {
         db.insert_tuples(

@@ -19,7 +19,10 @@ fn agreement(query: &Query, tuples: usize, seeds: std::ops::Range<u64>, span: f6
         let cfg = WorkloadConfig {
             tuples_per_relation: tuples,
             seed,
-            distribution: IntervalDistribution::Uniform { span, max_len: span / 12.0 },
+            distribution: IntervalDistribution::Uniform {
+                span,
+                max_len: span / 12.0,
+            },
         };
         let db = generate_for_query(query, &cfg);
         let naive = engine.evaluate_naive(query, &db).unwrap();
@@ -29,9 +32,15 @@ fn agreement(query: &Query, tuples: usize, seeds: std::ops::Range<u64>, span: f6
         assert_eq!(naive, faqai, "query {query}, seed {seed}");
 
         let sat = planted_satisfiable(query, &cfg);
-        assert!(evaluate_faqai_boolean(query, &sat).unwrap(), "planted-sat seed {seed}");
+        assert!(
+            evaluate_faqai_boolean(query, &sat).unwrap(),
+            "planted-sat seed {seed}"
+        );
         let unsat = planted_unsatisfiable(query, &cfg);
-        assert!(!evaluate_faqai_boolean(query, &unsat).unwrap(), "planted-unsat seed {seed}");
+        assert!(
+            !evaluate_faqai_boolean(query, &unsat).unwrap(),
+            "planted-unsat seed {seed}"
+        );
     }
 }
 

@@ -28,7 +28,13 @@ fn differential(
     seeds: std::ops::Range<u64>,
     dist: IntervalDistribution,
 ) {
-    differential_with(&IntersectionJoinEngine::with_defaults(), query, tuples, seeds, dist);
+    differential_with(
+        &IntersectionJoinEngine::with_defaults(),
+        query,
+        tuples,
+        seeds,
+        dist,
+    );
 }
 
 fn differential_with(
@@ -39,20 +45,38 @@ fn differential_with(
     dist: IntervalDistribution,
 ) {
     for seed in seeds {
-        let cfg = WorkloadConfig { tuples_per_relation: tuples, seed, distribution: dist };
+        let cfg = WorkloadConfig {
+            tuples_per_relation: tuples,
+            seed,
+            distribution: dist,
+        };
         let db = generate_for_query(query, &cfg);
         let expected = engine.evaluate_naive(query, &db).expect("naive evaluation");
-        let actual = engine.evaluate(query, &db).expect("reduction-based evaluation");
+        let actual = engine
+            .evaluate(query, &db)
+            .expect("reduction-based evaluation");
         assert_eq!(actual, expected, "query {query}, seed {seed}");
 
         // Planted instances: deterministically satisfiable / unsatisfiable.
         let sat = planted_satisfiable(query, &cfg);
-        assert!(engine.evaluate_naive(query, &sat).unwrap(), "planted-sat naive, seed {seed}");
-        assert!(engine.evaluate(query, &sat).unwrap(), "planted-sat reduction, seed {seed}");
+        assert!(
+            engine.evaluate_naive(query, &sat).unwrap(),
+            "planted-sat naive, seed {seed}"
+        );
+        assert!(
+            engine.evaluate(query, &sat).unwrap(),
+            "planted-sat reduction, seed {seed}"
+        );
 
         let unsat = planted_unsatisfiable(query, &cfg);
-        assert!(!engine.evaluate_naive(query, &unsat).unwrap(), "planted-unsat naive, seed {seed}");
-        assert!(!engine.evaluate(query, &unsat).unwrap(), "planted-unsat reduction, seed {seed}");
+        assert!(
+            !engine.evaluate_naive(query, &unsat).unwrap(),
+            "planted-unsat naive, seed {seed}"
+        );
+        assert!(
+            !engine.evaluate(query, &unsat).unwrap(),
+            "planted-unsat reduction, seed {seed}"
+        );
     }
 }
 
@@ -70,7 +94,10 @@ fn triangle_reduction_is_correct_on_sparse_workloads() {
         &query_of(&triangle_ij()),
         12,
         0..20,
-        IntervalDistribution::Uniform { span: 400.0, max_len: 30.0 },
+        IntervalDistribution::Uniform {
+            span: 400.0,
+            max_len: 30.0,
+        },
     );
 }
 
@@ -80,7 +107,10 @@ fn triangle_reduction_is_correct_on_dense_workloads() {
         &query_of(&triangle_ij()),
         10,
         100..112,
-        IntervalDistribution::Uniform { span: 60.0, max_len: 18.0 },
+        IntervalDistribution::Uniform {
+            span: 60.0,
+            max_len: 18.0,
+        },
     );
 }
 
@@ -99,7 +129,10 @@ fn figure_9_queries_are_correct() {
             &query_of(&h),
             8,
             0..8,
-            IntervalDistribution::Uniform { span, max_len: 10.0 },
+            IntervalDistribution::Uniform {
+                span,
+                max_len: 10.0,
+            },
         );
     }
 }
@@ -110,13 +143,19 @@ fn star_and_path_queries_are_correct() {
         &query_of(&star_ij(3)),
         10,
         0..10,
-        IntervalDistribution::Uniform { span: 150.0, max_len: 25.0 },
+        IntervalDistribution::Uniform {
+            span: 150.0,
+            max_len: 25.0,
+        },
     );
     differential(
         &query_of(&k_path_ij(4)),
         10,
         0..10,
-        IntervalDistribution::Uniform { span: 60.0, max_len: 10.0 },
+        IntervalDistribution::Uniform {
+            span: 60.0,
+            max_len: 10.0,
+        },
     );
 }
 
@@ -126,7 +165,11 @@ fn heavy_tailed_intervals_are_correct() {
         &query_of(&triangle_ij()),
         10,
         0..12,
-        IntervalDistribution::HeavyTailed { span: 300.0, alpha: 1.2, scale: 8.0 },
+        IntervalDistribution::HeavyTailed {
+            span: 300.0,
+            alpha: 1.2,
+            scale: 8.0,
+        },
     );
 }
 
@@ -146,7 +189,11 @@ fn grid_aligned_workloads_are_correct() {
         &query_of(&triangle_ij()),
         14,
         0..12,
-        IntervalDistribution::GridAligned { span: 128.0, cells: 32, max_cells: 3 },
+        IntervalDistribution::GridAligned {
+            span: 128.0,
+            cells: 32,
+            max_cells: 3,
+        },
     );
 }
 
@@ -159,14 +206,21 @@ fn decomposed_encoding_is_correct_on_triangle_workloads() {
         &query_of(&triangle_ij()),
         12,
         0..12,
-        IntervalDistribution::Uniform { span: 150.0, max_len: 20.0 },
+        IntervalDistribution::Uniform {
+            span: 150.0,
+            max_len: 20.0,
+        },
     );
 }
 
 #[test]
 fn all_ej_strategies_agree_through_the_reduction() {
     let query = query_of(&triangle_ij());
-    for strategy in [EjStrategy::Auto, EjStrategy::GenericJoin, EjStrategy::Decomposition] {
+    for strategy in [
+        EjStrategy::Auto,
+        EjStrategy::GenericJoin,
+        EjStrategy::Decomposition,
+    ] {
         let engine = IntersectionJoinEngine::new(EngineConfig {
             ej_strategy: strategy,
             ..EngineConfig::new()
@@ -177,11 +231,18 @@ fn all_ej_strategies_agree_through_the_reduction() {
                 &WorkloadConfig {
                     tuples_per_relation: 10,
                     seed,
-                    distribution: IntervalDistribution::Uniform { span: 80.0, max_len: 15.0 },
+                    distribution: IntervalDistribution::Uniform {
+                        span: 80.0,
+                        max_len: 15.0,
+                    },
                 },
             );
             let expected = engine.evaluate_naive(&query, &db).unwrap();
-            assert_eq!(engine.evaluate(&query, &db).unwrap(), expected, "{strategy:?} seed {seed}");
+            assert_eq!(
+                engine.evaluate(&query, &db).unwrap(),
+                expected,
+                "{strategy:?} seed {seed}"
+            );
         }
     }
 }
@@ -215,10 +276,17 @@ fn loomis_whitney_4_reduction_is_correct_on_small_instances() {
     let cfg = WorkloadConfig {
         tuples_per_relation: 2,
         seed: 7,
-        distribution: IntervalDistribution::Uniform { span: 40.0, max_len: 6.0 },
+        distribution: IntervalDistribution::Uniform {
+            span: 40.0,
+            max_len: 6.0,
+        },
     };
-    assert!(engine.evaluate(&query, &planted_satisfiable(&query, &cfg)).unwrap());
-    assert!(!engine.evaluate(&query, &planted_unsatisfiable(&query, &cfg)).unwrap());
+    assert!(engine
+        .evaluate(&query, &planted_satisfiable(&query, &cfg))
+        .unwrap());
+    assert!(!engine
+        .evaluate(&query, &planted_unsatisfiable(&query, &cfg))
+        .unwrap());
 }
 
 #[test]
@@ -236,16 +304,27 @@ fn four_clique_reduction_is_correct_on_small_instances() {
             },
         );
         let expected = engine.evaluate_naive(&query, &db).unwrap();
-        assert_eq!(engine.evaluate(&query, &db).unwrap(), expected, "seed {seed}");
+        assert_eq!(
+            engine.evaluate(&query, &db).unwrap(),
+            expected,
+            "seed {seed}"
+        );
     }
 
     let cfg = WorkloadConfig {
         tuples_per_relation: 2,
         seed: 3,
-        distribution: IntervalDistribution::Uniform { span: 30.0, max_len: 5.0 },
+        distribution: IntervalDistribution::Uniform {
+            span: 30.0,
+            max_len: 5.0,
+        },
     };
-    assert!(engine.evaluate(&query, &planted_satisfiable(&query, &cfg)).unwrap());
-    assert!(!engine.evaluate(&query, &planted_unsatisfiable(&query, &cfg)).unwrap());
+    assert!(engine
+        .evaluate(&query, &planted_satisfiable(&query, &cfg))
+        .unwrap());
+    assert!(!engine
+        .evaluate(&query, &planted_unsatisfiable(&query, &cfg))
+        .unwrap());
 }
 
 #[test]
@@ -259,11 +338,18 @@ fn mixed_eij_queries_are_correct() {
             &WorkloadConfig {
                 tuples_per_relation: 10,
                 seed,
-                distribution: IntervalDistribution::Uniform { span: 80.0, max_len: 20.0 },
+                distribution: IntervalDistribution::Uniform {
+                    span: 80.0,
+                    max_len: 20.0,
+                },
             },
         );
         let expected = engine.evaluate_naive(&query, &db).unwrap();
-        assert_eq!(engine.evaluate(&query, &db).unwrap(), expected, "seed {seed}");
+        assert_eq!(
+            engine.evaluate(&query, &db).unwrap(),
+            expected,
+            "seed {seed}"
+        );
     }
 }
 
@@ -279,7 +365,11 @@ fn distinct_left_endpoint_transformation_preserves_answers() {
             &WorkloadConfig {
                 tuples_per_relation: 10,
                 seed,
-                distribution: IntervalDistribution::GridAligned { span: 64.0, cells: 16, max_cells: 4 },
+                distribution: IntervalDistribution::GridAligned {
+                    span: 64.0,
+                    cells: 16,
+                    max_cells: 4,
+                },
             },
         );
         let mut shifted = db.clone();

@@ -30,8 +30,14 @@ fn table_1_ej_counterparts_are_cheaper_or_equal() {
     // LW4 4/3 (< 5/3), 4-clique 2 (equal) — the comparison discussed in the
     // introduction.
     assert!(close(submodular_width_estimate(&triangle_ej()).value, 1.5));
-    assert!(close(submodular_width_estimate(&loomis_whitney_4_ej()).upper, 4.0 / 3.0));
-    assert!(close(submodular_width_estimate(&four_clique_ej()).value, 2.0));
+    assert!(close(
+        submodular_width_estimate(&loomis_whitney_4_ej()).upper,
+        4.0 / 3.0
+    ));
+    assert!(close(
+        submodular_width_estimate(&four_clique_ej()).value,
+        2.0
+    ));
 }
 
 #[test]
