@@ -161,12 +161,105 @@ fn bench_parallel_disjuncts(c: &mut Criterion) {
     group.finish();
 }
 
+/// Trie-build reuse across the disjuncts of one evaluation: the shared
+/// [`TrieCache`] path (PR 2) versus the rebuild-per-disjunct baseline, on the
+/// E1 cyclic (triangle) workload.  The database is planted unsatisfiable so
+/// every deduplicated disjunct is evaluated — the case where sharing pays.
+/// The cache hit rate is printed once before the timed runs.
+fn bench_trie_cache_reuse(c: &mut Criterion) {
+    use ij_workloads::{planted_unsatisfiable, IntervalDistribution, WorkloadConfig};
+    let query = Query::from_hypergraph(&triangle_ij());
+    let mut group = c.benchmark_group("substrate/e1-trie-reuse");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for n in [200usize, 400] {
+        let db = planted_unsatisfiable(
+            &query,
+            &WorkloadConfig {
+                tuples_per_relation: n,
+                seed: 29,
+                distribution: IntervalDistribution::GridAligned {
+                    span: 4.0 * n as f64,
+                    cells: (2 * n) as u32,
+                    max_cells: 3,
+                },
+            },
+        );
+        let reduction = forward_reduction(&query, &db).unwrap();
+        // One worker isolates the caching effect from disjunct parallelism.
+        let shared = IntersectionJoinEngine::new(EngineConfig::new().with_parallelism(1));
+        let rebuild = IntersectionJoinEngine::new(
+            EngineConfig::new()
+                .with_parallelism(1)
+                .with_trie_cache_capacity(0),
+        );
+        let stats = shared.evaluate_reduction(&reduction);
+        assert!(!stats.answer, "workload must force a full pass");
+        println!(
+            "substrate/e1-trie-reuse/n{n}: {} disjuncts in {} batches, \
+             cache {} hits / {} misses (hit rate {:.1}%)",
+            stats.ej_queries_total,
+            stats.ej_query_batches,
+            stats.trie_cache.hits,
+            stats.trie_cache.misses,
+            100.0 * stats.trie_cache.hit_rate()
+        );
+        group.bench_with_input(BenchmarkId::new("shared-trie", n), &n, |b, _| {
+            b.iter(|| shared.evaluate_reduction(&reduction).answer)
+        });
+        group.bench_with_input(BenchmarkId::new("rebuild-per-disjunct", n), &n, |b, _| {
+            b.iter(|| rebuild.evaluate_reduction(&reduction).answer)
+        });
+    }
+    group.finish();
+}
+
+/// Sharded versus unsharded trie builds on the same workload (wall-clock
+/// parity is expected on a single-core container; the knob is verified
+/// answer-identical by the test suite).
+fn bench_trie_shards(c: &mut Criterion) {
+    use ij_workloads::{planted_unsatisfiable, IntervalDistribution, WorkloadConfig};
+    let query = Query::from_hypergraph(&triangle_ij());
+    let mut group = c.benchmark_group("substrate/e1-trie-shards");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let n = 400usize;
+    let db = planted_unsatisfiable(
+        &query,
+        &WorkloadConfig {
+            tuples_per_relation: n,
+            seed: 31,
+            distribution: IntervalDistribution::GridAligned {
+                span: 4.0 * n as f64,
+                cells: (2 * n) as u32,
+                max_cells: 3,
+            },
+        },
+    );
+    let reduction = forward_reduction(&query, &db).unwrap();
+    for (name, shards) in [("unsharded", 1usize), ("hw-shards", 0usize)] {
+        let engine = IntersectionJoinEngine::new(
+            EngineConfig::new()
+                .with_parallelism(1)
+                .with_trie_shards(shards),
+        );
+        group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+            b.iter(|| engine.evaluate_reduction(&reduction).answer)
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_segment_tree,
     bench_forward_reduction,
     bench_ej_strategies,
     bench_row_vs_interned,
-    bench_parallel_disjuncts
+    bench_parallel_disjuncts,
+    bench_trie_cache_reuse,
+    bench_trie_shards
 );
 criterion_main!(benches);

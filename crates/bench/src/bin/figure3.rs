@@ -1,4 +1,4 @@
-//! E3 — Figure 3 / Figure 6: the segment tree over I = { [1,4], [3,4] },
+//! E3 — Figure 3 / Figure 6: the segment tree over I = { \[1,4\], \[3,4\] },
 //! its node segments and the canonical partitions of the two intervals.
 //!
 //! ```text

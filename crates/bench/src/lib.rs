@@ -2,9 +2,9 @@
 //!
 //! Every table and figure of the paper has a binary in `src/bin/` that
 //! regenerates its analytic content or measures its empirical counterpart
-//! (see `EXPERIMENTS.md` at the workspace root for the index).  The helpers
-//! here cover timing, log–log exponent fitting, plain-text table rendering
-//! and the standard workloads used across experiments.
+//! (see the Benchmarks section of the workspace `README.md` for the index).
+//! The helpers here cover timing, log–log exponent fitting, plain-text table
+//! rendering and the standard workloads used across experiments.
 
 mod rowjoin;
 

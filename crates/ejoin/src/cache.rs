@@ -1,0 +1,295 @@
+//! A shared cache of built [`AtomTrie`]s, keyed by content fingerprints.
+//!
+//! The forward reduction turns one intersection-join query into a disjunction
+//! of equality-join queries whose atoms overwhelmingly *share* transformed
+//! relations: the relation materialised for an atom depends only on the level
+//! assigned to each of its interval variables, not on the full permutation
+//! that produced the disjunct.  Without a cache, every disjunct rebuilds the
+//! same tries from scratch; with one, the first disjunct to need a trie
+//! builds it and every later disjunct (on any worker thread) reuses it.
+//!
+//! # Keying
+//!
+//! A trie's content is fully determined by
+//!
+//! 1. the relation's **data** — captured as a 128-bit fingerprint of the id
+//!    columns ([`relation_fingerprint`]), so caching is sound for any
+//!    relation with the same content regardless of name or provenance
+//!    (top-level transformed relations and the per-disjunct projections
+//!    derived from them alike);
+//! 2. the **column→variable binding** of the atom — this encodes both the
+//!    column permutation and the repeated-variable filters;
+//! 3. the induced **level order** (the atom's distinct variables sorted by
+//!    the global join order);
+//! 4. the **shard count** of the build (see [`AtomTrie::build_sharded`]).
+//!
+//! This is exactly the (relation identity, column permutation, filter)
+//! fingerprint that the engine's disjunct deduplication reasons about at the
+//! query level, pushed down to the data level.
+//!
+//! # Concurrency
+//!
+//! The cache is a read-mostly `RwLock<HashMap<_, Arc<_>>>`: lookups take the
+//! read lock, a miss builds the trie *outside* any lock and then races to
+//! insert (the first insertion wins; a losing builder adopts the winner's
+//! trie, so all workers always probe structurally identical tries).  Hit and
+//! miss counters are relaxed atomics exposed through [`TrieCache::stats`].
+
+use crate::trie::AtomTrie;
+use crate::BoundAtom;
+use ij_hypergraph::VarId;
+use ij_relation::Relation;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A 128-bit content fingerprint of a relation's id columns.
+///
+/// Two relations with equal arity, row count and column ids (in order) get
+/// the same fingerprint; the two independent 64-bit mixing lanes make an
+/// accidental collision between *different* contents astronomically unlikely
+/// (~2⁻¹²⁸), which is what lets the trie cache treat the fingerprint as
+/// identity.  Names are deliberately ignored: a projection recomputed by two
+/// disjuncts under different names still shares one trie.
+///
+/// The value is memoized per relation ([`Relation::fingerprint_with`]), so
+/// repeated cache lookups against the same relation hash its columns once.
+pub fn relation_fingerprint(relation: &Relation) -> (u64, u64) {
+    relation.fingerprint_with(compute_fingerprint)
+}
+
+fn compute_fingerprint(relation: &Relation) -> (u64, u64) {
+    const M1: u64 = 0x9E37_79B9_7F4A_7C15;
+    const M2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+    let mix = |state: u64, v: u64, m: u64| ((state ^ v).wrapping_mul(m)).rotate_left(29);
+    let mut a = 0x243F_6A88_85A3_08D3u64;
+    let mut b = 0x4528_21E6_38D0_1377u64;
+    a = mix(a, relation.arity() as u64, M1);
+    b = mix(b, relation.arity() as u64, M2);
+    a = mix(a, relation.len() as u64, M1);
+    b = mix(b, relation.len() as u64, M2);
+    for col in 0..relation.arity() {
+        a = mix(a, 0xFEED_C01D, M1);
+        b = mix(b, 0xFEED_C01D, M2);
+        for &id in relation.column_ids(col) {
+            a = mix(a, id.raw() as u64, M1);
+            b = mix(b, id.raw() as u64, M2);
+        }
+    }
+    (a, b)
+}
+
+/// The cache key: everything a trie's content depends on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct TrieKey {
+    fingerprint: (u64, u64),
+    /// Column→variable binding (permutation + repeated-variable filters).
+    vars: Vec<VarId>,
+    /// The atom's distinct variables in global join order (the trie levels).
+    levels: Vec<VarId>,
+    /// Shard count of the build (1 = unsharded).
+    shards: usize,
+}
+
+/// A point-in-time snapshot of a [`TrieCache`]'s counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrieCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// Lookups that had to build (includes both builders of an insert race).
+    pub misses: usize,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl TrieCacheStats {
+    /// Hits as a fraction of all lookups (0.0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe cache of built tries shared across the disjuncts of one
+/// evaluation (see the module docs for keying and concurrency).
+///
+/// The engine creates one cache per [`evaluate_reduction`] call and hands it
+/// to every disjunct worker; standalone users of the ejoin crate can share
+/// one across any sequence of [`evaluate_ej_boolean_with`] calls whose
+/// relations are alive for the cache's lifetime (the cache stores owned
+/// tries, so there is no borrow coupling — "alive" only matters for hit
+/// rates, not safety).
+///
+/// [`evaluate_reduction`]: https://docs.rs/ij-engine
+/// [`evaluate_ej_boolean_with`]: crate::evaluate_ej_boolean_with
+#[derive(Debug, Default)]
+pub struct TrieCache {
+    /// Maximum resident entries; `0` means unbounded.  When full, new tries
+    /// are still built and returned but not retained — a deliberately simple
+    /// policy that keeps every admitted entry immortal for the (short) life
+    /// of an evaluation instead of thrashing an LRU.
+    capacity: usize,
+    map: RwLock<HashMap<TrieKey, Arc<Vec<AtomTrie>>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl TrieCache {
+    /// An unbounded cache.
+    pub fn new() -> Self {
+        TrieCache::default()
+    }
+
+    /// A cache holding at most `capacity` entries (`0` = unbounded).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TrieCache {
+            capacity,
+            ..TrieCache::default()
+        }
+    }
+
+    /// Snapshot of the hit/miss counters and the resident entry count.
+    pub fn stats(&self) -> TrieCacheStats {
+        TrieCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.read().unwrap_or_else(|e| e.into_inner()).len(),
+        }
+    }
+
+    /// The tries for `atom` under `global_order`, built into `num_shards`
+    /// shards (1 = unsharded) — served from the cache when an identical
+    /// build was already done, built (and, capacity permitting, retained)
+    /// otherwise.
+    pub(crate) fn tries_for(
+        &self,
+        atom: &BoundAtom<'_>,
+        global_order: &[VarId],
+        num_shards: usize,
+    ) -> Arc<Vec<AtomTrie>> {
+        let levels = crate::trie::trie_level_vars(atom, global_order);
+        let key = TrieKey {
+            fingerprint: relation_fingerprint(atom.relation),
+            vars: atom.vars.clone(),
+            levels,
+            shards: num_shards.max(1),
+        };
+        if let Some(tries) = self.map.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(tries);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(AtomTrie::build_sharded(atom, global_order, num_shards));
+        let mut map = self.map.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(existing) = map.get(&key) {
+            // Lost an insert race; adopt the winner so all workers share.
+            return Arc::clone(existing);
+        }
+        if self.capacity == 0 || map.len() < self.capacity {
+            map.insert(key, Arc::clone(&built));
+        }
+        built
+    }
+}
+
+/// Shared runtime options for one equality-join evaluation: the trie cache
+/// (if any) and the trie shard count.
+///
+/// The `*_with` entry points ([`evaluate_ej_boolean_with`],
+/// [`generic_join_boolean_with`], …) take an `EvalContext` and thread it down
+/// to every trie build of the evaluation — including the per-bag joins of the
+/// decomposition-guided strategy.  The plain entry points use
+/// `EvalContext::default()`: no cache, no sharding.
+///
+/// [`evaluate_ej_boolean_with`]: crate::evaluate_ej_boolean_with
+/// [`generic_join_boolean_with`]: crate::generic_join_boolean_with
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalContext<'c> {
+    /// Trie cache shared across calls; `None` rebuilds tries every time.
+    pub cache: Option<&'c TrieCache>,
+    /// Trie shard count: `0` = one shard per available hardware thread,
+    /// `1` = unsharded, `n` = exactly `n` shards.  The answer is identical
+    /// for every setting.
+    pub shards: usize,
+}
+
+impl<'c> EvalContext<'c> {
+    /// The effective shard count (resolves `0` to the hardware parallelism).
+    pub fn shard_count(&self) -> usize {
+        match self.shards {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ij_relation::{Relation, Value};
+
+    fn rel(name: &str, rows: Vec<Vec<f64>>) -> Relation {
+        let arity = rows.first().map(|r| r.len()).unwrap_or(0);
+        Relation::from_tuples(
+            name,
+            arity,
+            rows.into_iter()
+                .map(|r| r.into_iter().map(Value::point).collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn fingerprint_ignores_names_but_not_content() {
+        let a = rel("A", vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = rel("B", vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let c = rel("C", vec![vec![1.0, 2.0], vec![3.0, 5.0]]);
+        assert_eq!(relation_fingerprint(&a), relation_fingerprint(&b));
+        assert_ne!(relation_fingerprint(&a), relation_fingerprint(&c));
+        // Row order matters (tries collapse duplicates, but a multiset
+        // difference must never collide).
+        let d = rel("D", vec![vec![3.0, 4.0], vec![1.0, 2.0]]);
+        assert_ne!(relation_fingerprint(&a), relation_fingerprint(&d));
+    }
+
+    #[test]
+    fn identical_builds_hit_distinct_builds_miss() {
+        let cache = TrieCache::new();
+        let r = rel("R", vec![vec![1.0, 2.0], vec![1.0, 3.0]]);
+        let s = rel("S", vec![vec![1.0, 2.0], vec![1.0, 3.0]]);
+        let atom_r = BoundAtom::new(&r, vec![0, 1]);
+        let first = cache.tries_for(&atom_r, &[0, 1], 1);
+        // Same content under a different name: a hit, sharing the same trie.
+        let atom_s = BoundAtom::new(&s, vec![0, 1]);
+        let second = cache.tries_for(&atom_s, &[0, 1], 1);
+        assert!(Arc::ptr_eq(&first, &second));
+        // Different binding, level order or shard count: separate entries.
+        cache.tries_for(&BoundAtom::new(&r, vec![1, 0]), &[0, 1], 1);
+        cache.tries_for(&atom_r, &[1, 0], 1);
+        cache.tries_for(&atom_r, &[0, 1], 2);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.entries, 4);
+        assert!((stats.hit_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_bounds_resident_entries() {
+        let cache = TrieCache::with_capacity(1);
+        let r = rel("R", vec![vec![1.0]]);
+        let s = rel("S", vec![vec![2.0]]);
+        cache.tries_for(&BoundAtom::new(&r, vec![0]), &[0], 1);
+        cache.tries_for(&BoundAtom::new(&s, vec![0]), &[0], 1);
+        assert_eq!(cache.stats().entries, 1);
+        // The retained entry still hits.
+        cache.tries_for(&BoundAtom::new(&r, vec![0]), &[0], 1);
+        assert_eq!(cache.stats().hits, 1);
+    }
+}

@@ -9,7 +9,8 @@
 //!   and for ablation benchmarks.
 
 use crate::atom::{hypergraph_of, BoundAtom};
-use crate::generic::{generic_join_boolean, generic_join_enumerate};
+use crate::cache::EvalContext;
+use crate::generic::{generic_join_boolean_with, generic_join_enumerate_with};
 use crate::yannakakis::yannakakis_boolean;
 use ij_hypergraph::VarId;
 use ij_relation::Relation;
@@ -40,6 +41,19 @@ pub enum EjStrategy {
 /// decomposition work proportional to the join structure rather than the
 /// schema width.
 pub fn evaluate_ej_boolean(atoms: &[BoundAtom<'_>], strategy: EjStrategy) -> bool {
+    evaluate_ej_boolean_with(atoms, strategy, EvalContext::default())
+}
+
+/// [`evaluate_ej_boolean`] with an explicit [`EvalContext`]: every trie built
+/// anywhere under the chosen strategy (the plain generic join, and the bag
+/// materialisations of the decomposition-guided evaluation) is served from
+/// the context's cache and sharded per its shard count.  The answer is
+/// identical for every context.
+pub fn evaluate_ej_boolean_with(
+    atoms: &[BoundAtom<'_>],
+    strategy: EjStrategy,
+    eval: EvalContext<'_>,
+) -> bool {
     match strategy {
         EjStrategy::Auto | EjStrategy::Decomposition => {
             if atoms.is_empty() {
@@ -58,18 +72,18 @@ pub fn evaluate_ej_boolean(atoms: &[BoundAtom<'_>], strategy: EjStrategy) -> boo
                 if let Some(answer) = yannakakis_boolean(&projected) {
                     answer
                 } else if hypergraph_of(&projected).0.num_vertices() <= MAX_DP_VERTICES {
-                    decomposition_boolean(&projected)
+                    decomposition_boolean_with(&projected, eval)
                 } else {
-                    generic_join_boolean(&projected, None)
+                    generic_join_boolean_with(&projected, None, eval)
                 }
             } else {
-                decomposition_boolean(&projected)
+                decomposition_boolean_with(&projected, eval)
             }
         }
         EjStrategy::Yannakakis => {
             yannakakis_boolean(atoms).expect("Yannakakis strategy requires an alpha-acyclic query")
         }
-        EjStrategy::GenericJoin => generic_join_boolean(atoms, None),
+        EjStrategy::GenericJoin => generic_join_boolean_with(atoms, None, eval),
     }
 }
 
@@ -112,6 +126,12 @@ fn project_singleton_variables(atoms: &[BoundAtom<'_>]) -> (Vec<Relation>, Vec<V
 /// hypertree decomposition with the generic join, then run Yannakakis over
 /// the (acyclic) bag query.
 pub fn decomposition_boolean(atoms: &[BoundAtom<'_>]) -> bool {
+    decomposition_boolean_with(atoms, EvalContext::default())
+}
+
+/// [`decomposition_boolean`] with an explicit [`EvalContext`] threaded into
+/// every bag materialisation (and the generic-join fallback).
+pub fn decomposition_boolean_with(atoms: &[BoundAtom<'_>], eval: EvalContext<'_>) -> bool {
     if atoms.is_empty() {
         return true;
     }
@@ -163,7 +183,7 @@ pub fn decomposition_boolean(atoms: &[BoundAtom<'_>]) -> bool {
         .map(|(i, bag)| {
             let bag_vars: Vec<VarId> = bag.iter().map(|&dense| dense_to_caller[dense]).collect();
             (
-                materialise_bag(atoms, &bag_vars, &format!("bag{i}")),
+                materialise_bag_with(atoms, &bag_vars, &format!("bag{i}"), eval),
                 bag_vars,
             )
         })
@@ -180,13 +200,28 @@ pub fn decomposition_boolean(atoms: &[BoundAtom<'_>]) -> bool {
         .iter()
         .map(|(rel, vars)| BoundAtom::new(rel, vars.clone()))
         .collect();
-    yannakakis_boolean(&bag_atoms).unwrap_or_else(|| generic_join_boolean(&bag_atoms, None))
+    yannakakis_boolean(&bag_atoms)
+        .unwrap_or_else(|| generic_join_boolean_with(&bag_atoms, None, eval))
 }
 
 /// Materialises one bag: the join of the projections of every overlapping
 /// atom onto the bag (atoms fully contained in the bag are enforced exactly;
 /// the others act as semijoin filters).
 pub fn materialise_bag(atoms: &[BoundAtom<'_>], bag_vars: &[VarId], name: &str) -> Relation {
+    materialise_bag_with(atoms, bag_vars, name, EvalContext::default())
+}
+
+/// [`materialise_bag`] with an explicit [`EvalContext`] for the underlying
+/// generic-join enumeration.  The projections computed here are deterministic
+/// functions of the atoms and the bag, so when the same bag recurs across the
+/// disjuncts of a reduction, the context's cache serves the projection tries
+/// without rebuilding them.
+pub fn materialise_bag_with(
+    atoms: &[BoundAtom<'_>],
+    bag_vars: &[VarId],
+    name: &str,
+    eval: EvalContext<'_>,
+) -> Relation {
     // Project each overlapping atom onto the bag.
     let mut projected: Vec<(Relation, Vec<VarId>)> = Vec::new();
     for atom in atoms {
@@ -216,7 +251,7 @@ pub fn materialise_bag(atoms: &[BoundAtom<'_>], bag_vars: &[VarId], name: &str) 
         .iter()
         .map(|(rel, vars)| BoundAtom::new(rel, vars.clone()))
         .collect();
-    generic_join_enumerate(&proj_atoms, bag_vars, name)
+    generic_join_enumerate_with(&proj_atoms, bag_vars, name, eval)
 }
 
 #[cfg(test)]

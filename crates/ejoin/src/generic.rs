@@ -8,36 +8,81 @@
 //! the projection of every full assignment onto the requested output
 //! variables.
 //!
-//! This is the standard leapfrog/generic-join scheme of Ngo et al. [27] and
-//! Veldhuizen [34], realised with hash tries over interned [`ValueId`]s —
+//! This is the standard leapfrog/generic-join scheme of Ngo et al. \[27\] and
+//! Veldhuizen \[34\], realised with hash tries over interned [`ValueId`]s —
 //! the search intersects, probes and collects dense `u32` ids end to end and
 //! only resolves values at the API boundary.
+//!
+//! # Caching and sharding
+//!
+//! The `*_with` variants take an [`EvalContext`]: tries are served from its
+//! [`TrieCache`](crate::TrieCache) when one is attached, and when the shard
+//! count exceeds one the atoms containing the first join variable are built
+//! as hash-partitioned sub-tries ([`AtomTrie::build_sharded`]) and the search
+//! fans out across shards on scoped threads.  Any full assignment binds the
+//! first join variable to a single value, which lives in exactly one shard —
+//! so the per-shard searches partition the result space and their disjunction
+//! (or union, for enumeration) is bit-identical to the unsharded search.
 
 use crate::atom::{all_vars, BoundAtom};
+use crate::cache::EvalContext;
 use crate::trie::{AtomTrie, TrieNode};
 use ij_hypergraph::VarId;
 use ij_relation::{IdHashSet, Relation, Value, ValueId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// A shared context for one generic-join execution.
-struct JoinContext<'a> {
-    tries: Vec<AtomTrie>,
+///
+/// `tries[i]` holds either a single trie (atom not sharded — it does not
+/// contain the split variable, or sharding is off) or `num_shards` sub-tries
+/// partitioned by the split variable's value hash.
+struct JoinContext {
+    tries: Vec<Arc<Vec<AtomTrie>>>,
     order: Vec<VarId>,
     /// For every atom, for every order position, the trie level entered when
     /// that variable is assigned (or `None` if the atom skips the variable).
     level_of: Vec<Vec<Option<usize>>>,
-    _marker: std::marker::PhantomData<&'a ()>,
+    /// Search fan-out: 1 when nothing is sharded.
+    num_shards: usize,
 }
 
-impl<'a> JoinContext<'a> {
-    fn new(atoms: &[BoundAtom<'a>], order: Option<Vec<VarId>>) -> Self {
+impl JoinContext {
+    fn new(atoms: &[BoundAtom<'_>], order: Option<Vec<VarId>>, eval: EvalContext<'_>) -> Self {
         let order = order.unwrap_or_else(|| all_vars(atoms));
-        let tries: Vec<AtomTrie> = atoms.iter().map(|a| AtomTrie::build(a, &order)).collect();
+        // The split variable: the first variable of the order that occurs in
+        // any atom.  Every atom containing it has it as its first trie level
+        // (level order follows the global order), so those atoms shard by it;
+        // the others are built once and shared by every shard.
+        let requested = eval.shard_count();
+        let split_var = if requested > 1 {
+            order
+                .iter()
+                .copied()
+                .find(|v| atoms.iter().any(|a| a.vars.contains(v)))
+        } else {
+            None
+        };
+        let num_shards = if split_var.is_some() { requested } else { 1 };
+        let tries: Vec<Arc<Vec<AtomTrie>>> = atoms
+            .iter()
+            .map(|a| {
+                let shards = match split_var {
+                    Some(v) if a.vars.contains(&v) => num_shards,
+                    _ => 1,
+                };
+                match eval.cache {
+                    Some(cache) => cache.tries_for(a, &order, shards),
+                    None => Arc::new(AtomTrie::build_sharded(a, &order, shards)),
+                }
+            })
+            .collect();
         let level_of: Vec<Vec<Option<usize>>> = tries
             .iter()
             .map(|t| {
                 order
                     .iter()
-                    .map(|v| t.level_vars.iter().position(|u| u == v))
+                    .map(|v| t[0].level_vars.iter().position(|u| u == v))
                     .collect()
             })
             .collect();
@@ -45,8 +90,31 @@ impl<'a> JoinContext<'a> {
             tries,
             order,
             level_of,
-            _marker: std::marker::PhantomData,
+            num_shards,
         }
+    }
+
+    /// The trie of atom `i` effective in shard `shard`.
+    fn trie(&self, i: usize, shard: usize) -> &AtomTrie {
+        let shards = &self.tries[i];
+        if shards.len() == 1 {
+            &shards[0]
+        } else {
+            &shards[shard]
+        }
+    }
+
+    /// Root positions for one shard.
+    fn roots(&self, shard: usize) -> Vec<&TrieNode> {
+        (0..self.tries.len())
+            .map(|i| self.trie(i, shard).root())
+            .collect()
+    }
+
+    /// True if some atom's sub-trie for this shard is empty (the shard's
+    /// intersection is necessarily empty, so the search can be skipped).
+    fn shard_is_dead(&self, shard: usize) -> bool {
+        (0..self.tries.len()).any(|i| self.trie(i, shard).is_empty())
     }
 }
 
@@ -55,15 +123,45 @@ impl<'a> JoinContext<'a> {
 /// non-empty.  An explicit variable order can be supplied; by default the
 /// variables are processed in increasing identifier order.
 pub fn generic_join_boolean(atoms: &[BoundAtom<'_>], order: Option<Vec<VarId>>) -> bool {
+    generic_join_boolean_with(atoms, order, EvalContext::default())
+}
+
+/// [`generic_join_boolean`] with an explicit [`EvalContext`]: tries come from
+/// the context's cache (when present) and the search fans out across trie
+/// shards (when `shards > 1`).  The answer is identical for every context.
+pub fn generic_join_boolean_with(
+    atoms: &[BoundAtom<'_>],
+    order: Option<Vec<VarId>>,
+    eval: EvalContext<'_>,
+) -> bool {
     if atoms.iter().any(|a| a.relation.is_empty()) {
         return false;
     }
     if atoms.is_empty() {
         return true;
     }
-    let ctx = JoinContext::new(atoms, order);
-    let mut positions: Vec<&TrieNode> = ctx.tries.iter().map(|t| t.root()).collect();
-    search(&ctx, 0, &mut positions, &mut |_| true)
+    let ctx = JoinContext::new(atoms, order, eval);
+    if ctx.num_shards == 1 {
+        let mut positions = ctx.roots(0);
+        return search(&ctx, 0, &mut positions, None, &mut |_| true);
+    }
+    // Fan out: one scoped thread per shard, first success stops the rest.
+    let found = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for shard in 0..ctx.num_shards {
+            if ctx.shard_is_dead(shard) {
+                continue;
+            }
+            let (ctx, found) = (&ctx, &found);
+            scope.spawn(move || {
+                let mut positions = ctx.roots(shard);
+                if search(ctx, 0, &mut positions, Some(found), &mut |_| true) {
+                    found.store(true, Ordering::Release);
+                }
+            });
+        }
+    });
+    found.load(Ordering::Acquire)
 }
 
 /// Enumerates the projection of the join onto `output_vars`, deduplicated.
@@ -74,6 +172,20 @@ pub fn generic_join_enumerate(
     atoms: &[BoundAtom<'_>],
     output_vars: &[VarId],
     output_name: &str,
+) -> Relation {
+    generic_join_enumerate_with(atoms, output_vars, output_name, EvalContext::default())
+}
+
+/// [`generic_join_enumerate`] with an explicit [`EvalContext`]: tries come
+/// from the context's cache (when present) and each shard is enumerated on
+/// its own scoped thread (when `shards > 1`), the per-shard results being
+/// merged, sorted and deduplicated — the output relation is identical for
+/// every context.
+pub fn generic_join_enumerate_with(
+    atoms: &[BoundAtom<'_>],
+    output_vars: &[VarId],
+    output_name: &str,
+    eval: EvalContext<'_>,
 ) -> Relation {
     let mut out = Relation::new(output_name, output_vars.len());
     if atoms.is_empty() || atoms.iter().any(|a| a.relation.is_empty()) {
@@ -86,13 +198,12 @@ pub fn generic_join_enumerate(
             order.push(v);
         }
     }
-    let ctx = JoinContext::new(atoms, Some(order.clone()));
+    let ctx = JoinContext::new(atoms, Some(order.clone()), eval);
     let out_positions: Vec<usize> = output_vars
         .iter()
         .map(|v| order.iter().position(|u| u == v).unwrap())
         .collect();
 
-    let mut positions: Vec<&TrieNode> = ctx.tries.iter().map(|t| t.root()).collect();
     // Collect assignments of the output prefix; because output variables form
     // a prefix of the order, each time the search reaches depth
     // `output_vars.len()` with a new prefix we record it and prune the rest of
@@ -102,16 +213,37 @@ pub fn generic_join_enumerate(
     // cached so the evaluation hot path never takes the dictionary write lock.
     static PLACEHOLDER: std::sync::OnceLock<ValueId> = std::sync::OnceLock::new();
     let placeholder = *PLACEHOLDER.get_or_init(|| ValueId::intern(Value::point(0.0)));
-    let mut assignment: Vec<ValueId> = vec![placeholder; order.len()];
-    let mut results: Vec<Vec<ValueId>> = Vec::new();
-    enumerate_rec(
-        &ctx,
-        0,
-        &mut positions,
-        &mut assignment,
-        &out_positions,
-        &mut results,
-    );
+    let enumerate_shard = |shard: usize| -> Vec<Vec<ValueId>> {
+        let mut results: Vec<Vec<ValueId>> = Vec::new();
+        if ctx.shard_is_dead(shard) {
+            return results;
+        }
+        let mut positions = ctx.roots(shard);
+        let mut assignment: Vec<ValueId> = vec![placeholder; order.len()];
+        enumerate_rec(
+            &ctx,
+            0,
+            &mut positions,
+            &mut assignment,
+            &out_positions,
+            &mut results,
+        );
+        results
+    };
+    let mut results: Vec<Vec<ValueId>> = if ctx.num_shards == 1 {
+        enumerate_shard(0)
+    } else {
+        // Fan out one scoped thread per shard; merging in shard order (and
+        // sorting below) keeps the output deterministic.
+        let per_shard: Vec<Vec<Vec<ValueId>>> = std::thread::scope(|scope| {
+            let enumerate_shard = &enumerate_shard;
+            let handles: Vec<_> = (0..ctx.num_shards)
+                .map(|shard| scope.spawn(move || enumerate_shard(shard)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        per_shard.into_iter().flatten().collect()
+    };
     results.sort_unstable();
     results.dedup();
     for r in results {
@@ -121,15 +253,23 @@ pub fn generic_join_enumerate(
 }
 
 /// Core recursive search.  `on_full` is invoked on every full assignment; the
-/// search stops as soon as it returns true.
+/// search stops as soon as it returns true.  When `stop` is set and flips to
+/// true (another shard already found a match), the search bails out with
+/// `false` — callers combine per-shard results with the flag itself.
 fn search<'t>(
-    ctx: &'t JoinContext<'_>,
+    ctx: &'t JoinContext,
     depth: usize,
     positions: &mut Vec<&'t TrieNode>,
+    stop: Option<&AtomicBool>,
     on_full: &mut impl FnMut(&[&TrieNode]) -> bool,
 ) -> bool {
     if depth == ctx.order.len() {
         return on_full(positions);
+    }
+    if let Some(flag) = stop {
+        if flag.load(Ordering::Acquire) {
+            return false;
+        }
     }
     // Atoms participating in this variable.
     let participating: Vec<usize> = (0..ctx.tries.len())
@@ -138,7 +278,7 @@ fn search<'t>(
     if participating.is_empty() {
         // No atom constrains this variable (can happen for variables
         // projected away by empty atoms lists); just skip it.
-        return search(ctx, depth + 1, positions, on_full);
+        return search(ctx, depth + 1, positions, stop, on_full);
     }
     // Iterate the smallest candidate set, probe the others.
     let smallest = *participating
@@ -159,7 +299,7 @@ fn search<'t>(
                 }
             }
         }
-        if ok && search(ctx, depth + 1, positions, on_full) {
+        if ok && search(ctx, depth + 1, positions, stop, on_full) {
             return true;
         }
         *positions = saved;
@@ -170,7 +310,7 @@ fn search<'t>(
 /// Recursive enumeration collecting output prefixes of satisfiable
 /// assignments.
 fn enumerate_rec<'t>(
-    ctx: &'t JoinContext<'_>,
+    ctx: &'t JoinContext,
     depth: usize,
     positions: &mut Vec<&'t TrieNode>,
     assignment: &mut Vec<ValueId>,
@@ -421,6 +561,57 @@ mod tests {
         let out = generic_join_enumerate(&atoms, &[A], "out");
         assert_eq!(out.len(), 1);
         assert_eq!(out.tuples()[0][0], Value::point(1.0));
+    }
+
+    #[test]
+    fn sharded_and_cached_joins_match_the_unsharded_baseline() {
+        use crate::cache::TrieCache;
+        let mut seed = 99u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) % 6) as f64
+        };
+        let cache = TrieCache::new();
+        for _ in 0..20 {
+            let rows = |n: usize, next: &mut dyn FnMut() -> f64| {
+                (0..n).map(|_| vec![next(), next()]).collect::<Vec<_>>()
+            };
+            let r = rel("R", rows(8, &mut next));
+            let s = rel("S", rows(8, &mut next));
+            let t = rel("T", rows(8, &mut next));
+            let atoms = vec![
+                BoundAtom::new(&r, vec![A, B]),
+                BoundAtom::new(&s, vec![B, C]),
+                BoundAtom::new(&t, vec![A, C]),
+            ];
+            let expected = generic_join_boolean(&atoms, None);
+            let expected_out = generic_join_enumerate(&atoms, &[A, B, C], "out");
+            for shards in [1usize, 2, 3, 7] {
+                for cache_ref in [None, Some(&cache)] {
+                    let eval = EvalContext {
+                        cache: cache_ref,
+                        shards,
+                    };
+                    assert_eq!(
+                        generic_join_boolean_with(&atoms, None, eval),
+                        expected,
+                        "boolean, shards {shards}, cached {}",
+                        cache_ref.is_some()
+                    );
+                    let out = generic_join_enumerate_with(&atoms, &[A, B, C], "out", eval);
+                    assert_eq!(
+                        out.tuples(),
+                        expected_out.tuples(),
+                        "enumerate, shards {shards}, cached {}",
+                        cache_ref.is_some()
+                    );
+                }
+            }
+        }
+        // The loop re-evaluates identical builds: the cache must have hit.
+        assert!(cache.stats().hits > 0);
     }
 
     #[test]

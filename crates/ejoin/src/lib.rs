@@ -6,9 +6,9 @@
 //!
 //! * [`generic_join_boolean`] / [`generic_join_enumerate`] — the generic
 //!   worst-case-optimal join (attribute-at-a-time with hash tries), following
-//!   Ngo–Porat–Ré–Rudra [27] and Leapfrog Triejoin [34];
+//!   Ngo–Porat–Ré–Rudra \[27\] and Leapfrog Triejoin \[34\];
 //! * [`yannakakis_boolean`] — Yannakakis' linear-time algorithm for
-//!   α-acyclic Boolean queries [35];
+//!   α-acyclic Boolean queries \[35\];
 //! * [`decomposition_boolean`] — the width-guided evaluation of
 //!   Appendix A.2.1: materialise the bags of an optimal fractional hypertree
 //!   decomposition with the generic join, then run Yannakakis over the bag
@@ -18,15 +18,35 @@
 //! Relations are bound to query variables through [`BoundAtom`]; the engine
 //! is agnostic to whether the values are numbers or the bitstrings produced
 //! by the reduction.
+//!
+//! # Shared tries and sharded builds
+//!
+//! The `*_with` entry points ([`evaluate_ej_boolean_with`], …) take an
+//! [`EvalContext`] carrying an optional [`TrieCache`] — so the disjuncts of
+//! one reduction share built tries instead of rebuilding them — and a trie
+//! shard count: atoms containing the first join variable are built as
+//! hash-partitioned sub-tries on scoped threads and the search fans out
+//! shard by shard ([`AtomTrie::build_sharded`]).  Answers are bit-identical
+//! for every cache/shard setting.
+
+#![warn(missing_docs)]
 
 mod atom;
+mod cache;
 mod evaluate;
 mod generic;
 mod trie;
 mod yannakakis;
 
 pub use atom::{all_vars, hypergraph_of, BoundAtom};
-pub use evaluate::{decomposition_boolean, evaluate_ej_boolean, materialise_bag, EjStrategy};
-pub use generic::{generic_join_boolean, generic_join_enumerate, semijoin};
-pub use trie::{AtomTrie, TrieNode};
+pub use cache::{relation_fingerprint, EvalContext, TrieCache, TrieCacheStats};
+pub use evaluate::{
+    decomposition_boolean, decomposition_boolean_with, evaluate_ej_boolean,
+    evaluate_ej_boolean_with, materialise_bag, materialise_bag_with, EjStrategy,
+};
+pub use generic::{
+    generic_join_boolean, generic_join_boolean_with, generic_join_enumerate,
+    generic_join_enumerate_with, semijoin,
+};
+pub use trie::{shard_of, AtomTrie, TrieNode};
 pub use yannakakis::yannakakis_boolean;

@@ -10,10 +10,34 @@
 //! storage with a multiply-mix hasher — the join never hashes or compares a
 //! full `Value`; build and probe work entirely on dense `u32` ids read
 //! straight out of the column vectors.
+//!
+//! # Sharded builds
+//!
+//! [`AtomTrie::build_sharded`] splits the build across threads: rows are
+//! partitioned by a deterministic hash of the value bound to the trie's
+//! *first* level variable ([`shard_of`]), and one sub-trie is built per shard
+//! on a scoped worker thread.  Because a given first-level value lands in
+//! exactly one shard, the union of the shard tries equals the unsharded trie,
+//! and a join search can be fanned out shard by shard (see
+//! `generic.rs`): any full assignment binds the first join variable to one
+//! value, hence lives entirely inside one shard.  The row partition itself is
+//! computed over [`ColumnsView`](ij_relation::ColumnsView) row-range chunks,
+//! so both phases of the build parallelise.
 
 use crate::BoundAtom;
 use ij_hypergraph::VarId;
 use ij_relation::{IdHashMap, ValueId};
+
+/// The shard a first-level value id belongs to, out of `num_shards`.
+///
+/// The mapping is a fixed multiply-mix of the raw id — deterministic across
+/// threads, runs and machines, which keeps sharded evaluation bit-identical
+/// to the unsharded one.
+pub fn shard_of(id: ValueId, num_shards: usize) -> usize {
+    debug_assert!(num_shards > 0);
+    let mixed = (id.raw() as u64 ^ 0x9E37_79B9_7F4A_7C15).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    ((mixed >> 32) % num_shards as u64) as usize
+}
 
 /// One node of a hash trie.
 #[derive(Debug, Default)]
@@ -57,53 +81,87 @@ impl AtomTrie {
     /// `global_order` (a total order over all query variables, e.g. the
     /// elimination order of the chosen decomposition).
     pub fn build(atom: &BoundAtom<'_>, global_order: &[VarId]) -> Self {
-        let position = |v: VarId| {
-            global_order
+        let plan = TriePlan::new(atom, global_order);
+        let root = plan.build_root(None);
+        AtomTrie {
+            level_vars: plan.level_vars,
+            root,
+        }
+    }
+
+    /// Builds the trie of `atom` split into `num_shards` sub-tries by
+    /// [`shard_of`] on the first level variable's value, each shard built on
+    /// its own scoped thread.  Every returned trie carries the same
+    /// `level_vars`; their union over shards equals [`AtomTrie::build`].
+    ///
+    /// Degenerates to a single unsharded trie when `num_shards <= 1` or the
+    /// atom has no levels (arity-zero guard relations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the relation has more than `u32::MAX` rows (the partition
+    /// stores row indices as `u32`; a silent wrap would corrupt the shards).
+    pub fn build_sharded(
+        atom: &BoundAtom<'_>,
+        global_order: &[VarId],
+        num_shards: usize,
+    ) -> Vec<Self> {
+        assert!(
+            atom.relation.len() <= u32::MAX as usize,
+            "sharded trie build supports at most 2^32 rows per relation"
+        );
+        let plan = TriePlan::new(atom, global_order);
+        if num_shards <= 1 || plan.level_columns.is_empty() {
+            let root = plan.build_root(None);
+            return vec![AtomTrie {
+                level_vars: plan.level_vars,
+                root,
+            }];
+        }
+        // Phase 1 — partition: hash the first-level column chunk by chunk
+        // (row-range views), then concatenate the per-chunk shard lists in
+        // chunk order.  The partition is a pure function of the ids, so the
+        // chunking never affects the result.
+        let chunks = atom.relation.columns().chunks(num_shards);
+        let first_col_index = plan.first_level_column;
+        let chunk_parts: Vec<Vec<Vec<u32>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
                 .iter()
-                .position(|&u| u == v)
-                .expect("variable missing from global order")
-        };
-        // Distinct variables of the atom in global order.
-        let mut level_vars: Vec<VarId> = atom.var_set().into_iter().collect();
-        level_vars.sort_by_key(|&v| position(v));
-
-        // For each level variable, the id column of the first relation column
-        // bound to it; plus the (col_a, col_b) pairs that must agree
-        // (repeated variables inside the atom).
-        let level_columns: Vec<&[ValueId]> = level_vars
-            .iter()
-            .map(|&v| {
-                let col = atom
-                    .vars
-                    .iter()
-                    .position(|&u| u == v)
-                    .expect("column exists");
-                atom.relation.column_ids(col)
+                .map(|view| {
+                    scope.spawn(move || {
+                        let mut parts: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
+                        let base = view.start() as u32;
+                        for (i, &id) in view.column(first_col_index).iter().enumerate() {
+                            parts[shard_of(id, num_shards)].push(base + i as u32);
+                        }
+                        parts
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut shard_rows: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
+        for parts in chunk_parts {
+            for (shard, mut rows) in parts.into_iter().enumerate() {
+                shard_rows[shard].append(&mut rows);
+            }
+        }
+        // Phase 2 — build one sub-trie per shard in parallel.
+        let roots: Vec<TrieNode> = std::thread::scope(|scope| {
+            let plan = &plan;
+            let handles: Vec<_> = shard_rows
+                .iter()
+                .map(|rows| scope.spawn(move || plan.build_root(Some(rows))))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        roots
+            .into_iter()
+            .map(|root| AtomTrie {
+                level_vars: plan.level_vars.clone(),
+                root,
             })
-            .collect();
-        let mut equal_pairs: Vec<(&[ValueId], &[ValueId])> = Vec::new();
-        for (i, &v) in atom.vars.iter().enumerate() {
-            let first = atom.vars.iter().position(|&u| u == v).unwrap();
-            if first != i {
-                equal_pairs.push((atom.relation.column_ids(first), atom.relation.column_ids(i)));
-            }
-        }
-
-        let mut root = TrieNode::default();
-        let mut path: Vec<ValueId> = vec![ValueId::dummy(); level_columns.len()];
-        'tuples: for row in 0..atom.relation.len() {
-            for (a, b) in &equal_pairs {
-                // Id equality coincides with value equality.
-                if a[row] != b[row] {
-                    continue 'tuples;
-                }
-            }
-            for (slot, col) in path.iter_mut().zip(&level_columns) {
-                *slot = col[row];
-            }
-            root.insert_path(&path);
-        }
-        AtomTrie { level_vars, root }
+            .collect()
     }
 
     /// The root node.
@@ -111,9 +169,107 @@ impl AtomTrie {
         &self.root
     }
 
+    /// True if a trie with at least one level holds no tuples (possible for
+    /// individual shards, and for atoms whose repeated-variable filter
+    /// rejects every row).  Zero-level tries (arity-zero guard atoms) carry
+    /// no row information and always report non-empty — the join engine
+    /// short-circuits empty relations before any trie is built.
+    pub fn is_empty(&self) -> bool {
+        self.root.children.is_empty() && !self.level_vars.is_empty()
+    }
+
     /// Number of levels (distinct variables).
     pub fn depth(&self) -> usize {
         self.level_vars.len()
+    }
+}
+
+/// The distinct variables of `atom` sorted by their position in
+/// `global_order` — the trie levels.  Shared by the build plan below and the
+/// trie cache's key computation, so a key always describes the level order
+/// the build actually uses.
+///
+/// # Panics
+///
+/// Panics if one of the atom's variables is missing from `global_order`.
+pub(crate) fn trie_level_vars(atom: &BoundAtom<'_>, global_order: &[VarId]) -> Vec<VarId> {
+    let position = |v: VarId| {
+        global_order
+            .iter()
+            .position(|&u| u == v)
+            .expect("variable missing from global order")
+    };
+    let mut level_vars: Vec<VarId> = atom.var_set().into_iter().collect();
+    level_vars.sort_by_key(|&v| position(v));
+    level_vars
+}
+
+/// The per-atom build recipe shared by the unsharded and sharded builds: the
+/// level variables in global order, the id column backing each level, and the
+/// column pairs that must agree (repeated variables inside the atom).
+struct TriePlan<'a> {
+    level_vars: Vec<VarId>,
+    /// Relation column index backing the first level (the shard key column).
+    first_level_column: usize,
+    level_columns: Vec<&'a [ValueId]>,
+    equal_pairs: Vec<(&'a [ValueId], &'a [ValueId])>,
+}
+
+impl<'a> TriePlan<'a> {
+    fn new(atom: &BoundAtom<'a>, global_order: &[VarId]) -> Self {
+        let level_vars = trie_level_vars(atom, global_order);
+        let column_of = |v: VarId| {
+            atom.vars
+                .iter()
+                .position(|&u| u == v)
+                .expect("column exists")
+        };
+        let level_columns: Vec<&[ValueId]> = level_vars
+            .iter()
+            .map(|&v| atom.relation.column_ids(column_of(v)))
+            .collect();
+        let first_level_column = level_vars.first().map(|&v| column_of(v)).unwrap_or(0);
+        let mut equal_pairs: Vec<(&[ValueId], &[ValueId])> = Vec::new();
+        for (i, &v) in atom.vars.iter().enumerate() {
+            let first = atom.vars.iter().position(|&u| u == v).unwrap();
+            if first != i {
+                equal_pairs.push((atom.relation.column_ids(first), atom.relation.column_ids(i)));
+            }
+        }
+        TriePlan {
+            level_vars,
+            first_level_column,
+            level_columns,
+            equal_pairs,
+        }
+    }
+
+    /// Inserts the given rows (all rows when `None`) into a fresh root.
+    fn build_root(&self, rows: Option<&[u32]>) -> TrieNode {
+        let mut root = TrieNode::default();
+        let mut path: Vec<ValueId> = vec![ValueId::dummy(); self.level_columns.len()];
+        let num_rows = self
+            .level_columns
+            .first()
+            .map(|c| c.len())
+            .unwrap_or_default();
+        let mut insert = |row: usize| {
+            for (a, b) in &self.equal_pairs {
+                // Id equality coincides with value equality.
+                if a[row] != b[row] {
+                    return;
+                }
+            }
+            for (slot, col) in path.iter_mut().zip(&self.level_columns) {
+                *slot = col[row];
+            }
+            root.insert_path(&path);
+        };
+        match rows {
+            Some(rows) => rows.iter().for_each(|&r| insert(r as usize)),
+            None => (0..num_rows).for_each(&mut insert),
+        }
+        root
     }
 }
 
@@ -170,6 +326,71 @@ mod tests {
         let atom = BoundAtom::new(&r, vec![9]);
         let trie = AtomTrie::build(&atom, &[9]);
         assert_eq!(trie.root().fanout(), 1);
+    }
+
+    /// Collects every full-depth root-to-leaf path of a trie.
+    fn paths(
+        node: &TrieNode,
+        depth: usize,
+        prefix: &mut Vec<ValueId>,
+        out: &mut Vec<Vec<ValueId>>,
+    ) {
+        if prefix.len() == depth {
+            out.push(prefix.clone());
+            return;
+        }
+        for (id, child) in node.children() {
+            prefix.push(id);
+            paths(child, depth, prefix, out);
+            prefix.pop();
+        }
+    }
+
+    #[test]
+    fn sharded_build_partitions_the_unsharded_trie() {
+        let mut seed = 3u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) % 9) as f64
+        };
+        let rows: Vec<Vec<f64>> = (0..40).map(|_| vec![next(), next()]).collect();
+        let r = rel("R", rows);
+        for vars in [vec![5, 2], vec![2, 5], vec![5, 5]] {
+            let atom = BoundAtom::new(&r, vars);
+            let order = [2, 5];
+            let full = AtomTrie::build(&atom, &order);
+            let mut full_paths = Vec::new();
+            paths(full.root(), full.depth(), &mut Vec::new(), &mut full_paths);
+            full_paths.sort_unstable();
+            for num_shards in [2usize, 3, 8] {
+                let shards = AtomTrie::build_sharded(&atom, &order, num_shards);
+                assert_eq!(shards.len(), num_shards);
+                let mut union = Vec::new();
+                for (index, shard) in shards.iter().enumerate() {
+                    assert_eq!(shard.level_vars, full.level_vars);
+                    // Every first-level value in this shard hashes to it.
+                    for (id, _) in shard.root().children() {
+                        assert_eq!(shard_of(id, num_shards), index);
+                    }
+                    paths(shard.root(), shard.depth(), &mut Vec::new(), &mut union);
+                }
+                union.sort_unstable();
+                assert_eq!(union, full_paths, "shards {num_shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_build_of_zero_level_atoms_degenerates() {
+        let mut r = ij_relation::Relation::new("E", 0);
+        r.push(vec![]);
+        let atom = BoundAtom::new(&r, vec![]);
+        let shards = AtomTrie::build_sharded(&atom, &[], 4);
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].depth(), 0);
+        assert!(!shards[0].is_empty());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Yannakakis' algorithm for α-acyclic Boolean conjunctive queries [35].
+//! Yannakakis' algorithm for α-acyclic Boolean conjunctive queries \[35\].
 //!
 //! For a Boolean query it suffices to run the bottom-up semijoin pass of the
 //! full reducer over a join tree: each relation is semijoin-reduced by its

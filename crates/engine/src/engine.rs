@@ -13,7 +13,7 @@
 //!    `O(N polylog N)` for ι-acyclic queries (Theorem 6.6).
 
 use crate::naive::{naive_boolean, NaiveError};
-use ij_ejoin::{evaluate_ej_boolean, BoundAtom, EjStrategy};
+use ij_ejoin::{evaluate_ej_boolean_with, BoundAtom, EjStrategy, EvalContext, TrieCache};
 use ij_hypergraph::{AcyclicityClass, AcyclicityReport};
 use ij_reduction::{
     forward_reduction_with, EncodingStrategy, ForwardReduction, ReducedQuery, ReductionConfig,
@@ -23,8 +23,10 @@ use ij_relation::{Database, Query};
 use ij_widths::{ij_width, IjWidthReport};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
+pub use ij_ejoin::TrieCacheStats;
+
 /// Configuration of the engine.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
     /// Strategy used for every EJ query of the disjunction.
     pub ej_strategy: EjStrategy,
@@ -41,17 +43,54 @@ pub struct EngineConfig {
     /// every setting; a true disjunct found by any worker stops the others
     /// at their next scheduling point.
     pub parallelism: usize,
+    /// Capacity of the per-evaluation trie cache (entries): the disjuncts of
+    /// one reduction overwhelmingly share transformed relations, and the
+    /// cache lets them share the *built tries* instead of rebuilding them
+    /// per disjunct.  `0` disables sharing entirely (every disjunct rebuilds
+    /// its tries).  The Boolean answer is identical for every setting.
+    ///
+    /// ```
+    /// use ij_engine::EngineConfig;
+    ///
+    /// assert_eq!(EngineConfig::new().trie_cache_capacity, 4096);
+    /// let rebuild = EngineConfig::new().with_trie_cache_capacity(0);
+    /// assert_eq!(rebuild.trie_cache_capacity, 0); // rebuild-per-disjunct
+    /// ```
+    pub trie_cache_capacity: usize,
+    /// Trie shard count: `0` builds one shard per available hardware thread,
+    /// `1` (the default) builds each trie unsharded, `n` splits each trie
+    /// into `n` hash-partitioned sub-tries built on scoped threads, with the
+    /// join search fanned out shard by shard.  The Boolean answer is
+    /// identical for every setting.
+    ///
+    /// ```
+    /// use ij_engine::EngineConfig;
+    ///
+    /// assert_eq!(EngineConfig::new().trie_shards, 1);
+    /// let sharded = EngineConfig::new().with_trie_shards(4);
+    /// assert_eq!(sharded.trie_shards, 4);
+    /// ```
+    pub trie_shards: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::new()
+    }
 }
 
 impl EngineConfig {
-    /// The default configuration with deduplication enabled, the flat
-    /// encoding and hardware parallelism.
+    /// The default configuration: deduplication enabled, the flat encoding,
+    /// hardware parallelism across disjuncts, a 4096-entry trie cache and
+    /// unsharded trie builds.
     pub fn new() -> Self {
         EngineConfig {
             ej_strategy: EjStrategy::Auto,
             dedupe_queries: true,
             encoding: EncodingStrategy::Flat,
             parallelism: 0,
+            trie_cache_capacity: 4096,
+            trie_shards: 1,
         }
     }
 
@@ -68,6 +107,20 @@ impl EngineConfig {
     /// This configuration with an explicit disjunct-evaluation worker count.
     pub fn with_parallelism(mut self, parallelism: usize) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// This configuration with an explicit trie-cache capacity (`0` disables
+    /// trie sharing; see [`EngineConfig::trie_cache_capacity`]).
+    pub fn with_trie_cache_capacity(mut self, capacity: usize) -> Self {
+        self.trie_cache_capacity = capacity;
+        self
+    }
+
+    /// This configuration with an explicit trie shard count (`0` = hardware
+    /// parallelism; see [`EngineConfig::trie_shards`]).
+    pub fn with_trie_shards(mut self, shards: usize) -> Self {
+        self.trie_shards = shards;
         self
     }
 
@@ -151,6 +204,14 @@ pub struct EvaluationStats {
     pub ej_queries_evaluated: usize,
     /// Number of EJ queries in the disjunction after deduplication.
     pub ej_queries_total: usize,
+    /// Number of scheduling batches the disjuncts were grouped into (one
+    /// batch per distinct set of referenced transformed relations — the unit
+    /// a worker pulls, so trie reuse within a batch is maximal; oversized
+    /// batches are split when that would otherwise leave workers idle).
+    pub ej_query_batches: usize,
+    /// Hit/miss counters of the evaluation's shared trie cache (all zeros
+    /// when [`EngineConfig::trie_cache_capacity`] is `0`).
+    pub trie_cache: TrieCacheStats,
     /// The answer.
     pub answer: bool,
 }
@@ -222,12 +283,22 @@ impl IntersectionJoinEngine {
     /// Evaluates an already-computed forward reduction (useful when the same
     /// reduced database is probed several times, e.g. in benchmarks).
     ///
-    /// The deduplicated disjuncts are evaluated by
-    /// [`EngineConfig::parallelism`] workers pulling from a shared atomic
-    /// work index; the first worker to find a true disjunct flips an
-    /// [`AtomicBool`] that stops the others at their next pull.  The
-    /// evaluation only *reads* the transformed relations' interned id
-    /// columns, so the workers share the reduction without locking.
+    /// The deduplicated disjuncts are grouped into **batches** by the set of
+    /// transformed relations they reference (disjuncts produced by different
+    /// permutations overwhelmingly share relations), and the batches are
+    /// evaluated by [`EngineConfig::parallelism`] workers pulling one batch
+    /// per shared atomic work-index increment; the first worker to find a
+    /// true disjunct flips an [`AtomicBool`] that stops the others at their
+    /// next scheduling point (between disjuncts within a batch, and between
+    /// batches).  All workers share one [`TrieCache`] sized by
+    /// [`EngineConfig::trie_cache_capacity`], so a trie built for one
+    /// disjunct is reused by every later disjunct of the evaluation — batch
+    /// grouping makes the reuse run hot within a worker's current batch.
+    /// Grouping is a locality hint, not a parallelism constraint: when it
+    /// yields fewer batches than workers, the largest batches are split so
+    /// every worker stays busy.  The evaluation only *reads* the transformed
+    /// relations' interned id columns, so the workers share the reduction
+    /// without locking.
     pub fn evaluate_reduction(&self, reduction: &ForwardReduction) -> EvaluationStats {
         // Deduplicate EJ queries that are literally identical (same relations
         // bound to the same variables).
@@ -236,16 +307,43 @@ impl IntersectionJoinEngine {
         } else {
             (0..reduction.queries.len()).collect()
         };
+        let mut batches = Self::batch_by_shared_relations(reduction, &to_run);
+
+        let cache = (self.config.trie_cache_capacity > 0)
+            .then(|| TrieCache::with_capacity(self.config.trie_cache_capacity));
+        let eval = EvalContext {
+            cache: cache.as_ref(),
+            shards: self.config.trie_shards,
+        };
 
         let workers = self.config.worker_count(to_run.len());
+        // Don't let grouping serialize the pool: as long as there are fewer
+        // batches than workers, halve the largest splittable batch.  (The
+        // shared cache still gives cross-batch trie reuse.)
+        while !batches.is_empty() && batches.len() < workers {
+            let largest = batches
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, b)| b.len())
+                .map(|(i, _)| i)
+                .expect("batches is non-empty");
+            if batches[largest].len() <= 1 {
+                break;
+            }
+            let mid = batches[largest].len() / 2;
+            let half = batches[largest].split_off(mid);
+            batches.insert(largest + 1, half);
+        }
         let (evaluated, answer) = if workers <= 1 {
             let mut evaluated = 0usize;
             let mut answer = false;
-            for &i in &to_run {
-                evaluated += 1;
-                if self.evaluate_disjunct(reduction, &reduction.queries[i]) {
-                    answer = true;
-                    break;
+            'outer: for batch in &batches {
+                for &i in batch {
+                    evaluated += 1;
+                    if self.evaluate_disjunct(reduction, &reduction.queries[i], eval) {
+                        answer = true;
+                        break 'outer;
+                    }
                 }
             }
             (evaluated, answer)
@@ -255,18 +353,23 @@ impl IntersectionJoinEngine {
             let evaluated = AtomicUsize::new(0);
             std::thread::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|| loop {
+                    scope.spawn(|| 'pull: loop {
                         if found.load(Ordering::Acquire) {
                             break;
                         }
                         let slot = next.fetch_add(1, Ordering::Relaxed);
-                        if slot >= to_run.len() {
+                        if slot >= batches.len() {
                             break;
                         }
-                        evaluated.fetch_add(1, Ordering::Relaxed);
-                        if self.evaluate_disjunct(reduction, &reduction.queries[to_run[slot]]) {
-                            found.store(true, Ordering::Release);
-                            break;
+                        for &i in &batches[slot] {
+                            if found.load(Ordering::Acquire) {
+                                break 'pull;
+                            }
+                            evaluated.fetch_add(1, Ordering::Relaxed);
+                            if self.evaluate_disjunct(reduction, &reduction.queries[i], eval) {
+                                found.store(true, Ordering::Release);
+                                break 'pull;
+                            }
                         }
                     });
                 }
@@ -277,12 +380,48 @@ impl IntersectionJoinEngine {
             reduction: reduction.stats.clone(),
             ej_queries_evaluated: evaluated,
             ej_queries_total: to_run.len(),
+            ej_query_batches: batches.len(),
+            trie_cache: cache.map(|c| c.stats()).unwrap_or_default(),
             answer,
         }
     }
 
+    /// Groups disjunct indices into batches sharing the same set of
+    /// referenced transformed relations, preserving first-occurrence order
+    /// (both of batches and within a batch).  Workers pull whole batches, so
+    /// the tries a batch's first disjunct builds are cache-hot for the rest
+    /// of the batch.
+    fn batch_by_shared_relations(
+        reduction: &ForwardReduction,
+        to_run: &[usize],
+    ) -> Vec<Vec<usize>> {
+        use std::collections::{BTreeSet, HashMap};
+        let mut batch_of: HashMap<BTreeSet<&str>, usize> = HashMap::new();
+        let mut batches: Vec<Vec<usize>> = Vec::new();
+        for &i in to_run {
+            let key: BTreeSet<&str> = reduction.queries[i]
+                .atoms
+                .iter()
+                .map(|a| a.relation.as_str())
+                .collect();
+            match batch_of.get(&key) {
+                Some(&b) => batches[b].push(i),
+                None => {
+                    batch_of.insert(key, batches.len());
+                    batches.push(vec![i]);
+                }
+            }
+        }
+        batches
+    }
+
     /// Evaluates one EJ disjunct of a reduction.
-    fn evaluate_disjunct(&self, reduction: &ForwardReduction, rq: &ReducedQuery) -> bool {
+    fn evaluate_disjunct(
+        &self,
+        reduction: &ForwardReduction,
+        rq: &ReducedQuery,
+        eval: EvalContext<'_>,
+    ) -> bool {
         let var_ids = rq.dense_var_ids();
         let atoms: Vec<BoundAtom<'_>> = rq
             .atoms
@@ -295,7 +434,7 @@ impl IntersectionJoinEngine {
                 BoundAtom::new(rel, a.vars.iter().map(|v| var_ids[v.as_str()]).collect())
             })
             .collect();
-        evaluate_ej_boolean(&atoms, self.config.ej_strategy)
+        evaluate_ej_boolean_with(&atoms, self.config.ej_strategy, eval)
     }
 
     /// Evaluates the query with the naive reference evaluator (exhaustive
@@ -435,6 +574,161 @@ mod tests {
                     // A false answer requires every disjunct to be evaluated,
                     // regardless of the worker count.
                     assert_eq!(stats.ej_queries_evaluated, stats.ej_queries_total);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trie_cache_is_hit_on_a_disjunction_with_shared_atoms() {
+        // Force a full pass over every disjunct (false answer) with one
+        // worker: the disjuncts of the triangle reduction share transformed
+        // relations, so later disjuncts must find earlier tries in the cache.
+        let engine = IntersectionJoinEngine::new(EngineConfig::new().with_parallelism(1));
+        let (q, db) = triangle_db(false);
+        let stats = engine.evaluate_with_stats(&q, &db).unwrap();
+        assert!(!stats.answer);
+        assert!(
+            stats.trie_cache.hits > 0,
+            "expected cache hits, got {:?}",
+            stats.trie_cache
+        );
+        assert!(stats.trie_cache.entries > 0);
+        // Batching groups the disjuncts by referenced relation set (on the
+        // triangle each disjunct's set is distinct, so batches == disjuncts;
+        // the grouping itself is covered by `batching_groups_disjuncts_...`).
+        assert!(stats.ej_query_batches >= 1);
+        assert!(stats.ej_query_batches <= stats.ej_queries_total);
+
+        // With the cache disabled, the same evaluation reports no activity.
+        let rebuild = IntersectionJoinEngine::new(
+            EngineConfig::new()
+                .with_parallelism(1)
+                .with_trie_cache_capacity(0),
+        );
+        let stats = rebuild.evaluate_with_stats(&q, &db).unwrap();
+        assert!(!stats.answer);
+        assert_eq!(stats.trie_cache, TrieCacheStats::default());
+    }
+
+    #[test]
+    fn batching_groups_disjuncts_by_shared_relation_sets() {
+        use ij_hypergraph::{Hypergraph, PermutationChoice, ReducedHypergraph};
+        use ij_reduction::ReducedAtom;
+        let structure = ReducedHypergraph {
+            hypergraph: Hypergraph::new(),
+            choice: PermutationChoice {
+                permutations: std::collections::BTreeMap::new(),
+            },
+            edge_levels: vec![],
+            vertex_origin: vec![],
+        };
+        let query = |relations: &[&str]| ReducedQuery {
+            atoms: relations
+                .iter()
+                .map(|r| ReducedAtom {
+                    relation: r.to_string(),
+                    vars: vec!["X".to_string()],
+                })
+                .collect(),
+            structure: structure.clone(),
+        };
+        let reduction = ForwardReduction {
+            database: Database::new(),
+            // Disjuncts 0 and 2 reference {R, S}; disjunct 1 references {R}.
+            queries: vec![query(&["R", "S"]), query(&["R"]), query(&["S", "R"])],
+            stats: ReductionStats::default(),
+        };
+        let batches = IntersectionJoinEngine::batch_by_shared_relations(&reduction, &[0, 1, 2]);
+        assert_eq!(batches, vec![vec![0, 2], vec![1]]);
+    }
+
+    #[test]
+    fn empty_reduction_evaluates_to_false_without_panicking() {
+        // Regression: the batch-split loop must not touch an empty batch
+        // list (worker_count(0) still returns 1).
+        let reduction = ForwardReduction {
+            database: Database::new(),
+            queries: vec![],
+            stats: ReductionStats::default(),
+        };
+        for parallelism in [1usize, 4] {
+            let engine =
+                IntersectionJoinEngine::new(EngineConfig::new().with_parallelism(parallelism));
+            let stats = engine.evaluate_reduction(&reduction);
+            assert!(!stats.answer);
+            assert_eq!(stats.ej_queries_total, 0);
+            assert_eq!(stats.ej_query_batches, 0);
+        }
+    }
+
+    #[test]
+    fn oversized_batches_are_split_across_workers() {
+        use ij_hypergraph::{Hypergraph, PermutationChoice, ReducedHypergraph};
+        use ij_reduction::ReducedAtom;
+        use ij_relation::{Relation, Value};
+        // Four distinct disjuncts all referencing the same relation set
+        // {R, S}: grouping alone would serialize them into one batch; with
+        // more workers than batches the batch must be split so the pool
+        // stays busy.  The instance is unsatisfiable, forcing a full pass.
+        let structure = ReducedHypergraph {
+            hypergraph: Hypergraph::new(),
+            choice: PermutationChoice {
+                permutations: std::collections::BTreeMap::new(),
+            },
+            edge_levels: vec![],
+            vertex_origin: vec![],
+        };
+        let queries: Vec<ReducedQuery> = (0..4)
+            .map(|i| ReducedQuery {
+                atoms: vec![
+                    ReducedAtom {
+                        relation: "R".to_string(),
+                        vars: vec![format!("X{i}")],
+                    },
+                    ReducedAtom {
+                        relation: "S".to_string(),
+                        vars: vec![format!("X{i}")],
+                    },
+                ],
+                structure: structure.clone(),
+            })
+            .collect();
+        let mut database = Database::new();
+        database.insert(Relation::from_tuples("R", 1, vec![vec![Value::point(1.0)]]));
+        database.insert(Relation::from_tuples("S", 1, vec![vec![Value::point(2.0)]]));
+        let reduction = ForwardReduction {
+            database,
+            queries,
+            stats: ReductionStats::default(),
+        };
+        let engine = IntersectionJoinEngine::new(EngineConfig::new().with_parallelism(8));
+        let stats = engine.evaluate_reduction(&reduction);
+        assert!(!stats.answer);
+        assert_eq!(stats.ej_queries_evaluated, 4);
+        // One relation-set group, split into one batch per busy worker.
+        assert_eq!(stats.ej_query_batches, 4);
+    }
+
+    #[test]
+    fn answers_identical_across_cache_and_shard_settings() {
+        for satisfiable in [true, false] {
+            let (q, db) = triangle_db(satisfiable);
+            for parallelism in [1usize, 2] {
+                for shards in [0usize, 1, 2, 5] {
+                    for capacity in [0usize, 1, 4096] {
+                        let engine = IntersectionJoinEngine::new(
+                            EngineConfig::new()
+                                .with_parallelism(parallelism)
+                                .with_trie_shards(shards)
+                                .with_trie_cache_capacity(capacity),
+                        );
+                        assert_eq!(
+                            engine.evaluate(&q, &db).unwrap(),
+                            satisfiable,
+                            "parallelism {parallelism}, shards {shards}, capacity {capacity}"
+                        );
+                    }
                 }
             }
         }

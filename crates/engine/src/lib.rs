@@ -12,6 +12,14 @@
 //! * [`naive_boolean`] / [`naive_count`] — an exhaustive reference evaluator
 //!   used as a differential-testing oracle and baseline.
 //!
+//! Evaluation is tunable through [`EngineConfig`]: worker parallelism across
+//! the disjuncts of the reduction, a shared [trie
+//! cache](EngineConfig::trie_cache_capacity) so disjuncts reuse built tries
+//! instead of rebuilding them, and [sharded trie
+//! builds](EngineConfig::trie_shards) that split each build (and the join
+//! search) across threads.  Every knob is answer-preserving: the Boolean
+//! result is bit-identical at every setting.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -32,11 +40,14 @@
 //! assert!(engine.evaluate(&q, &db).unwrap());
 //! ```
 
+#![warn(missing_docs)]
+
 mod engine;
 mod naive;
 
 pub use engine::{
     EngineConfig, EngineError, EvaluationStats, IntersectionJoinEngine, QueryAnalysis,
+    TrieCacheStats,
 };
 pub use naive::{naive_boolean, naive_count, NaiveError};
 
@@ -45,7 +56,7 @@ pub use naive::{naive_boolean, naive_count, NaiveError};
 pub mod prelude {
     pub use crate::{
         naive_boolean, naive_count, EngineConfig, EngineError, EvaluationStats,
-        IntersectionJoinEngine, QueryAnalysis,
+        IntersectionJoinEngine, QueryAnalysis, TrieCacheStats,
     };
     pub use ij_ejoin::EjStrategy;
     pub use ij_hypergraph::{AcyclicityClass, AcyclicityReport, Hypergraph};

@@ -24,8 +24,11 @@ pub enum NaiveError {
     MissingRelation(String),
     /// A relation's arity does not match the query atom.
     ArityMismatch {
+        /// The relation name.
         relation: String,
+        /// The arity the query atom expects.
         expected: usize,
+        /// The arity the relation actually has.
         found: usize,
     },
 }

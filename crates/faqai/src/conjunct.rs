@@ -14,7 +14,7 @@
 //! containing `[X]`, and turns the query into a disjunction of conjuncts: one
 //! conjunct per *choice function* that picks, for every interval variable,
 //! the atom whose left endpoint is largest.  Each conjunct is a Functional
-//! Aggregate Query with Additive Inequalities (FAQ-AI) [2]; this module
+//! Aggregate Query with Additive Inequalities (FAQ-AI) \[2\]; this module
 //! materialises exactly those conjuncts so that the relaxed-width analysis
 //! (module [`crate::relaxed`]) and the inequality-join evaluator (module
 //! [`crate::evaluate`]) can reproduce the paper's comparator column of

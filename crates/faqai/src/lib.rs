@@ -3,7 +3,7 @@
 //! An intersection join can be expressed as a disjunction of *inequality*
 //! joins: two intervals `[l1, r1]` and `[l2, r2]` intersect exactly when
 //! `(l1 ≤ l2 ≤ r1) ∨ (l2 ≤ l1 ≤ r2)`.  The paper's main comparator, FAQ-AI
-//! [2], evaluates Boolean conjunctive queries with such additive inequalities
+//! \[2\], evaluates Boolean conjunctive queries with such additive inequalities
 //! over *relaxed* tree decompositions, paying `O(N^{subw_ℓ} polylog N)` where
 //! `subw_ℓ` is the relaxed submodular width.  Appendix F shows that this
 //! exponent is 2, 2 and 3 for the triangle, Loomis–Whitney-4 and 4-clique

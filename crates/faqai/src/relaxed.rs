@@ -4,7 +4,7 @@
 //! pairwise disjoint, so a tree decomposition boils down to a partition of
 //! the *atoms* into bags arranged in a tree.  The decomposition is *relaxed*
 //! when every additive inequality has its two atoms either in the same bag or
-//! in two adjacent bags [2].  Because the atoms of a bag share no variables,
+//! in two adjacent bags \[2\].  Because the atoms of a bag share no variables,
 //! the fractional edge cover number of the bag equals the number of atoms in
 //! it, so
 //!
@@ -46,7 +46,7 @@ pub struct RelaxedDecomposition {
 impl RelaxedDecomposition {
     /// The `log` exponent FAQ-AI pays for this decomposition:
     /// `max(k − 1, 1)` where `k` is the number of crossing inequalities
-    /// (Theorem 3.5 of [2], as used in Appendix F).
+    /// (Theorem 3.5 of \[2\], as used in Appendix F).
     pub fn log_exponent(&self) -> usize {
         self.crossing_inequalities.saturating_sub(1).max(1)
     }

@@ -57,7 +57,7 @@ impl Hypergraph {
     }
 
     /// Adds a vertex and returns its identifier.  Names need not be unique,
-    /// but the convenience constructors in [`crate::catalog`] keep them so.
+    /// but the convenience constructors in the catalog module keep them so.
     pub fn add_vertex(&mut self, name: impl Into<String>, kind: VarKind) -> VarId {
         self.vertices.push(Vertex {
             name: name.into(),

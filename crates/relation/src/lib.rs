@@ -34,5 +34,5 @@ mod value;
 pub use csv::{field_to_value, value_to_field, CsvError};
 pub use dictionary::{Dictionary, IdBuildHasher, IdHashMap, IdHashSet, IdHasher, ValueId};
 pub use query::{Atom, Query, QueryParseError};
-pub use relation::{ArityError, Columns, Database, Relation};
+pub use relation::{ArityError, Columns, ColumnsView, Database, Relation};
 pub use value::Value;

@@ -42,12 +42,24 @@ impl std::error::Error for ArityError {}
 
 /// A relation: a named multiset of tuples of fixed arity, stored as interned
 /// id columns.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Relation {
     name: String,
     arity: usize,
     columns: Columns,
+    /// Lazily computed content fingerprint (see [`Relation::fingerprint_with`]);
+    /// reset by every mutating method, excluded from equality.
+    fingerprint: std::sync::OnceLock<(u64, u64)>,
 }
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        // The fingerprint cache is derived state and must not affect equality.
+        self.name == other.name && self.arity == other.arity && self.columns == other.columns
+    }
+}
+
+impl Eq for Relation {}
 
 /// Columnar tuple storage: one dense [`ValueId`] vector per column.
 ///
@@ -102,6 +114,91 @@ impl Columns {
     pub fn id_at(&self, row: usize, col: usize) -> ValueId {
         self.cols[col][row]
     }
+
+    /// A borrowed view of the rows `start..end` (every column restricted to
+    /// that row range).  Views are the unit of work for parallel scans: the
+    /// sharded trie build of the join engine partitions a relation by handing
+    /// disjoint row ranges to worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.len()`.
+    pub fn view(&self, start: usize, end: usize) -> ColumnsView<'_> {
+        assert!(
+            start <= end && end <= self.len,
+            "row range {start}..{end} out of bounds for {} rows",
+            self.len
+        );
+        ColumnsView {
+            start,
+            end,
+            cols: &self.cols,
+        }
+    }
+
+    /// Splits the rows into at most `num_chunks` contiguous views of
+    /// near-equal size (the last chunks may be one row shorter).  Returns a
+    /// single view of everything when `num_chunks <= 1`; never returns empty
+    /// views except for an empty relation, which yields one empty view.
+    pub fn chunks(&self, num_chunks: usize) -> Vec<ColumnsView<'_>> {
+        let n = self.len;
+        let k = num_chunks.max(1).min(n.max(1));
+        let base = n / k;
+        let extra = n % k;
+        let mut views = Vec::with_capacity(k);
+        let mut start = 0;
+        for i in 0..k {
+            let size = base + usize::from(i < extra);
+            views.push(self.view(start, start + size));
+            start += size;
+        }
+        views
+    }
+}
+
+/// A borrowed row-range view over [`Columns`]: the columns of rows
+/// `start..end` of the underlying storage, without copying.
+///
+/// Produced by [`Columns::view`] and [`Columns::chunks`]; consumed by
+/// parallel scans that split one relation across worker threads (e.g. the
+/// sharded trie build of the join engine).
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnsView<'a> {
+    start: usize,
+    end: usize,
+    cols: &'a [Vec<ValueId>],
+}
+
+impl<'a> ColumnsView<'a> {
+    /// Number of rows in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if the view covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// First row (inclusive) of the view in the underlying storage.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Last row (exclusive) of the view in the underlying storage.
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// The ids of one column, restricted to the view's row range.
+    pub fn column(&self, index: usize) -> &'a [ValueId] {
+        &self.cols[index][self.start..self.end]
+    }
+
+    /// The id at (`row`, `col`), with `row` relative to the view start.
+    pub fn id_at(&self, row: usize, col: usize) -> ValueId {
+        self.cols[col][self.start + row]
+    }
 }
 
 impl Relation {
@@ -111,6 +208,7 @@ impl Relation {
             name: name.into(),
             arity,
             columns: Columns::new(arity),
+            fingerprint: std::sync::OnceLock::new(),
         }
     }
 
@@ -226,6 +324,17 @@ impl Relation {
         &self.columns
     }
 
+    /// The relation's cached content fingerprint, computed with `compute` on
+    /// first use and memoized until the next mutation (`push*`, `dedup`).
+    ///
+    /// `compute` must be a pure function of the *columns* (arity, row count,
+    /// ids) — not of the name: [`Relation::renamed`] shares the cached value
+    /// with the original.  The trie cache of the join engine uses this to
+    /// avoid re-hashing a relation's columns on every cache lookup.
+    pub fn fingerprint_with(&self, compute: impl FnOnce(&Relation) -> (u64, u64)) -> (u64, u64) {
+        *self.fingerprint.get_or_init(|| compute(self))
+    }
+
     /// Appends a tuple of values (interning each one).
     ///
     /// # Panics
@@ -251,6 +360,7 @@ impl Relation {
         let mut dict = Dictionary::write_shared();
         let ids: Vec<ValueId> = tuple.iter().map(|&v| dict.intern(v)).collect();
         self.columns.push_row(&ids);
+        self.fingerprint = std::sync::OnceLock::new();
         Ok(())
     }
 
@@ -270,6 +380,7 @@ impl Relation {
             self.arity
         );
         self.columns.push_row(row);
+        self.fingerprint = std::sync::OnceLock::new();
     }
 
     /// Sorts the tuples (by value order) and removes duplicates (set
@@ -279,6 +390,7 @@ impl Relation {
         if n <= 1 {
             return;
         }
+        self.fingerprint = std::sync::OnceLock::new();
         if self.arity == 0 {
             // All zero-arity rows are identical.
             self.columns.len = 1;
@@ -325,6 +437,7 @@ impl Relation {
                 len: self.len(),
                 cols,
             },
+            fingerprint: std::sync::OnceLock::new(),
         }
     }
 
@@ -335,6 +448,8 @@ impl Relation {
             name: name.into(),
             arity: self.arity,
             columns: self.columns.clone(),
+            // Same columns, so the already-computed fingerprint carries over.
+            fingerprint: self.fingerprint.clone(),
         }
     }
 
@@ -344,6 +459,7 @@ impl Relation {
             name: name.into(),
             arity: self.arity,
             columns: gather_columns(&self.columns, rows),
+            fingerprint: std::sync::OnceLock::new(),
         }
     }
 
@@ -625,6 +741,62 @@ mod tests {
         let g = r.gather(&[1, 0], "G");
         assert_eq!(g.tuples()[0], vec![Value::point(1.0), Value::point(3.0)]);
         assert_eq!(g.tuples()[1], vec![Value::point(1.0), Value::point(2.0)]);
+    }
+
+    #[test]
+    fn fingerprint_cache_memoizes_and_invalidates_on_mutation() {
+        let mut r = Relation::new("R", 1);
+        r.push(vec![Value::point(1.0)]);
+        assert_eq!(r.fingerprint_with(|_| (1, 1)), (1, 1));
+        // Memoized: a different closure is not called again.
+        assert_eq!(r.fingerprint_with(|_| (2, 2)), (1, 1));
+        r.push(vec![Value::point(2.0)]);
+        assert_eq!(r.fingerprint_with(|_| (3, 3)), (3, 3));
+        r.dedup();
+        assert_eq!(r.fingerprint_with(|_| (4, 4)), (4, 4));
+        // Renaming shares the cached value; equality ignores the cache.
+        let s = r.renamed("S");
+        assert_eq!(s.fingerprint_with(|_| (5, 5)), (4, 4));
+        let mut fresh = Relation::new("R", 1);
+        fresh.push(vec![Value::point(1.0)]);
+        fresh.push(vec![Value::point(2.0)]);
+        assert_eq!(r, fresh);
+    }
+
+    #[test]
+    fn column_views_cover_the_rows_exactly_once() {
+        let r = Relation::from_tuples(
+            "R",
+            2,
+            (0..7)
+                .map(|i| vec![Value::point(i as f64), Value::point(-(i as f64))])
+                .collect(),
+        );
+        for k in [1usize, 2, 3, 7, 9] {
+            let views = r.columns().chunks(k);
+            assert_eq!(views.len(), k.min(7));
+            assert!(views.iter().all(|v| !v.is_empty()));
+            let mut covered = 0;
+            for v in &views {
+                assert_eq!(v.start(), covered);
+                assert_eq!(v.column(0), &r.column_ids(0)[v.start()..v.end()]);
+                assert_eq!(v.id_at(0, 1), r.id_at(v.start(), 1));
+                covered = v.end();
+            }
+            assert_eq!(covered, r.len());
+        }
+        // An empty relation yields one empty view.
+        let empty = Relation::new("E", 2);
+        let views = empty.columns().chunks(4);
+        assert_eq!(views.len(), 1);
+        assert!(views[0].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn column_view_out_of_bounds_panics() {
+        let r = Relation::new("R", 1);
+        let _ = r.columns().view(0, 1);
     }
 
     #[test]

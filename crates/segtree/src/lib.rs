@@ -10,7 +10,7 @@
 //! * [`SegmentTree`] — the segment tree of Section 3 with canonical
 //!   partitions ([`SegmentTree::canonical_partition`]) and leaf lookup
 //!   ([`SegmentTree::leaf_of_point`]),
-//! * [`dyadic`] — the dyadic embedding `F` of bitstrings into intervals used
+//! * [`DyadicEmbedding`] — the dyadic embedding `F` of bitstrings into intervals used
 //!   by the backward reduction (Section 5).
 //!
 //! # Example

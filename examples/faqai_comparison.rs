@@ -1,5 +1,8 @@
 //! Compares the reduction-based intersection-join engine against the FAQ-AI
-//! comparator (Appendix F) on a temporal-overlap workload.
+//! comparator on a temporal-overlap workload — the empirical counterpart of
+//! Appendix F, where the paper reformulates IJ queries as disjunctions of
+//! inequality-join conjuncts and bounds them by the relaxed submodular
+//! width (the analytic half of Tables 1/2).
 //!
 //! ```text
 //! cargo run --release --example faqai_comparison

@@ -1,10 +1,10 @@
 //! # intersection-joins
 //!
 //! A reproduction of *"The Complexity of Boolean Conjunctive Queries with
-//! Intersection Joins"* (PODS 2022) as a Rust workspace.  This umbrella crate
-//! re-exports the public API of the member crates; see `README.md` for the
-//! architecture and `DESIGN.md` / `EXPERIMENTS.md` for the mapping from the
-//! paper's results to code.
+//! Intersection Joins"* (Abo Khamis, Chichirim, Kormpa, Olteanu — PODS 2022)
+//! as a Rust workspace.  This umbrella crate re-exports the public API of
+//! the member crates; `README.md` at the workspace root has the quickstart,
+//! the crate map and the benchmark index.
 //!
 //! The most convenient entry point is the engine prelude:
 //!
@@ -52,17 +52,21 @@
 //!  ForwardReduction { D̃ (id columns), ⋁ Q̃ᵢ }
 //!        │
 //!        ▼
-//!  ij_engine::evaluate_reduction            dedup disjuncts → worker pool
-//!        │   (EngineConfig::parallelism     (std::thread::scope + atomic
-//!        │    workers, AtomicBool early     work index); first true disjunct
-//!        ▼    exit)                         stops the others
+//!  ij_engine::evaluate_reduction            dedup disjuncts → batches
+//!        │   (EngineConfig::parallelism     (grouped by shared transformed
+//!        │    workers pull whole batches,   relations) → worker pool with
+//!        │    AtomicBool early exit; all    AtomicBool early exit; built
+//!        ▼    workers share one TrieCache)  tries reused across disjuncts
 //!  ij_ejoin per disjunct:
 //!     · α-acyclic   → Yannakakis semijoins (id-tuple keys, fast hasher)
 //!     · cyclic      → bag materialisation (id tries) + Yannakakis
 //!     · fallback    → generic WCOJ over HashMap<u32, TrieNode> tries
+//!     tries served from the shared TrieCache (content-fingerprint keys)
+//!     and optionally hash-sharded: per-shard sub-tries built on scoped
+//!     threads, search fanned out shard by shard (EngineConfig::trie_shards)
 //!        │
 //!        ▼
-//!  Boolean answer (identical for every parallelism setting)
+//!  Boolean answer (identical for every parallelism/cache/shard setting)
 //! ```
 //!
 //! Values are resolved back out of the dictionary only at API boundaries

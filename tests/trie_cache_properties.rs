@@ -1,0 +1,127 @@
+//! Property tests for the shared trie cache and the sharded trie builds
+//! (PR 2): on random interval workloads, cached-trie evaluation must be
+//! indistinguishable from rebuild-per-disjunct evaluation, at every
+//! parallelism and shard-count setting, and must agree with the naive
+//! reference evaluator.
+
+use ij_engine::{EngineConfig, IntersectionJoinEngine};
+use ij_relation::{Database, Query, Value};
+use proptest::prelude::*;
+
+/// A random interval over a small integer domain (ties and overlaps likely).
+fn arb_interval() -> impl Strategy<Value = Value> {
+    (0i32..14, 0i32..5).prop_map(|(lo, len)| Value::interval(lo as f64, (lo + len) as f64))
+}
+
+/// Random rows of interval pairs.
+fn arb_rows(max: usize) -> impl Strategy<Value = Vec<(Value, Value)>> {
+    proptest::collection::vec((arb_interval(), arb_interval()), 1..=max)
+}
+
+fn db_of(rows: [(&str, &Vec<(Value, Value)>); 3]) -> Database {
+    let mut db = Database::new();
+    for (name, rows) in rows {
+        db.insert_tuples(name, 2, rows.iter().map(|&(a, b)| vec![a, b]).collect());
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cached-trie evaluation ≡ rebuild-per-disjunct evaluation on random
+    /// triangle workloads (the E1 cyclic query), across parallelism and
+    /// shard-count settings, and both agree with the naive oracle.
+    #[test]
+    fn cached_evaluation_matches_rebuild_per_disjunct(
+        r in arb_rows(6),
+        s in arb_rows(6),
+        t in arb_rows(6),
+    ) {
+        let query = Query::parse("R([A],[B]) & S([B],[C]) & T([A],[C])").unwrap();
+        let db = db_of([("R", &r), ("S", &s), ("T", &t)]);
+        let expected = IntersectionJoinEngine::with_defaults()
+            .evaluate_naive(&query, &db)
+            .unwrap();
+        for parallelism in [1usize, 2] {
+            for shards in [1usize, 2, 3] {
+                for capacity in [0usize, 4096] {
+                    let engine = IntersectionJoinEngine::new(
+                        EngineConfig::new()
+                            .with_parallelism(parallelism)
+                            .with_trie_shards(shards)
+                            .with_trie_cache_capacity(capacity),
+                    );
+                    prop_assert_eq!(
+                        engine.evaluate(&query, &db).unwrap(),
+                        expected,
+                        "parallelism {}, shards {}, capacity {}",
+                        parallelism, shards, capacity
+                    );
+                }
+            }
+        }
+    }
+
+    /// The same equivalence on an acyclic (path) query, which exercises the
+    /// Yannakakis branch next to the trie-building ones.
+    #[test]
+    fn cached_evaluation_matches_on_acyclic_queries(
+        r in arb_rows(6),
+        s in arb_rows(6),
+        t in arb_rows(6),
+    ) {
+        let query = Query::parse("R([A],[B]) & S([B],[C]) & T([C],[D])").unwrap();
+        let db = db_of([("R", &r), ("S", &s), ("T", &t)]);
+        let expected = IntersectionJoinEngine::with_defaults()
+            .evaluate_naive(&query, &db)
+            .unwrap();
+        for shards in [1usize, 4] {
+            for capacity in [0usize, 4096] {
+                let engine = IntersectionJoinEngine::new(
+                    EngineConfig::new()
+                        .with_trie_shards(shards)
+                        .with_trie_cache_capacity(capacity),
+                );
+                prop_assert_eq!(engine.evaluate(&query, &db).unwrap(), expected);
+            }
+        }
+    }
+}
+
+/// Deterministic (non-property) check that the cache is actually exercised:
+/// a disjunction with shared atoms must record hits, and the hit-serving
+/// evaluation must report the same answer and disjunct counts as the
+/// rebuilding one.
+#[test]
+fn cache_hits_are_recorded_and_answer_preserving() {
+    let query = Query::parse("R([A],[B]) & S([B],[C]) & T([A],[C])").unwrap();
+    let iv = |lo: f64, hi: f64| Value::interval(lo, hi);
+    let mut db = Database::new();
+    // Planted unsatisfiable: pairwise overlaps exist but no triple does.
+    db.insert_tuples("R", 2, vec![vec![iv(0.0, 2.0), iv(10.0, 12.0)]]);
+    db.insert_tuples("S", 2, vec![vec![iv(11.0, 13.0), iv(20.0, 22.0)]]);
+    db.insert_tuples("T", 2, vec![vec![iv(1.0, 3.0), iv(30.0, 31.0)]]);
+
+    let shared = IntersectionJoinEngine::new(EngineConfig::new().with_parallelism(1));
+    let rebuild = IntersectionJoinEngine::new(
+        EngineConfig::new()
+            .with_parallelism(1)
+            .with_trie_cache_capacity(0),
+    );
+    let shared_stats = shared.evaluate_with_stats(&query, &db).unwrap();
+    let rebuild_stats = rebuild.evaluate_with_stats(&query, &db).unwrap();
+    assert!(!shared_stats.answer);
+    assert_eq!(shared_stats.answer, rebuild_stats.answer);
+    assert_eq!(
+        shared_stats.ej_queries_evaluated,
+        rebuild_stats.ej_queries_evaluated
+    );
+    assert!(
+        shared_stats.trie_cache.hits > 0,
+        "{:?}",
+        shared_stats.trie_cache
+    );
+    assert_eq!(rebuild_stats.trie_cache.hits, 0);
+    assert_eq!(rebuild_stats.trie_cache.entries, 0);
+}
