@@ -161,11 +161,15 @@ fn bench_parallel_disjuncts(c: &mut Criterion) {
     group.finish();
 }
 
-/// Trie-build reuse across the disjuncts of one evaluation: the shared
-/// [`TrieCache`] path (PR 2) versus the rebuild-per-disjunct baseline, on the
-/// E1 cyclic (triangle) workload.  The database is planted unsatisfiable so
+/// Trie-build reuse across the disjuncts of **one** evaluation: the shared
+/// [`TrieCache`] path versus the rebuild-per-disjunct baseline, on the E1
+/// cyclic (triangle) workload.  The database is planted unsatisfiable so
 /// every deduplicated disjunct is evaluated — the case where sharing pays.
 /// The cache hit rate is printed once before the timed runs.
+///
+/// The engine is constructed **inside** the timed closure: the cache is
+/// persistent per engine, so reusing one engine would measure the fully-warm
+/// cross-evaluation path instead (that is `e1-persistent-cache`'s job).
 fn bench_trie_cache_reuse(c: &mut Criterion) {
     use ij_workloads::{planted_unsatisfiable, IntervalDistribution, WorkloadConfig};
     let query = Query::from_hypergraph(&triangle_ij());
@@ -188,13 +192,11 @@ fn bench_trie_cache_reuse(c: &mut Criterion) {
         );
         let reduction = forward_reduction(&query, &db).unwrap();
         // One worker isolates the caching effect from disjunct parallelism.
-        let shared = IntersectionJoinEngine::new(EngineConfig::new().with_parallelism(1));
-        let rebuild = IntersectionJoinEngine::new(
-            EngineConfig::new()
-                .with_parallelism(1)
-                .with_trie_cache_capacity(0),
-        );
-        let stats = shared.evaluate_reduction(&reduction);
+        let shared_config = EngineConfig::new().with_parallelism(1);
+        let rebuild_config = EngineConfig::new()
+            .with_parallelism(1)
+            .with_trie_cache_capacity(0);
+        let stats = IntersectionJoinEngine::new(shared_config).evaluate_reduction(&reduction);
         assert!(!stats.answer, "workload must force a full pass");
         println!(
             "substrate/e1-trie-reuse/n{n}: {} disjuncts in {} batches, \
@@ -206,10 +208,76 @@ fn bench_trie_cache_reuse(c: &mut Criterion) {
             100.0 * stats.trie_cache.hit_rate()
         );
         group.bench_with_input(BenchmarkId::new("shared-trie", n), &n, |b, _| {
-            b.iter(|| shared.evaluate_reduction(&reduction).answer)
+            b.iter(|| {
+                IntersectionJoinEngine::new(shared_config)
+                    .evaluate_reduction(&reduction)
+                    .answer
+            })
         });
         group.bench_with_input(BenchmarkId::new("rebuild-per-disjunct", n), &n, |b, _| {
-            b.iter(|| rebuild.evaluate_reduction(&reduction).answer)
+            b.iter(|| {
+                IntersectionJoinEngine::new(rebuild_config)
+                    .evaluate_reduction(&reduction)
+                    .answer
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Cross-evaluation trie-cache persistence: repeated evaluations of the same
+/// reduced E1 cyclic workload through one long-lived engine — whose
+/// persistent cache was warmed by a priming evaluation, so every trie build
+/// is served from the cache — versus a **cold** engine constructed fresh for
+/// every evaluation (the pre-persistence behaviour: caching only within one
+/// evaluation).  The database is planted unsatisfiable so every disjunct is
+/// evaluated.  The warm engine's steady-state cache stats are printed once
+/// before the timed runs (misses must be zero).
+fn bench_persistent_cache(c: &mut Criterion) {
+    use ij_workloads::{planted_unsatisfiable, IntervalDistribution, WorkloadConfig};
+    let query = Query::from_hypergraph(&triangle_ij());
+    let mut group = c.benchmark_group("substrate/e1-persistent-cache");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for n in [200usize, 400] {
+        let db = planted_unsatisfiable(
+            &query,
+            &WorkloadConfig {
+                tuples_per_relation: n,
+                seed: 37,
+                distribution: IntervalDistribution::GridAligned {
+                    span: 4.0 * n as f64,
+                    cells: (2 * n) as u32,
+                    max_cells: 3,
+                },
+            },
+        );
+        let reduction = forward_reduction(&query, &db).unwrap();
+        let config = EngineConfig::new().with_parallelism(1);
+        let warm = IntersectionJoinEngine::new(config);
+        // Prime the persistent cache, then measure the steady state.
+        let primed = warm.evaluate_reduction(&reduction);
+        assert!(!primed.answer, "workload must force a full pass");
+        let steady = warm.evaluate_reduction(&reduction);
+        println!(
+            "substrate/e1-persistent-cache/n{n}: cold pass {} misses; warm pass \
+             {} hits / {} misses, {} resident entries",
+            primed.trie_cache.misses,
+            steady.trie_cache.hits,
+            steady.trie_cache.misses,
+            steady.trie_cache.entries,
+        );
+        assert_eq!(steady.trie_cache.misses, 0, "warm pass must be all hits");
+        group.bench_with_input(BenchmarkId::new("warm-persistent", n), &n, |b, _| {
+            b.iter(|| warm.evaluate_reduction(&reduction).answer)
+        });
+        group.bench_with_input(BenchmarkId::new("cold-per-evaluation", n), &n, |b, _| {
+            b.iter(|| {
+                IntersectionJoinEngine::new(config)
+                    .evaluate_reduction(&reduction)
+                    .answer
+            })
         });
     }
     group.finish();
@@ -260,6 +328,7 @@ criterion_group!(
     bench_row_vs_interned,
     bench_parallel_disjuncts,
     bench_trie_cache_reuse,
+    bench_persistent_cache,
     bench_trie_shards
 );
 criterion_main!(benches);

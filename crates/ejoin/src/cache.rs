@@ -21,26 +21,42 @@
 //!    column permutation and the repeated-variable filters;
 //! 3. the induced **level order** (the atom's distinct variables sorted by
 //!    the global join order);
-//! 4. the **shard count** of the build (see [`AtomTrie::build_sharded`]).
+//! 4. the **effective shard count** of the build (the requested count after
+//!    per-atom sizing — see [`AtomTrie::build_sharded`] and
+//!    [`effective_shard_count`]).
 //!
 //! This is exactly the (relation identity, column permutation, filter)
 //! fingerprint that the engine's disjunct deduplication reasons about at the
 //! query level, pushed down to the data level.
 //!
+//! # Lifetime and eviction
+//!
+//! A cache may outlive a single evaluation: the engine owns one **persistent**
+//! cache per engine instance, shared by every `evaluate_reduction` call —
+//! sound because the key starts from the relation *content* fingerprint, so a
+//! different database can never alias a cached trie.  Boundedness across that
+//! open-ended lifetime comes from **LRU eviction**: every entry carries a
+//! last-used stamp from a relaxed global clock, and an insert into a full
+//! cache evicts the least-recently-used entry first (counted in
+//! [`TrieCacheStats::evictions`]).  Eviction only ever drops *reuse*, never
+//! correctness: a future lookup of an evicted key rebuilds the trie from the
+//! relation.
+//!
 //! # Concurrency
 //!
-//! The cache is a read-mostly `RwLock<HashMap<_, Arc<_>>>`: lookups take the
-//! read lock, a miss builds the trie *outside* any lock and then races to
-//! insert (the first insertion wins; a losing builder adopts the winner's
-//! trie, so all workers always probe structurally identical tries).  Hit and
-//! miss counters are relaxed atomics exposed through [`TrieCache::stats`].
+//! The cache is a read-mostly `RwLock<HashMap<_, _>>`: lookups take the read
+//! lock (bumping the recency stamp with a relaxed atomic store), a miss
+//! builds the trie *outside* any lock and then races to insert (the first
+//! insertion wins; a losing builder adopts the winner's trie, so all workers
+//! always probe structurally identical tries).  Hit, miss and eviction
+//! counters are relaxed atomics exposed through [`TrieCache::stats`].
 
-use crate::trie::AtomTrie;
+use crate::trie::{effective_shard_count, AtomTrie};
 use crate::BoundAtom;
 use ij_hypergraph::VarId;
 use ij_relation::Relation;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// A 128-bit content fingerprint of a relation's id columns.
@@ -98,6 +114,8 @@ pub struct TrieCacheStats {
     pub hits: usize,
     /// Lookups that had to build (includes both builders of an insert race).
     pub misses: usize,
+    /// Entries dropped by LRU eviction to stay within the capacity.
+    pub evictions: usize,
     /// Entries currently resident.
     pub entries: usize,
 }
@@ -112,30 +130,54 @@ impl TrieCacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// The activity between an `earlier` snapshot of the same cache and this
+    /// one: hit/miss/eviction counters become deltas, `entries` stays the
+    /// current resident count.  Used by the engine to report per-evaluation
+    /// statistics out of its persistent cache.
+    pub fn delta_since(&self, earlier: &TrieCacheStats) -> TrieCacheStats {
+        TrieCacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            entries: self.entries,
+        }
+    }
 }
 
-/// A thread-safe cache of built tries shared across the disjuncts of one
-/// evaluation (see the module docs for keying and concurrency).
+/// One resident cache entry: the built tries plus a last-used stamp for the
+/// LRU policy (bumped with a relaxed store on every hit, so recency tracking
+/// never needs the write lock).
+#[derive(Debug)]
+struct CacheSlot {
+    tries: Arc<Vec<AtomTrie>>,
+    last_used: AtomicU64,
+}
+
+/// A thread-safe cache of built tries, shared across the disjuncts of one
+/// evaluation *and* — because keys start from content fingerprints — across
+/// any number of evaluations (see the module docs for keying, lifetime and
+/// concurrency).
 ///
-/// The engine creates one cache per [`evaluate_reduction`] call and hands it
-/// to every disjunct worker; standalone users of the ejoin crate can share
-/// one across any sequence of [`evaluate_ej_boolean_with`] calls whose
-/// relations are alive for the cache's lifetime (the cache stores owned
-/// tries, so there is no borrow coupling — "alive" only matters for hit
-/// rates, not safety).
+/// The engine owns one cache per engine instance and hands it to every
+/// disjunct worker of every [`evaluate_reduction`] call; standalone users of
+/// the ejoin crate can share one across any sequence of
+/// [`evaluate_ej_boolean_with`] calls (the cache stores owned tries, so
+/// there is no borrow coupling to the source relations).
 ///
 /// [`evaluate_reduction`]: https://docs.rs/ij-engine
 /// [`evaluate_ej_boolean_with`]: crate::evaluate_ej_boolean_with
 #[derive(Debug, Default)]
 pub struct TrieCache {
-    /// Maximum resident entries; `0` means unbounded.  When full, new tries
-    /// are still built and returned but not retained — a deliberately simple
-    /// policy that keeps every admitted entry immortal for the (short) life
-    /// of an evaluation instead of thrashing an LRU.
+    /// Maximum resident entries; `0` means unbounded.  When full, inserting
+    /// a new entry evicts the least-recently-used one.
     capacity: usize,
-    map: RwLock<HashMap<TrieKey, Arc<Vec<AtomTrie>>>>,
+    map: RwLock<HashMap<TrieKey, CacheSlot>>,
+    /// Monotonic recency clock; every lookup draws a fresh stamp.
+    clock: AtomicU64,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    evictions: AtomicUsize,
 }
 
 impl TrieCache {
@@ -144,7 +186,8 @@ impl TrieCache {
         TrieCache::default()
     }
 
-    /// A cache holding at most `capacity` entries (`0` = unbounded).
+    /// A cache holding at most `capacity` entries (`0` = unbounded), evicting
+    /// least-recently-used entries once full.
     pub fn with_capacity(capacity: usize) -> Self {
         TrieCache {
             capacity,
@@ -152,46 +195,73 @@ impl TrieCache {
         }
     }
 
-    /// Snapshot of the hit/miss counters and the resident entry count.
+    /// Snapshot of the hit/miss/eviction counters and the resident entry
+    /// count.
     pub fn stats(&self) -> TrieCacheStats {
         TrieCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.map.read().unwrap_or_else(|e| e.into_inner()).len(),
         }
     }
 
-    /// The tries for `atom` under `global_order`, built into `num_shards`
-    /// shards (1 = unsharded) — served from the cache when an identical
-    /// build was already done, built (and, capacity permitting, retained)
-    /// otherwise.
+    /// The tries for `atom` under `global_order`, built into
+    /// [`effective_shard_count`]`(rows, num_shards)` shards — served from the
+    /// cache when an identical build was already done, built and retained
+    /// (evicting the LRU entry if the cache is full) otherwise.
+    ///
+    /// The key records the *effective* shard count, so a small relation
+    /// requested at different shard counts maps to one entry instead of
+    /// duplicating its (identical, unsharded) trie.
     pub(crate) fn tries_for(
         &self,
         atom: &BoundAtom<'_>,
         global_order: &[VarId],
         num_shards: usize,
     ) -> Arc<Vec<AtomTrie>> {
+        let num_shards = effective_shard_count(atom.relation.len(), num_shards);
         let levels = crate::trie::trie_level_vars(atom, global_order);
         let key = TrieKey {
             fingerprint: relation_fingerprint(atom.relation),
             vars: atom.vars.clone(),
             levels,
-            shards: num_shards.max(1),
+            shards: num_shards,
         };
-        if let Some(tries) = self.map.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(slot) = self.map.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
+            slot.last_used.store(now, Ordering::Relaxed);
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(tries);
+            return Arc::clone(&slot.tries);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(AtomTrie::build_sharded(atom, global_order, num_shards));
         let mut map = self.map.write().unwrap_or_else(|e| e.into_inner());
         if let Some(existing) = map.get(&key) {
             // Lost an insert race; adopt the winner so all workers share.
-            return Arc::clone(existing);
+            existing.last_used.store(now, Ordering::Relaxed);
+            return Arc::clone(&existing.tries);
         }
-        if self.capacity == 0 || map.len() < self.capacity {
-            map.insert(key, Arc::clone(&built));
+        if self.capacity > 0 && map.len() >= self.capacity {
+            // Evict the least-recently-used entry.  The linear scan runs
+            // under the write lock but only on insert-into-full, and the map
+            // is bounded by the capacity it is scanning to enforce.
+            if let Some(victim) = map
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())
+            {
+                map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
         }
+        map.insert(
+            key,
+            CacheSlot {
+                tries: Arc::clone(&built),
+                last_used: AtomicU64::new(now),
+            },
+        );
         built
     }
 }
@@ -211,9 +281,11 @@ impl TrieCache {
 pub struct EvalContext<'c> {
     /// Trie cache shared across calls; `None` rebuilds tries every time.
     pub cache: Option<&'c TrieCache>,
-    /// Trie shard count: `0` = one shard per available hardware thread,
-    /// `1` = unsharded, `n` = exactly `n` shards.  The answer is identical
-    /// for every setting.
+    /// Trie shard *budget*: `0` = one shard per available hardware thread,
+    /// `1` = unsharded, `n` = at most `n` shards.  The budget is the upper
+    /// bound a build may use; per-atom sizing ([`effective_shard_count`])
+    /// builds relations too small for the budget unsharded instead.  The
+    /// answer is identical for every setting.
     pub shards: usize,
 }
 
@@ -269,27 +341,58 @@ mod tests {
         let atom_s = BoundAtom::new(&s, vec![0, 1]);
         let second = cache.tries_for(&atom_s, &[0, 1], 1);
         assert!(Arc::ptr_eq(&first, &second));
-        // Different binding, level order or shard count: separate entries.
+        // Different binding or level order: separate entries.
         cache.tries_for(&BoundAtom::new(&r, vec![1, 0]), &[0, 1], 1);
         cache.tries_for(&atom_r, &[1, 0], 1);
+        // A different *requested* shard count on a tiny relation sizes down
+        // to the same effective (unsharded) build: a hit, not a new entry.
         cache.tries_for(&atom_r, &[0, 1], 2);
         let stats = cache.stats();
-        assert_eq!(stats.hits, 1);
-        assert_eq!(stats.misses, 4);
-        assert_eq!(stats.entries, 4);
-        assert!((stats.hit_rate() - 0.2).abs() < 1e-12);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.evictions, 0);
+        assert!((stats.hit_rate() - 0.4).abs() < 1e-12);
     }
 
     #[test]
-    fn capacity_bounds_resident_entries() {
+    fn full_cache_evicts_least_recently_used() {
         let cache = TrieCache::with_capacity(1);
         let r = rel("R", vec![vec![1.0]]);
         let s = rel("S", vec![vec![2.0]]);
         cache.tries_for(&BoundAtom::new(&r, vec![0]), &[0], 1);
+        // Inserting S evicts R (the only, hence least-recent, entry).
         cache.tries_for(&BoundAtom::new(&s, vec![0]), &[0], 1);
         assert_eq!(cache.stats().entries, 1);
-        // The retained entry still hits.
-        cache.tries_for(&BoundAtom::new(&r, vec![0]), &[0], 1);
+        assert_eq!(cache.stats().evictions, 1);
+        // The resident entry hits; the evicted one rebuilds (a miss).
+        cache.tries_for(&BoundAtom::new(&s, vec![0]), &[0], 1);
         assert_eq!(cache.stats().hits, 1);
+        cache.tries_for(&BoundAtom::new(&r, vec![0]), &[0], 1);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn stats_deltas_subtract_counters_but_keep_entries() {
+        let a = TrieCacheStats {
+            hits: 10,
+            misses: 4,
+            evictions: 1,
+            entries: 3,
+        };
+        let b = TrieCacheStats {
+            hits: 25,
+            misses: 9,
+            evictions: 2,
+            entries: 5,
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(d.hits, 15);
+        assert_eq!(d.misses, 5);
+        assert_eq!(d.evictions, 1);
+        assert_eq!(d.entries, 5);
     }
 }

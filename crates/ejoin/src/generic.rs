@@ -26,9 +26,9 @@
 
 use crate::atom::{all_vars, BoundAtom};
 use crate::cache::EvalContext;
-use crate::trie::{AtomTrie, TrieNode};
+use crate::trie::{effective_shard_count, AtomTrie, TrieNode};
 use ij_hypergraph::VarId;
-use ij_relation::{IdHashSet, Relation, Value, ValueId};
+use ij_relation::{kernels, IdBuildHasher, IdHashSet, Relation, Value, ValueId};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -63,12 +63,29 @@ impl JoinContext {
         } else {
             None
         };
-        let num_shards = if split_var.is_some() { requested } else { 1 };
+        // Per-atom sizing: the search only fans out when at least one atom
+        // containing the split variable is big enough to shard at the full
+        // budget ([`effective_shard_count`] is all-or-nothing, so every
+        // sharded atom ends up partitioned by the same `shard_of` mapping).
+        // Atoms below the threshold are built unsharded and shared by every
+        // shard of the search — `JoinContext::trie` falls back to the single
+        // trie, which is correct for any shard number.
+        let num_shards = match split_var {
+            Some(v)
+                if atoms.iter().any(|a| {
+                    a.vars.contains(&v)
+                        && effective_shard_count(a.relation.len(), requested) == requested
+                }) =>
+            {
+                requested
+            }
+            _ => 1,
+        };
         let tries: Vec<Arc<Vec<AtomTrie>>> = atoms
             .iter()
             .map(|a| {
                 let shards = match split_var {
-                    Some(v) if a.vars.contains(&v) => num_shards,
+                    Some(v) if num_shards > 1 && a.vars.contains(&v) => num_shards,
                     _ => 1,
                 };
                 match eval.cache {
@@ -367,11 +384,58 @@ fn enumerate_rec<'t>(
     }
 }
 
+/// Byte mask over the rows of `left_cols` marking the rows whose key tuple
+/// (one id per column) also appears as a row of `right_cols`.
+///
+/// This is the probe core of the Yannakakis semijoin pass, built on the scan
+/// kernels: keys are packed row-major into contiguous fixed-width buffers
+/// ([`kernels::pack_keys`]) and hashed as `&[ValueId]` windows — no per-row
+/// allocation on either side — with a direct id-set fast path for
+/// single-column keys.
+pub(crate) fn semijoin_mask(left_cols: &[&[ValueId]], right_cols: &[&[ValueId]]) -> Vec<u8> {
+    assert_eq!(
+        left_cols.len(),
+        right_cols.len(),
+        "semijoin sides must probe the same key width"
+    );
+    assert!(
+        !left_cols.is_empty(),
+        "semijoin_mask requires at least one key column; \
+         callers handle the no-shared-variables case themselves"
+    );
+    let left_len = left_cols[0].len();
+    let mut mask = vec![0u8; left_len];
+    if left_cols.len() == 1 {
+        // Single shared column: probe a plain id set.
+        let keys: IdHashSet<ValueId> = right_cols[0].iter().copied().collect();
+        for (m, id) in mask.iter_mut().zip(left_cols[0]) {
+            *m = u8::from(keys.contains(id));
+        }
+        return mask;
+    }
+    let k = left_cols.len();
+    let mut right_keys = Vec::new();
+    kernels::pack_keys(right_cols, &mut right_keys);
+    let keys: std::collections::HashSet<&[ValueId], IdBuildHasher> =
+        right_keys.chunks_exact(k).collect();
+    let mut left_keys = Vec::new();
+    kernels::pack_keys(left_cols, &mut left_keys);
+    for (m, key) in mask.iter_mut().zip(left_keys.chunks_exact(k)) {
+        *m = u8::from(keys.contains(key));
+    }
+    mask
+}
+
 /// A semijoin `left ⋉ right`: keeps the tuples of `left` whose shared
 /// variables have a matching tuple in `right`.  Used by the Yannakakis pass.
-/// Keys are tuples of interned ids, probed through a fast-hash set; surviving
-/// rows are gathered column-wise without materialising any `Value`.
+/// Keys are tuples of interned ids packed and probed through the scan
+/// kernels (`semijoin_mask` above); surviving rows are selected by mask and
+/// gathered column-wise without materialising any `Value`.
 pub fn semijoin(left: &BoundAtom<'_>, right: &BoundAtom<'_>) -> Relation {
+    assert!(
+        left.relation.len() <= u32::MAX as usize,
+        "semijoin supports at most 2^32 rows per relation (row indices are u32)"
+    );
     let shared: Vec<VarId> = left
         .var_set()
         .intersection(&right.var_set())
@@ -400,20 +464,10 @@ pub fn semijoin(left: &BoundAtom<'_>, right: &BoundAtom<'_>) -> Relation {
             right.relation.column_ids(c)
         })
         .collect();
-    let mut keys: IdHashSet<Vec<ValueId>> = IdHashSet::default();
-    for row in 0..right.relation.len() {
-        keys.insert(right_cols.iter().map(|col| col[row]).collect());
-    }
-    let mut key: Vec<ValueId> = vec![ValueId::dummy(); left_cols.len()];
-    let keep: Vec<usize> = (0..left.relation.len())
-        .filter(|&row| {
-            for (slot, col) in key.iter_mut().zip(&left_cols) {
-                *slot = col[row];
-            }
-            keys.contains(&key)
-        })
-        .collect();
-    left.relation.gather(&keep, name)
+    let mask = semijoin_mask(&left_cols, &right_cols);
+    let mut keep: Vec<u32> = Vec::new();
+    kernels::select_indices(&mask, 0, &mut keep);
+    left.relation.gather32(&keep, name)
 }
 
 #[cfg(test)]
@@ -612,6 +666,47 @@ mod tests {
         }
         // The loop re-evaluates identical builds: the cache must have hit.
         assert!(cache.stats().hits > 0);
+    }
+
+    #[test]
+    fn sharded_search_fans_out_on_large_relations() {
+        // Relations above the MIN_ROWS_PER_SHARD budget actually shard (the
+        // small-relation tests above exercise the sized-down path).  One
+        // planted triangle in sparse noise keeps the expected output tiny.
+        use crate::trie::MIN_ROWS_PER_SHARD;
+        let n = 2 * MIN_ROWS_PER_SHARD;
+        let mut seed = 5u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) % 50_000) as f64 + 10.0
+        };
+        let noisy = |plant: [f64; 2], next: &mut dyn FnMut() -> f64| {
+            let mut rows: Vec<Vec<f64>> = (0..n - 1).map(|_| vec![next(), next()]).collect();
+            rows.push(vec![plant[0], plant[1]]);
+            rows
+        };
+        let r = rel("R", noisy([1.0, 2.0], &mut next));
+        let s = rel("S", noisy([2.0, 3.0], &mut next));
+        let t = rel("T", noisy([1.0, 3.0], &mut next));
+        let atoms = vec![
+            BoundAtom::new(&r, vec![A, B]),
+            BoundAtom::new(&s, vec![B, C]),
+            BoundAtom::new(&t, vec![A, C]),
+        ];
+        let expected = generic_join_boolean(&atoms, None);
+        assert!(expected, "the planted triangle must be found");
+        let expected_out = generic_join_enumerate(&atoms, &[A, B, C], "out");
+        for shards in [2usize, 4] {
+            let eval = EvalContext {
+                cache: None,
+                shards,
+            };
+            assert_eq!(generic_join_boolean_with(&atoms, None, eval), expected);
+            let out = generic_join_enumerate_with(&atoms, &[A, B, C], "out", eval);
+            assert_eq!(out.tuples(), expected_out.tuples(), "shards {shards}");
+        }
     }
 
     #[test]

@@ -48,5 +48,5 @@ pub use generic::{
     generic_join_boolean, generic_join_boolean_with, generic_join_enumerate,
     generic_join_enumerate_with, semijoin,
 };
-pub use trie::{shard_of, AtomTrie, TrieNode};
+pub use trie::{effective_shard_count, shard_of, AtomTrie, TrieNode, MIN_ROWS_PER_SHARD};
 pub use yannakakis::yannakakis_boolean;

@@ -22,11 +22,18 @@
 //! `generic.rs`): any full assignment binds the first join variable to one
 //! value, hence lives entirely inside one shard.  The row partition itself is
 //! computed over [`ColumnsView`](ij_relation::ColumnsView) row-range chunks,
-//! so both phases of the build parallelise.
+//! so both phases of the build parallelise.  Sharding is sized per atom:
+//! relations too small to give every shard [`MIN_ROWS_PER_SHARD`] rows are
+//! built unsharded ([`effective_shard_count`]) instead of paying thread-spawn
+//! overhead for near-empty shards.
+//!
+//! The linear passes of the build — the repeated-variable equal-pair filter
+//! and the surviving-row selection — run on the chunked scan kernels of
+//! [`ij_relation::kernels`].
 
 use crate::BoundAtom;
 use ij_hypergraph::VarId;
-use ij_relation::{IdHashMap, ValueId};
+use ij_relation::{kernels, IdHashMap, ValueId};
 
 /// The shard a first-level value id belongs to, out of `num_shards`.
 ///
@@ -37,6 +44,30 @@ pub fn shard_of(id: ValueId, num_shards: usize) -> usize {
     debug_assert!(num_shards > 0);
     let mixed = (id.raw() as u64 ^ 0x9E37_79B9_7F4A_7C15).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
     ((mixed >> 32) % num_shards as u64) as usize
+}
+
+/// Minimum number of rows each shard must receive (on average) for a sharded
+/// build to be worth its thread-spawn and partition overhead.  Relations
+/// smaller than `shards × MIN_ROWS_PER_SHARD` are built unsharded.
+pub const MIN_ROWS_PER_SHARD: usize = 1024;
+
+/// Per-atom shard sizing: the shard count a relation of `rows` rows is
+/// actually built with when `requested` shards are asked for.
+///
+/// The decision is all-or-nothing — either the full `requested` count (every
+/// shard averages at least [`MIN_ROWS_PER_SHARD`] rows) or `1` (the relation
+/// is too small to be worth near-empty shard threads).  All-or-nothing keeps
+/// every sharded atom of one join partitioned by the *same* `shard_of`
+/// mapping, which is what lets the search index all of them with one shard
+/// number; too-small atoms degrade to a single trie shared by every shard of
+/// the search.  The function is pure, so cache keys derived from it are
+/// stable.
+pub fn effective_shard_count(rows: usize, requested: usize) -> usize {
+    if requested >= 2 && rows >= requested.saturating_mul(MIN_ROWS_PER_SHARD) {
+        requested
+    } else {
+        1
+    }
 }
 
 /// One node of a hash trie.
@@ -89,13 +120,17 @@ impl AtomTrie {
         }
     }
 
-    /// Builds the trie of `atom` split into `num_shards` sub-tries by
-    /// [`shard_of`] on the first level variable's value, each shard built on
-    /// its own scoped thread.  Every returned trie carries the same
-    /// `level_vars`; their union over shards equals [`AtomTrie::build`].
+    /// Builds the trie of `atom` split into sub-tries by [`shard_of`] on the
+    /// first level variable's value, each shard built on its own scoped
+    /// thread.  Every returned trie carries the same `level_vars`; their
+    /// union over shards equals [`AtomTrie::build`].
     ///
-    /// Degenerates to a single unsharded trie when `num_shards <= 1` or the
-    /// atom has no levels (arity-zero guard relations).
+    /// The shard count actually used is
+    /// [`effective_shard_count`]`(rows, num_shards)`: relations too small to
+    /// give every shard [`MIN_ROWS_PER_SHARD`] rows are built as a single
+    /// unsharded trie instead of spawning near-empty shard threads.  The
+    /// build also degenerates to one trie when `num_shards <= 1` or the atom
+    /// has no levels (arity-zero guard relations).
     ///
     /// # Panics
     ///
@@ -110,6 +145,7 @@ impl AtomTrie {
             atom.relation.len() <= u32::MAX as usize,
             "sharded trie build supports at most 2^32 rows per relation"
         );
+        let num_shards = effective_shard_count(atom.relation.len(), num_shards);
         let plan = TriePlan::new(atom, global_order);
         if num_shards <= 1 || plan.level_columns.is_empty() {
             let root = plan.build_root(None);
@@ -124,6 +160,7 @@ impl AtomTrie {
         // chunking never affects the result.
         let chunks = atom.relation.columns().chunks(num_shards);
         let first_col_index = plan.first_level_column;
+        let pass = plan.pass.as_deref();
         let chunk_parts: Vec<Vec<Vec<u32>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .iter()
@@ -131,7 +168,13 @@ impl AtomTrie {
                     scope.spawn(move || {
                         let mut parts: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
                         let base = view.start() as u32;
+                        // Rows rejected by the repeated-variable mask are
+                        // dropped here, so the per-shard builds only see
+                        // surviving rows.
                         for (i, &id) in view.column(first_col_index).iter().enumerate() {
+                            if pass.is_some_and(|m| m[base as usize + i] == 0) {
+                                continue;
+                            }
                             parts[shard_of(id, num_shards)].push(base + i as u32);
                         }
                         parts
@@ -206,13 +249,18 @@ pub(crate) fn trie_level_vars(atom: &BoundAtom<'_>, global_order: &[VarId]) -> V
 
 /// The per-atom build recipe shared by the unsharded and sharded builds: the
 /// level variables in global order, the id column backing each level, and the
-/// column pairs that must agree (repeated variables inside the atom).
+/// pre-computed repeated-variable filter mask.
 struct TriePlan<'a> {
     level_vars: Vec<VarId>,
     /// Relation column index backing the first level (the shard key column).
     first_level_column: usize,
     level_columns: Vec<&'a [ValueId]>,
-    equal_pairs: Vec<(&'a [ValueId], &'a [ValueId])>,
+    /// Per-row pass mask of the repeated-variable filters (id equality
+    /// coincides with value equality), accumulated over every repeated column
+    /// pair with the chunked [`kernels::and_equal_mask`] scan instead of
+    /// per-row branches inside the insert loop.  `None` when the atom has no
+    /// repeated variables (every row passes).
+    pass: Option<Vec<u8>>,
 }
 
 impl<'a> TriePlan<'a> {
@@ -229,22 +277,28 @@ impl<'a> TriePlan<'a> {
             .map(|&v| atom.relation.column_ids(column_of(v)))
             .collect();
         let first_level_column = level_vars.first().map(|&v| column_of(v)).unwrap_or(0);
-        let mut equal_pairs: Vec<(&[ValueId], &[ValueId])> = Vec::new();
+        let mut pass: Option<Vec<u8>> = None;
         for (i, &v) in atom.vars.iter().enumerate() {
             let first = atom.vars.iter().position(|&u| u == v).unwrap();
             if first != i {
-                equal_pairs.push((atom.relation.column_ids(first), atom.relation.column_ids(i)));
+                let mask = pass.get_or_insert_with(|| vec![1u8; atom.relation.len()]);
+                kernels::and_equal_mask(
+                    atom.relation.column_ids(first),
+                    atom.relation.column_ids(i),
+                    mask,
+                );
             }
         }
         TriePlan {
             level_vars,
             first_level_column,
             level_columns,
-            equal_pairs,
+            pass,
         }
     }
 
-    /// Inserts the given rows (all rows when `None`) into a fresh root.
+    /// Inserts the given rows (all rows when `None`) into a fresh root,
+    /// skipping rows rejected by the repeated-variable mask.
     fn build_root(&self, rows: Option<&[u32]>) -> TrieNode {
         let mut root = TrieNode::default();
         let mut path: Vec<ValueId> = vec![ValueId::dummy(); self.level_columns.len()];
@@ -254,9 +308,8 @@ impl<'a> TriePlan<'a> {
             .map(|c| c.len())
             .unwrap_or_default();
         let mut insert = |row: usize| {
-            for (a, b) in &self.equal_pairs {
-                // Id equality coincides with value equality.
-                if a[row] != b[row] {
+            if let Some(mask) = &self.pass {
+                if mask[row] == 0 {
                     return;
                 }
             }
@@ -267,7 +320,16 @@ impl<'a> TriePlan<'a> {
         };
         match rows {
             Some(rows) => rows.iter().for_each(|&r| insert(r as usize)),
-            None => (0..num_rows).for_each(&mut insert),
+            None => match &self.pass {
+                // With a filter mask, walk only the surviving rows (the
+                // chunked selection skips fully-rejected row groups).
+                Some(mask) => {
+                    let mut surviving = Vec::new();
+                    kernels::select_indices(mask, 0, &mut surviving);
+                    surviving.iter().for_each(|&r| insert(r as usize));
+                }
+                None => (0..num_rows).for_each(&mut insert),
+            },
         }
         root
     }
@@ -355,7 +417,10 @@ mod tests {
                 .wrapping_add(1442695040888963407);
             ((seed >> 33) % 9) as f64
         };
-        let rows: Vec<Vec<f64>> = (0..40).map(|_| vec![next(), next()]).collect();
+        // Large enough that even 8 requested shards pass the
+        // MIN_ROWS_PER_SHARD sizing and actually shard.
+        let n = 8 * MIN_ROWS_PER_SHARD;
+        let rows: Vec<Vec<f64>> = (0..n).map(|_| vec![next(), next()]).collect();
         let r = rel("R", rows);
         for vars in [vec![5, 2], vec![2, 5], vec![5, 5]] {
             let atom = BoundAtom::new(&r, vars);
@@ -366,6 +431,7 @@ mod tests {
             full_paths.sort_unstable();
             for num_shards in [2usize, 3, 8] {
                 let shards = AtomTrie::build_sharded(&atom, &order, num_shards);
+                assert_eq!(shards.len(), effective_shard_count(n, num_shards));
                 assert_eq!(shards.len(), num_shards);
                 let mut union = Vec::new();
                 for (index, shard) in shards.iter().enumerate() {
@@ -380,6 +446,32 @@ mod tests {
                 assert_eq!(union, full_paths, "shards {num_shards}");
             }
         }
+    }
+
+    #[test]
+    fn small_relations_are_built_unsharded() {
+        // Below the per-shard row threshold the build must not spawn
+        // near-empty shard threads: it degenerates to one full trie.
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, -(i as f64)]).collect();
+        let r = rel("R", rows);
+        let atom = BoundAtom::new(&r, vec![0, 1]);
+        let full = AtomTrie::build(&atom, &[0, 1]);
+        let shards = AtomTrie::build_sharded(&atom, &[0, 1], 8);
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].root().fanout(), full.root().fanout());
+    }
+
+    #[test]
+    fn effective_shard_count_is_all_or_nothing() {
+        assert_eq!(effective_shard_count(0, 4), 1);
+        assert_eq!(effective_shard_count(MIN_ROWS_PER_SHARD, 1), 1);
+        assert_eq!(
+            effective_shard_count(4 * MIN_ROWS_PER_SHARD - 1, 4),
+            1,
+            "one row short of the budget must not shard"
+        );
+        assert_eq!(effective_shard_count(4 * MIN_ROWS_PER_SHARD, 4), 4);
+        assert_eq!(effective_shard_count(1000, usize::MAX), 1);
     }
 
     #[test]

@@ -6,17 +6,38 @@
 //! root relation is non-empty at the end.  The pass costs time linear in the
 //! total size of the relations (with hashing), which is what makes ι-acyclic
 //! IJ queries near-linear after the forward reduction (Theorem 6.6).
+//!
+//! # Implementation: alive-row lists over scan kernels
+//!
+//! The pass never materialises intermediate relations.  Each atom carries an
+//! **alive-row list** (`None` = all rows alive); one semijoin step gathers
+//! the parent's and child's key columns at their alive rows
+//! ([`kernels::gather_ids`]), probes them through the packed-key mask of
+//! `semijoin_mask` (the kernel-backed probe core shared with
+//! [`semijoin`](crate::semijoin)), and shrinks the parent's list with the
+//! chunked selection kernel — column copies are limited to the key columns
+//! actually probed, instead of cloning and re-gathering whole relations per
+//! step.
 
 use crate::atom::{hypergraph_of, BoundAtom};
-use crate::generic::semijoin;
-use ij_hypergraph::join_tree;
-use ij_relation::Relation;
+use crate::generic::semijoin_mask;
+use ij_hypergraph::{join_tree, VarId};
+use ij_relation::{kernels, ValueId};
 
 /// Evaluates an α-acyclic Boolean query with Yannakakis' algorithm.
 ///
 /// Returns `None` if the atom set is not α-acyclic (no join tree exists);
 /// callers fall back to another strategy in that case.
+///
+/// # Panics
+///
+/// Panics if a relation has more than `u32::MAX` rows (alive-row lists store
+/// row indices as `u32`; a silent wrap would corrupt the pass).
 pub fn yannakakis_boolean(atoms: &[BoundAtom<'_>]) -> Option<bool> {
+    assert!(
+        atoms.iter().all(|a| a.relation.len() <= u32::MAX as usize),
+        "Yannakakis pass supports at most 2^32 rows per relation"
+    );
     if atoms.is_empty() {
         return Some(true);
     }
@@ -26,23 +47,81 @@ pub fn yannakakis_boolean(atoms: &[BoundAtom<'_>]) -> Option<bool> {
     let (h, _) = hypergraph_of(atoms);
     let tree = join_tree(&h)?;
 
-    // Working copies of the relations (they shrink during the pass).
-    let mut current: Vec<Relation> = atoms.iter().map(|a| a.relation.clone()).collect();
+    // Alive rows per atom (`None` = every row).  Rows only ever leave.
+    let mut alive: Vec<Option<Vec<u32>>> = vec![None; atoms.len()];
+    let alive_count = |alive: &Option<Vec<u32>>, atom: &BoundAtom<'_>| match alive {
+        Some(rows) => rows.len(),
+        None => atom.relation.len(),
+    };
+
+    // The key columns of `atom` for the given shared variables, restricted
+    // to its alive rows.  With every row alive the relation's columns are
+    // borrowed as-is (no copy); once a filter exists, the surviving rows are
+    // gathered into `scratch`, one buffer per column.
+    fn key_columns<'a, 's>(
+        atom: &BoundAtom<'a>,
+        alive: &Option<Vec<u32>>,
+        shared: &[VarId],
+        scratch: &'s mut Vec<Vec<ValueId>>,
+    ) -> Vec<&'s [ValueId]>
+    where
+        'a: 's,
+    {
+        let column_of = |v: VarId| {
+            let c = atom.vars.iter().position(|&u| u == v).unwrap();
+            atom.relation.column_ids(c)
+        };
+        match alive {
+            None => shared.iter().map(|&v| column_of(v)).collect(),
+            Some(rows) => {
+                scratch.clear();
+                for &v in shared {
+                    let mut gathered = Vec::new();
+                    kernels::gather_ids(column_of(v), rows, &mut gathered);
+                    scratch.push(gathered);
+                }
+                scratch.iter().map(|c| c.as_slice()).collect()
+            }
+        }
+    }
 
     // Bottom-up pass: `tree.order` lists children before parents.
+    let mut parent_scratch: Vec<Vec<ValueId>> = Vec::new();
+    let mut child_scratch: Vec<Vec<ValueId>> = Vec::new();
     for &child in &tree.order {
         let Some(parent) = tree.parent[child] else {
             continue;
         };
-        let child_atom = BoundAtom::new(&current[child], atoms[child].vars.clone());
-        let parent_atom = BoundAtom::new(&current[parent], atoms[parent].vars.clone());
-        let reduced = semijoin(&parent_atom, &child_atom);
-        if reduced.is_empty() {
+        let shared: Vec<VarId> = atoms[parent]
+            .var_set()
+            .intersection(&atoms[child].var_set())
+            .copied()
+            .collect();
+        if shared.is_empty() {
+            // No shared variables: the child only contributes an emptiness
+            // check (a join tree normally connects on shared variables, but
+            // disconnected queries degenerate here).
+            if alive_count(&alive[child], &atoms[child]) == 0 {
+                return Some(false);
+            }
+            continue;
+        }
+        let left_cols = key_columns(&atoms[parent], &alive[parent], &shared, &mut parent_scratch);
+        let right_cols = key_columns(&atoms[child], &alive[child], &shared, &mut child_scratch);
+        let mask = semijoin_mask(&left_cols, &right_cols);
+        let mut surviving: Vec<u32> = Vec::new();
+        kernels::select_indices(&mask, 0, &mut surviving);
+        // `surviving` indexes the parent's *alive list*; map back to rows.
+        let new_alive: Vec<u32> = match &alive[parent] {
+            Some(rows) => surviving.iter().map(|&i| rows[i as usize]).collect(),
+            None => surviving,
+        };
+        if new_alive.is_empty() {
             return Some(false);
         }
-        current[parent] = reduced;
+        alive[parent] = Some(new_alive);
     }
-    Some(!current[tree.root].is_empty())
+    Some(alive_count(&alive[tree.root], &atoms[tree.root]) > 0)
 }
 
 #[cfg(test)]

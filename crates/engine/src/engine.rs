@@ -22,8 +22,16 @@ use ij_reduction::{
 use ij_relation::{Database, Query};
 use ij_widths::{ij_width, IjWidthReport};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 pub use ij_ejoin::TrieCacheStats;
+
+/// The hardware thread count (1 when it cannot be determined).
+fn hardware_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 /// Configuration of the engine.
 #[derive(Debug, Clone, Copy)]
@@ -43,11 +51,18 @@ pub struct EngineConfig {
     /// every setting; a true disjunct found by any worker stops the others
     /// at their next scheduling point.
     pub parallelism: usize,
-    /// Capacity of the per-evaluation trie cache (entries): the disjuncts of
-    /// one reduction overwhelmingly share transformed relations, and the
-    /// cache lets them share the *built tries* instead of rebuilding them
-    /// per disjunct.  `0` disables sharing entirely (every disjunct rebuilds
-    /// its tries).  The Boolean answer is identical for every setting.
+    /// Capacity (entries) of the engine's **persistent** trie cache: one
+    /// cache is created per engine and shared by every disjunct worker of
+    /// every evaluation the engine runs.  Within one evaluation, disjuncts
+    /// overwhelmingly share transformed relations, so the cache lets them
+    /// share the *built tries* instead of rebuilding per disjunct; across
+    /// evaluations, a service answering many queries over the same reduced
+    /// database serves repeat trie builds straight from the cache (keys are
+    /// relation *content* fingerprints, so reuse is sound regardless of
+    /// which reduction produced a relation).  Once full, inserting evicts
+    /// the least-recently-used entry.  `0` disables sharing entirely (every
+    /// disjunct rebuilds its tries).  The Boolean answer is identical for
+    /// every setting.
     ///
     /// ```
     /// use ij_engine::EngineConfig;
@@ -57,16 +72,21 @@ pub struct EngineConfig {
     /// assert_eq!(rebuild.trie_cache_capacity, 0); // rebuild-per-disjunct
     /// ```
     pub trie_cache_capacity: usize,
-    /// Trie shard count: `0` builds one shard per available hardware thread,
-    /// `1` (the default) builds each trie unsharded, `n` splits each trie
-    /// into `n` hash-partitioned sub-tries built on scoped threads, with the
-    /// join search fanned out shard by shard.  The Boolean answer is
-    /// identical for every setting.
+    /// Trie shard budget: `0` (the default) derives the budget from the
+    /// shared thread budget — hardware threads divided by the disjunct
+    /// worker count, so `workers × shards` never oversubscribes the machine
+    /// — `1` builds each trie unsharded, `n` allows up to `n`
+    /// hash-partitioned sub-tries built on scoped threads, with the join
+    /// search fanned out shard by shard.  Within the budget the shard count
+    /// is sized **per atom** from the relation sizes
+    /// ([`ij_ejoin::effective_shard_count`]): relations too small to give
+    /// every shard [`ij_ejoin::MIN_ROWS_PER_SHARD`] rows are built
+    /// unsharded.  The Boolean answer is identical for every setting.
     ///
     /// ```
     /// use ij_engine::EngineConfig;
     ///
-    /// assert_eq!(EngineConfig::new().trie_shards, 1);
+    /// assert_eq!(EngineConfig::new().trie_shards, 0);
     /// let sharded = EngineConfig::new().with_trie_shards(4);
     /// assert_eq!(sharded.trie_shards, 4);
     /// ```
@@ -81,8 +101,10 @@ impl Default for EngineConfig {
 
 impl EngineConfig {
     /// The default configuration: deduplication enabled, the flat encoding,
-    /// hardware parallelism across disjuncts, a 4096-entry trie cache and
-    /// unsharded trie builds.
+    /// hardware parallelism across disjuncts, a 4096-entry persistent trie
+    /// cache and budget-derived trie sharding (`trie_shards = 0`: whatever
+    /// hardware threads the disjunct workers leave unused go to sharded trie
+    /// builds, and never more).
     pub fn new() -> Self {
         EngineConfig {
             ej_strategy: EjStrategy::Auto,
@@ -90,7 +112,7 @@ impl EngineConfig {
             encoding: EncodingStrategy::Flat,
             parallelism: 0,
             trie_cache_capacity: 4096,
-            trie_shards: 1,
+            trie_shards: 0,
         }
     }
 
@@ -126,17 +148,25 @@ impl EngineConfig {
 
     /// The worker count to use for `disjuncts` deduplicated EJ queries.
     fn worker_count(&self, disjuncts: usize) -> usize {
-        let hw = || {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        };
         let requested = if self.parallelism == 0 {
-            hw()
+            hardware_parallelism()
         } else {
             self.parallelism
         };
         requested.min(disjuncts).max(1)
+    }
+
+    /// The trie shard budget for an evaluation run by `workers` disjunct
+    /// workers: the configured [`EngineConfig::trie_shards`] when explicit,
+    /// otherwise the share of the hardware threads each worker can spend on
+    /// sharded builds without oversubscribing the machine
+    /// (`hardware / workers`, at least 1).  `workers × shard_budget` never
+    /// exceeds the hardware parallelism in the derived case.
+    fn shard_budget(&self, workers: usize) -> usize {
+        match self.trie_shards {
+            0 => (hardware_parallelism() / workers.max(1)).max(1),
+            n => n,
+        }
     }
 }
 
@@ -209,23 +239,51 @@ pub struct EvaluationStats {
     /// a worker pulls, so trie reuse within a batch is maximal; oversized
     /// batches are split when that would otherwise leave workers idle).
     pub ej_query_batches: usize,
-    /// Hit/miss counters of the evaluation's shared trie cache (all zeros
-    /// when [`EngineConfig::trie_cache_capacity`] is `0`).
+    /// This evaluation's activity on the engine's **persistent** trie cache:
+    /// hit/miss/eviction counters are deltas over the evaluation, `entries`
+    /// is the resident count when it finished.  All zeros when
+    /// [`EngineConfig::trie_cache_capacity`] is `0`.  A warm evaluation of a
+    /// previously-seen reduction reports hits with few or no misses.
+    ///
+    /// The deltas are snapshots of the shared cache's counters, so when
+    /// *other* evaluations run concurrently on the same engine (or a clone
+    /// sharing its cache), their activity lands in whichever windows overlap
+    /// it — per-evaluation attribution is only exact for non-overlapping
+    /// evaluations.  The answer is unaffected either way.
     pub trie_cache: TrieCacheStats,
     /// The answer.
     pub answer: bool,
 }
 
 /// The intersection-join query engine.
-#[derive(Debug, Clone, Default)]
+///
+/// The engine owns a **persistent** [`TrieCache`] (sized by
+/// [`EngineConfig::trie_cache_capacity`]) that survives across evaluations:
+/// repeated queries over the same reduced database reuse built tries instead
+/// of rebuilding them.  Cloning an engine shares the cache — sound, because
+/// cache keys are relation content fingerprints — so cheap per-thread clones
+/// all warm one cache.
+#[derive(Debug, Clone)]
 pub struct IntersectionJoinEngine {
     config: EngineConfig,
+    /// The persistent cross-evaluation trie cache (`None` when disabled via
+    /// a zero capacity).
+    trie_cache: Option<Arc<TrieCache>>,
+}
+
+impl Default for IntersectionJoinEngine {
+    fn default() -> Self {
+        IntersectionJoinEngine::with_defaults()
+    }
 }
 
 impl IntersectionJoinEngine {
-    /// Creates an engine with the given configuration.
+    /// Creates an engine with the given configuration (allocating its
+    /// persistent trie cache when the configured capacity is non-zero).
     pub fn new(config: EngineConfig) -> Self {
-        IntersectionJoinEngine { config }
+        let trie_cache = (config.trie_cache_capacity > 0)
+            .then(|| Arc::new(TrieCache::with_capacity(config.trie_cache_capacity)));
+        IntersectionJoinEngine { config, trie_cache }
     }
 
     /// Creates an engine with the default configuration.
@@ -236,6 +294,16 @@ impl IntersectionJoinEngine {
     /// The configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// Cumulative statistics of the engine's persistent trie cache over its
+    /// whole lifetime (all zeros when the cache is disabled).  Per-evaluation
+    /// deltas are reported in [`EvaluationStats::trie_cache`].
+    pub fn trie_cache_stats(&self) -> TrieCacheStats {
+        self.trie_cache
+            .as_ref()
+            .map(|c| c.stats())
+            .unwrap_or_default()
     }
 
     /// Static analysis: acyclicity, ij-width and the runtime regime.
@@ -290,10 +358,14 @@ impl IntersectionJoinEngine {
     /// per shared atomic work-index increment; the first worker to find a
     /// true disjunct flips an [`AtomicBool`] that stops the others at their
     /// next scheduling point (between disjuncts within a batch, and between
-    /// batches).  All workers share one [`TrieCache`] sized by
-    /// [`EngineConfig::trie_cache_capacity`], so a trie built for one
-    /// disjunct is reused by every later disjunct of the evaluation — batch
-    /// grouping makes the reuse run hot within a worker's current batch.
+    /// batches).  All workers share the engine's **persistent**
+    /// [`TrieCache`] (sized by [`EngineConfig::trie_cache_capacity`]), so a
+    /// trie built for one disjunct is reused by every later disjunct of this
+    /// *and every subsequent* evaluation — batch grouping makes the reuse
+    /// run hot within a worker's current batch, and repeat evaluations of
+    /// the same reduction run warm end to end.  Worker and trie-shard
+    /// threads draw from one budget: with the default `trie_shards = 0`,
+    /// `workers × shards` never exceeds the hardware parallelism.
     /// Grouping is a locality hint, not a parallelism constraint: when it
     /// yields fewer batches than workers, the largest batches are split so
     /// every worker stays busy.  The evaluation only *reads* the transformed
@@ -309,14 +381,15 @@ impl IntersectionJoinEngine {
         };
         let mut batches = Self::batch_by_shared_relations(reduction, &to_run);
 
-        let cache = (self.config.trie_cache_capacity > 0)
-            .then(|| TrieCache::with_capacity(self.config.trie_cache_capacity));
-        let eval = EvalContext {
-            cache: cache.as_ref(),
-            shards: self.config.trie_shards,
-        };
-
         let workers = self.config.worker_count(to_run.len());
+        // Shared thread budget: the disjunct workers and the per-trie shard
+        // threads multiply, so the shard budget is what the workers leave of
+        // the hardware parallelism (unless explicitly overridden).
+        let cache_before = self.trie_cache_stats();
+        let eval = EvalContext {
+            cache: self.trie_cache.as_deref(),
+            shards: self.config.shard_budget(workers),
+        };
         // Don't let grouping serialize the pool: as long as there are fewer
         // batches than workers, halve the largest splittable batch.  (The
         // shared cache still gives cross-batch trie reuse.)
@@ -381,7 +454,7 @@ impl IntersectionJoinEngine {
             ej_queries_evaluated: evaluated,
             ej_queries_total: to_run.len(),
             ej_query_batches: batches.len(),
-            trie_cache: cache.map(|c| c.stats()).unwrap_or_default(),
+            trie_cache: self.trie_cache_stats().delta_since(&cache_before),
             answer,
         }
     }
@@ -708,6 +781,47 @@ mod tests {
         assert_eq!(stats.ej_queries_evaluated, 4);
         // One relation-set group, split into one batch per busy worker.
         assert_eq!(stats.ej_query_batches, 4);
+    }
+
+    #[test]
+    fn shard_budget_is_shared_with_the_worker_pool() {
+        let hw = hardware_parallelism();
+        let auto = EngineConfig::new(); // trie_shards = 0: derived
+        for workers in [1usize, 2, hw, hw + 3] {
+            let budget = auto.shard_budget(workers);
+            assert_eq!(budget, (hw / workers).max(1));
+            if workers <= hw {
+                assert!(
+                    workers * budget <= hw,
+                    "workers {workers} × budget {budget} oversubscribes {hw} threads"
+                );
+            }
+        }
+        // An explicit shard count is respected verbatim.
+        assert_eq!(EngineConfig::new().with_trie_shards(7).shard_budget(3), 7);
+        assert_eq!(EngineConfig::new().with_trie_shards(1).shard_budget(64), 1);
+    }
+
+    #[test]
+    fn persistent_cache_survives_across_evaluations_and_clones() {
+        let engine = IntersectionJoinEngine::new(EngineConfig::new().with_parallelism(1));
+        let (q, db) = triangle_db(false);
+        let first = engine.evaluate_with_stats(&q, &db).unwrap();
+        assert!(first.trie_cache.misses > 0);
+        // Second evaluation of the same reduction: all builds served warm.
+        let second = engine.evaluate_with_stats(&q, &db).unwrap();
+        assert_eq!(second.answer, first.answer);
+        assert_eq!(second.trie_cache.misses, 0, "{:?}", second.trie_cache);
+        assert!(second.trie_cache.hits > 0);
+        // Clones share the cache: a clone's evaluation is warm too, and its
+        // activity shows up in the original's cumulative stats.
+        let clone = engine.clone();
+        let cloned = clone.evaluate_with_stats(&q, &db).unwrap();
+        assert_eq!(cloned.trie_cache.misses, 0);
+        assert_eq!(
+            engine.trie_cache_stats().hits,
+            first.trie_cache.hits + second.trie_cache.hits + cloned.trie_cache.hits
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! its interval variables, not on the full permutation.
 
 use ij_hypergraph::{full_reduction, Hypergraph, ReducedHypergraph, VarId, VarKind};
-use ij_relation::{Database, Dictionary, Query, Relation, Value, ValueId};
+use ij_relation::{Database, Query, Relation, Value, ValueId};
 use ij_segtree::{BitString, Interval, SegmentTree};
 use std::collections::BTreeMap;
 
@@ -417,9 +417,8 @@ fn intern_tuple_ids(n: usize) -> Vec<ValueId> {
     static PREFIX: Mutex<Vec<ValueId>> = Mutex::new(Vec::new());
     let mut prefix = PREFIX.lock().unwrap_or_else(|e| e.into_inner());
     if prefix.len() < n {
-        let mut dict = Dictionary::write_shared();
         for i in prefix.len()..n {
-            prefix.push(dict.intern(Value::point(i as f64)));
+            prefix.push(ValueId::intern(Value::point(i as f64)));
         }
     }
     prefix[..n].to_vec()
@@ -445,7 +444,6 @@ fn build_part_relation(
     let mut out = Relation::new(name.to_string(), 1 + level);
     let intervals: Vec<Option<Interval>> = source.column(column).map(|v| v.to_interval()).collect();
     let tuple_ids = intern_tuple_ids(source.len());
-    let mut dict = Dictionary::write_shared();
     let mut row: Vec<ValueId> = Vec::with_capacity(1 + level);
     for (i, iv) in intervals.into_iter().enumerate() {
         let iv = iv.ok_or(ReductionError::NotAnInterval {
@@ -461,12 +459,11 @@ fn build_part_relation(
             for parts in node.compositions(level) {
                 row.clear();
                 row.push(tuple_ids[i]);
-                row.extend(parts.into_iter().map(|b| dict.intern(Value::Bits(b))));
+                row.extend(parts.into_iter().map(|b| ValueId::intern(Value::Bits(b))));
                 out.push_ids(&row);
             }
         }
     }
-    drop(dict);
     out.dedup();
     Ok(out)
 }
@@ -568,7 +565,6 @@ fn build_transformed_relation(
                 .or_insert_with(|| source.column(*column).map(|v| v.to_interval()).collect());
         }
     }
-    let mut dict = Dictionary::write_shared();
     // Indexed loop: `row_idx` addresses parallel structures (the pre-resolved
     // interval columns and the source id columns).
     #[allow(clippy::needless_range_loop)]
@@ -604,7 +600,7 @@ fn build_transformed_relation(
                             options.push(
                                 parts
                                     .into_iter()
-                                    .map(|b| dict.intern(Value::Bits(b)))
+                                    .map(|b| ValueId::intern(Value::Bits(b)))
                                     .collect(),
                             );
                         }
@@ -637,7 +633,6 @@ fn build_transformed_relation(
             out.push_ids(&r);
         }
     }
-    drop(dict);
     out.dedup();
     Ok(out)
 }

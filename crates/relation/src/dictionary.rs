@@ -1,7 +1,7 @@
 //! The value dictionary: interning of [`Value`]s into dense 32-bit ids.
 //!
 //! Every value stored in a [`Relation`](crate::Relation) is interned exactly
-//! once into the process-wide shared [`Dictionary`] and represented as a
+//! once into the process-wide shared dictionary and represented as a
 //! [`ValueId`] from then on.  All layers of the pipeline — the forward
 //! reduction, the hash tries of the equality-join engine and the Yannakakis
 //! semijoins — operate on these dense `u32` ids instead of full [`Value`]
@@ -12,9 +12,9 @@
 //! [`Database`](crate::Database)) so that ids remain join-compatible across
 //! databases; the forward reduction writes a *transformed* database whose
 //! relations must be comparable with each other and with ad-hoc relations
-//! built by the evaluator (projections, materialised bags).  Ids are assigned
-//! densely in first-intern order and are never re-assigned, so an id obtained
-//! at any point stays valid for the lifetime of the process.
+//! built by the evaluator (projections, materialised bags).  Ids are never
+//! re-assigned, so an id obtained at any point stays valid for the lifetime
+//! of the process.
 //!
 //! The dictionary never evicts: ids stay valid for the process lifetime, so
 //! dropping a [`Database`](crate::Database) does not reclaim its interned
@@ -23,39 +23,81 @@
 //! would want per-database scoping or epoch-based compaction (tracked in
 //! ROADMAP "Open items").
 //!
-//! Concurrency: the shared dictionary sits behind an [`RwLock`].  Ingestion
-//! (interning) takes the write lock; evaluation-time code only *reads* ids
-//! already stored in relations, so the parallel disjunct evaluation of the
-//! engine runs lock-free on the hot path and takes short read locks only when
-//! materialising values (e.g. [`Relation::tuples`](crate::Relation::tuples)).
+//! # Concurrency: hash-striped locks
+//!
+//! The shared dictionary is **striped**: [`STRIPE_COUNT`] independent
+//! [`Dictionary`] stores, each behind its own [`RwLock`], with a value's
+//! stripe chosen by a deterministic hash of the value.  Interning takes a
+//! read lock on one stripe (the already-interned fast path) and upgrades to
+//! that stripe's write lock only on a genuine miss, so parallel ingestion
+//! threads serialize only when two values collide on a stripe instead of on
+//! one process-wide lock.  Evaluation-time code only *reads* ids already
+//! stored in relations, so the parallel disjunct evaluation of the engine
+//! runs lock-free on the hot path; bulk materialisation
+//! ([`Relation::tuples`](crate::Relation::tuples)) pins all stripes once via
+//! [`Dictionary::reader`] instead of locking per value.
+//!
+//! Ids stay **globally unique** across stripes by construction: the stripe
+//! index lives in the low [`STRIPE_BITS`] bits of the id and the
+//! stripe-local dense index in the high bits, so each stripe owns a disjoint
+//! id subspace (and may hold up to 2²⁸ distinct values).
 
 use crate::Value;
 use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::{OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::{OnceLock, RwLock, RwLockReadGuard};
+
+/// Number of independent stripes of the shared dictionary (a power of two).
+pub const STRIPE_COUNT: usize = 16;
+
+/// Bits of a [`ValueId`] reserved for the stripe index (`log2(STRIPE_COUNT)`).
+pub const STRIPE_BITS: u32 = STRIPE_COUNT.trailing_zeros();
 
 /// A dense identifier of an interned [`Value`].
 ///
-/// Ids are only meaningful relative to the shared [`Dictionary`]; two ids are
+/// Ids are only meaningful relative to the shared dictionary; two ids are
 /// equal if and only if the values they intern are equal.  The `Ord` on ids
-/// is the *interning order*, not the value order — sort by resolved values
-/// when value order matters.
+/// is an arbitrary stable order (stripe, then interning order within the
+/// stripe), not the value order — sort by resolved values when value order
+/// matters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ValueId(u32);
 
 impl ValueId {
-    /// Interns `value` in the shared dictionary (see [`Dictionary::intern`]).
+    /// Interns `value` in the shared dictionary: returns the existing id when
+    /// the value was seen before (taking only a stripe *read* lock),
+    /// otherwise assigns the next id of the value's stripe under that
+    /// stripe's write lock.
     pub fn intern(value: Value) -> ValueId {
-        Dictionary::write_shared().intern(value)
+        let stripe = stripe_of(&value);
+        let lock = &stripes()[stripe];
+        if let Some(local) = lock
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .lookup(&value)
+        {
+            return encode(local, stripe);
+        }
+        let local = lock
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .intern(value);
+        encode(local, stripe)
     }
 
-    /// Resolves the id against the shared dictionary.
+    /// Resolves the id against the shared dictionary (one stripe read lock;
+    /// bulk resolves should use [`Dictionary::reader`] instead of calling
+    /// this per id).
     ///
     /// # Panics
     ///
     /// Panics if the id was not produced by the shared dictionary.
     pub fn resolve(self) -> Value {
-        Dictionary::read_shared().resolve(self)
+        let (stripe, local) = decode(self);
+        stripes()[stripe]
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .resolve(local)
     }
 
     /// The raw index.
@@ -77,7 +119,46 @@ impl ValueId {
     }
 }
 
+/// The stripe a value hashes to.  The hash is deterministic within a process
+/// (`DefaultHasher` with fixed keys), so a value's stripe — and hence its id
+/// — does not depend on which thread interns it first.
+fn stripe_of(value: &Value) -> usize {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    value.hash(&mut hasher);
+    (hasher.finish() as usize) & (STRIPE_COUNT - 1)
+}
+
+/// Combines a stripe-local dense id with its stripe index into a global id.
+fn encode(local: ValueId, stripe: usize) -> ValueId {
+    assert!(
+        local.0 < (1 << (32 - STRIPE_BITS)),
+        "dictionary stripe overflow: more than 2^{} distinct values in one stripe",
+        32 - STRIPE_BITS
+    );
+    ValueId((local.0 << STRIPE_BITS) | stripe as u32)
+}
+
+/// Splits a global id back into (stripe index, stripe-local id).
+fn decode(id: ValueId) -> (usize, ValueId) {
+    (
+        (id.0 & (STRIPE_COUNT as u32 - 1)) as usize,
+        ValueId(id.0 >> STRIPE_BITS),
+    )
+}
+
+/// The process-wide stripe array.
+fn stripes() -> &'static [RwLock<Dictionary>; STRIPE_COUNT] {
+    static STRIPES: OnceLock<[RwLock<Dictionary>; STRIPE_COUNT]> = OnceLock::new();
+    STRIPES.get_or_init(|| std::array::from_fn(|_| RwLock::new(Dictionary::new())))
+}
+
 /// An interning dictionary mapping [`Value`]s to dense [`ValueId`]s and back.
+///
+/// This is the single-store building block: the process-wide shared
+/// dictionary is [`STRIPE_COUNT`] of these behind per-stripe locks (see the
+/// module docs), and tests / tools can use standalone instances directly.
+/// Standalone instances assign plain dense ids `0, 1, 2, …` with no stripe
+/// encoding.
 #[derive(Debug, Default)]
 pub struct Dictionary {
     values: Vec<Value>,
@@ -127,26 +208,57 @@ impl Dictionary {
         self.values[id.0 as usize]
     }
 
-    /// The process-wide shared dictionary.
-    pub fn shared() -> &'static RwLock<Dictionary> {
-        static SHARED: OnceLock<RwLock<Dictionary>> = OnceLock::new();
-        SHARED.get_or_init(|| RwLock::new(Dictionary::new()))
+    /// Pins every stripe of the shared dictionary under a read lock at once,
+    /// for bulk resolves and lookups: one lock acquisition per stripe instead
+    /// of one per value.
+    ///
+    /// Writers never hold more than one stripe lock at a time, so acquiring
+    /// all stripes here cannot deadlock against concurrent interning.
+    pub fn reader() -> DictReader {
+        DictReader {
+            guards: stripes()
+                .iter()
+                .map(|lock| lock.read().unwrap_or_else(|e| e.into_inner()))
+                .collect(),
+        }
     }
 
-    /// Read access to the shared dictionary (bulk resolves should hold this
-    /// guard across the loop instead of calling [`ValueId::resolve`] per id).
-    pub fn read_shared() -> RwLockReadGuard<'static, Dictionary> {
-        Dictionary::shared()
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
+    /// Total number of distinct values interned in the shared dictionary
+    /// (sums the stripes; a snapshot under concurrent interning).
+    pub fn shared_len() -> usize {
+        stripes()
+            .iter()
+            .map(|lock| lock.read().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+}
+
+/// A read pin over every stripe of the shared dictionary (see
+/// [`Dictionary::reader`]).  Holding one blocks interning of *new* values.
+///
+/// While a reader is held, resolve ids through **it** ([`DictReader::resolve`])
+/// — not through [`ValueId::resolve`], which acquires a second read lock on a
+/// stripe this reader already holds: `std`'s `RwLock` may deadlock on such
+/// recursive read acquisition when a writer is queued in between.
+pub struct DictReader {
+    guards: Vec<RwLockReadGuard<'static, Dictionary>>,
+}
+
+impl DictReader {
+    /// The value behind a shared-dictionary id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not produced by the shared dictionary.
+    pub fn resolve(&self, id: ValueId) -> Value {
+        let (stripe, local) = decode(id);
+        self.guards[stripe].resolve(local)
     }
 
-    /// Write access to the shared dictionary (bulk interns should hold this
-    /// guard across the loop).
-    pub fn write_shared() -> RwLockWriteGuard<'static, Dictionary> {
-        Dictionary::shared()
-            .write()
-            .unwrap_or_else(|e| e.into_inner())
+    /// The shared-dictionary id of a value, if it has been interned.
+    pub fn lookup(&self, value: &Value) -> Option<ValueId> {
+        let stripe = stripe_of(value);
+        self.guards[stripe].lookup(value).map(|l| encode(l, stripe))
     }
 }
 
@@ -231,6 +343,32 @@ mod tests {
         assert_eq!(dict.intern(Value::point(2.0)), b);
         assert_eq!(dict.lookup(&Value::point(2.0)), Some(b));
         assert_eq!(dict.lookup(&Value::point(-9.0)), None);
+    }
+
+    #[test]
+    fn shared_ids_encode_their_stripe() {
+        let values: Vec<Value> = (0..100).map(|i| Value::point(7000.0 + i as f64)).collect();
+        let ids: Vec<ValueId> = values.iter().map(|&v| ValueId::intern(v)).collect();
+        // Lock-per-id resolves, *before* pinning the stripes: ValueId::resolve
+        // must never run under a held DictReader (recursive read locks can
+        // deadlock against a queued writer).
+        for (&v, &id) in values.iter().zip(&ids) {
+            assert_eq!(id.resolve(), v);
+        }
+        let reader = Dictionary::reader();
+        for (&v, &id) in values.iter().zip(&ids) {
+            let (stripe, _) = decode(id);
+            assert_eq!(stripe, stripe_of(&v));
+            assert_eq!(reader.resolve(id), v);
+            assert_eq!(reader.lookup(&v), Some(id));
+        }
+        drop(reader);
+        // Distinct values get distinct ids even across stripes.
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+        assert!(Dictionary::shared_len() >= ids.len());
     }
 
     #[test]

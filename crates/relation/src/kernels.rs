@@ -1,0 +1,244 @@
+//! SIMD-friendly chunked scan kernels over interned id slices.
+//!
+//! The hot linear passes of the join engine — the equal-pair filters of the
+//! trie build, the key packing and survivor selection of the Yannakakis
+//! semijoins — all reduce to a handful of primitives over `&[ValueId]`.
+//! This module implements each primitive twice:
+//!
+//! * a **chunked** kernel that processes [`LANES`] ids per step over
+//!   `chunks_exact` slices (fixed-width loops with no bounds checks, written
+//!   so LLVM's autovectorizer turns them into `u32x8`-style SIMD on any
+//!   target that has it), followed by a scalar tail for the remainder;
+//! * a `*_scalar` **reference** implementation — the obviously-correct
+//!   element-at-a-time loop, kept as the oracle for the property tests in
+//!   `tests/kernel_properties.rs` (chunked ≡ scalar on every input, including
+//!   lengths that are not a multiple of [`LANES`]).
+//!
+//! The kernels deliberately work on raw slices (not [`Relation`]s) so every
+//! layer — whole columns, [`ColumnsView`] row ranges, scratch buffers — can
+//! use them.  Masks are `u8` (1 = selected), the representation the
+//! autovectorizer handles best for mixed compare-and-accumulate loops.
+//!
+//! [`Relation`]: crate::Relation
+//! [`ColumnsView`]: crate::ColumnsView
+
+use crate::ValueId;
+
+/// Ids processed per chunked step (a `u32x8` register's worth).
+pub const LANES: usize = 8;
+
+/// Intersects `mask` with the element-wise equality of `a` and `b`:
+/// `mask[i] &= (a[i] == b[i])`.
+///
+/// This is the trie build's repeated-variable filter: one call per equal
+/// column pair, all pairs accumulating into one mask.
+///
+/// # Panics
+///
+/// Panics if the three slices differ in length.
+pub fn and_equal_mask(a: &[ValueId], b: &[ValueId], mask: &mut [u8]) {
+    assert_eq!(a.len(), b.len(), "column length mismatch");
+    assert_eq!(a.len(), mask.len(), "mask length mismatch");
+    let mut ac = a.chunks_exact(LANES);
+    let mut bc = b.chunks_exact(LANES);
+    let mut mc = mask.chunks_exact_mut(LANES);
+    for ((ca, cb), cm) in (&mut ac).zip(&mut bc).zip(&mut mc) {
+        for i in 0..LANES {
+            cm[i] &= u8::from(ca[i] == cb[i]);
+        }
+    }
+    for ((x, y), m) in ac
+        .remainder()
+        .iter()
+        .zip(bc.remainder())
+        .zip(mc.into_remainder())
+    {
+        *m &= u8::from(x == y);
+    }
+}
+
+/// Scalar reference implementation of [`and_equal_mask`].
+pub fn and_equal_mask_scalar(a: &[ValueId], b: &[ValueId], mask: &mut [u8]) {
+    assert_eq!(a.len(), b.len(), "column length mismatch");
+    assert_eq!(a.len(), mask.len(), "mask length mismatch");
+    for i in 0..mask.len() {
+        mask[i] &= u8::from(a[i] == b[i]);
+    }
+}
+
+/// Appends `base + i` to `out` for every selected position (`mask[i] != 0`),
+/// in increasing order of `i`.
+///
+/// Chunked trick: each group of [`LANES`] mask bytes is read as one `u64`, so
+/// fully-unselected groups — the common case after a selective semijoin —
+/// are skipped with a single compare instead of eight.
+pub fn select_indices(mask: &[u8], base: u32, out: &mut Vec<u32>) {
+    let mut chunks = mask.chunks_exact(LANES);
+    let mut start = 0usize;
+    for chunk in &mut chunks {
+        let word = u64::from_ne_bytes(chunk.try_into().expect("LANES == 8"));
+        if word != 0 {
+            for (j, &m) in chunk.iter().enumerate() {
+                if m != 0 {
+                    out.push(base + (start + j) as u32);
+                }
+            }
+        }
+        start += LANES;
+    }
+    for (j, &m) in chunks.remainder().iter().enumerate() {
+        if m != 0 {
+            out.push(base + (start + j) as u32);
+        }
+    }
+}
+
+/// Scalar reference implementation of [`select_indices`].
+pub fn select_indices_scalar(mask: &[u8], base: u32, out: &mut Vec<u32>) {
+    for (i, &m) in mask.iter().enumerate() {
+        if m != 0 {
+            out.push(base + i as u32);
+        }
+    }
+}
+
+/// Appends `col[rows[i]]` to `out` for every row index, in order — the
+/// column-wise gather used to materialise semijoin survivors.
+///
+/// The index loop is unrolled [`LANES`] at a time; the loads themselves are
+/// data-dependent gathers, so the win is bounds-check elision and load-slot
+/// pipelining rather than full vectorisation.
+///
+/// # Panics
+///
+/// Panics (via indexing) if a row index is out of bounds for `col`.
+pub fn gather_ids(col: &[ValueId], rows: &[u32], out: &mut Vec<ValueId>) {
+    out.reserve(rows.len());
+    let mut chunks = rows.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        let gathered: [ValueId; LANES] = std::array::from_fn(|i| col[chunk[i] as usize]);
+        out.extend_from_slice(&gathered);
+    }
+    for &r in chunks.remainder() {
+        out.push(col[r as usize]);
+    }
+}
+
+/// Scalar reference implementation of [`gather_ids`].
+pub fn gather_ids_scalar(col: &[ValueId], rows: &[u32], out: &mut Vec<ValueId>) {
+    for &r in rows {
+        out.push(col[r as usize]);
+    }
+}
+
+/// Packs the given columns row-major into `out` (clearing it first):
+/// `out[row * k + j] = cols[j][row]` for `k = cols.len()` — the key-gathering
+/// step of a multi-column semijoin, producing contiguous fixed-width keys
+/// that can be hashed as `&[ValueId]` windows without any per-row allocation.
+///
+/// Written as one sequential read pass per column with a constant output
+/// stride, which the autovectorizer turns into interleaved stores for small
+/// `k` (and a plain copy for `k == 1`).
+///
+/// # Panics
+///
+/// Panics if the columns differ in length.
+pub fn pack_keys(cols: &[&[ValueId]], out: &mut Vec<ValueId>) {
+    let k = cols.len();
+    let n = cols.first().map(|c| c.len()).unwrap_or(0);
+    assert!(
+        cols.iter().all(|c| c.len() == n),
+        "column length mismatch in pack_keys"
+    );
+    out.clear();
+    out.resize(n * k, ValueId::dummy());
+    if n == 0 {
+        return;
+    }
+    for (j, col) in cols.iter().enumerate() {
+        for (slot, &id) in out[j..].iter_mut().step_by(k).zip(col.iter()) {
+            *slot = id;
+        }
+    }
+}
+
+/// Scalar reference implementation of [`pack_keys`] (row-at-a-time).
+pub fn pack_keys_scalar(cols: &[&[ValueId]], out: &mut Vec<ValueId>) {
+    let k = cols.len();
+    let n = cols.first().map(|c| c.len()).unwrap_or(0);
+    assert!(
+        cols.iter().all(|c| c.len() == n),
+        "column length mismatch in pack_keys"
+    );
+    out.clear();
+    out.reserve(n * k);
+    for row in 0..n {
+        for col in cols {
+            out.push(col[row]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(raw: &[u32]) -> Vec<ValueId> {
+        raw.iter().map(|&r| ValueId::from_raw(r)).collect()
+    }
+
+    #[test]
+    fn and_equal_mask_matches_scalar_on_odd_lengths() {
+        // 11 elements: one full chunk + a 3-element tail.
+        let a = ids(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        let b = ids(&[1, 0, 3, 0, 5, 0, 7, 0, 9, 0, 11]);
+        let mut chunked = vec![1u8; a.len()];
+        let mut scalar = chunked.clone();
+        and_equal_mask(&a, &b, &mut chunked);
+        and_equal_mask_scalar(&a, &b, &mut scalar);
+        assert_eq!(chunked, scalar);
+        assert_eq!(chunked, vec![1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1]);
+        // Accumulation: a second pair zeroes further positions, never revives.
+        let c = ids(&[0, 2, 3, 4, 5, 6, 7, 8, 9, 10, 0]);
+        and_equal_mask(&a, &c, &mut chunked);
+        assert_eq!(chunked[0], 0);
+        assert_eq!(chunked[10], 0);
+        assert_eq!(chunked[2], 1);
+    }
+
+    #[test]
+    fn select_indices_skips_dead_words_and_offsets_by_base() {
+        let mut mask = vec![0u8; 19];
+        mask[3] = 1;
+        mask[8] = 1; // second word
+        mask[17] = 1; // tail
+        let mut chunked = Vec::new();
+        let mut scalar = Vec::new();
+        select_indices(&mask, 100, &mut chunked);
+        select_indices_scalar(&mask, 100, &mut scalar);
+        assert_eq!(chunked, scalar);
+        assert_eq!(chunked, vec![103, 108, 117]);
+    }
+
+    #[test]
+    fn gather_and_pack_match_scalar() {
+        let col = ids(&[10, 11, 12, 13, 14, 15, 16, 17, 18]);
+        let rows: Vec<u32> = vec![8, 0, 3, 3, 7, 1, 2, 6, 5, 4];
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        gather_ids(&col, &rows, &mut a);
+        gather_ids_scalar(&col, &rows, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(a[0], ValueId::from_raw(18));
+
+        let c0 = ids(&[1, 2, 3]);
+        let c1 = ids(&[4, 5, 6]);
+        let (mut p, mut q) = (Vec::new(), Vec::new());
+        pack_keys(&[&c0, &c1], &mut p);
+        pack_keys_scalar(&[&c0, &c1], &mut q);
+        assert_eq!(p, q);
+        assert_eq!(p, ids(&[1, 4, 2, 5, 3, 6]));
+        // k == 0 and empty columns degenerate cleanly.
+        pack_keys(&[], &mut p);
+        assert!(p.is_empty());
+    }
+}

@@ -8,6 +8,9 @@
 //! * [`Relation`] / [`Database`] — named multisets of tuples stored as
 //!   columnar id vectors ([`Columns`]), with a row-oriented compatibility
 //!   layer and the distinct-left-endpoint transformation of Appendix G.1;
+//! * [`kernels`] — SIMD-friendly chunked scan primitives over id slices
+//!   (equal-pair masks, selection-by-mask, gathers, key packing) shared by
+//!   the trie builds and semijoins of the join engine;
 //! * [`Query`] — Boolean conjunctive queries with equality joins, intersection
 //!   joins, or both (Definition 3.3), convertible to the hypergraph
 //!   representation used by the structural machinery.
@@ -27,12 +30,16 @@
 
 mod csv;
 mod dictionary;
+pub mod kernels;
 mod query;
 mod relation;
 mod value;
 
 pub use csv::{field_to_value, value_to_field, CsvError};
-pub use dictionary::{Dictionary, IdBuildHasher, IdHashMap, IdHashSet, IdHasher, ValueId};
+pub use dictionary::{
+    DictReader, Dictionary, IdBuildHasher, IdHashMap, IdHashSet, IdHasher, ValueId, STRIPE_BITS,
+    STRIPE_COUNT,
+};
 pub use query::{Atom, Query, QueryParseError};
 pub use relation::{ArityError, Columns, ColumnsView, Database, Relation};
 pub use value::Value;

@@ -246,9 +246,10 @@ impl Relation {
                 });
             }
         }
-        let mut dict = Dictionary::write_shared();
+        // Interning locks per value (striped by value hash), so concurrent
+        // ingestion of several relations proceeds in parallel.
         for t in &tuples {
-            let ids: Vec<ValueId> = t.iter().map(|&v| dict.intern(v)).collect();
+            let ids: Vec<ValueId> = t.iter().map(|&v| ValueId::intern(v)).collect();
             r.columns.push_row(&ids);
         }
         Ok(r)
@@ -282,7 +283,7 @@ impl Relation {
     /// [`Relation::id_at`] instead and callers looping over the result should
     /// hoist the call out of the loop.
     pub fn tuples(&self) -> Vec<Vec<Value>> {
-        let dict = Dictionary::read_shared();
+        let dict = Dictionary::reader();
         (0..self.len())
             .map(|row| {
                 self.columns
@@ -296,7 +297,7 @@ impl Relation {
 
     /// One tuple, materialised.
     pub fn row(&self, row: usize) -> Vec<Value> {
-        let dict = Dictionary::read_shared();
+        let dict = Dictionary::reader();
         self.columns
             .cols
             .iter()
@@ -357,8 +358,7 @@ impl Relation {
                 row: self.len(),
             });
         }
-        let mut dict = Dictionary::write_shared();
-        let ids: Vec<ValueId> = tuple.iter().map(|&v| dict.intern(v)).collect();
+        let ids: Vec<ValueId> = tuple.iter().map(|&v| ValueId::intern(v)).collect();
         self.columns.push_row(&ids);
         self.fingerprint = std::sync::OnceLock::new();
         Ok(())
@@ -399,7 +399,7 @@ impl Relation {
         // Sort row indices by the resolved value order (id order is interning
         // order, which would not be deterministic across construction paths).
         let resolved: Vec<Vec<Value>> = {
-            let dict = Dictionary::read_shared();
+            let dict = Dictionary::reader();
             self.columns
                 .cols
                 .iter()
@@ -463,6 +463,31 @@ impl Relation {
         }
     }
 
+    /// [`Relation::gather`] over `u32` row indices (the index width produced
+    /// by the scan kernels), gathered column-wise with
+    /// [`kernels::gather_ids`](crate::kernels::gather_ids).
+    pub fn gather32(&self, rows: &[u32], name: impl Into<String>) -> Relation {
+        let cols: Vec<Vec<ValueId>> = self
+            .columns
+            .cols
+            .iter()
+            .map(|col| {
+                let mut out = Vec::new();
+                crate::kernels::gather_ids(col, rows, &mut out);
+                out
+            })
+            .collect();
+        Relation {
+            name: name.into(),
+            arity: self.arity,
+            columns: Columns {
+                len: rows.len(),
+                cols,
+            },
+            fingerprint: std::sync::OnceLock::new(),
+        }
+    }
+
     /// An iterator over the values of a single column.
     ///
     /// Resolves the whole column eagerly (one dictionary read lock, one
@@ -470,7 +495,7 @@ impl Relation {
     /// resolve loop, but not free: hoist out of loops and prefer
     /// [`Relation::column_ids`] when ids suffice.
     pub fn column(&self, index: usize) -> impl Iterator<Item = Value> + '_ {
-        let dict = Dictionary::read_shared();
+        let dict = Dictionary::reader();
         let values: Vec<Value> = self.columns.cols[index]
             .iter()
             .map(|&id| dict.resolve(id))

@@ -116,7 +116,7 @@ proptest! {
         }
         let after: Vec<ValueId> = first.iter().map(|&v| ValueId::intern(v)).collect();
         prop_assert_eq!(&before, &after);
-        let dict = Dictionary::read_shared();
+        let dict = Dictionary::reader();
         for (&v, &id) in first.iter().zip(&before) {
             prop_assert_eq!(dict.lookup(&v), Some(id));
         }

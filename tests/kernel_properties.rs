@@ -1,0 +1,130 @@
+//! Property tests for the SIMD-friendly scan kernels (`ij_relation::kernels`):
+//! on random `ValueId` slices of every length — including lengths that are
+//! not a multiple of the chunk width — the chunked kernels must be
+//! indistinguishable from their scalar reference implementations.
+
+use ij_relation::kernels::{
+    and_equal_mask, and_equal_mask_scalar, gather_ids, gather_ids_scalar, pack_keys,
+    pack_keys_scalar, select_indices, select_indices_scalar, LANES,
+};
+use ij_relation::ValueId;
+use proptest::prelude::*;
+
+/// Random id slices over a small raw domain (equal pairs likely), with
+/// lengths straddling multiples of the lane width.
+fn arb_ids(max_len: usize) -> impl Strategy<Value = Vec<ValueId>> {
+    proptest::collection::vec((0u32..7).prop_map(ValueId::from_raw), 0..=max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Chunked equal-pair masking ≡ scalar reference, including accumulation
+    /// over an arbitrary starting mask.
+    #[test]
+    fn and_equal_mask_matches_scalar(
+        pairs in arb_ids(4 * LANES + 5).prop_flat_map(|a| {
+            let n = a.len();
+            (
+                Just(a),
+                proptest::collection::vec((0u32..7).prop_map(ValueId::from_raw), n..=n),
+                proptest::collection::vec(0u8..2, n..=n),
+            )
+        })
+    ) {
+        let (a, b, mask0) = pairs;
+        let mut chunked = mask0.clone();
+        let mut scalar = mask0;
+        and_equal_mask(&a, &b, &mut chunked);
+        and_equal_mask_scalar(&a, &b, &mut scalar);
+        prop_assert_eq!(chunked, scalar);
+    }
+
+    /// Chunked selection-by-mask ≡ scalar reference at every base offset,
+    /// and appends to (never clobbers) the output.
+    #[test]
+    fn select_indices_matches_scalar(
+        mask in proptest::collection::vec(0u8..2, 0..4 * LANES + 7),
+        base in 0u32..1000,
+    ) {
+        let mut chunked = vec![u32::MAX];
+        let mut scalar = vec![u32::MAX];
+        select_indices(&mask, base, &mut chunked);
+        select_indices_scalar(&mask, base, &mut scalar);
+        prop_assert_eq!(&chunked, &scalar);
+        prop_assert_eq!(chunked[0], u32::MAX, "existing output must be kept");
+        let expected: Vec<u32> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m != 0)
+            .map(|(i, _)| base + i as u32)
+            .collect();
+        prop_assert_eq!(&chunked[1..], expected.as_slice());
+    }
+
+    /// Chunked gathering ≡ scalar reference on random in-bounds row lists
+    /// (repeats and arbitrary order included).
+    #[test]
+    fn gather_ids_matches_scalar(
+        col in proptest::collection::vec((0u32..7).prop_map(ValueId::from_raw), 1..3 * LANES + 3),
+        picks in proptest::collection::vec(0usize..64, 0..3 * LANES + 2),
+    ) {
+        let rows: Vec<u32> = picks.iter().map(|&p| (p % col.len()) as u32).collect();
+        let mut chunked = Vec::new();
+        let mut scalar = Vec::new();
+        gather_ids(&col, &rows, &mut chunked);
+        gather_ids_scalar(&col, &rows, &mut scalar);
+        prop_assert_eq!(chunked, scalar);
+    }
+
+    /// Chunked key packing ≡ scalar reference for one to four columns.
+    #[test]
+    fn pack_keys_matches_scalar(cols in (1usize..5, 0usize..3 * LANES + 5).prop_flat_map(|(k, n)| {
+        proptest::collection::vec(
+            proptest::collection::vec((0u32..9).prop_map(ValueId::from_raw), n..=n),
+            k..=k,
+        )
+    })) {
+        let views: Vec<&[ValueId]> = cols.iter().map(|c| c.as_slice()).collect();
+        let mut chunked = Vec::new();
+        let mut scalar = Vec::new();
+        pack_keys(&views, &mut chunked);
+        pack_keys_scalar(&views, &mut scalar);
+        prop_assert_eq!(&chunked, &scalar);
+        // Shape: row-major, one key of width k per row.
+        let k = views.len();
+        let n = views[0].len();
+        prop_assert_eq!(chunked.len(), n * k);
+        for (row, key) in chunked.chunks_exact(k).enumerate() {
+            for (j, &id) in key.iter().enumerate() {
+                prop_assert_eq!(id, views[j][row]);
+            }
+        }
+    }
+}
+
+/// Deterministic spot-check: a composed filter-select-gather pipeline (the
+/// trie build's shape) agrees between the chunked and scalar kernels on a
+/// length that exercises every tail path.
+#[test]
+fn composed_pipeline_agrees() {
+    let n = 2 * LANES + 3;
+    let a: Vec<ValueId> = (0..n).map(|i| ValueId::from_raw((i % 4) as u32)).collect();
+    let b: Vec<ValueId> = (0..n).map(|i| ValueId::from_raw((i % 3) as u32)).collect();
+    let mut mask_c = vec![1u8; n];
+    let mut mask_s = vec![1u8; n];
+    and_equal_mask(&a, &b, &mut mask_c);
+    and_equal_mask_scalar(&a, &b, &mut mask_s);
+    assert_eq!(mask_c, mask_s);
+    let (mut rows_c, mut rows_s) = (Vec::new(), Vec::new());
+    select_indices(&mask_c, 0, &mut rows_c);
+    select_indices_scalar(&mask_s, 0, &mut rows_s);
+    assert_eq!(rows_c, rows_s);
+    let (mut out_c, mut out_s) = (Vec::new(), Vec::new());
+    gather_ids(&a, &rows_c, &mut out_c);
+    gather_ids_scalar(&a, &rows_s, &mut out_s);
+    assert_eq!(out_c, out_s);
+    // The survivors are exactly the positions where a == b, i.e. where
+    // i mod 4 == i mod 3 (i mod 12 ∈ {0, 1, 2}).
+    assert_eq!(rows_c, vec![0, 1, 2, 12, 13, 14]);
+}

@@ -63,6 +63,48 @@ proptest! {
         }
     }
 
+    /// Persistent-cache equivalence: one long-lived engine evaluating a
+    /// *sequence* of random databases — its cache surviving (and, at tiny
+    /// capacities, evicting) across evaluations — must answer every query
+    /// exactly like a cold engine created fresh for that database, and like
+    /// the naive oracle.  Exercises cross-evaluation reuse, LRU eviction and
+    /// the disabled-cache path side by side.
+    #[test]
+    fn persistent_cache_eviction_never_changes_answers(
+        dbs in proptest::collection::vec((arb_rows(5), arb_rows(5), arb_rows(5)), 2..=4),
+        capacity_choice in 0usize..4,
+    ) {
+        let capacity = [1usize, 2, 3, 4096][capacity_choice];
+        let query = Query::parse("R([A],[B]) & S([B],[C]) & T([A],[C])").unwrap();
+        let warm = IntersectionJoinEngine::new(
+            EngineConfig::new()
+                .with_parallelism(1)
+                .with_trie_cache_capacity(capacity),
+        );
+        let uncached = IntersectionJoinEngine::new(
+            EngineConfig::new()
+                .with_parallelism(1)
+                .with_trie_cache_capacity(0),
+        );
+        for (r, s, t) in &dbs {
+            let db = db_of([("R", r), ("S", s), ("T", t)]);
+            let expected = IntersectionJoinEngine::with_defaults()
+                .evaluate_naive(&query, &db)
+                .unwrap();
+            let cold = IntersectionJoinEngine::new(
+                EngineConfig::new()
+                    .with_parallelism(1)
+                    .with_trie_cache_capacity(capacity),
+            );
+            prop_assert_eq!(warm.evaluate(&query, &db).unwrap(), expected, "warm, capacity {}", capacity);
+            prop_assert_eq!(cold.evaluate(&query, &db).unwrap(), expected, "cold, capacity {}", capacity);
+            prop_assert_eq!(uncached.evaluate(&query, &db).unwrap(), expected, "uncached");
+            // Re-evaluating the same database warm must also agree (the
+            // second pass is served mostly from the persistent cache).
+            prop_assert_eq!(warm.evaluate(&query, &db).unwrap(), expected, "warm repeat");
+        }
+    }
+
     /// The same equivalence on an acyclic (path) query, which exercises the
     /// Yannakakis branch next to the trie-building ones.
     #[test]
@@ -124,4 +166,49 @@ fn cache_hits_are_recorded_and_answer_preserving() {
     );
     assert_eq!(rebuild_stats.trie_cache.hits, 0);
     assert_eq!(rebuild_stats.trie_cache.entries, 0);
+
+    // The cache persists across evaluations: a second evaluation of the same
+    // database is served entirely from the warmed cache (no new misses), and
+    // its per-evaluation stats report only that evaluation's activity.
+    let warm_stats = shared.evaluate_with_stats(&query, &db).unwrap();
+    assert_eq!(warm_stats.answer, shared_stats.answer);
+    assert_eq!(
+        warm_stats.trie_cache.misses, 0,
+        "{:?}",
+        warm_stats.trie_cache
+    );
+    assert!(warm_stats.trie_cache.hits > 0);
+    assert_eq!(
+        shared.trie_cache_stats().misses,
+        shared_stats.trie_cache.misses,
+        "cumulative misses must not grow on the warm pass"
+    );
+}
+
+/// A capacity-1 persistent cache must evict (and count evictions) while still
+/// answering correctly — eviction only ever costs rebuilds, never answers.
+#[test]
+fn tiny_persistent_cache_counts_evictions() {
+    let query = Query::parse("R([A],[B]) & S([B],[C]) & T([A],[C])").unwrap();
+    let iv = |lo: f64, hi: f64| Value::interval(lo, hi);
+    let mut db = Database::new();
+    db.insert_tuples("R", 2, vec![vec![iv(0.0, 2.0), iv(10.0, 12.0)]]);
+    db.insert_tuples("S", 2, vec![vec![iv(11.0, 13.0), iv(20.0, 22.0)]]);
+    db.insert_tuples("T", 2, vec![vec![iv(1.0, 3.0), iv(30.0, 31.0)]]);
+    let tiny = IntersectionJoinEngine::new(
+        EngineConfig::new()
+            .with_parallelism(1)
+            .with_trie_cache_capacity(1),
+    );
+    let reference = IntersectionJoinEngine::new(EngineConfig::new().with_parallelism(1));
+    let tiny_stats = tiny.evaluate_with_stats(&query, &db).unwrap();
+    let reference_stats = reference.evaluate_with_stats(&query, &db).unwrap();
+    assert_eq!(tiny_stats.answer, reference_stats.answer);
+    assert!(
+        tiny_stats.trie_cache.evictions > 0,
+        "a capacity-1 cache under a multi-relation disjunction must evict: {:?}",
+        tiny_stats.trie_cache
+    );
+    assert_eq!(tiny_stats.trie_cache.entries, 1);
+    assert_eq!(reference_stats.trie_cache.evictions, 0);
 }
