@@ -283,6 +283,76 @@ fn bench_persistent_cache(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cross-engine cache warmth through a shared [`Workspace`]: two
+/// **independently constructed** engines on one workspace, where the first
+/// engine's evaluation warms the shared cache and the second engine's very
+/// first evaluation is served from it (asserted to report cache hits before
+/// the timed runs).  The timed comparison constructs a fresh engine per
+/// iteration — the per-request-engine server pattern — once from the warm
+/// workspace and once standalone (each standalone engine owns a cold private
+/// cache, the pre-workspace behaviour).  The database is planted
+/// unsatisfiable so every disjunct is evaluated.
+///
+/// Multi-core caveat (see ROADMAP "Multi-core CI benches"): the dev
+/// container is single-core, so the gap shown here is pure trie-rebuild
+/// work; on multi-core hardware the same warm path additionally frees the
+/// shard/worker thread budget for the search itself — re-measure there.
+fn bench_shared_warmth(c: &mut Criterion) {
+    use ij_engine::Workspace;
+    use ij_workloads::{planted_unsatisfiable, IntervalDistribution, WorkloadConfig};
+    let query = Query::from_hypergraph(&triangle_ij());
+    let mut group = c.benchmark_group("substrate/e1-shared-warmth");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let n = 400usize;
+    let db = planted_unsatisfiable(
+        &query,
+        &WorkloadConfig {
+            tuples_per_relation: n,
+            seed: 41,
+            distribution: IntervalDistribution::GridAligned {
+                span: 4.0 * n as f64,
+                cells: (2 * n) as u32,
+                max_cells: 3,
+            },
+        },
+    );
+    let reduction = forward_reduction(&query, &db).unwrap();
+    let config = EngineConfig::new().with_parallelism(1);
+    let ws = Workspace::new();
+    // Warm the workspace cache through one engine …
+    let primed = ws.engine(config).evaluate_reduction(&reduction);
+    assert!(!primed.answer, "workload must force a full pass");
+    // … and verify a *second*, independently constructed engine starts warm.
+    let second = ws.engine(config).evaluate_reduction(&reduction);
+    assert!(
+        second.trie_cache.hits > 0,
+        "second engine's first evaluation must report cache hits, got {:?}",
+        second.trie_cache
+    );
+    println!(
+        "substrate/e1-shared-warmth/n{n}: first engine {} misses; second engine's \
+         first evaluation {} hits / {} misses ({} tries resident, {:.1} KiB)",
+        primed.trie_cache.misses,
+        second.trie_cache.hits,
+        second.trie_cache.misses,
+        second.trie_cache.entries,
+        second.trie_cache.resident_bytes as f64 / 1024.0,
+    );
+    group.bench_with_input(BenchmarkId::new("workspace-engines", n), &n, |b, _| {
+        b.iter(|| ws.engine(config).evaluate_reduction(&reduction).answer)
+    });
+    group.bench_with_input(BenchmarkId::new("independent-engines", n), &n, |b, _| {
+        b.iter(|| {
+            IntersectionJoinEngine::new(config)
+                .evaluate_reduction(&reduction)
+                .answer
+        })
+    });
+    group.finish();
+}
+
 /// Sharded versus unsharded trie builds on the same workload (wall-clock
 /// parity is expected on a single-core container; the knob is verified
 /// answer-identical by the test suite).
@@ -329,6 +399,7 @@ criterion_group!(
     bench_parallel_disjuncts,
     bench_trie_cache_reuse,
     bench_persistent_cache,
+    bench_shared_warmth,
     bench_trie_shards
 );
 criterion_main!(benches);

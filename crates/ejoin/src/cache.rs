@@ -32,15 +32,27 @@
 //! # Lifetime and eviction
 //!
 //! A cache may outlive a single evaluation: the engine owns one **persistent**
-//! cache per engine instance, shared by every `evaluate_reduction` call —
-//! sound because the key starts from the relation *content* fingerprint, so a
-//! different database can never alias a cached trie.  Boundedness across that
-//! open-ended lifetime comes from **LRU eviction**: every entry carries a
-//! last-used stamp from a relaxed global clock, and an insert into a full
-//! cache evicts the least-recently-used entry first (counted in
-//! [`TrieCacheStats::evictions`]).  Eviction only ever drops *reuse*, never
-//! correctness: a future lookup of an evicted key rebuilds the trie from the
-//! relation.
+//! cache per engine instance (and a `Workspace` shares one across every
+//! engine built from it), shared by every `evaluate_reduction` call — sound
+//! because the key starts from the relation *content* fingerprint, so a
+//! different database can never alias a cached trie.  Boundedness across
+//! that open-ended lifetime comes from **LRU eviction** against two
+//! independent budgets ([`TrieCache::with_limits`]):
+//!
+//! * an **entry budget** — at most `capacity` resident entries;
+//! * a **byte budget** — every entry carries the estimated heap size of its
+//!   tries ([`AtomTrie::heap_bytes`], summed over shards), the cache tracks
+//!   the resident total ([`TrieCacheStats::resident_bytes`]), and inserting
+//!   past the budget evicts least-recently-used entries until the new entry
+//!   fits.  A single build larger than the whole byte budget is handed to
+//!   the caller *uncached* — the budget is an upper bound on resident
+//!   bytes, never exceeded to accommodate an oversized entry.
+//!
+//! Every entry carries a last-used stamp from a relaxed global clock; an
+//! insert over either budget evicts the least-recently-used entries first
+//! (counted in [`TrieCacheStats::evictions`]).  Eviction only ever drops
+//! *reuse*, never correctness: a future lookup of an evicted key rebuilds
+//! the trie from the relation.
 //!
 //! # Concurrency
 //!
@@ -114,10 +126,15 @@ pub struct TrieCacheStats {
     pub hits: usize,
     /// Lookups that had to build (includes both builders of an insert race).
     pub misses: usize,
-    /// Entries dropped by LRU eviction to stay within the capacity.
+    /// Entries dropped by LRU eviction to stay within the entry or byte
+    /// budget.
     pub evictions: usize,
     /// Entries currently resident.
     pub entries: usize,
+    /// Estimated heap bytes of the resident entries
+    /// ([`AtomTrie::heap_bytes`] summed over every cached build).  Never
+    /// exceeds a configured byte budget ([`TrieCache::with_limits`]).
+    pub resident_bytes: usize,
 }
 
 impl TrieCacheStats {
@@ -132,25 +149,28 @@ impl TrieCacheStats {
     }
 
     /// The activity between an `earlier` snapshot of the same cache and this
-    /// one: hit/miss/eviction counters become deltas, `entries` stays the
-    /// current resident count.  Used by the engine to report per-evaluation
-    /// statistics out of its persistent cache.
+    /// one: hit/miss/eviction counters become deltas, `entries` and
+    /// `resident_bytes` stay the current resident state.  Used by the engine
+    /// to report per-evaluation statistics out of its persistent cache.
     pub fn delta_since(&self, earlier: &TrieCacheStats) -> TrieCacheStats {
         TrieCacheStats {
             hits: self.hits.saturating_sub(earlier.hits),
             misses: self.misses.saturating_sub(earlier.misses),
             evictions: self.evictions.saturating_sub(earlier.evictions),
             entries: self.entries,
+            resident_bytes: self.resident_bytes,
         }
     }
 }
 
-/// One resident cache entry: the built tries plus a last-used stamp for the
-/// LRU policy (bumped with a relaxed store on every hit, so recency tracking
-/// never needs the write lock).
+/// One resident cache entry: the built tries, their estimated heap size
+/// (fixed at insert time), and a last-used stamp for the LRU policy (bumped
+/// with a relaxed store on every hit, so recency tracking never needs the
+/// write lock).
 #[derive(Debug)]
 struct CacheSlot {
     tries: Arc<Vec<AtomTrie>>,
+    bytes: usize,
     last_used: AtomicU64,
 }
 
@@ -172,7 +192,12 @@ pub struct TrieCache {
     /// Maximum resident entries; `0` means unbounded.  When full, inserting
     /// a new entry evicts the least-recently-used one.
     capacity: usize,
+    /// Maximum resident heap bytes (estimated); `0` means unbounded.
+    byte_budget: usize,
     map: RwLock<HashMap<TrieKey, CacheSlot>>,
+    /// Estimated heap bytes of the resident entries; mutated only under the
+    /// map's write lock, read relaxed by [`TrieCache::stats`].
+    resident_bytes: AtomicUsize,
     /// Monotonic recency clock; every lookup draws a fresh stamp.
     clock: AtomicU64,
     hits: AtomicUsize,
@@ -189,20 +214,33 @@ impl TrieCache {
     /// A cache holding at most `capacity` entries (`0` = unbounded), evicting
     /// least-recently-used entries once full.
     pub fn with_capacity(capacity: usize) -> Self {
+        TrieCache::with_limits(capacity, 0)
+    }
+
+    /// A cache bounded by both an entry budget and a byte budget (either may
+    /// be `0` = unbounded).  `bytes` caps the *estimated* resident heap size
+    /// ([`AtomTrie::heap_bytes`]); inserting past either budget evicts
+    /// least-recently-used entries first, and a single build larger than the
+    /// whole byte budget is returned to the caller uncached.  This is the
+    /// knob a service operator actually wants: a memory budget instead of an
+    /// entry count whose per-entry size depends on the workload.
+    pub fn with_limits(capacity: usize, bytes: usize) -> Self {
         TrieCache {
             capacity,
+            byte_budget: bytes,
             ..TrieCache::default()
         }
     }
 
-    /// Snapshot of the hit/miss/eviction counters and the resident entry
-    /// count.
+    /// Snapshot of the hit/miss/eviction counters and the resident entry /
+    /// byte state.
     pub fn stats(&self) -> TrieCacheStats {
         TrieCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.map.read().unwrap_or_else(|e| e.into_inner()).len(),
+            resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -236,29 +274,44 @@ impl TrieCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(AtomTrie::build_sharded(atom, global_order, num_shards));
+        let new_bytes: usize = built.iter().map(AtomTrie::heap_bytes).sum();
+        if self.byte_budget > 0 && new_bytes > self.byte_budget {
+            // An entry that alone exceeds the whole byte budget can never be
+            // resident within it; hand it to the caller uncached.
+            return built;
+        }
         let mut map = self.map.write().unwrap_or_else(|e| e.into_inner());
         if let Some(existing) = map.get(&key) {
             // Lost an insert race; adopt the winner so all workers share.
             existing.last_used.store(now, Ordering::Relaxed);
             return Arc::clone(&existing.tries);
         }
-        if self.capacity > 0 && map.len() >= self.capacity {
-            // Evict the least-recently-used entry.  The linear scan runs
-            // under the write lock but only on insert-into-full, and the map
-            // is bounded by the capacity it is scanning to enforce.
-            if let Some(victim) = map
+        // Evict least-recently-used entries until the new entry fits both
+        // budgets.  The linear min-scans run under the write lock but only on
+        // insert-over-budget, and the map is bounded by the very budgets the
+        // scans enforce.
+        let mut resident = self.resident_bytes.load(Ordering::Relaxed);
+        while !map.is_empty()
+            && ((self.capacity > 0 && map.len() >= self.capacity)
+                || (self.byte_budget > 0 && resident + new_bytes > self.byte_budget))
+        {
+            let victim = map
                 .iter()
                 .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
                 .map(|(k, _)| k.clone())
-            {
-                map.remove(&victim);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                .expect("map is non-empty");
+            if let Some(slot) = map.remove(&victim) {
+                resident = resident.saturating_sub(slot.bytes);
             }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
+        self.resident_bytes
+            .store(resident + new_bytes, Ordering::Relaxed);
         map.insert(
             key,
             CacheSlot {
                 tries: Arc::clone(&built),
+                bytes: new_bytes,
                 last_used: AtomicU64::new(now),
             },
         );
@@ -382,17 +435,88 @@ mod tests {
             misses: 4,
             evictions: 1,
             entries: 3,
+            resident_bytes: 1000,
         };
         let b = TrieCacheStats {
             hits: 25,
             misses: 9,
             evictions: 2,
             entries: 5,
+            resident_bytes: 1600,
         };
         let d = b.delta_since(&a);
         assert_eq!(d.hits, 15);
         assert_eq!(d.misses, 5);
         assert_eq!(d.evictions, 1);
         assert_eq!(d.entries, 5);
+        assert_eq!(d.resident_bytes, 1600);
+    }
+
+    #[test]
+    fn byte_budget_evicts_to_stay_within_the_budget() {
+        // Size the budget from a real build: room for ~3 single-row tries,
+        // nowhere near room for 6.
+        let probe = rel("P", vec![vec![0.5]]);
+        let per_trie = TrieCache::new()
+            .tries_for(&BoundAtom::new(&probe, vec![0]), &[0], 1)
+            .iter()
+            .map(AtomTrie::heap_bytes)
+            .sum::<usize>();
+        assert!(per_trie > 0);
+        let budget = 3 * per_trie + per_trie / 2;
+        let cache = TrieCache::with_limits(0, budget);
+        let relations: Vec<Relation> = (0..6)
+            .map(|i| rel(&format!("R{i}"), vec![vec![100.0 + i as f64]]))
+            .collect();
+        for r in &relations {
+            cache.tries_for(&BoundAtom::new(r, vec![0]), &[0], 1);
+            let stats = cache.stats();
+            assert!(
+                stats.resident_bytes <= budget,
+                "resident {} exceeds budget {budget}",
+                stats.resident_bytes
+            );
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions > 0, "expected evictions, got {stats:?}");
+        assert_eq!(stats.entries + stats.evictions, 6);
+        // The survivors are the most recently used; re-requesting the last
+        // insert hits without growing the resident total.
+        let before = cache.stats().resident_bytes;
+        cache.tries_for(&BoundAtom::new(&relations[5], vec![0]), &[0], 1);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().resident_bytes, before);
+    }
+
+    #[test]
+    fn oversized_builds_bypass_the_cache_entirely() {
+        // A budget smaller than any single trie: nothing is ever resident,
+        // nothing is ever evicted, and lookups still return working tries.
+        let cache = TrieCache::with_limits(0, 1);
+        let r = rel("R", vec![vec![1.0], vec![2.0]]);
+        let first = cache.tries_for(&BoundAtom::new(&r, vec![0]), &[0], 1);
+        assert_eq!(first[0].root().fanout(), 2);
+        cache.tries_for(&BoundAtom::new(&r, vec![0]), &[0], 1);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.resident_bytes, 0);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.misses, 2, "uncached lookups rebuild every time");
+    }
+
+    #[test]
+    fn entry_capacity_eviction_keeps_byte_accounting_consistent() {
+        let cache = TrieCache::with_limits(1, 0);
+        let r = rel("R", vec![vec![1.0]]);
+        let s = rel("S", vec![vec![2.0], vec![3.0]]);
+        cache.tries_for(&BoundAtom::new(&r, vec![0]), &[0], 1);
+        let with_r = cache.stats().resident_bytes;
+        assert!(with_r > 0);
+        // Inserting S evicts R; the resident bytes must now describe S only.
+        cache.tries_for(&BoundAtom::new(&s, vec![0]), &[0], 1);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.resident_bytes >= with_r, "S is the larger trie");
     }
 }

@@ -28,7 +28,7 @@ use crate::atom::{all_vars, BoundAtom};
 use crate::cache::EvalContext;
 use crate::trie::{effective_shard_count, AtomTrie, TrieNode};
 use ij_hypergraph::VarId;
-use ij_relation::{kernels, IdBuildHasher, IdHashSet, Relation, Value, ValueId};
+use ij_relation::{kernels, IdBuildHasher, IdHashSet, Relation, SharedDictionary, Value, ValueId};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -204,7 +204,13 @@ pub fn generic_join_enumerate_with(
     output_name: &str,
     eval: EvalContext<'_>,
 ) -> Relation {
-    let mut out = Relation::new(output_name, output_vars.len());
+    // The output lives in the input atoms' dictionary (scoped inputs produce
+    // scoped outputs; ids pass through without re-interning).
+    let dict = atoms
+        .first()
+        .map(|a| a.relation.dictionary())
+        .unwrap_or_else(|| SharedDictionary::global());
+    let mut out = Relation::new_in(output_name, output_vars.len(), dict);
     if atoms.is_empty() || atoms.iter().any(|a| a.relation.is_empty()) {
         return out;
     }
@@ -226,10 +232,10 @@ pub fn generic_join_enumerate_with(
     // `output_vars.len()` with a new prefix we record it and prune the rest of
     // that subtree only after establishing at least one full match.
     // Variables constrained by no atom keep the placeholder value, which must
-    // be resolvable in case such a variable is part of the output.  The id is
-    // cached so the evaluation hot path never takes the dictionary write lock.
-    static PLACEHOLDER: std::sync::OnceLock<ValueId> = std::sync::OnceLock::new();
-    let placeholder = *PLACEHOLDER.get_or_init(|| ValueId::intern(Value::point(0.0)));
+    // be resolvable in case such a variable is part of the output, so it is
+    // interned into the atoms' dictionary (once per call — after the first
+    // call this is a single stripe read-lock probe, off the search hot path).
+    let placeholder = dict.intern(Value::point(0.0));
     let enumerate_shard = |shard: usize| -> Vec<Vec<ValueId>> {
         let mut results: Vec<Vec<ValueId>> = Vec::new();
         if ctx.shard_is_dead(shard) {
@@ -445,7 +451,7 @@ pub fn semijoin(left: &BoundAtom<'_>, right: &BoundAtom<'_>) -> Relation {
     if shared.is_empty() {
         // No shared variables: keep everything if right is non-empty.
         if right.relation.is_empty() {
-            return Relation::new(name, left.relation.arity());
+            return Relation::new_in(name, left.relation.arity(), left.relation.dictionary());
         }
         return left.relation.renamed(name);
     }

@@ -92,6 +92,20 @@ impl TrieNode {
         self.children.iter().map(|(&id, node)| (id, node))
     }
 
+    /// Estimated heap bytes of this node's subtree: every node's child map
+    /// is accounted as `capacity × (entry size + 1 control byte)`.  An
+    /// estimate from node/entry counts, not an exact allocator measurement —
+    /// good enough for a cache byte budget.
+    fn heap_bytes(&self) -> usize {
+        let own = self.children.capacity()
+            * (std::mem::size_of::<(ValueId, TrieNode)>() + std::mem::size_of::<u8>());
+        own + self
+            .children
+            .values()
+            .map(TrieNode::heap_bytes)
+            .sum::<usize>()
+    }
+
     fn insert_path(&mut self, values: &[ValueId]) {
         if let Some((first, rest)) = values.split_first() {
             self.children.entry(*first).or_default().insert_path(rest);
@@ -224,6 +238,17 @@ impl AtomTrie {
     /// Number of levels (distinct variables).
     pub fn depth(&self) -> usize {
         self.level_vars.len()
+    }
+
+    /// Estimated heap footprint of the trie in bytes, from its node and
+    /// entry counts (hash-map capacities), plus the level-variable vector.
+    /// The walk is `O(nodes)` — cheap relative to the build that produced
+    /// the nodes; the byte-budgeted [`TrieCache`](crate::TrieCache) sums
+    /// this over a build's shards once per insert.
+    pub fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.level_vars.capacity() * std::mem::size_of::<VarId>()
+            + self.root.heap_bytes()
     }
 }
 
@@ -483,6 +508,23 @@ mod tests {
         assert_eq!(shards.len(), 1);
         assert_eq!(shards[0].depth(), 0);
         assert!(!shards[0].is_empty());
+    }
+
+    #[test]
+    fn heap_bytes_track_trie_size() {
+        let small = rel("S", vec![vec![1.0]]);
+        let small_trie = AtomTrie::build(&BoundAtom::new(&small, vec![0]), &[0]);
+        assert!(small_trie.heap_bytes() > std::mem::size_of::<AtomTrie>());
+        // 256 two-level paths dwarf a single one-level path.
+        let rows: Vec<Vec<f64>> = (0..256).map(|i| vec![i as f64, -(i as f64)]).collect();
+        let big = rel("B", rows);
+        let big_trie = AtomTrie::build(&BoundAtom::new(&big, vec![0, 1]), &[0, 1]);
+        assert!(big_trie.heap_bytes() > 8 * small_trie.heap_bytes());
+        // Sharded builds account the same content across their shards: the
+        // sum is within map-capacity slack of the unsharded estimate.
+        let shards = AtomTrie::build_sharded(&BoundAtom::new(&big, vec![0, 1]), &[0, 1], 1);
+        let sharded_sum: usize = shards.iter().map(AtomTrie::heap_bytes).sum();
+        assert!(sharded_sum > 0);
     }
 
     #[test]

@@ -72,6 +72,26 @@ pub struct EngineConfig {
     /// assert_eq!(rebuild.trie_cache_capacity, 0); // rebuild-per-disjunct
     /// ```
     pub trie_cache_capacity: usize,
+    /// Byte budget of the persistent trie cache, the bytes-mode companion of
+    /// [`EngineConfig::trie_cache_capacity`]: `0` (the default) bounds
+    /// entries only, a non-zero value additionally caps the *estimated*
+    /// resident heap bytes of the cached tries
+    /// ([`ij_ejoin::AtomTrie::heap_bytes`]).  Inserting past the budget
+    /// evicts least-recently-used entries until the new entry fits; a single
+    /// build larger than the whole budget stays uncached.  This is the knob
+    /// a service operator wants: a memory cap that holds regardless of how
+    /// large the workload's tries are.  Resident bytes are reported in
+    /// [`TrieCacheStats::resident_bytes`].  The Boolean answer is identical
+    /// for every setting.
+    ///
+    /// ```
+    /// use ij_engine::EngineConfig;
+    ///
+    /// assert_eq!(EngineConfig::new().trie_cache_bytes, 0); // entries-only
+    /// let capped = EngineConfig::new().with_trie_cache_bytes(64 << 20);
+    /// assert_eq!(capped.trie_cache_bytes, 64 << 20); // 64 MiB budget
+    /// ```
+    pub trie_cache_bytes: usize,
     /// Trie shard budget: `0` (the default) derives the budget from the
     /// shared thread budget — hardware threads divided by the disjunct
     /// worker count, so `workers × shards` never oversubscribes the machine
@@ -112,6 +132,7 @@ impl EngineConfig {
             encoding: EncodingStrategy::Flat,
             parallelism: 0,
             trie_cache_capacity: 4096,
+            trie_cache_bytes: 0,
             trie_shards: 0,
         }
     }
@@ -136,6 +157,13 @@ impl EngineConfig {
     /// trie sharing; see [`EngineConfig::trie_cache_capacity`]).
     pub fn with_trie_cache_capacity(mut self, capacity: usize) -> Self {
         self.trie_cache_capacity = capacity;
+        self
+    }
+
+    /// This configuration with an explicit trie-cache byte budget (`0` =
+    /// entries-only bounding; see [`EngineConfig::trie_cache_bytes`]).
+    pub fn with_trie_cache_bytes(mut self, bytes: usize) -> Self {
+        self.trie_cache_bytes = bytes;
         self
     }
 
@@ -246,13 +274,52 @@ pub struct EvaluationStats {
     /// previously-seen reduction reports hits with few or no misses.
     ///
     /// The deltas are snapshots of the shared cache's counters, so when
-    /// *other* evaluations run concurrently on the same engine (or a clone
-    /// sharing its cache), their activity lands in whichever windows overlap
-    /// it — per-evaluation attribution is only exact for non-overlapping
-    /// evaluations.  The answer is unaffected either way.
+    /// *other* evaluations run concurrently against the same cache — on this
+    /// engine, a clone of it, or any engine built from the same
+    /// [`Workspace`](crate::Workspace) — their activity lands in whichever
+    /// windows overlap it — per-evaluation attribution is only exact for
+    /// non-overlapping evaluations (a warm evaluation can e.g. report a
+    /// concurrent engine's misses as its own).  The answer is unaffected
+    /// either way.
     pub trie_cache: TrieCacheStats,
     /// The answer.
     pub answer: bool,
+}
+
+impl EvaluationStats {
+    /// A human-readable multi-line summary of the evaluation: the answer,
+    /// the disjunct/batch counts, the reduction size, and the trie-cache
+    /// activity including resident bytes and evictions.  [`EvaluationStats`]
+    /// also implements [`std::fmt::Display`] with this content, so it can be
+    /// printed directly.
+    pub fn summary(&self) -> String {
+        format!("{self}")
+    }
+}
+
+impl std::fmt::Display for EvaluationStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "answer = {}", self.answer)?;
+        writeln!(
+            f,
+            "{} transformed tuples; {}/{} EJ disjuncts evaluated (early exit) in {} batches",
+            self.reduction.transformed_tuples,
+            self.ej_queries_evaluated,
+            self.ej_queries_total,
+            self.ej_query_batches
+        )?;
+        write!(
+            f,
+            "trie cache: {} hits / {} misses ({:.0}% of builds shared), \
+             {} evictions; {} tries resident ({:.1} KiB)",
+            self.trie_cache.hits,
+            self.trie_cache.misses,
+            100.0 * self.trie_cache.hit_rate(),
+            self.trie_cache.evictions,
+            self.trie_cache.entries,
+            self.trie_cache.resident_bytes as f64 / 1024.0
+        )
+    }
 }
 
 /// The intersection-join query engine.
@@ -279,10 +346,27 @@ impl Default for IntersectionJoinEngine {
 
 impl IntersectionJoinEngine {
     /// Creates an engine with the given configuration (allocating its
-    /// persistent trie cache when the configured capacity is non-zero).
+    /// persistent trie cache — bounded by the configured entry capacity and
+    /// byte budget — when the configured capacity is non-zero).  Engines that
+    /// should *share* a cache are built from one
+    /// [`Workspace`](crate::Workspace) instead.
     pub fn new(config: EngineConfig) -> Self {
-        let trie_cache = (config.trie_cache_capacity > 0)
-            .then(|| Arc::new(TrieCache::with_capacity(config.trie_cache_capacity)));
+        let trie_cache = (config.trie_cache_capacity > 0).then(|| {
+            Arc::new(TrieCache::with_limits(
+                config.trie_cache_capacity,
+                config.trie_cache_bytes,
+            ))
+        });
+        IntersectionJoinEngine { config, trie_cache }
+    }
+
+    /// Creates an engine evaluating against an externally owned — typically
+    /// [`Workspace`](crate::Workspace)-shared — trie cache, so independently
+    /// constructed engines warm one another.  A zero
+    /// [`EngineConfig::trie_cache_capacity`] still opts out of caching
+    /// entirely (the shared handle is ignored).
+    pub(crate) fn with_shared_cache(config: EngineConfig, cache: Arc<TrieCache>) -> Self {
+        let trie_cache = (config.trie_cache_capacity > 0).then_some(cache);
         IntersectionJoinEngine { config, trie_cache }
     }
 

@@ -15,10 +15,16 @@
 //! Evaluation is tunable through [`EngineConfig`]: worker parallelism across
 //! the disjuncts of the reduction, a shared [trie
 //! cache](EngineConfig::trie_cache_capacity) so disjuncts reuse built tries
-//! instead of rebuilding them, and [sharded trie
+//! instead of rebuilding them (optionally [byte
+//! budgeted](EngineConfig::trie_cache_bytes)), and [sharded trie
 //! builds](EngineConfig::trie_shards) that split each build (and the join
 //! search) across threads.  Every knob is answer-preserving: the Boolean
 //! result is bit-identical at every setting.
+//!
+//! Long-running services own their cross-evaluation state through a
+//! [`Workspace`]: a scoped value dictionary (dropping the workspace reclaims
+//! its interned values) plus one shared trie cache warming every engine
+//! built from the workspace ([`Workspace::engine`]).
 //!
 //! # Quickstart
 //!
@@ -44,19 +50,21 @@
 
 mod engine;
 mod naive;
+mod workspace;
 
 pub use engine::{
     EngineConfig, EngineError, EvaluationStats, IntersectionJoinEngine, QueryAnalysis,
     TrieCacheStats,
 };
 pub use naive::{naive_boolean, naive_count, NaiveError};
+pub use workspace::{Workspace, WorkspaceLimits};
 
 /// Convenient re-exports of the most frequently used types from the whole
 /// workspace.
 pub mod prelude {
     pub use crate::{
         naive_boolean, naive_count, EngineConfig, EngineError, EvaluationStats,
-        IntersectionJoinEngine, QueryAnalysis, TrieCacheStats,
+        IntersectionJoinEngine, QueryAnalysis, TrieCacheStats, Workspace, WorkspaceLimits,
     };
     pub use ij_ejoin::EjStrategy;
     pub use ij_hypergraph::{AcyclicityClass, AcyclicityReport, Hypergraph};
@@ -64,7 +72,7 @@ pub mod prelude {
         backward_reduction, forward_reduction, forward_reduction_with, EncodingStrategy,
         ReductionConfig,
     };
-    pub use ij_relation::{Atom, Database, Query, Relation, Value};
+    pub use ij_relation::{Atom, Database, Query, Relation, SharedDictionary, Value};
     pub use ij_segtree::{BitString, Interval, SegmentTree};
     pub use ij_widths::{fractional_hypertree_width, ij_width, IjWidthReport};
 }

@@ -1,0 +1,348 @@
+//! Workspaces: the explicit owner of cross-evaluation state.
+//!
+//! A [`Workspace`] owns the two pieces of state that outlive a single
+//! evaluation —
+//!
+//! 1. a **scoped value dictionary** ([`SharedDictionary`]): every database
+//!    built through the workspace interns into it, the forward reduction
+//!    writes its transformed database into the same dictionary, and dropping
+//!    the workspace (together with the relations built in it) reclaims every
+//!    value it interned.  Interned residency is bounded per workspace
+//!    instead of accreting in the process-global store;
+//! 2. a **shared, bytes-accounted trie cache** ([`TrieCache`]): every engine
+//!    built from the workspace ([`Workspace::engine`]) evaluates against the
+//!    same cache, so independently constructed engines warm one another —
+//!    the per-request-engine server pattern gets warm caches for free, with
+//!    eviction fairness handled by the single shared LRU running against the
+//!    workspace's entry and byte budgets ([`WorkspaceLimits`]).
+//!
+//! [`Workspace::global`] is the compatibility shim: a workspace over the
+//! process-global dictionary, so existing call sites migrate mechanically
+//! (`Workspace::global().engine(config)` behaves like per-engine
+//! construction except that the cache is shared process-wide).
+//!
+//! # Example
+//!
+//! ```
+//! use ij_engine::{EngineConfig, Workspace};
+//! use ij_relation::{Query, Value};
+//!
+//! let q = Query::parse("R([A],[B]) & S([B],[C]) & T([A],[C])").unwrap();
+//! let ws = Workspace::new();
+//! let mut db = ws.database();
+//! let iv = |lo, hi| Value::interval(lo, hi);
+//! db.insert_tuples("R", 2, vec![vec![iv(0.0, 4.0), iv(10.0, 14.0)]]);
+//! db.insert_tuples("S", 2, vec![vec![iv(12.0, 13.0), iv(20.0, 25.0)]]);
+//! db.insert_tuples("T", 2, vec![vec![iv(3.0, 5.0), iv(24.0, 26.0)]]);
+//!
+//! // Two independently constructed engines share the workspace's cache:
+//! // the second engine's first evaluation is served warm.
+//! let first = ws.engine(EngineConfig::new());
+//! assert!(first.evaluate(&q, &db).unwrap());
+//! let second = ws.engine(EngineConfig::new());
+//! assert!(second.evaluate(&q, &db).unwrap());
+//! assert!(ws.trie_cache_stats().hits > 0);
+//!
+//! // The workspace's interning never touched the global dictionary.
+//! assert!(ws.dictionary_len() > 0);
+//! ```
+
+use crate::engine::{EngineConfig, IntersectionJoinEngine};
+use ij_ejoin::{TrieCache, TrieCacheStats};
+use ij_relation::{Database, Relation, SharedDictionary};
+use std::sync::{Arc, OnceLock};
+
+/// Resource limits of a [`Workspace`]'s shared trie cache.
+///
+/// The dictionary is not budgeted here: its residency is bounded by the
+/// workspace's *lifetime* (drop the workspace, reclaim the values), which is
+/// the scoping a per-database / per-tenant service wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkspaceLimits {
+    /// Entry capacity of the shared trie cache (`0` = unbounded); the
+    /// default matches [`EngineConfig::trie_cache_capacity`]'s default of
+    /// 4096.
+    pub trie_cache_capacity: usize,
+    /// Byte budget of the shared trie cache (`0` = unbounded, the default):
+    /// the estimated resident heap bytes of the cached tries never exceed
+    /// it (see [`EngineConfig::trie_cache_bytes`] for the semantics).
+    pub trie_cache_bytes: usize,
+}
+
+impl Default for WorkspaceLimits {
+    fn default() -> Self {
+        WorkspaceLimits {
+            trie_cache_capacity: 4096,
+            trie_cache_bytes: 0,
+        }
+    }
+}
+
+impl WorkspaceLimits {
+    /// The default limits (4096 cache entries, no byte budget).
+    pub fn new() -> Self {
+        WorkspaceLimits::default()
+    }
+
+    /// These limits with an explicit trie-cache entry capacity.
+    pub fn with_trie_cache_capacity(mut self, capacity: usize) -> Self {
+        self.trie_cache_capacity = capacity;
+        self
+    }
+
+    /// These limits with an explicit trie-cache byte budget.
+    pub fn with_trie_cache_bytes(mut self, bytes: usize) -> Self {
+        self.trie_cache_bytes = bytes;
+        self
+    }
+}
+
+/// The owner of cross-evaluation state: a scoped value dictionary plus a
+/// shared, bytes-accounted trie cache (see the module docs).
+///
+/// Cloning is cheap and shares both: clones of one workspace are one
+/// workspace.  The state is freed when the last clone *and* the last
+/// relation/database built in the workspace drop.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    dictionary: SharedDictionary,
+    trie_cache: Arc<TrieCache>,
+    limits: WorkspaceLimits,
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Workspace::new()
+    }
+}
+
+impl Workspace {
+    /// A fresh workspace with the default [`WorkspaceLimits`] and an empty
+    /// scoped dictionary.
+    pub fn new() -> Self {
+        Workspace::with_limits(WorkspaceLimits::default())
+    }
+
+    /// A fresh workspace with explicit limits.
+    pub fn with_limits(limits: WorkspaceLimits) -> Self {
+        Workspace {
+            dictionary: SharedDictionary::new(),
+            trie_cache: Arc::new(TrieCache::with_limits(
+                limits.trie_cache_capacity,
+                limits.trie_cache_bytes,
+            )),
+            limits,
+        }
+    }
+
+    /// The process-global workspace: the compatibility shim over the global
+    /// dictionary, with one process-wide shared trie cache at the default
+    /// limits.  Its interned values live for the process — use scoped
+    /// workspaces ([`Workspace::new`]) to bound residency.
+    pub fn global() -> &'static Workspace {
+        static GLOBAL: OnceLock<Workspace> = OnceLock::new();
+        GLOBAL.get_or_init(|| Workspace {
+            dictionary: SharedDictionary::global().clone(),
+            trie_cache: Arc::new(TrieCache::with_limits(
+                WorkspaceLimits::default().trie_cache_capacity,
+                WorkspaceLimits::default().trie_cache_bytes,
+            )),
+            limits: WorkspaceLimits::default(),
+        })
+    }
+
+    /// The limits this workspace was created with.
+    pub fn limits(&self) -> WorkspaceLimits {
+        self.limits
+    }
+
+    /// The workspace's value dictionary.
+    pub fn dictionary(&self) -> &SharedDictionary {
+        &self.dictionary
+    }
+
+    /// Number of distinct values currently interned in the workspace's
+    /// dictionary (the workspace's interned residency; bounded by the
+    /// workspace lifetime, not by a quota).
+    pub fn dictionary_len(&self) -> usize {
+        self.dictionary.len()
+    }
+
+    /// Cumulative statistics of the workspace's shared trie cache — the sum
+    /// of the activity of every engine built from this workspace.
+    pub fn trie_cache_stats(&self) -> TrieCacheStats {
+        self.trie_cache.stats()
+    }
+
+    /// An empty database interning into the workspace's dictionary.
+    pub fn database(&self) -> Database {
+        Database::new_in(self.dictionary.clone())
+    }
+
+    /// An empty relation interning into the workspace's dictionary.
+    pub fn relation(&self, name: impl Into<String>, arity: usize) -> Relation {
+        Relation::new_in(name, arity, &self.dictionary)
+    }
+
+    /// Re-interns a database (typically built against the global dictionary,
+    /// e.g. by a workload generator) into this workspace, so its evaluation
+    /// stays scoped.  The per-value cost is one resolve + one intern; the
+    /// source database is untouched.
+    pub fn import_database(&self, db: &Database) -> Database {
+        let mut out = self.database();
+        for rel in db.relations() {
+            out.insert(Relation::from_tuples_in(
+                rel.name(),
+                rel.arity(),
+                rel.tuples(),
+                &self.dictionary,
+            ));
+        }
+        out
+    }
+
+    /// An engine evaluating against the workspace's shared trie cache:
+    /// every engine built from one workspace warms every other, which is
+    /// what gives a per-request-engine server warm caches by default.
+    ///
+    /// The cache budgets are the *workspace's* ([`WorkspaceLimits`]) — the
+    /// config's [`EngineConfig::trie_cache_capacity`] /
+    /// [`EngineConfig::trie_cache_bytes`] do not resize the shared cache.
+    /// A zero `trie_cache_capacity` still opts this engine out of caching
+    /// entirely (rebuild-per-disjunct), exactly like per-engine
+    /// construction.
+    pub fn engine(&self, config: EngineConfig) -> IntersectionJoinEngine {
+        IntersectionJoinEngine::with_shared_cache(config, Arc::clone(&self.trie_cache))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ij_relation::{Query, Value};
+
+    fn triangle_db(ws: &Workspace) -> (Query, Database) {
+        let q = Query::parse("R([A],[B]) & S([B],[C]) & T([A],[C])").unwrap();
+        let iv = |lo: f64, hi: f64| Value::interval(lo, hi);
+        let mut db = ws.database();
+        db.insert_tuples(
+            "R",
+            2,
+            vec![
+                vec![iv(0.0, 4.0), iv(10.0, 14.0)],
+                vec![iv(100.0, 101.0), iv(200.0, 201.0)],
+            ],
+        );
+        db.insert_tuples("S", 2, vec![vec![iv(12.0, 13.0), iv(20.0, 25.0)]]);
+        db.insert_tuples("T", 2, vec![vec![iv(3.0, 5.0), iv(30.0, 31.0)]]);
+        (q, db)
+    }
+
+    #[test]
+    fn workspace_scoped_evaluation_never_touches_the_global_dictionary() {
+        let ws = Workspace::new();
+        assert_eq!(ws.dictionary_len(), 0);
+        let (q, mut db) = triangle_db(&ws);
+        // A value no other test in this binary interns: probing the global
+        // dictionary for it is race-free under concurrent sibling tests
+        // (comparing global *lengths* would not be — siblings intern their
+        // own values at any time).  tests/workspace_properties.rs covers the
+        // stronger length-invariance property under a serializing lock.
+        let canary = Value::interval(777_000.25, 777_001.25);
+        db.insert_tuples("T", 2, vec![vec![canary, canary]]);
+        let after_ingest = ws.dictionary_len();
+        assert!(after_ingest > 0);
+        let engine = ws.engine(EngineConfig::new().with_parallelism(1));
+        assert!(!engine.evaluate(&q, &db).unwrap());
+        // The reduction interned its bitstrings into the workspace…
+        assert!(ws.dictionary_len() > after_ingest);
+        // …and nothing the workspace interned reached the global store.
+        assert!(ws.dictionary().lookup(&canary).is_some());
+        assert!(ij_relation::SharedDictionary::global()
+            .lookup(&canary)
+            .is_none());
+    }
+
+    #[test]
+    fn engines_of_one_workspace_share_cache_warmth() {
+        let ws = Workspace::new();
+        let (q, db) = triangle_db(&ws);
+        let first = ws.engine(EngineConfig::new().with_parallelism(1));
+        let cold = first.evaluate_with_stats(&q, &db).unwrap();
+        assert!(cold.trie_cache.misses > 0);
+        // A *different* engine, same workspace: first evaluation runs warm.
+        let second = ws.engine(EngineConfig::new().with_parallelism(1));
+        let warm = second.evaluate_with_stats(&q, &db).unwrap();
+        assert_eq!(warm.answer, cold.answer);
+        assert_eq!(warm.trie_cache.misses, 0, "{:?}", warm.trie_cache);
+        assert!(warm.trie_cache.hits > 0);
+        // The workspace's cumulative stats see both engines.
+        let total = ws.trie_cache_stats();
+        assert_eq!(total.hits, cold.trie_cache.hits + warm.trie_cache.hits);
+        assert_eq!(total.misses, cold.trie_cache.misses);
+    }
+
+    #[test]
+    fn distinct_workspaces_do_not_share_cache_or_ids() {
+        let a = Workspace::new();
+        let b = Workspace::new();
+        let (qa, dba) = triangle_db(&a);
+        let (qb, dbb) = triangle_db(&b);
+        let ea = a.engine(EngineConfig::new().with_parallelism(1));
+        let eb = b.engine(EngineConfig::new().with_parallelism(1));
+        assert_eq!(
+            ea.evaluate(&qa, &dba).unwrap(),
+            eb.evaluate(&qb, &dbb).unwrap()
+        );
+        // Each workspace warmed only its own cache.
+        assert_eq!(a.trie_cache_stats().hits, b.trie_cache_stats().hits);
+        assert!(a.trie_cache_stats().misses > 0);
+        assert!(b.trie_cache_stats().misses > 0);
+        assert_eq!(a.dictionary_len(), b.dictionary_len());
+    }
+
+    #[test]
+    fn zero_capacity_config_opts_out_of_the_shared_cache() {
+        let ws = Workspace::new();
+        let (q, db) = triangle_db(&ws);
+        let engine = ws.engine(
+            EngineConfig::new()
+                .with_parallelism(1)
+                .with_trie_cache_capacity(0),
+        );
+        let stats = engine.evaluate_with_stats(&q, &db).unwrap();
+        assert_eq!(stats.trie_cache, ij_ejoin::TrieCacheStats::default());
+        assert_eq!(ws.trie_cache_stats().misses, 0);
+    }
+
+    #[test]
+    fn workspace_limits_flow_into_the_shared_cache() {
+        let ws = Workspace::with_limits(WorkspaceLimits::new().with_trie_cache_capacity(1));
+        assert_eq!(ws.limits().trie_cache_capacity, 1);
+        let (q, db) = triangle_db(&ws);
+        let engine = ws.engine(EngineConfig::new().with_parallelism(1));
+        assert!(!engine.evaluate(&q, &db).unwrap());
+        let stats = ws.trie_cache_stats();
+        assert_eq!(stats.entries, 1, "{stats:?}");
+        assert!(stats.evictions > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn import_database_reinterns_into_the_workspace() {
+        // Build against the global dictionary, import, evaluate scoped.
+        let global_ws = Workspace::global();
+        let q = Query::parse("R([A]) & S([A])").unwrap();
+        let mut db = Database::new();
+        db.insert_tuples("R", 1, vec![vec![Value::interval(0.0, 2.0)]]);
+        db.insert_tuples("S", 1, vec![vec![Value::interval(1.0, 3.0)]]);
+        assert!(global_ws.dictionary().is_global());
+
+        let ws = Workspace::new();
+        let imported = ws.import_database(&db);
+        assert_eq!(imported.dictionary(), ws.dictionary());
+        assert_eq!(imported.total_tuples(), db.total_tuples());
+        assert_eq!(ws.dictionary_len(), 2);
+        let engine = ws.engine(EngineConfig::new());
+        assert!(engine.evaluate(&q, &imported).unwrap());
+    }
+}

@@ -23,7 +23,7 @@
 //! its interval variables, not on the full permutation.
 
 use ij_hypergraph::{full_reduction, Hypergraph, ReducedHypergraph, VarId, VarKind};
-use ij_relation::{Database, Query, Relation, Value, ValueId};
+use ij_relation::{Database, Query, Relation, SharedDictionary, Value, ValueId};
 use ij_segtree::{BitString, Interval, SegmentTree};
 use std::collections::BTreeMap;
 
@@ -269,7 +269,10 @@ pub fn forward_reduction_with(
     stats.num_queries = reduced_structures.len();
 
     // --- transformed relations, memoised per (atom, level assignment) ------
-    let mut database = Database::new();
+    // The transformed database interns into the *input* database's
+    // dictionary: ids must be join-compatible with the carried columns, and a
+    // workspace-scoped input keeps its reduction scoped too.
+    let mut database = Database::new_in(db.dictionary().clone());
     let mut built: BTreeMap<String, ()> = BTreeMap::new();
     let mut queries: Vec<ReducedQuery> = Vec::with_capacity(reduced_structures.len());
 
@@ -393,8 +396,8 @@ fn build_spine_relation(
         .filter(|(_, v)| q.var_kind(v) != Some(VarKind::Interval))
         .map(|(c, _)| source.column_ids(c))
         .collect();
-    let mut out = Relation::new(name.to_string(), 1 + carried.len());
-    let tuple_ids = intern_tuple_ids(source.len());
+    let mut out = Relation::new_in(name.to_string(), 1 + carried.len(), db.dictionary());
+    let tuple_ids = intern_tuple_ids(db.dictionary(), source.len());
     let mut row: Vec<ValueId> = Vec::with_capacity(1 + carried.len());
     for (i, &id) in tuple_ids.iter().enumerate() {
         row.clear();
@@ -408,11 +411,18 @@ fn build_spine_relation(
 }
 
 /// Interns the per-tuple identifier values `0.0 .. n` of the decomposed
-/// encoding.  The values are the same for every atom (a dense integer
-/// prefix), so the interned prefix is memoised process-wide: the spine and
-/// every part relation of every atom reuse it instead of re-probing the
-/// dictionary under its write lock.
-fn intern_tuple_ids(n: usize) -> Vec<ValueId> {
+/// encoding into `dict`.  The values are the same for every atom (a dense
+/// integer prefix), so for the process-global dictionary the interned prefix
+/// is memoised process-wide: the spine and every part relation of every atom
+/// reuse it instead of re-probing the dictionary under its write lock.
+/// Scoped dictionaries intern directly — their ids are not valid across
+/// scopes, and a per-scope memo would outlive nothing.
+fn intern_tuple_ids(dict: &SharedDictionary, n: usize) -> Vec<ValueId> {
+    if !dict.is_global() {
+        return (0..n)
+            .map(|i| dict.intern(Value::point(i as f64)))
+            .collect();
+    }
     use std::sync::Mutex;
     static PREFIX: Mutex<Vec<ValueId>> = Mutex::new(Vec::new());
     let mut prefix = PREFIX.lock().unwrap_or_else(|e| e.into_inner());
@@ -441,9 +451,10 @@ fn build_part_relation(
 ) -> Result<Relation, ReductionError> {
     let atom = &q.atoms()[atom_idx];
     let source = db.relation(&atom.relation).expect("validated");
-    let mut out = Relation::new(name.to_string(), 1 + level);
+    let dict = db.dictionary();
+    let mut out = Relation::new_in(name.to_string(), 1 + level, dict);
     let intervals: Vec<Option<Interval>> = source.column(column).map(|v| v.to_interval()).collect();
-    let tuple_ids = intern_tuple_ids(source.len());
+    let tuple_ids = intern_tuple_ids(dict, source.len());
     let mut row: Vec<ValueId> = Vec::with_capacity(1 + level);
     for (i, iv) in intervals.into_iter().enumerate() {
         let iv = iv.ok_or(ReductionError::NotAnInterval {
@@ -459,7 +470,7 @@ fn build_part_relation(
             for parts in node.compositions(level) {
                 row.clear();
                 row.push(tuple_ids[i]);
-                row.extend(parts.into_iter().map(|b| ValueId::intern(Value::Bits(b))));
+                row.extend(parts.into_iter().map(|b| dict.intern(Value::Bits(b))));
                 out.push_ids(&row);
             }
         }
@@ -553,7 +564,8 @@ fn build_transformed_relation(
         }
     }
 
-    let mut out = Relation::new(name.to_string(), arity);
+    let dict = db.dictionary();
+    let mut out = Relation::new_in(name.to_string(), arity, dict);
     // Pre-resolve the interval columns once (one dictionary read lock per
     // column); carried columns pass their interned ids through untouched, so
     // the expansion below never materialises a `Value` row.
@@ -600,7 +612,7 @@ fn build_transformed_relation(
                             options.push(
                                 parts
                                     .into_iter()
-                                    .map(|b| ValueId::intern(Value::Bits(b)))
+                                    .map(|b| dict.intern(Value::Bits(b)))
                                     .collect(),
                             );
                         }

@@ -1,41 +1,48 @@
 //! The value dictionary: interning of [`Value`]s into dense 32-bit ids.
 //!
 //! Every value stored in a [`Relation`](crate::Relation) is interned exactly
-//! once into the process-wide shared dictionary and represented as a
-//! [`ValueId`] from then on.  All layers of the pipeline — the forward
-//! reduction, the hash tries of the equality-join engine and the Yannakakis
-//! semijoins — operate on these dense `u32` ids instead of full [`Value`]
-//! structs: equality of ids coincides with equality of values, so join
-//! processing never needs to hash or compare a `Value` again after ingestion.
+//! once into an interning dictionary and represented as a [`ValueId`] from
+//! then on.  All layers of the pipeline — the forward reduction, the hash
+//! tries of the equality-join engine and the Yannakakis semijoins — operate
+//! on these dense `u32` ids instead of full [`Value`] structs: equality of
+//! ids coincides with equality of values, so join processing never needs to
+//! hash or compare a `Value` again after ingestion.
 //!
-//! The dictionary is shared process-wide (rather than carried by each
-//! [`Database`](crate::Database)) so that ids remain join-compatible across
-//! databases; the forward reduction writes a *transformed* database whose
-//! relations must be comparable with each other and with ad-hoc relations
-//! built by the evaluator (projections, materialised bags).  Ids are never
-//! re-assigned, so an id obtained at any point stays valid for the lifetime
-//! of the process.
+//! # Scoping: [`SharedDictionary`] handles
 //!
-//! The dictionary never evicts: ids stay valid for the process lifetime, so
-//! dropping a [`Database`](crate::Database) does not reclaim its interned
-//! values.  That is the right trade-off for the current
-//! reduce-evaluate-report pipelines; a long-running multi-tenant service
-//! would want per-database scoping or epoch-based compaction (tracked in
-//! ROADMAP "Open items").
+//! Dictionaries are owned by [`SharedDictionary`] handles — cheap `Arc`
+//! clones of one striped store.  Every [`Relation`](crate::Relation) carries
+//! the handle its ids point into; ids are join-compatible exactly between
+//! relations sharing a handle.  Two handles exist in practice:
+//!
+//! * [`SharedDictionary::global`] — the process-wide default, used by every
+//!   `Relation::new`-style constructor for backwards compatibility.  It lives
+//!   for the process, so its interned values are never reclaimed.
+//! * [`SharedDictionary::new`] — a **scoped** dictionary, owned by a
+//!   `Workspace` (see the `ij-engine` crate).  The forward reduction interns
+//!   the transformed database into the dictionary of its *input* database, so
+//!   a workspace's evaluations never touch the global store, and dropping the
+//!   workspace (together with the relations built in it) frees every value it
+//!   interned — the scoping/eviction story for a long-running multi-tenant
+//!   service.
+//!
+//! Within one handle ids are never re-assigned: an id stays valid for as long
+//! as its dictionary is alive.  Ids from *different* handles are meaningless
+//! to each other; never mix relations from different workspaces in one join.
 //!
 //! # Concurrency: hash-striped locks
 //!
-//! The shared dictionary is **striped**: [`STRIPE_COUNT`] independent
+//! Every dictionary is **striped**: [`STRIPE_COUNT`] independent
 //! [`Dictionary`] stores, each behind its own [`RwLock`], with a value's
 //! stripe chosen by a deterministic hash of the value.  Interning takes a
 //! read lock on one stripe (the already-interned fast path) and upgrades to
 //! that stripe's write lock only on a genuine miss, so parallel ingestion
 //! threads serialize only when two values collide on a stripe instead of on
-//! one process-wide lock.  Evaluation-time code only *reads* ids already
+//! one dictionary-wide lock.  Evaluation-time code only *reads* ids already
 //! stored in relations, so the parallel disjunct evaluation of the engine
 //! runs lock-free on the hot path; bulk materialisation
 //! ([`Relation::tuples`](crate::Relation::tuples)) pins all stripes once via
-//! [`Dictionary::reader`] instead of locking per value.
+//! [`SharedDictionary::reader`] instead of locking per value.
 //!
 //! Ids stay **globally unique** across stripes by construction: the stripe
 //! index lives in the low [`STRIPE_BITS`] bits of the id and the
@@ -45,7 +52,7 @@
 use crate::Value;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
-use std::sync::{OnceLock, RwLock, RwLockReadGuard};
+use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard};
 
 /// Number of independent stripes of the shared dictionary (a power of two).
 pub const STRIPE_COUNT: usize = 16;
@@ -64,40 +71,24 @@ pub const STRIPE_BITS: u32 = STRIPE_COUNT.trailing_zeros();
 pub struct ValueId(u32);
 
 impl ValueId {
-    /// Interns `value` in the shared dictionary: returns the existing id when
-    /// the value was seen before (taking only a stripe *read* lock),
-    /// otherwise assigns the next id of the value's stripe under that
-    /// stripe's write lock.
+    /// Interns `value` in the process-global dictionary
+    /// ([`SharedDictionary::global`]).  Scoped callers should intern through
+    /// their own handle ([`SharedDictionary::intern`]) instead.
     pub fn intern(value: Value) -> ValueId {
-        let stripe = stripe_of(&value);
-        let lock = &stripes()[stripe];
-        if let Some(local) = lock
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .lookup(&value)
-        {
-            return encode(local, stripe);
-        }
-        let local = lock
-            .write()
-            .unwrap_or_else(|e| e.into_inner())
-            .intern(value);
-        encode(local, stripe)
+        SharedDictionary::global().intern(value)
     }
 
-    /// Resolves the id against the shared dictionary (one stripe read lock;
-    /// bulk resolves should use [`Dictionary::reader`] instead of calling
-    /// this per id).
+    /// Resolves the id against the process-global dictionary
+    /// ([`SharedDictionary::global`]; one stripe read lock — bulk resolves
+    /// should use [`SharedDictionary::reader`] instead of calling this per
+    /// id).  Ids interned into a scoped dictionary must be resolved through
+    /// that handle, not here.
     ///
     /// # Panics
     ///
-    /// Panics if the id was not produced by the shared dictionary.
+    /// Panics if the id was not produced by the global dictionary.
     pub fn resolve(self) -> Value {
-        let (stripe, local) = decode(self);
-        stripes()[stripe]
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .resolve(local)
+        SharedDictionary::global().resolve(self)
     }
 
     /// The raw index.
@@ -146,19 +137,149 @@ fn decode(id: ValueId) -> (usize, ValueId) {
     )
 }
 
-/// The process-wide stripe array.
-fn stripes() -> &'static [RwLock<Dictionary>; STRIPE_COUNT] {
-    static STRIPES: OnceLock<[RwLock<Dictionary>; STRIPE_COUNT]> = OnceLock::new();
-    STRIPES.get_or_init(|| std::array::from_fn(|_| RwLock::new(Dictionary::new())))
+/// An owning handle to a striped interning dictionary.
+///
+/// Cloning is cheap (an `Arc` bump) and yields a handle to the *same* store:
+/// ids are join-compatible exactly between holders of clones of one handle.
+/// [`SharedDictionary::global`] is the process-wide default every
+/// `Relation::new`-style constructor uses; [`SharedDictionary::new`] creates
+/// a **scoped** dictionary whose values are reclaimed when the last clone
+/// (including the clones carried by the relations built in it) drops — see
+/// the module docs.
+#[derive(Clone)]
+pub struct SharedDictionary {
+    stripes: Arc<[RwLock<Dictionary>; STRIPE_COUNT]>,
+}
+
+impl std::fmt::Debug for SharedDictionary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The stores can hold millions of values; print identity + size only.
+        f.debug_struct("SharedDictionary")
+            .field("global", &self.is_global())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl Default for SharedDictionary {
+    fn default() -> Self {
+        SharedDictionary::new()
+    }
+}
+
+impl PartialEq for SharedDictionary {
+    /// Handles are equal iff they name the same store (ids interchangeable).
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.stripes, &other.stripes)
+    }
+}
+
+impl Eq for SharedDictionary {}
+
+impl SharedDictionary {
+    /// A fresh, empty scoped dictionary.
+    pub fn new() -> Self {
+        SharedDictionary {
+            stripes: Arc::new(std::array::from_fn(|_| RwLock::new(Dictionary::new()))),
+        }
+    }
+
+    /// The process-wide dictionary ([`ValueId::intern`] /
+    /// [`ValueId::resolve`] delegate here).  Clone the returned handle to own
+    /// a reference to it.
+    pub fn global() -> &'static SharedDictionary {
+        static GLOBAL: OnceLock<SharedDictionary> = OnceLock::new();
+        GLOBAL.get_or_init(SharedDictionary::new)
+    }
+
+    /// True if this handle names the process-wide dictionary.
+    pub fn is_global(&self) -> bool {
+        self == SharedDictionary::global()
+    }
+
+    /// Interns `value`: returns the existing id when the value was seen
+    /// before (taking only a stripe *read* lock), otherwise assigns the next
+    /// id of the value's stripe under that stripe's write lock.
+    pub fn intern(&self, value: Value) -> ValueId {
+        let stripe = stripe_of(&value);
+        let lock = &self.stripes[stripe];
+        if let Some(local) = lock
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .lookup(&value)
+        {
+            return encode(local, stripe);
+        }
+        let local = lock
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .intern(value);
+        encode(local, stripe)
+    }
+
+    /// Resolves an id interned through this handle (one stripe read lock;
+    /// bulk resolves should use [`SharedDictionary::reader`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not produced by this dictionary.
+    pub fn resolve(&self, id: ValueId) -> Value {
+        let (stripe, local) = decode(id);
+        self.stripes[stripe]
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .resolve(local)
+    }
+
+    /// The id of a value, if it has been interned through this handle.
+    pub fn lookup(&self, value: &Value) -> Option<ValueId> {
+        let stripe = stripe_of(value);
+        self.stripes[stripe]
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .lookup(value)
+            .map(|local| encode(local, stripe))
+    }
+
+    /// Total number of distinct values interned through this handle (sums
+    /// the stripes; a snapshot under concurrent interning).
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|lock| lock.read().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// True if nothing has been interned through this handle.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pins every stripe under a read lock at once, for bulk resolves and
+    /// lookups: one lock acquisition per stripe instead of one per value.
+    ///
+    /// Writers never hold more than one stripe lock at a time, so acquiring
+    /// all stripes here cannot deadlock against concurrent interning.  While
+    /// the reader is held, resolve ids through **it** — a concurrent
+    /// per-value resolve on the same handle may deadlock against a queued
+    /// writer (see [`DictReader`]).
+    pub fn reader(&self) -> DictReader<'_> {
+        DictReader {
+            guards: self
+                .stripes
+                .iter()
+                .map(|lock| lock.read().unwrap_or_else(|e| e.into_inner()))
+                .collect(),
+        }
+    }
 }
 
 /// An interning dictionary mapping [`Value`]s to dense [`ValueId`]s and back.
 ///
-/// This is the single-store building block: the process-wide shared
-/// dictionary is [`STRIPE_COUNT`] of these behind per-stripe locks (see the
-/// module docs), and tests / tools can use standalone instances directly.
-/// Standalone instances assign plain dense ids `0, 1, 2, …` with no stripe
-/// encoding.
+/// This is the single-store building block: a [`SharedDictionary`] is
+/// [`STRIPE_COUNT`] of these behind per-stripe locks (see the module docs),
+/// and tests / tools can use standalone instances directly.  Standalone
+/// instances assign plain dense ids `0, 1, 2, …` with no stripe encoding.
 #[derive(Debug, Default)]
 pub struct Dictionary {
     values: Vec<Value>,
@@ -208,54 +329,45 @@ impl Dictionary {
         self.values[id.0 as usize]
     }
 
-    /// Pins every stripe of the shared dictionary under a read lock at once,
-    /// for bulk resolves and lookups: one lock acquisition per stripe instead
-    /// of one per value.
-    ///
-    /// Writers never hold more than one stripe lock at a time, so acquiring
-    /// all stripes here cannot deadlock against concurrent interning.
-    pub fn reader() -> DictReader {
-        DictReader {
-            guards: stripes()
-                .iter()
-                .map(|lock| lock.read().unwrap_or_else(|e| e.into_inner()))
-                .collect(),
-        }
+    /// Pins every stripe of the **process-global** dictionary under a read
+    /// lock at once (see [`SharedDictionary::reader`], which this delegates
+    /// to; scoped dictionaries use their handle's method).
+    pub fn reader() -> DictReader<'static> {
+        SharedDictionary::global().reader()
     }
 
-    /// Total number of distinct values interned in the shared dictionary
-    /// (sums the stripes; a snapshot under concurrent interning).
+    /// Total number of distinct values interned in the process-global
+    /// dictionary (sums the stripes; a snapshot under concurrent interning).
     pub fn shared_len() -> usize {
-        stripes()
-            .iter()
-            .map(|lock| lock.read().unwrap_or_else(|e| e.into_inner()).len())
-            .sum()
+        SharedDictionary::global().len()
     }
 }
 
-/// A read pin over every stripe of the shared dictionary (see
-/// [`Dictionary::reader`]).  Holding one blocks interning of *new* values.
+/// A read pin over every stripe of one dictionary (see
+/// [`SharedDictionary::reader`]).  Holding one blocks interning of *new*
+/// values into that dictionary.
 ///
 /// While a reader is held, resolve ids through **it** ([`DictReader::resolve`])
-/// — not through [`ValueId::resolve`], which acquires a second read lock on a
-/// stripe this reader already holds: `std`'s `RwLock` may deadlock on such
-/// recursive read acquisition when a writer is queued in between.
-pub struct DictReader {
-    guards: Vec<RwLockReadGuard<'static, Dictionary>>,
+/// — not through [`ValueId::resolve`] or [`SharedDictionary::resolve`] on the
+/// same store, which acquire a second read lock on a stripe this reader
+/// already holds: `std`'s `RwLock` may deadlock on such recursive read
+/// acquisition when a writer is queued in between.
+pub struct DictReader<'d> {
+    guards: Vec<RwLockReadGuard<'d, Dictionary>>,
 }
 
-impl DictReader {
-    /// The value behind a shared-dictionary id.
+impl DictReader<'_> {
+    /// The value behind an id of the pinned dictionary.
     ///
     /// # Panics
     ///
-    /// Panics if the id was not produced by the shared dictionary.
+    /// Panics if the id was not produced by the pinned dictionary.
     pub fn resolve(&self, id: ValueId) -> Value {
         let (stripe, local) = decode(id);
         self.guards[stripe].resolve(local)
     }
 
-    /// The shared-dictionary id of a value, if it has been interned.
+    /// The pinned dictionary's id of a value, if it has been interned.
     pub fn lookup(&self, value: &Value) -> Option<ValueId> {
         let stripe = stripe_of(value);
         self.guards[stripe].lookup(value).map(|l| encode(l, stripe))
@@ -369,6 +481,38 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), ids.len());
         assert!(Dictionary::shared_len() >= ids.len());
+    }
+
+    #[test]
+    fn scoped_dictionaries_are_independent_of_the_global_store() {
+        let scoped = SharedDictionary::new();
+        assert!(!scoped.is_global());
+        assert!(scoped.is_empty());
+        let global_before = Dictionary::shared_len();
+        let values: Vec<Value> = (0..50).map(|i| Value::point(9_000.5 + i as f64)).collect();
+        let ids: Vec<ValueId> = values.iter().map(|&v| scoped.intern(v)).collect();
+        // Scoped interning never touches the global store.
+        assert_eq!(Dictionary::shared_len(), global_before);
+        assert_eq!(scoped.len(), values.len());
+        for (&v, &id) in values.iter().zip(&ids) {
+            assert_eq!(scoped.resolve(id), v);
+            assert_eq!(scoped.lookup(&v), Some(id));
+        }
+        let reader = scoped.reader();
+        for (&v, &id) in values.iter().zip(&ids) {
+            assert_eq!(reader.resolve(id), v);
+        }
+        drop(reader);
+        // Clones name the same store; fresh dictionaries do not.
+        let clone = scoped.clone();
+        assert_eq!(clone, scoped);
+        assert_eq!(clone.lookup(&values[0]), Some(ids[0]));
+        assert_ne!(SharedDictionary::new(), scoped);
+        // A second scoped dictionary starts from an empty id space.
+        let second = SharedDictionary::new();
+        let re_interned = second.intern(values[0]);
+        assert_eq!(second.resolve(re_interned), values[0]);
+        assert_eq!(second.len(), 1);
     }
 
     #[test]

@@ -2,9 +2,12 @@
 //! databases and the query AST.
 //!
 //! * [`Value`] — points, intervals and segment-tree bitstrings;
-//! * [`Dictionary`] / [`ValueId`] — process-wide interning of values into
-//!   dense `u32` ids; every layer of the pipeline joins on ids, never on
-//!   full values;
+//! * [`Dictionary`] / [`SharedDictionary`] / [`ValueId`] — interning of
+//!   values into dense `u32` ids; every layer of the pipeline joins on ids,
+//!   never on full values.  Dictionaries are owned by cheap-to-clone
+//!   [`SharedDictionary`] handles: the process-global one is the
+//!   compatibility default, workspace-scoped ones bound residency (dropping
+//!   the scope reclaims its interned values);
 //! * [`Relation`] / [`Database`] — named multisets of tuples stored as
 //!   columnar id vectors ([`Columns`]), with a row-oriented compatibility
 //!   layer and the distinct-left-endpoint transformation of Appendix G.1;
@@ -37,8 +40,8 @@ mod value;
 
 pub use csv::{field_to_value, value_to_field, CsvError};
 pub use dictionary::{
-    DictReader, Dictionary, IdBuildHasher, IdHashMap, IdHashSet, IdHasher, ValueId, STRIPE_BITS,
-    STRIPE_COUNT,
+    DictReader, Dictionary, IdBuildHasher, IdHashMap, IdHashSet, IdHasher, SharedDictionary,
+    ValueId, STRIPE_BITS, STRIPE_COUNT,
 };
 pub use query::{Atom, Query, QueryParseError};
 pub use relation::{ArityError, Columns, ColumnsView, Database, Relation};

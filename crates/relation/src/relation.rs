@@ -1,14 +1,24 @@
 //! Relations and databases.
 //!
 //! Relations are stored **columnar and interned**: each column is a dense
-//! `Vec<ValueId>` into the shared [`Dictionary`], so join processing works on
+//! `Vec<ValueId>` into an interning dictionary, so join processing works on
 //! `u32` ids and never touches a full [`Value`] after ingestion.  The
 //! row-oriented API ([`Relation::push`], [`Relation::tuples`]) is kept as a
 //! thin compatibility layer that interns / resolves at the boundary; hot
 //! paths use the id-level API ([`Relation::column_ids`],
 //! [`Relation::push_ids`], [`Relation::gather`], ...).
+//!
+//! Every relation (and database) carries the [`SharedDictionary`] handle its
+//! ids point into.  The plain constructors ([`Relation::new`],
+//! [`Database::new`], ...) use the process-global dictionary, preserving the
+//! historical behaviour; the `*_in` variants ([`Relation::new_in`],
+//! [`Database::new_in`], ...) intern into an explicit — typically
+//! workspace-scoped — dictionary, so dropping the workspace reclaims the
+//! interned values.  Ids are join-compatible exactly between relations that
+//! share a dictionary; derived relations (projections, gathers, renames)
+//! inherit their source's handle.
 
-use crate::{Dictionary, Value, ValueId};
+use crate::{SharedDictionary, Value, ValueId};
 use ij_segtree::Interval;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -47,6 +57,9 @@ pub struct Relation {
     name: String,
     arity: usize,
     columns: Columns,
+    /// The dictionary the id columns point into; derived relations inherit
+    /// it, so ids stay resolvable wherever the rows travel.
+    dict: SharedDictionary,
     /// Lazily computed content fingerprint (see [`Relation::fingerprint_with`]);
     /// reset by every mutating method, excluded from equality.
     fingerprint: std::sync::OnceLock<(u64, u64)>,
@@ -54,7 +67,10 @@ pub struct Relation {
 
 impl PartialEq for Relation {
     fn eq(&self, other: &Self) -> bool {
-        // The fingerprint cache is derived state and must not affect equality.
+        // The fingerprint cache is derived state and must not affect
+        // equality.  The dictionary handle is deliberately ignored too:
+        // equality of id columns is only meaningful between relations of one
+        // dictionary, and that is the only comparison callers make.
         self.name == other.name && self.arity == other.arity && self.columns == other.columns
     }
 }
@@ -202,18 +218,28 @@ impl<'a> ColumnsView<'a> {
 }
 
 impl Relation {
-    /// Creates an empty relation with the given name and arity.
+    /// Creates an empty relation with the given name and arity, interning
+    /// into the process-global dictionary ([`Relation::new_in`] scopes it).
     pub fn new(name: impl Into<String>, arity: usize) -> Self {
+        Relation::new_in(name, arity, SharedDictionary::global())
+    }
+
+    /// Creates an empty relation whose values intern into `dict` — typically
+    /// a workspace-scoped dictionary, so the interned values die with the
+    /// workspace instead of accreting in the process-global store.
+    pub fn new_in(name: impl Into<String>, arity: usize, dict: &SharedDictionary) -> Self {
         Relation {
             name: name.into(),
             arity,
             columns: Columns::new(arity),
+            dict: dict.clone(),
             fingerprint: std::sync::OnceLock::new(),
         }
     }
 
     /// Creates a relation from a list of tuples, validating that every row
-    /// matches `arity`.
+    /// matches `arity`.  Values intern into the process-global dictionary
+    /// ([`Relation::from_tuples_in`] scopes it).
     ///
     /// # Panics
     ///
@@ -226,6 +252,23 @@ impl Relation {
         }
     }
 
+    /// [`Relation::from_tuples`] interning into an explicit dictionary.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Relation::from_tuples`] on a ragged row.
+    pub fn from_tuples_in(
+        name: impl Into<String>,
+        arity: usize,
+        tuples: Vec<Vec<Value>>,
+        dict: &SharedDictionary,
+    ) -> Self {
+        match Relation::try_from_tuples_in(name, arity, tuples, dict) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
     /// Fallible variant of [`Relation::from_tuples`]: returns an
     /// [`ArityError`] describing the first ragged row instead of panicking.
     pub fn try_from_tuples(
@@ -233,7 +276,17 @@ impl Relation {
         arity: usize,
         tuples: Vec<Vec<Value>>,
     ) -> Result<Self, ArityError> {
-        let mut r = Relation::new(name, arity);
+        Relation::try_from_tuples_in(name, arity, tuples, SharedDictionary::global())
+    }
+
+    /// Fallible variant of [`Relation::from_tuples_in`].
+    pub fn try_from_tuples_in(
+        name: impl Into<String>,
+        arity: usize,
+        tuples: Vec<Vec<Value>>,
+        dict: &SharedDictionary,
+    ) -> Result<Self, ArityError> {
+        let mut r = Relation::new_in(name, arity, dict);
         // Validate the whole batch before interning anything, so errors do
         // not leave a partially-filled relation behind.
         for (row, t) in tuples.iter().enumerate() {
@@ -249,7 +302,7 @@ impl Relation {
         // Interning locks per value (striped by value hash), so concurrent
         // ingestion of several relations proceeds in parallel.
         for t in &tuples {
-            let ids: Vec<ValueId> = t.iter().map(|&v| ValueId::intern(v)).collect();
+            let ids: Vec<ValueId> = t.iter().map(|&v| r.dict.intern(v)).collect();
             r.columns.push_row(&ids);
         }
         Ok(r)
@@ -258,6 +311,11 @@ impl Relation {
     /// The relation name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The dictionary this relation's id columns point into.
+    pub fn dictionary(&self) -> &SharedDictionary {
+        &self.dict
     }
 
     /// Number of attributes.
@@ -278,12 +336,12 @@ impl Relation {
     /// The tuples, materialised as rows of [`Value`]s.
     ///
     /// This is the row-compatibility layer over the columnar storage: it
-    /// resolves every id against the shared dictionary and allocates fresh
-    /// rows, so hot paths should use [`Relation::column_ids`] /
+    /// resolves every id against the relation's dictionary and allocates
+    /// fresh rows, so hot paths should use [`Relation::column_ids`] /
     /// [`Relation::id_at`] instead and callers looping over the result should
     /// hoist the call out of the loop.
     pub fn tuples(&self) -> Vec<Vec<Value>> {
-        let dict = Dictionary::reader();
+        let dict = self.dict.reader();
         (0..self.len())
             .map(|row| {
                 self.columns
@@ -297,7 +355,7 @@ impl Relation {
 
     /// One tuple, materialised.
     pub fn row(&self, row: usize) -> Vec<Value> {
-        let dict = Dictionary::reader();
+        let dict = self.dict.reader();
         self.columns
             .cols
             .iter()
@@ -307,7 +365,7 @@ impl Relation {
 
     /// The value at (`row`, `col`).
     pub fn value_at(&self, row: usize, col: usize) -> Value {
-        self.columns.id_at(row, col).resolve()
+        self.dict.resolve(self.columns.id_at(row, col))
     }
 
     /// The interned ids of one column.
@@ -358,7 +416,7 @@ impl Relation {
                 row: self.len(),
             });
         }
-        let ids: Vec<ValueId> = tuple.iter().map(|&v| ValueId::intern(v)).collect();
+        let ids: Vec<ValueId> = tuple.iter().map(|&v| self.dict.intern(v)).collect();
         self.columns.push_row(&ids);
         self.fingerprint = std::sync::OnceLock::new();
         Ok(())
@@ -399,7 +457,7 @@ impl Relation {
         // Sort row indices by the resolved value order (id order is interning
         // order, which would not be deterministic across construction paths).
         let resolved: Vec<Vec<Value>> = {
-            let dict = Dictionary::reader();
+            let dict = self.dict.reader();
             self.columns
                 .cols
                 .iter()
@@ -437,6 +495,7 @@ impl Relation {
                 len: self.len(),
                 cols,
             },
+            dict: self.dict.clone(),
             fingerprint: std::sync::OnceLock::new(),
         }
     }
@@ -448,6 +507,7 @@ impl Relation {
             name: name.into(),
             arity: self.arity,
             columns: self.columns.clone(),
+            dict: self.dict.clone(),
             // Same columns, so the already-computed fingerprint carries over.
             fingerprint: self.fingerprint.clone(),
         }
@@ -459,6 +519,7 @@ impl Relation {
             name: name.into(),
             arity: self.arity,
             columns: gather_columns(&self.columns, rows),
+            dict: self.dict.clone(),
             fingerprint: std::sync::OnceLock::new(),
         }
     }
@@ -484,6 +545,7 @@ impl Relation {
                 len: rows.len(),
                 cols,
             },
+            dict: self.dict.clone(),
             fingerprint: std::sync::OnceLock::new(),
         }
     }
@@ -495,7 +557,7 @@ impl Relation {
     /// resolve loop, but not free: hoist out of loops and prefer
     /// [`Relation::column_ids`] when ids suffice.
     pub fn column(&self, index: usize) -> impl Iterator<Item = Value> + '_ {
-        let dict = Dictionary::reader();
+        let dict = self.dict.reader();
         let values: Vec<Value> = self.columns.cols[index]
             .iter()
             .map(|&id| dict.resolve(id))
@@ -529,31 +591,81 @@ impl fmt::Display for Relation {
     }
 }
 
-/// A database: a collection of named relations.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// A database: a collection of named relations, plus the dictionary handle
+/// relations added through [`Database::insert_tuples`] intern into.
+#[derive(Debug, Clone)]
 pub struct Database {
     relations: BTreeMap<String, Relation>,
+    dict: SharedDictionary,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+impl PartialEq for Database {
+    /// Content equality: the relations, by name.  The dictionary handle is
+    /// ignored, like in [`Relation`]'s equality.
+    fn eq(&self, other: &Self) -> bool {
+        self.relations == other.relations
+    }
 }
 
 impl Database {
-    /// Creates an empty database.
+    /// Creates an empty database whose relations intern into the
+    /// process-global dictionary ([`Database::new_in`] scopes it).
     pub fn new() -> Self {
-        Database::default()
+        Database::new_in(SharedDictionary::global().clone())
     }
 
-    /// Inserts (or replaces) a relation.
+    /// Creates an empty database interning into an explicit — typically
+    /// workspace-scoped — dictionary.  The forward reduction writes its
+    /// transformed database into the same dictionary as its input database,
+    /// so evaluation of a scoped database never touches the global store.
+    pub fn new_in(dict: SharedDictionary) -> Self {
+        Database {
+            relations: BTreeMap::new(),
+            dict,
+        }
+    }
+
+    /// The dictionary relations of this database intern into.
+    pub fn dictionary(&self) -> &SharedDictionary {
+        &self.dict
+    }
+
+    /// Inserts (or replaces) a relation.  The relation keeps its own
+    /// dictionary handle; for the ids to be join-compatible with the rest of
+    /// the database it must be the database's dictionary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the relation interns into a different dictionary than this
+    /// database: equal ids from unrelated dictionaries denote unrelated
+    /// values, so letting the mix through would silently corrupt every join
+    /// touching the relation.  The check is one pointer comparison, so it is
+    /// enforced in release builds too.
     pub fn insert(&mut self, relation: Relation) {
+        assert!(
+            relation.dictionary() == self.dictionary(),
+            "relation `{}` interns into a different dictionary than its database \
+             (build it from the same workspace, or re-intern it via import)",
+            relation.name()
+        );
         self.relations.insert(relation.name().to_string(), relation);
     }
 
-    /// Adds a relation built from tuples.
+    /// Adds a relation built from tuples, interned into the database's
+    /// dictionary.
     ///
     /// # Panics
     ///
     /// Panics with a message naming the relation and the offending row if the
     /// tuples do not all have exactly `arity` values.
     pub fn insert_tuples(&mut self, name: &str, arity: usize, tuples: Vec<Vec<Value>>) {
-        self.insert(Relation::from_tuples(name, arity, tuples));
+        self.insert(Relation::from_tuples_in(name, arity, tuples, &self.dict));
     }
 
     /// Fallible variant of [`Database::insert_tuples`].
@@ -563,7 +675,9 @@ impl Database {
         arity: usize,
         tuples: Vec<Vec<Value>>,
     ) -> Result<(), ArityError> {
-        self.insert(Relation::try_from_tuples(name, arity, tuples)?);
+        self.insert(Relation::try_from_tuples_in(
+            name, arity, tuples, &self.dict,
+        )?);
         Ok(())
     }
 
@@ -657,7 +771,8 @@ impl Database {
                             .collect()
                     })
                     .collect();
-                *rel = Relation::from_tuples(rel.name().to_string(), arity, tuples);
+                let dict = rel.dictionary().clone();
+                *rel = Relation::from_tuples_in(rel.name().to_string(), arity, tuples, &dict);
             }
         }
     }

@@ -5,8 +5,9 @@
 //! ij-width 3/2 (Example 4.16) and therefore an `O(N^1.5 polylog N)`
 //! evaluation through the forward reduction of Section 4.  This example
 //! walks every stage — static analysis, reduction, batched/cached disjunct
-//! evaluation, and a differential check against the naive evaluator — and
-//! prints what each number means.
+//! evaluation inside a scoped `Workspace`, cross-engine cache warmth, and a
+//! differential check against the naive evaluator — and prints what each
+//! number means.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -19,10 +20,17 @@ fn main() {
     //   Q△ = R([A],[B]) ∧ S([B],[C]) ∧ T([A],[C])
     let query = Query::parse("R([A],[B]) & S([B],[C]) & T([A],[C])").expect("valid query");
 
-    // A small interval database.  The first R tuple, the S tuple and the T
-    // tuple pairwise intersect on A, B and C, so the query is true.
+    // All cross-evaluation state — the value dictionary the databases intern
+    // into and the trie cache every engine shares — is owned by a Workspace.
+    // Dropping the workspace reclaims everything it interned; a service
+    // would hold one workspace per tenant or per database.
+    let workspace = Workspace::new();
+
+    // A small interval database, interned into the workspace.  The first R
+    // tuple, the S tuple and the T tuple pairwise intersect on A, B and C,
+    // so the query is true.
     let iv = |lo: f64, hi: f64| Value::interval(lo, hi);
-    let mut db = Database::new();
+    let mut db = workspace.database();
     db.insert_tuples(
         "R",
         2,
@@ -34,15 +42,16 @@ fn main() {
     db.insert_tuples("S", 2, vec![vec![iv(12.0, 13.0), iv(20.0, 25.0)]]);
     db.insert_tuples("T", 2, vec![vec![iv(3.0, 5.0), iv(24.0, 26.0)]]);
 
-    let engine = IntersectionJoinEngine::with_defaults();
+    let engine = workspace.engine(EngineConfig::new());
 
     println!("The triangle query of Section 1.1, over a 4-tuple interval database:");
     println!();
     println!("  query     {query}");
     println!(
-        "  database  {} relations, {} tuples",
+        "  database  {} relations, {} tuples ({} distinct values interned in the workspace)",
         db.num_relations(),
-        db.total_tuples()
+        db.total_tuples(),
+        workspace.dictionary_len()
     );
 
     // 1. Static analysis: acyclicity class (Section 6) and ij-width
@@ -60,39 +69,30 @@ fn main() {
     // 2. Evaluation through the forward reduction (Section 4): the IJ query
     //    becomes a disjunction of EJ queries over segment-tree bitstrings;
     //    the engine deduplicates the disjuncts, groups them into batches by
-    //    the transformed relations they share, and evaluates with a shared
-    //    trie cache (early exit on the first true disjunct).
+    //    the transformed relations they share, and evaluates with the
+    //    workspace's shared trie cache (early exit on the first true
+    //    disjunct).  The reduction interns its bitstrings into the workspace
+    //    too — the process-global dictionary is never touched.
     let stats = engine
         .evaluate_with_stats(&query, &db)
         .expect("evaluation succeeds");
     println!();
     println!("2. Evaluation through the forward reduction (Theorem 4.13):");
-    println!("   answer = {}", stats.answer);
-    println!(
-        "   {} transformed tuples; {}/{} EJ disjuncts evaluated (early exit) in {} batches",
-        stats.reduction.transformed_tuples,
-        stats.ej_queries_evaluated,
-        stats.ej_queries_total,
-        stats.ej_query_batches
-    );
-    println!(
-        "   trie cache: {} hits / {} misses ({:.0}% of trie builds were shared)",
-        stats.trie_cache.hits,
-        stats.trie_cache.misses,
-        100.0 * stats.trie_cache.hit_rate()
-    );
+    print_indented(&stats.summary());
 
-    // 3. The trie cache is persistent: it belongs to the engine, not to one
-    //    evaluation, so asking the same query again is served warm — every
-    //    trie build becomes a cache hit.
-    let warm = engine
+    // 3. Cache warmth is a *workspace* property, not an engine property: a
+    //    brand-new engine built from the same workspace — the per-request
+    //    engine of a server — is served warm on its very first evaluation.
+    let fresh_engine = workspace.engine(EngineConfig::new());
+    let warm = fresh_engine
         .evaluate_with_stats(&query, &db)
         .expect("evaluation succeeds");
     println!();
-    println!("3. Re-evaluation through the engine's persistent trie cache:");
-    println!(
-        "   answer = {} (identical); this pass: {} hits / {} misses, {} tries resident",
-        warm.answer, warm.trie_cache.hits, warm.trie_cache.misses, warm.trie_cache.entries
+    println!("3. A fresh engine on the same workspace starts warm (shared trie cache):");
+    print_indented(&warm.summary());
+    assert_eq!(
+        warm.trie_cache.misses, 0,
+        "warm evaluation must not rebuild"
     );
 
     // 4. Cross-check with the naive reference evaluator (exhaustive
@@ -103,4 +103,11 @@ fn main() {
     assert_eq!(stats.answer, naive);
     println!();
     println!("4. Differential check: the naive evaluator agrees (answer = {naive}).");
+}
+
+/// Prints a multi-line summary indented under its section header.
+fn print_indented(text: &str) {
+    for line in text.lines() {
+        println!("   {line}");
+    }
 }

@@ -26,10 +26,10 @@
 //! | [`segtree`] | Intervals, bitstrings, segment trees (Section 3, Appendix B) |
 //! | [`hypergraph`] | Hypergraphs, acyclicity, the structural reduction τ(H) (Sections 4, 6) |
 //! | [`widths`] | ρ*, fhtw, subw bounds, ij-width (Definition 4.14) |
-//! | [`relation`] | Values, the **value dictionary**, interned columnar relations, query AST |
-//! | [`ejoin`] | EJ engine: id-keyed WCOJ tries, Yannakakis, width-guided evaluation |
+//! | [`relation`] | Values, the **value dictionary** behind scoped `SharedDictionary` handles, interned columnar relations, query AST |
+//! | [`ejoin`] | EJ engine: id-keyed WCOJ tries, bytes-accounted `TrieCache`, Yannakakis, width-guided evaluation |
 //! | [`reduction`] | Forward (IJ→EJ) and backward (EJ→IJ) data reductions (Sections 4, 5) |
-//! | [`engine`] | End-to-end engine with parallel disjunct evaluation |
+//! | [`engine`] | End-to-end engine with `Workspace`-owned state and parallel disjunct evaluation |
 //! | [`faqai`] | The FAQ-AI comparator (Appendix F) |
 //! | [`baselines`] | Plane sweep, binary-join cascades, nested loops |
 //! | [`workloads`] | Synthetic workload generators |
@@ -37,11 +37,19 @@
 //! ## Data flow of the interned pipeline
 //!
 //! Every `Value` (point, interval or bitstring) is interned exactly once into
-//! the process-wide dictionary of [`relation`]; relations store dense
-//! `u32` id columns and every downstream layer operates on ids:
+//! a dictionary of [`relation`]; relations store dense `u32` id columns and
+//! every downstream layer operates on ids.  The dictionary is owned by a
+//! `SharedDictionary` handle carried by each relation: plain constructors
+//! use the process-global handle, while a `Workspace` ([`engine`]) scopes a
+//! dictionary (plus one shared trie cache warming every engine built from
+//! the workspace) so that dropping the workspace reclaims its interned
+//! values:
 //!
 //! ```text
-//!  Query + Database (columnar: Vec<ValueId> per column, shared Dictionary)
+//!  Workspace { SharedDictionary, shared TrieCache }  ← or the global shim
+//!        │
+//!        ▼
+//!  Query + Database (columnar: Vec<ValueId> per column, workspace dictionary)
 //!        │
 //!        ▼
 //!  ij_reduction::forward_reduction          Segment trees per interval var;
@@ -61,8 +69,9 @@
 //!     · α-acyclic   → Yannakakis semijoins (id-tuple keys, fast hasher)
 //!     · cyclic      → bag materialisation (id tries) + Yannakakis
 //!     · fallback    → generic WCOJ over HashMap<u32, TrieNode> tries
-//!     tries served from the shared TrieCache (content-fingerprint keys)
-//!     and optionally hash-sharded: per-shard sub-tries built on scoped
+//!     tries served from the workspace's shared TrieCache (content-
+//!     fingerprint keys, LRU-evicted against entry and byte budgets) and
+//!     optionally hash-sharded: per-shard sub-tries built on scoped
 //!     threads, search fanned out shard by shard (EngineConfig::trie_shards)
 //!        │
 //!        ▼

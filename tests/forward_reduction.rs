@@ -6,6 +6,10 @@
 //! synthetic workloads with several densities and seeds; planted satisfiable
 //! and unsatisfiable instances guarantee that both outcomes are covered
 //! deterministically.
+//!
+//! Debug builds shrink the generated workload sizes (`scaled_tuples` /
+//! `scaled_seeds`) so the dev-loop `cargo test` is not dominated by the
+//! exhaustive naive oracle; release builds exercise the full sizes.
 
 use ij_ejoin::EjStrategy;
 use ij_engine::{EngineConfig, IntersectionJoinEngine};
@@ -18,6 +22,30 @@ use ij_workloads::{
     generate_for_query, planted_satisfiable, planted_unsatisfiable, IntervalDistribution,
     WorkloadConfig,
 };
+
+/// Workload scale for this file.  The naive oracle is exhaustive
+/// backtracking, so these differential loops dominate the tier-1 wall clock
+/// in unoptimised builds (~3 minutes at the full sizes).  Debug builds — the
+/// dev loop — shrink the tuple counts and seed ranges; release builds (and
+/// the release half of tier-1 CI) keep the full coverage.
+fn scaled_tuples(tuples: usize) -> usize {
+    if cfg!(debug_assertions) {
+        tuples.div_ceil(2).max(4)
+    } else {
+        tuples
+    }
+}
+
+/// Debug builds run the first quarter of the seed range (at least 2 seeds);
+/// release builds run all of it.
+fn scaled_seeds(seeds: std::ops::Range<u64>) -> std::ops::Range<u64> {
+    if cfg!(debug_assertions) {
+        let len = seeds.end.saturating_sub(seeds.start);
+        seeds.start..seeds.start + (len / 4).max(2).min(len)
+    } else {
+        seeds
+    }
+}
 
 /// Differential check of the reduction-based evaluation against the naive
 /// oracle: random workloads check agreement, planted instances guarantee that
@@ -44,7 +72,8 @@ fn differential_with(
     seeds: std::ops::Range<u64>,
     dist: IntervalDistribution,
 ) {
-    for seed in seeds {
+    let tuples = scaled_tuples(tuples);
+    for seed in scaled_seeds(seeds) {
         let cfg = WorkloadConfig {
             tuples_per_relation: tuples,
             seed,
@@ -225,11 +254,11 @@ fn all_ej_strategies_agree_through_the_reduction() {
             ej_strategy: strategy,
             ..EngineConfig::new()
         });
-        for seed in 0..10 {
+        for seed in scaled_seeds(0..10) {
             let db = generate_for_query(
                 &query,
                 &WorkloadConfig {
-                    tuples_per_relation: 10,
+                    tuples_per_relation: scaled_tuples(10),
                     seed,
                     distribution: IntervalDistribution::Uniform {
                         span: 80.0,
@@ -332,11 +361,11 @@ fn mixed_eij_queries_are_correct() {
     // Equality join on a point variable plus intersection joins.
     let query = Query::parse("R(K,[A],[B]) & S(K,[B],[C]) & T([A],[C])").unwrap();
     let engine = IntersectionJoinEngine::with_defaults();
-    for seed in 0..15 {
+    for seed in scaled_seeds(0..15) {
         let db = generate_for_query(
             &query,
             &WorkloadConfig {
-                tuples_per_relation: 10,
+                tuples_per_relation: scaled_tuples(10),
                 seed,
                 distribution: IntervalDistribution::Uniform {
                     span: 80.0,
@@ -359,11 +388,11 @@ fn distinct_left_endpoint_transformation_preserves_answers() {
     // distinct across relations must not change the answer.
     let query = query_of(&triangle_ij());
     let engine = IntersectionJoinEngine::with_defaults();
-    for seed in 0..10 {
+    for seed in scaled_seeds(0..10) {
         let db = generate_for_query(
             &query,
             &WorkloadConfig {
-                tuples_per_relation: 10,
+                tuples_per_relation: scaled_tuples(10),
                 seed,
                 distribution: IntervalDistribution::GridAligned {
                     span: 64.0,
