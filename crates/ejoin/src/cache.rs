@@ -62,6 +62,25 @@
 //! insertion wins; a losing builder adopts the winner's trie, so all workers
 //! always probe structurally identical tries).  Hit, miss and eviction
 //! counters are relaxed atomics exposed through [`TrieCache::stats`].
+//!
+//! # Ownership: tenants, quotas and exact attribution
+//!
+//! Every lookup carries an **owner** ([`TenantId`], threaded down through
+//! [`EvalContext::tenant`]).  The cache keeps a per-tenant ledger —
+//! hit/miss/eviction counters plus the resident bytes of the entries that
+//! tenant inserted ([`TrieCache::tenant_stats`]) — and enforces an optional
+//! **per-tenant byte quota** ([`TrieCache::set_tenant_quota`]): an insert
+//! that would push its owner over quota first evicts that owner's *own*
+//! least-recently-used entries, so a noisy tenant sheds its own warmth
+//! instead of everyone else's.  The pooled entry/byte budgets stay the hard
+//! ceiling, enforced by the shared LRU across all owners.
+//!
+//! Attribution of per-evaluation statistics is **exact under any
+//! concurrency**: an evaluation passes its own [`CacheActivity`] accumulator
+//! down through [`EvalContext::activity`] and every lookup it performs bumps
+//! those local counters — no before/after snapshots of the shared counters,
+//! so concurrent evaluations on one cache can never steal each other's hits,
+//! misses or evictions.
 
 use crate::trie::{effective_shard_count, AtomTrie};
 use crate::BoundAtom;
@@ -107,6 +126,129 @@ fn compute_fingerprint(relation: &Relation) -> (u64, u64) {
     (a, b)
 }
 
+/// The owner of cache activity: a small dense identifier tagging every
+/// lookup (and every resident entry) with the tenant that performed it.
+///
+/// Tenants are an *accounting* concept, not an isolation one: tenants of one
+/// cache share entries (a hit is a hit no matter who inserted the entry), but
+/// hits, misses, evictions and resident bytes are metered per tenant
+/// ([`TrieCache::tenant_stats`]) and a per-tenant byte quota caps what one
+/// tenant may keep resident ([`TrieCache::set_tenant_quota`]).  Engines
+/// default to [`TenantId::DEFAULT`]; a multi-tenant service assigns one id
+/// per tenant (`Workspace::tenant(name)` in the engine crate hands out
+/// registered sub-handles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TenantId(u32);
+
+impl TenantId {
+    /// The anonymous default owner used when no tenant is configured.
+    pub const DEFAULT: TenantId = TenantId(0);
+
+    /// Reconstructs a tenant id from its raw index.
+    pub fn from_raw(raw: u32) -> TenantId {
+        TenantId(raw)
+    }
+
+    /// The raw index.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// A point-in-time snapshot of one tenant's ledger in a [`TrieCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantCacheStats {
+    /// This tenant's lookups answered from the cache (entries inserted by
+    /// *any* tenant count — sharing is the point of one cache).
+    pub hits: usize,
+    /// This tenant's lookups that had to build.
+    pub misses: usize,
+    /// Entries **owned by** this tenant dropped by LRU eviction — whether
+    /// forced by the tenant's own quota or by the pooled budgets.
+    pub evictions: usize,
+    /// Resident entries this tenant inserted.
+    pub entries: usize,
+    /// Estimated heap bytes of this tenant's resident entries; never exceeds
+    /// [`TenantCacheStats::quota_bytes`] when a quota is set.
+    pub resident_bytes: usize,
+    /// The tenant's byte quota (`0` = none).
+    pub quota_bytes: usize,
+}
+
+/// Evaluation-local cache counters: the accumulator an evaluation passes
+/// down via [`EvalContext::activity`] so its per-evaluation statistics are
+/// **exact** — counted by the lookups the evaluation itself performs —
+/// rather than inferred from racy before/after snapshots of the shared
+/// cache's counters (which would attribute a concurrent evaluation's
+/// activity to whichever windows overlap it).
+///
+/// The counters are relaxed atomics because one evaluation's disjunct
+/// workers and trie-shard builders share the accumulator across threads.
+#[derive(Debug, Default)]
+pub struct CacheActivity {
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+impl CacheActivity {
+    /// A fresh all-zero accumulator.
+    pub fn new() -> Self {
+        CacheActivity::default()
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to build.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Evictions *triggered by* this evaluation's inserts (the evicted
+    /// entries may belong to any tenant).
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+/// A resolved per-tenant accounting identity on one [`TrieCache`]: the
+/// tenant id plus a direct reference to its ledger.
+///
+/// Obtained from [`TrieCache::tenant_handle`] and carried through
+/// [`EvalContext::tenant`]: resolving the ledger once per evaluation keeps
+/// the per-lookup hit path free of the tenant-registry lock.  The handle is
+/// only meaningful on the cache that produced it.
+#[derive(Debug, Clone)]
+pub struct TenantHandle {
+    id: TenantId,
+    ledger: Arc<TenantLedger>,
+}
+
+impl TenantHandle {
+    /// The tenant this handle meters as.
+    pub fn id(&self) -> TenantId {
+        self.id
+    }
+}
+
+/// One tenant's mutable ledger inside the cache: activity counters (relaxed
+/// atomics, bumped on the lookup paths) plus resident-byte accounting and
+/// the byte quota.  `resident_bytes` is only mutated under the map's write
+/// lock, exactly like the cache-wide total.
+#[derive(Debug, Default)]
+struct TenantLedger {
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    evictions: AtomicUsize,
+    resident_bytes: AtomicUsize,
+    /// Byte quota (`0` = none); enforced against `resident_bytes` on every
+    /// insert, and immediately when (re)set lower than the current residency.
+    quota: AtomicUsize,
+}
+
 /// The cache key: everything a trie's content depends on.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct TrieKey {
@@ -150,8 +292,13 @@ impl TrieCacheStats {
 
     /// The activity between an `earlier` snapshot of the same cache and this
     /// one: hit/miss/eviction counters become deltas, `entries` and
-    /// `resident_bytes` stay the current resident state.  Used by the engine
-    /// to report per-evaluation statistics out of its persistent cache.
+    /// `resident_bytes` stay the current resident state.
+    ///
+    /// A delta over the *shared* counters attributes every concurrent
+    /// evaluation's activity to whichever windows overlap it, so the engine
+    /// no longer reports per-evaluation statistics this way — it accumulates
+    /// exact local counters through [`CacheActivity`] instead.  The method
+    /// remains useful for windowed monitoring of one cache as a whole.
     pub fn delta_since(&self, earlier: &TrieCacheStats) -> TrieCacheStats {
         TrieCacheStats {
             hits: self.hits.saturating_sub(earlier.hits),
@@ -164,13 +311,15 @@ impl TrieCacheStats {
 }
 
 /// One resident cache entry: the built tries, their estimated heap size
-/// (fixed at insert time), and a last-used stamp for the LRU policy (bumped
-/// with a relaxed store on every hit, so recency tracking never needs the
-/// write lock).
+/// (fixed at insert time), the tenant that inserted them (for per-tenant
+/// byte accounting and quota eviction), and a last-used stamp for the LRU
+/// policy (bumped with a relaxed store on every hit, so recency tracking
+/// never needs the write lock).
 #[derive(Debug)]
 struct CacheSlot {
     tries: Arc<Vec<AtomTrie>>,
     bytes: usize,
+    owner: TenantId,
     last_used: AtomicU64,
 }
 
@@ -195,6 +344,10 @@ pub struct TrieCache {
     /// Maximum resident heap bytes (estimated); `0` means unbounded.
     byte_budget: usize,
     map: RwLock<HashMap<TrieKey, CacheSlot>>,
+    /// Per-tenant ledgers, registered lazily on first use.  Lock order: the
+    /// ledger map is only ever acquired *after* (or without) `map`'s lock,
+    /// never before it.
+    tenants: RwLock<HashMap<TenantId, Arc<TenantLedger>>>,
     /// Estimated heap bytes of the resident entries; mutated only under the
     /// map's write lock, read relaxed by [`TrieCache::stats`].
     resident_bytes: AtomicUsize,
@@ -234,20 +387,119 @@ impl TrieCache {
 
     /// Snapshot of the hit/miss/eviction counters and the resident entry /
     /// byte state.
+    ///
+    /// All fields are read under one acquisition of the map's read lock.
+    /// `entries`, `resident_bytes` and `evictions` are only mutated under
+    /// the map's *write* lock, so the snapshot is internally consistent: a
+    /// caller can never observe a torn pair such as `entries == 0` with
+    /// `resident_bytes > 0` (which the previous independent relaxed loads
+    /// allowed, breaking invariant-checking tests and operators).
     pub fn stats(&self) -> TrieCacheStats {
+        let map = self.map.read().unwrap_or_else(|e| e.into_inner());
         TrieCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.map.read().unwrap_or_else(|e| e.into_inner()).len(),
+            entries: map.len(),
             resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
         }
+    }
+
+    /// Snapshot of one tenant's ledger: its activity counters, its resident
+    /// entries/bytes, and its quota.  Like [`TrieCache::stats`], the
+    /// resident state is read under one acquisition of the map's read lock,
+    /// so `entries` and `resident_bytes` are never torn.
+    pub fn tenant_stats(&self, tenant: TenantId) -> TenantCacheStats {
+        let map = self.map.read().unwrap_or_else(|e| e.into_inner());
+        let entries = map.values().filter(|slot| slot.owner == tenant).count();
+        let ledger = self.ledger(tenant);
+        TenantCacheStats {
+            hits: ledger.hits.load(Ordering::Relaxed),
+            misses: ledger.misses.load(Ordering::Relaxed),
+            evictions: ledger.evictions.load(Ordering::Relaxed),
+            entries,
+            resident_bytes: ledger.resident_bytes.load(Ordering::Relaxed),
+            quota_bytes: ledger.quota.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Sets (or clears, with `0`) `tenant`'s byte quota: the estimated
+    /// resident heap bytes of the entries *this tenant inserted* never
+    /// exceed it.  An insert that would go over evicts the tenant's **own**
+    /// least-recently-used entries first — the pooled byte budget (which
+    /// stays the hard ceiling across all tenants) is untouched by a tenant
+    /// shedding its own warmth.  Setting a quota below the tenant's current
+    /// residency evicts immediately.  Like every budget, quotas bound
+    /// memory, never correctness: an over-quota build is handed to the
+    /// caller uncached.
+    pub fn set_tenant_quota(&self, tenant: TenantId, bytes: usize) {
+        let ledger = self.ledger(tenant);
+        if bytes == 0 {
+            // Clearing a quota only relaxes enforcement; an in-flight insert
+            // reading the old (stricter) value is benign.
+            ledger.quota.store(0, Ordering::Relaxed);
+            return;
+        }
+        // A nonzero quota is stored — and immediately enforced — under the
+        // map's write lock.  That is what synchronizes it with in-flight
+        // inserts: `tries_for` re-reads the quota under this same lock, so
+        // an insert either committed before we acquired the lock (its bytes
+        // are visible to the eviction pass below) or acquires the lock after
+        // we release it (and then sees the new quota, never a stale higher
+        // one).
+        let mut map = self.map.write().unwrap_or_else(|e| e.into_inner());
+        ledger.quota.store(bytes, Ordering::Relaxed);
+        self.evict_tenant_lru(&mut map, tenant, &ledger, 0, bytes);
+    }
+
+    /// The tenant's current byte quota (`0` = none).
+    pub fn tenant_quota(&self, tenant: TenantId) -> usize {
+        self.ledger(tenant).quota.load(Ordering::Relaxed)
+    }
+
+    /// A resolved handle to `tenant`'s ledger.  An evaluation obtains one
+    /// handle up front and carries it through [`EvalContext::tenant`], so
+    /// its (many) lookups bump the ledger through the handle instead of
+    /// re-probing the tenant registry on every cache lookup — the hit
+    /// fast-path stays one map read lock plus relaxed atomics.
+    pub fn tenant_handle(&self, tenant: TenantId) -> TenantHandle {
+        TenantHandle {
+            id: tenant,
+            ledger: self.ledger(tenant),
+        }
+    }
+
+    /// The tenant's ledger, registered on first use (read-probe with a write
+    /// upgrade on a genuine miss, like the dictionary stripes).
+    fn ledger(&self, tenant: TenantId) -> Arc<TenantLedger> {
+        if let Some(ledger) = self
+            .tenants
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&tenant)
+        {
+            return Arc::clone(ledger);
+        }
+        Arc::clone(
+            self.tenants
+                .write()
+                .unwrap_or_else(|e| e.into_inner())
+                .entry(tenant)
+                .or_default(),
+        )
     }
 
     /// The tries for `atom` under `global_order`, built into
     /// [`effective_shard_count`]`(rows, num_shards)` shards — served from the
     /// cache when an identical build was already done, built and retained
-    /// (evicting the LRU entry if the cache is full) otherwise.
+    /// (evicting LRU entries if a budget is exceeded) otherwise.
+    ///
+    /// The lookup is performed **as** `tenant`'s owner (the anonymous
+    /// [`TenantId::DEFAULT`] when `None`): the owner's ledger is metered
+    /// alongside the cache-wide counters, the owner's byte quota (if any) is
+    /// enforced on insert — evicting the owner's own LRU entries first — and
+    /// `activity` (if any) accumulates the caller's exact per-evaluation
+    /// statistics.
     ///
     /// The key records the *effective* shard count, so a small relation
     /// requested at different shard counts maps to one entry instead of
@@ -257,6 +509,8 @@ impl TrieCache {
         atom: &BoundAtom<'_>,
         global_order: &[VarId],
         num_shards: usize,
+        tenant: Option<&TenantHandle>,
+        activity: Option<&CacheActivity>,
     ) -> Arc<Vec<AtomTrie>> {
         let num_shards = effective_shard_count(atom.relation.len(), num_shards);
         let levels = crate::trie::trie_level_vars(atom, global_order);
@@ -266,13 +520,29 @@ impl TrieCache {
             levels,
             shards: num_shards,
         };
+        let fallback;
+        let (owner, ledger): (TenantId, &TenantLedger) = match tenant {
+            Some(handle) => (handle.id, &handle.ledger),
+            None => {
+                fallback = self.ledger(TenantId::DEFAULT);
+                (TenantId::DEFAULT, &fallback)
+            }
+        };
         let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(slot) = self.map.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
             slot.last_used.store(now, Ordering::Relaxed);
             self.hits.fetch_add(1, Ordering::Relaxed);
+            ledger.hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(a) = activity {
+                a.hits.fetch_add(1, Ordering::Relaxed);
+            }
             return Arc::clone(&slot.tries);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        ledger.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(a) = activity {
+            a.misses.fetch_add(1, Ordering::Relaxed);
+        }
         let built = Arc::new(AtomTrie::build_sharded(atom, global_order, num_shards));
         let new_bytes: usize = built.iter().map(AtomTrie::heap_bytes).sum();
         if self.byte_budget > 0 && new_bytes > self.byte_budget {
@@ -286,47 +556,128 @@ impl TrieCache {
             existing.last_used.store(now, Ordering::Relaxed);
             return Arc::clone(&existing.tries);
         }
-        // Evict least-recently-used entries until the new entry fits both
-        // budgets.  The linear min-scans run under the write lock but only on
-        // insert-over-budget, and the map is bounded by the very budgets the
-        // scans enforce.
-        let mut resident = self.resident_bytes.load(Ordering::Relaxed);
-        while !map.is_empty()
-            && ((self.capacity > 0 && map.len() >= self.capacity)
-                || (self.byte_budget > 0 && resident + new_bytes > self.byte_budget))
-        {
-            let victim = map
-                .iter()
-                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
-                .map(|(k, _)| k.clone())
-                .expect("map is non-empty");
-            if let Some(slot) = map.remove(&victim) {
-                resident = resident.saturating_sub(slot.bytes);
-            }
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+        // The quota is read under the map's write lock, and nonzero quotas
+        // are *stored* under the same lock (`set_tenant_quota`): any setter
+        // that completed before we acquired the lock is therefore visible
+        // here, so a stale read can never override a lowered quota and
+        // leave the tenant resident above it.
+        let quota = ledger.quota.load(Ordering::Relaxed);
+        if quota > 0 && new_bytes > quota {
+            // Like the pooled budget: an entry that alone exceeds the
+            // owner's quota could only become resident by exceeding it.
+            return built;
         }
-        self.resident_bytes
-            .store(resident + new_bytes, Ordering::Relaxed);
+        // Quota-aware eviction first: an over-quota owner evicts its *own*
+        // least-recently-used entries until the insert fits its quota, so a
+        // noisy tenant never pushes its overflow onto its neighbors.
+        let mut evicted_now = 0usize;
+        if quota > 0 {
+            evicted_now += self.evict_tenant_lru(&mut map, owner, ledger, new_bytes, quota);
+        }
+        // Then the pooled budgets — the hard ceiling across all owners:
+        // collect every entry's recency stamp in one pass, sort once, and
+        // evict in LRU order until the insert fits.  (The former per-victim
+        // `min_by_key` re-scan was O(entries × victims) under the write
+        // lock; this is O(entries log entries) regardless of victim count.)
+        let over_budget = |map: &HashMap<TrieKey, CacheSlot>| {
+            (self.capacity > 0 && map.len() >= self.capacity)
+                || (self.byte_budget > 0
+                    && self.resident_bytes.load(Ordering::Relaxed) + new_bytes > self.byte_budget)
+        };
+        if over_budget(&map) {
+            let mut victims: Vec<(u64, TrieKey)> = map
+                .iter()
+                .map(|(k, slot)| (slot.last_used.load(Ordering::Relaxed), k.clone()))
+                .collect();
+            victims.sort_unstable_by_key(|&(stamp, _)| stamp);
+            for (_, victim) in victims {
+                if !over_budget(&map) {
+                    break;
+                }
+                self.remove_slot(&mut map, &victim);
+                evicted_now += 1;
+            }
+        }
+        if evicted_now > 0 {
+            if let Some(a) = activity {
+                a.evictions.fetch_add(evicted_now, Ordering::Relaxed);
+            }
+        }
+        self.resident_bytes.fetch_add(new_bytes, Ordering::Relaxed);
+        ledger
+            .resident_bytes
+            .fetch_add(new_bytes, Ordering::Relaxed);
         map.insert(
             key,
             CacheSlot {
                 tries: Arc::clone(&built),
                 bytes: new_bytes,
+                owner,
                 last_used: AtomicU64::new(now),
             },
         );
         built
     }
+
+    /// Evicts `tenant`'s own entries in LRU order until its resident bytes
+    /// plus `headroom` fit within `quota`.  Returns the number of evictions.
+    /// Must be called with the map's write lock held (hence the `&mut`).
+    fn evict_tenant_lru(
+        &self,
+        map: &mut HashMap<TrieKey, CacheSlot>,
+        tenant: TenantId,
+        ledger: &TenantLedger,
+        headroom: usize,
+        quota: usize,
+    ) -> usize {
+        if ledger.resident_bytes.load(Ordering::Relaxed) + headroom <= quota {
+            return 0;
+        }
+        let mut own: Vec<(u64, TrieKey)> = map
+            .iter()
+            .filter(|(_, slot)| slot.owner == tenant)
+            .map(|(k, slot)| (slot.last_used.load(Ordering::Relaxed), k.clone()))
+            .collect();
+        own.sort_unstable_by_key(|&(stamp, _)| stamp);
+        let mut evicted = 0usize;
+        for (_, victim) in own {
+            if ledger.resident_bytes.load(Ordering::Relaxed) + headroom <= quota {
+                break;
+            }
+            self.remove_slot(map, &victim);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Removes one entry and settles all accounting: the cache-wide resident
+    /// bytes and eviction counter, and the evicted slot's **owner's** ledger
+    /// (its bytes shrink and its eviction counter grows — whoever triggered
+    /// the eviction).  Must be called with the map's write lock held.
+    fn remove_slot(&self, map: &mut HashMap<TrieKey, CacheSlot>, key: &TrieKey) {
+        if let Some(slot) = map.remove(key) {
+            self.resident_bytes.fetch_sub(slot.bytes, Ordering::Relaxed);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            let owner = self.ledger(slot.owner);
+            owner
+                .resident_bytes
+                .fetch_sub(slot.bytes, Ordering::Relaxed);
+            owner.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Shared runtime options for one equality-join evaluation: the trie cache
-/// (if any) and the trie shard count.
+/// (if any), the trie shard count, and the cache-accounting identity —
+/// which tenant the lookups are performed as, and which evaluation-local
+/// accumulator they are counted into.
 ///
 /// The `*_with` entry points ([`evaluate_ej_boolean_with`],
 /// [`generic_join_boolean_with`], …) take an `EvalContext` and thread it down
 /// to every trie build of the evaluation — including the per-bag joins of the
 /// decomposition-guided strategy.  The plain entry points use
-/// `EvalContext::default()`: no cache, no sharding.
+/// `EvalContext::default()`: no cache, no sharding, the default tenant, no
+/// local accounting.
 ///
 /// [`evaluate_ej_boolean_with`]: crate::evaluate_ej_boolean_with
 /// [`generic_join_boolean_with`]: crate::generic_join_boolean_with
@@ -340,6 +691,15 @@ pub struct EvalContext<'c> {
     /// builds relations too small for the budget unsharded instead.  The
     /// answer is identical for every setting.
     pub shards: usize,
+    /// The owner every cache lookup of this evaluation is metered as (and
+    /// whose byte quota, if any, governs this evaluation's inserts).
+    /// Resolved once per evaluation via [`TrieCache::tenant_handle`];
+    /// `None` meters as [`TenantId::DEFAULT`].
+    pub tenant: Option<&'c TenantHandle>,
+    /// Evaluation-local accumulator for exact per-evaluation cache
+    /// statistics; `None` skips local accounting (the shared and per-tenant
+    /// counters are always maintained).
+    pub activity: Option<&'c CacheActivity>,
 }
 
 impl<'c> EvalContext<'c> {
@@ -389,17 +749,17 @@ mod tests {
         let r = rel("R", vec![vec![1.0, 2.0], vec![1.0, 3.0]]);
         let s = rel("S", vec![vec![1.0, 2.0], vec![1.0, 3.0]]);
         let atom_r = BoundAtom::new(&r, vec![0, 1]);
-        let first = cache.tries_for(&atom_r, &[0, 1], 1);
+        let first = cache.tries_for(&atom_r, &[0, 1], 1, None, None);
         // Same content under a different name: a hit, sharing the same trie.
         let atom_s = BoundAtom::new(&s, vec![0, 1]);
-        let second = cache.tries_for(&atom_s, &[0, 1], 1);
+        let second = cache.tries_for(&atom_s, &[0, 1], 1, None, None);
         assert!(Arc::ptr_eq(&first, &second));
         // Different binding or level order: separate entries.
-        cache.tries_for(&BoundAtom::new(&r, vec![1, 0]), &[0, 1], 1);
-        cache.tries_for(&atom_r, &[1, 0], 1);
+        cache.tries_for(&BoundAtom::new(&r, vec![1, 0]), &[0, 1], 1, None, None);
+        cache.tries_for(&atom_r, &[1, 0], 1, None, None);
         // A different *requested* shard count on a tiny relation sizes down
         // to the same effective (unsharded) build: a hit, not a new entry.
-        cache.tries_for(&atom_r, &[0, 1], 2);
+        cache.tries_for(&atom_r, &[0, 1], 2, None, None);
         let stats = cache.stats();
         assert_eq!(stats.hits, 2);
         assert_eq!(stats.misses, 3);
@@ -413,15 +773,15 @@ mod tests {
         let cache = TrieCache::with_capacity(1);
         let r = rel("R", vec![vec![1.0]]);
         let s = rel("S", vec![vec![2.0]]);
-        cache.tries_for(&BoundAtom::new(&r, vec![0]), &[0], 1);
+        cache.tries_for(&BoundAtom::new(&r, vec![0]), &[0], 1, None, None);
         // Inserting S evicts R (the only, hence least-recent, entry).
-        cache.tries_for(&BoundAtom::new(&s, vec![0]), &[0], 1);
+        cache.tries_for(&BoundAtom::new(&s, vec![0]), &[0], 1, None, None);
         assert_eq!(cache.stats().entries, 1);
         assert_eq!(cache.stats().evictions, 1);
         // The resident entry hits; the evicted one rebuilds (a miss).
-        cache.tries_for(&BoundAtom::new(&s, vec![0]), &[0], 1);
+        cache.tries_for(&BoundAtom::new(&s, vec![0]), &[0], 1, None, None);
         assert_eq!(cache.stats().hits, 1);
-        cache.tries_for(&BoundAtom::new(&r, vec![0]), &[0], 1);
+        cache.tries_for(&BoundAtom::new(&r, vec![0]), &[0], 1, None, None);
         let stats = cache.stats();
         assert_eq!(stats.misses, 3);
         assert_eq!(stats.evictions, 2);
@@ -458,7 +818,7 @@ mod tests {
         // nowhere near room for 6.
         let probe = rel("P", vec![vec![0.5]]);
         let per_trie = TrieCache::new()
-            .tries_for(&BoundAtom::new(&probe, vec![0]), &[0], 1)
+            .tries_for(&BoundAtom::new(&probe, vec![0]), &[0], 1, None, None)
             .iter()
             .map(AtomTrie::heap_bytes)
             .sum::<usize>();
@@ -469,7 +829,7 @@ mod tests {
             .map(|i| rel(&format!("R{i}"), vec![vec![100.0 + i as f64]]))
             .collect();
         for r in &relations {
-            cache.tries_for(&BoundAtom::new(r, vec![0]), &[0], 1);
+            cache.tries_for(&BoundAtom::new(r, vec![0]), &[0], 1, None, None);
             let stats = cache.stats();
             assert!(
                 stats.resident_bytes <= budget,
@@ -483,7 +843,7 @@ mod tests {
         // The survivors are the most recently used; re-requesting the last
         // insert hits without growing the resident total.
         let before = cache.stats().resident_bytes;
-        cache.tries_for(&BoundAtom::new(&relations[5], vec![0]), &[0], 1);
+        cache.tries_for(&BoundAtom::new(&relations[5], vec![0]), &[0], 1, None, None);
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.stats().resident_bytes, before);
     }
@@ -494,9 +854,9 @@ mod tests {
         // nothing is ever evicted, and lookups still return working tries.
         let cache = TrieCache::with_limits(0, 1);
         let r = rel("R", vec![vec![1.0], vec![2.0]]);
-        let first = cache.tries_for(&BoundAtom::new(&r, vec![0]), &[0], 1);
+        let first = cache.tries_for(&BoundAtom::new(&r, vec![0]), &[0], 1, None, None);
         assert_eq!(first[0].root().fanout(), 2);
-        cache.tries_for(&BoundAtom::new(&r, vec![0]), &[0], 1);
+        cache.tries_for(&BoundAtom::new(&r, vec![0]), &[0], 1, None, None);
         let stats = cache.stats();
         assert_eq!(stats.entries, 0);
         assert_eq!(stats.resident_bytes, 0);
@@ -505,15 +865,163 @@ mod tests {
     }
 
     #[test]
+    fn many_eviction_insert_keeps_byte_accounting_exact() {
+        // Regression/perf companion: one insert that evicts *many* small
+        // entries (the single-pass victim collection) must leave the byte
+        // accounting exact — resident bytes equal the sum of the surviving
+        // entries' insert-time sizes, cache-wide and per tenant.
+        let probe = rel("P", vec![vec![0.5]]);
+        let per_trie = TrieCache::new()
+            .tries_for(&BoundAtom::new(&probe, vec![0]), &[0], 1, None, None)
+            .iter()
+            .map(AtomTrie::heap_bytes)
+            .sum::<usize>();
+        assert!(per_trie > 0);
+        // Room for ~8 single-row tries.
+        let budget = 8 * per_trie + per_trie / 2;
+        let cache = TrieCache::with_limits(0, budget);
+        let small: Vec<Relation> = (0..8)
+            .map(|i| rel(&format!("S{i}"), vec![vec![10.0 + i as f64]]))
+            .collect();
+        for r in &small {
+            cache.tries_for(&BoundAtom::new(r, vec![0]), &[0], 1, None, None);
+        }
+        let before = cache.stats();
+        assert_eq!(before.entries, 8);
+        assert_eq!(before.evictions, 0);
+        // A single large insert (~6 tries worth of distinct values) must
+        // evict several small entries at once.
+        let big = rel("BIG", (0..12).map(|i| vec![500.0 + i as f64]).collect());
+        cache.tries_for(&BoundAtom::new(&big, vec![0]), &[0], 1, None, None);
+        let after = cache.stats();
+        assert!(
+            after.evictions >= 2,
+            "one oversized insert should evict several small entries, got {after:?}"
+        );
+        assert!(after.resident_bytes <= budget);
+        // The per-tenant ledger agrees with the cache-wide accounting.
+        let tenant_view = cache.tenant_stats(TenantId::DEFAULT);
+        assert_eq!(tenant_view.resident_bytes, after.resident_bytes);
+        assert_eq!(tenant_view.entries, after.entries);
+        assert_eq!(tenant_view.evictions, after.evictions);
+        // Exactness: drain *this* cache by dropping its only tenant's quota
+        // to one byte — every eviction subtracts its slot's insert-time
+        // size, so the resident totals must return to exactly zero (any
+        // leak in the multi-victim subtraction above would survive here).
+        cache.set_tenant_quota(TenantId::DEFAULT, 1);
+        let drained = cache.stats();
+        assert_eq!(drained.entries, 0, "{drained:?}");
+        assert_eq!(drained.resident_bytes, 0, "{drained:?}");
+        assert_eq!(cache.tenant_stats(TenantId::DEFAULT).resident_bytes, 0);
+    }
+
+    #[test]
+    fn tenant_quota_evicts_the_owners_entries_first() {
+        let probe = rel("P", vec![vec![0.5]]);
+        let per_trie = TrieCache::new()
+            .tries_for(&BoundAtom::new(&probe, vec![0]), &[0], 1, None, None)
+            .iter()
+            .map(AtomTrie::heap_bytes)
+            .sum::<usize>();
+        let victim = TenantId::from_raw(1);
+        let noisy = TenantId::from_raw(2);
+        let cache = TrieCache::new(); // no pooled budget: quota acts alone
+        let victim_h = cache.tenant_handle(victim);
+        let noisy_h = cache.tenant_handle(noisy);
+        cache.set_tenant_quota(noisy, 2 * per_trie + per_trie / 2);
+        assert_eq!(cache.tenant_quota(noisy), 2 * per_trie + per_trie / 2);
+
+        // The victim inserts first (its entries are the LRU of the pool)…
+        let vr = rel("V", vec![vec![1.0]]);
+        cache.tries_for(
+            &BoundAtom::new(&vr, vec![0]),
+            &[0],
+            1,
+            Some(&victim_h),
+            None,
+        );
+        // …then the noisy tenant floods five distinct entries through a
+        // two-entry quota: it must evict only its *own* LRU entries.
+        let noisy_rels: Vec<Relation> = (0..5)
+            .map(|i| rel(&format!("N{i}"), vec![vec![100.0 + i as f64]]))
+            .collect();
+        for r in &noisy_rels {
+            cache.tries_for(&BoundAtom::new(r, vec![0]), &[0], 1, Some(&noisy_h), None);
+            let ns = cache.tenant_stats(noisy);
+            assert!(
+                ns.resident_bytes <= ns.quota_bytes,
+                "noisy resident {} exceeds quota {}",
+                ns.resident_bytes,
+                ns.quota_bytes
+            );
+        }
+        let ns = cache.tenant_stats(noisy);
+        assert_eq!(ns.misses, 5);
+        assert_eq!(ns.evictions, 3, "five inserts through a two-entry quota");
+        assert_eq!(ns.entries, 2);
+        // The victim's entry survived the neighbor's churn: a repeat lookup
+        // hits, and its ledger shows no evictions.
+        let vs = cache.tenant_stats(victim);
+        assert_eq!(vs.evictions, 0);
+        assert_eq!(vs.entries, 1);
+        cache.tries_for(
+            &BoundAtom::new(&vr, vec![0]),
+            &[0],
+            1,
+            Some(&victim_h),
+            None,
+        );
+        assert_eq!(cache.tenant_stats(victim).hits, 1);
+        // A build larger than the quota alone stays uncached.
+        let big = rel("BIGN", (0..32).map(|i| vec![900.0 + i as f64]).collect());
+        cache.tries_for(
+            &BoundAtom::new(&big, vec![0]),
+            &[0],
+            1,
+            Some(&noisy_h),
+            None,
+        );
+        assert_eq!(
+            cache.tenant_stats(noisy).entries,
+            2,
+            "oversized build bypasses"
+        );
+        // Lowering a quota below current residency evicts immediately.
+        cache.set_tenant_quota(noisy, per_trie + per_trie / 2);
+        assert_eq!(cache.tenant_stats(noisy).entries, 1);
+        assert!(cache.tenant_stats(noisy).resident_bytes <= cache.tenant_quota(noisy));
+    }
+
+    #[test]
+    fn activity_accumulator_counts_only_its_own_lookups() {
+        let cache = TrieCache::with_capacity(1);
+        let r = rel("R", vec![vec![1.0]]);
+        let s = rel("S", vec![vec![2.0]]);
+        // Another caller's activity (no accumulator attached).
+        cache.tries_for(&BoundAtom::new(&r, vec![0]), &[0], 1, None, None);
+        let mine = CacheActivity::new();
+        // My lookups: one miss that evicts R, then one hit.
+        cache.tries_for(&BoundAtom::new(&s, vec![0]), &[0], 1, None, Some(&mine));
+        cache.tries_for(&BoundAtom::new(&s, vec![0]), &[0], 1, None, Some(&mine));
+        assert_eq!(mine.hits(), 1);
+        assert_eq!(mine.misses(), 1);
+        assert_eq!(mine.evictions(), 1, "my insert evicted the resident entry");
+        // The shared counters saw everyone; my accumulator saw only me.
+        let total = cache.stats();
+        assert_eq!(total.misses, 2);
+        assert_eq!(total.hits, 1);
+    }
+
+    #[test]
     fn entry_capacity_eviction_keeps_byte_accounting_consistent() {
         let cache = TrieCache::with_limits(1, 0);
         let r = rel("R", vec![vec![1.0]]);
         let s = rel("S", vec![vec![2.0], vec![3.0]]);
-        cache.tries_for(&BoundAtom::new(&r, vec![0]), &[0], 1);
+        cache.tries_for(&BoundAtom::new(&r, vec![0]), &[0], 1, None, None);
         let with_r = cache.stats().resident_bytes;
         assert!(with_r > 0);
         // Inserting S evicts R; the resident bytes must now describe S only.
-        cache.tries_for(&BoundAtom::new(&s, vec![0]), &[0], 1);
+        cache.tries_for(&BoundAtom::new(&s, vec![0]), &[0], 1, None, None);
         let stats = cache.stats();
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.evictions, 1);

@@ -47,8 +47,10 @@ pub fn evaluate_ej_boolean(atoms: &[BoundAtom<'_>], strategy: EjStrategy) -> boo
 /// [`evaluate_ej_boolean`] with an explicit [`EvalContext`]: every trie built
 /// anywhere under the chosen strategy (the plain generic join, and the bag
 /// materialisations of the decomposition-guided evaluation) is served from
-/// the context's cache and sharded per its shard count.  The answer is
-/// identical for every context.
+/// the context's cache and sharded per its shard count — and every cache
+/// lookup is metered as the context's tenant and counted into the context's
+/// evaluation-local [`CacheActivity`](crate::CacheActivity) accumulator, if
+/// one is attached.  The answer is identical for every context.
 pub fn evaluate_ej_boolean_with(
     atoms: &[BoundAtom<'_>],
     strategy: EjStrategy,

@@ -89,7 +89,7 @@ impl JoinContext {
                     _ => 1,
                 };
                 match eval.cache {
-                    Some(cache) => cache.tries_for(a, &order, shards),
+                    Some(cache) => cache.tries_for(a, &order, shards, eval.tenant, eval.activity),
                     None => Arc::new(AtomTrie::build_sharded(a, &order, shards)),
                 }
             })
@@ -653,6 +653,7 @@ mod tests {
                     let eval = EvalContext {
                         cache: cache_ref,
                         shards,
+                        ..EvalContext::default()
                     };
                     assert_eq!(
                         generic_join_boolean_with(&atoms, None, eval),
@@ -708,6 +709,7 @@ mod tests {
             let eval = EvalContext {
                 cache: None,
                 shards,
+                ..EvalContext::default()
             };
             assert_eq!(generic_join_boolean_with(&atoms, None, eval), expected);
             let out = generic_join_enumerate_with(&atoms, &[A, B, C], "out", eval);

@@ -28,6 +28,12 @@
 //! hash-partitioned sub-tries on scoped threads and the search fans out
 //! shard by shard ([`AtomTrie::build_sharded`]).  Answers are bit-identical
 //! for every cache/shard setting.
+//!
+//! The context also carries the cache-accounting identity: a [`TenantId`]
+//! metering every lookup into a per-tenant ledger (with optional per-tenant
+//! byte quotas — [`TrieCache::set_tenant_quota`]), and an optional
+//! [`CacheActivity`] accumulator giving the evaluation **exact** local
+//! hit/miss/eviction counts under any concurrency.
 
 #![warn(missing_docs)]
 
@@ -39,7 +45,10 @@ mod trie;
 mod yannakakis;
 
 pub use atom::{all_vars, hypergraph_of, BoundAtom};
-pub use cache::{relation_fingerprint, EvalContext, TrieCache, TrieCacheStats};
+pub use cache::{
+    relation_fingerprint, CacheActivity, EvalContext, TenantCacheStats, TenantHandle, TenantId,
+    TrieCache, TrieCacheStats,
+};
 pub use evaluate::{
     decomposition_boolean, decomposition_boolean_with, evaluate_ej_boolean,
     evaluate_ej_boolean_with, materialise_bag, materialise_bag_with, EjStrategy,

@@ -13,7 +13,9 @@
 //!    `O(N polylog N)` for ι-acyclic queries (Theorem 6.6).
 
 use crate::naive::{naive_boolean, NaiveError};
-use ij_ejoin::{evaluate_ej_boolean_with, BoundAtom, EjStrategy, EvalContext, TrieCache};
+use ij_ejoin::{
+    evaluate_ej_boolean_with, BoundAtom, CacheActivity, EjStrategy, EvalContext, TrieCache,
+};
 use ij_hypergraph::{AcyclicityClass, AcyclicityReport};
 use ij_reduction::{
     forward_reduction_with, EncodingStrategy, ForwardReduction, ReducedQuery, ReductionConfig,
@@ -24,7 +26,7 @@ use ij_widths::{ij_width, IjWidthReport};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-pub use ij_ejoin::TrieCacheStats;
+pub use ij_ejoin::{TenantCacheStats, TenantId, TrieCacheStats};
 
 /// The hardware thread count (1 when it cannot be determined).
 fn hardware_parallelism() -> usize {
@@ -111,6 +113,22 @@ pub struct EngineConfig {
     /// assert_eq!(sharded.trie_shards, 4);
     /// ```
     pub trie_shards: usize,
+    /// The cache-accounting owner this engine's evaluations run as: every
+    /// trie-cache lookup is metered into this tenant's ledger, and the
+    /// tenant's byte quota (if one is set on the shared cache) governs what
+    /// the engine's inserts may keep resident.  Defaults to
+    /// [`TenantId::DEFAULT`]; multi-tenant services obtain per-tenant
+    /// engines through `Workspace::tenant(name).engine(config)`, which fills
+    /// this in.  Accounting never changes answers.
+    ///
+    /// ```
+    /// use ij_engine::{EngineConfig, TenantId};
+    ///
+    /// assert_eq!(EngineConfig::new().tenant, TenantId::DEFAULT);
+    /// let tagged = EngineConfig::new().with_tenant(TenantId::from_raw(7));
+    /// assert_eq!(tagged.tenant.raw(), 7);
+    /// ```
+    pub tenant: TenantId,
 }
 
 impl Default for EngineConfig {
@@ -134,6 +152,7 @@ impl EngineConfig {
             trie_cache_capacity: 4096,
             trie_cache_bytes: 0,
             trie_shards: 0,
+            tenant: TenantId::DEFAULT,
         }
     }
 
@@ -171,6 +190,13 @@ impl EngineConfig {
     /// parallelism; see [`EngineConfig::trie_shards`]).
     pub fn with_trie_shards(mut self, shards: usize) -> Self {
         self.trie_shards = shards;
+        self
+    }
+
+    /// This configuration running as an explicit cache-accounting tenant
+    /// (see [`EngineConfig::tenant`]).
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
         self
     }
 
@@ -268,19 +294,17 @@ pub struct EvaluationStats {
     /// batches are split when that would otherwise leave workers idle).
     pub ej_query_batches: usize,
     /// This evaluation's activity on the engine's **persistent** trie cache:
-    /// hit/miss/eviction counters are deltas over the evaluation, `entries`
-    /// is the resident count when it finished.  All zeros when
+    /// the hit/miss/eviction counters are **exact** — accumulated by this
+    /// evaluation's own lookups through an evaluation-local
+    /// [`CacheActivity`] accumulator, not inferred from snapshots of the
+    /// shared cache's counters — so they are correct under any concurrency:
+    /// evaluations running in parallel against one cache (on this engine, a
+    /// clone of it, or any engine built from the same
+    /// [`Workspace`](crate::Workspace)) never report each other's hits,
+    /// misses or evictions.  `entries` and `resident_bytes` are the cache's
+    /// resident state when the evaluation finished.  All zeros when
     /// [`EngineConfig::trie_cache_capacity`] is `0`.  A warm evaluation of a
-    /// previously-seen reduction reports hits with few or no misses.
-    ///
-    /// The deltas are snapshots of the shared cache's counters, so when
-    /// *other* evaluations run concurrently against the same cache — on this
-    /// engine, a clone of it, or any engine built from the same
-    /// [`Workspace`](crate::Workspace) — their activity lands in whichever
-    /// windows overlap it — per-evaluation attribution is only exact for
-    /// non-overlapping evaluations (a warm evaluation can e.g. report a
-    /// concurrent engine's misses as its own).  The answer is unaffected
-    /// either way.
+    /// previously-seen reduction reports hits with no misses.
     pub trie_cache: TrieCacheStats,
     /// The answer.
     pub answer: bool,
@@ -381,8 +405,9 @@ impl IntersectionJoinEngine {
     }
 
     /// Cumulative statistics of the engine's persistent trie cache over its
-    /// whole lifetime (all zeros when the cache is disabled).  Per-evaluation
-    /// deltas are reported in [`EvaluationStats::trie_cache`].
+    /// whole lifetime (all zeros when the cache is disabled).  Exact
+    /// per-evaluation counters are reported in
+    /// [`EvaluationStats::trie_cache`].
     pub fn trie_cache_stats(&self) -> TrieCacheStats {
         self.trie_cache
             .as_ref()
@@ -469,10 +494,22 @@ impl IntersectionJoinEngine {
         // Shared thread budget: the disjunct workers and the per-trie shard
         // threads multiply, so the shard budget is what the workers leave of
         // the hardware parallelism (unless explicitly overridden).
-        let cache_before = self.trie_cache_stats();
+        //
+        // The activity accumulator makes this evaluation's cache statistics
+        // exact: every lookup any of its workers performs is counted here,
+        // so concurrent evaluations sharing the cache cannot pollute them.
+        // The tenant ledger is resolved once for the whole evaluation, so
+        // per-lookup metering never re-probes the cache's tenant registry.
+        let activity = CacheActivity::new();
+        let tenant = self
+            .trie_cache
+            .as_ref()
+            .map(|cache| cache.tenant_handle(self.config.tenant));
         let eval = EvalContext {
             cache: self.trie_cache.as_deref(),
             shards: self.config.shard_budget(workers),
+            tenant: tenant.as_ref(),
+            activity: Some(&activity),
         };
         // Don't let grouping serialize the pool: as long as there are fewer
         // batches than workers, halve the largest splittable batch.  (The
@@ -533,12 +570,22 @@ impl IntersectionJoinEngine {
             });
             (evaluated.into_inner(), found.into_inner())
         };
+        // Exact per-evaluation counters from the local accumulator; the
+        // resident entry/byte state is a (consistent) snapshot of the shared
+        // cache at completion time.
+        let resident = self.trie_cache_stats();
         EvaluationStats {
             reduction: reduction.stats.clone(),
             ej_queries_evaluated: evaluated,
             ej_queries_total: to_run.len(),
             ej_query_batches: batches.len(),
-            trie_cache: self.trie_cache_stats().delta_since(&cache_before),
+            trie_cache: TrieCacheStats {
+                hits: activity.hits(),
+                misses: activity.misses(),
+                evictions: activity.evictions(),
+                entries: resident.entries,
+                resident_bytes: resident.resident_bytes,
+            },
             answer,
         }
     }

@@ -23,8 +23,12 @@
 //!
 //! Long-running services own their cross-evaluation state through a
 //! [`Workspace`]: a scoped value dictionary (dropping the workspace reclaims
-//! its interned values) plus one shared trie cache warming every engine
-//! built from the workspace ([`Workspace::engine`]).
+//! its interned values; [`Workspace::dictionary_bytes`] meters its size)
+//! plus one shared trie cache warming every engine built from the workspace
+//! ([`Workspace::engine`]).  Tenants sharing one workspace get per-tenant
+//! accounting and byte quotas through [`Workspace::tenant`] sub-handles
+//! ([`Tenant`]): cache activity is metered per tenant exactly, and an
+//! over-quota tenant evicts its own entries first instead of its neighbors'.
 //!
 //! # Quickstart
 //!
@@ -54,17 +58,18 @@ mod workspace;
 
 pub use engine::{
     EngineConfig, EngineError, EvaluationStats, IntersectionJoinEngine, QueryAnalysis,
-    TrieCacheStats,
+    TenantCacheStats, TenantId, TrieCacheStats,
 };
 pub use naive::{naive_boolean, naive_count, NaiveError};
-pub use workspace::{Workspace, WorkspaceLimits};
+pub use workspace::{Tenant, Workspace, WorkspaceLimits, WorkspaceStats};
 
 /// Convenient re-exports of the most frequently used types from the whole
 /// workspace.
 pub mod prelude {
     pub use crate::{
         naive_boolean, naive_count, EngineConfig, EngineError, EvaluationStats,
-        IntersectionJoinEngine, QueryAnalysis, TrieCacheStats, Workspace, WorkspaceLimits,
+        IntersectionJoinEngine, QueryAnalysis, Tenant, TenantCacheStats, TenantId, TrieCacheStats,
+        Workspace, WorkspaceLimits, WorkspaceStats,
     };
     pub use ij_ejoin::EjStrategy;
     pub use ij_hypergraph::{AcyclicityClass, AcyclicityReport, Hypergraph};

@@ -48,9 +48,10 @@
 //! ```
 
 use crate::engine::{EngineConfig, IntersectionJoinEngine};
-use ij_ejoin::{TrieCache, TrieCacheStats};
-use ij_relation::{Database, Relation, SharedDictionary};
-use std::sync::{Arc, OnceLock};
+use ij_ejoin::{TenantCacheStats, TenantId, TrieCache, TrieCacheStats};
+use ij_relation::{Database, IdHashMap, Relation, SharedDictionary, Value, ValueId};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Resource limits of a [`Workspace`]'s shared trie cache.
 ///
@@ -108,6 +109,10 @@ pub struct Workspace {
     dictionary: SharedDictionary,
     trie_cache: Arc<TrieCache>,
     limits: WorkspaceLimits,
+    /// Tenant-name registry: stable name→id assignment shared by all clones
+    /// ([`Workspace::tenant`]).  Id `0` is reserved for [`TenantId::DEFAULT`]
+    /// (the anonymous owner engines use when no tenant is configured).
+    tenants: Arc<Mutex<HashMap<String, TenantId>>>,
 }
 
 impl Default for Workspace {
@@ -132,6 +137,7 @@ impl Workspace {
                 limits.trie_cache_bytes,
             )),
             limits,
+            tenants: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -148,6 +154,7 @@ impl Workspace {
                 WorkspaceLimits::default().trie_cache_bytes,
             )),
             limits: WorkspaceLimits::default(),
+            tenants: Arc::new(Mutex::new(HashMap::new())),
         })
     }
 
@@ -168,10 +175,51 @@ impl Workspace {
         self.dictionary.len()
     }
 
+    /// Estimated heap bytes of the workspace's dictionary — the interned
+    /// values plus the value→id index maps, summed over every stripe
+    /// ([`SharedDictionary::heap_bytes`]).  The byte-denominated companion
+    /// of [`Workspace::dictionary_len`]: an operator can alert on a growing
+    /// workspace (tenant) before it OOMs, complementing the trie cache's
+    /// byte budget.
+    pub fn dictionary_bytes(&self) -> usize {
+        self.dictionary.heap_bytes()
+    }
+
     /// Cumulative statistics of the workspace's shared trie cache — the sum
     /// of the activity of every engine built from this workspace.
     pub fn trie_cache_stats(&self) -> TrieCacheStats {
         self.trie_cache.stats()
+    }
+
+    /// A point-in-time operator snapshot of the workspace's resource state:
+    /// dictionary residency (distinct values and estimated bytes) plus the
+    /// shared trie cache's cumulative statistics.  [`WorkspaceStats`]
+    /// implements [`std::fmt::Display`] for one-line dashboards.
+    pub fn stats(&self) -> WorkspaceStats {
+        WorkspaceStats {
+            dictionary_len: self.dictionary_len(),
+            dictionary_bytes: self.dictionary_bytes(),
+            trie_cache: self.trie_cache_stats(),
+        }
+    }
+
+    /// A named tenant sub-handle of this workspace.  The first call with a
+    /// given name registers it (ids are assigned densely and shared by every
+    /// clone of the workspace); later calls return a handle to the same
+    /// tenant.  Tenants share the workspace's dictionary and trie cache —
+    /// they are an *accounting* scope, not an isolation scope: per-tenant
+    /// cache activity is metered separately ([`Tenant::cache_stats`]) and a
+    /// per-tenant byte quota ([`Tenant::set_trie_cache_quota`]) caps what
+    /// one tenant may keep resident without touching its neighbors' warmth.
+    pub fn tenant(&self, name: &str) -> Tenant {
+        let mut registry = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        let next = TenantId::from_raw(registry.len() as u32 + 1);
+        let id = *registry.entry(name.to_string()).or_insert(next);
+        Tenant {
+            workspace: self.clone(),
+            id,
+            name: name.to_string(),
+        }
     }
 
     /// An empty database interning into the workspace's dictionary.
@@ -186,15 +234,50 @@ impl Workspace {
 
     /// Re-interns a database (typically built against the global dictionary,
     /// e.g. by a workload generator) into this workspace, so its evaluation
-    /// stays scoped.  The per-value cost is one resolve + one intern; the
-    /// source database is untouched.
+    /// stays scoped.  The source database is untouched.
+    ///
+    /// The import works on id columns, not materialised `Value` rows: each
+    /// source relation's dictionary is pinned **once**
+    /// ([`SharedDictionary::reader`]) to bulk-resolve the relation's
+    /// *distinct* ids, the pin is dropped, and only then are the resolved
+    /// values interned into the workspace — so every distinct value pays
+    /// exactly one resolve + one intern no matter how many rows repeat it,
+    /// and no lock on the source store is ever held while writing the
+    /// destination (two threads importing in opposite directions between two
+    /// workspaces can therefore never deadlock).  Relations already interned
+    /// into this workspace's dictionary are shared as-is (their ids are
+    /// already valid here).
     pub fn import_database(&self, db: &Database) -> Database {
         let mut out = self.database();
         for rel in db.relations() {
-            out.insert(Relation::from_tuples_in(
+            if rel.dictionary() == &self.dictionary {
+                out.insert(rel.clone());
+                continue;
+            }
+            // Pass 1: resolve each distinct source id once, under a single
+            // pin of the source stripes — then release the pin before any
+            // destination interning.
+            let mut resolved: IdHashMap<ValueId, Value> = IdHashMap::default();
+            {
+                let source = rel.dictionary().reader();
+                for c in 0..rel.arity() {
+                    for &id in rel.column_ids(c) {
+                        resolved.entry(id).or_insert_with(|| source.resolve(id));
+                    }
+                }
+            }
+            // Pass 2: intern each distinct value into the workspace.
+            let translate: IdHashMap<ValueId, ValueId> = resolved
+                .into_iter()
+                .map(|(id, value)| (id, self.dictionary.intern(value)))
+                .collect();
+            let cols: Vec<Vec<ValueId>> = (0..rel.arity())
+                .map(|c| rel.column_ids(c).iter().map(|id| translate[id]).collect())
+                .collect();
+            out.insert(Relation::from_id_columns_in(
                 rel.name(),
-                rel.arity(),
-                rel.tuples(),
+                rel.len(),
+                cols,
                 &self.dictionary,
             ));
         }
@@ -213,6 +296,124 @@ impl Workspace {
     /// construction.
     pub fn engine(&self, config: EngineConfig) -> IntersectionJoinEngine {
         IntersectionJoinEngine::with_shared_cache(config, Arc::clone(&self.trie_cache))
+    }
+}
+
+/// A named tenant of a [`Workspace`]: the accounting identity a multi-tenant
+/// service hands to each of its tenants sharing one workspace.
+///
+/// Obtained from [`Workspace::tenant`].  Cloning is cheap and shares the
+/// identity; a tenant handle is a workspace handle plus a registered
+/// [`TenantId`], so everything built through it (databases, engines) lives
+/// in the shared workspace — only the *metering* is per tenant:
+///
+/// * engines built with [`Tenant::engine`] tag every trie-cache lookup with
+///   the tenant's id, so [`Tenant::cache_stats`] reports this tenant's
+///   hits/misses/evictions and resident bytes exactly;
+/// * [`Tenant::set_trie_cache_quota`] caps the bytes this tenant's inserts
+///   may keep resident — an over-quota insert evicts the tenant's **own**
+///   least-recently-used entries first, so a noisy tenant cannot strip its
+///   neighbors' warmth (the workspace's pooled budgets remain the hard
+///   ceiling).  Quotas bound memory, never correctness.
+#[derive(Debug, Clone)]
+pub struct Tenant {
+    workspace: Workspace,
+    id: TenantId,
+    name: String,
+}
+
+impl Tenant {
+    /// The registered tenant id (stable across [`Workspace::tenant`] calls
+    /// with the same name on any clone of the workspace).
+    pub fn id(&self) -> TenantId {
+        self.id
+    }
+
+    /// The tenant name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The workspace this tenant belongs to.
+    pub fn workspace(&self) -> &Workspace {
+        &self.workspace
+    }
+
+    /// An engine whose evaluations run as this tenant: built against the
+    /// workspace's shared cache ([`Workspace::engine`]) with
+    /// [`EngineConfig::tenant`] filled in.
+    pub fn engine(&self, config: EngineConfig) -> IntersectionJoinEngine {
+        self.workspace.engine(config.with_tenant(self.id))
+    }
+
+    /// An empty database interning into the workspace's dictionary
+    /// (tenants share the dictionary; see [`Workspace::database`]).
+    pub fn database(&self) -> Database {
+        self.workspace.database()
+    }
+
+    /// Re-interns a database into the workspace ([`Workspace::import_database`]).
+    pub fn import_database(&self, db: &Database) -> Database {
+        self.workspace.import_database(db)
+    }
+
+    /// Sets (or clears, with `0`) this tenant's byte quota on the
+    /// workspace's shared trie cache (see
+    /// [`TrieCache::set_tenant_quota`](ij_ejoin::TrieCache::set_tenant_quota)).
+    pub fn set_trie_cache_quota(&self, bytes: usize) {
+        self.workspace.trie_cache.set_tenant_quota(self.id, bytes);
+    }
+
+    /// This tenant with a byte quota set — the builder-style companion of
+    /// [`Tenant::set_trie_cache_quota`].
+    pub fn with_trie_cache_quota(self, bytes: usize) -> Self {
+        self.set_trie_cache_quota(bytes);
+        self
+    }
+
+    /// This tenant's current byte quota (`0` = none).
+    pub fn trie_cache_quota(&self) -> usize {
+        self.workspace.trie_cache.tenant_quota(self.id)
+    }
+
+    /// This tenant's ledger on the workspace's shared trie cache: its exact
+    /// cumulative hits/misses/evictions, its resident entries and bytes, and
+    /// its quota.
+    pub fn cache_stats(&self) -> TenantCacheStats {
+        self.workspace.trie_cache.tenant_stats(self.id)
+    }
+}
+
+/// An operator snapshot of a [`Workspace`]'s resource state
+/// ([`Workspace::stats`]): dictionary residency in distinct values **and
+/// estimated bytes** (values plus index maps, per stripe), and the shared
+/// trie cache's cumulative statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Distinct values interned in the workspace's dictionary.
+    pub dictionary_len: usize,
+    /// Estimated heap bytes of the dictionary
+    /// ([`Workspace::dictionary_bytes`]).
+    pub dictionary_bytes: usize,
+    /// Cumulative shared trie-cache statistics
+    /// ([`Workspace::trie_cache_stats`]).
+    pub trie_cache: TrieCacheStats,
+}
+
+impl std::fmt::Display for WorkspaceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dictionary: {} values ({:.1} KiB); trie cache: {} hits / {} misses, \
+             {} evictions, {} entries resident ({:.1} KiB)",
+            self.dictionary_len,
+            self.dictionary_bytes as f64 / 1024.0,
+            self.trie_cache.hits,
+            self.trie_cache.misses,
+            self.trie_cache.evictions,
+            self.trie_cache.entries,
+            self.trie_cache.resident_bytes as f64 / 1024.0
+        )
     }
 }
 
@@ -325,6 +526,128 @@ mod tests {
         let stats = ws.trie_cache_stats();
         assert_eq!(stats.entries, 1, "{stats:?}");
         assert!(stats.evictions > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn tenant_registration_is_stable_across_clones() {
+        let ws = Workspace::new();
+        let a = ws.tenant("alice");
+        let b = ws.tenant("bob");
+        assert_ne!(a.id(), b.id());
+        assert_ne!(a.id(), ij_ejoin::TenantId::DEFAULT, "id 0 stays reserved");
+        assert_eq!(a.name(), "alice");
+        // Same name → same id, even through a workspace clone.
+        let clone = ws.clone();
+        assert_eq!(clone.tenant("alice").id(), a.id());
+        assert_eq!(ws.tenant("bob").id(), b.id());
+        // A different workspace assigns independently.
+        let other = Workspace::new();
+        assert_eq!(other.tenant("zoe").id(), a.id());
+    }
+
+    #[test]
+    fn tenant_ledgers_meter_cache_activity_separately() {
+        let ws = Workspace::new();
+        let (q, db) = triangle_db(&ws);
+        let alice = ws.tenant("alice");
+        let bob = ws.tenant("bob");
+        let cold = alice
+            .engine(EngineConfig::new().with_parallelism(1))
+            .evaluate_with_stats(&q, &db)
+            .unwrap();
+        assert!(cold.trie_cache.misses > 0);
+        // Bob's first evaluation rides Alice's warmth: all hits — and they
+        // land in *Bob's* ledger, not Alice's.
+        let warm = bob
+            .engine(EngineConfig::new().with_parallelism(1))
+            .evaluate_with_stats(&q, &db)
+            .unwrap();
+        assert_eq!(warm.trie_cache.misses, 0, "{:?}", warm.trie_cache);
+        let a = alice.cache_stats();
+        let b = bob.cache_stats();
+        assert_eq!(a.misses, cold.trie_cache.misses);
+        assert_eq!(a.hits, cold.trie_cache.hits);
+        assert_eq!(b.misses, 0);
+        assert_eq!(b.hits, warm.trie_cache.hits);
+        // Alice owns every resident entry; Bob inserted nothing.
+        let pool = ws.trie_cache_stats();
+        assert_eq!(a.entries, pool.entries);
+        assert_eq!(a.resident_bytes, pool.resident_bytes);
+        assert_eq!(b.entries, 0);
+        assert_eq!(b.resident_bytes, 0);
+        // The pooled counters are exactly the sum of the tenant ledgers.
+        assert_eq!(pool.hits, a.hits + b.hits);
+        assert_eq!(pool.misses, a.misses + b.misses);
+    }
+
+    #[test]
+    fn workspace_stats_expose_dictionary_bytes() {
+        let ws = Workspace::new();
+        assert_eq!(ws.dictionary_bytes(), 0, "an empty workspace holds nothing");
+        let (q, db) = triangle_db(&ws);
+        let engine = ws.engine(EngineConfig::new().with_parallelism(1));
+        let _ = engine.evaluate(&q, &db).unwrap();
+        let stats = ws.stats();
+        assert_eq!(stats.dictionary_len, ws.dictionary_len());
+        assert!(stats.dictionary_bytes > 0);
+        assert!(
+            stats.dictionary_bytes >= stats.dictionary_len * std::mem::size_of::<Value>(),
+            "bytes must cover at least the interned values themselves"
+        );
+        assert_eq!(stats.trie_cache, ws.trie_cache_stats());
+        let line = stats.to_string();
+        assert!(line.contains("dictionary:"), "{line}");
+        assert!(line.contains("trie cache:"), "{line}");
+    }
+
+    #[test]
+    fn import_database_shares_workspace_scoped_relations_as_is() {
+        // Importing a database already scoped to this workspace must not
+        // re-intern (and must not grow the dictionary).
+        let ws = Workspace::new();
+        let (_, db) = triangle_db(&ws);
+        let before = ws.dictionary_len();
+        let imported = ws.import_database(&db);
+        assert_eq!(ws.dictionary_len(), before);
+        assert_eq!(imported.total_tuples(), db.total_tuples());
+        assert_eq!(imported.dictionary(), ws.dictionary());
+    }
+
+    #[test]
+    fn concurrent_cross_directional_imports_cannot_deadlock() {
+        // Regression: import_database once held the source dictionary's
+        // all-stripe read pin while interning into the destination — two
+        // threads importing in opposite directions between two workspaces
+        // could each pin the other's read locks and block on the other's
+        // write lock forever.  The import now drops the pin before any
+        // destination interning; this completes (watchdog-bounded so a
+        // regression fails loudly instead of hanging the suite).
+        let a = Workspace::new();
+        let b = Workspace::new();
+        let (_, db_a) = triangle_db(&a);
+        let (_, db_b) = triangle_db(&b);
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let (a, b) = (a.clone(), b.clone());
+                let (db_a, db_b) = (db_a.clone(), db_b.clone());
+                let done = done_tx.clone();
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let into_a = a.import_database(&db_b);
+                        let into_b = b.import_database(&db_a);
+                        assert_eq!(into_a.dictionary(), a.dictionary());
+                        assert_eq!(into_b.dictionary(), b.dictionary());
+                    }
+                    done.send(()).unwrap();
+                });
+            }
+            for _ in 0..2 {
+                done_rx
+                    .recv_timeout(std::time::Duration::from_secs(60))
+                    .expect("cross-directional imports deadlocked");
+            }
+        });
     }
 
     #[test]

@@ -47,7 +47,9 @@
 //! Ids stay **globally unique** across stripes by construction: the stripe
 //! index lives in the low [`STRIPE_BITS`] bits of the id and the
 //! stripe-local dense index in the high bits, so each stripe owns a disjoint
-//! id subspace (and may hold up to 2²⁸ distinct values).
+//! id subspace (and may hold up to 2²⁸ − 1 distinct values; the top local
+//! index is reserved so the [`ValueId::dummy`] sentinel is unrepresentable —
+//! see [`MAX_STRIPE_VALUES`]).
 
 use crate::Value;
 use std::collections::HashMap;
@@ -59,6 +61,12 @@ pub const STRIPE_COUNT: usize = 16;
 
 /// Bits of a [`ValueId`] reserved for the stripe index (`log2(STRIPE_COUNT)`).
 pub const STRIPE_BITS: u32 = STRIPE_COUNT.trailing_zeros();
+
+/// Maximum number of distinct values one stripe may hold: the top
+/// stripe-local index is **reserved** so that no legal id ever equals the
+/// [`ValueId::dummy`] sentinel (`u32::MAX`, which would otherwise be the
+/// encoding of local index `2^28 - 1` in the last stripe).
+pub const MAX_STRIPE_VALUES: u32 = (1 << (32 - STRIPE_BITS)) - 1;
 
 /// A dense identifier of an interned [`Value`].
 ///
@@ -103,8 +111,12 @@ impl ValueId {
         ValueId(raw)
     }
 
-    /// A placeholder id used to pre-size buffers; resolving it is only valid
-    /// if it happens to be interned.
+    /// A placeholder id used to pre-size buffers.  The sentinel is
+    /// **unrepresentable**: striped dictionaries reserve the top stripe-local
+    /// index ([`MAX_STRIPE_VALUES`]) and standalone [`Dictionary`] stores
+    /// reserve the top dense id, so no interned value is ever assigned
+    /// `u32::MAX` and the placeholder can never alias a real id.  Resolving
+    /// it always panics.
     pub fn dummy() -> ValueId {
         ValueId(u32::MAX)
     }
@@ -120,11 +132,16 @@ fn stripe_of(value: &Value) -> usize {
 }
 
 /// Combines a stripe-local dense id with its stripe index into a global id.
+///
+/// The top local index is reserved ([`MAX_STRIPE_VALUES`]): without the
+/// reservation, a full last stripe would hand out `u32::MAX` — the
+/// [`ValueId::dummy`] sentinel — as a legal id, silently aliasing every
+/// buffer placeholder in the system.
 fn encode(local: ValueId, stripe: usize) -> ValueId {
     assert!(
-        local.0 < (1 << (32 - STRIPE_BITS)),
-        "dictionary stripe overflow: more than 2^{} distinct values in one stripe",
-        32 - STRIPE_BITS
+        local.0 < MAX_STRIPE_VALUES,
+        "dictionary stripe overflow: more than {MAX_STRIPE_VALUES} distinct values in one \
+         stripe (the top local index is reserved for the ValueId::dummy sentinel)"
     );
     ValueId((local.0 << STRIPE_BITS) | stripe as u32)
 }
@@ -255,6 +272,18 @@ impl SharedDictionary {
         self.len() == 0
     }
 
+    /// Estimated heap bytes of the interned values **and** their index maps,
+    /// summed over every stripe ([`Dictionary::heap_bytes`]; one stripe read
+    /// lock each — a snapshot under concurrent interning).  Surfaced as
+    /// `Workspace::dictionary_bytes` so an operator can meter a workspace's
+    /// interned residency in bytes, not just distinct-value counts.
+    pub fn heap_bytes(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|lock| lock.read().unwrap_or_else(|e| e.into_inner()).heap_bytes())
+            .sum()
+    }
+
     /// Pins every stripe under a read lock at once, for bulk resolves and
     /// lookups: one lock acquisition per stripe instead of one per value.
     ///
@@ -308,8 +337,15 @@ impl Dictionary {
         if let Some(&id) = self.index.get(&value) {
             return ValueId(id);
         }
+        // The top dense id is reserved: assigning `u32::MAX` would alias the
+        // `ValueId::dummy()` buffer-placeholder sentinel.
         let id = u32::try_from(self.values.len())
-            .expect("dictionary overflow: more than 2^32 distinct values");
+            .ok()
+            .filter(|&id| id != u32::MAX)
+            .expect(
+                "dictionary overflow: the dense id space is exhausted (the top id is \
+                     reserved for the ValueId::dummy sentinel)",
+            );
         self.values.push(value);
         self.index.insert(value, id);
         ValueId(id)
@@ -318,6 +354,18 @@ impl Dictionary {
     /// The id of a value, if it has been interned.
     pub fn lookup(&self, value: &Value) -> Option<ValueId> {
         self.index.get(value).copied().map(ValueId)
+    }
+
+    /// Estimated heap bytes held by this store: the interned values vector
+    /// plus the value→id index map (bucket array accounted at capacity, with
+    /// one byte of control metadata per bucket).  An estimate from container
+    /// capacities, not an allocator measurement — the same fidelity as
+    /// `AtomTrie::heap_bytes`, and good enough for an operator to alert on a
+    /// growing tenant before it OOMs.
+    pub fn heap_bytes(&self) -> usize {
+        self.values.capacity() * std::mem::size_of::<Value>()
+            + self.index.capacity()
+                * (std::mem::size_of::<(Value, u32)>() + std::mem::size_of::<u8>())
     }
 
     /// The value behind an id.
@@ -513,6 +561,54 @@ mod tests {
         let re_interned = second.intern(values[0]);
         assert_eq!(second.resolve(re_interned), values[0]);
         assert_eq!(second.len(), 1);
+    }
+
+    #[test]
+    fn the_dummy_sentinel_is_unrepresentable() {
+        // Regression: `encode(local = 2^28 - 1, stripe = 15)` used to equal
+        // `u32::MAX` — exactly `ValueId::dummy()` — so a full last stripe
+        // would hand the sentinel out as a real id.  The top local index is
+        // now reserved: the largest legal id in every stripe stays strictly
+        // below the sentinel.
+        for stripe in 0..STRIPE_COUNT {
+            let max_legal = encode(ValueId(MAX_STRIPE_VALUES - 1), stripe);
+            assert_ne!(max_legal, ValueId::dummy(), "stripe {stripe}");
+            assert!(max_legal.raw() < u32::MAX, "stripe {stripe}");
+            // The encoding still round-trips at the reserved boundary.
+            assert_eq!(decode(max_legal), (stripe, ValueId(MAX_STRIPE_VALUES - 1)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved for the ValueId::dummy sentinel")]
+    fn the_reserved_local_index_is_rejected() {
+        // The local index that would encode to the sentinel (in the last
+        // stripe) trips the overflow assert instead of aliasing it.
+        let _ = encode(ValueId(MAX_STRIPE_VALUES), STRIPE_COUNT - 1);
+    }
+
+    #[test]
+    fn heap_bytes_grow_with_interned_values() {
+        let mut dict = Dictionary::new();
+        let empty = dict.heap_bytes();
+        for i in 0..1000 {
+            dict.intern(Value::point(i as f64));
+        }
+        let filled = dict.heap_bytes();
+        assert!(
+            filled >= empty + 1000 * std::mem::size_of::<Value>(),
+            "1000 values must account at least their own storage: {empty} -> {filled}"
+        );
+
+        let scoped = SharedDictionary::new();
+        let baseline = scoped.heap_bytes();
+        for i in 0..1000 {
+            scoped.intern(Value::point(i as f64));
+        }
+        assert!(
+            scoped.heap_bytes() >= baseline + 1000 * std::mem::size_of::<Value>(),
+            "striped accounting must cover every stripe"
+        );
     }
 
     #[test]

@@ -308,6 +308,41 @@ impl Relation {
         Ok(r)
     }
 
+    /// Builds a relation directly from already-interned id columns, all
+    /// pointing into `dict` — the column-wise fast ingestion path used by
+    /// `Workspace::import_database`, which re-interns a database one column
+    /// at a time instead of materialising `Value` rows.
+    ///
+    /// `len` is the row count; it is explicit (rather than derived from the
+    /// columns) so zero-arity relations keep their multiplicity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any column's length differs from `len`.
+    pub fn from_id_columns_in(
+        name: impl Into<String>,
+        len: usize,
+        cols: Vec<Vec<ValueId>>,
+        dict: &SharedDictionary,
+    ) -> Self {
+        let name = name.into();
+        for (i, col) in cols.iter().enumerate() {
+            assert_eq!(
+                col.len(),
+                len,
+                "column {i} of relation {name} has {} rows, expected {len}",
+                col.len()
+            );
+        }
+        Relation {
+            name,
+            arity: cols.len(),
+            columns: Columns { len, cols },
+            dict: dict.clone(),
+            fingerprint: std::sync::OnceLock::new(),
+        }
+    }
+
     /// The relation name.
     pub fn name(&self) -> &str {
         &self.name
@@ -937,6 +972,30 @@ mod tests {
     fn column_view_out_of_bounds_panics() {
         let r = Relation::new("R", 1);
         let _ = r.columns().view(0, 1);
+    }
+
+    #[test]
+    fn from_id_columns_builds_without_re_interning() {
+        let dict = SharedDictionary::new();
+        let a = dict.intern(Value::point(1.0));
+        let b = dict.intern(Value::point(2.0));
+        let r = Relation::from_id_columns_in("R", 2, vec![vec![a, a], vec![b, a]], &dict);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.dictionary(), &dict);
+        assert_eq!(r.tuples()[1], vec![Value::point(1.0), Value::point(1.0)]);
+        // Zero-arity relations keep their explicit multiplicity.
+        let guard = Relation::from_id_columns_in("E", 3, vec![], &dict);
+        assert_eq!(guard.len(), 3);
+        assert_eq!(guard.arity(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2")]
+    fn from_id_columns_rejects_ragged_columns() {
+        let dict = SharedDictionary::new();
+        let a = dict.intern(Value::point(1.0));
+        let _ = Relation::from_id_columns_in("R", 2, vec![vec![a], vec![a, a]], &dict);
     }
 
     #[test]

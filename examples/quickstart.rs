@@ -95,14 +95,44 @@ fn main() {
         "warm evaluation must not rebuild"
     );
 
-    // 4. Cross-check with the naive reference evaluator (exhaustive
+    // 4. Multi-tenant accounting: tenants of one workspace share the cache
+    //    (and the dictionary) but are metered separately — exact per-tenant
+    //    hits/misses/resident bytes, and an optional byte quota capping what
+    //    one tenant may keep resident (an over-quota tenant evicts its own
+    //    LRU entries, never a neighbor's warmth).  The workspace itself
+    //    reports its dictionary residency in bytes, so an operator can alert
+    //    on a growing tenant before it OOMs.
+    let tenant = workspace.tenant("analytics");
+    let tenant_engine = tenant.engine(EngineConfig::new());
+    let _ = tenant_engine
+        .evaluate(&query, &db)
+        .expect("evaluation succeeds");
+    let ledger = tenant.cache_stats();
+    println!();
+    println!("4. Per-tenant accounting on the shared cache (exact, even under concurrency):");
+    println!(
+        "   tenant `{}`: {} hits / {} misses, {} entries resident ({:.1} KiB, quota {})",
+        tenant.name(),
+        ledger.hits,
+        ledger.misses,
+        ledger.entries,
+        ledger.resident_bytes as f64 / 1024.0,
+        if ledger.quota_bytes == 0 {
+            "none".to_string()
+        } else {
+            format!("{:.1} KiB", ledger.quota_bytes as f64 / 1024.0)
+        },
+    );
+    println!("   workspace: {}", workspace.stats());
+
+    // 5. Cross-check with the naive reference evaluator (exhaustive
     //    backtracking over Definition 3.3).
     let naive = engine
         .evaluate_naive(&query, &db)
         .expect("naive evaluation succeeds");
     assert_eq!(stats.answer, naive);
     println!();
-    println!("4. Differential check: the naive evaluator agrees (answer = {naive}).");
+    println!("5. Differential check: the naive evaluator agrees (answer = {naive}).");
 }
 
 /// Prints a multi-line summary indented under its section header.

@@ -27,9 +27,9 @@
 //! | [`hypergraph`] | Hypergraphs, acyclicity, the structural reduction τ(H) (Sections 4, 6) |
 //! | [`widths`] | ρ*, fhtw, subw bounds, ij-width (Definition 4.14) |
 //! | [`relation`] | Values, the **value dictionary** behind scoped `SharedDictionary` handles, interned columnar relations, query AST |
-//! | [`ejoin`] | EJ engine: id-keyed WCOJ tries, bytes-accounted `TrieCache`, Yannakakis, width-guided evaluation |
+//! | [`ejoin`] | EJ engine: id-keyed WCOJ tries, bytes-accounted `TrieCache` with per-tenant ledgers and quotas, Yannakakis, width-guided evaluation |
 //! | [`reduction`] | Forward (IJ→EJ) and backward (EJ→IJ) data reductions (Sections 4, 5) |
-//! | [`engine`] | End-to-end engine with `Workspace`-owned state and parallel disjunct evaluation |
+//! | [`engine`] | End-to-end engine with `Workspace`-owned state, `Tenant` accounting sub-handles and parallel disjunct evaluation |
 //! | [`faqai`] | The FAQ-AI comparator (Appendix F) |
 //! | [`baselines`] | Plane sweep, binary-join cascades, nested loops |
 //! | [`workloads`] | Synthetic workload generators |
