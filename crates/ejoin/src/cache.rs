@@ -1,4 +1,9 @@
-//! A shared cache of built [`AtomTrie`]s, keyed by content fingerprints.
+//! A shared cache of built atom tries — hash-layout [`AtomTrie`]s or flat
+//! [`FlatTrie`](crate::FlatTrie)s, bundled as [`TrieBuild`]s — keyed by
+//! content fingerprints.
+//!
+//! [`AtomTrie`]: crate::AtomTrie
+//! [`AtomTrie::build_sharded`]: crate::AtomTrie::build_sharded
 //!
 //! The forward reduction turns one intersection-join query into a disjunction
 //! of equality-join queries whose atoms overwhelmingly *share* transformed
@@ -23,7 +28,12 @@
 //!    the global join order);
 //! 4. the **effective shard count** of the build (the requested count after
 //!    per-atom sizing — see [`AtomTrie::build_sharded`] and
-//!    [`effective_shard_count`]).
+//!    [`effective_shard_count`]);
+//! 5. the **resolved trie layout** ([`TrieLayout`], after `Auto` resolution)
+//!    — a hash-layout and a flat-layout build of the same atom are different
+//!    data structures, so they never collide; and because the tag is the
+//!    *resolved* layout, an `Auto` request shares the entry of whichever
+//!    explicit layout it resolves to.
 //!
 //! This is exactly the (relation identity, column permutation, filter)
 //! fingerprint that the engine's disjunct deduplication reasons about at the
@@ -41,7 +51,7 @@
 //!
 //! * an **entry budget** — at most `capacity` resident entries;
 //! * a **byte budget** — every entry carries the estimated heap size of its
-//!   tries ([`AtomTrie::heap_bytes`], summed over shards), the cache tracks
+//!   tries ([`TrieBuild::heap_bytes`], summed over shards), the cache tracks
 //!   the resident total ([`TrieCacheStats::resident_bytes`]), and inserting
 //!   past the budget evicts least-recently-used entries until the new entry
 //!   fits.  A single build larger than the whole byte budget is handed to
@@ -82,7 +92,8 @@
 //! so concurrent evaluations on one cache can never steal each other's hits,
 //! misses or evictions.
 
-use crate::trie::{effective_shard_count, AtomTrie};
+use crate::flat::{TrieBuild, TrieLayout};
+use crate::trie::effective_shard_count;
 use crate::BoundAtom;
 use ij_hypergraph::VarId;
 use ij_relation::Relation;
@@ -189,6 +200,8 @@ pub struct CacheActivity {
     hits: AtomicUsize,
     misses: AtomicUsize,
     evictions: AtomicUsize,
+    hash_atoms: AtomicUsize,
+    flat_atoms: AtomicUsize,
 }
 
 impl CacheActivity {
@@ -211,6 +224,26 @@ impl CacheActivity {
     /// entries may belong to any tenant).
     pub fn evictions(&self) -> usize {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Records the resolved layout of one atom's tries (cached or built);
+    /// called by the generic join once per atom per disjunct, so the counters
+    /// report which layout the evaluation's joins actually ran on.
+    pub fn record_layout(&self, layout: TrieLayout) {
+        match layout {
+            TrieLayout::Flat => self.flat_atoms.fetch_add(1, Ordering::Relaxed),
+            _ => self.hash_atoms.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Atom-trie uses that ran on the hash layout.
+    pub fn hash_atoms(&self) -> usize {
+        self.hash_atoms.load(Ordering::Relaxed)
+    }
+
+    /// Atom-trie uses that ran on the flat (CSR leapfrog) layout.
+    pub fn flat_atoms(&self) -> usize {
+        self.flat_atoms.load(Ordering::Relaxed)
     }
 }
 
@@ -259,6 +292,9 @@ struct TrieKey {
     levels: Vec<VarId>,
     /// Shard count of the build (1 = unsharded).
     shards: usize,
+    /// The **resolved** layout of the build — hash and flat builds of one
+    /// atom are distinct entries that never alias.
+    layout: TrieLayout,
 }
 
 /// A point-in-time snapshot of a [`TrieCache`]'s counters.
@@ -274,7 +310,7 @@ pub struct TrieCacheStats {
     /// Entries currently resident.
     pub entries: usize,
     /// Estimated heap bytes of the resident entries
-    /// ([`AtomTrie::heap_bytes`] summed over every cached build).  Never
+    /// ([`TrieBuild::heap_bytes`] summed over every cached build).  Never
     /// exceeds a configured byte budget ([`TrieCache::with_limits`]).
     pub resident_bytes: usize,
 }
@@ -317,7 +353,7 @@ impl TrieCacheStats {
 /// never needs the write lock).
 #[derive(Debug)]
 struct CacheSlot {
-    tries: Arc<Vec<AtomTrie>>,
+    tries: Arc<TrieBuild>,
     bytes: usize,
     owner: TenantId,
     last_used: AtomicU64,
@@ -372,7 +408,7 @@ impl TrieCache {
 
     /// A cache bounded by both an entry budget and a byte budget (either may
     /// be `0` = unbounded).  `bytes` caps the *estimated* resident heap size
-    /// ([`AtomTrie::heap_bytes`]); inserting past either budget evicts
+    /// ([`TrieBuild::heap_bytes`]); inserting past either budget evicts
     /// least-recently-used entries first, and a single build larger than the
     /// whole byte budget is returned to the caller uncached.  This is the
     /// knob a service operator actually wants: a memory budget instead of an
@@ -503,22 +539,27 @@ impl TrieCache {
     ///
     /// The key records the *effective* shard count, so a small relation
     /// requested at different shard counts maps to one entry instead of
-    /// duplicating its (identical, unsharded) trie.
+    /// duplicating its (identical, unsharded) trie; likewise the *resolved*
+    /// `layout`, so an `Auto` request shares the entry of the explicit layout
+    /// it resolves to.
     pub(crate) fn tries_for(
         &self,
         atom: &BoundAtom<'_>,
         global_order: &[VarId],
         num_shards: usize,
+        layout: TrieLayout,
         tenant: Option<&TenantHandle>,
         activity: Option<&CacheActivity>,
-    ) -> Arc<Vec<AtomTrie>> {
+    ) -> Arc<TrieBuild> {
         let num_shards = effective_shard_count(atom.relation.len(), num_shards);
         let levels = crate::trie::trie_level_vars(atom, global_order);
+        let layout = layout.resolve(atom.relation.len(), levels.len());
         let key = TrieKey {
             fingerprint: relation_fingerprint(atom.relation),
             vars: atom.vars.clone(),
             levels,
             shards: num_shards,
+            layout,
         };
         let fallback;
         let (owner, ledger): (TenantId, &TenantLedger) = match tenant {
@@ -543,8 +584,13 @@ impl TrieCache {
         if let Some(a) = activity {
             a.misses.fetch_add(1, Ordering::Relaxed);
         }
-        let built = Arc::new(AtomTrie::build_sharded(atom, global_order, num_shards));
-        let new_bytes: usize = built.iter().map(AtomTrie::heap_bytes).sum();
+        let built = Arc::new(TrieBuild::build_sharded(
+            atom,
+            global_order,
+            num_shards,
+            layout,
+        ));
+        let new_bytes: usize = built.heap_bytes();
         if self.byte_budget > 0 && new_bytes > self.byte_budget {
             // An entry that alone exceeds the whole byte budget can never be
             // resident within it; hand it to the caller uncached.
@@ -700,6 +746,11 @@ pub struct EvalContext<'c> {
     /// statistics; `None` skips local accounting (the shared and per-tenant
     /// counters are always maintained).
     pub activity: Option<&'c CacheActivity>,
+    /// The trie layout requested for this evaluation's atom builds
+    /// ([`TrieLayout::Auto`] by default, resolved per atom at build time).
+    /// Like `shards`, the knob is answer-preserving: every setting yields
+    /// bit-identical Boolean and enumerated answers.
+    pub layout: TrieLayout,
 }
 
 impl<'c> EvalContext<'c> {
@@ -749,17 +800,24 @@ mod tests {
         let r = rel("R", vec![vec![1.0, 2.0], vec![1.0, 3.0]]);
         let s = rel("S", vec![vec![1.0, 2.0], vec![1.0, 3.0]]);
         let atom_r = BoundAtom::new(&r, vec![0, 1]);
-        let first = cache.tries_for(&atom_r, &[0, 1], 1, None, None);
+        let first = cache.tries_for(&atom_r, &[0, 1], 1, TrieLayout::Auto, None, None);
         // Same content under a different name: a hit, sharing the same trie.
         let atom_s = BoundAtom::new(&s, vec![0, 1]);
-        let second = cache.tries_for(&atom_s, &[0, 1], 1, None, None);
+        let second = cache.tries_for(&atom_s, &[0, 1], 1, TrieLayout::Auto, None, None);
         assert!(Arc::ptr_eq(&first, &second));
         // Different binding or level order: separate entries.
-        cache.tries_for(&BoundAtom::new(&r, vec![1, 0]), &[0, 1], 1, None, None);
-        cache.tries_for(&atom_r, &[1, 0], 1, None, None);
+        cache.tries_for(
+            &BoundAtom::new(&r, vec![1, 0]),
+            &[0, 1],
+            1,
+            TrieLayout::Auto,
+            None,
+            None,
+        );
+        cache.tries_for(&atom_r, &[1, 0], 1, TrieLayout::Auto, None, None);
         // A different *requested* shard count on a tiny relation sizes down
         // to the same effective (unsharded) build: a hit, not a new entry.
-        cache.tries_for(&atom_r, &[0, 1], 2, None, None);
+        cache.tries_for(&atom_r, &[0, 1], 2, TrieLayout::Auto, None, None);
         let stats = cache.stats();
         assert_eq!(stats.hits, 2);
         assert_eq!(stats.misses, 3);
@@ -773,15 +831,43 @@ mod tests {
         let cache = TrieCache::with_capacity(1);
         let r = rel("R", vec![vec![1.0]]);
         let s = rel("S", vec![vec![2.0]]);
-        cache.tries_for(&BoundAtom::new(&r, vec![0]), &[0], 1, None, None);
+        cache.tries_for(
+            &BoundAtom::new(&r, vec![0]),
+            &[0],
+            1,
+            TrieLayout::Auto,
+            None,
+            None,
+        );
         // Inserting S evicts R (the only, hence least-recent, entry).
-        cache.tries_for(&BoundAtom::new(&s, vec![0]), &[0], 1, None, None);
+        cache.tries_for(
+            &BoundAtom::new(&s, vec![0]),
+            &[0],
+            1,
+            TrieLayout::Auto,
+            None,
+            None,
+        );
         assert_eq!(cache.stats().entries, 1);
         assert_eq!(cache.stats().evictions, 1);
         // The resident entry hits; the evicted one rebuilds (a miss).
-        cache.tries_for(&BoundAtom::new(&s, vec![0]), &[0], 1, None, None);
+        cache.tries_for(
+            &BoundAtom::new(&s, vec![0]),
+            &[0],
+            1,
+            TrieLayout::Auto,
+            None,
+            None,
+        );
         assert_eq!(cache.stats().hits, 1);
-        cache.tries_for(&BoundAtom::new(&r, vec![0]), &[0], 1, None, None);
+        cache.tries_for(
+            &BoundAtom::new(&r, vec![0]),
+            &[0],
+            1,
+            TrieLayout::Auto,
+            None,
+            None,
+        );
         let stats = cache.stats();
         assert_eq!(stats.misses, 3);
         assert_eq!(stats.evictions, 2);
@@ -818,10 +904,15 @@ mod tests {
         // nowhere near room for 6.
         let probe = rel("P", vec![vec![0.5]]);
         let per_trie = TrieCache::new()
-            .tries_for(&BoundAtom::new(&probe, vec![0]), &[0], 1, None, None)
-            .iter()
-            .map(AtomTrie::heap_bytes)
-            .sum::<usize>();
+            .tries_for(
+                &BoundAtom::new(&probe, vec![0]),
+                &[0],
+                1,
+                TrieLayout::Auto,
+                None,
+                None,
+            )
+            .heap_bytes();
         assert!(per_trie > 0);
         let budget = 3 * per_trie + per_trie / 2;
         let cache = TrieCache::with_limits(0, budget);
@@ -829,7 +920,14 @@ mod tests {
             .map(|i| rel(&format!("R{i}"), vec![vec![100.0 + i as f64]]))
             .collect();
         for r in &relations {
-            cache.tries_for(&BoundAtom::new(r, vec![0]), &[0], 1, None, None);
+            cache.tries_for(
+                &BoundAtom::new(r, vec![0]),
+                &[0],
+                1,
+                TrieLayout::Auto,
+                None,
+                None,
+            );
             let stats = cache.stats();
             assert!(
                 stats.resident_bytes <= budget,
@@ -843,7 +941,14 @@ mod tests {
         // The survivors are the most recently used; re-requesting the last
         // insert hits without growing the resident total.
         let before = cache.stats().resident_bytes;
-        cache.tries_for(&BoundAtom::new(&relations[5], vec![0]), &[0], 1, None, None);
+        cache.tries_for(
+            &BoundAtom::new(&relations[5], vec![0]),
+            &[0],
+            1,
+            TrieLayout::Auto,
+            None,
+            None,
+        );
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.stats().resident_bytes, before);
     }
@@ -854,9 +959,26 @@ mod tests {
         // nothing is ever evicted, and lookups still return working tries.
         let cache = TrieCache::with_limits(0, 1);
         let r = rel("R", vec![vec![1.0], vec![2.0]]);
-        let first = cache.tries_for(&BoundAtom::new(&r, vec![0]), &[0], 1, None, None);
-        assert_eq!(first[0].root().fanout(), 2);
-        cache.tries_for(&BoundAtom::new(&r, vec![0]), &[0], 1, None, None);
+        let first = cache.tries_for(
+            &BoundAtom::new(&r, vec![0]),
+            &[0],
+            1,
+            TrieLayout::Auto,
+            None,
+            None,
+        );
+        let TrieBuild::Hash(tries) = &*first else {
+            panic!("tiny relations resolve to the hash layout");
+        };
+        assert_eq!(tries[0].root().fanout(), 2);
+        cache.tries_for(
+            &BoundAtom::new(&r, vec![0]),
+            &[0],
+            1,
+            TrieLayout::Auto,
+            None,
+            None,
+        );
         let stats = cache.stats();
         assert_eq!(stats.entries, 0);
         assert_eq!(stats.resident_bytes, 0);
@@ -872,10 +994,15 @@ mod tests {
         // entries' insert-time sizes, cache-wide and per tenant.
         let probe = rel("P", vec![vec![0.5]]);
         let per_trie = TrieCache::new()
-            .tries_for(&BoundAtom::new(&probe, vec![0]), &[0], 1, None, None)
-            .iter()
-            .map(AtomTrie::heap_bytes)
-            .sum::<usize>();
+            .tries_for(
+                &BoundAtom::new(&probe, vec![0]),
+                &[0],
+                1,
+                TrieLayout::Auto,
+                None,
+                None,
+            )
+            .heap_bytes();
         assert!(per_trie > 0);
         // Room for ~8 single-row tries.
         let budget = 8 * per_trie + per_trie / 2;
@@ -884,7 +1011,14 @@ mod tests {
             .map(|i| rel(&format!("S{i}"), vec![vec![10.0 + i as f64]]))
             .collect();
         for r in &small {
-            cache.tries_for(&BoundAtom::new(r, vec![0]), &[0], 1, None, None);
+            cache.tries_for(
+                &BoundAtom::new(r, vec![0]),
+                &[0],
+                1,
+                TrieLayout::Auto,
+                None,
+                None,
+            );
         }
         let before = cache.stats();
         assert_eq!(before.entries, 8);
@@ -892,7 +1026,14 @@ mod tests {
         // A single large insert (~6 tries worth of distinct values) must
         // evict several small entries at once.
         let big = rel("BIG", (0..12).map(|i| vec![500.0 + i as f64]).collect());
-        cache.tries_for(&BoundAtom::new(&big, vec![0]), &[0], 1, None, None);
+        cache.tries_for(
+            &BoundAtom::new(&big, vec![0]),
+            &[0],
+            1,
+            TrieLayout::Auto,
+            None,
+            None,
+        );
         let after = cache.stats();
         assert!(
             after.evictions >= 2,
@@ -919,10 +1060,15 @@ mod tests {
     fn tenant_quota_evicts_the_owners_entries_first() {
         let probe = rel("P", vec![vec![0.5]]);
         let per_trie = TrieCache::new()
-            .tries_for(&BoundAtom::new(&probe, vec![0]), &[0], 1, None, None)
-            .iter()
-            .map(AtomTrie::heap_bytes)
-            .sum::<usize>();
+            .tries_for(
+                &BoundAtom::new(&probe, vec![0]),
+                &[0],
+                1,
+                TrieLayout::Auto,
+                None,
+                None,
+            )
+            .heap_bytes();
         let victim = TenantId::from_raw(1);
         let noisy = TenantId::from_raw(2);
         let cache = TrieCache::new(); // no pooled budget: quota acts alone
@@ -937,6 +1083,7 @@ mod tests {
             &BoundAtom::new(&vr, vec![0]),
             &[0],
             1,
+            TrieLayout::Auto,
             Some(&victim_h),
             None,
         );
@@ -946,7 +1093,14 @@ mod tests {
             .map(|i| rel(&format!("N{i}"), vec![vec![100.0 + i as f64]]))
             .collect();
         for r in &noisy_rels {
-            cache.tries_for(&BoundAtom::new(r, vec![0]), &[0], 1, Some(&noisy_h), None);
+            cache.tries_for(
+                &BoundAtom::new(r, vec![0]),
+                &[0],
+                1,
+                TrieLayout::Auto,
+                Some(&noisy_h),
+                None,
+            );
             let ns = cache.tenant_stats(noisy);
             assert!(
                 ns.resident_bytes <= ns.quota_bytes,
@@ -968,6 +1122,7 @@ mod tests {
             &BoundAtom::new(&vr, vec![0]),
             &[0],
             1,
+            TrieLayout::Auto,
             Some(&victim_h),
             None,
         );
@@ -978,6 +1133,7 @@ mod tests {
             &BoundAtom::new(&big, vec![0]),
             &[0],
             1,
+            TrieLayout::Auto,
             Some(&noisy_h),
             None,
         );
@@ -998,11 +1154,32 @@ mod tests {
         let r = rel("R", vec![vec![1.0]]);
         let s = rel("S", vec![vec![2.0]]);
         // Another caller's activity (no accumulator attached).
-        cache.tries_for(&BoundAtom::new(&r, vec![0]), &[0], 1, None, None);
+        cache.tries_for(
+            &BoundAtom::new(&r, vec![0]),
+            &[0],
+            1,
+            TrieLayout::Auto,
+            None,
+            None,
+        );
         let mine = CacheActivity::new();
         // My lookups: one miss that evicts R, then one hit.
-        cache.tries_for(&BoundAtom::new(&s, vec![0]), &[0], 1, None, Some(&mine));
-        cache.tries_for(&BoundAtom::new(&s, vec![0]), &[0], 1, None, Some(&mine));
+        cache.tries_for(
+            &BoundAtom::new(&s, vec![0]),
+            &[0],
+            1,
+            TrieLayout::Auto,
+            None,
+            Some(&mine),
+        );
+        cache.tries_for(
+            &BoundAtom::new(&s, vec![0]),
+            &[0],
+            1,
+            TrieLayout::Auto,
+            None,
+            Some(&mine),
+        );
         assert_eq!(mine.hits(), 1);
         assert_eq!(mine.misses(), 1);
         assert_eq!(mine.evictions(), 1, "my insert evicted the resident entry");
@@ -1017,14 +1194,49 @@ mod tests {
         let cache = TrieCache::with_limits(1, 0);
         let r = rel("R", vec![vec![1.0]]);
         let s = rel("S", vec![vec![2.0], vec![3.0]]);
-        cache.tries_for(&BoundAtom::new(&r, vec![0]), &[0], 1, None, None);
+        cache.tries_for(
+            &BoundAtom::new(&r, vec![0]),
+            &[0],
+            1,
+            TrieLayout::Auto,
+            None,
+            None,
+        );
         let with_r = cache.stats().resident_bytes;
         assert!(with_r > 0);
         // Inserting S evicts R; the resident bytes must now describe S only.
-        cache.tries_for(&BoundAtom::new(&s, vec![0]), &[0], 1, None, None);
+        cache.tries_for(
+            &BoundAtom::new(&s, vec![0]),
+            &[0],
+            1,
+            TrieLayout::Auto,
+            None,
+            None,
+        );
         let stats = cache.stats();
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.evictions, 1);
         assert!(stats.resident_bytes >= with_r, "S is the larger trie");
+    }
+
+    #[test]
+    fn layouts_key_separately_and_auto_shares_its_resolution() {
+        let cache = TrieCache::new();
+        let r = rel("R", vec![vec![1.0, 2.0], vec![1.0, 3.0]]);
+        let atom = BoundAtom::new(&r, vec![0, 1]);
+        // Explicit hash and flat builds of one atom: two distinct entries.
+        let hash = cache.tries_for(&atom, &[0, 1], 1, TrieLayout::Hash, None, None);
+        let flat = cache.tries_for(&atom, &[0, 1], 1, TrieLayout::Flat, None, None);
+        assert_eq!(hash.layout(), TrieLayout::Hash);
+        assert_eq!(flat.layout(), TrieLayout::Flat);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 2);
+        // Auto on this tiny relation resolves to Hash and *hits* the
+        // explicit hash entry instead of inserting a third.
+        let auto = cache.tries_for(&atom, &[0, 1], 1, TrieLayout::Auto, None, None);
+        assert!(Arc::ptr_eq(&hash, &auto));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().entries, 2);
     }
 }

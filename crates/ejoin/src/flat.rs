@@ -1,0 +1,566 @@
+//! Flat (CSR-style) leapfrog tries: sorted-array levels with child-range
+//! offsets instead of per-node hash maps.
+//!
+//! A [`FlatTrie`] stores one sorted [`ValueId`] array per trie level plus a
+//! child-range offset array per non-leaf level — the compressed-sparse-row
+//! discipline: entry `i` of level `l` owns the values
+//! `levels[l+1].values[child_start[i] .. child_start[i+1]]`, so the whole
+//! trie is a handful of contiguous allocations with no per-node boxes and no
+//! hash probes.  The candidate sets the generic join intersects become
+//! **sorted runs**, which is what unlocks the galloping multi-way
+//! intersection kernels of [`ij_relation::kernels`]
+//! ([`leapfrog_next`](kernels::leapfrog_next),
+//! [`gallop_seek`](kernels::gallop_seek)): candidate generation walks arrays
+//! in cache order instead of chasing `HashMap` buckets.
+//!
+//! The build is column-wise: surviving row indices (after the same
+//! repeated-variable kernel mask the hash build uses) are sorted
+//! lexicographically by the level columns, and one linear pass emits the CSR
+//! arrays, collapsing duplicate paths.  Sharded builds reuse the exact
+//! [`shard_of`](crate::shard_of) row partition of the hash layout, so a flat
+//! shard holds precisely the rows its hash twin would — which is what keeps
+//! answers bit-identical across [`TrieLayout`] settings.
+//!
+//! The hash trie ([`AtomTrie`](crate::AtomTrie)) remains the behavioural
+//! reference; `tests/flat_trie_properties.rs` holds the two layouts (and the
+//! naive oracle) to identical answers across shard counts and cache
+//! configurations.
+
+use crate::trie::{effective_shard_count, partition_rows_by_shard, TriePlan};
+use crate::BoundAtom;
+use ij_hypergraph::VarId;
+use ij_relation::{kernels, ValueId};
+
+/// Below this many rows, [`TrieLayout::Auto`] keeps the hash layout: the
+/// flat build's sort and permutation bookkeeping cannot pay for itself when
+/// even the root fan-out — at most the row count — fits a few cache lines of
+/// hash-map entries.
+pub const FLAT_MIN_ROWS: usize = 64;
+
+/// The trie layout the generic join indexes its atoms with.
+///
+/// Every layout is answer-preserving: the Boolean and enumerated results are
+/// bit-identical for every setting (the flat layout changes *how* candidate
+/// values are intersected — sorted-run leapfrogging instead of hash probes —
+/// never *which* values intersect).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TrieLayout {
+    /// Hash tries ([`AtomTrie`](crate::AtomTrie)): one `HashMap` per node.
+    /// The behavioural reference, and the better choice for tiny relations.
+    Hash,
+    /// Flat CSR tries ([`FlatTrie`]): sorted value arrays per level with
+    /// child-range offsets, searched by galloping intersection.
+    Flat,
+    /// Choose per atom at build time from the relation size: relations with
+    /// fewer than [`FLAT_MIN_ROWS`] rows — whose estimated per-level fan-out
+    /// `rows^(1/levels)` is tiny at every level — keep the hash layout,
+    /// everything else gets the flat layout.
+    #[default]
+    Auto,
+}
+
+impl TrieLayout {
+    /// The concrete layout chosen for a relation of `rows` rows indexed as a
+    /// trie of `levels` levels: `Hash` and `Flat` return themselves, `Auto`
+    /// resolves per the size heuristic above (zero-level guard atoms always
+    /// resolve to `Hash` — there is nothing to lay out flat).  Pure, so cache
+    /// keys derived from the resolved layout are stable, and an `Auto`
+    /// request shares its cache entry with the matching explicit layout.
+    pub fn resolve(self, rows: usize, levels: usize) -> TrieLayout {
+        match self {
+            TrieLayout::Auto => {
+                if levels == 0 || rows < FLAT_MIN_ROWS {
+                    TrieLayout::Hash
+                } else {
+                    TrieLayout::Flat
+                }
+            }
+            fixed => fixed,
+        }
+    }
+}
+
+/// One level of a [`FlatTrie`].
+#[derive(Debug)]
+struct FlatLevel {
+    /// The level's values: the concatenation of every parent's sorted,
+    /// deduplicated child run (level 0 is one run — the root's children).
+    values: Box<[ValueId]>,
+    /// CSR offsets into the **next** level: entry `i`'s children are
+    /// `next.values[child_start[i] .. child_start[i + 1]]`.  Length
+    /// `values.len() + 1`; empty for the deepest level.
+    child_start: Box<[u32]>,
+}
+
+/// A flat trie over one atom, with levels ordered by the global variable
+/// order — the CSR twin of [`AtomTrie`](crate::AtomTrie) (see the module
+/// docs for the layout and its invariants).
+#[derive(Debug)]
+pub struct FlatTrie {
+    /// The atom's distinct variables in global order — the trie levels.
+    pub level_vars: Vec<VarId>,
+    levels: Vec<FlatLevel>,
+}
+
+impl FlatTrie {
+    /// Builds the flat trie of `atom` with levels sorted according to
+    /// `global_order` — the exact level order, repeated-variable filtering
+    /// and duplicate collapsing of [`AtomTrie::build`](crate::AtomTrie::build),
+    /// in the CSR layout.
+    pub fn build(atom: &BoundAtom<'_>, global_order: &[VarId]) -> Self {
+        let plan = TriePlan::new(atom, global_order);
+        FlatTrie::from_plan(&plan, None)
+    }
+
+    /// Builds the flat trie of `atom` split into sub-tries by
+    /// [`shard_of`](crate::shard_of) on the first level variable's value —
+    /// the same row partition as
+    /// [`AtomTrie::build_sharded`](crate::AtomTrie::build_sharded), each
+    /// shard's CSR arrays built on its own scoped thread.  Every returned
+    /// trie carries the same `level_vars`; their union over shards equals
+    /// [`FlatTrie::build`].  Per-atom sizing ([`effective_shard_count`]) and
+    /// the zero-level degenerate case behave exactly like the hash build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the relation has more than `u32::MAX` rows (row indices and
+    /// CSR offsets are `u32`).
+    pub fn build_sharded(
+        atom: &BoundAtom<'_>,
+        global_order: &[VarId],
+        num_shards: usize,
+    ) -> Vec<Self> {
+        assert!(
+            atom.relation.len() <= u32::MAX as usize,
+            "flat trie build supports at most 2^32 rows per relation"
+        );
+        let num_shards = effective_shard_count(atom.relation.len(), num_shards);
+        let plan = TriePlan::new(atom, global_order);
+        if num_shards <= 1 || plan.level_columns.is_empty() {
+            return vec![FlatTrie::from_plan(&plan, None)];
+        }
+        let shard_rows = partition_rows_by_shard(atom, &plan, num_shards);
+        std::thread::scope(|scope| {
+            let plan = &plan;
+            let handles: Vec<_> = shard_rows
+                .iter()
+                .map(|rows| scope.spawn(move || FlatTrie::from_plan(plan, Some(rows))))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    /// The column-wise CSR build: sort the surviving rows lexicographically
+    /// by the level columns, then emit every level's value and offset arrays
+    /// in one pass over the sorted permutation (a row extends the arrays from
+    /// the first level where its path diverges from its predecessor's;
+    /// fully-equal paths — duplicate tuples — are skipped).
+    fn from_plan(plan: &TriePlan<'_>, rows: Option<&[u32]>) -> Self {
+        let k = plan.level_columns.len();
+        let num_rows = plan
+            .level_columns
+            .first()
+            .map(|c| c.len())
+            .unwrap_or_default();
+        // Surviving row indices: the given shard partition (already
+        // mask-filtered), or the mask's survivors, or everything.
+        let mut perm: Vec<u32> = match rows {
+            Some(rows) => rows.to_vec(),
+            None => match &plan.pass {
+                Some(mask) => {
+                    let mut surviving = Vec::new();
+                    kernels::select_indices(mask, 0, &mut surviving);
+                    surviving
+                }
+                None => (0..num_rows as u32).collect(),
+            },
+        };
+        let columns = &plan.level_columns;
+        perm.sort_unstable_by(|&a, &b| {
+            let (a, b) = (a as usize, b as usize);
+            columns
+                .iter()
+                .map(|col| col[a].cmp(&col[b]))
+                .find(|o| o.is_ne())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut values: Vec<Vec<ValueId>> = vec![Vec::new(); k];
+        let mut child_start: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut prev: Option<usize> = None;
+        for &row in &perm {
+            let row = row as usize;
+            // First level where this row's path diverges from its
+            // predecessor's; `k` means a duplicate path.
+            let diverge = match prev {
+                None => 0,
+                Some(p) => columns
+                    .iter()
+                    .position(|col| col[row] != col[p])
+                    .unwrap_or(k),
+            };
+            for level in diverge..k {
+                if level + 1 < k {
+                    // The new entry's children begin at the next level's
+                    // current end (its own entries are pushed right after,
+                    // while the prefix stays equal).
+                    child_start[level].push(values[level + 1].len() as u32);
+                }
+                values[level].push(columns[level][row]);
+            }
+            prev = Some(row);
+        }
+        // Closing sentinels: entry `i`'s children end where entry `i + 1`'s
+        // begin, so each offset array carries one final end-of-level mark.
+        for level in 0..k.saturating_sub(1) {
+            child_start[level].push(values[level + 1].len() as u32);
+        }
+        FlatTrie {
+            level_vars: plan.level_vars.clone(),
+            levels: values
+                .into_iter()
+                .zip(child_start)
+                .map(|(values, child_start)| FlatLevel {
+                    values: values.into_boxed_slice(),
+                    child_start: child_start.into_boxed_slice(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The sorted, distinct child run `lo..hi` of `level`'s value array (the
+    /// root run is `0..self.level_len(0)`; descend through
+    /// [`FlatTrie::child_range`]).
+    pub fn run(&self, level: usize, lo: u32, hi: u32) -> &[ValueId] {
+        &self.levels[level].values[lo as usize..hi as usize]
+    }
+
+    /// Number of values stored at `level` across all runs.
+    pub fn level_len(&self, level: usize) -> u32 {
+        self.levels[level].values.len() as u32
+    }
+
+    /// The half-open range of the next level's value array holding the
+    /// children of the entry at absolute `index` of `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via indexing) when called on the deepest level, whose entries
+    /// have no children.
+    pub fn child_range(&self, level: usize, index: u32) -> (u32, u32) {
+        let offsets = &self.levels[level].child_start;
+        (offsets[index as usize], offsets[index as usize + 1])
+    }
+
+    /// True if a trie with at least one level holds no tuples (possible for
+    /// individual shards, and for atoms whose repeated-variable filter
+    /// rejects every row).  Zero-level tries always report non-empty, exactly
+    /// like the hash layout.
+    pub fn is_empty(&self) -> bool {
+        self.levels.first().is_some_and(|l| l.values.is_empty())
+    }
+
+    /// Number of levels (distinct variables).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Estimated heap footprint in bytes.  Unlike the hash layout's
+    /// capacity-based estimate, the CSR arrays are exact-sized boxed slices,
+    /// so this is essentially the true allocation; the byte-budgeted
+    /// [`TrieCache`](crate::TrieCache) sums it over a build's shards once per
+    /// insert.
+    pub fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.level_vars.capacity() * std::mem::size_of::<VarId>()
+            + self
+                .levels
+                .iter()
+                .map(|l| {
+                    std::mem::size_of::<FlatLevel>()
+                        + l.values.len() * std::mem::size_of::<ValueId>()
+                        + l.child_start.len() * std::mem::size_of::<u32>()
+                })
+                .sum::<usize>()
+    }
+}
+
+/// The tries built for one atom — one per shard — in whichever layout the
+/// build resolved to.  This is the unit the [`TrieCache`](crate::TrieCache)
+/// stores and the generic join's search indexes: hash- and flat-layout builds
+/// of the same atom are distinct cache entries (the key carries the resolved
+/// layout), so the two layouts never alias.
+#[derive(Debug)]
+pub enum TrieBuild {
+    /// Hash tries, one per shard.
+    Hash(Vec<crate::AtomTrie>),
+    /// Flat CSR tries, one per shard.
+    Flat(Vec<FlatTrie>),
+}
+
+impl TrieBuild {
+    /// Builds `atom`'s tries under `global_order` into
+    /// [`effective_shard_count`]`(rows, num_shards)` shards, in the layout
+    /// `layout` resolves to for this atom ([`TrieLayout::resolve`]).
+    pub fn build_sharded(
+        atom: &BoundAtom<'_>,
+        global_order: &[VarId],
+        num_shards: usize,
+        layout: TrieLayout,
+    ) -> TrieBuild {
+        match layout.resolve(atom.relation.len(), atom.var_set().len()) {
+            TrieLayout::Flat => {
+                TrieBuild::Flat(FlatTrie::build_sharded(atom, global_order, num_shards))
+            }
+            _ => TrieBuild::Hash(crate::AtomTrie::build_sharded(
+                atom,
+                global_order,
+                num_shards,
+            )),
+        }
+    }
+
+    /// The (resolved) layout this build used.
+    pub fn layout(&self) -> TrieLayout {
+        match self {
+            TrieBuild::Hash(_) => TrieLayout::Hash,
+            TrieBuild::Flat(_) => TrieLayout::Flat,
+        }
+    }
+
+    /// Number of shards (1 = unsharded).
+    pub fn shard_count(&self) -> usize {
+        match self {
+            TrieBuild::Hash(tries) => tries.len(),
+            TrieBuild::Flat(tries) => tries.len(),
+        }
+    }
+
+    /// The level variables (identical across shards).
+    pub fn level_vars(&self) -> &[VarId] {
+        match self {
+            TrieBuild::Hash(tries) => &tries[0].level_vars,
+            TrieBuild::Flat(tries) => &tries[0].level_vars,
+        }
+    }
+
+    /// True if the sub-trie for `shard` holds no tuples.
+    pub fn shard_is_empty(&self, shard: usize) -> bool {
+        match self {
+            TrieBuild::Hash(tries) => tries[shard].is_empty(),
+            TrieBuild::Flat(tries) => tries[shard].is_empty(),
+        }
+    }
+
+    /// Estimated heap footprint of the build in bytes, summed over shards.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            TrieBuild::Hash(tries) => tries.iter().map(crate::AtomTrie::heap_bytes).sum(),
+            TrieBuild::Flat(tries) => tries.iter().map(FlatTrie::heap_bytes).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trie::{shard_of, AtomTrie, TrieNode, MIN_ROWS_PER_SHARD};
+    use ij_relation::{Relation, Value};
+
+    fn rel(name: &str, rows: Vec<Vec<f64>>) -> Relation {
+        let arity = rows.first().map(|r| r.len()).unwrap_or(0);
+        Relation::from_tuples(
+            name,
+            arity,
+            rows.into_iter()
+                .map(|r| r.into_iter().map(Value::point).collect())
+                .collect(),
+        )
+    }
+
+    /// Collects every full-depth root-to-leaf path of a hash trie.
+    fn hash_paths(
+        node: &TrieNode,
+        depth: usize,
+        prefix: &mut Vec<ValueId>,
+        out: &mut Vec<Vec<ValueId>>,
+    ) {
+        if prefix.len() == depth {
+            out.push(prefix.clone());
+            return;
+        }
+        for (id, child) in node.children() {
+            prefix.push(id);
+            hash_paths(child, depth, prefix, out);
+            prefix.pop();
+        }
+    }
+
+    /// Collects every full-depth root-to-leaf path of a flat trie (also
+    /// asserting that every run is sorted and distinct).
+    fn flat_paths(trie: &FlatTrie) -> Vec<Vec<ValueId>> {
+        fn rec(
+            trie: &FlatTrie,
+            level: usize,
+            lo: u32,
+            hi: u32,
+            prefix: &mut Vec<ValueId>,
+            out: &mut Vec<Vec<ValueId>>,
+        ) {
+            let run = trie.run(level, lo, hi);
+            assert!(
+                run.windows(2).all(|w| w[0] < w[1]),
+                "runs must be sorted and distinct"
+            );
+            for (i, &v) in run.iter().enumerate() {
+                prefix.push(v);
+                if level + 1 < trie.depth() {
+                    let (clo, chi) = trie.child_range(level, lo + i as u32);
+                    rec(trie, level + 1, clo, chi, prefix, out);
+                } else {
+                    out.push(prefix.clone());
+                }
+                prefix.pop();
+            }
+        }
+        let mut out = Vec::new();
+        if trie.depth() > 0 {
+            rec(trie, 0, 0, trie.level_len(0), &mut Vec::new(), &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn flat_paths_equal_hash_paths() {
+        let mut seed = 11u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) % 7) as f64
+        };
+        let rows: Vec<Vec<f64>> = (0..200).map(|_| vec![next(), next(), next()]).collect();
+        let r = rel("R", rows);
+        // Plain bindings, a permuted level order, and a repeated variable.
+        for vars in [vec![0, 1, 2], vec![2, 0, 1], vec![0, 1, 0]] {
+            let atom = BoundAtom::new(&r, vars.clone());
+            let order = [1, 2, 0];
+            let hash = AtomTrie::build(&atom, &order);
+            let flat = FlatTrie::build(&atom, &order);
+            assert_eq!(flat.level_vars, hash.level_vars, "vars {vars:?}");
+            assert_eq!(flat.depth(), hash.depth());
+            assert_eq!(flat.is_empty(), hash.is_empty());
+            let mut expected = Vec::new();
+            hash_paths(hash.root(), hash.depth(), &mut Vec::new(), &mut expected);
+            expected.sort_unstable();
+            let got = flat_paths(&flat);
+            // Flat enumeration is already lexicographically sorted.
+            assert!(got.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(got, expected, "vars {vars:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_flat_build_partitions_the_unsharded_trie() {
+        let mut seed = 3u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) % 9) as f64
+        };
+        let n = 4 * MIN_ROWS_PER_SHARD;
+        let rows: Vec<Vec<f64>> = (0..n).map(|_| vec![next(), next()]).collect();
+        let r = rel("R", rows);
+        for vars in [vec![5, 2], vec![5, 5]] {
+            let atom = BoundAtom::new(&r, vars);
+            let order = [2, 5];
+            let full = flat_paths(&FlatTrie::build(&atom, &order));
+            for num_shards in [2usize, 4] {
+                let shards = FlatTrie::build_sharded(&atom, &order, num_shards);
+                assert_eq!(shards.len(), num_shards);
+                let mut union = Vec::new();
+                for (index, shard) in shards.iter().enumerate() {
+                    // Every first-level value in this shard hashes to it.
+                    for &id in shard.run(0, 0, shard.level_len(0)) {
+                        assert_eq!(shard_of(id, num_shards), index);
+                    }
+                    union.extend(flat_paths(shard));
+                }
+                union.sort_unstable();
+                assert_eq!(union, full, "shards {num_shards}");
+            }
+        }
+        // Small relations degrade to one unsharded trie.
+        let small = rel("S", (0..10).map(|i| vec![i as f64]).collect());
+        let atom = BoundAtom::new(&small, vec![0]);
+        assert_eq!(FlatTrie::build_sharded(&atom, &[0], 8).len(), 1);
+    }
+
+    #[test]
+    fn duplicates_collapse_and_repeated_variables_filter() {
+        let r = rel(
+            "R",
+            vec![
+                vec![1.0, 1.0],
+                vec![1.0, 1.0], // duplicate path
+                vec![1.0, 2.0], // rejected by A == A filter
+                vec![3.0, 3.0],
+            ],
+        );
+        let atom = BoundAtom::new(&r, vec![0, 0]);
+        let flat = FlatTrie::build(&atom, &[0]);
+        assert_eq!(flat.depth(), 1);
+        assert_eq!(flat.level_len(0), 2, "values {{1.0, 3.0}} survive");
+        // A filter that rejects everything leaves an empty (non-zero-level)
+        // trie.
+        let none = rel("N", vec![vec![1.0, 2.0]]);
+        let empty = FlatTrie::build(&BoundAtom::new(&none, vec![0, 0]), &[0]);
+        assert!(empty.is_empty());
+        // Zero-level guard atoms report non-empty.
+        let mut guard = Relation::new("G", 0);
+        guard.push(vec![]);
+        let zero = FlatTrie::build(&BoundAtom::new(&guard, vec![]), &[]);
+        assert_eq!(zero.depth(), 0);
+        assert!(!zero.is_empty());
+    }
+
+    #[test]
+    fn heap_bytes_track_flat_trie_size() {
+        let small = rel("S", vec![vec![1.0]]);
+        let small_trie = FlatTrie::build(&BoundAtom::new(&small, vec![0]), &[0]);
+        assert!(small_trie.heap_bytes() > std::mem::size_of::<FlatTrie>());
+        let rows: Vec<Vec<f64>> = (0..256).map(|i| vec![i as f64, -(i as f64)]).collect();
+        let big = rel("B", rows);
+        let big_trie = FlatTrie::build(&BoundAtom::new(&big, vec![0, 1]), &[0, 1]);
+        assert!(big_trie.heap_bytes() > 8 * small_trie.heap_bytes());
+        // The CSR layout is dramatically denser than per-node hash maps.
+        let hash_trie = AtomTrie::build(&BoundAtom::new(&big, vec![0, 1]), &[0, 1]);
+        assert!(big_trie.heap_bytes() < hash_trie.heap_bytes());
+    }
+
+    #[test]
+    fn auto_layout_resolves_by_size_and_explicit_layouts_stick() {
+        assert_eq!(TrieLayout::Auto.resolve(FLAT_MIN_ROWS, 2), TrieLayout::Flat);
+        assert_eq!(
+            TrieLayout::Auto.resolve(FLAT_MIN_ROWS - 1, 2),
+            TrieLayout::Hash
+        );
+        assert_eq!(TrieLayout::Auto.resolve(1 << 20, 0), TrieLayout::Hash);
+        assert_eq!(TrieLayout::Hash.resolve(1 << 20, 3), TrieLayout::Hash);
+        assert_eq!(TrieLayout::Flat.resolve(1, 1), TrieLayout::Flat);
+    }
+
+    #[test]
+    fn trie_build_dispatches_on_the_resolved_layout() {
+        let tiny = rel("T", vec![vec![1.0, 2.0]]);
+        let atom = BoundAtom::new(&tiny, vec![0, 1]);
+        let auto = TrieBuild::build_sharded(&atom, &[0, 1], 1, TrieLayout::Auto);
+        assert_eq!(auto.layout(), TrieLayout::Hash, "tiny relations stay hash");
+        let forced = TrieBuild::build_sharded(&atom, &[0, 1], 1, TrieLayout::Flat);
+        assert_eq!(forced.layout(), TrieLayout::Flat);
+        assert_eq!(forced.shard_count(), 1);
+        assert_eq!(forced.level_vars(), &[0, 1]);
+        assert!(!forced.shard_is_empty(0));
+        assert!(forced.heap_bytes() > 0);
+    }
+}

@@ -9,24 +9,45 @@
 //! variables.
 //!
 //! This is the standard leapfrog/generic-join scheme of Ngo et al. \[27\] and
-//! Veldhuizen \[34\], realised with hash tries over interned [`ValueId`]s —
-//! the search intersects, probes and collects dense `u32` ids end to end and
-//! only resolves values at the API boundary.
+//! Veldhuizen \[34\], realised over interned [`ValueId`]s — the search
+//! intersects, probes and collects dense `u32` ids end to end and only
+//! resolves values at the API boundary.
+//!
+//! # Trie layouts
+//!
+//! Each atom's trie is built in one of two layouts
+//! ([`TrieLayout`](crate::TrieLayout), selected per atom at build time):
+//!
+//! * **hash** ([`AtomTrie`](crate::AtomTrie)) — `HashMap` nodes, probed one
+//!   candidate at a time; the behavioural reference;
+//! * **flat** ([`FlatTrie`]) — CSR-style sorted value arrays per level.  When
+//!   every atom participating in a variable is flat, candidate generation is
+//!   a true leapfrog: the participating runs are multi-way intersected with
+//!   galloping seeks ([`kernels::leapfrog_next`]) and each match descends by
+//!   index arithmetic — no hashing, no per-candidate allocation.  Mixed
+//!   levels iterate the smallest position's candidates and probe the rest in
+//!   whichever layout each atom has (flat probes gallop,
+//!   [`kernels::gallop_seek`]).
+//!
+//! Layouts never change answers, only the intersection machinery; the
+//! property suite holds every layout combination to bit-identical results.
 //!
 //! # Caching and sharding
 //!
 //! The `*_with` variants take an [`EvalContext`]: tries are served from its
 //! [`TrieCache`](crate::TrieCache) when one is attached, and when the shard
 //! count exceeds one the atoms containing the first join variable are built
-//! as hash-partitioned sub-tries ([`AtomTrie::build_sharded`]) and the search
-//! fans out across shards on scoped threads.  Any full assignment binds the
-//! first join variable to a single value, which lives in exactly one shard —
-//! so the per-shard searches partition the result space and their disjunction
-//! (or union, for enumeration) is bit-identical to the unsharded search.
+//! as hash-partitioned sub-tries (`build_sharded` in either layout) and the
+//! search fans out across shards on scoped threads.  Any full assignment
+//! binds the first join variable to a single value, which lives in exactly
+//! one shard — so the per-shard searches partition the result space and their
+//! disjunction (or union, for enumeration) is bit-identical to the unsharded
+//! search.
 
 use crate::atom::{all_vars, BoundAtom};
 use crate::cache::EvalContext;
-use crate::trie::{effective_shard_count, AtomTrie, TrieNode};
+use crate::flat::{FlatTrie, TrieBuild};
+use crate::trie::{effective_shard_count, TrieNode};
 use ij_hypergraph::VarId;
 use ij_relation::{kernels, IdBuildHasher, IdHashSet, Relation, SharedDictionary, Value, ValueId};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -36,13 +57,15 @@ use std::sync::Arc;
 ///
 /// `tries[i]` holds either a single trie (atom not sharded — it does not
 /// contain the split variable, or sharding is off) or `num_shards` sub-tries
-/// partitioned by the split variable's value hash.
+/// partitioned by the split variable's value hash, in whichever layout the
+/// build resolved to.
 struct JoinContext {
-    tries: Vec<Arc<Vec<AtomTrie>>>,
+    tries: Vec<Arc<TrieBuild>>,
     order: Vec<VarId>,
-    /// For every atom, for every order position, the trie level entered when
-    /// that variable is assigned (or `None` if the atom skips the variable).
-    level_of: Vec<Vec<Option<usize>>>,
+    /// For every order position, the atoms whose tries participate in that
+    /// variable — precomputed once so the recursion never re-filters (or
+    /// re-allocates) the list at every depth of every subtree.
+    participating: Vec<Vec<usize>>,
     /// Search fan-out: 1 when nothing is sharded.
     num_shards: usize,
 }
@@ -81,57 +104,159 @@ impl JoinContext {
             }
             _ => 1,
         };
-        let tries: Vec<Arc<Vec<AtomTrie>>> = atoms
+        let tries: Vec<Arc<TrieBuild>> = atoms
             .iter()
             .map(|a| {
                 let shards = match split_var {
                     Some(v) if num_shards > 1 && a.vars.contains(&v) => num_shards,
                     _ => 1,
                 };
-                match eval.cache {
-                    Some(cache) => cache.tries_for(a, &order, shards, eval.tenant, eval.activity),
-                    None => Arc::new(AtomTrie::build_sharded(a, &order, shards)),
+                let t = match eval.cache {
+                    Some(cache) => {
+                        cache.tries_for(a, &order, shards, eval.layout, eval.tenant, eval.activity)
+                    }
+                    None => Arc::new(TrieBuild::build_sharded(a, &order, shards, eval.layout)),
+                };
+                if let Some(activity) = eval.activity {
+                    activity.record_layout(t.layout());
                 }
+                t
             })
             .collect();
-        let level_of: Vec<Vec<Option<usize>>> = tries
+        let participating: Vec<Vec<usize>> = order
             .iter()
-            .map(|t| {
-                order
-                    .iter()
-                    .map(|v| t[0].level_vars.iter().position(|u| u == v))
+            .map(|v| {
+                (0..tries.len())
+                    .filter(|&i| tries[i].level_vars().contains(v))
                     .collect()
             })
             .collect();
         JoinContext {
             tries,
             order,
-            level_of,
+            participating,
             num_shards,
         }
     }
 
-    /// The trie of atom `i` effective in shard `shard`.
-    fn trie(&self, i: usize, shard: usize) -> &AtomTrie {
-        let shards = &self.tries[i];
-        if shards.len() == 1 {
-            &shards[0]
+    /// The sub-trie index of atom `i` effective in shard `shard` (unsharded
+    /// atoms fall back to their single trie, correct for any shard number).
+    fn shard_index(&self, i: usize, shard: usize) -> usize {
+        if self.tries[i].shard_count() == 1 {
+            0
         } else {
-            &shards[shard]
+            shard
+        }
+    }
+
+    /// Atom `i`'s root position for one shard.
+    fn root_pos(&self, i: usize, shard: usize) -> Pos<'_> {
+        let shard = self.shard_index(i, shard);
+        match &*self.tries[i] {
+            TrieBuild::Hash(tries) => Pos::Hash(tries[shard].root()),
+            TrieBuild::Flat(tries) => {
+                let trie = &tries[shard];
+                if trie.depth() == 0 {
+                    Pos::Leaf
+                } else {
+                    Pos::Flat {
+                        trie,
+                        level: 0,
+                        lo: 0,
+                        hi: trie.level_len(0),
+                    }
+                }
+            }
         }
     }
 
     /// Root positions for one shard.
-    fn roots(&self, shard: usize) -> Vec<&TrieNode> {
+    fn roots(&self, shard: usize) -> Vec<Pos<'_>> {
         (0..self.tries.len())
-            .map(|i| self.trie(i, shard).root())
+            .map(|i| self.root_pos(i, shard))
             .collect()
     }
 
     /// True if some atom's sub-trie for this shard is empty (the shard's
     /// intersection is necessarily empty, so the search can be skipped).
     fn shard_is_dead(&self, shard: usize) -> bool {
-        (0..self.tries.len()).any(|i| self.trie(i, shard).is_empty())
+        (0..self.tries.len()).any(|i| self.tries[i].shard_is_empty(self.shard_index(i, shard)))
+    }
+}
+
+/// One atom's cursor into its trie during the search — the layout-generic
+/// "current node".  `Copy`, so saving and restoring a frame's participating
+/// positions copies a few words instead of cloning a `Vec` per candidate.
+#[derive(Clone, Copy)]
+enum Pos<'t> {
+    /// A hash-trie node.
+    Hash(&'t TrieNode),
+    /// A flat-trie run: the candidate values `trie.run(level, lo, hi)` — one
+    /// parent's sorted, distinct children.
+    Flat {
+        /// The trie this cursor ranges over.
+        trie: &'t FlatTrie,
+        /// Current level.
+        level: usize,
+        /// Run start (absolute index into the level's value array).
+        lo: u32,
+        /// Run end (exclusive).
+        hi: u32,
+    },
+    /// Past the deepest level of a flat trie: the atom's full path is
+    /// consumed.  Leaf positions never participate in a later variable, so
+    /// they are never descended or fanned out.
+    Leaf,
+}
+
+impl<'t> Pos<'t> {
+    /// The number of candidate values this position offers.
+    fn fanout(self) -> usize {
+        match self {
+            Pos::Hash(node) => node.fanout(),
+            Pos::Flat { lo, hi, .. } => (hi - lo) as usize,
+            Pos::Leaf => 0,
+        }
+    }
+
+    /// Descends into `value`: the position below it, or `None` if this atom
+    /// does not offer `value` here.  Hash positions probe the node map; flat
+    /// positions gallop the sorted run ([`kernels::gallop_seek`]).
+    fn descend(self, value: ValueId) -> Option<Pos<'t>> {
+        match self {
+            Pos::Hash(node) => node.child(value).map(Pos::Hash),
+            Pos::Flat {
+                trie,
+                level,
+                lo,
+                hi,
+            } => {
+                let run = trie.run(level, lo, hi);
+                let at = kernels::gallop_seek(run, 0, value);
+                if at < run.len() && run[at] == value {
+                    Some(down(trie, level, lo + at as u32))
+                } else {
+                    None
+                }
+            }
+            Pos::Leaf => None,
+        }
+    }
+}
+
+/// The position below entry `index` of `level`: the child run one level
+/// deeper, or [`Pos::Leaf`] when `level` is the deepest.
+fn down(trie: &FlatTrie, level: usize, index: u32) -> Pos<'_> {
+    if level + 1 < trie.depth() {
+        let (lo, hi) = trie.child_range(level, index);
+        Pos::Flat {
+            trie,
+            level: level + 1,
+            lo,
+            hi,
+        }
+    } else {
+        Pos::Leaf
     }
 }
 
@@ -160,7 +285,7 @@ pub fn generic_join_boolean_with(
     let ctx = JoinContext::new(atoms, order, eval);
     if ctx.num_shards == 1 {
         let mut positions = ctx.roots(0);
-        return search(&ctx, 0, &mut positions, None, &mut |_| true);
+        return search(&ctx, 0, &mut positions, None);
     }
     // Fan out: one scoped thread per shard, first success stops the rest.
     let found = AtomicBool::new(false);
@@ -172,7 +297,7 @@ pub fn generic_join_boolean_with(
             let (ctx, found) = (&ctx, &found);
             scope.spawn(move || {
                 let mut positions = ctx.roots(shard);
-                if search(ctx, 0, &mut positions, Some(found), &mut |_| true) {
+                if search(ctx, 0, &mut positions, Some(found)) {
                     found.store(true, Ordering::Release);
                 }
             });
@@ -275,59 +400,146 @@ pub fn generic_join_enumerate_with(
     out
 }
 
-/// Core recursive search.  `on_full` is invoked on every full assignment; the
-/// search stops as soon as it returns true.  When `stop` is set and flips to
-/// true (another shard already found a match), the search bails out with
-/// `false` — callers combine per-shard results with the flag itself.
+/// Intersects the candidate values for `depth` across the participating
+/// atoms' positions, invoking `visit` once per value of the intersection with
+/// every participating position descended into that value.  Returns `true`
+/// the moment `visit` does (the Boolean search's early exit — the whole stack
+/// unwinds, so positions need no restoring); otherwise restores the
+/// participating positions and returns `false`.
+///
+/// Only the participating atoms' positions are saved — a `Copy` of a few
+/// words each — replacing the old full-`positions` `Vec` clone per candidate.
+///
+/// Two intersection strategies:
+///
+/// * **all participating positions flat** — a true leapfrog
+///   ([`kernels::leapfrog_next`]): the sorted runs are multi-way intersected
+///   with galloping seeks, and each matched value descends every atom by
+///   index arithmetic off its aligned cursor, no probing at all;
+/// * **otherwise** — iterate the candidates of the smallest position
+///   (in whichever layout it has) and probe the remaining atoms' positions
+///   per candidate (hash positions probe the node map, flat positions gallop
+///   their run).
+fn intersect_candidates<'t>(
+    ctx: &'t JoinContext,
+    depth: usize,
+    positions: &mut Vec<Pos<'t>>,
+    visit: &mut impl FnMut(&mut Vec<Pos<'t>>, ValueId) -> bool,
+) -> bool {
+    let participating = &ctx.participating[depth];
+    let saved: Vec<Pos<'t>> = participating.iter().map(|&i| positions[i]).collect();
+    if saved.iter().all(|p| matches!(p, Pos::Flat { .. })) {
+        let runs: Vec<&[ValueId]> = saved
+            .iter()
+            .map(|p| match p {
+                Pos::Flat {
+                    trie,
+                    level,
+                    lo,
+                    hi,
+                } => trie.run(*level, *lo, *hi),
+                _ => unreachable!("all positions checked flat"),
+            })
+            .collect();
+        let mut cursors = vec![0usize; runs.len()];
+        while let Some(value) = kernels::leapfrog_next(&runs, &mut cursors) {
+            // Every cursor points at `value`; descend by index.
+            for (slot, &i) in participating.iter().enumerate() {
+                let Pos::Flat {
+                    trie, level, lo, ..
+                } = saved[slot]
+                else {
+                    unreachable!("all positions checked flat")
+                };
+                positions[i] = down(trie, level, lo + cursors[slot] as u32);
+            }
+            if visit(positions, value) {
+                return true;
+            }
+            for c in cursors.iter_mut() {
+                *c += 1;
+            }
+        }
+        for (slot, &i) in participating.iter().enumerate() {
+            positions[i] = saved[slot];
+        }
+        return false;
+    }
+    // Mixed layouts (or pure hash): iterate the smallest candidate set,
+    // probe the others.  A failed probe leaves later slots stale, which is
+    // harmless: `visit` only ever runs after every slot was freshly written.
+    let smallest = (0..saved.len())
+        .min_by_key(|&slot| saved[slot].fanout())
+        .expect("participating atoms exist");
+    let try_value = |positions: &mut Vec<Pos<'t>>, value: ValueId, child: Pos<'t>| -> bool {
+        for (slot, &i) in participating.iter().enumerate() {
+            if slot == smallest {
+                positions[i] = child;
+                continue;
+            }
+            match saved[slot].descend(value) {
+                Some(next) => positions[i] = next,
+                None => return false,
+            }
+        }
+        true
+    };
+    match saved[smallest] {
+        Pos::Hash(node) => {
+            for (value, child) in node.children() {
+                if try_value(positions, value, Pos::Hash(child)) && visit(positions, value) {
+                    return true;
+                }
+            }
+        }
+        Pos::Flat {
+            trie,
+            level,
+            lo,
+            hi,
+        } => {
+            let run = trie.run(level, lo, hi);
+            for (r, &value) in run.iter().enumerate() {
+                let child = down(trie, level, lo + r as u32);
+                if try_value(positions, value, child) && visit(positions, value) {
+                    return true;
+                }
+            }
+        }
+        Pos::Leaf => unreachable!("leaf positions never participate"),
+    }
+    for (slot, &i) in participating.iter().enumerate() {
+        positions[i] = saved[slot];
+    }
+    false
+}
+
+/// Core recursive search: `true` as soon as one full assignment exists.  When
+/// `stop` is set and flips to true (another shard already found a match), the
+/// search bails out with `false` — callers combine per-shard results with the
+/// flag itself.
 fn search<'t>(
     ctx: &'t JoinContext,
     depth: usize,
-    positions: &mut Vec<&'t TrieNode>,
+    positions: &mut Vec<Pos<'t>>,
     stop: Option<&AtomicBool>,
-    on_full: &mut impl FnMut(&[&TrieNode]) -> bool,
 ) -> bool {
     if depth == ctx.order.len() {
-        return on_full(positions);
+        return true;
     }
     if let Some(flag) = stop {
         if flag.load(Ordering::Acquire) {
             return false;
         }
     }
-    // Atoms participating in this variable.
-    let participating: Vec<usize> = (0..ctx.tries.len())
-        .filter(|&i| ctx.level_of[i][depth].is_some())
-        .collect();
-    if participating.is_empty() {
+    if ctx.participating[depth].is_empty() {
         // No atom constrains this variable (can happen for variables
         // projected away by empty atoms lists); just skip it.
-        return search(ctx, depth + 1, positions, stop, on_full);
+        return search(ctx, depth + 1, positions, stop);
     }
-    // Iterate the smallest candidate set, probe the others.
-    let smallest = *participating
-        .iter()
-        .min_by_key(|&&i| positions[i].fanout())
-        .expect("participating atoms exist");
-    let candidates: Vec<ValueId> = positions[smallest].children().map(|(v, _)| v).collect();
-
-    for value in candidates {
-        let saved = positions.clone();
-        let mut ok = true;
-        for &i in &participating {
-            match positions[i].child(value) {
-                Some(next) => positions[i] = next,
-                None => {
-                    ok = false;
-                    break;
-                }
-            }
-        }
-        if ok && search(ctx, depth + 1, positions, stop, on_full) {
-            return true;
-        }
-        *positions = saved;
-    }
-    false
+    intersect_candidates(ctx, depth, positions, &mut |positions, _| {
+        search(ctx, depth + 1, positions, stop)
+    })
 }
 
 /// Recursive enumeration collecting output prefixes of satisfiable
@@ -335,7 +547,7 @@ fn search<'t>(
 fn enumerate_rec<'t>(
     ctx: &'t JoinContext,
     depth: usize,
-    positions: &mut Vec<&'t TrieNode>,
+    positions: &mut Vec<Pos<'t>>,
     assignment: &mut Vec<ValueId>,
     out_positions: &[usize],
     results: &mut Vec<Vec<ValueId>>,
@@ -344,10 +556,7 @@ fn enumerate_rec<'t>(
         results.push(out_positions.iter().map(|&p| assignment[p]).collect());
         return;
     }
-    let participating: Vec<usize> = (0..ctx.tries.len())
-        .filter(|&i| ctx.level_of[i][depth].is_some())
-        .collect();
-    if participating.is_empty() {
+    if ctx.participating[depth].is_empty() {
         enumerate_rec(
             ctx,
             depth + 1,
@@ -358,36 +567,18 @@ fn enumerate_rec<'t>(
         );
         return;
     }
-    let smallest = *participating
-        .iter()
-        .min_by_key(|&&i| positions[i].fanout())
-        .expect("participating atoms exist");
-    let candidates: Vec<ValueId> = positions[smallest].children().map(|(v, _)| v).collect();
-    for value in candidates {
-        let saved = positions.clone();
-        let mut ok = true;
-        for &i in &participating {
-            match positions[i].child(value) {
-                Some(next) => positions[i] = next,
-                None => {
-                    ok = false;
-                    break;
-                }
-            }
-        }
-        if ok {
-            assignment[depth] = value;
-            enumerate_rec(
-                ctx,
-                depth + 1,
-                positions,
-                assignment,
-                out_positions,
-                results,
-            );
-        }
-        *positions = saved;
-    }
+    intersect_candidates(ctx, depth, positions, &mut |positions, value| {
+        assignment[depth] = value;
+        enumerate_rec(
+            ctx,
+            depth + 1,
+            positions,
+            assignment,
+            out_positions,
+            results,
+        );
+        false
+    });
 }
 
 /// Byte mask over the rows of `left_cols` marking the rows whose key tuple
@@ -626,6 +817,7 @@ mod tests {
     #[test]
     fn sharded_and_cached_joins_match_the_unsharded_baseline() {
         use crate::cache::TrieCache;
+        use crate::flat::TrieLayout;
         let mut seed = 99u64;
         let mut next = move || {
             seed = seed
@@ -648,26 +840,30 @@ mod tests {
             ];
             let expected = generic_join_boolean(&atoms, None);
             let expected_out = generic_join_enumerate(&atoms, &[A, B, C], "out");
+            let layouts = [TrieLayout::Hash, TrieLayout::Flat, TrieLayout::Auto];
             for shards in [1usize, 2, 3, 7] {
-                for cache_ref in [None, Some(&cache)] {
-                    let eval = EvalContext {
-                        cache: cache_ref,
-                        shards,
-                        ..EvalContext::default()
-                    };
-                    assert_eq!(
-                        generic_join_boolean_with(&atoms, None, eval),
-                        expected,
-                        "boolean, shards {shards}, cached {}",
-                        cache_ref.is_some()
-                    );
-                    let out = generic_join_enumerate_with(&atoms, &[A, B, C], "out", eval);
-                    assert_eq!(
-                        out.tuples(),
-                        expected_out.tuples(),
-                        "enumerate, shards {shards}, cached {}",
-                        cache_ref.is_some()
-                    );
+                for layout in layouts {
+                    for cache_ref in [None, Some(&cache)] {
+                        let eval = EvalContext {
+                            cache: cache_ref,
+                            shards,
+                            layout,
+                            ..EvalContext::default()
+                        };
+                        assert_eq!(
+                            generic_join_boolean_with(&atoms, None, eval),
+                            expected,
+                            "boolean, shards {shards}, layout {layout:?}, cached {}",
+                            cache_ref.is_some()
+                        );
+                        let out = generic_join_enumerate_with(&atoms, &[A, B, C], "out", eval);
+                        assert_eq!(
+                            out.tuples(),
+                            expected_out.tuples(),
+                            "enumerate, shards {shards}, layout {layout:?}, cached {}",
+                            cache_ref.is_some()
+                        );
+                    }
                 }
             }
         }
@@ -706,14 +902,25 @@ mod tests {
         assert!(expected, "the planted triangle must be found");
         let expected_out = generic_join_enumerate(&atoms, &[A, B, C], "out");
         for shards in [2usize, 4] {
-            let eval = EvalContext {
-                cache: None,
-                shards,
-                ..EvalContext::default()
-            };
-            assert_eq!(generic_join_boolean_with(&atoms, None, eval), expected);
-            let out = generic_join_enumerate_with(&atoms, &[A, B, C], "out", eval);
-            assert_eq!(out.tuples(), expected_out.tuples(), "shards {shards}");
+            for layout in [
+                crate::flat::TrieLayout::Hash,
+                crate::flat::TrieLayout::Flat,
+                crate::flat::TrieLayout::Auto,
+            ] {
+                let eval = EvalContext {
+                    cache: None,
+                    shards,
+                    layout,
+                    ..EvalContext::default()
+                };
+                assert_eq!(generic_join_boolean_with(&atoms, None, eval), expected);
+                let out = generic_join_enumerate_with(&atoms, &[A, B, C], "out", eval);
+                assert_eq!(
+                    out.tuples(),
+                    expected_out.tuples(),
+                    "shards {shards}, layout {layout:?}"
+                );
+            }
         }
     }
 

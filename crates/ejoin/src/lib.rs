@@ -5,8 +5,11 @@
 //! those queries:
 //!
 //! * [`generic_join_boolean`] / [`generic_join_enumerate`] — the generic
-//!   worst-case-optimal join (attribute-at-a-time with hash tries), following
-//!   Ngo–Porat–Ré–Rudra \[27\] and Leapfrog Triejoin \[34\];
+//!   worst-case-optimal join (attribute-at-a-time over per-atom tries),
+//!   following Ngo–Porat–Ré–Rudra \[27\] and Leapfrog Triejoin \[34\].  Tries
+//!   come in two layouts ([`TrieLayout`]): hash-map nodes ([`AtomTrie`], the
+//!   behavioural reference) and flat CSR sorted arrays ([`FlatTrie`]) whose
+//!   candidate intersection is a galloping leapfrog over sorted runs;
 //! * [`yannakakis_boolean`] — Yannakakis' linear-time algorithm for
 //!   α-acyclic Boolean queries \[35\];
 //! * [`decomposition_boolean`] — the width-guided evaluation of
@@ -26,8 +29,9 @@
 //! one reduction share built tries instead of rebuilding them — and a trie
 //! shard count: atoms containing the first join variable are built as
 //! hash-partitioned sub-tries on scoped threads and the search fans out
-//! shard by shard ([`AtomTrie::build_sharded`]).  Answers are bit-identical
-//! for every cache/shard setting.
+//! shard by shard ([`AtomTrie::build_sharded`], or its flat-layout twin
+//! [`FlatTrie::build_sharded`]).  Answers are bit-identical for every
+//! cache/shard/layout setting.
 //!
 //! The context also carries the cache-accounting identity: a [`TenantId`]
 //! metering every lookup into a per-tenant ledger (with optional per-tenant
@@ -40,6 +44,7 @@
 mod atom;
 mod cache;
 mod evaluate;
+mod flat;
 mod generic;
 mod trie;
 mod yannakakis;
@@ -53,6 +58,7 @@ pub use evaluate::{
     decomposition_boolean, decomposition_boolean_with, evaluate_ej_boolean,
     evaluate_ej_boolean_with, materialise_bag, materialise_bag_with, EjStrategy,
 };
+pub use flat::{FlatTrie, TrieBuild, TrieLayout, FLAT_MIN_ROWS};
 pub use generic::{
     generic_join_boolean, generic_join_boolean_with, generic_join_enumerate,
     generic_join_enumerate_with, semijoin,

@@ -168,41 +168,7 @@ impl AtomTrie {
                 root,
             }];
         }
-        // Phase 1 — partition: hash the first-level column chunk by chunk
-        // (row-range views), then concatenate the per-chunk shard lists in
-        // chunk order.  The partition is a pure function of the ids, so the
-        // chunking never affects the result.
-        let chunks = atom.relation.columns().chunks(num_shards);
-        let first_col_index = plan.first_level_column;
-        let pass = plan.pass.as_deref();
-        let chunk_parts: Vec<Vec<Vec<u32>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|view| {
-                    scope.spawn(move || {
-                        let mut parts: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
-                        let base = view.start() as u32;
-                        // Rows rejected by the repeated-variable mask are
-                        // dropped here, so the per-shard builds only see
-                        // surviving rows.
-                        for (i, &id) in view.column(first_col_index).iter().enumerate() {
-                            if pass.is_some_and(|m| m[base as usize + i] == 0) {
-                                continue;
-                            }
-                            parts[shard_of(id, num_shards)].push(base + i as u32);
-                        }
-                        parts
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
-        let mut shard_rows: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
-        for parts in chunk_parts {
-            for (shard, mut rows) in parts.into_iter().enumerate() {
-                shard_rows[shard].append(&mut rows);
-            }
-        }
+        let shard_rows = partition_rows_by_shard(atom, &plan, num_shards);
         // Phase 2 — build one sub-trie per shard in parallel.
         let roots: Vec<TrieNode> = std::thread::scope(|scope| {
             let plan = &plan;
@@ -272,24 +238,68 @@ pub(crate) fn trie_level_vars(atom: &BoundAtom<'_>, global_order: &[VarId]) -> V
     level_vars
 }
 
-/// The per-atom build recipe shared by the unsharded and sharded builds: the
-/// level variables in global order, the id column backing each level, and the
+/// The shared phase-1 row partition of every sharded trie build (hash and
+/// flat layouts alike): hash the first-level column chunk by chunk
+/// ([`ColumnsView`](ij_relation::ColumnsView) row-range views on scoped
+/// threads), then concatenate the per-chunk shard lists in chunk order.  The
+/// partition is a pure function of the ids, so the chunking never affects the
+/// result.  Rows rejected by the plan's repeated-variable mask are dropped
+/// here, so the per-shard builds only see surviving rows.
+pub(crate) fn partition_rows_by_shard(
+    atom: &BoundAtom<'_>,
+    plan: &TriePlan<'_>,
+    num_shards: usize,
+) -> Vec<Vec<u32>> {
+    let chunks = atom.relation.columns().chunks(num_shards);
+    let first_col_index = plan.first_level_column;
+    let pass = plan.pass.as_deref();
+    let chunk_parts: Vec<Vec<Vec<u32>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|view| {
+                scope.spawn(move || {
+                    let mut parts: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
+                    let base = view.start() as u32;
+                    for (i, &id) in view.column(first_col_index).iter().enumerate() {
+                        if pass.is_some_and(|m| m[base as usize + i] == 0) {
+                            continue;
+                        }
+                        parts[shard_of(id, num_shards)].push(base + i as u32);
+                    }
+                    parts
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut shard_rows: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
+    for parts in chunk_parts {
+        for (shard, mut rows) in parts.into_iter().enumerate() {
+            shard_rows[shard].append(&mut rows);
+        }
+    }
+    shard_rows
+}
+
+/// The per-atom build recipe shared by the unsharded and sharded builds — of
+/// both the hash layout here and the flat layout in `flat.rs`: the level
+/// variables in global order, the id column backing each level, and the
 /// pre-computed repeated-variable filter mask.
-struct TriePlan<'a> {
-    level_vars: Vec<VarId>,
+pub(crate) struct TriePlan<'a> {
+    pub(crate) level_vars: Vec<VarId>,
     /// Relation column index backing the first level (the shard key column).
-    first_level_column: usize,
-    level_columns: Vec<&'a [ValueId]>,
+    pub(crate) first_level_column: usize,
+    pub(crate) level_columns: Vec<&'a [ValueId]>,
     /// Per-row pass mask of the repeated-variable filters (id equality
     /// coincides with value equality), accumulated over every repeated column
     /// pair with the chunked [`kernels::and_equal_mask`] scan instead of
     /// per-row branches inside the insert loop.  `None` when the atom has no
     /// repeated variables (every row passes).
-    pass: Option<Vec<u8>>,
+    pub(crate) pass: Option<Vec<u8>>,
 }
 
 impl<'a> TriePlan<'a> {
-    fn new(atom: &BoundAtom<'a>, global_order: &[VarId]) -> Self {
+    pub(crate) fn new(atom: &BoundAtom<'a>, global_order: &[VarId]) -> Self {
         let level_vars = trie_level_vars(atom, global_order);
         let column_of = |v: VarId| {
             atom.vars

@@ -26,7 +26,7 @@ use ij_widths::{ij_width, IjWidthReport};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-pub use ij_ejoin::{TenantCacheStats, TenantId, TrieCacheStats};
+pub use ij_ejoin::{TenantCacheStats, TenantId, TrieCacheStats, TrieLayout, FLAT_MIN_ROWS};
 
 /// The hardware thread count (1 when it cannot be determined).
 fn hardware_parallelism() -> usize {
@@ -113,6 +113,25 @@ pub struct EngineConfig {
     /// assert_eq!(sharded.trie_shards, 4);
     /// ```
     pub trie_shards: usize,
+    /// The trie layout the generic join indexes its atoms with
+    /// ([`TrieLayout`]): `Hash` builds `HashMap`-node tries (the behavioural
+    /// reference), `Flat` builds CSR-style sorted-array tries whose candidate
+    /// intersection leapfrogs with galloping seeks, and `Auto` (the default)
+    /// picks per atom at build time — relations below
+    /// [`FLAT_MIN_ROWS`](ij_ejoin::FLAT_MIN_ROWS) rows stay hash, everything
+    /// else goes flat.  [`EvaluationStats::hash_layout_atoms`] /
+    /// [`EvaluationStats::flat_layout_atoms`] report which layout the
+    /// evaluation's joins actually ran on.  The Boolean answer is identical
+    /// for every setting.
+    ///
+    /// ```
+    /// use ij_engine::{EngineConfig, TrieLayout};
+    ///
+    /// assert_eq!(EngineConfig::new().trie_layout, TrieLayout::Auto);
+    /// let flat = EngineConfig::new().with_trie_layout(TrieLayout::Flat);
+    /// assert_eq!(flat.trie_layout, TrieLayout::Flat);
+    /// ```
+    pub trie_layout: TrieLayout,
     /// The cache-accounting owner this engine's evaluations run as: every
     /// trie-cache lookup is metered into this tenant's ledger, and the
     /// tenant's byte quota (if one is set on the shared cache) governs what
@@ -152,6 +171,7 @@ impl EngineConfig {
             trie_cache_capacity: 4096,
             trie_cache_bytes: 0,
             trie_shards: 0,
+            trie_layout: TrieLayout::Auto,
             tenant: TenantId::DEFAULT,
         }
     }
@@ -190,6 +210,13 @@ impl EngineConfig {
     /// parallelism; see [`EngineConfig::trie_shards`]).
     pub fn with_trie_shards(mut self, shards: usize) -> Self {
         self.trie_shards = shards;
+        self
+    }
+
+    /// This configuration with an explicit trie layout (see
+    /// [`EngineConfig::trie_layout`]).
+    pub fn with_trie_layout(mut self, layout: TrieLayout) -> Self {
+        self.trie_layout = layout;
         self
     }
 
@@ -306,6 +333,15 @@ pub struct EvaluationStats {
     /// [`EngineConfig::trie_cache_capacity`] is `0`.  A warm evaluation of a
     /// previously-seen reduction reports hits with no misses.
     pub trie_cache: TrieCacheStats,
+    /// Atom-trie uses of this evaluation that ran on the hash layout
+    /// (counted once per atom per evaluated disjunct, whether the tries came
+    /// from the cache or were built fresh).  With the default
+    /// [`TrieLayout::Auto`] this is the small-relation share of the
+    /// workload; an explicit layout drives one of the two counters to zero.
+    pub hash_layout_atoms: usize,
+    /// Atom-trie uses of this evaluation that ran on the flat (CSR leapfrog)
+    /// layout.
+    pub flat_layout_atoms: usize,
     /// The answer.
     pub answer: bool,
 }
@@ -332,7 +368,7 @@ impl std::fmt::Display for EvaluationStats {
             self.ej_queries_total,
             self.ej_query_batches
         )?;
-        write!(
+        writeln!(
             f,
             "trie cache: {} hits / {} misses ({:.0}% of builds shared), \
              {} evictions; {} tries resident ({:.1} KiB)",
@@ -342,6 +378,11 @@ impl std::fmt::Display for EvaluationStats {
             self.trie_cache.evictions,
             self.trie_cache.entries,
             self.trie_cache.resident_bytes as f64 / 1024.0
+        )?;
+        write!(
+            f,
+            "trie layouts: {} hash / {} flat atom uses",
+            self.hash_layout_atoms, self.flat_layout_atoms
         )
     }
 }
@@ -510,6 +551,7 @@ impl IntersectionJoinEngine {
             shards: self.config.shard_budget(workers),
             tenant: tenant.as_ref(),
             activity: Some(&activity),
+            layout: self.config.trie_layout,
         };
         // Don't let grouping serialize the pool: as long as there are fewer
         // batches than workers, halve the largest splittable batch.  (The
@@ -586,6 +628,8 @@ impl IntersectionJoinEngine {
                 entries: resident.entries,
                 resident_bytes: resident.resident_bytes,
             },
+            hash_layout_atoms: activity.hash_atoms(),
+            flat_layout_atoms: activity.flat_atoms(),
             answer,
         }
     }
@@ -956,27 +1000,52 @@ mod tests {
     }
 
     #[test]
-    fn answers_identical_across_cache_and_shard_settings() {
+    fn answers_identical_across_cache_shard_and_layout_settings() {
         for satisfiable in [true, false] {
             let (q, db) = triangle_db(satisfiable);
             for parallelism in [1usize, 2] {
                 for shards in [0usize, 1, 2, 5] {
                     for capacity in [0usize, 1, 4096] {
-                        let engine = IntersectionJoinEngine::new(
-                            EngineConfig::new()
-                                .with_parallelism(parallelism)
-                                .with_trie_shards(shards)
-                                .with_trie_cache_capacity(capacity),
-                        );
-                        assert_eq!(
-                            engine.evaluate(&q, &db).unwrap(),
-                            satisfiable,
-                            "parallelism {parallelism}, shards {shards}, capacity {capacity}"
-                        );
+                        for layout in [TrieLayout::Hash, TrieLayout::Flat, TrieLayout::Auto] {
+                            let engine = IntersectionJoinEngine::new(
+                                EngineConfig::new()
+                                    .with_parallelism(parallelism)
+                                    .with_trie_shards(shards)
+                                    .with_trie_cache_capacity(capacity)
+                                    .with_trie_layout(layout),
+                            );
+                            assert_eq!(
+                                engine.evaluate(&q, &db).unwrap(),
+                                satisfiable,
+                                "parallelism {parallelism}, shards {shards}, \
+                                 capacity {capacity}, layout {layout:?}"
+                            );
+                        }
                     }
                 }
             }
         }
+    }
+
+    #[test]
+    fn layout_knob_is_reported_in_evaluation_stats() {
+        let (q, db) = triangle_db(false); // false → every disjunct runs
+                                          // An explicit flat layout runs every atom flat; the default Auto on
+                                          // this tiny database resolves everything to hash.
+        let flat = IntersectionJoinEngine::new(
+            EngineConfig::new()
+                .with_parallelism(1)
+                .with_trie_layout(TrieLayout::Flat),
+        );
+        let stats = flat.evaluate_with_stats(&q, &db).unwrap();
+        assert!(!stats.answer);
+        assert!(stats.flat_layout_atoms > 0, "{stats:?}");
+        assert_eq!(stats.hash_layout_atoms, 0, "{stats:?}");
+        assert!(stats.summary().contains("flat atom uses"));
+        let auto = IntersectionJoinEngine::new(EngineConfig::new().with_parallelism(1));
+        let stats = auto.evaluate_with_stats(&q, &db).unwrap();
+        assert!(stats.hash_layout_atoms > 0, "{stats:?}");
+        assert_eq!(stats.flat_layout_atoms, 0, "{stats:?}");
     }
 
     #[test]

@@ -58,7 +58,7 @@ mod workspace;
 
 pub use engine::{
     EngineConfig, EngineError, EvaluationStats, IntersectionJoinEngine, QueryAnalysis,
-    TenantCacheStats, TenantId, TrieCacheStats,
+    TenantCacheStats, TenantId, TrieCacheStats, TrieLayout, FLAT_MIN_ROWS,
 };
 pub use naive::{naive_boolean, naive_count, NaiveError};
 pub use workspace::{Tenant, Workspace, WorkspaceLimits, WorkspaceStats};
@@ -69,7 +69,7 @@ pub mod prelude {
     pub use crate::{
         naive_boolean, naive_count, EngineConfig, EngineError, EvaluationStats,
         IntersectionJoinEngine, QueryAnalysis, Tenant, TenantCacheStats, TenantId, TrieCacheStats,
-        Workspace, WorkspaceLimits, WorkspaceStats,
+        TrieLayout, Workspace, WorkspaceLimits, WorkspaceStats,
     };
     pub use ij_ejoin::EjStrategy;
     pub use ij_hypergraph::{AcyclicityClass, AcyclicityReport, Hypergraph};

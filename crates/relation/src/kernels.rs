@@ -179,6 +179,177 @@ pub fn pack_keys_scalar(cols: &[&[ValueId]], out: &mut Vec<ValueId>) {
     }
 }
 
+/// Positions probed with a plain linear scan before [`gallop_seek`] switches
+/// to exponential doubling.  Leapfrog seeks overwhelmingly land within a few
+/// slots of the cursor (the runs being intersected advance in near-lockstep),
+/// so the chunked linear probe wins there; the gallop bounds the bad case —
+/// a seek that skips far ahead costs `O(log distance)` instead of `O(n)`.
+pub const GALLOP_LINEAR_SPAN: usize = 8;
+
+/// The index of the first element of `run[start..]` that is `>= target`,
+/// as an absolute index into `run` (`run.len()` when every element is
+/// smaller).  `run` must be sorted ascending; elements before `start` are
+/// never examined.
+///
+/// Probes [`GALLOP_LINEAR_SPAN`] slots linearly from `start`, then gallops:
+/// the step doubles until it overshoots and a binary search finishes inside
+/// the last window — `O(log distance)` with the constant factor of a linear
+/// scan on the short seeks that dominate leapfrog intersection.
+pub fn gallop_seek(run: &[ValueId], start: usize, target: ValueId) -> usize {
+    let n = run.len();
+    let linear_end = (start + GALLOP_LINEAR_SPAN).min(n);
+    for (i, &v) in run[start..linear_end].iter().enumerate() {
+        if v >= target {
+            return start + i;
+        }
+    }
+    if linear_end == n {
+        return n;
+    }
+    // Invariant: every element before `lo` is < target; `hi` is the next
+    // probe.  Doubling the step keeps the total work logarithmic in the
+    // distance actually travelled.
+    let mut lo = linear_end;
+    let mut hi = linear_end;
+    let mut step = 1usize;
+    while hi < n && run[hi] < target {
+        lo = hi + 1;
+        hi += step;
+        step <<= 1;
+    }
+    let hi = hi.min(n);
+    lo + run[lo..hi].partition_point(|&x| x < target)
+}
+
+/// Scalar reference implementation of [`gallop_seek`] (linear scan).
+pub fn gallop_seek_scalar(run: &[ValueId], start: usize, target: ValueId) -> usize {
+    let mut i = start;
+    while i < run.len() && run[i] < target {
+        i += 1;
+    }
+    i
+}
+
+/// Replaces `out` with the intersection of two sorted runs by mutual
+/// galloping: each side seeks to the other side's current value with
+/// [`gallop_seek`], so skewed inputs (one long run, one short) cost
+/// `O(short · log long)` instead of a full merge.  Inputs must be sorted
+/// ascending with distinct elements (trie runs are deduplicated); the output
+/// is sorted and distinct.
+pub fn intersect_sorted_gallop(a: &[ValueId], b: &[ValueId], out: &mut Vec<ValueId>) {
+    out.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let x = a[i];
+        j = gallop_seek(b, j, x);
+        if j == b.len() {
+            break;
+        }
+        let y = b[j];
+        if y == x {
+            out.push(x);
+            i += 1;
+            j += 1;
+        } else {
+            i = gallop_seek(a, i, y);
+        }
+    }
+}
+
+/// Scalar reference implementation of [`intersect_sorted_gallop`] (a plain
+/// two-pointer merge).
+pub fn intersect_sorted_scalar(a: &[ValueId], b: &[ValueId], out: &mut Vec<ValueId>) {
+    out.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Advances `cursors` to the smallest value at or after every current cursor
+/// that occurs in **all** runs, and returns it — the candidate-generation
+/// step of leapfrog multi-way intersection.  Returns `None` (leaving the
+/// cursors wherever the failed alignment left them) once any run is
+/// exhausted.  Runs must be sorted ascending with distinct elements.
+///
+/// To enumerate the whole intersection, call repeatedly, advancing **every**
+/// cursor by one after consuming a match (all cursors point at the matched
+/// value when the call returns `Some`).
+///
+/// # Panics
+///
+/// Panics if `runs` is empty or `cursors.len() != runs.len()`.
+pub fn leapfrog_next(runs: &[&[ValueId]], cursors: &mut [usize]) -> Option<ValueId> {
+    assert!(!runs.is_empty(), "leapfrog requires at least one run");
+    assert_eq!(runs.len(), cursors.len(), "one cursor per run");
+    // The largest value currently under a cursor is the first possible match.
+    let mut max: Option<ValueId> = None;
+    for (run, &c) in runs.iter().zip(cursors.iter()) {
+        let v = *run.get(c)?;
+        max = Some(match max {
+            Some(m) if m >= v => m,
+            _ => v,
+        });
+    }
+    let mut max = max.expect("runs is non-empty");
+    // Rounds of seek-everyone-to-max; a seek that overshoots raises the bar
+    // and forces another round.  Terminates: `max` only grows, bounded by
+    // the runs' maxima.
+    loop {
+        let mut aligned = true;
+        for (run, c) in runs.iter().zip(cursors.iter_mut()) {
+            if run[*c] < max {
+                *c = gallop_seek(run, *c, max);
+                if *c == run.len() {
+                    return None;
+                }
+                if run[*c] > max {
+                    max = run[*c];
+                    aligned = false;
+                }
+            }
+        }
+        if aligned {
+            return Some(max);
+        }
+    }
+}
+
+/// Scalar reference implementation of [`leapfrog_next`]: advances the first
+/// run one element at a time and checks membership in the others linearly.
+///
+/// # Panics
+///
+/// Panics if `runs` is empty or `cursors.len() != runs.len()`.
+pub fn leapfrog_next_scalar(runs: &[&[ValueId]], cursors: &mut [usize]) -> Option<ValueId> {
+    assert!(!runs.is_empty(), "leapfrog requires at least one run");
+    assert_eq!(runs.len(), cursors.len(), "one cursor per run");
+    'candidate: loop {
+        let v = *runs[0].get(cursors[0])?;
+        for i in 1..runs.len() {
+            while cursors[i] < runs[i].len() && runs[i][cursors[i]] < v {
+                cursors[i] += 1;
+            }
+            if cursors[i] >= runs[i].len() {
+                return None;
+            }
+            if runs[i][cursors[i]] > v {
+                cursors[0] += 1;
+                continue 'candidate;
+            }
+        }
+        return Some(v);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,5 +411,98 @@ mod tests {
         // k == 0 and empty columns degenerate cleanly.
         pack_keys(&[], &mut p);
         assert!(p.is_empty());
+    }
+
+    #[test]
+    fn gallop_seek_matches_scalar_at_every_start_and_target() {
+        // Distinct sorted run with gaps; length is not a multiple of the
+        // linear span, and targets probe below, inside and past the run.
+        let run = ids(&[2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233]);
+        for start in 0..=run.len() {
+            for raw in 0..256u32 {
+                let target = ValueId::from_raw(raw);
+                let fast = gallop_seek(&run, start, target);
+                let slow = gallop_seek_scalar(&run, start, target);
+                assert_eq!(fast, slow, "start {start}, target {raw}");
+                assert!(fast >= start && fast <= run.len());
+                if fast < run.len() {
+                    assert!(run[fast] >= target);
+                }
+                if fast > start {
+                    assert!(run[fast - 1] < target);
+                }
+            }
+        }
+        // Degenerate runs.
+        assert_eq!(gallop_seek(&[], 0, ValueId::from_raw(7)), 0);
+        let one = ids(&[9]);
+        assert_eq!(gallop_seek(&one, 0, ValueId::from_raw(9)), 0);
+        assert_eq!(gallop_seek(&one, 0, ValueId::from_raw(10)), 1);
+        assert_eq!(gallop_seek(&one, 1, ValueId::from_raw(0)), 1);
+    }
+
+    #[test]
+    fn intersect_gallop_matches_scalar_on_adversarial_runs() {
+        let cases: Vec<(Vec<u32>, Vec<u32>)> = vec![
+            (vec![], vec![]),
+            (vec![], vec![1, 2, 3]),
+            (vec![5], vec![5]),
+            (vec![5], vec![6]),
+            (vec![1, 3, 5, 7], vec![2, 4, 6, 8]), // disjoint, interleaved
+            (vec![1, 2, 3, 4], vec![1, 2, 3, 4]), // fully equal
+            (vec![1, 100], (0..200).collect()),   // short vs long (gallop far)
+            ((0..37).collect(), (18..55).collect()), // non-multiple-of-span overlap
+        ];
+        for (ra, rb) in cases {
+            let a = ids(&ra);
+            let b = ids(&rb);
+            let (mut fast, mut slow) = (Vec::new(), Vec::new());
+            for (x, y) in [(&a, &b), (&b, &a)] {
+                intersect_sorted_gallop(x, y, &mut fast);
+                intersect_sorted_scalar(x, y, &mut slow);
+                assert_eq!(fast, slow, "a {ra:?}, b {rb:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn leapfrog_enumerates_the_multiway_intersection() {
+        let a = ids(&[1, 2, 4, 8, 16, 32, 64]);
+        let b = ids(&[2, 4, 6, 8, 10, 32, 33, 64]);
+        let c = ids(&[0, 2, 3, 4, 32, 64, 100]);
+        let runs: Vec<&[ValueId]> = vec![&a, &b, &c];
+        let collect = |next: fn(&[&[ValueId]], &mut [usize]) -> Option<ValueId>| {
+            let mut cursors = vec![0usize; runs.len()];
+            let mut out = Vec::new();
+            while let Some(v) = next(&runs, &mut cursors) {
+                // All cursors point at the matched value.
+                for (run, &cu) in runs.iter().zip(&cursors) {
+                    assert_eq!(run[cu], v);
+                }
+                out.push(v);
+                for cu in cursors.iter_mut() {
+                    *cu += 1;
+                }
+            }
+            out
+        };
+        let fast = collect(leapfrog_next);
+        let slow = collect(leapfrog_next_scalar);
+        assert_eq!(fast, slow);
+        assert_eq!(fast, ids(&[2, 4, 32, 64]));
+        // A single run leapfrogs over itself.
+        let single: Vec<&[ValueId]> = vec![&a];
+        let mut cursors = vec![0usize];
+        let mut out = Vec::new();
+        while let Some(v) = leapfrog_next(&single, &mut cursors) {
+            out.push(v);
+            cursors[0] += 1;
+        }
+        assert_eq!(out, a);
+        // Disjoint runs intersect to nothing.
+        let d = ids(&[5, 7, 9]);
+        let disjoint: Vec<&[ValueId]> = vec![&a, &d];
+        assert_eq!(leapfrog_next(&disjoint, &mut [0, 0]), None);
+        assert_eq!(leapfrog_next_scalar(&disjoint, &mut [0, 0]), None);
     }
 }
