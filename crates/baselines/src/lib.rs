@@ -13,8 +13,17 @@
 //!   materialising the intermediate variable bindings (for the triangle this
 //!   is the `O(N²)` strategy mentioned in Section 1.1, and its exponent
 //!   coincides with the FAQ-AI bound of Table 1 on all three cyclic queries);
+//! * [`SegtreeBaseline`] — a direct evaluator that indexes every relation
+//!   column with a flat segment tree and backtracks through overlap queries,
+//!   the specialised-structure comparator of the differential harness;
 //! * [`nested_loop`] — exhaustive backtracking (the same semantics as the
 //!   naive evaluator), as the always-correct lower baseline.
+
+#![warn(missing_docs)]
+
+mod segtree_baseline;
+
+pub use segtree_baseline::SegtreeBaseline;
 
 use ij_hypergraph::VarKind;
 use ij_relation::{Database, Query, Value};
@@ -26,12 +35,29 @@ use std::collections::BTreeMap;
 pub enum BaselineError {
     /// A relation referenced by the query is missing from the database.
     MissingRelation(String),
+    /// A relation's arity does not match the query atom.
+    ArityMismatch {
+        /// The relation name.
+        relation: String,
+        /// The arity the query atom expects.
+        expected: usize,
+        /// The arity the relation actually has.
+        found: usize,
+    },
 }
 
 impl std::fmt::Display for BaselineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BaselineError::MissingRelation(r) => write!(f, "relation `{r}` missing from database"),
+            BaselineError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "relation `{relation}` has arity {found}, query expects {expected}"
+            ),
         }
     }
 }

@@ -1,0 +1,513 @@
+//! A flat, pointer-free segment-tree layout for stabbing and overlap queries.
+//!
+//! [`SegmentTree`](crate::SegmentTree) is an arena of nodes with explicit
+//! child links — convenient for the reduction (which needs bitstring node
+//! identities), but every descent chases `Option<NodeId>` indirections and
+//! every canonical subset is its own `Vec`.  [`FlatSegmentTree`] is the
+//! query-side counterpart: endpoints are *interned* into dense ranks (the
+//! sorted position of an endpoint is its id), the tree is an implicit binary
+//! heap over those ranks (children of node `i` live at `2i + 1` / `2i + 2`,
+//! no child pointers), and all canonical subsets share one CSR arena (an
+//! offsets array into a single index slab).  A stabbing query is then a
+//! root-to-leaf walk by pure index arithmetic over three flat arrays.
+//!
+//! The elementary-segment convention matches `SegmentTree`: with `m` distinct
+//! endpoints `p_1 < ... < p_m`, leaf coordinate `2j + 1` is the point segment
+//! `[p_{j+1}, p_{j+1}]` and even coordinates are the open gaps, so the leaves
+//! partition the real line and closed-interval semantics are exact.
+
+use crate::{Interval, OrdF64};
+
+/// A static segment tree over a fixed set of intervals, laid out as flat
+/// arrays for cache-friendly stabbing ([`FlatSegmentTree::stab`]) and overlap
+/// ([`FlatSegmentTree::overlapping`]) queries.
+///
+/// Build once with [`FlatSegmentTree::build`]; the structure is immutable
+/// afterwards.  Interval indices reported by queries refer to positions in
+/// the input slice.
+///
+/// ```
+/// use ij_segtree::{FlatSegmentTree, Interval};
+///
+/// let tree = FlatSegmentTree::build(&[
+///     Interval::new(0.0, 4.0),
+///     Interval::new(3.0, 9.0),
+///     Interval::point(7.0),
+/// ]);
+/// assert_eq!(tree.stab(3.5), vec![0, 1]);
+/// assert_eq!(tree.overlapping(Interval::new(6.0, 8.0)), vec![1, 2]);
+/// assert!(!tree.intersects_any(Interval::new(10.0, 11.0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlatSegmentTree {
+    /// Sorted distinct endpoints; an endpoint's position is its interned id.
+    endpoints: Box<[OrdF64]>,
+    /// CSR offsets: the canonical subset of node `i` is
+    /// `canonical[offsets[i]..offsets[i + 1]]`.
+    offsets: Box<[u32]>,
+    /// All canonical subsets, concatenated in node order.
+    canonical: Box<[u32]>,
+    /// The indexed intervals, in input order.
+    intervals: Box<[Interval]>,
+    /// Interval indices sorted by `(lo, index)` — drives overlap queries.
+    by_lo: Box<[u32]>,
+}
+
+impl FlatSegmentTree {
+    /// Builds the tree over `intervals` and stores each interval at its
+    /// canonical-partition nodes (Algorithm 2 of the paper, two passes:
+    /// count, then fill — no per-node allocation).
+    pub fn build(intervals: &[Interval]) -> Self {
+        let mut endpoints: Vec<OrdF64> = Vec::with_capacity(intervals.len() * 2);
+        for iv in intervals {
+            endpoints.push(iv.lo_ord());
+            endpoints.push(iv.hi_ord());
+        }
+        endpoints.sort_unstable();
+        endpoints.dedup();
+
+        let max_coord = 2 * endpoints.len() as u32;
+        let num_nodes = heap_size(max_coord + 1);
+
+        // Pass 1: count how many intervals each node stores.
+        let mut counts = vec![0u32; num_nodes];
+        for iv in intervals {
+            if let Some((lo, hi)) = covered_coord_range(&endpoints, *iv) {
+                for_each_canonical_node(max_coord, lo, hi, |node| counts[node] += 1);
+            }
+        }
+
+        // Prefix-sum into CSR offsets.
+        let mut offsets = vec![0u32; num_nodes + 1];
+        for (i, c) in counts.iter().enumerate() {
+            offsets[i + 1] = offsets[i] + c;
+        }
+
+        // Pass 2: fill the shared slab, reusing `counts` as write cursors.
+        let mut canonical = vec![0u32; offsets[num_nodes] as usize];
+        counts.copy_from_slice(&offsets[..num_nodes]);
+        for (idx, iv) in intervals.iter().enumerate() {
+            if let Some((lo, hi)) = covered_coord_range(&endpoints, *iv) {
+                for_each_canonical_node(max_coord, lo, hi, |node| {
+                    canonical[counts[node] as usize] = idx as u32;
+                    counts[node] += 1;
+                });
+            }
+        }
+
+        let mut by_lo: Vec<u32> = (0..intervals.len() as u32).collect();
+        by_lo.sort_unstable_by_key(|&i| (intervals[i as usize].lo_ord(), i));
+
+        FlatSegmentTree {
+            endpoints: endpoints.into_boxed_slice(),
+            offsets: offsets.into_boxed_slice(),
+            canonical: canonical.into_boxed_slice(),
+            intervals: intervals.to_vec().into_boxed_slice(),
+            by_lo: by_lo.into_boxed_slice(),
+        }
+    }
+
+    /// Number of indexed intervals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Returns true if no intervals are indexed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// The indexed interval at `idx` (input order).
+    #[inline]
+    pub fn interval(&self, idx: usize) -> Interval {
+        self.intervals[idx]
+    }
+
+    /// Number of distinct (interned) endpoints.
+    #[inline]
+    pub fn num_endpoints(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Total canonical storage (the `O(n log n)` bound of Property 3.2).
+    #[inline]
+    pub fn canonical_storage(&self) -> usize {
+        self.canonical.len()
+    }
+
+    /// Indices of all intervals containing the point `p`, sorted.
+    pub fn stab(&self, p: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_stabbed(p, |i| out.push(i));
+        out.sort_unstable();
+        out
+    }
+
+    /// Calls `f` once for every interval containing `p` (unordered).  The
+    /// walk visits one node per level — `O(log n)` array reads plus one call
+    /// per reported interval, with no allocation.
+    pub fn for_each_stabbed(&self, p: f64, mut f: impl FnMut(usize)) {
+        let coord = self.coord_of_point(p);
+        let max_coord = 2 * self.endpoints.len() as u32;
+        let (mut lo, mut hi) = (0u32, max_coord);
+        let mut node = 0usize;
+        loop {
+            let (start, end) = (self.offsets[node], self.offsets[node + 1]);
+            for &idx in &self.canonical[start as usize..end as usize] {
+                f(idx as usize);
+            }
+            if lo == hi {
+                return;
+            }
+            let mid = lo + (hi - lo) / 2;
+            node = 2 * node
+                + if coord <= mid {
+                    hi = mid;
+                    1
+                } else {
+                    lo = mid + 1;
+                    2
+                };
+        }
+    }
+
+    /// Indices of all intervals intersecting the closed query interval `q`,
+    /// sorted.  `O(log n + k)` for `k` reported intervals: an interval
+    /// overlapping `q` either contains `q.lo` (found by the stabbing walk) or
+    /// starts inside `(q.lo, q.hi]` (found by binary search on the
+    /// left-endpoint order) — the two cases are disjoint, so no
+    /// deduplication pass is needed.
+    pub fn overlapping(&self, q: Interval) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_stabbed(q.lo(), |i| out.push(i));
+        let (start, end) = self.started_within(q);
+        out.extend(self.by_lo[start..end].iter().map(|&i| i as usize));
+        out.sort_unstable();
+        out
+    }
+
+    /// Returns true if any indexed interval intersects `q`, without
+    /// materialising the matches.
+    pub fn intersects_any(&self, q: Interval) -> bool {
+        let (start, end) = self.started_within(q);
+        if start < end {
+            return true;
+        }
+        // Otherwise a match must contain q.lo: walk the stabbing path and
+        // stop at the first non-empty canonical subset.
+        let coord = self.coord_of_point(q.lo());
+        let max_coord = 2 * self.endpoints.len() as u32;
+        let (mut lo, mut hi) = (0u32, max_coord);
+        let mut node = 0usize;
+        loop {
+            if self.offsets[node] < self.offsets[node + 1] {
+                return true;
+            }
+            if lo == hi {
+                return false;
+            }
+            let mid = lo + (hi - lo) / 2;
+            node = 2 * node
+                + if coord <= mid {
+                    hi = mid;
+                    1
+                } else {
+                    lo = mid + 1;
+                    2
+                };
+        }
+    }
+
+    /// The `by_lo` range of intervals whose left endpoint lies in
+    /// `(q.lo, q.hi]` — the overlap candidates not containing `q.lo`.
+    fn started_within(&self, q: Interval) -> (usize, usize) {
+        let start = self
+            .by_lo
+            .partition_point(|&i| self.intervals[i as usize].lo_ord() <= q.lo_ord());
+        let end = self
+            .by_lo
+            .partition_point(|&i| self.intervals[i as usize].lo_ord() <= q.hi_ord());
+        (start, end)
+    }
+
+    /// Leaf coordinate of a point: the elementary segment containing it
+    /// (same convention as `SegmentTree`).
+    fn coord_of_point(&self, p: f64) -> u32 {
+        let p = OrdF64::new(p);
+        let below = self.endpoints.partition_point(|&e| e < p) as u32;
+        let is_endpoint =
+            (below as usize) < self.endpoints.len() && self.endpoints[below as usize] == p;
+        if is_endpoint {
+            2 * below + 1
+        } else {
+            2 * below
+        }
+    }
+}
+
+/// Size of the implicit heap holding a balanced tree over `num_leaves`
+/// elementary segments: the recursion `mid = lo + (hi - lo) / 2` reaches
+/// depth `ceil(log2(num_leaves))`, so `2^(depth + 1) - 1` slots cover every
+/// reachable node index (unreachable "hole" slots stay empty and are never
+/// visited — descents are guided by the coordinate ranges).
+fn heap_size(num_leaves: u32) -> usize {
+    let depth = u32::BITS - num_leaves.max(1).next_power_of_two().leading_zeros() - 1;
+    (1usize << (depth + 1)) - 1
+}
+
+/// Visits the canonical-partition nodes of the coordinate range `[lo, hi]`
+/// in the implicit heap rooted at node 0 covering `[0, max_coord]`.
+fn for_each_canonical_node(max_coord: u32, lo: u32, hi: u32, mut f: impl FnMut(usize)) {
+    // The canonical partition has O(log n) nodes reached through O(log n)
+    // boundary nodes; a small explicit stack avoids recursion.
+    let mut stack: Vec<(usize, u32, u32)> = Vec::with_capacity(64);
+    stack.push((0, 0, max_coord));
+    while let Some((node, nlo, nhi)) = stack.pop() {
+        if nhi < lo || hi < nlo {
+            continue;
+        }
+        if lo <= nlo && nhi <= hi {
+            f(node);
+            continue;
+        }
+        let mid = nlo + (nhi - nlo) / 2;
+        stack.push((2 * node + 2, mid + 1, nhi));
+        stack.push((2 * node + 1, nlo, mid));
+    }
+}
+
+/// The range of leaf coordinates fully contained in the closed interval `x`
+/// (same logic as `SegmentTree::covered_coord_range`).
+fn covered_coord_range(endpoints: &[OrdF64], x: Interval) -> Option<(u32, u32)> {
+    let m = endpoints.len() as u32;
+    let lo = if x.lo() == f64::NEG_INFINITY {
+        0
+    } else {
+        let j = endpoints.partition_point(|&e| e < x.lo_ord()) as u32;
+        if j >= m {
+            return None;
+        }
+        2 * j + 1
+    };
+    let hi = if x.hi() == f64::INFINITY {
+        2 * m
+    } else {
+        let j = endpoints.partition_point(|&e| e <= x.hi_ord()) as u32;
+        if j == 0 {
+            return None;
+        }
+        2 * (j - 1) + 1
+    };
+    if lo > hi {
+        None
+    } else {
+        Some((lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SegmentTree;
+
+    fn brute_stab(intervals: &[Interval], p: f64) -> Vec<usize> {
+        intervals
+            .iter()
+            .enumerate()
+            .filter(|(_, iv)| iv.contains_point(p))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn brute_overlap(intervals: &[Interval], q: Interval) -> Vec<usize> {
+        intervals
+            .iter()
+            .enumerate()
+            .filter(|(_, iv)| iv.intersects(q))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn probe_points(intervals: &[Interval]) -> Vec<f64> {
+        let mut points = vec![-1e9, 0.0, 1e9];
+        for iv in intervals {
+            for e in [iv.lo(), iv.hi()] {
+                points.push(e);
+                points.push(e - 0.25);
+                points.push(e + 0.25);
+            }
+        }
+        points
+    }
+
+    #[test]
+    fn stab_matches_brute_force_and_arena_tree() {
+        let intervals = vec![
+            Interval::new(0.0, 4.0),
+            Interval::new(2.0, 9.0),
+            Interval::new(5.0, 6.0),
+            Interval::new(10.0, 12.0),
+            Interval::point(6.0),
+            Interval::new(6.0, 6.5),
+        ];
+        let flat = FlatSegmentTree::build(&intervals);
+        let arena = SegmentTree::build_with_storage(&intervals);
+        for p in probe_points(&intervals) {
+            assert_eq!(flat.stab(p), brute_stab(&intervals, p), "stab at {p}");
+            assert_eq!(flat.stab(p), arena.stab(p), "flat vs arena at {p}");
+        }
+    }
+
+    #[test]
+    fn overlapping_matches_brute_force() {
+        let intervals = vec![
+            Interval::new(0.0, 4.0),
+            Interval::new(2.0, 9.0),
+            Interval::new(5.0, 6.0),
+            Interval::new(10.0, 12.0),
+            Interval::point(6.0),
+        ];
+        let flat = FlatSegmentTree::build(&intervals);
+        let queries = [
+            Interval::new(-5.0, -1.0),
+            Interval::new(-1.0, 0.0),
+            Interval::new(3.0, 5.0),
+            Interval::point(6.0),
+            Interval::new(9.0, 10.0),
+            Interval::new(12.0, 20.0),
+            Interval::new(-100.0, 100.0),
+            Interval::new(6.75, 9.5),
+        ];
+        for q in queries {
+            assert_eq!(flat.overlapping(q), brute_overlap(&intervals, q), "{q}");
+            assert_eq!(
+                flat.intersects_any(q),
+                !brute_overlap(&intervals, q).is_empty(),
+                "{q}"
+            );
+        }
+    }
+
+    #[test]
+    fn stabbed_intervals_are_reported_exactly_once() {
+        // Canonical-partition nodes are pairwise incomparable, so a
+        // root-to-leaf walk meets each interval at most once — the reporting
+        // loop relies on this to skip deduplication.
+        let intervals: Vec<Interval> = (0..40)
+            .map(|i| Interval::new((i % 7) as f64, (i % 7 + i % 5 + 1) as f64))
+            .collect();
+        let flat = FlatSegmentTree::build(&intervals);
+        for p in probe_points(&intervals) {
+            let mut seen = vec![0u32; intervals.len()];
+            flat.for_each_stabbed(p, |i| seen[i] += 1);
+            assert!(seen.iter().all(|&c| c <= 1), "duplicate report at {p}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_trees() {
+        let empty = FlatSegmentTree::build(&[]);
+        assert!(empty.is_empty());
+        assert!(empty.stab(3.0).is_empty());
+        assert!(empty.overlapping(Interval::new(0.0, 1.0)).is_empty());
+        assert!(!empty.intersects_any(Interval::new(0.0, 1.0)));
+
+        let one = FlatSegmentTree::build(&[Interval::point(7.0)]);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.stab(7.0), vec![0]);
+        assert!(one.stab(6.9999).is_empty());
+        assert_eq!(one.overlapping(Interval::new(0.0, 7.0)), vec![0]);
+        assert!(one.overlapping(Interval::new(7.1, 8.0)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_intervals_and_shared_endpoints() {
+        let intervals = vec![
+            Interval::new(1.0, 3.0),
+            Interval::new(1.0, 3.0),
+            Interval::new(3.0, 5.0),
+            Interval::point(3.0),
+            Interval::point(3.0),
+        ];
+        let flat = FlatSegmentTree::build(&intervals);
+        assert_eq!(flat.stab(3.0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(flat.stab(2.0), vec![0, 1]);
+        assert_eq!(flat.overlapping(Interval::point(3.0)), vec![0, 1, 2, 3, 4]);
+        // Interning: the five intervals share only three distinct endpoints.
+        assert_eq!(flat.num_endpoints(), 3);
+    }
+
+    #[test]
+    fn randomised_agreement_with_arena_tree() {
+        // Deterministic xorshift so the test needs no RNG dependency.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 10.0
+        };
+        for n in [1usize, 2, 3, 17, 64, 257] {
+            let intervals: Vec<Interval> = (0..n)
+                .map(|_| {
+                    let lo = next();
+                    Interval::new(lo, lo + next() / 4.0)
+                })
+                .collect();
+            let flat = FlatSegmentTree::build(&intervals);
+            let arena = SegmentTree::build_with_storage(&intervals);
+            for _ in 0..50 {
+                let p = next();
+                assert_eq!(flat.stab(p), arena.stab(p), "n={n} p={p}");
+                let q_lo = next();
+                let q = Interval::new(q_lo, q_lo + next() / 2.0);
+                assert_eq!(flat.overlapping(q), brute_overlap(&intervals, q));
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_storage_is_near_linear() {
+        let n = 256usize;
+        let intervals: Vec<Interval> = (0..n)
+            .map(|i| Interval::new(i as f64 * 0.5, i as f64 * 0.5 + 40.0))
+            .collect();
+        let flat = FlatSegmentTree::build(&intervals);
+        let arena = SegmentTree::build_with_storage(&intervals);
+        // The implicit heap realises the same balanced shape as the arena
+        // tree, so the canonical storage matches exactly.
+        assert_eq!(flat.canonical_storage(), arena.canonical_storage());
+    }
+
+    #[test]
+    fn heap_size_covers_all_reachable_nodes() {
+        for num_leaves in 1u32..200 {
+            let size = heap_size(num_leaves);
+            let mut max_idx = 0usize;
+            for_each_canonical_node(num_leaves - 1, 0, num_leaves - 1, |_| {});
+            // Walk to every leaf and record the deepest index touched.
+            for coord in 0..num_leaves {
+                let (mut lo, mut hi) = (0u32, num_leaves - 1);
+                let mut node = 0usize;
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    node = 2 * node
+                        + if coord <= mid {
+                            hi = mid;
+                            1
+                        } else {
+                            lo = mid + 1;
+                            2
+                        };
+                }
+                max_idx = max_idx.max(node);
+            }
+            assert!(
+                max_idx < size,
+                "leaves={num_leaves} idx={max_idx} size={size}"
+            );
+        }
+    }
+}

@@ -8,6 +8,38 @@
 use crate::OrdF64;
 use std::fmt;
 
+/// Why [`Interval::try_new`] rejected its endpoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IntervalError {
+    /// The left endpoint exceeds the right endpoint.
+    Reversed {
+        /// The offending left endpoint.
+        lo: f64,
+        /// The offending right endpoint.
+        hi: f64,
+    },
+    /// An endpoint is NaN or infinite.
+    NonFinite {
+        /// The offending endpoint value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for IntervalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntervalError::Reversed { lo, hi } => {
+                write!(f, "invalid interval: lo {lo} exceeds hi {hi}")
+            }
+            IntervalError::NonFinite { value } => {
+                write!(f, "invalid interval endpoint: {value} is not finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IntervalError {}
+
 /// A closed interval `[lo, hi]` with `lo <= hi`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Interval {
@@ -27,6 +59,42 @@ impl Interval {
         let hi = OrdF64::new(hi);
         assert!(lo <= hi, "invalid interval: lo must not exceed hi");
         Interval { lo, hi }
+    }
+
+    /// Checked companion of [`Interval::new`] for data that comes from
+    /// outside the type system (generators, parsers, user input): rejects
+    /// reversed endpoints *and* non-finite endpoints instead of panicking.
+    ///
+    /// Unlike [`Interval::new`], which tolerates ±∞ (the extended reals used
+    /// by [`Interval::all`]), `try_new` insists on finite endpoints — a
+    /// generated workload interval must describe real data.
+    ///
+    /// ```
+    /// use ij_segtree::{Interval, IntervalError};
+    ///
+    /// assert_eq!(Interval::try_new(1.0, 2.0), Ok(Interval::new(1.0, 2.0)));
+    /// assert_eq!(
+    ///     Interval::try_new(2.0, 1.0),
+    ///     Err(IntervalError::Reversed { lo: 2.0, hi: 1.0 })
+    /// );
+    /// assert!(Interval::try_new(f64::NEG_INFINITY, 0.0).is_err());
+    /// assert!(Interval::try_new(0.0, f64::NAN).is_err());
+    /// ```
+    #[inline]
+    pub fn try_new(lo: f64, hi: f64) -> Result<Self, IntervalError> {
+        if !lo.is_finite() {
+            return Err(IntervalError::NonFinite { value: lo });
+        }
+        if !hi.is_finite() {
+            return Err(IntervalError::NonFinite { value: hi });
+        }
+        if lo > hi {
+            return Err(IntervalError::Reversed { lo, hi });
+        }
+        Ok(Interval {
+            lo: OrdF64::new(lo),
+            hi: OrdF64::new(hi),
+        })
     }
 
     /// Creates the degenerate point interval `[p, p]`.
@@ -224,5 +292,59 @@ mod tests {
     #[should_panic(expected = "invalid interval")]
     fn reversed_endpoints_are_rejected() {
         let _ = Interval::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn try_new_accepts_exact_boundaries() {
+        // Degenerate point interval: lo == hi is valid.
+        assert_eq!(Interval::try_new(3.0, 3.0), Ok(Interval::point(3.0)));
+        // Largest/smallest finite endpoints are valid.
+        assert!(Interval::try_new(f64::MIN, f64::MAX).is_ok());
+        // Negative zero equals positive zero under the total order.
+        assert_eq!(Interval::try_new(-0.0, 0.0), Ok(Interval::point(0.0)));
+        assert_eq!(Interval::try_new(0.0, -0.0), Ok(Interval::point(0.0)));
+    }
+
+    #[test]
+    fn try_new_rejects_reversed_endpoints() {
+        assert_eq!(
+            Interval::try_new(1.0 + f64::EPSILON, 1.0),
+            Err(IntervalError::Reversed {
+                lo: 1.0 + f64::EPSILON,
+                hi: 1.0,
+            })
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_non_finite_endpoints() {
+        for (lo, hi) in [
+            (f64::NEG_INFINITY, 0.0),
+            (0.0, f64::INFINITY),
+            (f64::NEG_INFINITY, f64::INFINITY),
+            (f64::NAN, 0.0),
+            (0.0, f64::NAN),
+        ] {
+            assert!(
+                matches!(
+                    Interval::try_new(lo, hi),
+                    Err(IntervalError::NonFinite { .. })
+                ),
+                "expected NonFinite for [{lo}, {hi}]"
+            );
+        }
+        // The non-finiteness check must fire before the ordering check, and
+        // before NaN can reach `OrdF64::new` (which would panic).
+        assert!(matches!(
+            Interval::try_new(f64::NAN, f64::NAN),
+            Err(IntervalError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn try_new_agrees_with_new_on_valid_inputs() {
+        for (lo, hi) in [(0.0, 1.0), (-5.5, -5.5), (1e300, 1e301)] {
+            assert_eq!(Interval::try_new(lo, hi), Ok(Interval::new(lo, hi)));
+        }
     }
 }

@@ -10,6 +10,11 @@
 //! * [`SegmentTree`] — the segment tree of Section 3 with canonical
 //!   partitions ([`SegmentTree::canonical_partition`]) and leaf lookup
 //!   ([`SegmentTree::leaf_of_point`]),
+//! * [`FlatSegmentTree`] — a static, pointer-free layout of the same tree
+//!   (interned endpoint ranks, implicit-heap index arithmetic, CSR canonical
+//!   subsets) for cache-friendly stabbing and overlap queries,
+//! * [`IntervalTree`] — a centered interval tree, the classical index-based
+//!   comparator used by the baselines,
 //! * [`DyadicEmbedding`] — the dyadic embedding `F` of bitstrings into intervals used
 //!   by the backward reduction (Section 5).
 //!
@@ -29,6 +34,7 @@
 
 mod bitstring;
 mod dyadic;
+mod flat;
 mod interval;
 mod intervaltree;
 mod ordf64;
@@ -36,7 +42,8 @@ mod tree;
 
 pub use bitstring::{BitString, Compositions, MAX_BITS};
 pub use dyadic::{dyadic_interval, DyadicEmbedding, MAX_DEPTH as DYADIC_MAX_DEPTH};
-pub use interval::Interval;
+pub use flat::FlatSegmentTree;
+pub use interval::{Interval, IntervalError};
 pub use intervaltree::IntervalTree;
 pub use ordf64::OrdF64;
 pub use tree::{NodeId, SegmentTree};

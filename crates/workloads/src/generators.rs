@@ -2,8 +2,19 @@
 
 use ij_hypergraph::VarKind;
 use ij_relation::{Database, Query, Relation, Value};
+use ij_segtree::Interval;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Builds an interval value through [`Interval::try_new`], so a generator
+/// bug (reversed or non-finite endpoints from drifting arithmetic) fails
+/// loudly with the offending endpoints instead of a bare assert.
+fn checked_interval(lo: f64, hi: f64) -> Value {
+    Value::Interval(
+        Interval::try_new(lo, hi)
+            .unwrap_or_else(|e| panic!("workload generator produced {e} (lo={lo}, hi={hi})")),
+    )
+}
 
 /// How interval endpoints are drawn.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -120,7 +131,7 @@ pub fn generate_for_query(q: &Query, cfg: &WorkloadConfig) -> Database {
                 match q.var_kind(v) {
                     Some(VarKind::Interval) => {
                         let (lo, hi) = cfg.distribution.sample(&mut rng);
-                        row.push(Value::interval(lo, hi));
+                        row.push(checked_interval(lo, hi));
                     }
                     _ => {
                         let p = rng.gen_range(0..cfg.tuples_per_relation.max(1)) as f64;
@@ -208,7 +219,7 @@ pub fn planted_unsatisfiable(q: &Query, cfg: &WorkloadConfig) -> Database {
             .map(|t| {
                 t.iter()
                     .map(|v| match v.as_interval() {
-                        Some(iv) => Value::interval(iv.lo() + offset, iv.hi() + offset),
+                        Some(iv) => checked_interval(iv.lo() + offset, iv.hi() + offset),
                         None => Value::point(v.as_point().unwrap_or(0.0) + offset),
                     })
                     .collect()
@@ -231,7 +242,7 @@ pub fn temporal_sessions(relation_names: &[&str], n: usize, seed: u64) -> Databa
         for _ in 0..n {
             let start = rng.gen_range(0.0..horizon);
             let duration = -(rng.gen_range(0.0f64..1.0).max(1e-12)).ln() * 30.0;
-            rel.push(vec![Value::interval(start, start + duration)]);
+            rel.push(vec![checked_interval(start, start + duration)]);
         }
         db.insert(rel);
     }
@@ -257,7 +268,7 @@ pub fn spatial_boxes(
             let y = rng.gen_range(0.0..world);
             let w = rng.gen_range(0.0..=max_side);
             let h = rng.gen_range(0.0..=max_side);
-            rel.push(vec![Value::interval(x, x + w), Value::interval(y, y + h)]);
+            rel.push(vec![checked_interval(x, x + w), checked_interval(y, y + h)]);
         }
         db.insert(rel);
     }

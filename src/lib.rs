@@ -23,7 +23,7 @@
 //!
 //! | Crate | Role |
 //! |---|---|
-//! | [`segtree`] | Intervals, bitstrings, segment trees (Section 3, Appendix B) |
+//! | [`segtree`] | Intervals, bitstrings, segment trees — arena, interval-tree and flat index-arithmetic layouts (Section 3, Appendix B) |
 //! | [`hypergraph`] | Hypergraphs, acyclicity, the structural reduction τ(H) (Sections 4, 6) |
 //! | [`widths`] | ρ*, fhtw, subw bounds, ij-width (Definition 4.14) |
 //! | [`relation`] | Values, the **value dictionary** behind scoped `SharedDictionary` handles, interned columnar relations, query AST |
@@ -31,8 +31,8 @@
 //! | [`reduction`] | Forward (IJ→EJ) and backward (EJ→IJ) data reductions (Sections 4, 5) |
 //! | [`engine`] | End-to-end engine with `Workspace`-owned state, `Tenant` accounting sub-handles and parallel disjunct evaluation |
 //! | [`faqai`] | The FAQ-AI comparator (Appendix F) |
-//! | [`baselines`] | Plane sweep, binary-join cascades, nested loops |
-//! | [`workloads`] | Synthetic workload generators |
+//! | [`baselines`] | Plane sweep, binary-join cascades, nested loops, the segment-tree baseline evaluator |
+//! | [`workloads`] | Synthetic workload generators + the interval-native scenario suite |
 //!
 //! ## Data flow of the interned pipeline
 //!
@@ -115,8 +115,9 @@ pub use ij_reduction as reduction;
 /// The end-to-end intersection-join engine with parallel disjunct evaluation.
 pub use ij_engine as engine;
 
-/// Classical baselines: plane sweep, binary-join cascades, nested loops.
+/// Classical baselines: plane sweep, binary-join cascades, nested loops and
+/// the segment-tree baseline evaluator.
 pub use ij_baselines as baselines;
 
-/// Synthetic workload generators.
+/// Synthetic workload generators and the interval-native scenario suite.
 pub use ij_workloads as workloads;

@@ -1,8 +1,9 @@
 //! Property-based tests for the segment-tree substrate (Section 3,
 //! Property 3.2 and the intersection-predicate rewritings of Section 4.1).
 
-use ij_segtree::{BitString, Interval, SegmentTree};
+use ij_segtree::{BitString, FlatSegmentTree, Interval, IntervalTree, SegmentTree};
 use proptest::prelude::*;
+use proptest::TestCaseError;
 
 /// A random set of closed intervals with small integer-ish endpoints (ties
 /// and containments are likely, which is what we want to stress).
@@ -122,5 +123,142 @@ proptest! {
             }
             prop_assert_eq!(count as u64, leaf.composition_count(parts));
         }
+    }
+}
+
+/// Degenerate point intervals (`lo == hi`): stabbing and overlap reduce to
+/// equality joins (Section 1), a corner the centered-tree splitting logic and
+/// the flat layout's odd/even coordinate convention must both survive.
+fn arb_point_intervals(max_len: usize) -> impl Strategy<Value = Vec<Interval>> {
+    proptest::collection::vec(0i32..20, 1..=max_len).prop_map(|points| {
+        points
+            .into_iter()
+            .map(|p| Interval::point(p as f64))
+            .collect()
+    })
+}
+
+/// Intervals drawn from a tiny endpoint domain so duplicate endpoints (and
+/// entire duplicate intervals) are the common case rather than the exception.
+fn arb_duplicate_heavy_intervals(max_len: usize) -> impl Strategy<Value = Vec<Interval>> {
+    proptest::collection::vec((0i32..6, 0i32..4), 1..=max_len).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(lo, len)| Interval::new(lo as f64, (lo + len) as f64))
+            .collect()
+    })
+}
+
+/// A fully-nested chain I_0 ⊋ I_1 ⊋ ... (Russian-doll shape): every interval
+/// shares stabbing structure with every outer one, the worst case for
+/// centered trees (everything lands on the root's centre list).
+fn arb_nested_intervals(max_len: usize) -> impl Strategy<Value = Vec<Interval>> {
+    proptest::collection::vec((1i32..4, 1i32..4), 1..=max_len).prop_map(|steps| {
+        let total: i32 = steps.iter().map(|(l, r)| l + r).sum();
+        let mut lo = 0i32;
+        let mut hi = 2 * total + 1;
+        let mut out = Vec::with_capacity(steps.len());
+        for (dl, dr) in steps {
+            out.push(Interval::new(lo as f64, hi as f64));
+            lo += dl;
+            hi -= dr;
+        }
+        out
+    })
+}
+
+/// Brute-force oracle for overlap queries.
+fn brute_overlapping(intervals: &[Interval], query: Interval) -> Vec<usize> {
+    intervals
+        .iter()
+        .enumerate()
+        .filter(|(_, iv)| iv.intersects(query))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Brute-force oracle for stabbing queries.
+fn brute_stab(intervals: &[Interval], p: f64) -> Vec<usize> {
+    intervals
+        .iter()
+        .enumerate()
+        .filter(|(_, iv)| iv.contains_point(p))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Checks both index structures against the brute-force oracle on a shared
+/// probe set derived from the data itself (endpoints, midpoints, gaps).
+fn assert_indexes_match_brute_force(intervals: &[Interval]) -> Result<(), TestCaseError> {
+    let centered = IntervalTree::build(intervals);
+    let flat = FlatSegmentTree::build(intervals);
+    prop_assert_eq!(centered.len(), intervals.len());
+    prop_assert_eq!(flat.len(), intervals.len());
+
+    let mut probes: Vec<f64> = Vec::new();
+    for iv in intervals {
+        probes.extend([iv.lo(), iv.hi(), (iv.lo() + iv.hi()) / 2.0]);
+        probes.extend([iv.lo() - 0.5, iv.hi() + 0.5]);
+    }
+    for &p in &probes {
+        let expected = brute_stab(intervals, p);
+        prop_assert_eq!(centered.stab(p), expected.clone(), "centered stab({})", p);
+        prop_assert_eq!(flat.stab(p), expected, "flat stab({})", p);
+    }
+
+    let mut queries: Vec<Interval> = intervals.to_vec();
+    for (i, a) in probes.iter().enumerate() {
+        let b = probes[(i + 3) % probes.len()];
+        queries.push(Interval::new(a.min(b), a.max(b)));
+    }
+    for &q in &queries {
+        let expected = brute_overlapping(intervals, q);
+        prop_assert_eq!(
+            centered.overlapping(q),
+            expected.clone(),
+            "centered overlapping({:?})",
+            q
+        );
+        prop_assert_eq!(
+            flat.overlapping(q),
+            expected.clone(),
+            "flat overlapping({:?})",
+            q
+        );
+        prop_assert_eq!(centered.intersects_any(q), !expected.is_empty());
+        prop_assert_eq!(flat.intersects_any(q), !expected.is_empty());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// Point intervals: both index structures agree with brute force when
+    /// every stored interval is degenerate.
+    #[test]
+    fn interval_indexes_handle_point_intervals(intervals in arb_point_intervals(20)) {
+        assert_indexes_match_brute_force(&intervals)?;
+    }
+
+    /// Duplicate endpoints (and duplicate whole intervals) don't confuse the
+    /// endpoint interning or the centre-list scans.
+    #[test]
+    fn interval_indexes_handle_duplicate_endpoints(intervals in arb_duplicate_heavy_intervals(20)) {
+        assert_indexes_match_brute_force(&intervals)?;
+    }
+
+    /// Fully-nested chains: the centered tree degenerates to one fat root
+    /// node and the flat tree's canonical slabs stack; both must stay exact.
+    #[test]
+    fn interval_indexes_handle_fully_nested_chains(intervals in arb_nested_intervals(16)) {
+        assert_indexes_match_brute_force(&intervals)?;
+    }
+
+    /// General mixed workloads (same distribution the segment-tree properties
+    /// above use) against brute force.
+    #[test]
+    fn interval_indexes_match_brute_force(intervals in arb_intervals(24)) {
+        assert_indexes_match_brute_force(&intervals)?;
     }
 }
