@@ -155,7 +155,7 @@ fn bench_parallel_disjuncts(c: &mut Criterion) {
     for (name, parallelism) in [("sequential", 1usize), ("parallel", 0usize)] {
         let engine = IntersectionJoinEngine::new(EngineConfig::new().with_parallelism(parallelism));
         group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
-            b.iter(|| engine.evaluate_reduction(&reduction).answer)
+            b.iter(|| engine.evaluate_reduction(&reduction).unwrap().answer)
         });
     }
     group.finish();
@@ -196,7 +196,9 @@ fn bench_trie_cache_reuse(c: &mut Criterion) {
         let rebuild_config = EngineConfig::new()
             .with_parallelism(1)
             .with_trie_cache_capacity(0);
-        let stats = IntersectionJoinEngine::new(shared_config).evaluate_reduction(&reduction);
+        let stats = IntersectionJoinEngine::new(shared_config)
+            .evaluate_reduction(&reduction)
+            .unwrap();
         assert!(!stats.answer, "workload must force a full pass");
         println!(
             "substrate/e1-trie-reuse/n{n}: {} disjuncts in {} batches, \
@@ -211,6 +213,7 @@ fn bench_trie_cache_reuse(c: &mut Criterion) {
             b.iter(|| {
                 IntersectionJoinEngine::new(shared_config)
                     .evaluate_reduction(&reduction)
+                    .unwrap()
                     .answer
             })
         });
@@ -218,6 +221,7 @@ fn bench_trie_cache_reuse(c: &mut Criterion) {
             b.iter(|| {
                 IntersectionJoinEngine::new(rebuild_config)
                     .evaluate_reduction(&reduction)
+                    .unwrap()
                     .answer
             })
         });
@@ -257,9 +261,9 @@ fn bench_persistent_cache(c: &mut Criterion) {
         let config = EngineConfig::new().with_parallelism(1);
         let warm = IntersectionJoinEngine::new(config);
         // Prime the persistent cache, then measure the steady state.
-        let primed = warm.evaluate_reduction(&reduction);
+        let primed = warm.evaluate_reduction(&reduction).unwrap();
         assert!(!primed.answer, "workload must force a full pass");
-        let steady = warm.evaluate_reduction(&reduction);
+        let steady = warm.evaluate_reduction(&reduction).unwrap();
         println!(
             "substrate/e1-persistent-cache/n{n}: cold pass {} misses; warm pass \
              {} hits / {} misses, {} resident entries",
@@ -270,12 +274,13 @@ fn bench_persistent_cache(c: &mut Criterion) {
         );
         assert_eq!(steady.trie_cache.misses, 0, "warm pass must be all hits");
         group.bench_with_input(BenchmarkId::new("warm-persistent", n), &n, |b, _| {
-            b.iter(|| warm.evaluate_reduction(&reduction).answer)
+            b.iter(|| warm.evaluate_reduction(&reduction).unwrap().answer)
         });
         group.bench_with_input(BenchmarkId::new("cold-per-evaluation", n), &n, |b, _| {
             b.iter(|| {
                 IntersectionJoinEngine::new(config)
                     .evaluate_reduction(&reduction)
+                    .unwrap()
                     .answer
             })
         });
@@ -322,10 +327,10 @@ fn bench_shared_warmth(c: &mut Criterion) {
     let config = EngineConfig::new().with_parallelism(1);
     let ws = Workspace::new();
     // Warm the workspace cache through one engine …
-    let primed = ws.engine(config).evaluate_reduction(&reduction);
+    let primed = ws.engine(config).evaluate_reduction(&reduction).unwrap();
     assert!(!primed.answer, "workload must force a full pass");
     // … and verify a *second*, independently constructed engine starts warm.
-    let second = ws.engine(config).evaluate_reduction(&reduction);
+    let second = ws.engine(config).evaluate_reduction(&reduction).unwrap();
     assert!(
         second.trie_cache.hits > 0,
         "second engine's first evaluation must report cache hits, got {:?}",
@@ -341,12 +346,18 @@ fn bench_shared_warmth(c: &mut Criterion) {
         second.trie_cache.resident_bytes as f64 / 1024.0,
     );
     group.bench_with_input(BenchmarkId::new("workspace-engines", n), &n, |b, _| {
-        b.iter(|| ws.engine(config).evaluate_reduction(&reduction).answer)
+        b.iter(|| {
+            ws.engine(config)
+                .evaluate_reduction(&reduction)
+                .unwrap()
+                .answer
+        })
     });
     group.bench_with_input(BenchmarkId::new("independent-engines", n), &n, |b, _| {
         b.iter(|| {
             IntersectionJoinEngine::new(config)
                 .evaluate_reduction(&reduction)
+                .unwrap()
                 .answer
         })
     });
@@ -398,6 +409,7 @@ fn bench_tenant_fairness(c: &mut Criterion) {
         !probe
             .engine(config)
             .evaluate_reduction(&probe_reduction)
+            .unwrap()
             .answer
     );
     let per_db = probe.trie_cache_stats().resident_bytes;
@@ -415,12 +427,17 @@ fn bench_tenant_fairness(c: &mut Criterion) {
             .collect();
         let flood_and_evaluate = || {
             for reduction in &noisy_reductions {
-                assert!(!noisy_engine.evaluate_reduction(reduction).answer);
+                assert!(!noisy_engine.evaluate_reduction(reduction).unwrap().answer);
             }
-            victim_engine.evaluate_reduction(&victim_reduction)
+            victim_engine.evaluate_reduction(&victim_reduction).unwrap()
         };
         // Warm the victim, flood once, and record what the flood left.
-        assert!(!victim_engine.evaluate_reduction(&victim_reduction).answer);
+        assert!(
+            !victim_engine
+                .evaluate_reduction(&victim_reduction)
+                .unwrap()
+                .answer
+        );
         let after_flood = flood_and_evaluate();
         // Victim-only latency (the flood outside the measured region): the
         // number an operator's per-tenant latency SLO actually sees.
@@ -428,10 +445,15 @@ fn bench_tenant_fairness(c: &mut Criterion) {
             let mut samples: Vec<std::time::Duration> = (0..5)
                 .map(|_| {
                     for reduction in &noisy_reductions {
-                        assert!(!noisy_engine.evaluate_reduction(reduction).answer);
+                        assert!(!noisy_engine.evaluate_reduction(reduction).unwrap().answer);
                     }
                     let start = std::time::Instant::now();
-                    assert!(!victim_engine.evaluate_reduction(&victim_reduction).answer);
+                    assert!(
+                        !victim_engine
+                            .evaluate_reduction(&victim_reduction)
+                            .unwrap()
+                            .answer
+                    );
                     start.elapsed()
                 })
                 .collect();
@@ -505,7 +527,9 @@ fn bench_flat_trie(c: &mut Criterion) {
         let config = EngineConfig::new()
             .with_parallelism(1)
             .with_trie_layout(layout);
-        let stats = IntersectionJoinEngine::new(config).evaluate_reduction(&reduction);
+        let stats = IntersectionJoinEngine::new(config)
+            .evaluate_reduction(&reduction)
+            .unwrap();
         assert!(!stats.answer, "workload must force a full pass");
         println!(
             "substrate/e1-flat-trie/n{n}/{name}: {} hash / {} flat atom uses \
@@ -516,6 +540,7 @@ fn bench_flat_trie(c: &mut Criterion) {
             b.iter(|| {
                 IntersectionJoinEngine::new(config)
                     .evaluate_reduction(&reduction)
+                    .unwrap()
                     .answer
             })
         });
@@ -554,8 +579,89 @@ fn bench_trie_shards(c: &mut Criterion) {
                 .with_trie_shards(shards),
         );
         group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
-            b.iter(|| engine.evaluate_reduction(&reduction).answer)
+            b.iter(|| engine.evaluate_reduction(&reduction).unwrap().answer)
         });
+    }
+    group.finish();
+}
+
+/// `substrate/e1-cancel-latency`: signal→return latency of cooperative
+/// cancellation on a planted near-miss workload (n = 400 rectangles; the
+/// worst case for backtracking, so an uncancelled run is long enough to
+/// interrupt mid-search), swept over the token's check interval K.  Smaller
+/// K polls the token more often (lower latency, more atomic loads); the
+/// DEFAULT_CHECK_INTERVAL sits in the middle.  Before any timing, each K is
+/// asserted to honour the documented latency ceiling (the bound
+/// `tests/cancellation.rs` also enforces).
+fn bench_cancel_latency(c: &mut Criterion) {
+    use ij_engine::{CancellationToken, EvalError};
+    use ij_workloads::{build_scenario, PlantedAnswer, ScenarioConfig, ScenarioFamily};
+    use std::time::Instant;
+
+    /// The documented ceiling, mirrored from `tests/cancellation.rs`.
+    const LATENCY_BOUND: Duration = Duration::from_millis(250);
+
+    fn measure(
+        engine: &IntersectionJoinEngine,
+        reduction: &ij_reduction::ForwardReduction,
+        check_interval: u32,
+        head_start: Duration,
+    ) -> Duration {
+        let token = CancellationToken::new().with_check_interval(check_interval);
+        std::thread::scope(|scope| {
+            let worker = scope.spawn(|| {
+                let result = engine.evaluate_reduction_cancellable(reduction, Some(&token));
+                (result, Instant::now())
+            });
+            std::thread::sleep(head_start);
+            let signalled = Instant::now();
+            token.cancel();
+            let (result, returned) = worker.join().expect("worker does not panic");
+            match result {
+                Err(EvalError::Cancelled) => {}
+                Ok(stats) => assert!(!stats.answer, "near-miss workload answered true"),
+                Err(other) => panic!("cancel surfaced as {other:?}"),
+            }
+            returned.saturating_duration_since(signalled)
+        })
+    }
+
+    let scenario = build_scenario(
+        &ScenarioConfig::new(ScenarioFamily::SpatialRectangles)
+            .with_tuples(400)
+            .with_seed(3)
+            .with_planted(PlantedAnswer::NearMiss),
+    );
+    let reduction = forward_reduction(&scenario.query, &scenario.database).unwrap();
+    let engine = IntersectionJoinEngine::new(EngineConfig::new().with_parallelism(1));
+    assert!(
+        !engine.evaluate_reduction(&reduction).unwrap().answer,
+        "near-miss workload must be unsatisfiable"
+    );
+
+    let mut group = c.benchmark_group("substrate/e1-cancel-latency");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for check_interval in [64u32, 1024, 16384] {
+        let probe = measure(
+            &engine,
+            &reduction,
+            check_interval,
+            Duration::from_millis(10),
+        );
+        assert!(
+            probe <= LATENCY_BOUND,
+            "check interval {check_interval}: latency {probe:?} exceeds the \
+             documented ceiling {LATENCY_BOUND:?}"
+        );
+        // The timed cycle is spawn → 2 ms head start → cancel → join; the
+        // constant head start makes the K-to-K deltas the latency signal.
+        group.bench_with_input(
+            BenchmarkId::new("check-interval", check_interval),
+            &check_interval,
+            |b, &k| b.iter(|| measure(&engine, &reduction, k, Duration::from_millis(2))),
+        );
     }
     group.finish();
 }
@@ -572,6 +678,7 @@ criterion_group!(
     bench_shared_warmth,
     bench_tenant_fairness,
     bench_flat_trie,
-    bench_trie_shards
+    bench_trie_shards,
+    bench_cancel_latency
 );
 criterion_main!(benches);

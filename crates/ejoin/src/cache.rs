@@ -96,7 +96,8 @@ use crate::flat::{TrieBuild, TrieLayout};
 use crate::trie::effective_shard_count;
 use crate::BoundAtom;
 use ij_hypergraph::VarId;
-use ij_relation::Relation;
+use ij_relation::sync::{read_recover, write_recover};
+use ij_relation::{faults, CancellationToken, EvalError, Relation};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
@@ -431,7 +432,7 @@ impl TrieCache {
     /// `resident_bytes > 0` (which the previous independent relaxed loads
     /// allowed, breaking invariant-checking tests and operators).
     pub fn stats(&self) -> TrieCacheStats {
-        let map = self.map.read().unwrap_or_else(|e| e.into_inner());
+        let map = read_recover(&self.map);
         TrieCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -446,7 +447,7 @@ impl TrieCache {
     /// resident state is read under one acquisition of the map's read lock,
     /// so `entries` and `resident_bytes` are never torn.
     pub fn tenant_stats(&self, tenant: TenantId) -> TenantCacheStats {
-        let map = self.map.read().unwrap_or_else(|e| e.into_inner());
+        let map = read_recover(&self.map);
         let entries = map.values().filter(|slot| slot.owner == tenant).count();
         let ledger = self.ledger(tenant);
         TenantCacheStats {
@@ -483,7 +484,7 @@ impl TrieCache {
         // are visible to the eviction pass below) or acquires the lock after
         // we release it (and then sees the new quota, never a stale higher
         // one).
-        let mut map = self.map.write().unwrap_or_else(|e| e.into_inner());
+        let mut map = write_recover(&self.map);
         ledger.quota.store(bytes, Ordering::Relaxed);
         self.evict_tenant_lru(&mut map, tenant, &ledger, 0, bytes);
     }
@@ -508,21 +509,10 @@ impl TrieCache {
     /// The tenant's ledger, registered on first use (read-probe with a write
     /// upgrade on a genuine miss, like the dictionary stripes).
     fn ledger(&self, tenant: TenantId) -> Arc<TenantLedger> {
-        if let Some(ledger) = self
-            .tenants
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(&tenant)
-        {
+        if let Some(ledger) = read_recover(&self.tenants).get(&tenant) {
             return Arc::clone(ledger);
         }
-        Arc::clone(
-            self.tenants
-                .write()
-                .unwrap_or_else(|e| e.into_inner())
-                .entry(tenant)
-                .or_default(),
-        )
+        Arc::clone(write_recover(&self.tenants).entry(tenant).or_default())
     }
 
     /// The tries for `atom` under `global_order`, built into
@@ -542,6 +532,14 @@ impl TrieCache {
     /// duplicating its (identical, unsharded) trie; likewise the *resolved*
     /// `layout`, so an `Auto` request shares the entry of the explicit layout
     /// it resolves to.
+    ///
+    /// A miss builds cooperatively under `token` (if any) and surfaces
+    /// cancellation / deadline / builder-panic failures as [`EvalError`].  A
+    /// failed build mutates nothing: the `cache-insert` failpoint and every
+    /// fallible step sit **before** the first accounting mutation under the
+    /// write lock, so the ledgers and resident-byte totals always describe
+    /// exactly the resident entries (see `ij_relation::sync`).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn tries_for(
         &self,
         atom: &BoundAtom<'_>,
@@ -550,7 +548,8 @@ impl TrieCache {
         layout: TrieLayout,
         tenant: Option<&TenantHandle>,
         activity: Option<&CacheActivity>,
-    ) -> Arc<TrieBuild> {
+        token: Option<&CancellationToken>,
+    ) -> Result<Arc<TrieBuild>, EvalError> {
         let num_shards = effective_shard_count(atom.relation.len(), num_shards);
         let levels = crate::trie::trie_level_vars(atom, global_order);
         let layout = layout.resolve(atom.relation.len(), levels.len());
@@ -570,14 +569,14 @@ impl TrieCache {
             }
         };
         let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
-        if let Some(slot) = self.map.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
+        if let Some(slot) = read_recover(&self.map).get(&key) {
             slot.last_used.store(now, Ordering::Relaxed);
             self.hits.fetch_add(1, Ordering::Relaxed);
             ledger.hits.fetch_add(1, Ordering::Relaxed);
             if let Some(a) = activity {
                 a.hits.fetch_add(1, Ordering::Relaxed);
             }
-            return Arc::clone(&slot.tries);
+            return Ok(Arc::clone(&slot.tries));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         ledger.misses.fetch_add(1, Ordering::Relaxed);
@@ -589,18 +588,24 @@ impl TrieCache {
             global_order,
             num_shards,
             layout,
-        ));
+            token,
+        )?);
         let new_bytes: usize = built.heap_bytes();
         if self.byte_budget > 0 && new_bytes > self.byte_budget {
             // An entry that alone exceeds the whole byte budget can never be
             // resident within it; hand it to the caller uncached.
-            return built;
+            return Ok(built);
         }
-        let mut map = self.map.write().unwrap_or_else(|e| e.into_inner());
+        let mut map = write_recover(&self.map);
+        // Failpoint before any accounting mutation: an injected panic here
+        // poisons the lock but leaves the guarded state untouched, which is
+        // exactly the consistency contract the poison-recovering helpers
+        // rely on.
+        faults::point("cache-insert");
         if let Some(existing) = map.get(&key) {
             // Lost an insert race; adopt the winner so all workers share.
             existing.last_used.store(now, Ordering::Relaxed);
-            return Arc::clone(&existing.tries);
+            return Ok(Arc::clone(&existing.tries));
         }
         // The quota is read under the map's write lock, and nonzero quotas
         // are *stored* under the same lock (`set_tenant_quota`): any setter
@@ -611,7 +616,7 @@ impl TrieCache {
         if quota > 0 && new_bytes > quota {
             // Like the pooled budget: an entry that alone exceeds the
             // owner's quota could only become resident by exceeding it.
-            return built;
+            return Ok(built);
         }
         // Quota-aware eviction first: an over-quota owner evicts its *own*
         // least-recently-used entries until the insert fits its quota, so a
@@ -662,7 +667,7 @@ impl TrieCache {
                 last_used: AtomicU64::new(now),
             },
         );
-        built
+        Ok(built)
     }
 
     /// Evicts `tenant`'s own entries in LRU order until its resident bytes
@@ -751,6 +756,11 @@ pub struct EvalContext<'c> {
     /// Like `shards`, the knob is answer-preserving: every setting yields
     /// bit-identical Boolean and enumerated answers.
     pub layout: TrieLayout,
+    /// Cooperative cancellation / deadline token polled by the evaluation's
+    /// long-running loops (trie builds, candidate intersection, reduction
+    /// transforms) every [`CancellationToken::check_interval`] units of
+    /// work; `None` runs to completion.
+    pub token: Option<&'c CancellationToken>,
 }
 
 impl<'c> EvalContext<'c> {
@@ -800,24 +810,35 @@ mod tests {
         let r = rel("R", vec![vec![1.0, 2.0], vec![1.0, 3.0]]);
         let s = rel("S", vec![vec![1.0, 2.0], vec![1.0, 3.0]]);
         let atom_r = BoundAtom::new(&r, vec![0, 1]);
-        let first = cache.tries_for(&atom_r, &[0, 1], 1, TrieLayout::Auto, None, None);
+        let first = cache
+            .tries_for(&atom_r, &[0, 1], 1, TrieLayout::Auto, None, None, None)
+            .unwrap();
         // Same content under a different name: a hit, sharing the same trie.
         let atom_s = BoundAtom::new(&s, vec![0, 1]);
-        let second = cache.tries_for(&atom_s, &[0, 1], 1, TrieLayout::Auto, None, None);
+        let second = cache
+            .tries_for(&atom_s, &[0, 1], 1, TrieLayout::Auto, None, None, None)
+            .unwrap();
         assert!(Arc::ptr_eq(&first, &second));
         // Different binding or level order: separate entries.
-        cache.tries_for(
-            &BoundAtom::new(&r, vec![1, 0]),
-            &[0, 1],
-            1,
-            TrieLayout::Auto,
-            None,
-            None,
-        );
-        cache.tries_for(&atom_r, &[1, 0], 1, TrieLayout::Auto, None, None);
+        cache
+            .tries_for(
+                &BoundAtom::new(&r, vec![1, 0]),
+                &[0, 1],
+                1,
+                TrieLayout::Auto,
+                None,
+                None,
+                None,
+            )
+            .unwrap();
+        cache
+            .tries_for(&atom_r, &[1, 0], 1, TrieLayout::Auto, None, None, None)
+            .unwrap();
         // A different *requested* shard count on a tiny relation sizes down
         // to the same effective (unsharded) build: a hit, not a new entry.
-        cache.tries_for(&atom_r, &[0, 1], 2, TrieLayout::Auto, None, None);
+        cache
+            .tries_for(&atom_r, &[0, 1], 2, TrieLayout::Auto, None, None, None)
+            .unwrap();
         let stats = cache.stats();
         assert_eq!(stats.hits, 2);
         assert_eq!(stats.misses, 3);
@@ -831,43 +852,55 @@ mod tests {
         let cache = TrieCache::with_capacity(1);
         let r = rel("R", vec![vec![1.0]]);
         let s = rel("S", vec![vec![2.0]]);
-        cache.tries_for(
-            &BoundAtom::new(&r, vec![0]),
-            &[0],
-            1,
-            TrieLayout::Auto,
-            None,
-            None,
-        );
+        cache
+            .tries_for(
+                &BoundAtom::new(&r, vec![0]),
+                &[0],
+                1,
+                TrieLayout::Auto,
+                None,
+                None,
+                None,
+            )
+            .unwrap();
         // Inserting S evicts R (the only, hence least-recent, entry).
-        cache.tries_for(
-            &BoundAtom::new(&s, vec![0]),
-            &[0],
-            1,
-            TrieLayout::Auto,
-            None,
-            None,
-        );
+        cache
+            .tries_for(
+                &BoundAtom::new(&s, vec![0]),
+                &[0],
+                1,
+                TrieLayout::Auto,
+                None,
+                None,
+                None,
+            )
+            .unwrap();
         assert_eq!(cache.stats().entries, 1);
         assert_eq!(cache.stats().evictions, 1);
         // The resident entry hits; the evicted one rebuilds (a miss).
-        cache.tries_for(
-            &BoundAtom::new(&s, vec![0]),
-            &[0],
-            1,
-            TrieLayout::Auto,
-            None,
-            None,
-        );
+        cache
+            .tries_for(
+                &BoundAtom::new(&s, vec![0]),
+                &[0],
+                1,
+                TrieLayout::Auto,
+                None,
+                None,
+                None,
+            )
+            .unwrap();
         assert_eq!(cache.stats().hits, 1);
-        cache.tries_for(
-            &BoundAtom::new(&r, vec![0]),
-            &[0],
-            1,
-            TrieLayout::Auto,
-            None,
-            None,
-        );
+        cache
+            .tries_for(
+                &BoundAtom::new(&r, vec![0]),
+                &[0],
+                1,
+                TrieLayout::Auto,
+                None,
+                None,
+                None,
+            )
+            .unwrap();
         let stats = cache.stats();
         assert_eq!(stats.misses, 3);
         assert_eq!(stats.evictions, 2);
@@ -911,7 +944,9 @@ mod tests {
                 TrieLayout::Auto,
                 None,
                 None,
+                None,
             )
+            .unwrap()
             .heap_bytes();
         assert!(per_trie > 0);
         let budget = 3 * per_trie + per_trie / 2;
@@ -920,14 +955,17 @@ mod tests {
             .map(|i| rel(&format!("R{i}"), vec![vec![100.0 + i as f64]]))
             .collect();
         for r in &relations {
-            cache.tries_for(
-                &BoundAtom::new(r, vec![0]),
-                &[0],
-                1,
-                TrieLayout::Auto,
-                None,
-                None,
-            );
+            cache
+                .tries_for(
+                    &BoundAtom::new(r, vec![0]),
+                    &[0],
+                    1,
+                    TrieLayout::Auto,
+                    None,
+                    None,
+                    None,
+                )
+                .unwrap();
             let stats = cache.stats();
             assert!(
                 stats.resident_bytes <= budget,
@@ -941,14 +979,17 @@ mod tests {
         // The survivors are the most recently used; re-requesting the last
         // insert hits without growing the resident total.
         let before = cache.stats().resident_bytes;
-        cache.tries_for(
-            &BoundAtom::new(&relations[5], vec![0]),
-            &[0],
-            1,
-            TrieLayout::Auto,
-            None,
-            None,
-        );
+        cache
+            .tries_for(
+                &BoundAtom::new(&relations[5], vec![0]),
+                &[0],
+                1,
+                TrieLayout::Auto,
+                None,
+                None,
+                None,
+            )
+            .unwrap();
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.stats().resident_bytes, before);
     }
@@ -959,26 +1000,32 @@ mod tests {
         // nothing is ever evicted, and lookups still return working tries.
         let cache = TrieCache::with_limits(0, 1);
         let r = rel("R", vec![vec![1.0], vec![2.0]]);
-        let first = cache.tries_for(
-            &BoundAtom::new(&r, vec![0]),
-            &[0],
-            1,
-            TrieLayout::Auto,
-            None,
-            None,
-        );
+        let first = cache
+            .tries_for(
+                &BoundAtom::new(&r, vec![0]),
+                &[0],
+                1,
+                TrieLayout::Auto,
+                None,
+                None,
+                None,
+            )
+            .unwrap();
         let TrieBuild::Hash(tries) = &*first else {
             panic!("tiny relations resolve to the hash layout");
         };
         assert_eq!(tries[0].root().fanout(), 2);
-        cache.tries_for(
-            &BoundAtom::new(&r, vec![0]),
-            &[0],
-            1,
-            TrieLayout::Auto,
-            None,
-            None,
-        );
+        cache
+            .tries_for(
+                &BoundAtom::new(&r, vec![0]),
+                &[0],
+                1,
+                TrieLayout::Auto,
+                None,
+                None,
+                None,
+            )
+            .unwrap();
         let stats = cache.stats();
         assert_eq!(stats.entries, 0);
         assert_eq!(stats.resident_bytes, 0);
@@ -1001,7 +1048,9 @@ mod tests {
                 TrieLayout::Auto,
                 None,
                 None,
+                None,
             )
+            .unwrap()
             .heap_bytes();
         assert!(per_trie > 0);
         // Room for ~8 single-row tries.
@@ -1011,14 +1060,17 @@ mod tests {
             .map(|i| rel(&format!("S{i}"), vec![vec![10.0 + i as f64]]))
             .collect();
         for r in &small {
-            cache.tries_for(
-                &BoundAtom::new(r, vec![0]),
-                &[0],
-                1,
-                TrieLayout::Auto,
-                None,
-                None,
-            );
+            cache
+                .tries_for(
+                    &BoundAtom::new(r, vec![0]),
+                    &[0],
+                    1,
+                    TrieLayout::Auto,
+                    None,
+                    None,
+                    None,
+                )
+                .unwrap();
         }
         let before = cache.stats();
         assert_eq!(before.entries, 8);
@@ -1026,14 +1078,17 @@ mod tests {
         // A single large insert (~6 tries worth of distinct values) must
         // evict several small entries at once.
         let big = rel("BIG", (0..12).map(|i| vec![500.0 + i as f64]).collect());
-        cache.tries_for(
-            &BoundAtom::new(&big, vec![0]),
-            &[0],
-            1,
-            TrieLayout::Auto,
-            None,
-            None,
-        );
+        cache
+            .tries_for(
+                &BoundAtom::new(&big, vec![0]),
+                &[0],
+                1,
+                TrieLayout::Auto,
+                None,
+                None,
+                None,
+            )
+            .unwrap();
         let after = cache.stats();
         assert!(
             after.evictions >= 2,
@@ -1067,7 +1122,9 @@ mod tests {
                 TrieLayout::Auto,
                 None,
                 None,
+                None,
             )
+            .unwrap()
             .heap_bytes();
         let victim = TenantId::from_raw(1);
         let noisy = TenantId::from_raw(2);
@@ -1079,28 +1136,34 @@ mod tests {
 
         // The victim inserts first (its entries are the LRU of the pool)…
         let vr = rel("V", vec![vec![1.0]]);
-        cache.tries_for(
-            &BoundAtom::new(&vr, vec![0]),
-            &[0],
-            1,
-            TrieLayout::Auto,
-            Some(&victim_h),
-            None,
-        );
+        cache
+            .tries_for(
+                &BoundAtom::new(&vr, vec![0]),
+                &[0],
+                1,
+                TrieLayout::Auto,
+                Some(&victim_h),
+                None,
+                None,
+            )
+            .unwrap();
         // …then the noisy tenant floods five distinct entries through a
         // two-entry quota: it must evict only its *own* LRU entries.
         let noisy_rels: Vec<Relation> = (0..5)
             .map(|i| rel(&format!("N{i}"), vec![vec![100.0 + i as f64]]))
             .collect();
         for r in &noisy_rels {
-            cache.tries_for(
-                &BoundAtom::new(r, vec![0]),
-                &[0],
-                1,
-                TrieLayout::Auto,
-                Some(&noisy_h),
-                None,
-            );
+            cache
+                .tries_for(
+                    &BoundAtom::new(r, vec![0]),
+                    &[0],
+                    1,
+                    TrieLayout::Auto,
+                    Some(&noisy_h),
+                    None,
+                    None,
+                )
+                .unwrap();
             let ns = cache.tenant_stats(noisy);
             assert!(
                 ns.resident_bytes <= ns.quota_bytes,
@@ -1118,25 +1181,31 @@ mod tests {
         let vs = cache.tenant_stats(victim);
         assert_eq!(vs.evictions, 0);
         assert_eq!(vs.entries, 1);
-        cache.tries_for(
-            &BoundAtom::new(&vr, vec![0]),
-            &[0],
-            1,
-            TrieLayout::Auto,
-            Some(&victim_h),
-            None,
-        );
+        cache
+            .tries_for(
+                &BoundAtom::new(&vr, vec![0]),
+                &[0],
+                1,
+                TrieLayout::Auto,
+                Some(&victim_h),
+                None,
+                None,
+            )
+            .unwrap();
         assert_eq!(cache.tenant_stats(victim).hits, 1);
         // A build larger than the quota alone stays uncached.
         let big = rel("BIGN", (0..32).map(|i| vec![900.0 + i as f64]).collect());
-        cache.tries_for(
-            &BoundAtom::new(&big, vec![0]),
-            &[0],
-            1,
-            TrieLayout::Auto,
-            Some(&noisy_h),
-            None,
-        );
+        cache
+            .tries_for(
+                &BoundAtom::new(&big, vec![0]),
+                &[0],
+                1,
+                TrieLayout::Auto,
+                Some(&noisy_h),
+                None,
+                None,
+            )
+            .unwrap();
         assert_eq!(
             cache.tenant_stats(noisy).entries,
             2,
@@ -1154,32 +1223,41 @@ mod tests {
         let r = rel("R", vec![vec![1.0]]);
         let s = rel("S", vec![vec![2.0]]);
         // Another caller's activity (no accumulator attached).
-        cache.tries_for(
-            &BoundAtom::new(&r, vec![0]),
-            &[0],
-            1,
-            TrieLayout::Auto,
-            None,
-            None,
-        );
+        cache
+            .tries_for(
+                &BoundAtom::new(&r, vec![0]),
+                &[0],
+                1,
+                TrieLayout::Auto,
+                None,
+                None,
+                None,
+            )
+            .unwrap();
         let mine = CacheActivity::new();
         // My lookups: one miss that evicts R, then one hit.
-        cache.tries_for(
-            &BoundAtom::new(&s, vec![0]),
-            &[0],
-            1,
-            TrieLayout::Auto,
-            None,
-            Some(&mine),
-        );
-        cache.tries_for(
-            &BoundAtom::new(&s, vec![0]),
-            &[0],
-            1,
-            TrieLayout::Auto,
-            None,
-            Some(&mine),
-        );
+        cache
+            .tries_for(
+                &BoundAtom::new(&s, vec![0]),
+                &[0],
+                1,
+                TrieLayout::Auto,
+                None,
+                Some(&mine),
+                None,
+            )
+            .unwrap();
+        cache
+            .tries_for(
+                &BoundAtom::new(&s, vec![0]),
+                &[0],
+                1,
+                TrieLayout::Auto,
+                None,
+                Some(&mine),
+                None,
+            )
+            .unwrap();
         assert_eq!(mine.hits(), 1);
         assert_eq!(mine.misses(), 1);
         assert_eq!(mine.evictions(), 1, "my insert evicted the resident entry");
@@ -1194,25 +1272,31 @@ mod tests {
         let cache = TrieCache::with_limits(1, 0);
         let r = rel("R", vec![vec![1.0]]);
         let s = rel("S", vec![vec![2.0], vec![3.0]]);
-        cache.tries_for(
-            &BoundAtom::new(&r, vec![0]),
-            &[0],
-            1,
-            TrieLayout::Auto,
-            None,
-            None,
-        );
+        cache
+            .tries_for(
+                &BoundAtom::new(&r, vec![0]),
+                &[0],
+                1,
+                TrieLayout::Auto,
+                None,
+                None,
+                None,
+            )
+            .unwrap();
         let with_r = cache.stats().resident_bytes;
         assert!(with_r > 0);
         // Inserting S evicts R; the resident bytes must now describe S only.
-        cache.tries_for(
-            &BoundAtom::new(&s, vec![0]),
-            &[0],
-            1,
-            TrieLayout::Auto,
-            None,
-            None,
-        );
+        cache
+            .tries_for(
+                &BoundAtom::new(&s, vec![0]),
+                &[0],
+                1,
+                TrieLayout::Auto,
+                None,
+                None,
+                None,
+            )
+            .unwrap();
         let stats = cache.stats();
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.evictions, 1);
@@ -1225,8 +1309,12 @@ mod tests {
         let r = rel("R", vec![vec![1.0, 2.0], vec![1.0, 3.0]]);
         let atom = BoundAtom::new(&r, vec![0, 1]);
         // Explicit hash and flat builds of one atom: two distinct entries.
-        let hash = cache.tries_for(&atom, &[0, 1], 1, TrieLayout::Hash, None, None);
-        let flat = cache.tries_for(&atom, &[0, 1], 1, TrieLayout::Flat, None, None);
+        let hash = cache
+            .tries_for(&atom, &[0, 1], 1, TrieLayout::Hash, None, None, None)
+            .unwrap();
+        let flat = cache
+            .tries_for(&atom, &[0, 1], 1, TrieLayout::Flat, None, None, None)
+            .unwrap();
         assert_eq!(hash.layout(), TrieLayout::Hash);
         assert_eq!(flat.layout(), TrieLayout::Flat);
         let stats = cache.stats();
@@ -1234,7 +1322,9 @@ mod tests {
         assert_eq!(stats.entries, 2);
         // Auto on this tiny relation resolves to Hash and *hits* the
         // explicit hash entry instead of inserting a third.
-        let auto = cache.tries_for(&atom, &[0, 1], 1, TrieLayout::Auto, None, None);
+        let auto = cache
+            .tries_for(&atom, &[0, 1], 1, TrieLayout::Auto, None, None, None)
+            .unwrap();
         assert!(Arc::ptr_eq(&hash, &auto));
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.stats().entries, 2);

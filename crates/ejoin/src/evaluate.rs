@@ -13,7 +13,7 @@ use crate::cache::EvalContext;
 use crate::generic::{generic_join_boolean_with, generic_join_enumerate_with};
 use crate::yannakakis::yannakakis_boolean;
 use ij_hypergraph::VarId;
-use ij_relation::Relation;
+use ij_relation::{EvalError, Relation};
 use ij_widths::{optimal_tree_decomposition, MAX_DP_VERTICES};
 
 /// The evaluation strategy for Boolean EJ queries.
@@ -42,6 +42,7 @@ pub enum EjStrategy {
 /// schema width.
 pub fn evaluate_ej_boolean(atoms: &[BoundAtom<'_>], strategy: EjStrategy) -> bool {
     evaluate_ej_boolean_with(atoms, strategy, EvalContext::default())
+        .expect("tokenless evaluations cannot be cancelled")
 }
 
 /// [`evaluate_ej_boolean`] with an explicit [`EvalContext`]: every trie built
@@ -51,18 +52,25 @@ pub fn evaluate_ej_boolean(atoms: &[BoundAtom<'_>], strategy: EjStrategy) -> boo
 /// lookup is metered as the context's tenant and counted into the context's
 /// evaluation-local [`CacheActivity`](crate::CacheActivity) accumulator, if
 /// one is attached.  The answer is identical for every context.
+///
+/// # Errors
+///
+/// Propagates the [`EvalError`] of any trie build or join search under the
+/// chosen strategy when the context's
+/// [`CancellationToken`](ij_relation::CancellationToken) fires or a build
+/// worker panics.  Tokenless contexts never fail.
 pub fn evaluate_ej_boolean_with(
     atoms: &[BoundAtom<'_>],
     strategy: EjStrategy,
     eval: EvalContext<'_>,
-) -> bool {
+) -> Result<bool, EvalError> {
     match strategy {
         EjStrategy::Auto | EjStrategy::Decomposition => {
             if atoms.is_empty() {
-                return true;
+                return Ok(true);
             }
             if atoms.iter().any(|a| a.relation.is_empty()) {
-                return false;
+                return Ok(false);
             }
             let (relations, varsets) = project_singleton_variables(atoms);
             let projected: Vec<BoundAtom<'_>> = relations
@@ -72,7 +80,7 @@ pub fn evaluate_ej_boolean_with(
                 .collect();
             if strategy == EjStrategy::Auto {
                 if let Some(answer) = yannakakis_boolean(&projected) {
-                    answer
+                    Ok(answer)
                 } else if hypergraph_of(&projected).0.num_vertices() <= MAX_DP_VERTICES {
                     decomposition_boolean_with(&projected, eval)
                 } else {
@@ -83,7 +91,8 @@ pub fn evaluate_ej_boolean_with(
             }
         }
         EjStrategy::Yannakakis => {
-            yannakakis_boolean(atoms).expect("Yannakakis strategy requires an alpha-acyclic query")
+            Ok(yannakakis_boolean(atoms)
+                .expect("Yannakakis strategy requires an alpha-acyclic query"))
         }
         EjStrategy::GenericJoin => generic_join_boolean_with(atoms, None, eval),
     }
@@ -129,16 +138,25 @@ fn project_singleton_variables(atoms: &[BoundAtom<'_>]) -> (Vec<Relation>, Vec<V
 /// the (acyclic) bag query.
 pub fn decomposition_boolean(atoms: &[BoundAtom<'_>]) -> bool {
     decomposition_boolean_with(atoms, EvalContext::default())
+        .expect("tokenless evaluations cannot be cancelled")
 }
 
 /// [`decomposition_boolean`] with an explicit [`EvalContext`] threaded into
 /// every bag materialisation (and the generic-join fallback).
-pub fn decomposition_boolean_with(atoms: &[BoundAtom<'_>], eval: EvalContext<'_>) -> bool {
+///
+/// # Errors
+///
+/// Propagates any bag materialisation's [`EvalError`] — a cancelled bag would
+/// under-approximate the join, so the whole evaluation fails instead.
+pub fn decomposition_boolean_with(
+    atoms: &[BoundAtom<'_>],
+    eval: EvalContext<'_>,
+) -> Result<bool, EvalError> {
     if atoms.is_empty() {
-        return true;
+        return Ok(true);
     }
     if atoms.iter().any(|a| a.relation.is_empty()) {
-        return false;
+        return Ok(false);
     }
     let (h, dense_to_caller) = hypergraph_of(atoms);
     // The reduction of a single IJ query evaluates many EJ disjuncts sharing
@@ -184,17 +202,17 @@ pub fn decomposition_boolean_with(atoms: &[BoundAtom<'_>], eval: EvalContext<'_>
         .enumerate()
         .map(|(i, bag)| {
             let bag_vars: Vec<VarId> = bag.iter().map(|&dense| dense_to_caller[dense]).collect();
-            (
-                materialise_bag_with(atoms, &bag_vars, &format!("bag{i}"), eval),
+            Ok((
+                materialise_bag_with(atoms, &bag_vars, &format!("bag{i}"), eval)?,
                 bag_vars,
-            )
+            ))
         })
-        .collect();
+        .collect::<Result<_, EvalError>>()?;
     if bags
         .iter()
         .any(|(rel, vars)| rel.is_empty() && !vars.is_empty())
     {
-        return false;
+        return Ok(false);
     }
 
     // The bag query is acyclic by construction; evaluate it with Yannakakis.
@@ -202,8 +220,10 @@ pub fn decomposition_boolean_with(atoms: &[BoundAtom<'_>], eval: EvalContext<'_>
         .iter()
         .map(|(rel, vars)| BoundAtom::new(rel, vars.clone()))
         .collect();
-    yannakakis_boolean(&bag_atoms)
-        .unwrap_or_else(|| generic_join_boolean_with(&bag_atoms, None, eval))
+    match yannakakis_boolean(&bag_atoms) {
+        Some(answer) => Ok(answer),
+        None => generic_join_boolean_with(&bag_atoms, None, eval),
+    }
 }
 
 /// Materialises one bag: the join of the projections of every overlapping
@@ -211,6 +231,7 @@ pub fn decomposition_boolean_with(atoms: &[BoundAtom<'_>], eval: EvalContext<'_>
 /// the others act as semijoin filters).
 pub fn materialise_bag(atoms: &[BoundAtom<'_>], bag_vars: &[VarId], name: &str) -> Relation {
     materialise_bag_with(atoms, bag_vars, name, EvalContext::default())
+        .expect("tokenless evaluations cannot be cancelled")
 }
 
 /// [`materialise_bag`] with an explicit [`EvalContext`] for the underlying
@@ -218,12 +239,17 @@ pub fn materialise_bag(atoms: &[BoundAtom<'_>], bag_vars: &[VarId], name: &str) 
 /// functions of the atoms and the bag, so when the same bag recurs across the
 /// disjuncts of a reduction, the context's cache serves the projection tries
 /// without rebuilding them.
+///
+/// # Errors
+///
+/// Propagates the underlying enumeration's [`EvalError`] (cancellation,
+/// deadline expiry, or a trie-build worker panic).
 pub fn materialise_bag_with(
     atoms: &[BoundAtom<'_>],
     bag_vars: &[VarId],
     name: &str,
     eval: EvalContext<'_>,
-) -> Relation {
+) -> Result<Relation, EvalError> {
     // Project each overlapping atom onto the bag.
     let mut projected: Vec<(Relation, Vec<VarId>)> = Vec::new();
     for atom in atoms {

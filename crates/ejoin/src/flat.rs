@@ -26,10 +26,12 @@
 //! naive oracle) to identical answers across shard counts and cache
 //! configurations.
 
-use crate::trie::{effective_shard_count, partition_rows_by_shard, TriePlan};
+use crate::trie::{
+    build_shards_isolated, effective_shard_count, partition_rows_by_shard, TriePlan,
+};
 use crate::BoundAtom;
 use ij_hypergraph::VarId;
-use ij_relation::{kernels, ValueId};
+use ij_relation::{faults, kernels, CancelTicker, CancellationToken, EvalError, ValueId};
 
 /// Below this many rows, [`TrieLayout::Auto`] keeps the hash layout: the
 /// flat build's sort and permutation bookkeeping cannot pay for itself when
@@ -109,7 +111,7 @@ impl FlatTrie {
     /// in the CSR layout.
     pub fn build(atom: &BoundAtom<'_>, global_order: &[VarId]) -> Self {
         let plan = TriePlan::new(atom, global_order);
-        FlatTrie::from_plan(&plan, None)
+        FlatTrie::from_plan(&plan, None, None).expect("tokenless builds cannot be cancelled")
     }
 
     /// Builds the flat trie of `atom` split into sub-tries by
@@ -121,6 +123,20 @@ impl FlatTrie {
     /// [`FlatTrie::build`].  Per-atom sizing ([`effective_shard_count`]) and
     /// the zero-level degenerate case behave exactly like the hash build.
     ///
+    /// Cancellation and isolation mirror
+    /// [`AtomTrie::build_sharded`](crate::AtomTrie::build_sharded): the CSR
+    /// emission loop polls `token` every
+    /// [`check_interval`](CancellationToken::check_interval) rows, shard
+    /// workers run under `catch_unwind`, and a panicking worker cancels its
+    /// siblings through a build-local child token and surfaces as
+    /// [`EvalError::WorkerPanicked`].
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::Cancelled`] / [`EvalError::DeadlineExceeded`] when the
+    /// token fires mid-build, [`EvalError::WorkerPanicked`] when a shard
+    /// worker panics.
+    ///
     /// # Panics
     ///
     /// Panics if the relation has more than `u32::MAX` rows (row indices and
@@ -129,7 +145,8 @@ impl FlatTrie {
         atom: &BoundAtom<'_>,
         global_order: &[VarId],
         num_shards: usize,
-    ) -> Vec<Self> {
+        token: Option<&CancellationToken>,
+    ) -> Result<Vec<Self>, EvalError> {
         assert!(
             atom.relation.len() <= u32::MAX as usize,
             "flat trie build supports at most 2^32 rows per relation"
@@ -137,16 +154,15 @@ impl FlatTrie {
         let num_shards = effective_shard_count(atom.relation.len(), num_shards);
         let plan = TriePlan::new(atom, global_order);
         if num_shards <= 1 || plan.level_columns.is_empty() {
-            return vec![FlatTrie::from_plan(&plan, None)];
+            return Ok(vec![FlatTrie::from_plan(&plan, None, token)?]);
         }
         let shard_rows = partition_rows_by_shard(atom, &plan, num_shards);
-        std::thread::scope(|scope| {
+        // Build-local child token: lets a panicking shard worker cancel its
+        // siblings without the cancellation leaking into the caller's token.
+        let local = token.map(|t| t.child());
+        build_shards_isolated(atom.relation.name(), local.as_ref(), &shard_rows, {
             let plan = &plan;
-            let handles: Vec<_> = shard_rows
-                .iter()
-                .map(|rows| scope.spawn(move || FlatTrie::from_plan(plan, Some(rows))))
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+            move |rows, tok| FlatTrie::from_plan(plan, Some(rows), tok)
         })
     }
 
@@ -154,8 +170,17 @@ impl FlatTrie {
     /// by the level columns, then emit every level's value and offset arrays
     /// in one pass over the sorted permutation (a row extends the arrays from
     /// the first level where its path diverges from its predecessor's;
-    /// fully-equal paths — duplicate tuples — are skipped).
-    fn from_plan(plan: &TriePlan<'_>, rows: Option<&[u32]>) -> Self {
+    /// fully-equal paths — duplicate tuples — are skipped).  The emission
+    /// loop polls `token` every `check_interval` rows; the lexicographic sort
+    /// itself runs to completion (it is a single `sort_unstable_by`, bounded
+    /// and allocation-free).
+    fn from_plan(
+        plan: &TriePlan<'_>,
+        rows: Option<&[u32]>,
+        token: Option<&CancellationToken>,
+    ) -> Result<Self, EvalError> {
+        faults::point("trie-build");
+        let mut ticker = CancelTicker::new(token);
         let k = plan.level_columns.len();
         let num_rows = plan
             .level_columns
@@ -188,6 +213,7 @@ impl FlatTrie {
         let mut child_start: Vec<Vec<u32>> = vec![Vec::new(); k];
         let mut prev: Option<usize> = None;
         for &row in &perm {
+            ticker.tick()?;
             let row = row as usize;
             // First level where this row's path diverges from its
             // predecessor's; `k` means a duplicate path.
@@ -214,7 +240,7 @@ impl FlatTrie {
         for level in 0..k.saturating_sub(1) {
             child_start[level].push(values[level + 1].len() as u32);
         }
-        FlatTrie {
+        Ok(FlatTrie {
             level_vars: plan.level_vars.clone(),
             levels: values
                 .into_iter()
@@ -224,7 +250,7 @@ impl FlatTrie {
                     child_start: child_start.into_boxed_slice(),
                 })
                 .collect(),
-        }
+        })
     }
 
     /// The sorted, distinct child run `lo..hi` of `level`'s value array (the
@@ -301,22 +327,34 @@ impl TrieBuild {
     /// Builds `atom`'s tries under `global_order` into
     /// [`effective_shard_count`]`(rows, num_shards)` shards, in the layout
     /// `layout` resolves to for this atom ([`TrieLayout::resolve`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying layout build's [`EvalError`]: cancellation
+    /// or deadline expiry of `token`, or a shard worker panic.
     pub fn build_sharded(
         atom: &BoundAtom<'_>,
         global_order: &[VarId],
         num_shards: usize,
         layout: TrieLayout,
-    ) -> TrieBuild {
-        match layout.resolve(atom.relation.len(), atom.var_set().len()) {
-            TrieLayout::Flat => {
-                TrieBuild::Flat(FlatTrie::build_sharded(atom, global_order, num_shards))
-            }
-            _ => TrieBuild::Hash(crate::AtomTrie::build_sharded(
-                atom,
-                global_order,
-                num_shards,
-            )),
-        }
+        token: Option<&CancellationToken>,
+    ) -> Result<TrieBuild, EvalError> {
+        Ok(
+            match layout.resolve(atom.relation.len(), atom.var_set().len()) {
+                TrieLayout::Flat => TrieBuild::Flat(FlatTrie::build_sharded(
+                    atom,
+                    global_order,
+                    num_shards,
+                    token,
+                )?),
+                _ => TrieBuild::Hash(crate::AtomTrie::build_sharded(
+                    atom,
+                    global_order,
+                    num_shards,
+                    token,
+                )?),
+            },
+        )
     }
 
     /// The (resolved) layout this build used.
@@ -476,7 +514,7 @@ mod tests {
             let order = [2, 5];
             let full = flat_paths(&FlatTrie::build(&atom, &order));
             for num_shards in [2usize, 4] {
-                let shards = FlatTrie::build_sharded(&atom, &order, num_shards);
+                let shards = FlatTrie::build_sharded(&atom, &order, num_shards, None).unwrap();
                 assert_eq!(shards.len(), num_shards);
                 let mut union = Vec::new();
                 for (index, shard) in shards.iter().enumerate() {
@@ -493,7 +531,10 @@ mod tests {
         // Small relations degrade to one unsharded trie.
         let small = rel("S", (0..10).map(|i| vec![i as f64]).collect());
         let atom = BoundAtom::new(&small, vec![0]);
-        assert_eq!(FlatTrie::build_sharded(&atom, &[0], 8).len(), 1);
+        assert_eq!(
+            FlatTrie::build_sharded(&atom, &[0], 8, None).unwrap().len(),
+            1
+        );
     }
 
     #[test]
@@ -554,9 +595,9 @@ mod tests {
     fn trie_build_dispatches_on_the_resolved_layout() {
         let tiny = rel("T", vec![vec![1.0, 2.0]]);
         let atom = BoundAtom::new(&tiny, vec![0, 1]);
-        let auto = TrieBuild::build_sharded(&atom, &[0, 1], 1, TrieLayout::Auto);
+        let auto = TrieBuild::build_sharded(&atom, &[0, 1], 1, TrieLayout::Auto, None).unwrap();
         assert_eq!(auto.layout(), TrieLayout::Hash, "tiny relations stay hash");
-        let forced = TrieBuild::build_sharded(&atom, &[0, 1], 1, TrieLayout::Flat);
+        let forced = TrieBuild::build_sharded(&atom, &[0, 1], 1, TrieLayout::Flat, None).unwrap();
         assert_eq!(forced.layout(), TrieLayout::Flat);
         assert_eq!(forced.shard_count(), 1);
         assert_eq!(forced.level_vars(), &[0, 1]);

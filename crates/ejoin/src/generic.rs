@@ -49,9 +49,28 @@ use crate::cache::EvalContext;
 use crate::flat::{FlatTrie, TrieBuild};
 use crate::trie::{effective_shard_count, TrieNode};
 use ij_hypergraph::VarId;
-use ij_relation::{kernels, IdBuildHasher, IdHashSet, Relation, SharedDictionary, Value, ValueId};
+use ij_relation::sync::lock_recover;
+use ij_relation::{
+    kernels, CancelTicker, EvalError, IdBuildHasher, IdHashSet, Relation, SharedDictionary, Value,
+    ValueId,
+};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// Folds a per-shard evaluation error into the shared error slot, keeping the
+/// most diagnostic one: a [`EvalError::WorkerPanicked`] or
+/// [`EvalError::DeadlineExceeded`] replaces the [`EvalError::Cancelled`] it
+/// (or a sibling's bail-out) induced; the first error wins otherwise.
+pub(crate) fn fold_shard_error(slot: &mut Option<EvalError>, e: EvalError) {
+    let prefer = match (&slot, &e) {
+        (None, _) => true,
+        (Some(EvalError::Cancelled), other) => !matches!(other, EvalError::Cancelled),
+        _ => false,
+    };
+    if prefer {
+        *slot = Some(e);
+    }
+}
 
 /// A shared context for one generic-join execution.
 ///
@@ -71,7 +90,15 @@ struct JoinContext {
 }
 
 impl JoinContext {
-    fn new(atoms: &[BoundAtom<'_>], order: Option<Vec<VarId>>, eval: EvalContext<'_>) -> Self {
+    /// Builds (or fetches from the context's cache) every atom's tries.
+    /// Fallible: trie builds poll `eval.token` and run panic-isolated, so a
+    /// cancellation, deadline expiry or builder panic surfaces here before
+    /// the search starts.
+    fn new(
+        atoms: &[BoundAtom<'_>],
+        order: Option<Vec<VarId>>,
+        eval: EvalContext<'_>,
+    ) -> Result<Self, EvalError> {
         let order = order.unwrap_or_else(|| all_vars(atoms));
         // The split variable: the first variable of the order that occurs in
         // any atom.  Every atom containing it has it as its first trie level
@@ -112,17 +139,29 @@ impl JoinContext {
                     _ => 1,
                 };
                 let t = match eval.cache {
-                    Some(cache) => {
-                        cache.tries_for(a, &order, shards, eval.layout, eval.tenant, eval.activity)
-                    }
-                    None => Arc::new(TrieBuild::build_sharded(a, &order, shards, eval.layout)),
+                    Some(cache) => cache.tries_for(
+                        a,
+                        &order,
+                        shards,
+                        eval.layout,
+                        eval.tenant,
+                        eval.activity,
+                        eval.token,
+                    )?,
+                    None => Arc::new(TrieBuild::build_sharded(
+                        a,
+                        &order,
+                        shards,
+                        eval.layout,
+                        eval.token,
+                    )?),
                 };
                 if let Some(activity) = eval.activity {
                     activity.record_layout(t.layout());
                 }
-                t
+                Ok(t)
             })
-            .collect();
+            .collect::<Result<_, EvalError>>()?;
         let participating: Vec<Vec<usize>> = order
             .iter()
             .map(|v| {
@@ -131,12 +170,12 @@ impl JoinContext {
                     .collect()
             })
             .collect();
-        JoinContext {
+        Ok(JoinContext {
             tries,
             order,
             participating,
             num_shards,
-        }
+        })
     }
 
     /// The sub-trie index of atom `i` effective in shard `shard` (unsharded
@@ -266,44 +305,70 @@ fn down(trie: &FlatTrie, level: usize, index: u32) -> Pos<'_> {
 /// variables are processed in increasing identifier order.
 pub fn generic_join_boolean(atoms: &[BoundAtom<'_>], order: Option<Vec<VarId>>) -> bool {
     generic_join_boolean_with(atoms, order, EvalContext::default())
+        .expect("tokenless joins cannot be cancelled")
 }
 
 /// [`generic_join_boolean`] with an explicit [`EvalContext`]: tries come from
 /// the context's cache (when present) and the search fans out across trie
 /// shards (when `shards > 1`).  The answer is identical for every context.
+///
+/// # Errors
+///
+/// When the context carries a [`CancellationToken`](ij_relation::CancellationToken),
+/// the trie builds and the candidate-intersection loops poll it every
+/// [`check_interval`](ij_relation::CancellationToken::check_interval)
+/// candidates and surface [`EvalError::Cancelled`] /
+/// [`EvalError::DeadlineExceeded`]; a panicking trie-build worker surfaces as
+/// [`EvalError::WorkerPanicked`].  A found answer beats a sibling shard's
+/// error: `true` is returned even when another shard was cancelled
+/// (`true ∨ unknown = true`).
 pub fn generic_join_boolean_with(
     atoms: &[BoundAtom<'_>],
     order: Option<Vec<VarId>>,
     eval: EvalContext<'_>,
-) -> bool {
+) -> Result<bool, EvalError> {
     if atoms.iter().any(|a| a.relation.is_empty()) {
-        return false;
+        return Ok(false);
     }
     if atoms.is_empty() {
-        return true;
+        return Ok(true);
     }
-    let ctx = JoinContext::new(atoms, order, eval);
+    let ctx = JoinContext::new(atoms, order, eval)?;
     if ctx.num_shards == 1 {
         let mut positions = ctx.roots(0);
-        return search(&ctx, 0, &mut positions, None);
+        let mut ticker = CancelTicker::new(eval.token);
+        return search(&ctx, 0, &mut positions, &mut ticker, None);
     }
     // Fan out: one scoped thread per shard, first success stops the rest.
     let found = AtomicBool::new(false);
+    let error: Mutex<Option<EvalError>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for shard in 0..ctx.num_shards {
             if ctx.shard_is_dead(shard) {
                 continue;
             }
-            let (ctx, found) = (&ctx, &found);
+            let (ctx, found, error) = (&ctx, &found, &error);
             scope.spawn(move || {
                 let mut positions = ctx.roots(shard);
-                if search(ctx, 0, &mut positions, Some(found)) {
-                    found.store(true, Ordering::Release);
+                let mut ticker = CancelTicker::new(eval.token);
+                match search(ctx, 0, &mut positions, &mut ticker, Some(found)) {
+                    Ok(true) => found.store(true, Ordering::Release),
+                    Ok(false) => {}
+                    Err(e) => fold_shard_error(&mut lock_recover(error), e),
                 }
             });
         }
     });
-    found.load(Ordering::Acquire)
+    if found.load(Ordering::Acquire) {
+        // A witness is a witness: the disjunction over shards is true no
+        // matter what the cancelled shards would have said.
+        return Ok(true);
+    }
+    let first = lock_recover(&error).take();
+    match first {
+        Some(e) => Err(e),
+        None => Ok(false),
+    }
 }
 
 /// Enumerates the projection of the join onto `output_vars`, deduplicated.
@@ -316,6 +381,7 @@ pub fn generic_join_enumerate(
     output_name: &str,
 ) -> Relation {
     generic_join_enumerate_with(atoms, output_vars, output_name, EvalContext::default())
+        .expect("tokenless joins cannot be cancelled")
 }
 
 /// [`generic_join_enumerate`] with an explicit [`EvalContext`]: tries come
@@ -323,12 +389,18 @@ pub fn generic_join_enumerate(
 /// its own scoped thread (when `shards > 1`), the per-shard results being
 /// merged, sorted and deduplicated — the output relation is identical for
 /// every context.
+///
+/// # Errors
+///
+/// Same taxonomy as [`generic_join_boolean_with`]; unlike the Boolean case
+/// there is no early-true escape, so any shard's error fails the whole
+/// enumeration (a partial enumeration would be a wrong answer).
 pub fn generic_join_enumerate_with(
     atoms: &[BoundAtom<'_>],
     output_vars: &[VarId],
     output_name: &str,
     eval: EvalContext<'_>,
-) -> Relation {
+) -> Result<Relation, EvalError> {
     // The output lives in the input atoms' dictionary (scoped inputs produce
     // scoped outputs; ids pass through without re-interning).
     let dict = atoms
@@ -337,7 +409,7 @@ pub fn generic_join_enumerate_with(
         .unwrap_or_else(|| SharedDictionary::global());
     let mut out = Relation::new_in(output_name, output_vars.len(), dict);
     if atoms.is_empty() || atoms.iter().any(|a| a.relation.is_empty()) {
-        return out;
+        return Ok(out);
     }
     // Order: output variables first, then the rest.
     let mut order: Vec<VarId> = output_vars.to_vec();
@@ -346,7 +418,7 @@ pub fn generic_join_enumerate_with(
             order.push(v);
         }
     }
-    let ctx = JoinContext::new(atoms, Some(order.clone()), eval);
+    let ctx = JoinContext::new(atoms, Some(order.clone()), eval)?;
     let out_positions: Vec<usize> = output_vars
         .iter()
         .map(|v| order.iter().position(|u| u == v).unwrap())
@@ -361,13 +433,14 @@ pub fn generic_join_enumerate_with(
     // interned into the atoms' dictionary (once per call — after the first
     // call this is a single stripe read-lock probe, off the search hot path).
     let placeholder = dict.intern(Value::point(0.0));
-    let enumerate_shard = |shard: usize| -> Vec<Vec<ValueId>> {
+    let enumerate_shard = |shard: usize| -> Result<Vec<Vec<ValueId>>, EvalError> {
         let mut results: Vec<Vec<ValueId>> = Vec::new();
         if ctx.shard_is_dead(shard) {
-            return results;
+            return Ok(results);
         }
         let mut positions = ctx.roots(shard);
         let mut assignment: Vec<ValueId> = vec![placeholder; order.len()];
+        let mut ticker = CancelTicker::new(eval.token);
         enumerate_rec(
             &ctx,
             0,
@@ -375,29 +448,41 @@ pub fn generic_join_enumerate_with(
             &mut assignment,
             &out_positions,
             &mut results,
-        );
-        results
+            &mut ticker,
+        )?;
+        Ok(results)
     };
     let mut results: Vec<Vec<ValueId>> = if ctx.num_shards == 1 {
-        enumerate_shard(0)
+        enumerate_shard(0)?
     } else {
         // Fan out one scoped thread per shard; merging in shard order (and
         // sorting below) keeps the output deterministic.
-        let per_shard: Vec<Vec<Vec<ValueId>>> = std::thread::scope(|scope| {
+        let per_shard: Vec<Result<Vec<Vec<ValueId>>, EvalError>> = std::thread::scope(|scope| {
             let enumerate_shard = &enumerate_shard;
             let handles: Vec<_> = (0..ctx.num_shards)
                 .map(|shard| scope.spawn(move || enumerate_shard(shard)))
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
-        per_shard.into_iter().flatten().collect()
+        let mut error: Option<EvalError> = None;
+        let mut merged: Vec<Vec<ValueId>> = Vec::new();
+        for r in per_shard {
+            match r {
+                Ok(rows) => merged.extend(rows),
+                Err(e) => fold_shard_error(&mut error, e),
+            }
+        }
+        if let Some(e) = error {
+            return Err(e);
+        }
+        merged
     };
     results.sort_unstable();
     results.dedup();
     for r in results {
         out.push_ids(&r);
     }
-    out
+    Ok(out)
 }
 
 /// Intersects the candidate values for `depth` across the participating
@@ -420,12 +505,18 @@ pub fn generic_join_enumerate_with(
 ///   (in whichever layout it has) and probe the remaining atoms' positions
 ///   per candidate (hash positions probe the node map, flat positions gallop
 ///   their run).
-fn intersect_candidates<'t>(
+///
+/// The ticker is threaded through every frame of the recursion (lent to
+/// `visit` and back), so the cancellation check interval is amortised over
+/// the *whole* search — one countdown across all depths — and ticked once per
+/// candidate considered, matched or not.
+fn intersect_candidates<'t, 'k>(
     ctx: &'t JoinContext,
     depth: usize,
     positions: &mut Vec<Pos<'t>>,
-    visit: &mut impl FnMut(&mut Vec<Pos<'t>>, ValueId) -> bool,
-) -> bool {
+    ticker: &mut CancelTicker<'k>,
+    visit: &mut impl FnMut(&mut Vec<Pos<'t>>, &mut CancelTicker<'k>, ValueId) -> Result<bool, EvalError>,
+) -> Result<bool, EvalError> {
     let participating = &ctx.participating[depth];
     let saved: Vec<Pos<'t>> = participating.iter().map(|&i| positions[i]).collect();
     if saved.iter().all(|p| matches!(p, Pos::Flat { .. })) {
@@ -443,6 +534,7 @@ fn intersect_candidates<'t>(
             .collect();
         let mut cursors = vec![0usize; runs.len()];
         while let Some(value) = kernels::leapfrog_next(&runs, &mut cursors) {
+            ticker.tick()?;
             // Every cursor points at `value`; descend by index.
             for (slot, &i) in participating.iter().enumerate() {
                 let Pos::Flat {
@@ -453,8 +545,8 @@ fn intersect_candidates<'t>(
                 };
                 positions[i] = down(trie, level, lo + cursors[slot] as u32);
             }
-            if visit(positions, value) {
-                return true;
+            if visit(positions, ticker, value)? {
+                return Ok(true);
             }
             for c in cursors.iter_mut() {
                 *c += 1;
@@ -463,7 +555,7 @@ fn intersect_candidates<'t>(
         for (slot, &i) in participating.iter().enumerate() {
             positions[i] = saved[slot];
         }
-        return false;
+        return Ok(false);
     }
     // Mixed layouts (or pure hash): iterate the smallest candidate set,
     // probe the others.  A failed probe leaves later slots stale, which is
@@ -487,8 +579,10 @@ fn intersect_candidates<'t>(
     match saved[smallest] {
         Pos::Hash(node) => {
             for (value, child) in node.children() {
-                if try_value(positions, value, Pos::Hash(child)) && visit(positions, value) {
-                    return true;
+                ticker.tick()?;
+                if try_value(positions, value, Pos::Hash(child)) && visit(positions, ticker, value)?
+                {
+                    return Ok(true);
                 }
             }
         }
@@ -500,9 +594,10 @@ fn intersect_candidates<'t>(
         } => {
             let run = trie.run(level, lo, hi);
             for (r, &value) in run.iter().enumerate() {
+                ticker.tick()?;
                 let child = down(trie, level, lo + r as u32);
-                if try_value(positions, value, child) && visit(positions, value) {
-                    return true;
+                if try_value(positions, value, child) && visit(positions, ticker, value)? {
+                    return Ok(true);
                 }
             }
         }
@@ -511,74 +606,88 @@ fn intersect_candidates<'t>(
     for (slot, &i) in participating.iter().enumerate() {
         positions[i] = saved[slot];
     }
-    false
+    Ok(false)
 }
 
 /// Core recursive search: `true` as soon as one full assignment exists.  When
 /// `stop` is set and flips to true (another shard already found a match), the
 /// search bails out with `false` — callers combine per-shard results with the
 /// flag itself.
-fn search<'t>(
+fn search<'t, 'k>(
     ctx: &'t JoinContext,
     depth: usize,
     positions: &mut Vec<Pos<'t>>,
+    ticker: &mut CancelTicker<'k>,
     stop: Option<&AtomicBool>,
-) -> bool {
+) -> Result<bool, EvalError> {
     if depth == ctx.order.len() {
-        return true;
+        return Ok(true);
     }
     if let Some(flag) = stop {
         if flag.load(Ordering::Acquire) {
-            return false;
+            return Ok(false);
         }
     }
     if ctx.participating[depth].is_empty() {
         // No atom constrains this variable (can happen for variables
         // projected away by empty atoms lists); just skip it.
-        return search(ctx, depth + 1, positions, stop);
+        return search(ctx, depth + 1, positions, ticker, stop);
     }
-    intersect_candidates(ctx, depth, positions, &mut |positions, _| {
-        search(ctx, depth + 1, positions, stop)
-    })
+    intersect_candidates(
+        ctx,
+        depth,
+        positions,
+        ticker,
+        &mut |positions, ticker, _| search(ctx, depth + 1, positions, ticker, stop),
+    )
 }
 
 /// Recursive enumeration collecting output prefixes of satisfiable
 /// assignments.
-fn enumerate_rec<'t>(
+fn enumerate_rec<'t, 'k>(
     ctx: &'t JoinContext,
     depth: usize,
     positions: &mut Vec<Pos<'t>>,
     assignment: &mut Vec<ValueId>,
     out_positions: &[usize],
     results: &mut Vec<Vec<ValueId>>,
-) {
+    ticker: &mut CancelTicker<'k>,
+) -> Result<(), EvalError> {
     if depth == ctx.order.len() {
         results.push(out_positions.iter().map(|&p| assignment[p]).collect());
-        return;
+        return Ok(());
     }
     if ctx.participating[depth].is_empty() {
-        enumerate_rec(
+        return enumerate_rec(
             ctx,
             depth + 1,
             positions,
             assignment,
             out_positions,
             results,
+            ticker,
         );
-        return;
     }
-    intersect_candidates(ctx, depth, positions, &mut |positions, value| {
-        assignment[depth] = value;
-        enumerate_rec(
-            ctx,
-            depth + 1,
-            positions,
-            assignment,
-            out_positions,
-            results,
-        );
-        false
-    });
+    intersect_candidates(
+        ctx,
+        depth,
+        positions,
+        ticker,
+        &mut |positions, ticker, value| {
+            assignment[depth] = value;
+            enumerate_rec(
+                ctx,
+                depth + 1,
+                positions,
+                assignment,
+                out_positions,
+                results,
+                ticker,
+            )?;
+            Ok(false)
+        },
+    )?;
+    Ok(())
 }
 
 /// Byte mask over the rows of `left_cols` marking the rows whose key tuple
@@ -851,12 +960,13 @@ mod tests {
                             ..EvalContext::default()
                         };
                         assert_eq!(
-                            generic_join_boolean_with(&atoms, None, eval),
+                            generic_join_boolean_with(&atoms, None, eval).unwrap(),
                             expected,
                             "boolean, shards {shards}, layout {layout:?}, cached {}",
                             cache_ref.is_some()
                         );
-                        let out = generic_join_enumerate_with(&atoms, &[A, B, C], "out", eval);
+                        let out =
+                            generic_join_enumerate_with(&atoms, &[A, B, C], "out", eval).unwrap();
                         assert_eq!(
                             out.tuples(),
                             expected_out.tuples(),
@@ -913,8 +1023,11 @@ mod tests {
                     layout,
                     ..EvalContext::default()
                 };
-                assert_eq!(generic_join_boolean_with(&atoms, None, eval), expected);
-                let out = generic_join_enumerate_with(&atoms, &[A, B, C], "out", eval);
+                assert_eq!(
+                    generic_join_boolean_with(&atoms, None, eval).unwrap(),
+                    expected
+                );
+                let out = generic_join_enumerate_with(&atoms, &[A, B, C], "out", eval).unwrap();
                 assert_eq!(
                     out.tuples(),
                     expected_out.tuples(),

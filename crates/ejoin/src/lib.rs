@@ -38,6 +38,18 @@
 //! byte quotas — [`TrieCache::set_tenant_quota`]), and an optional
 //! [`CacheActivity`] accumulator giving the evaluation **exact** local
 //! hit/miss/eviction counts under any concurrency.
+//!
+//! # Cancellation and fault isolation
+//!
+//! The context finally carries an optional
+//! [`CancellationToken`](ij_relation::CancellationToken): trie builds and
+//! the candidate-intersection loops poll it at a bounded interval, so the
+//! fallible `*_with` entry points return
+//! [`EvalError`](ij_relation::EvalError)`::Cancelled` /
+//! `DeadlineExceeded` promptly instead of running to completion.  Sharded
+//! build workers run panic-isolated (`catch_unwind`); a panicking worker
+//! cancels its siblings and surfaces as `EvalError::WorkerPanicked` without
+//! poisoning the shared cache (see `ij_relation::sync`).
 
 #![warn(missing_docs)]
 

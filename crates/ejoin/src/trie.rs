@@ -33,7 +33,10 @@
 
 use crate::BoundAtom;
 use ij_hypergraph::VarId;
-use ij_relation::{kernels, IdHashMap, ValueId};
+use ij_relation::{
+    faults, kernels, panic_payload_string, CancelTicker, CancellationToken, EvalError, IdHashMap,
+    ValueId,
+};
 
 /// The shard a first-level value id belongs to, out of `num_shards`.
 ///
@@ -127,7 +130,9 @@ impl AtomTrie {
     /// elimination order of the chosen decomposition).
     pub fn build(atom: &BoundAtom<'_>, global_order: &[VarId]) -> Self {
         let plan = TriePlan::new(atom, global_order);
-        let root = plan.build_root(None);
+        let root = plan
+            .build_root(None, None)
+            .expect("tokenless builds cannot be cancelled");
         AtomTrie {
             level_vars: plan.level_vars,
             root,
@@ -146,6 +151,13 @@ impl AtomTrie {
     /// build also degenerates to one trie when `num_shards <= 1` or the atom
     /// has no levels (arity-zero guard relations).
     ///
+    /// The insert loops poll `token` (if any) every
+    /// [`check_interval`](CancellationToken::check_interval) rows; shard
+    /// workers run under `catch_unwind`, a panicking worker cancels its
+    /// siblings (through a build-local child token, so the caller's token is
+    /// never signalled), and the panic surfaces as
+    /// [`EvalError::WorkerPanicked`] naming the relation.
+    ///
     /// # Panics
     ///
     /// Panics if the relation has more than `u32::MAX` rows (the partition
@@ -154,7 +166,8 @@ impl AtomTrie {
         atom: &BoundAtom<'_>,
         global_order: &[VarId],
         num_shards: usize,
-    ) -> Vec<Self> {
+        token: Option<&CancellationToken>,
+    ) -> Result<Vec<Self>, EvalError> {
         assert!(
             atom.relation.len() <= u32::MAX as usize,
             "sharded trie build supports at most 2^32 rows per relation"
@@ -162,29 +175,27 @@ impl AtomTrie {
         let num_shards = effective_shard_count(atom.relation.len(), num_shards);
         let plan = TriePlan::new(atom, global_order);
         if num_shards <= 1 || plan.level_columns.is_empty() {
-            let root = plan.build_root(None);
-            return vec![AtomTrie {
+            let root = plan.build_root(None, token)?;
+            return Ok(vec![AtomTrie {
                 level_vars: plan.level_vars,
                 root,
-            }];
+            }]);
         }
         let shard_rows = partition_rows_by_shard(atom, &plan, num_shards);
-        // Phase 2 — build one sub-trie per shard in parallel.
-        let roots: Vec<TrieNode> = std::thread::scope(|scope| {
+        // Phase 2 — build one sub-trie per shard in parallel, each worker
+        // panic-isolated and polling a build-local child token.
+        let local = token.map(|t| t.child());
+        let roots = build_shards_isolated(atom.relation.name(), local.as_ref(), &shard_rows, {
             let plan = &plan;
-            let handles: Vec<_> = shard_rows
-                .iter()
-                .map(|rows| scope.spawn(move || plan.build_root(Some(rows))))
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
-        roots
+            move |rows, tok| plan.build_root(Some(rows), tok)
+        })?;
+        Ok(roots
             .into_iter()
             .map(|root| AtomTrie {
                 level_vars: plan.level_vars.clone(),
                 root,
             })
-            .collect()
+            .collect())
     }
 
     /// The root node.
@@ -333,8 +344,15 @@ impl<'a> TriePlan<'a> {
     }
 
     /// Inserts the given rows (all rows when `None`) into a fresh root,
-    /// skipping rows rejected by the repeated-variable mask.
-    fn build_root(&self, rows: Option<&[u32]>) -> TrieNode {
+    /// skipping rows rejected by the repeated-variable mask.  Polls `token`
+    /// (if any) every check-interval rows, so a build of any size cancels
+    /// with bounded latency.
+    fn build_root(
+        &self,
+        rows: Option<&[u32]>,
+        token: Option<&CancellationToken>,
+    ) -> Result<TrieNode, EvalError> {
+        faults::point("trie-build");
         let mut root = TrieNode::default();
         let mut path: Vec<ValueId> = vec![ValueId::dummy(); self.level_columns.len()];
         let num_rows = self
@@ -342,31 +360,114 @@ impl<'a> TriePlan<'a> {
             .first()
             .map(|c| c.len())
             .unwrap_or_default();
-        let mut insert = |row: usize| {
+        let mut ticker = CancelTicker::new(token);
+        let mut insert = |row: usize| -> Result<(), EvalError> {
+            ticker.tick()?;
             if let Some(mask) = &self.pass {
                 if mask[row] == 0 {
-                    return;
+                    return Ok(());
                 }
             }
             for (slot, col) in path.iter_mut().zip(&self.level_columns) {
                 *slot = col[row];
             }
             root.insert_path(&path);
+            Ok(())
         };
         match rows {
-            Some(rows) => rows.iter().for_each(|&r| insert(r as usize)),
+            Some(rows) => {
+                for &r in rows {
+                    insert(r as usize)?;
+                }
+            }
             None => match &self.pass {
                 // With a filter mask, walk only the surviving rows (the
                 // chunked selection skips fully-rejected row groups).
                 Some(mask) => {
                     let mut surviving = Vec::new();
                     kernels::select_indices(mask, 0, &mut surviving);
-                    surviving.iter().for_each(|&r| insert(r as usize));
+                    for &r in &surviving {
+                        insert(r as usize)?;
+                    }
                 }
-                None => (0..num_rows).for_each(&mut insert),
+                None => {
+                    for r in 0..num_rows {
+                        insert(r)?;
+                    }
+                }
             },
         }
-        root
+        Ok(root)
+    }
+}
+
+/// Runs one `build` closure per shard on scoped threads, each isolated by
+/// `catch_unwind` — the shared phase-2 harness of both trie layouts.  The
+/// `shard-worker` failpoint fires inside the isolation boundary; a panicking
+/// worker cancels its siblings through `token` (the caller passes a
+/// build-local child token, so the evaluation's own token is never
+/// signalled) and is reported as [`EvalError::WorkerPanicked`] naming
+/// `atom_name` — preferred over the `Cancelled` it induced in the siblings.
+pub(crate) fn build_shards_isolated<T, F>(
+    atom_name: &str,
+    token: Option<&CancellationToken>,
+    shard_rows: &[Vec<u32>],
+    build: F,
+) -> Result<Vec<T>, EvalError>
+where
+    T: Send,
+    F: Fn(&[u32], Option<&CancellationToken>) -> Result<T, EvalError> + Sync,
+{
+    let results: Vec<Result<T, EvalError>> = std::thread::scope(|scope| {
+        let build = &build;
+        let handles: Vec<_> = shard_rows
+            .iter()
+            .map(|rows| {
+                scope.spawn(move || {
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        faults::point("shard-worker");
+                        build(rows, token)
+                    }));
+                    match caught {
+                        Ok(result) => result,
+                        Err(payload) => {
+                            // Stop sibling shard builders promptly.
+                            if let Some(t) = token {
+                                t.cancel();
+                            }
+                            Err(EvalError::WorkerPanicked {
+                                atom: atom_name.to_string(),
+                                payload: panic_payload_string(payload.as_ref()),
+                            })
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panics are caught"))
+            .collect()
+    });
+    let mut first_err: Option<EvalError> = None;
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        match r {
+            Ok(t) => out.push(t),
+            Err(e) => {
+                let prefer = matches!(
+                    (&first_err, &e),
+                    (None, _) | (Some(EvalError::Cancelled), EvalError::WorkerPanicked { .. })
+                );
+                if prefer {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(out),
     }
 }
 
@@ -465,7 +566,7 @@ mod tests {
             paths(full.root(), full.depth(), &mut Vec::new(), &mut full_paths);
             full_paths.sort_unstable();
             for num_shards in [2usize, 3, 8] {
-                let shards = AtomTrie::build_sharded(&atom, &order, num_shards);
+                let shards = AtomTrie::build_sharded(&atom, &order, num_shards, None).unwrap();
                 assert_eq!(shards.len(), effective_shard_count(n, num_shards));
                 assert_eq!(shards.len(), num_shards);
                 let mut union = Vec::new();
@@ -491,7 +592,7 @@ mod tests {
         let r = rel("R", rows);
         let atom = BoundAtom::new(&r, vec![0, 1]);
         let full = AtomTrie::build(&atom, &[0, 1]);
-        let shards = AtomTrie::build_sharded(&atom, &[0, 1], 8);
+        let shards = AtomTrie::build_sharded(&atom, &[0, 1], 8, None).unwrap();
         assert_eq!(shards.len(), 1);
         assert_eq!(shards[0].root().fanout(), full.root().fanout());
     }
@@ -514,7 +615,7 @@ mod tests {
         let mut r = ij_relation::Relation::new("E", 0);
         r.push(vec![]);
         let atom = BoundAtom::new(&r, vec![]);
-        let shards = AtomTrie::build_sharded(&atom, &[], 4);
+        let shards = AtomTrie::build_sharded(&atom, &[], 4, None).unwrap();
         assert_eq!(shards.len(), 1);
         assert_eq!(shards[0].depth(), 0);
         assert!(!shards[0].is_empty());
@@ -532,7 +633,8 @@ mod tests {
         assert!(big_trie.heap_bytes() > 8 * small_trie.heap_bytes());
         // Sharded builds account the same content across their shards: the
         // sum is within map-capacity slack of the unsharded estimate.
-        let shards = AtomTrie::build_sharded(&BoundAtom::new(&big, vec![0, 1]), &[0, 1], 1);
+        let shards =
+            AtomTrie::build_sharded(&BoundAtom::new(&big, vec![0, 1]), &[0, 1], 1, None).unwrap();
         let sharded_sum: usize = shards.iter().map(AtomTrie::heap_bytes).sum();
         assert!(sharded_sum > 0);
     }

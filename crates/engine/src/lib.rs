@@ -30,6 +30,15 @@
 //! ([`Tenant`]): cache activity is metered per tenant exactly, and an
 //! over-quota tenant evicts its own entries first instead of its neighbors'.
 //!
+//! Evaluations are **cancellable and deadline-bounded**: the
+//! `*_cancellable` entry points accept a [`CancellationToken`],
+//! [`EngineConfig::with_deadline`] (or a [`Tenant`] default deadline) arms a
+//! per-evaluation time budget, and failures surface as the typed
+//! [`EvalError`] taxonomy (`Cancelled`, `DeadlineExceeded`,
+//! `WorkerPanicked`) — never as a hung call or a poisoned engine.  The
+//! [`faults`] registry (behind the `failpoints` cargo feature) injects
+//! deterministic panics and delays at named pipeline sites for testing.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -57,9 +66,11 @@ mod naive;
 mod workspace;
 
 pub use engine::{
-    EngineConfig, EngineError, EvaluationStats, IntersectionJoinEngine, QueryAnalysis,
-    TenantCacheStats, TenantId, TrieCacheStats, TrieLayout, FLAT_MIN_ROWS,
+    EngineConfig, EngineError, EvaluationOutcome, EvaluationStats, IntersectionJoinEngine,
+    QueryAnalysis, TenantCacheStats, TenantId, TrieCacheStats, TrieLayout, FLAT_MIN_ROWS,
 };
+pub use ij_relation::faults;
+pub use ij_relation::{CancellationToken, EvalError, DEFAULT_CHECK_INTERVAL};
 pub use naive::{naive_boolean, naive_count, NaiveError};
 pub use workspace::{Tenant, Workspace, WorkspaceLimits, WorkspaceStats};
 
@@ -67,9 +78,10 @@ pub use workspace::{Tenant, Workspace, WorkspaceLimits, WorkspaceStats};
 /// workspace.
 pub mod prelude {
     pub use crate::{
-        naive_boolean, naive_count, EngineConfig, EngineError, EvaluationStats,
-        IntersectionJoinEngine, QueryAnalysis, Tenant, TenantCacheStats, TenantId, TrieCacheStats,
-        TrieLayout, Workspace, WorkspaceLimits, WorkspaceStats,
+        naive_boolean, naive_count, CancellationToken, EngineConfig, EngineError, EvalError,
+        EvaluationOutcome, EvaluationStats, IntersectionJoinEngine, QueryAnalysis, Tenant,
+        TenantCacheStats, TenantId, TrieCacheStats, TrieLayout, Workspace, WorkspaceLimits,
+        WorkspaceStats,
     };
     pub use ij_ejoin::EjStrategy;
     pub use ij_hypergraph::{AcyclicityClass, AcyclicityReport, Hypergraph};

@@ -49,9 +49,11 @@
 
 use crate::engine::{EngineConfig, IntersectionJoinEngine};
 use ij_ejoin::{TenantCacheStats, TenantId, TrieCache, TrieCacheStats};
+use ij_relation::sync::lock_recover;
 use ij_relation::{Database, IdHashMap, Relation, SharedDictionary, Value, ValueId};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 
 /// Resource limits of a [`Workspace`]'s shared trie cache.
 ///
@@ -113,6 +115,10 @@ pub struct Workspace {
     /// ([`Workspace::tenant`]).  Id `0` is reserved for [`TenantId::DEFAULT`]
     /// (the anonymous owner engines use when no tenant is configured).
     tenants: Arc<Mutex<HashMap<String, TenantId>>>,
+    /// Per-tenant default deadline budgets ([`Tenant::set_default_deadline`]):
+    /// engines built through a tenant handle inherit the tenant's default
+    /// when their config sets none.
+    deadlines: Arc<Mutex<HashMap<TenantId, Duration>>>,
 }
 
 impl Default for Workspace {
@@ -138,6 +144,7 @@ impl Workspace {
             )),
             limits,
             tenants: Arc::new(Mutex::new(HashMap::new())),
+            deadlines: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -155,6 +162,7 @@ impl Workspace {
             )),
             limits: WorkspaceLimits::default(),
             tenants: Arc::new(Mutex::new(HashMap::new())),
+            deadlines: Arc::new(Mutex::new(HashMap::new())),
         })
     }
 
@@ -212,7 +220,7 @@ impl Workspace {
     /// per-tenant byte quota ([`Tenant::set_trie_cache_quota`]) caps what
     /// one tenant may keep resident without touching its neighbors' warmth.
     pub fn tenant(&self, name: &str) -> Tenant {
-        let mut registry = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        let mut registry = lock_recover(&self.tenants);
         let next = TenantId::from_raw(registry.len() as u32 + 1);
         let id = *registry.entry(name.to_string()).or_insert(next);
         Tenant {
@@ -341,9 +349,16 @@ impl Tenant {
 
     /// An engine whose evaluations run as this tenant: built against the
     /// workspace's shared cache ([`Workspace::engine`]) with
-    /// [`EngineConfig::tenant`] filled in.
+    /// [`EngineConfig::tenant`] filled in.  When the config sets no
+    /// [`EngineConfig::deadline`], the tenant's [default
+    /// deadline](Tenant::set_default_deadline) (if any) is inherited — an
+    /// explicit config deadline always wins.
     pub fn engine(&self, config: EngineConfig) -> IntersectionJoinEngine {
-        self.workspace.engine(config.with_tenant(self.id))
+        let mut config = config.with_tenant(self.id);
+        if config.deadline.is_none() {
+            config.deadline = self.default_deadline();
+        }
+        self.workspace.engine(config)
     }
 
     /// An empty database interning into the workspace's dictionary
@@ -381,6 +396,40 @@ impl Tenant {
     /// its quota.
     pub fn cache_stats(&self) -> TenantCacheStats {
         self.workspace.trie_cache.tenant_stats(self.id)
+    }
+
+    /// Sets (or clears, with `None`) this tenant's **default deadline**: the
+    /// per-evaluation budget engines built through [`Tenant::engine`]
+    /// inherit when their [`EngineConfig::deadline`] is unset.  Shared by
+    /// every clone of the workspace, so an operator can bound a tenant's
+    /// evaluations service-wide without touching call sites.  Deadlines
+    /// bound *latency*, never correctness: an evaluation either returns the
+    /// correct answer in budget or fails with
+    /// [`EvalError::DeadlineExceeded`](ij_relation::EvalError::DeadlineExceeded).
+    pub fn set_default_deadline(&self, budget: Option<Duration>) {
+        let mut deadlines = lock_recover(&self.workspace.deadlines);
+        match budget {
+            Some(budget) => {
+                deadlines.insert(self.id, budget);
+            }
+            None => {
+                deadlines.remove(&self.id);
+            }
+        }
+    }
+
+    /// This tenant with a default deadline set — the builder-style companion
+    /// of [`Tenant::set_default_deadline`].
+    pub fn with_default_deadline(self, budget: Duration) -> Self {
+        self.set_default_deadline(Some(budget));
+        self
+    }
+
+    /// This tenant's default deadline budget, if one is set.
+    pub fn default_deadline(&self) -> Option<Duration> {
+        lock_recover(&self.workspace.deadlines)
+            .get(&self.id)
+            .copied()
     }
 }
 
@@ -648,6 +697,54 @@ mod tests {
                     .expect("cross-directional imports deadlocked");
             }
         });
+    }
+
+    #[test]
+    fn tenant_default_deadlines_flow_into_engines() {
+        let ws = Workspace::new();
+        let alice = ws.tenant("alice");
+        assert_eq!(alice.default_deadline(), None);
+        alice.set_default_deadline(Some(Duration::from_millis(250)));
+        assert_eq!(alice.default_deadline(), Some(Duration::from_millis(250)));
+        // Engines inherit the default…
+        let engine = alice.engine(EngineConfig::new());
+        assert_eq!(engine.config().deadline, Some(Duration::from_millis(250)));
+        // …an explicit config deadline wins…
+        let explicit = alice.engine(EngineConfig::new().with_deadline(Duration::from_secs(5)));
+        assert_eq!(explicit.config().deadline, Some(Duration::from_secs(5)));
+        // …the default is shared across clones and handles of the tenant…
+        assert_eq!(
+            ws.clone().tenant("alice").default_deadline(),
+            Some(Duration::from_millis(250))
+        );
+        // …other tenants are untouched, and clearing restores None.
+        assert_eq!(ws.tenant("bob").default_deadline(), None);
+        alice.set_default_deadline(None);
+        assert_eq!(alice.default_deadline(), None);
+    }
+
+    #[test]
+    fn tenant_deadline_bounds_evaluations_without_poisoning_the_workspace() {
+        let ws = Workspace::new();
+        let (q, db) = triangle_db(&ws);
+        let strict = ws.tenant("strict").with_default_deadline(Duration::ZERO);
+        let err = strict
+            .engine(EngineConfig::new().with_parallelism(1))
+            .evaluate(&q, &db)
+            .expect_err("a zero budget must trip");
+        assert!(
+            matches!(
+                err,
+                crate::EngineError::Evaluation(ij_relation::EvalError::DeadlineExceeded { .. })
+            ),
+            "{err:?}"
+        );
+        // The workspace (cache, dictionary) stays fully usable afterwards.
+        strict.set_default_deadline(None);
+        assert!(!strict
+            .engine(EngineConfig::new().with_parallelism(1))
+            .evaluate(&q, &db)
+            .unwrap());
     }
 
     #[test]

@@ -23,7 +23,10 @@
 //! its interval variables, not on the full permutation.
 
 use ij_hypergraph::{full_reduction, Hypergraph, ReducedHypergraph, VarId, VarKind};
-use ij_relation::{Database, Query, Relation, SharedDictionary, Value, ValueId};
+use ij_relation::{
+    faults, CancelTicker, CancellationToken, Database, EvalError, Query, Relation,
+    SharedDictionary, Value, ValueId,
+};
 use ij_segtree::{BitString, Interval, SegmentTree};
 use std::collections::BTreeMap;
 
@@ -180,6 +183,11 @@ pub enum ReductionError {
     /// A value of an interval variable is not an interval (or a point, which
     /// is treated as a point interval).
     NotAnInterval { relation: String, column: usize },
+    /// The reduction was interrupted mid-transform: the caller's
+    /// [`CancellationToken`] was cancelled or its deadline expired.  The
+    /// transformed database under construction is dropped whole, never
+    /// published partially.
+    Interrupted(EvalError),
 }
 
 impl std::fmt::Display for ReductionError {
@@ -208,11 +216,25 @@ impl std::fmt::Display for ReductionError {
                     "relation `{relation}` column {column} holds a non-interval value"
                 )
             }
+            ReductionError::Interrupted(e) => write!(f, "reduction interrupted: {e}"),
         }
     }
 }
 
-impl std::error::Error for ReductionError {}
+impl std::error::Error for ReductionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReductionError::Interrupted(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EvalError> for ReductionError {
+    fn from(e: EvalError) -> Self {
+        ReductionError::Interrupted(e)
+    }
+}
 
 /// Runs the forward reduction of query `q` over database `db` with the
 /// default (flat) encoding.
@@ -226,6 +248,21 @@ pub fn forward_reduction_with(
     q: &Query,
     db: &Database,
     config: ReductionConfig,
+) -> Result<ForwardReduction, ReductionError> {
+    forward_reduction_with_token(q, db, config, None)
+}
+
+/// [`forward_reduction_with`] polling a [`CancellationToken`]: the per-tuple
+/// transform loops of every relation build check the token every
+/// [`check_interval`](CancellationToken::check_interval) rows and abort with
+/// [`ReductionError::Interrupted`] when it fires — the segment-tree builds
+/// and the structural reduction run to completion (both are small: `O(N)`
+/// interval collection and a per-*shape* permutation enumeration).
+pub fn forward_reduction_with_token(
+    q: &Query,
+    db: &Database,
+    config: ReductionConfig,
+    token: Option<&CancellationToken>,
 ) -> Result<ForwardReduction, ReductionError> {
     let (hypergraph, var_ids) = q.hypergraph();
     validate(q, db, &hypergraph)?;
@@ -297,7 +334,7 @@ pub fn forward_reduction_with(
                     reduced_relation_signature(q, atom_idx, levels, &id_to_name, &var_ids);
                 if !built.contains_key(&name) {
                     let relation = build_transformed_relation(
-                        q, db, atom_idx, levels, &trees, &name, &var_ids,
+                        q, db, atom_idx, levels, &trees, &name, &var_ids, token,
                     )?;
                     stats.transformed_tuples += relation.len();
                     stats.max_relation_tuples = stats.max_relation_tuples.max(relation.len());
@@ -317,7 +354,7 @@ pub fn forward_reduction_with(
 
             let spine_name = format!("{}@{}⟨id⟩", atom.relation, atom_idx);
             if !built.contains_key(&spine_name) {
-                let relation = build_spine_relation(q, db, atom_idx, &spine_name)?;
+                let relation = build_spine_relation(q, db, atom_idx, &spine_name, token)?;
                 stats.transformed_tuples += relation.len();
                 stats.max_relation_tuples = stats.max_relation_tuples.max(relation.len());
                 database.insert(relation);
@@ -350,6 +387,7 @@ pub fn forward_reduction_with(
                         k,
                         &trees[&var_id],
                         &part_name,
+                        token,
                     )?;
                     stats.transformed_tuples += relation.len();
                     stats.max_relation_tuples = stats.max_relation_tuples.max(relation.len());
@@ -386,6 +424,7 @@ fn build_spine_relation(
     db: &Database,
     atom_idx: usize,
     name: &str,
+    token: Option<&CancellationToken>,
 ) -> Result<Relation, ReductionError> {
     let atom = &q.atoms()[atom_idx];
     let source = db.relation(&atom.relation).expect("validated");
@@ -398,8 +437,10 @@ fn build_spine_relation(
         .collect();
     let mut out = Relation::new_in(name.to_string(), 1 + carried.len(), db.dictionary());
     let tuple_ids = intern_tuple_ids(db.dictionary(), source.len());
+    let mut ticker = CancelTicker::new(token);
     let mut row: Vec<ValueId> = Vec::with_capacity(1 + carried.len());
     for (i, &id) in tuple_ids.iter().enumerate() {
+        ticker.tick()?;
         row.clear();
         row.push(id);
         for col in &carried {
@@ -448,15 +489,19 @@ fn build_part_relation(
     k: usize,
     tree: &SegmentTree,
     name: &str,
+    token: Option<&CancellationToken>,
 ) -> Result<Relation, ReductionError> {
+    faults::point("reduction-transform");
     let atom = &q.atoms()[atom_idx];
     let source = db.relation(&atom.relation).expect("validated");
     let dict = db.dictionary();
     let mut out = Relation::new_in(name.to_string(), 1 + level, dict);
     let intervals: Vec<Option<Interval>> = source.column(column).map(|v| v.to_interval()).collect();
     let tuple_ids = intern_tuple_ids(dict, source.len());
+    let mut ticker = CancelTicker::new(token);
     let mut row: Vec<ValueId> = Vec::with_capacity(1 + level);
     for (i, iv) in intervals.into_iter().enumerate() {
+        ticker.tick()?;
         let iv = iv.ok_or(ReductionError::NotAnInterval {
             relation: atom.relation.clone(),
             column,
@@ -522,7 +567,9 @@ fn build_transformed_relation(
     trees: &BTreeMap<VarId, SegmentTree>,
     name: &str,
     var_ids: &BTreeMap<String, VarId>,
+    token: Option<&CancellationToken>,
 ) -> Result<Relation, ReductionError> {
+    faults::point("reduction-transform");
     let atom = &q.atoms()[atom_idx];
     let source = db.relation(&atom.relation).expect("validated");
     let hypergraph_k: BTreeMap<VarId, usize> = {
@@ -579,8 +626,10 @@ fn build_transformed_relation(
     }
     // Indexed loop: `row_idx` addresses parallel structures (the pre-resolved
     // interval columns and the source id columns).
+    let mut ticker = CancelTicker::new(token);
     #[allow(clippy::needless_range_loop)]
     for row_idx in 0..source.len() {
+        ticker.tick()?;
         // Per column, the list of id-vectors to append (cross product).
         let mut expansions: Vec<Vec<Vec<ValueId>>> = Vec::with_capacity(plan.len());
         let mut dead = false;

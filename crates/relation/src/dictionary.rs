@@ -51,6 +51,7 @@
 //! index is reserved so the [`ValueId::dummy`] sentinel is unrepresentable —
 //! see [`MAX_STRIPE_VALUES`]).
 
+use crate::sync::{read_recover, write_recover};
 use crate::Value;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
@@ -220,17 +221,10 @@ impl SharedDictionary {
     pub fn intern(&self, value: Value) -> ValueId {
         let stripe = stripe_of(&value);
         let lock = &self.stripes[stripe];
-        if let Some(local) = lock
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .lookup(&value)
-        {
+        if let Some(local) = read_recover(lock).lookup(&value) {
             return encode(local, stripe);
         }
-        let local = lock
-            .write()
-            .unwrap_or_else(|e| e.into_inner())
-            .intern(value);
+        let local = write_recover(lock).intern(value);
         encode(local, stripe)
     }
 
@@ -242,18 +236,13 @@ impl SharedDictionary {
     /// Panics if the id was not produced by this dictionary.
     pub fn resolve(&self, id: ValueId) -> Value {
         let (stripe, local) = decode(id);
-        self.stripes[stripe]
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .resolve(local)
+        read_recover(&self.stripes[stripe]).resolve(local)
     }
 
     /// The id of a value, if it has been interned through this handle.
     pub fn lookup(&self, value: &Value) -> Option<ValueId> {
         let stripe = stripe_of(value);
-        self.stripes[stripe]
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
+        read_recover(&self.stripes[stripe])
             .lookup(value)
             .map(|local| encode(local, stripe))
     }
@@ -263,7 +252,7 @@ impl SharedDictionary {
     pub fn len(&self) -> usize {
         self.stripes
             .iter()
-            .map(|lock| lock.read().unwrap_or_else(|e| e.into_inner()).len())
+            .map(|lock| read_recover(lock).len())
             .sum()
     }
 
@@ -280,7 +269,7 @@ impl SharedDictionary {
     pub fn heap_bytes(&self) -> usize {
         self.stripes
             .iter()
-            .map(|lock| lock.read().unwrap_or_else(|e| e.into_inner()).heap_bytes())
+            .map(|lock| read_recover(lock).heap_bytes())
             .sum()
     }
 
@@ -294,11 +283,7 @@ impl SharedDictionary {
     /// writer (see [`DictReader`]).
     pub fn reader(&self) -> DictReader<'_> {
         DictReader {
-            guards: self
-                .stripes
-                .iter()
-                .map(|lock| lock.read().unwrap_or_else(|e| e.into_inner()))
-                .collect(),
+            guards: self.stripes.iter().map(read_recover).collect(),
         }
     }
 }

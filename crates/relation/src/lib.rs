@@ -16,7 +16,13 @@
 //!   the trie builds and semijoins of the join engine;
 //! * [`Query`] — Boolean conjunctive queries with equality joins, intersection
 //!   joins, or both (Definition 3.3), convertible to the hypergraph
-//!   representation used by the structural machinery.
+//!   representation used by the structural machinery;
+//! * [`CancellationToken`] / [`EvalError`] — cooperative cancellation and
+//!   deadlines polled by every long-running loop of the pipeline, plus the
+//!   typed taxonomy of evaluation failures;
+//! * [`sync`] — poison-recovering lock helpers for the shared multi-tenant
+//!   state, and [`faults`] — the feature-gated failpoint registry driving
+//!   the fault-injection test harness.
 //!
 //! # Example
 //!
@@ -31,13 +37,19 @@
 //! assert_eq!(db.total_tuples(), 1);
 //! ```
 
+mod cancel;
 mod csv;
 mod dictionary;
+pub mod faults;
 pub mod kernels;
 mod query;
 mod relation;
+pub mod sync;
 mod value;
 
+pub use cancel::{
+    panic_payload_string, CancelTicker, CancellationToken, EvalError, DEFAULT_CHECK_INTERVAL,
+};
 pub use csv::{field_to_value, value_to_field, CsvError};
 pub use dictionary::{
     DictReader, Dictionary, IdBuildHasher, IdHashMap, IdHashSet, IdHasher, SharedDictionary,

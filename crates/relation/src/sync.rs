@@ -1,0 +1,84 @@
+//! Poison-recovering lock acquisition for shared, multi-tenant state.
+//!
+//! The dictionary stripes and the trie cache are shared by every tenant of a
+//! workspace.  A panicking worker thread elsewhere (isolated by
+//! `catch_unwind`) may still have been holding one of these locks when it
+//! unwound, which marks the lock *poisoned* — and a bare `.unwrap()` on the
+//! next acquisition would then abort an unrelated tenant's evaluation.
+//!
+//! These helpers recover the guard instead.  **Why that is sound here**:
+//! every critical section protecting cross-referencing state in this
+//! codebase is written to be *panic-atomic* — either
+//!
+//! 1. the section only reads, or performs a single insert/remove whose
+//!    partial effects cannot be observed (the map entry is written last,
+//!    after any counters it must agree with — "ledger settlement happens
+//!    before unlock, or the slot is dropped whole"), or
+//! 2. the only panic sources inside the section are injected failpoints
+//!    placed **before** the first mutation.
+//!
+//! Under that discipline a poisoned lock guards data that is still
+//! consistent, so recovering the guard is strictly better than aborting:
+//! the poison flag carries no information the invariants don't already
+//! guarantee.
+//!
+//! # Example
+//!
+//! ```
+//! use ij_relation::sync::{lock_recover, read_recover, write_recover};
+//! use std::sync::{Mutex, RwLock};
+//!
+//! let m = Mutex::new(1);
+//! let rw = RwLock::new(2);
+//! assert_eq!(*lock_recover(&m), 1);
+//! assert_eq!(*read_recover(&rw), 2);
+//! *write_recover(&rw) += 1;
+//! assert_eq!(*read_recover(&rw), 3);
+//! ```
+
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Acquires a shared read guard, recovering from poison (see the
+/// [module docs](self) for why recovery is sound).
+pub fn read_recover<T: ?Sized>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Acquires an exclusive write guard, recovering from poison (see the
+/// [module docs](self) for why recovery is sound).
+pub fn write_recover<T: ?Sized>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Acquires a mutex guard, recovering from poison (see the
+/// [module docs](self) for why recovery is sound).
+pub fn lock_recover<T: ?Sized>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex, RwLock};
+
+    #[test]
+    fn recovers_guards_after_a_panicking_holder() {
+        let m = Arc::new(Mutex::new(10));
+        let rw = Arc::new(RwLock::new(20));
+        {
+            let (m, rw) = (Arc::clone(&m), Arc::clone(&rw));
+            let _ = std::thread::spawn(move || {
+                let _mg = m.lock().unwrap();
+                let _wg = rw.write().unwrap();
+                panic!("poison both");
+            })
+            .join();
+        }
+        assert!(m.is_poisoned());
+        assert!(rw.is_poisoned());
+        assert_eq!(*lock_recover(&m), 10);
+        assert_eq!(*read_recover(&rw), 20);
+        *write_recover(&rw) += 1;
+        assert_eq!(*read_recover(&rw), 21);
+    }
+}

@@ -29,7 +29,7 @@
 //! | [`relation`] | Values, the **value dictionary** behind scoped `SharedDictionary` handles, interned columnar relations, query AST |
 //! | [`ejoin`] | EJ engine: id-keyed WCOJ tries in two layouts (hash nodes / flat CSR leapfrog), bytes-accounted `TrieCache` with per-tenant ledgers and quotas, Yannakakis, width-guided evaluation |
 //! | [`reduction`] | Forward (IJ→EJ) and backward (EJ→IJ) data reductions (Sections 4, 5) |
-//! | [`engine`] | End-to-end engine with `Workspace`-owned state, `Tenant` accounting sub-handles and parallel disjunct evaluation |
+//! | [`engine`] | End-to-end engine with `Workspace`-owned state, `Tenant` accounting sub-handles, parallel disjunct evaluation, cooperative cancellation/deadlines and panic-isolated workers |
 //! | [`faqai`] | The FAQ-AI comparator (Appendix F) |
 //! | [`baselines`] | Plane sweep, binary-join cascades, nested loops, the segment-tree baseline evaluator |
 //! | [`workloads`] | Synthetic workload generators + the interval-native scenario suite |

@@ -1,0 +1,325 @@
+//! Fault-injection hardening tests (the `failpoints` feature).
+//!
+//! The pipeline is instrumented with named failpoint sites
+//! (`ij_engine::faults`): `reduction-transform` in the forward reduction's
+//! per-relation transform, `trie-build` at every trie construction,
+//! `cache-insert` inside the shared trie cache's accounting section, and
+//! `shard-worker` inside the sharded-build isolation boundary.  These tests
+//! arm each site with deterministic panic and delay schedules and assert the
+//! robustness contract:
+//!
+//! * an evaluation under fault returns the **correct answer or a typed
+//!   error** ([`EvalError::WorkerPanicked`] for injected panics) — never a
+//!   wrong answer, never a raw panic on the caller, never a hang (every
+//!   faulted run is watchdog-bounded);
+//! * after [`faults::clear`], a clean evaluation **on the same workspace**
+//!   returns the correct answer, and a second clean run serves entirely from
+//!   the shared trie cache (zero misses) — an injected panic never leaves a
+//!   poisoned lock or a half-built cache entry behind.
+//!
+//! The failpoint registry is process-global, so every test serialises on one
+//! mutex.  Run with `cargo test --features failpoints --test fault_injection`
+//! (CI runs it in `--release` under a hard timeout); without the feature this
+//! file compiles to an empty test binary.
+#![cfg(feature = "failpoints")]
+
+use ij_engine::faults::{self, FaultAction};
+use ij_engine::{EngineConfig, EngineError, EvalError, Workspace};
+use ij_relation::Query;
+use ij_workloads::{
+    build_scenario, planted_unsatisfiable, IntervalDistribution, PlantedAnswer, ScenarioConfig,
+    ScenarioFamily, WorkloadConfig,
+};
+use std::sync::mpsc;
+use std::sync::{Mutex, MutexGuard, Once};
+use std::time::Duration;
+
+/// Sites exercised by the small-scenario sweep.  `shard-worker` needs a
+/// relation large enough to pass the sharding threshold and has its own
+/// dedicated test below.
+const SWEEP_SITES: [&str; 3] = ["reduction-transform", "trie-build", "cache-insert"];
+
+/// The failpoint registry is process-global: all tests serialise here.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Installs (once) a panic hook that silences injected failpoint panics —
+/// they are expected by the dozens here — while leaving every other panic's
+/// diagnostics intact.
+fn hush_injected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("failpoint") {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f` on its own thread and panics if it neither returns nor panics
+/// within the watchdog bound — the "never hang" half of the contract.
+fn with_watchdog<T: Send + 'static>(label: &str, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(Duration::from_secs(120)) {
+        Ok(value) => value,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("{label}: evaluation hung past the 120 s watchdog bound")
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            panic!("{label}: evaluation escaped as a raw panic instead of a typed error")
+        }
+    }
+}
+
+/// One fault case, end to end, on a fresh workspace: arm `site`, evaluate
+/// (watchdog-bounded), check correct-or-typed-error, then clear and verify
+/// the same workspace still produces the correct answer with a consistent
+/// cache (second clean run all-hits).
+fn run_case(family: ScenarioFamily, site: &'static str, after: usize, action: FaultAction) {
+    let label = format!("{family:?}/{site}/after={after}/{action:?}");
+    let outcome = with_watchdog(&label, move || {
+        let cfg = ScenarioConfig::new(family)
+            .with_tuples(12)
+            .with_seed(0)
+            .with_planted(PlantedAnswer::Unsatisfiable);
+        let scenario = build_scenario(&cfg);
+        let ws = Workspace::new();
+        let db = ws.import_database(&scenario.database);
+        let engine = ws.engine(EngineConfig::new().with_parallelism(1));
+
+        faults::clear();
+        faults::configure(site, after, action);
+        let faulted = engine.evaluate_with_stats(&scenario.query, &db);
+        let fired = faults::hits(site) > after;
+        faults::clear();
+
+        // Recovery on the same workspace: correct answer, then a warm run
+        // served entirely from the shared cache.
+        let clean = engine
+            .evaluate_with_stats(&scenario.query, &db)
+            .expect("clean evaluation after a cleared fault succeeds");
+        let warm = engine
+            .evaluate_with_stats(&scenario.query, &db)
+            .expect("warm evaluation succeeds");
+        (faulted, fired, clean, warm)
+    });
+    let (faulted, fired, clean, warm) = outcome;
+
+    // The planted answer is unsatisfiable: every successful run must say so.
+    match (&faulted, action) {
+        (Ok(stats), _) => assert!(!stats.answer, "{label}: faulted run answered true"),
+        (Err(EngineError::Evaluation(EvalError::WorkerPanicked { .. })), FaultAction::Panic) => {}
+        (Err(e), FaultAction::Panic) => {
+            panic!("{label}: injected panic surfaced as {e:?}, expected WorkerPanicked")
+        }
+        (Err(e), FaultAction::Delay(_)) => {
+            panic!("{label}: a deadline-free delay must not fail, got {e:?}")
+        }
+    }
+    if fired && matches!(action, FaultAction::Panic) {
+        assert!(
+            faulted.is_err(),
+            "{label}: the armed panic fired but the evaluation reported success"
+        );
+    }
+    assert!(
+        !clean.answer,
+        "{label}: clean run after fault answered true"
+    );
+    assert!(!warm.answer, "{label}: warm run answered true");
+    assert_eq!(
+        warm.trie_cache.misses, 0,
+        "{label}: the fault left the shared cache inconsistent (warm run rebuilt: {:?})",
+        warm.trie_cache
+    );
+}
+
+/// Every sweep site actually executes somewhere in the sweep — otherwise the
+/// panic sweep below would be vacuous.  `reduction-transform` fires on every
+/// family; the trie sites fire only on families whose disjuncts take the
+/// generic-WCOJ path (acyclic queries go through Yannakakis and build no
+/// tries), so those are asserted over the union of families.
+#[test]
+fn sweep_sites_fire_across_the_families() {
+    let _guard = serial();
+    let mut union: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    for family in ScenarioFamily::ALL {
+        let cfg = ScenarioConfig::new(family)
+            .with_tuples(12)
+            .with_seed(0)
+            .with_planted(PlantedAnswer::Unsatisfiable);
+        let scenario = build_scenario(&cfg);
+        let ws = Workspace::new();
+        let db = ws.import_database(&scenario.database);
+        faults::clear();
+        let stats = ws
+            .engine(EngineConfig::new().with_parallelism(1))
+            .evaluate_with_stats(&scenario.query, &db)
+            .expect("clean probe succeeds");
+        assert!(!stats.answer, "{family:?}: planted-unsatisfiable probe");
+        assert!(
+            faults::hits("reduction-transform") > 0,
+            "{family:?}: the forward reduction never reached its failpoint"
+        );
+        for site in SWEEP_SITES {
+            *union.entry(site).or_default() += faults::hits(site);
+        }
+        faults::clear();
+    }
+    for site in SWEEP_SITES {
+        assert!(
+            union.get(site).copied().unwrap_or(0) > 0,
+            "site `{site}` never executed on any family — the sweep would be vacuous"
+        );
+    }
+}
+
+/// Injected panics at every site × family × early/late occurrence surface as
+/// [`EvalError::WorkerPanicked`] (never a wrong answer, never a raw panic),
+/// and the workspace stays fully usable afterwards.
+#[test]
+fn injected_panics_surface_as_typed_errors_and_workspaces_recover() {
+    let _guard = serial();
+    hush_injected_panics();
+    for family in ScenarioFamily::ALL {
+        for site in SWEEP_SITES {
+            for after in [0, 2] {
+                run_case(family, site, after, FaultAction::Panic);
+            }
+        }
+    }
+}
+
+/// Injected delays (a stalled worker) without a deadline only slow the
+/// evaluation down: the answer is still correct and the cache still warms.
+#[test]
+fn injected_delays_never_change_answers() {
+    let _guard = serial();
+    for family in ScenarioFamily::ALL {
+        for site in SWEEP_SITES {
+            run_case(
+                family,
+                site,
+                0,
+                FaultAction::Delay(Duration::from_millis(2)),
+            );
+        }
+    }
+}
+
+/// A worker stalled long past the engine's deadline trips
+/// [`EvalError::DeadlineExceeded`] at the next cancellation checkpoint
+/// instead of hanging the evaluation.
+#[test]
+fn stalled_worker_trips_the_deadline() {
+    let _guard = serial();
+    let result = with_watchdog("stalled-transform", || {
+        let cfg = ScenarioConfig::new(ScenarioFamily::TemporalOverlap)
+            .with_tuples(12)
+            .with_seed(0)
+            .with_planted(PlantedAnswer::Unsatisfiable);
+        let scenario = build_scenario(&cfg);
+        let ws = Workspace::new();
+        let db = ws.import_database(&scenario.database);
+        let engine = ws.engine(
+            EngineConfig::new()
+                .with_parallelism(1)
+                .with_deadline(Duration::from_millis(20)),
+        );
+        faults::clear();
+        faults::configure(
+            "reduction-transform",
+            0,
+            FaultAction::Delay(Duration::from_millis(200)),
+        );
+        let faulted = engine.evaluate_with_stats(&scenario.query, &db);
+        faults::clear();
+        faulted
+    });
+    match result {
+        Err(EngineError::Evaluation(EvalError::DeadlineExceeded { elapsed, budget })) => {
+            assert!(
+                elapsed >= budget,
+                "reported elapsed {elapsed:?} below budget {budget:?}"
+            );
+        }
+        other => panic!("stalled transform under a 20 ms deadline returned {other:?}"),
+    }
+}
+
+/// The `shard-worker` site fires only once a relation passes the sharding
+/// threshold; a panic inside one shard builder is caught at the isolation
+/// boundary, cancels its sibling shards, surfaces as `WorkerPanicked` naming
+/// the atom — and the shared cache never retains the half-built entry.
+#[test]
+fn sharded_build_panics_are_isolated_and_leave_the_cache_consistent() {
+    let _guard = serial();
+    hush_injected_panics();
+    let query = Query::parse("R([A],[B]) & S([B],[C]) & T([A],[C])").unwrap();
+    let tuples = 2_500; // ≥ 2 × MIN_ROWS_PER_SHARD after the transform
+    let workload = planted_unsatisfiable(
+        &query,
+        &WorkloadConfig {
+            tuples_per_relation: tuples,
+            seed: 7,
+            distribution: IntervalDistribution::GridAligned {
+                span: 4.0 * tuples as f64,
+                cells: (2 * tuples) as u32,
+                max_cells: 3,
+            },
+        },
+    );
+    let (faulted, fired, clean, warm) = with_watchdog("shard-worker", move || {
+        let ws = Workspace::new();
+        let db = ws.import_database(&workload);
+        let engine = ws.engine(EngineConfig::new().with_parallelism(1).with_trie_shards(2));
+        faults::clear();
+        faults::configure("shard-worker", 0, FaultAction::Panic);
+        let faulted = engine.evaluate(&query, &db);
+        let fired = faults::hits("shard-worker") > 0;
+        faults::clear();
+        let clean = engine
+            .evaluate_with_stats(&query, &db)
+            .expect("clean evaluation after the shard panic succeeds");
+        let warm = engine
+            .evaluate_with_stats(&query, &db)
+            .expect("warm evaluation succeeds");
+        (faulted, fired, clean, warm)
+    });
+    assert!(
+        fired,
+        "the sharded build never reached the shard-worker site"
+    );
+    match faulted {
+        Err(EngineError::Evaluation(EvalError::WorkerPanicked { atom, payload })) => {
+            assert!(
+                payload.contains("failpoint"),
+                "unexpected panic payload: {payload}"
+            );
+            assert!(!atom.is_empty());
+        }
+        other => panic!("shard panic surfaced as {other:?}, expected WorkerPanicked"),
+    }
+    assert!(
+        !clean.answer,
+        "planted-unsatisfiable workload answered true"
+    );
+    assert_eq!(
+        warm.trie_cache.misses, 0,
+        "the shard panic left a half-built cache entry behind: {:?}",
+        warm.trie_cache
+    );
+}

@@ -167,9 +167,9 @@ proptest! {
             BoundAtom::new(&s, vec![1, 2]),
             BoundAtom::new(&t, vec![0, 2]),
         ];
-        let expected = generic_join_boolean_with(&atoms, None, EvalContext::default());
+        let expected = generic_join_boolean_with(&atoms, None, EvalContext::default()).unwrap();
         let expected_out =
-            generic_join_enumerate_with(&atoms, &[0, 1, 2], "out", EvalContext::default());
+            generic_join_enumerate_with(&atoms, &[0, 1, 2], "out", EvalContext::default()).unwrap();
         let cache = TrieCache::new();
         for layout in LAYOUTS {
             for shards in [1usize, 2, 3] {
@@ -181,12 +181,12 @@ proptest! {
                         ..EvalContext::default()
                     };
                     prop_assert_eq!(
-                        generic_join_boolean_with(&atoms, None, eval),
+                        generic_join_boolean_with(&atoms, None, eval).unwrap(),
                         expected,
                         "boolean: layout {:?}, shards {}, cached {}",
                         layout, shards, cache_ref.is_some()
                     );
-                    let out = generic_join_enumerate_with(&atoms, &[0, 1, 2], "out", eval);
+                    let out = generic_join_enumerate_with(&atoms, &[0, 1, 2], "out", eval).unwrap();
                     prop_assert_eq!(
                         out.tuples(),
                         expected_out.tuples(),

@@ -124,7 +124,9 @@ fn engine_divergence(scenario: &Scenario, expected: bool) -> Option<String> {
                         .with_trie_shards(shards)
                         .with_trie_cache_capacity(capacity),
                 );
-                let stats = engine.evaluate_reduction(&reduction);
+                let stats = engine
+                    .evaluate_reduction(&reduction)
+                    .expect("uncancelled evaluation succeeds");
                 if stats.answer != expected {
                     return Some(format!(
                         "engine ({layout:?}, {shards} shards, cache {capacity}) answered {}, \
@@ -135,7 +137,9 @@ fn engine_divergence(scenario: &Scenario, expected: bool) -> Option<String> {
                 // A warm repeat from this engine's own cache must agree too
                 // (checked once per layout/shard pair, at the large cache).
                 if capacity == 4096 {
-                    let warm = engine.evaluate_reduction(&reduction);
+                    let warm = engine
+                        .evaluate_reduction(&reduction)
+                        .expect("uncancelled evaluation succeeds");
                     if warm.answer != expected {
                         return Some(format!(
                             "warm engine ({layout:?}, {shards} shards, cache {capacity}) \

@@ -201,6 +201,77 @@ fn quota_keeps_a_victim_warm_under_a_noisy_neighbor() {
     assert!(noisy_ledger.resident_bytes <= noisy_ledger.quota_bytes);
 }
 
+/// Cancellation never breaks the accounting (PR 8): evaluations interrupted
+/// mid-flight — during trie builds included — leave the per-tenant ledgers
+/// summing exactly to the pool's resident state, and a subsequent warm
+/// evaluation still reports zero misses.
+#[test]
+fn cancelled_evaluations_leave_ledgers_exact() {
+    use ij_engine::{CancellationToken, EvalError};
+
+    let query = triangle();
+    for delay_us in [0u64, 50, 200, 800, 3_000] {
+        let ws = Workspace::new();
+        let dbs: Vec<_> = (0..2)
+            .map(|i| ws.import_database(&planted(i, 12)))
+            .collect();
+        let token = CancellationToken::new().with_check_interval(32);
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = ["noisy", "warm"]
+                .into_iter()
+                .zip(&dbs)
+                .map(|(name, db)| {
+                    let (ws, query, token) = (&ws, &query, &token);
+                    scope.spawn(move || {
+                        ws.tenant(name)
+                            .engine(EngineConfig::new().with_parallelism(2))
+                            .evaluate_cancellable(query, db, Some(token))
+                    })
+                })
+                .collect();
+            std::thread::sleep(std::time::Duration::from_micros(delay_us));
+            token.cancel();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("evaluations never panic"))
+                .collect::<Vec<_>>()
+        });
+        for result in results {
+            match result {
+                Ok(answer) => assert!(!answer, "planted-unsatisfiable workload"),
+                Err(ij_engine::EngineError::Evaluation(EvalError::Cancelled)) => {}
+                Err(other) => panic!("unexpected error at delay {delay_us}µs: {other:?}"),
+            }
+        }
+
+        // Conservation: abandoned builds leak no accounting — the tenant
+        // ledgers partition the pool's resident state exactly.
+        let pool = ws.trie_cache_stats();
+        let noisy = ws.tenant("noisy").cache_stats();
+        let warm = ws.tenant("warm").cache_stats();
+        assert_eq!(noisy.entries + warm.entries, pool.entries);
+        assert_eq!(
+            noisy.resident_bytes + warm.resident_bytes,
+            pool.resident_bytes,
+            "ledger bytes diverged from the pool at delay {delay_us}µs"
+        );
+
+        // Warm exactness survives the interruption: prime once, then the
+        // repeat reports zero misses of its own.
+        let engine = ws
+            .tenant("warm")
+            .engine(EngineConfig::new().with_parallelism(1));
+        let primed = engine.evaluate_with_stats(&query, &dbs[1]).unwrap();
+        assert!(!primed.answer);
+        let again = engine.evaluate_with_stats(&query, &dbs[1]).unwrap();
+        assert_eq!(
+            again.trie_cache.misses, 0,
+            "warm re-run rebuilt after cancellation at delay {delay_us}µs: {:?}",
+            again.trie_cache
+        );
+    }
+}
+
 /// A random interval over a small integer domain (ties and overlaps likely).
 fn arb_interval() -> impl Strategy<Value = Value> {
     (0i32..14, 0i32..5).prop_map(|(lo, len)| Value::interval(lo as f64, (lo + len) as f64))
