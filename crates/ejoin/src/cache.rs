@@ -761,6 +761,14 @@ pub struct EvalContext<'c> {
     /// transforms) every [`CancellationToken::check_interval`] units of
     /// work; `None` runs to completion.
     pub token: Option<&'c CancellationToken>,
+    /// How each disjunct's variable order is chosen
+    /// ([`PlanMode::Adaptive`](crate::PlanMode) by default; see
+    /// [`crate::plan`]).  Answer-preserving like `layout` and `shards`.
+    pub plan_mode: crate::plan::PlanMode,
+    /// Evaluation-local accumulator for planning statistics (time spent,
+    /// disjuncts planned, distinct orders chosen); `None` skips the
+    /// accounting.
+    pub planning: Option<&'c crate::plan::PlanActivity>,
 }
 
 impl<'c> EvalContext<'c> {

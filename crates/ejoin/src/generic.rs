@@ -44,7 +44,7 @@
 //! disjunction (or union, for enumeration) is bit-identical to the unsharded
 //! search.
 
-use crate::atom::{all_vars, BoundAtom};
+use crate::atom::BoundAtom;
 use crate::cache::EvalContext;
 use crate::flat::{FlatTrie, TrieBuild};
 use crate::trie::{effective_shard_count, TrieNode};
@@ -99,7 +99,10 @@ impl JoinContext {
         order: Option<Vec<VarId>>,
         eval: EvalContext<'_>,
     ) -> Result<Self, EvalError> {
-        let order = order.unwrap_or_else(|| all_vars(atoms));
+        // No explicit order: resolve one per the context's plan mode
+        // (adaptive cardinality/degree planning by default, identifier
+        // order under `PlanMode::Fixed` — see `crate::plan`).
+        let order = order.unwrap_or_else(|| crate::plan::resolve_order(atoms, &[], eval));
         // The split variable: the first variable of the order that occurs in
         // any atom.  Every atom containing it has it as its first trie level
         // (level order follows the global order), so those atoms shard by it;
@@ -302,7 +305,10 @@ fn down(trie: &FlatTrie, level: usize, index: u32) -> Pos<'_> {
 /// Evaluates the Boolean conjunctive query given by `atoms` (all joins are
 /// equality joins on the shared variables).  Returns true if the join is
 /// non-empty.  An explicit variable order can be supplied; by default the
-/// variables are processed in increasing identifier order.
+/// order comes from the context's plan mode — adaptive
+/// cardinality/degree-driven planning ([`crate::plan`]) unless
+/// [`PlanMode::Fixed`](crate::PlanMode) pins the historical increasing
+/// identifier order.
 pub fn generic_join_boolean(atoms: &[BoundAtom<'_>], order: Option<Vec<VarId>>) -> bool {
     generic_join_boolean_with(atoms, order, EvalContext::default())
         .expect("tokenless joins cannot be cancelled")
@@ -411,13 +417,9 @@ pub fn generic_join_enumerate_with(
     if atoms.is_empty() || atoms.iter().any(|a| a.relation.is_empty()) {
         return Ok(out);
     }
-    // Order: output variables first, then the rest.
-    let mut order: Vec<VarId> = output_vars.to_vec();
-    for v in all_vars(atoms) {
-        if !order.contains(&v) {
-            order.push(v);
-        }
-    }
+    // Order: output variables first (pinned, so results stream without
+    // buffering full assignments), then the rest per the plan mode.
+    let order: Vec<VarId> = crate::plan::resolve_order(atoms, output_vars, eval);
     let ctx = JoinContext::new(atoms, Some(order.clone()), eval)?;
     let out_positions: Vec<usize> = output_vars
         .iter()

@@ -58,6 +58,7 @@ mod cache;
 mod evaluate;
 mod flat;
 mod generic;
+pub mod plan;
 mod trie;
 mod yannakakis;
 
@@ -74,6 +75,9 @@ pub use flat::{FlatTrie, TrieBuild, TrieLayout, FLAT_MIN_ROWS};
 pub use generic::{
     generic_join_boolean, generic_join_boolean_with, generic_join_enumerate,
     generic_join_enumerate_with, semijoin,
+};
+pub use plan::{
+    fixed_var_order, plan_var_order, DisjunctPlan, KernelChoices, PlanActivity, PlanMode,
 };
 pub use trie::{effective_shard_count, shard_of, AtomTrie, TrieNode, MIN_ROWS_PER_SHARD};
 pub use yannakakis::yannakakis_boolean;

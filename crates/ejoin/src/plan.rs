@@ -1,0 +1,372 @@
+//! Adaptive per-disjunct join planning.
+//!
+//! The generic join processes variables in a fixed global order; a bad order
+//! can make the search explore a huge cross product before the selective
+//! atoms ever constrain it.  Historically the order was simply *increasing
+//! variable identifier* (whatever the forward reduction's dense renumbering
+//! produced) regardless of relation sizes.  This module chooses the order
+//! per disjunct from cheap statistics available at batch-build time:
+//!
+//! * **per-variable minimum atom cardinality** — the smallest relation
+//!   containing the variable bounds that variable's candidate fan-out from
+//!   above, so small-minimum variables are cheap to bind first;
+//! * **vertex degree** ([`ij_widths::vertex_degrees`] over
+//!   [`hypergraph_of`]) — between equally small variables, the one touching
+//!   more atoms constrains more of the query per candidate;
+//! * **connectivity** — after the first variable, only variables sharing an
+//!   atom with the chosen prefix are considered (a disconnected pick would
+//!   interpose an unconstrained cross product), falling back to a global
+//!   pick only when the remainder is genuinely disconnected.
+//!
+//! The result is a [`DisjunctPlan`]: the variable order plus the
+//! [`KernelChoices`] the runtime dispatch resolved to (recorded so an
+//! evaluation's stats show which intersection kernels actually served it).
+//! Planning never changes answers — any variable order enumerates the same
+//! relation — and the plan is computed *before* trie construction, so the
+//! per-atom trie cache keys (which embed the induced level order) stay
+//! consistent between plans: two disjuncts planned to the same order share
+//! cached tries exactly as before.
+//!
+//! [`PlanMode`] selects the behaviour per evaluation
+//! ([`EvalContext::plan_mode`](crate::EvalContext), surfaced as
+//! `EngineConfig::plan_mode`): [`PlanMode::Adaptive`] (default) runs the
+//! planner; [`PlanMode::Fixed`] reproduces the historical
+//! identifier-ordered behaviour bit for bit.
+
+use crate::atom::{all_vars, hypergraph_of, BoundAtom};
+use crate::cache::EvalContext;
+use ij_hypergraph::VarId;
+use ij_relation::kernels::{self, KernelArm};
+use ij_relation::sync::lock_recover;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How the engine chooses each disjunct's variable order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum PlanMode {
+    /// Process variables in increasing identifier order (the dense order the
+    /// forward reduction assigns by first occurrence) — the historical
+    /// behaviour, kept as the differential baseline.
+    Fixed,
+    /// Plan each disjunct's order from cardinality/degree statistics at
+    /// batch-build time (see the module docs).  Answers are identical to
+    /// [`PlanMode::Fixed`]; only the search order (and thus the work)
+    /// changes.
+    #[default]
+    Adaptive,
+}
+
+impl PlanMode {
+    /// A short lowercase label (`"fixed"` / `"adaptive"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlanMode::Fixed => "fixed",
+            PlanMode::Adaptive => "adaptive",
+        }
+    }
+}
+
+impl std::fmt::Display for PlanMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The intersection-kernel configuration a plan runs under.  Resolved from
+/// the process-wide dispatch (not chosen per disjunct — the dispatch is
+/// uniform per process), recorded in the plan so stats can report it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelChoices {
+    /// The dispatch arm serving the sorted-run kernels
+    /// ([`ij_relation::kernels::kernel_arm`]).
+    pub arm: KernelArm,
+    /// The linear-probe span of the galloping seek
+    /// ([`ij_relation::kernels::GALLOP_LINEAR_SPAN`]).
+    pub gallop_linear_span: usize,
+}
+
+impl KernelChoices {
+    /// The choices the current process resolved to.
+    pub fn current() -> Self {
+        KernelChoices {
+            arm: kernels::kernel_arm(),
+            gallop_linear_span: kernels::GALLOP_LINEAR_SPAN,
+        }
+    }
+}
+
+/// One disjunct's evaluation plan: the variable order the generic join will
+/// follow and the kernel configuration it will run under.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DisjunctPlan {
+    /// The variable order (every distinct variable of the disjunct's atoms,
+    /// any pinned output prefix first).
+    pub var_order: Vec<VarId>,
+    /// The kernel configuration recorded at plan time.
+    pub kernel_choices: KernelChoices,
+}
+
+/// Evaluation-local planning ledger, mirroring `CacheActivity`: the engine
+/// hangs one off the [`EvalContext`] so concurrent evaluations sharing a
+/// workspace still report exact per-evaluation planning stats.
+#[derive(Debug, Default)]
+pub struct PlanActivity {
+    nanos: AtomicU64,
+    plans: AtomicUsize,
+    orders: Mutex<Vec<Vec<VarId>>>,
+}
+
+impl PlanActivity {
+    /// A fresh ledger with all counters zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one planned disjunct: the time it took and its chosen order
+    /// (deduplicated — batches of isomorphic disjuncts plan the same order).
+    pub fn record(&self, plan: &DisjunctPlan, nanos: u64) {
+        self.nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.plans.fetch_add(1, Ordering::Relaxed);
+        let mut orders = lock_recover(&self.orders);
+        if !orders.contains(&plan.var_order) {
+            orders.push(plan.var_order.clone());
+        }
+    }
+
+    /// Total time spent planning, in nanoseconds.
+    pub fn planning_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::Relaxed)
+    }
+
+    /// Number of disjuncts planned.
+    pub fn plans(&self) -> usize {
+        self.plans.load(Ordering::Relaxed)
+    }
+
+    /// The distinct variable orders chosen, in first-seen order.
+    pub fn orders(&self) -> Vec<Vec<VarId>> {
+        lock_recover(&self.orders).clone()
+    }
+}
+
+/// The historical fixed order: `prefix` first (as given), then every
+/// remaining distinct variable in increasing identifier order.
+pub fn fixed_var_order(atoms: &[BoundAtom<'_>], prefix: &[VarId]) -> Vec<VarId> {
+    let mut order: Vec<VarId> = prefix.to_vec();
+    for v in all_vars(atoms) {
+        if !order.contains(&v) {
+            order.push(v);
+        }
+    }
+    order
+}
+
+/// Plans a variable order for one disjunct: `prefix` is pinned first (the
+/// enumeration path pins its output variables so results can stream without
+/// buffering full assignments; pass `&[]` for Boolean queries), then the
+/// remaining variables are ordered greedily — repeatedly take the variable
+/// with the smallest minimum containing-atom cardinality among those
+/// connected to the chosen prefix, breaking ties by descending degree, then
+/// by identifier.  `O(vars² · atoms)` on hypergraphs whose sizes are query
+/// sizes, so planning cost is noise next to a single trie build.
+pub fn plan_var_order(atoms: &[BoundAtom<'_>], prefix: &[VarId]) -> Vec<VarId> {
+    let vars = all_vars(atoms);
+    // Cheap statistics, one pass over the atoms.
+    let (h, dense) = hypergraph_of(atoms);
+    let degrees = ij_widths::vertex_degrees(&h);
+    let stat = |v: VarId| -> (usize, usize) {
+        let min_card = atoms
+            .iter()
+            .filter(|a| a.vars.contains(&v))
+            .map(|a| a.relation.len())
+            .min()
+            .unwrap_or(usize::MAX);
+        let degree = dense
+            .iter()
+            .position(|&u| u == v)
+            .map(|i| degrees[i])
+            .unwrap_or(0);
+        (min_card, degree)
+    };
+    let mut order: Vec<VarId> = Vec::with_capacity(vars.len());
+    for &v in prefix {
+        if !order.contains(&v) {
+            order.push(v);
+        }
+    }
+    let mut remaining: Vec<VarId> = vars
+        .iter()
+        .copied()
+        .filter(|v| !order.contains(v))
+        .collect();
+    while !remaining.is_empty() {
+        // Variables sharing an atom with the chosen prefix; all of them on
+        // the first pick (or when the residual query is disconnected).
+        let connected: Vec<VarId> = if order.is_empty() {
+            remaining.clone()
+        } else {
+            let linked: Vec<VarId> = remaining
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    atoms
+                        .iter()
+                        .any(|a| a.vars.contains(&v) && a.vars.iter().any(|u| order.contains(u)))
+                })
+                .collect();
+            if linked.is_empty() {
+                remaining.clone()
+            } else {
+                linked
+            }
+        };
+        let &best = connected
+            .iter()
+            .min_by_key(|&&v| {
+                let (min_card, degree) = stat(v);
+                // Smallest bound first; more-constraining (higher-degree)
+                // first among equals; identifier last for determinism.
+                (min_card, usize::MAX - degree, v)
+            })
+            .expect("connected set is non-empty");
+        order.push(best);
+        remaining.retain(|&v| v != best);
+    }
+    order
+}
+
+/// Resolves the variable order one disjunct will run under, honouring the
+/// context's [`PlanMode`] and recording into its [`PlanActivity`] (when one
+/// is attached).  This is the single entry point both join paths use:
+/// Boolean evaluation passes an empty prefix, enumeration pins its output
+/// variables.
+pub(crate) fn resolve_order(
+    atoms: &[BoundAtom<'_>],
+    prefix: &[VarId],
+    eval: EvalContext<'_>,
+) -> Vec<VarId> {
+    match eval.plan_mode {
+        PlanMode::Fixed => fixed_var_order(atoms, prefix),
+        PlanMode::Adaptive => {
+            let start = Instant::now();
+            let plan = DisjunctPlan {
+                var_order: plan_var_order(atoms, prefix),
+                kernel_choices: KernelChoices::current(),
+            };
+            if let Some(activity) = eval.planning {
+                activity.record(&plan, start.elapsed().as_nanos() as u64);
+            }
+            plan.var_order
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ij_relation::{Relation, Value};
+
+    fn rel(name: &str, n: usize, arity: usize) -> Relation {
+        Relation::from_tuples(
+            name,
+            arity,
+            (0..n)
+                .map(|i| {
+                    (0..arity)
+                        .map(|c| Value::point((i * arity + c) as f64))
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+
+    const A: VarId = 0;
+    const B: VarId = 1;
+    const C: VarId = 2;
+
+    #[test]
+    fn fixed_order_is_prefix_then_increasing_ids() {
+        let r = rel("R", 3, 2);
+        let s = rel("S", 5, 2);
+        let atoms = vec![
+            BoundAtom::new(&r, vec![C, A]),
+            BoundAtom::new(&s, vec![B, C]),
+        ];
+        assert_eq!(fixed_var_order(&atoms, &[]), vec![A, B, C]);
+        assert_eq!(fixed_var_order(&atoms, &[C]), vec![C, A, B]);
+    }
+
+    #[test]
+    fn adaptive_order_starts_at_the_smallest_variable() {
+        // B only occurs in large atoms; A and C each touch the small T.
+        let r = rel("R", 100, 2); // R(B, A)
+        let s = rel("S", 100, 2); // S(B, C)
+        let t = rel("T", 4, 2); // T(A, C)
+        let atoms = vec![
+            BoundAtom::new(&r, vec![B, A]),
+            BoundAtom::new(&s, vec![B, C]),
+            BoundAtom::new(&t, vec![A, C]),
+        ];
+        let order = plan_var_order(&atoms, &[]);
+        // A and C (min card 4) before B (min card 100); fixed order would
+        // have started at A but continued B before C.
+        assert_eq!(order, vec![A, C, B]);
+    }
+
+    #[test]
+    fn adaptive_order_stays_connected() {
+        // Two components: tiny {D, E} and large {A, B}.  After picking from
+        // the tiny component the planner must finish it before jumping.
+        let d: VarId = 3;
+        let e: VarId = 4;
+        let big = rel("Big", 50, 2);
+        let tiny = rel("Tiny", 2, 2);
+        let atoms = vec![
+            BoundAtom::new(&big, vec![A, B]),
+            BoundAtom::new(&tiny, vec![d, e]),
+        ];
+        let order = plan_var_order(&atoms, &[]);
+        assert_eq!(order, vec![d, e, A, B]);
+    }
+
+    #[test]
+    fn degree_breaks_cardinality_ties() {
+        // All atoms the same size; B occurs in two atoms, A and C in one
+        // each — B binds first.
+        let r = rel("R", 10, 2);
+        let s = rel("S", 10, 2);
+        let atoms = vec![
+            BoundAtom::new(&r, vec![A, B]),
+            BoundAtom::new(&s, vec![B, C]),
+        ];
+        assert_eq!(plan_var_order(&atoms, &[])[0], B);
+    }
+
+    #[test]
+    fn prefix_is_pinned_verbatim() {
+        let r = rel("R", 100, 2);
+        let s = rel("S", 2, 2);
+        let atoms = vec![
+            BoundAtom::new(&r, vec![A, B]),
+            BoundAtom::new(&s, vec![B, C]),
+        ];
+        let order = plan_var_order(&atoms, &[A, B]);
+        assert_eq!(&order[..2], &[A, B]);
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn plan_activity_dedups_orders() {
+        let activity = PlanActivity::new();
+        let plan = DisjunctPlan {
+            var_order: vec![A, B],
+            kernel_choices: KernelChoices::current(),
+        };
+        activity.record(&plan, 10);
+        activity.record(&plan, 5);
+        assert_eq!(activity.plans(), 2);
+        assert_eq!(activity.planning_nanos(), 15);
+        assert_eq!(activity.orders(), vec![vec![A, B]]);
+    }
+}

@@ -21,8 +21,10 @@
 
 use crate::naive::{naive_boolean, NaiveError};
 use ij_ejoin::{
-    evaluate_ej_boolean_with, BoundAtom, CacheActivity, EjStrategy, EvalContext, TrieCache,
+    evaluate_ej_boolean_with, BoundAtom, CacheActivity, EjStrategy, EvalContext, PlanActivity,
+    TrieCache,
 };
+use ij_hypergraph::VarId;
 use ij_hypergraph::{AcyclicityClass, AcyclicityReport};
 use ij_reduction::{
     forward_reduction_with_token, EncodingStrategy, ForwardReduction, ReducedQuery,
@@ -36,7 +38,11 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-pub use ij_ejoin::{TenantCacheStats, TenantId, TrieCacheStats, TrieLayout, FLAT_MIN_ROWS};
+pub use ij_ejoin::{
+    DisjunctPlan, KernelChoices, PlanMode, TenantCacheStats, TenantId, TrieCacheStats, TrieLayout,
+    FLAT_MIN_ROWS,
+};
+pub use ij_relation::kernels::{kernel_arm, KernelArm, FORCE_SCALAR_ENV};
 
 /// The hardware thread count (1 when it cannot be determined).
 fn hardware_parallelism() -> usize {
@@ -142,6 +148,25 @@ pub struct EngineConfig {
     /// assert_eq!(flat.trie_layout, TrieLayout::Flat);
     /// ```
     pub trie_layout: TrieLayout,
+    /// How each disjunct's generic-join variable order is chosen
+    /// ([`PlanMode`]): `Adaptive` (the default) plans per disjunct at
+    /// batch-build time from cheap statistics — per-variable minimum atom
+    /// cardinality, vertex degree, connectivity — while `Fixed` keeps the
+    /// historical increasing-identifier order (the order the forward
+    /// reduction's dense renumbering produces), kept as the differential
+    /// baseline.  Planning never changes answers, only the search order;
+    /// [`EvaluationStats::disjuncts_planned`] /
+    /// [`EvaluationStats::planning_nanos`] /
+    /// [`EvaluationStats::planned_orders`] report what the planner did.
+    ///
+    /// ```
+    /// use ij_engine::{EngineConfig, PlanMode};
+    ///
+    /// assert_eq!(EngineConfig::new().plan_mode, PlanMode::Adaptive);
+    /// let fixed = EngineConfig::new().with_plan_mode(PlanMode::Fixed);
+    /// assert_eq!(fixed.plan_mode, PlanMode::Fixed);
+    /// ```
+    pub plan_mode: PlanMode,
     /// The cache-accounting owner this engine's evaluations run as: every
     /// trie-cache lookup is metered into this tenant's ledger, and the
     /// tenant's byte quota (if one is set on the shared cache) governs what
@@ -201,6 +226,7 @@ impl EngineConfig {
             trie_cache_bytes: 0,
             trie_shards: 0,
             trie_layout: TrieLayout::Auto,
+            plan_mode: PlanMode::Adaptive,
             tenant: TenantId::DEFAULT,
             deadline: None,
         }
@@ -247,6 +273,13 @@ impl EngineConfig {
     /// [`EngineConfig::trie_layout`]).
     pub fn with_trie_layout(mut self, layout: TrieLayout) -> Self {
         self.trie_layout = layout;
+        self
+    }
+
+    /// This configuration with an explicit plan mode (see
+    /// [`EngineConfig::plan_mode`]).
+    pub fn with_plan_mode(mut self, mode: PlanMode) -> Self {
+        self.plan_mode = mode;
         self
     }
 
@@ -406,6 +439,24 @@ pub struct EvaluationStats {
     /// Atom-trie uses of this evaluation that ran on the flat (CSR leapfrog)
     /// layout.
     pub flat_layout_atoms: usize,
+    /// The [`PlanMode`] this evaluation ran under.
+    pub plan_mode: PlanMode,
+    /// Disjuncts whose variable order went through the adaptive planner
+    /// (0 under [`PlanMode::Fixed`]; the decomposition strategy plans per
+    /// materialised bag, so the count can exceed the disjunct count).
+    pub disjuncts_planned: usize,
+    /// Total time the adaptive planner spent choosing orders, in
+    /// nanoseconds — exact, accumulated by this evaluation's own planning
+    /// calls like the cache counters.
+    pub planning_nanos: u64,
+    /// The distinct variable orders the planner chose, in first-seen order
+    /// (batches of isomorphic disjuncts collapse to one entry).  Empty under
+    /// [`PlanMode::Fixed`].
+    pub planned_orders: Vec<Vec<VarId>>,
+    /// The intersection-kernel dispatch arm that served this evaluation
+    /// ([`kernel_arm`]): AVX2 on hosts that have it, scalar otherwise or
+    /// under the [`FORCE_SCALAR_ENV`] override.
+    pub kernel_arm: KernelArm,
     /// The answer.
     pub answer: bool,
 }
@@ -443,10 +494,19 @@ impl std::fmt::Display for EvaluationStats {
             self.trie_cache.entries,
             self.trie_cache.resident_bytes as f64 / 1024.0
         )?;
-        write!(
+        writeln!(
             f,
             "trie layouts: {} hash / {} flat atom uses",
             self.hash_layout_atoms, self.flat_layout_atoms
+        )?;
+        write!(
+            f,
+            "plan: {} ({} disjuncts planned in {:.1} µs, {} distinct orders); kernels: {}",
+            self.plan_mode,
+            self.disjuncts_planned,
+            self.planning_nanos as f64 / 1e3,
+            self.planned_orders.len(),
+            self.kernel_arm
         )
     }
 }
@@ -723,6 +783,7 @@ impl IntersectionJoinEngine {
         // The tenant ledger is resolved once for the whole evaluation, so
         // per-lookup metering never re-probes the cache's tenant registry.
         let activity = CacheActivity::new();
+        let planning = PlanActivity::new();
         let tenant = self
             .trie_cache
             .as_ref()
@@ -734,6 +795,8 @@ impl IntersectionJoinEngine {
             activity: Some(&activity),
             layout: self.config.trie_layout,
             token: Some(pool),
+            plan_mode: self.config.plan_mode,
+            planning: Some(&planning),
         };
         // Don't let grouping serialize the pool: as long as there are fewer
         // batches than workers, halve the largest splittable batch.  (The
@@ -856,6 +919,11 @@ impl IntersectionJoinEngine {
             },
             hash_layout_atoms: activity.hash_atoms(),
             flat_layout_atoms: activity.flat_atoms(),
+            plan_mode: self.config.plan_mode,
+            disjuncts_planned: planning.plans(),
+            planning_nanos: planning.planning_nanos(),
+            planned_orders: planning.orders(),
+            kernel_arm: kernel_arm(),
             answer,
         })
     }
@@ -1299,6 +1367,53 @@ mod tests {
         let stats = auto.evaluate_with_stats(&q, &db).unwrap();
         assert!(stats.hash_layout_atoms > 0, "{stats:?}");
         assert_eq!(stats.flat_layout_atoms, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn answers_identical_across_plan_modes() {
+        for satisfiable in [true, false] {
+            let (q, db) = triangle_db(satisfiable);
+            for strategy in [EjStrategy::Auto, EjStrategy::GenericJoin] {
+                for mode in [PlanMode::Fixed, PlanMode::Adaptive] {
+                    let engine = IntersectionJoinEngine::new(EngineConfig {
+                        ej_strategy: strategy,
+                        ..EngineConfig::new().with_plan_mode(mode)
+                    });
+                    assert_eq!(
+                        engine.evaluate(&q, &db).unwrap(),
+                        satisfiable,
+                        "strategy {strategy:?}, mode {mode:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_mode_is_reported_in_evaluation_stats() {
+        let (q, db) = triangle_db(false); // false → every disjunct runs
+        let adaptive = IntersectionJoinEngine::new(EngineConfig {
+            ej_strategy: EjStrategy::GenericJoin,
+            ..EngineConfig::new().with_parallelism(1)
+        });
+        let stats = adaptive.evaluate_with_stats(&q, &db).unwrap();
+        assert_eq!(stats.plan_mode, PlanMode::Adaptive);
+        assert!(stats.disjuncts_planned > 0, "{stats:?}");
+        assert!(!stats.planned_orders.is_empty(), "{stats:?}");
+        assert!(stats.summary().contains("plan: adaptive"), "{stats}");
+        assert!(stats.summary().contains(kernel_arm().as_str()), "{stats}");
+
+        let fixed = IntersectionJoinEngine::new(EngineConfig {
+            ej_strategy: EjStrategy::GenericJoin,
+            ..EngineConfig::new()
+                .with_parallelism(1)
+                .with_plan_mode(PlanMode::Fixed)
+        });
+        let stats = fixed.evaluate_with_stats(&q, &db).unwrap();
+        assert_eq!(stats.plan_mode, PlanMode::Fixed);
+        assert_eq!(stats.disjuncts_planned, 0, "{stats:?}");
+        assert!(stats.planned_orders.is_empty(), "{stats:?}");
+        assert_eq!(stats.planning_nanos, 0, "{stats:?}");
     }
 
     #[test]

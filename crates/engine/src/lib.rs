@@ -66,8 +66,9 @@ mod naive;
 mod workspace;
 
 pub use engine::{
-    EngineConfig, EngineError, EvaluationOutcome, EvaluationStats, IntersectionJoinEngine,
-    QueryAnalysis, TenantCacheStats, TenantId, TrieCacheStats, TrieLayout, FLAT_MIN_ROWS,
+    kernel_arm, DisjunctPlan, EngineConfig, EngineError, EvaluationOutcome, EvaluationStats,
+    IntersectionJoinEngine, KernelArm, KernelChoices, PlanMode, QueryAnalysis, TenantCacheStats,
+    TenantId, TrieCacheStats, TrieLayout, FLAT_MIN_ROWS, FORCE_SCALAR_ENV,
 };
 pub use ij_relation::faults;
 pub use ij_relation::{CancellationToken, EvalError, DEFAULT_CHECK_INTERVAL};
@@ -79,9 +80,9 @@ pub use workspace::{Tenant, Workspace, WorkspaceLimits, WorkspaceStats};
 pub mod prelude {
     pub use crate::{
         naive_boolean, naive_count, CancellationToken, EngineConfig, EngineError, EvalError,
-        EvaluationOutcome, EvaluationStats, IntersectionJoinEngine, QueryAnalysis, Tenant,
-        TenantCacheStats, TenantId, TrieCacheStats, TrieLayout, Workspace, WorkspaceLimits,
-        WorkspaceStats,
+        EvaluationOutcome, EvaluationStats, IntersectionJoinEngine, KernelArm, PlanMode,
+        QueryAnalysis, Tenant, TenantCacheStats, TenantId, TrieCacheStats, TrieLayout, Workspace,
+        WorkspaceLimits, WorkspaceStats,
     };
     pub use ij_ejoin::EjStrategy;
     pub use ij_hypergraph::{AcyclicityClass, AcyclicityReport, Hypergraph};

@@ -76,7 +76,13 @@ pub const MAX_STRIPE_VALUES: u32 = (1 << (32 - STRIPE_BITS)) - 1;
 /// is an arbitrary stable order (stripe, then interning order within the
 /// stripe), not the value order — sort by resolved values when value order
 /// matters.
+///
+/// The representation is `#[repr(transparent)]` over the raw `u32`: the SIMD
+/// kernels ([`crate::kernels`]) rely on this to reinterpret `&[ValueId]` as
+/// `&[u32]` for vector loads, and the `Ord` above is exactly the unsigned
+/// order of the raw ids, so comparing raw words agrees with comparing ids.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct ValueId(u32);
 
 impl ValueId {

@@ -73,6 +73,14 @@ pub fn agm_exponent(h: &Hypergraph) -> f64 {
     fractional_edge_cover_number(h, &all)
 }
 
+/// The degree of every vertex (the number of hyperedges containing it), in
+/// vertex order.  A cheap structural statistic: the adaptive per-disjunct
+/// planner (`ij_ejoin`) uses it as a tie-break — between equally small
+/// variables, the one touching more atoms constrains the search harder.
+pub fn vertex_degrees(h: &Hypergraph) -> Vec<usize> {
+    (0..h.num_vertices()).map(|v| h.degree(v)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

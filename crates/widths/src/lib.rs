@@ -31,7 +31,8 @@ mod lp;
 mod subw;
 
 pub use cover::{
-    agm_exponent, fractional_edge_cover, fractional_edge_cover_number, FractionalEdgeCover,
+    agm_exponent, fractional_edge_cover, fractional_edge_cover_number, vertex_degrees,
+    FractionalEdgeCover,
 };
 pub use decomposition::{
     decomposition_from_order, elimination_width, fractional_hypertree_width,
