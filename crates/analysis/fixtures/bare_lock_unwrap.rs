@@ -1,0 +1,25 @@
+//! Seeded violations for the lock-discipline pass: all three guard
+//! methods, one as a rustfmt-wrapped multiline chain; the recover-helper
+//! idiom (`unwrap_or_else`) and an io-style call with arguments must stay
+//! silent.
+
+use std::io::Read;
+use std::sync::{Mutex, RwLock};
+
+pub fn bad(m: &Mutex<u32>, rw: &RwLock<u32>) -> u32 {
+    let a = *m.lock().unwrap();
+    let b = *rw.read().expect("rwlock poisoned");
+    let c = *rw
+        .write()
+        .unwrap();
+    a + b + c
+}
+
+pub fn good(m: &Mutex<u32>, mut f: std::fs::File) -> u32 {
+    // The recover idiom: `.unwrap_or_else` must not match `.unwrap(`.
+    let v = *m.lock().unwrap_or_else(|e| e.into_inner());
+    // io::Read with arguments is not a lock acquisition.
+    let mut buf = [0u8; 4];
+    let n = f.read(&mut buf).unwrap_or(0);
+    v + n as u32
+}

@@ -1,0 +1,26 @@
+//! Seeded violations for the hot-path panic lint: an annotated unwrap
+//! (silent), an unannotated `panic!` and `.expect()` (flagged), and a
+//! `#[cfg(test)]` module full of panics (silent — tests may panic freely).
+
+pub fn annotated(v: &[u32]) -> u32 {
+    // ij-analysis: allow(panic) — fixture: explicitly waived site
+    *v.first().unwrap()
+}
+
+pub fn unannotated(v: &[u32]) -> u32 {
+    if v.is_empty() {
+        panic!("empty input");
+    }
+    v.iter().copied().max().expect("non-empty checked above")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        assert_eq!(super::annotated(&[7]), 7);
+        let _ = std::panic::catch_unwind(|| super::unannotated(&[]));
+        Some(1u32).unwrap();
+        panic!("test panics are exempt");
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture twin of `ij_relation::faults::sites`: the declared failpoint
+//! site names the coherence pass checks call-site literals against.
+
+pub mod sites {
+    pub const TRIE_BUILD: &str = "trie-build";
+    pub const SHARD_WORKER: &str = "shard-worker";
+}

@@ -1,0 +1,15 @@
+//! Seeded violation for the failpoint-coherence pass: one declared site
+//! (silent), one typo'd site (flagged), one non-literal argument (out of
+//! scope, silent).
+
+pub fn run(dynamic_site: &str) {
+    faults::point("trie-build");
+    faults::point("cache-isnert");
+    faults::configure("shard-worker", 0, ());
+    faults::point(dynamic_site);
+}
+
+mod faults {
+    pub fn point(_site: &str) {}
+    pub fn configure(_site: &str, _after: usize, _action: ()) {}
+}

@@ -1,0 +1,18 @@
+//! Seeded violations for the atomic-ordering ledger pass: two listed
+//! `Relaxed` sites (silent), one unlisted `SeqCst` (flagged), and
+//! `std::cmp::Ordering` look-alikes that must never count as atomics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn listed(x: &AtomicUsize) {
+    x.fetch_add(1, Ordering::Relaxed);
+    x.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn unlisted(x: &AtomicUsize) -> usize {
+    x.load(Ordering::SeqCst)
+}
+
+pub fn not_an_atomic(a: i32, b: i32) -> bool {
+    matches!(a.cmp(&b), std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+}

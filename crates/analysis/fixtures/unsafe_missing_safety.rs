@@ -1,0 +1,29 @@
+//! Seeded violations for the unsafe-audit pass: one annotated site (must
+//! stay silent), one unannotated site (must be flagged), and a site count
+//! (2) that disagrees with the fixture ledger entry (1).
+
+pub fn annotated() -> u32 {
+    let x = 1u32;
+    // SAFETY: the pointer is derived from a live local reference and read
+    // exactly once before the local goes out of scope.
+    unsafe { *(&x as *const u32) }
+}
+
+pub fn padding_a() -> u32 {
+    1
+}
+
+pub fn padding_b() -> u32 {
+    2
+}
+
+pub fn padding_c() -> u32 {
+    // Comment-free distance so the justification above cannot vouch for
+    // the site below (the audit window is 10 lines).
+    3
+}
+
+pub fn unannotated() -> u32 {
+    let x = 2u32;
+    unsafe { *(&x as *const u32) }
+}

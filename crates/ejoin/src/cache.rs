@@ -97,6 +97,15 @@ use crate::trie::effective_shard_count;
 use crate::BoundAtom;
 use ij_hypergraph::VarId;
 use ij_relation::sync::{read_recover, write_recover};
+
+/// Lock class of the cache's key → slot map (`sync::lock_order`).  The
+/// recorded nesting is `trie-cache-map` → `trie-cache-tenants`
+/// (`remove_slot` settles the evicted owner's ledger under the map's
+/// write lock); the reverse never occurs — `ledger()` drops the tenants
+/// lock before returning.
+const CACHE_MAP: &str = "trie-cache-map";
+/// Lock class of the tenant-ledger registry (see [`CACHE_MAP`]).
+const CACHE_TENANTS: &str = "trie-cache-tenants";
 use ij_relation::{faults, CancellationToken, EvalError, Relation};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -432,7 +441,7 @@ impl TrieCache {
     /// `resident_bytes > 0` (which the previous independent relaxed loads
     /// allowed, breaking invariant-checking tests and operators).
     pub fn stats(&self) -> TrieCacheStats {
-        let map = read_recover(&self.map);
+        let map = read_recover(&self.map, CACHE_MAP);
         TrieCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -447,7 +456,7 @@ impl TrieCache {
     /// resident state is read under one acquisition of the map's read lock,
     /// so `entries` and `resident_bytes` are never torn.
     pub fn tenant_stats(&self, tenant: TenantId) -> TenantCacheStats {
-        let map = read_recover(&self.map);
+        let map = read_recover(&self.map, CACHE_MAP);
         let entries = map.values().filter(|slot| slot.owner == tenant).count();
         let ledger = self.ledger(tenant);
         TenantCacheStats {
@@ -484,7 +493,7 @@ impl TrieCache {
         // are visible to the eviction pass below) or acquires the lock after
         // we release it (and then sees the new quota, never a stale higher
         // one).
-        let mut map = write_recover(&self.map);
+        let mut map = write_recover(&self.map, CACHE_MAP);
         ledger.quota.store(bytes, Ordering::Relaxed);
         self.evict_tenant_lru(&mut map, tenant, &ledger, 0, bytes);
     }
@@ -509,10 +518,14 @@ impl TrieCache {
     /// The tenant's ledger, registered on first use (read-probe with a write
     /// upgrade on a genuine miss, like the dictionary stripes).
     fn ledger(&self, tenant: TenantId) -> Arc<TenantLedger> {
-        if let Some(ledger) = read_recover(&self.tenants).get(&tenant) {
+        if let Some(ledger) = read_recover(&self.tenants, CACHE_TENANTS).get(&tenant) {
             return Arc::clone(ledger);
         }
-        Arc::clone(write_recover(&self.tenants).entry(tenant).or_default())
+        Arc::clone(
+            write_recover(&self.tenants, CACHE_TENANTS)
+                .entry(tenant)
+                .or_default(),
+        )
     }
 
     /// The tries for `atom` under `global_order`, built into
@@ -569,7 +582,7 @@ impl TrieCache {
             }
         };
         let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
-        if let Some(slot) = read_recover(&self.map).get(&key) {
+        if let Some(slot) = read_recover(&self.map, CACHE_MAP).get(&key) {
             slot.last_used.store(now, Ordering::Relaxed);
             self.hits.fetch_add(1, Ordering::Relaxed);
             ledger.hits.fetch_add(1, Ordering::Relaxed);
@@ -596,7 +609,7 @@ impl TrieCache {
             // resident within it; hand it to the caller uncached.
             return Ok(built);
         }
-        let mut map = write_recover(&self.map);
+        let mut map = write_recover(&self.map, CACHE_MAP);
         // Failpoint before any accounting mutation: an injected panic here
         // poisons the lock but leaves the guarded state untouched, which is
         // exactly the consistency contract the poison-recovering helpers

@@ -111,6 +111,7 @@ impl FlatTrie {
     /// in the CSR layout.
     pub fn build(atom: &BoundAtom<'_>, global_order: &[VarId]) -> Self {
         let plan = TriePlan::new(atom, global_order);
+        // ij-analysis: allow(panic) — infallible: no cancel token or deadline is supplied
         FlatTrie::from_plan(&plan, None, None).expect("tokenless builds cannot be cancelled")
     }
 

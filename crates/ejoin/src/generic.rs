@@ -50,6 +50,10 @@ use crate::flat::{FlatTrie, TrieBuild};
 use crate::trie::{effective_shard_count, TrieNode};
 use ij_hypergraph::VarId;
 use ij_relation::sync::lock_recover;
+
+/// Lock class of the per-fanout first-shard-error slot (`sync::lock_order`);
+/// a leaf: held only to fold an error value, never around another lock.
+const SHARD_ERROR: &str = "shard-error";
 use ij_relation::{
     kernels, CancelTicker, EvalError, IdBuildHasher, IdHashSet, Relation, SharedDictionary, Value,
     ValueId,
@@ -311,6 +315,7 @@ fn down(trie: &FlatTrie, level: usize, index: u32) -> Pos<'_> {
 /// identifier order.
 pub fn generic_join_boolean(atoms: &[BoundAtom<'_>], order: Option<Vec<VarId>>) -> bool {
     generic_join_boolean_with(atoms, order, EvalContext::default())
+        // ij-analysis: allow(panic) — infallible: the default context carries no cancel token
         .expect("tokenless joins cannot be cancelled")
 }
 
@@ -360,7 +365,7 @@ pub fn generic_join_boolean_with(
                 match search(ctx, 0, &mut positions, &mut ticker, Some(found)) {
                     Ok(true) => found.store(true, Ordering::Release),
                     Ok(false) => {}
-                    Err(e) => fold_shard_error(&mut lock_recover(error), e),
+                    Err(e) => fold_shard_error(&mut lock_recover(error, SHARD_ERROR), e),
                 }
             });
         }
@@ -370,7 +375,7 @@ pub fn generic_join_boolean_with(
         // matter what the cancelled shards would have said.
         return Ok(true);
     }
-    let first = lock_recover(&error).take();
+    let first = lock_recover(&error, SHARD_ERROR).take();
     match first {
         Some(e) => Err(e),
         None => Ok(false),
@@ -387,6 +392,7 @@ pub fn generic_join_enumerate(
     output_name: &str,
 ) -> Relation {
     generic_join_enumerate_with(atoms, output_vars, output_name, EvalContext::default())
+        // ij-analysis: allow(panic) — infallible: the default context carries no cancel token
         .expect("tokenless joins cannot be cancelled")
 }
 
@@ -423,6 +429,7 @@ pub fn generic_join_enumerate_with(
     let ctx = JoinContext::new(atoms, Some(order.clone()), eval)?;
     let out_positions: Vec<usize> = output_vars
         .iter()
+        // ij-analysis: allow(panic) — infallible: `order` covers every variable by construction
         .map(|v| order.iter().position(|u| u == v).unwrap())
         .collect();
 
@@ -464,6 +471,7 @@ pub fn generic_join_enumerate_with(
             let handles: Vec<_> = (0..ctx.num_shards)
                 .map(|shard| scope.spawn(move || enumerate_shard(shard)))
                 .collect();
+            // ij-analysis: allow(panic) — propagating a worker panic is the intended behaviour
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
         let mut error: Option<EvalError> = None;
@@ -531,6 +539,7 @@ fn intersect_candidates<'t, 'k>(
                     lo,
                     hi,
                 } => trie.run(*level, *lo, *hi),
+                // ij-analysis: allow(panic) — unreachable: guarded by the all-flat check above
                 _ => unreachable!("all positions checked flat"),
             })
             .collect();
@@ -543,6 +552,7 @@ fn intersect_candidates<'t, 'k>(
                     trie, level, lo, ..
                 } = saved[slot]
                 else {
+                    // ij-analysis: allow(panic) — unreachable: guarded by the all-flat check above
                     unreachable!("all positions checked flat")
                 };
                 positions[i] = down(trie, level, lo + cursors[slot] as u32);
@@ -564,6 +574,7 @@ fn intersect_candidates<'t, 'k>(
     // harmless: `visit` only ever runs after every slot was freshly written.
     let smallest = (0..saved.len())
         .min_by_key(|&slot| saved[slot].fanout())
+        // ij-analysis: allow(panic) — infallible: `participating` is non-empty at this level
         .expect("participating atoms exist");
     let try_value = |positions: &mut Vec<Pos<'t>>, value: ValueId, child: Pos<'t>| -> bool {
         for (slot, &i) in participating.iter().enumerate() {
@@ -603,6 +614,7 @@ fn intersect_candidates<'t, 'k>(
                 }
             }
         }
+        // ij-analysis: allow(panic) — unreachable: leaves are filtered out of `participating`
         Pos::Leaf => unreachable!("leaf positions never participate"),
     }
     for (slot, &i) in participating.iter().enumerate() {
@@ -761,6 +773,7 @@ pub fn semijoin(left: &BoundAtom<'_>, right: &BoundAtom<'_>) -> Relation {
     let left_cols: Vec<&[ValueId]> = shared
         .iter()
         .map(|&v| {
+            // ij-analysis: allow(panic) — infallible: `shared` is the intersection of both var sets
             let c = left.vars.iter().position(|&u| u == v).unwrap();
             left.relation.column_ids(c)
         })
@@ -768,6 +781,7 @@ pub fn semijoin(left: &BoundAtom<'_>, right: &BoundAtom<'_>) -> Relation {
     let right_cols: Vec<&[ValueId]> = shared
         .iter()
         .map(|&v| {
+            // ij-analysis: allow(panic) — infallible: `shared` is the intersection of both var sets
             let c = right.vars.iter().position(|&u| u == v).unwrap();
             right.relation.column_ids(c)
         })

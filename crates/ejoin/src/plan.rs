@@ -38,6 +38,10 @@ use crate::cache::EvalContext;
 use ij_hypergraph::VarId;
 use ij_relation::kernels::{self, KernelArm};
 use ij_relation::sync::lock_recover;
+
+/// Lock class of the deduplicated planned-orders list (`sync::lock_order`);
+/// a leaf: nothing else is acquired while it is held.
+const PLAN_ACTIVITY: &str = "plan-activity";
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -128,7 +132,7 @@ impl PlanActivity {
     pub fn record(&self, plan: &DisjunctPlan, nanos: u64) {
         self.nanos.fetch_add(nanos, Ordering::Relaxed);
         self.plans.fetch_add(1, Ordering::Relaxed);
-        let mut orders = lock_recover(&self.orders);
+        let mut orders = lock_recover(&self.orders, PLAN_ACTIVITY);
         if !orders.contains(&plan.var_order) {
             orders.push(plan.var_order.clone());
         }
@@ -146,7 +150,7 @@ impl PlanActivity {
 
     /// The distinct variable orders chosen, in first-seen order.
     pub fn orders(&self) -> Vec<Vec<VarId>> {
-        lock_recover(&self.orders).clone()
+        lock_recover(&self.orders, PLAN_ACTIVITY).clone()
     }
 }
 

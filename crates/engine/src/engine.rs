@@ -31,6 +31,10 @@ use ij_reduction::{
     ReductionConfig, ReductionError, ReductionStats,
 };
 use ij_relation::sync::lock_recover;
+
+/// Lock class of the worker pool's first-disjunct-error slot
+/// (`sync::lock_order`); a leaf: held only to fold an error value.
+const DISJUNCT_ERROR: &str = "disjunct-error";
 use ij_relation::{panic_payload_string, CancellationToken, Database, EvalError, Query};
 use ij_widths::{ij_width, IjWidthReport};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -859,7 +863,7 @@ impl IntersectionJoinEngine {
                             break;
                         }
                         if let Err(e) = pool.checkpoint() {
-                            fold_error(&mut lock_recover(&error), e);
+                            fold_error(&mut lock_recover(&error, DISJUNCT_ERROR), e);
                             break;
                         }
                         let slot = next.fetch_add(1, Ordering::Relaxed);
@@ -882,7 +886,7 @@ impl IntersectionJoinEngine {
                                     // precedence keeps this diagnostic over
                                     // the `Cancelled` it induces in them.
                                     pool.cancel();
-                                    fold_error(&mut lock_recover(&error), e);
+                                    fold_error(&mut lock_recover(&error, DISJUNCT_ERROR), e);
                                     break 'pull;
                                 }
                             }
@@ -890,7 +894,7 @@ impl IntersectionJoinEngine {
                     });
                 }
             });
-            let first_error = lock_recover(&error).take();
+            let first_error = lock_recover(&error, DISJUNCT_ERROR).take();
             let answer = found.into_inner();
             if !answer {
                 if let Some(e) = first_error {

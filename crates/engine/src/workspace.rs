@@ -50,6 +50,13 @@
 use crate::engine::{EngineConfig, IntersectionJoinEngine};
 use ij_ejoin::{TenantCacheStats, TenantId, TrieCache, TrieCacheStats};
 use ij_relation::sync::lock_recover;
+
+/// Lock class of the workspace's tenant name → id registry
+/// (`sync::lock_order`); a leaf.
+const WORKSPACE_TENANTS: &str = "workspace-tenants";
+/// Lock class of the per-tenant default-deadline map (`sync::lock_order`);
+/// a leaf.
+const TENANT_DEADLINES: &str = "tenant-deadlines";
 use ij_relation::{Database, IdHashMap, Relation, SharedDictionary, Value, ValueId};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -220,7 +227,7 @@ impl Workspace {
     /// per-tenant byte quota ([`Tenant::set_trie_cache_quota`]) caps what
     /// one tenant may keep resident without touching its neighbors' warmth.
     pub fn tenant(&self, name: &str) -> Tenant {
-        let mut registry = lock_recover(&self.tenants);
+        let mut registry = lock_recover(&self.tenants, WORKSPACE_TENANTS);
         let next = TenantId::from_raw(registry.len() as u32 + 1);
         let id = *registry.entry(name.to_string()).or_insert(next);
         Tenant {
@@ -407,7 +414,7 @@ impl Tenant {
     /// correct answer in budget or fails with
     /// [`EvalError::DeadlineExceeded`](ij_relation::EvalError::DeadlineExceeded).
     pub fn set_default_deadline(&self, budget: Option<Duration>) {
-        let mut deadlines = lock_recover(&self.workspace.deadlines);
+        let mut deadlines = lock_recover(&self.workspace.deadlines, TENANT_DEADLINES);
         match budget {
             Some(budget) => {
                 deadlines.insert(self.id, budget);
@@ -427,7 +434,7 @@ impl Tenant {
 
     /// This tenant's default deadline budget, if one is set.
     pub fn default_deadline(&self) -> Option<Duration> {
-        lock_recover(&self.workspace.deadlines)
+        lock_recover(&self.workspace.deadlines, TENANT_DEADLINES)
             .get(&self.id)
             .copied()
     }

@@ -23,6 +23,7 @@
 //! its interval variables, not on the full permutation.
 
 use ij_hypergraph::{full_reduction, Hypergraph, ReducedHypergraph, VarId, VarKind};
+use ij_relation::sync::lock_recover;
 use ij_relation::{
     faults, CancelTicker, CancellationToken, Database, EvalError, Query, Relation,
     SharedDictionary, Value, ValueId,
@@ -466,7 +467,7 @@ fn intern_tuple_ids(dict: &SharedDictionary, n: usize) -> Vec<ValueId> {
     }
     use std::sync::Mutex;
     static PREFIX: Mutex<Vec<ValueId>> = Mutex::new(Vec::new());
-    let mut prefix = PREFIX.lock().unwrap_or_else(|e| e.into_inner());
+    let mut prefix = lock_recover(&PREFIX, "reduction-tuple-prefix");
     if prefix.len() < n {
         for i in prefix.len()..n {
             prefix.push(ValueId::intern(Value::point(i as f64)));

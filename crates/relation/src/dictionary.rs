@@ -51,11 +51,18 @@
 //! index is reserved so the [`ValueId::dummy`] sentinel is unrepresentable —
 //! see [`MAX_STRIPE_VALUES`]).
 
-use crate::sync::{read_recover, write_recover};
+use crate::sync::{read_recover, write_recover, ReadGuard};
+
+/// Lock class of every dictionary stripe (for the `sync::lock_order`
+/// detector).  One class for all 16 stripes: intra-class nesting is
+/// exempt from cycle detection, and `DictReader` — the only multi-stripe
+/// holder — pins read guards in index order with writers never holding
+/// more than one stripe.
+const DICT_STRIPE: &str = "dict-stripe";
 use crate::Value;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
-use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Number of independent stripes of the shared dictionary (a power of two).
 pub const STRIPE_COUNT: usize = 16;
@@ -227,10 +234,10 @@ impl SharedDictionary {
     pub fn intern(&self, value: Value) -> ValueId {
         let stripe = stripe_of(&value);
         let lock = &self.stripes[stripe];
-        if let Some(local) = read_recover(lock).lookup(&value) {
+        if let Some(local) = read_recover(lock, DICT_STRIPE).lookup(&value) {
             return encode(local, stripe);
         }
-        let local = write_recover(lock).intern(value);
+        let local = write_recover(lock, DICT_STRIPE).intern(value);
         encode(local, stripe)
     }
 
@@ -242,13 +249,13 @@ impl SharedDictionary {
     /// Panics if the id was not produced by this dictionary.
     pub fn resolve(&self, id: ValueId) -> Value {
         let (stripe, local) = decode(id);
-        read_recover(&self.stripes[stripe]).resolve(local)
+        read_recover(&self.stripes[stripe], DICT_STRIPE).resolve(local)
     }
 
     /// The id of a value, if it has been interned through this handle.
     pub fn lookup(&self, value: &Value) -> Option<ValueId> {
         let stripe = stripe_of(value);
-        read_recover(&self.stripes[stripe])
+        read_recover(&self.stripes[stripe], DICT_STRIPE)
             .lookup(value)
             .map(|local| encode(local, stripe))
     }
@@ -258,7 +265,7 @@ impl SharedDictionary {
     pub fn len(&self) -> usize {
         self.stripes
             .iter()
-            .map(|lock| read_recover(lock).len())
+            .map(|lock| read_recover(lock, DICT_STRIPE).len())
             .sum()
     }
 
@@ -275,7 +282,7 @@ impl SharedDictionary {
     pub fn heap_bytes(&self) -> usize {
         self.stripes
             .iter()
-            .map(|lock| read_recover(lock).heap_bytes())
+            .map(|lock| read_recover(lock, DICT_STRIPE).heap_bytes())
             .sum()
     }
 
@@ -289,7 +296,11 @@ impl SharedDictionary {
     /// writer (see [`DictReader`]).
     pub fn reader(&self) -> DictReader<'_> {
         DictReader {
-            guards: self.stripes.iter().map(read_recover).collect(),
+            guards: self
+                .stripes
+                .iter()
+                .map(|lock| read_recover(lock, DICT_STRIPE))
+                .collect(),
         }
     }
 }
@@ -392,7 +403,7 @@ impl Dictionary {
 /// already holds: `std`'s `RwLock` may deadlock on such recursive read
 /// acquisition when a writer is queued in between.
 pub struct DictReader<'d> {
-    guards: Vec<RwLockReadGuard<'d, Dictionary>>,
+    guards: Vec<ReadGuard<'d, Dictionary>>,
 }
 
 impl DictReader<'_> {

@@ -30,11 +30,37 @@
 
 #[cfg(feature = "failpoints")]
 use crate::sync::lock_recover;
+
+/// Lock class of the failpoint registry (`sync::lock_order`).  Acquired
+/// under the trie cache's map write lock (the `cache-insert` site), so
+/// the registry itself must never acquire engine locks while held — it
+/// never does: injected actions run after the guard is dropped.
+#[cfg(feature = "failpoints")]
+const FAILPOINT_REGISTRY: &str = "failpoint-registry";
 #[cfg(feature = "failpoints")]
 use std::collections::HashMap;
 #[cfg(feature = "failpoints")]
 use std::sync::{Mutex, OnceLock};
 use std::time::Duration;
+
+/// The declared failpoint sites.
+///
+/// Every `faults::point(..)` / `faults::configure(..)` call site in
+/// production code and the fault-injection tests must name one of these
+/// constants' values — the `ij-analysis` failpoint-coherence pass parses
+/// this module and flags any literal that is not declared here, so a typo
+/// like `"cache-isnert"` fails `check` instead of silently never firing.
+pub mod sites {
+    /// Inside the per-shard trie build loop (`TrieBuild::build_sharded`).
+    pub const TRIE_BUILD: &str = "trie-build";
+    /// Under the trie cache's map write lock, just before a built trie is
+    /// published into its slot.
+    pub const CACHE_INSERT: &str = "cache-insert";
+    /// At the top of each generic-join enumeration shard worker.
+    pub const SHARD_WORKER: &str = "shard-worker";
+    /// Inside the reduction rewrite that transforms an input relation.
+    pub const REDUCTION_TRANSFORM: &str = "reduction-transform";
+}
 
 /// What an armed failpoint injects when it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,7 +94,7 @@ fn registry() -> &'static Mutex<HashMap<String, Site>> {
 /// firing once.  No-op without the `failpoints` feature.
 #[cfg(feature = "failpoints")]
 pub fn configure(site: &str, after: usize, action: FaultAction) {
-    let mut reg = lock_recover(registry());
+    let mut reg = lock_recover(registry(), FAILPOINT_REGISTRY);
     let entry = reg.entry(site.to_string()).or_default();
     entry.armed = Some((entry.hits + after, action));
 }
@@ -81,7 +107,7 @@ pub fn configure(_site: &str, _after: usize, _action: FaultAction) {}
 /// `failpoints` feature.
 #[cfg(feature = "failpoints")]
 pub fn clear() {
-    lock_recover(registry()).clear();
+    lock_recover(registry(), FAILPOINT_REGISTRY).clear();
 }
 
 /// Disarms every site (no-op twin: the `failpoints` feature is disabled).
@@ -92,7 +118,9 @@ pub fn clear() {}
 /// `failpoints` feature.
 #[cfg(feature = "failpoints")]
 pub fn hits(site: &str) -> usize {
-    lock_recover(registry()).get(site).map_or(0, |s| s.hits)
+    lock_recover(registry(), FAILPOINT_REGISTRY)
+        .get(site)
+        .map_or(0, |s| s.hits)
 }
 
 /// Executions of `site` (no-op twin: always 0, the `failpoints` feature is
@@ -109,7 +137,7 @@ pub fn hits(_site: &str) -> usize {
 #[cfg(feature = "failpoints")]
 pub fn point(site: &str) {
     let action = {
-        let mut reg = lock_recover(registry());
+        let mut reg = lock_recover(registry(), FAILPOINT_REGISTRY);
         let entry = reg.entry(site.to_string()).or_default();
         let hit = entry.hits;
         entry.hits += 1;
@@ -139,9 +167,9 @@ mod tests {
     use super::*;
 
     // The registry is process-global; these tests serialise on it.
-    fn serial() -> std::sync::MutexGuard<'static, ()> {
+    fn serial() -> crate::sync::LockGuard<'static, ()> {
         static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+        lock_recover(&LOCK, "failpoint-test-serial")
     }
 
     #[test]

@@ -196,6 +196,7 @@ pub fn select_indices_portable(mask: &[u8], base: u32, out: &mut Vec<u32>) {
     let mut chunks = mask.chunks_exact(LANES);
     let mut start = 0usize;
     for chunk in &mut chunks {
+        // ij-analysis: allow(panic) — infallible: `chunks_exact(LANES)` yields 8-byte chunks
         let word = u64::from_ne_bytes(chunk.try_into().expect("LANES == 8"));
         if word != 0 {
             for (j, &m) in chunk.iter().enumerate() {
@@ -483,6 +484,7 @@ pub fn leapfrog_next(runs: &[&[ValueId]], cursors: &mut [usize]) -> Option<Value
             _ => v,
         });
     }
+    // ij-analysis: allow(panic) — infallible: guarded by the `!runs.is_empty()` assert above
     let mut max = max.expect("runs is non-empty");
     // Rounds of seek-everyone-to-max; a seek that overshoots raises the bar
     // and forces another round.  Terminates: `max` only grows, bounded by
@@ -553,12 +555,21 @@ pub mod avx2 {
     /// `&[ValueId]` viewed as its raw `u32` words (sound: `ValueId` is
     /// `#[repr(transparent)]` over `u32`).
     fn ids_as_raw(ids: &[ValueId]) -> &[u32] {
+        // SAFETY: `ValueId` is `#[repr(transparent)]` over `u32`, so the two
+        // slices have identical size, alignment and validity invariants (any
+        // bit pattern is a valid `u32`); pointer and length come straight
+        // from a live `&[ValueId]`, whose borrow the returned lifetime keeps
+        // alive.
         unsafe { std::slice::from_raw_parts(ids.as_ptr() as *const u32, ids.len()) }
     }
 
     /// `&[u32]` viewed as ids (sound for the same representation reason; the
     /// kernels only ever round-trip words read from real id slices).
     fn raw_as_ids(raw: &[u32]) -> &[ValueId] {
+        // SAFETY: the inverse of `ids_as_raw` — same `#[repr(transparent)]`
+        // layout guarantee, and `ValueId` is a plain wrapper with no validity
+        // restriction beyond `u32`'s, so every word is a valid id.  Pointer
+        // and length come from a live `&[u32]` held by the returned borrow.
         unsafe { std::slice::from_raw_parts(raw.as_ptr() as *const ValueId, raw.len()) }
     }
 
@@ -567,9 +578,19 @@ pub mod avx2 {
     /// mask.  See `and_equal_mask_avx2` for the lane bookkeeping.
     pub fn and_equal_mask(a: &[ValueId], b: &[ValueId], mask: &mut [u8]) {
         debug_assert!(available());
+        // SAFETY: callers reach this wrapper only after
+        // `is_x86_feature_detected!("avx2")` succeeded — via the dispatch
+        // table (installed under that check) or the property tests (same
+        // guard) — so the `#[target_feature(enable = "avx2")]` precondition
+        // holds.
         unsafe { and_equal_mask_avx2(a, b, mask) }
     }
 
+    // SAFETY CONTRACT (`unsafe fn`): the caller must ensure the CPU
+    // supports AVX2.  The body upholds memory safety itself: every
+    // `loadu`/`storeu` stays within `i + 32 <= n` with all three slices
+    // `n` long (asserted by the public entry point), and unaligned
+    // load/store intrinsics have no alignment precondition.
     #[target_feature(enable = "avx2")]
     unsafe fn and_equal_mask_avx2(a: &[ValueId], b: &[ValueId], mask: &mut [u8]) {
         let n = mask.len();
@@ -610,9 +631,14 @@ pub mod avx2 {
     /// (`trailing_zeros`), so sparse and dead words cost one compare.
     pub fn select_indices(mask: &[u8], base: u32, out: &mut Vec<u32>) {
         debug_assert!(available());
+        // SAFETY: AVX2 availability established by the dispatch table /
+        // test guard, exactly as for `and_equal_mask`.
         unsafe { select_indices_avx2(mask, base, out) }
     }
 
+    // SAFETY CONTRACT (`unsafe fn`): caller must ensure AVX2.  All loads
+    // are unaligned `loadu` within `i + 32 <= mask.len()`; the tail is
+    // delegated to the safe portable arm.
     #[target_feature(enable = "avx2")]
     unsafe fn select_indices_avx2(mask: &[u8], base: u32, out: &mut Vec<u32>) {
         let zero = _mm256_setzero_si256();
@@ -637,9 +663,17 @@ pub mod avx2 {
     /// gather must never be issued with an out-of-range index).
     pub fn gather_ids(col: &[ValueId], rows: &[u32], out: &mut Vec<ValueId>) {
         debug_assert!(available());
+        // SAFETY: AVX2 availability established by the dispatch table /
+        // test guard, exactly as for `and_equal_mask`.
         unsafe { gather_ids_avx2(col, rows, out) }
     }
 
+    // SAFETY CONTRACT (`unsafe fn`): caller must ensure AVX2.  The
+    // hardware gather reads `col[idx]` for eight indices at once, so the
+    // body pre-checks `max(chunk) < col.len()` before issuing it and
+    // bails to the (bounds-checked, panicking) portable arm otherwise;
+    // indices are also capped to `i32::MAX` columns since `vpgatherdd`
+    // treats them as signed.
     #[target_feature(enable = "avx2")]
     unsafe fn gather_ids_avx2(col: &[ValueId], rows: &[u32], out: &mut Vec<ValueId>) {
         // `vpgatherdd` treats indices as signed; columns larger than
@@ -655,6 +689,7 @@ pub mod avx2 {
             // Max over eight indices is cheap; an out-of-bounds index makes
             // the portable tail below re-run this chunk and panic exactly
             // like the scalar reference.
+            // ij-analysis: allow(panic) — infallible: `chunks_exact(LANES)` chunks are never empty
             let mx = chunk.iter().copied().max().expect("chunk of LANES");
             if mx as usize >= col.len() {
                 break;
@@ -674,9 +709,14 @@ pub mod avx2 {
     /// into the shared exponential gallop.
     pub fn gallop_seek(run: &[ValueId], start: usize, target: ValueId) -> usize {
         debug_assert!(available());
+        // SAFETY: AVX2 availability established by the dispatch table /
+        // test guard, exactly as for `and_equal_mask`.
         unsafe { gallop_seek_avx2(run, start, target) }
     }
 
+    // SAFETY CONTRACT (`unsafe fn`): caller must ensure AVX2.  The one
+    // vector load is guarded by `start + LANES <= n`; everything else is
+    // safe indexing.
     #[target_feature(enable = "avx2")]
     unsafe fn gallop_seek_avx2(run: &[ValueId], start: usize, target: ValueId) -> usize {
         let n = run.len();

@@ -31,7 +31,7 @@ use ij_workloads::{
     ScenarioFamily, WorkloadConfig,
 };
 use std::sync::mpsc;
-use std::sync::{Mutex, MutexGuard, Once};
+use std::sync::{Mutex, Once};
 use std::time::Duration;
 
 /// Sites exercised by the small-scenario sweep.  `shard-worker` needs a
@@ -40,9 +40,9 @@ use std::time::Duration;
 const SWEEP_SITES: [&str; 3] = ["reduction-transform", "trie-build", "cache-insert"];
 
 /// The failpoint registry is process-global: all tests serialise here.
-fn serial() -> MutexGuard<'static, ()> {
+fn serial() -> ij_relation::sync::LockGuard<'static, ()> {
     static LOCK: Mutex<()> = Mutex::new(());
-    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    ij_relation::sync::lock_recover(&LOCK, "fault-test-serial")
 }
 
 /// Installs (once) a panic hook that silences injected failpoint panics —
